@@ -1,0 +1,113 @@
+// Figure 10: cache hit ratio improvement of Gemini-I+W over Gemini-I on the
+// recovering instance, for a 20% and a 100% access-pattern change during the
+// failure, at low and high system load (Section 5.4.4).
+//
+// Paper shape: the working set transfer yields a significant positive hit
+// ratio difference right after recovery; the difference is larger for the
+// 100% change and persists longer under high load (the transfer and the
+// hits on transferred entries both ride the larger request stream, while
+// Gemini-I must fetch the entire new working set from the slow data store).
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "bench/bench_common.h"
+
+namespace gemini::bench {
+namespace {
+
+std::vector<double> RecoveringInstanceHit(const BenchFlags& flags,
+                                          const YcsbClusterParams& p,
+                                          RecoveryPolicy policy,
+                                          YcsbWorkload::Evolution evolution,
+                                          bool high_load, double observe) {
+  auto sim = MakeYcsbSim(flags, p, policy, 0.05, high_load, evolution);
+  const double fail_at = p.warmup_seconds;
+  const double fail_for = flags.quick ? 20 : 100;
+  sim->ScheduleFailure(0, Seconds(fail_at), Seconds(fail_for));
+  // The failure triggers the access-pattern switch (Section 5.4.4).
+  sim->SchedulePhaseChange(Seconds(fail_at), 1);
+  sim->Run(Seconds(fail_at + fail_for + observe));
+
+  const auto ratios = sim->metrics().instance_hit[0].Ratios();
+  const auto rec = static_cast<size_t>(fail_at + fail_for);
+  std::vector<double> out;
+  for (size_t s = rec; s < rec + static_cast<size_t>(observe); ++s) {
+    out.push_back(s < ratios.size() ? ratios[s] * 100.0 : 0.0);
+  }
+  return out;
+}
+
+int Main(int argc, char** argv) {
+  const BenchFlags flags = ParseFlags(argc, argv);
+  PrintHeader("Figure 10",
+              "hit-ratio improvement of Gemini-I+W over Gemini-I after "
+              "recovery, 20%/100% access-pattern change, low & high load");
+  YcsbClusterParams p = YcsbParams(flags);
+  // The benefit of the transfer is fetching the new working set from the
+  // (fast) secondaries instead of the (slow) data store. The paper's store
+  // is ~10M records behind a single MongoDB server; scale its refill
+  // bandwidth with our smaller database so the effect's *duration* is
+  // preserved, not just its peak.
+  p.net.store_servers = 6;
+  p.net.store_query_service = Micros(3000);
+  const double observe = flags.quick ? 20 : 50;
+
+  struct Cell {
+    const char* name;
+    YcsbWorkload::Evolution evo;
+    bool high;
+  };
+  const std::vector<Cell> cells = {
+      {"20%-low", YcsbWorkload::Evolution::kSwitch20, false},
+      {"20%-high", YcsbWorkload::Evolution::kSwitch20, true},
+      {"100%-low", YcsbWorkload::Evolution::kSwitch100, false},
+      {"100%-high", YcsbWorkload::Evolution::kSwitch100, true},
+  };
+
+  std::vector<std::string> names;
+  std::vector<std::vector<double>> diffs;
+  std::vector<double> early_gain;  // mean diff over first 10s
+  for (const auto& cell : cells) {
+    auto with_wst = RecoveringInstanceHit(flags, p, RecoveryPolicy::GeminiIW(),
+                                          cell.evo, cell.high, observe);
+    auto without = RecoveringInstanceHit(flags, p, RecoveryPolicy::GeminiI(),
+                                         cell.evo, cell.high, observe);
+    std::vector<double> diff;
+    for (size_t s = 0; s < with_wst.size() && s < without.size(); ++s) {
+      diff.push_back(with_wst[s] - without[s]);
+    }
+    double sum = 0;
+    const size_t horizon = std::min<size_t>(diff.size(), 10);
+    for (size_t s = 0; s < horizon; ++s) sum += diff[s];
+    early_gain.push_back(horizon > 0 ? sum / double(horizon) : 0.0);
+    names.emplace_back(cell.name);
+    diffs.push_back(std::move(diff));
+  }
+
+  std::printf("\nHit-ratio difference Gemini-I+W minus Gemini-I "
+              "(percentage points; x-axis: seconds after recovery)\n");
+  std::printf("%s\n", FormatSeriesTable(names, diffs).c_str());
+
+  std::printf("Summary: mean improvement over the first 10s after recovery\n");
+  for (size_t i = 0; i < names.size(); ++i) {
+    std::printf("  %-10s %+6.1f pp\n", names[i].c_str(), early_gain[i]);
+  }
+
+  PrintClaim(
+      "working set transfer significantly improves the recovering "
+      "instance's hit ratio; larger for the 100% change",
+      (std::string("early gains (pp): 20%-low=") +
+       std::to_string(early_gain[0]) + " 20%-high=" +
+       std::to_string(early_gain[1]) + " 100%-low=" +
+       std::to_string(early_gain[2]) + " 100%-high=" +
+       std::to_string(early_gain[3]))
+          .c_str());
+  const bool ok = early_gain[2] > 0 && early_gain[3] > 0;
+  return ok ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace gemini::bench
+
+int main(int argc, char** argv) { return gemini::bench::Main(argc, argv); }

@@ -1,0 +1,186 @@
+// Microbenchmarks (google-benchmark) for the building blocks whose costs the
+// paper argues are negligible or O(1):
+//  - cache instance data-path operations (get/set, IQ sessions, qareg/dar);
+//  - the dirty-list append a transient-mode write adds (Section 5.3 claims
+//    the overhead is masked by the store write — here is the raw cost);
+//  - dirty-list parsing as a function of list size (recovery-path cost);
+//  - configuration serialization as a function of fragment count
+//    (coordinator publish cost);
+//  - the Rejig validity check (entry config id vs fragment minimum), which
+//    is what makes discarding a fragment O(1);
+//  - Zipfian sampling and FNV hashing (workload/routing substrate).
+#include <benchmark/benchmark.h>
+
+#include <string>
+
+#include "src/cache/cache_instance.h"
+#include "src/cache/dirty_list.h"
+#include "src/common/hash.h"
+#include "src/common/rng.h"
+#include "src/coordinator/configuration.h"
+#include "src/lease/lease_table.h"
+
+namespace gemini {
+namespace {
+
+OpContext Ctx() { return OpContext{1, 0}; }
+
+std::unique_ptr<CacheInstance> MakeInstance(VirtualClock& clock) {
+  auto inst = std::make_unique<CacheInstance>(0, &clock);
+  inst->GrantFragmentLease(0, 1, clock.Now() + Seconds(3600), 1);
+  return inst;
+}
+
+void BM_CacheSet(benchmark::State& state) {
+  VirtualClock clock;
+  auto inst = MakeInstance(clock);
+  uint64_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        inst->Set(Ctx(), "user" + std::to_string(i++ % 100000),
+                  CacheValue::OfSize(1024)));
+  }
+}
+BENCHMARK(BM_CacheSet);
+
+void BM_CacheGetHit(benchmark::State& state) {
+  VirtualClock clock;
+  auto inst = MakeInstance(clock);
+  for (int i = 0; i < 10000; ++i) {
+    (void)inst->Set(Ctx(), "user" + std::to_string(i),
+                    CacheValue::OfSize(1024));
+  }
+  uint64_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        inst->Get(Ctx(), "user" + std::to_string(i++ % 10000)));
+  }
+}
+BENCHMARK(BM_CacheGetHit);
+
+void BM_IqMissFillSession(benchmark::State& state) {
+  // Full IQ read-miss session: iqget (grants I) + iqset (insert, release).
+  VirtualClock clock;
+  auto inst = MakeInstance(clock);
+  uint64_t i = 0;
+  for (auto _ : state) {
+    const std::string key = "user" + std::to_string(i++);
+    auto rg = inst->IqGet(Ctx(), key);
+    benchmark::DoNotOptimize(
+        inst->IqSet(Ctx(), key, CacheValue::OfSize(1024), rg->i_token));
+  }
+}
+BENCHMARK(BM_IqMissFillSession);
+
+void BM_QaregDarSession(benchmark::State& state) {
+  // Full write-around session against the cache: qareg + dar.
+  VirtualClock clock;
+  auto inst = MakeInstance(clock);
+  for (int i = 0; i < 10000; ++i) {
+    (void)inst->Set(Ctx(), "user" + std::to_string(i),
+                    CacheValue::OfSize(64));
+  }
+  uint64_t i = 0;
+  for (auto _ : state) {
+    const std::string key = "user" + std::to_string(i++ % 10000);
+    auto q = inst->Qareg(Ctx(), key);
+    benchmark::DoNotOptimize(inst->Dar(Ctx(), key, *q));
+  }
+}
+BENCHMARK(BM_QaregDarSession);
+
+void BM_DirtyListAppend(benchmark::State& state) {
+  // The per-write overhead a secondary pays in transient mode.
+  VirtualClock clock;
+  auto inst = MakeInstance(clock);
+  OpContext internal{kInternalConfigId, kInvalidFragment};
+  (void)inst->Set(internal, DirtyListKey(0),
+                  CacheValue::OfData(DirtyList::InitialPayload()));
+  uint64_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(inst->Append(
+        internal, DirtyListKey(0),
+        DirtyList::EncodeRecord("user" + std::to_string(i++ % 100000))));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_DirtyListAppend);
+
+void BM_DirtyListParse(benchmark::State& state) {
+  std::string payload = DirtyList::InitialPayload();
+  for (int64_t i = 0; i < state.range(0); ++i) {
+    payload += DirtyList::EncodeRecord("user" + std::to_string(i));
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(DirtyList::Parse(payload));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_DirtyListParse)->Arg(100)->Arg(10000)->Arg(100000);
+
+void BM_ConfigSerialize(benchmark::State& state) {
+  std::vector<FragmentAssignment> frags(state.range(0));
+  for (size_t f = 0; f < frags.size(); ++f) {
+    frags[f] = {static_cast<InstanceId>(f % 100), kInvalidInstance, 42,
+                FragmentMode::kNormal};
+  }
+  Configuration cfg(1000, std::move(frags));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cfg.Serialize());
+  }
+}
+BENCHMARK(BM_ConfigSerialize)->Arg(100)->Arg(1000)->Arg(5000);
+
+void BM_ConfigDeserialize(benchmark::State& state) {
+  std::vector<FragmentAssignment> frags(state.range(0));
+  Configuration cfg(1000, std::move(frags));
+  const std::string wire = cfg.Serialize();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Configuration::Deserialize(wire));
+  }
+}
+BENCHMARK(BM_ConfigDeserialize)->Arg(1000)->Arg(5000);
+
+void BM_RejigValidityCheck(benchmark::State& state) {
+  // A get whose entry fails the config-id validation (discard path) vs one
+  // that passes: both are O(1) — that is the point of the scheme.
+  VirtualClock clock;
+  auto inst = MakeInstance(clock);
+  (void)inst->Set(OpContext{5, 0}, "valid", CacheValue::OfSize(64));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(inst->Get(OpContext{5, 0}, "valid"));
+  }
+}
+BENCHMARK(BM_RejigValidityCheck);
+
+void BM_LeaseAcquireReleaseI(benchmark::State& state) {
+  VirtualClock clock;
+  LeaseTable table(&clock);
+  for (auto _ : state) {
+    auto t = table.AcquireI("key");
+    table.ReleaseI("key", *t);
+  }
+}
+BENCHMARK(BM_LeaseAcquireReleaseI);
+
+void BM_ZipfianNext(benchmark::State& state) {
+  Zipfian z(10'000'000, 0.99);
+  Rng rng(1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(z.Next(rng));
+  }
+}
+BENCHMARK(BM_ZipfianNext);
+
+void BM_Fnv1aRouting(benchmark::State& state) {
+  const std::string key = "user0000000000001234";
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Fnv1a64(key) % 5000);
+  }
+}
+BENCHMARK(BM_Fnv1aRouting);
+
+}  // namespace
+}  // namespace gemini
+
+BENCHMARK_MAIN();

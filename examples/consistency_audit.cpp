@@ -1,0 +1,77 @@
+// Consistency audit (the paper's Figure 1 in miniature): run the same
+// failure scenario under StaleCache (reuse persistent content verbatim) and
+// Gemini-O+W, auditing every read with the Polygraph-style stale-read
+// checker. StaleCache serves a burst of stale reads right after recovery;
+// Gemini serves none.
+//
+// Build & run:  ./build/examples/consistency_audit
+#include <cstdio>
+#include <memory>
+
+#include "src/sim/cluster_sim.h"
+#include "src/workload/ycsb.h"
+
+using namespace gemini;
+
+namespace {
+
+std::unique_ptr<ClusterSim> MakeSim(RecoveryPolicy policy) {
+  YcsbWorkload::Options wo;
+  wo.num_records = 30'000;
+  wo.update_fraction = 0.10;  // plenty of writes -> plenty of staleness
+  SimOptions so;
+  so.num_instances = 4;
+  so.num_fragments = 400;
+  so.closed_loop_threads = 32;
+  so.policy = policy;
+  so.seed = 11;
+  return std::make_unique<ClusterSim>(so, std::make_shared<YcsbWorkload>(wo));
+}
+
+}  // namespace
+
+int main() {
+  constexpr double kFailAt = 15, kFailFor = 10, kObserve = 20;
+
+  std::printf("auditing every read for read-after-write violations...\n\n");
+  std::unique_ptr<ClusterSim> sims[2] = {
+      MakeSim(RecoveryPolicy::StaleCache()),
+      MakeSim(RecoveryPolicy::GeminiOW())};
+  const char* names[2] = {"StaleCache", "Gemini-O+W"};
+
+  for (auto& sim : sims) {
+    sim->ScheduleFailure(0, Seconds(kFailAt), Seconds(kFailFor));
+    sim->Run(Seconds(kFailAt + kFailFor + kObserve));
+  }
+
+  std::printf("stale reads per second (failure at t=%.0fs, recovery at "
+              "t=%.0fs):\n",
+              kFailAt, kFailAt + kFailFor);
+  std::printf("  sec   StaleCache   Gemini-O+W\n");
+  for (size_t s = 0; s < kFailAt + kFailFor + kObserve; ++s) {
+    std::printf("  %3zu   %10llu   %10llu\n", s,
+                (unsigned long long)sims[0]
+                    ->metrics()
+                    .stale.stale_per_interval()
+                    .At(Seconds(static_cast<double>(s))),
+                (unsigned long long)sims[1]
+                    ->metrics()
+                    .stale.stale_per_interval()
+                    .At(Seconds(static_cast<double>(s))));
+  }
+
+  for (int i = 0; i < 2; ++i) {
+    const auto& m = sims[i]->metrics();
+    std::printf("\n%s: %llu stale of %llu audited reads (%.3f%%)\n", names[i],
+                (unsigned long long)m.stale.total_stale(),
+                (unsigned long long)m.stale.total_reads(),
+                m.stale.total_reads() > 0
+                    ? 100.0 * double(m.stale.total_stale()) /
+                          double(m.stale.total_reads())
+                    : 0.0);
+  }
+  std::printf("\nGemini preserves read-after-write consistency through the "
+              "failure;\nthe stale burst is exactly what its dirty lists "
+              "prevent.\n");
+  return 0;
+}

@@ -1,0 +1,96 @@
+// Durability & write policies: the extensions layered on the paper's
+// protocol, in one walkthrough.
+//
+//   1. On-disk snapshots: a cache instance persists its entries (with their
+//      Rejig config-id stamps and quarantined keys) and restores them after
+//      a process restart.
+//   2. Write policies (Section 2): write-around (the paper's), write-through
+//      (install the new value under the Q lease), and write-back
+//      (acknowledge from the persistent cache; flush asynchronously).
+//   3. The write-back durability payoff: buffered writes pinned in the
+//      persistent cache survive a crash and are flushed after recovery.
+//
+// Build & run:  ./build/examples/durability_and_write_policies
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "src/cache/snapshot.h"
+#include "src/client/gemini_client.h"
+#include "src/coordinator/coordinator.h"
+#include "src/recovery/write_back_flusher.h"
+#include "src/store/data_store.h"
+
+using namespace gemini;
+
+int main() {
+  VirtualClock clock;
+  DataStore store;
+  store.Put("order:1001", "{\"status\": \"pending\"}");
+
+  std::vector<std::unique_ptr<CacheInstance>> owned;
+  std::vector<CacheInstance*> instances;
+  for (InstanceId i = 0; i < 2; ++i) {
+    owned.push_back(std::make_unique<CacheInstance>(i, &clock));
+    instances.push_back(owned.back().get());
+  }
+  Coordinator coordinator(&clock, instances, /*num_fragments=*/4);
+
+  // ---- 1. Snapshots -----------------------------------------------------------
+  std::printf("== on-disk snapshots ==\n");
+  {
+    GeminiClient client(&clock, &coordinator, instances, &store);
+    Session s;
+    (void)client.Read(s, "order:1001");  // cache it
+  }
+  const std::string snap = "/tmp/gemini_example.snap";
+  if (Snapshot::WriteToFile(*instances[0], snap).ok() ||
+      Snapshot::WriteToFile(*instances[1], snap).ok()) {
+    std::printf("  wrote a snapshot (entries + config-id stamps + "
+                "quarantined keys) to %s\n",
+                snap.c_str());
+  }
+  CacheInstance reborn(9, &clock);
+  if (Snapshot::LoadFromFile(reborn, snap).ok()) {
+    std::printf("  restored it into a brand-new instance: %llu entries\n\n",
+                (unsigned long long)reborn.stats().entry_count);
+  }
+  std::remove(snap.c_str());
+
+  // ---- 2 & 3. Write-back ------------------------------------------------------
+  std::printf("== write-back on a persistent cache ==\n");
+  GeminiClient::Options wb;
+  wb.write_policy = WritePolicy::kWriteBack;
+  GeminiClient client(&clock, &coordinator, instances, &store, wb);
+  WriteBackFlusher flusher(&clock, instances, &store);
+  Session s;
+
+  (void)client.Write(s, "order:1001", "{\"status\": \"shipped\"}");
+  std::printf("  write acknowledged; store still has: %s\n",
+              store.Query("order:1001")->data.c_str());
+  auto r = client.Read(s, "order:1001");
+  std::printf("  but the writer reads its own write: %s\n",
+              r->value.data.c_str());
+
+  // Crash before the flush: the buffered write is pinned in the persistent
+  // payload and survives.
+  auto cfg = coordinator.GetConfiguration();
+  const InstanceId owner =
+      cfg->fragment(cfg->FragmentOf("order:1001")).primary;
+  std::printf("  crashing instance %u with the flush still pending...\n",
+              owner);
+  instances[owner]->Fail();
+  instances[owner]->RecoverPersistent();
+  std::printf("  recovered; pending flushes rebuilt from pinned entries: "
+              "%zu\n",
+              instances[owner]->pending_flush_count());
+  const size_t flushed = flusher.FlushOnce(s);
+  std::printf("  flusher committed %zu write(s); store now has: %s\n",
+              flushed, store.Query("order:1001")->data.c_str());
+
+  std::printf("\n(read-after-write under *instance failure* still needs the "
+              "paper's write-around/-through: an unflushed buffered write "
+              "is invisible to the secondary replica — see "
+              "tests/write_back_test.cc and bench/ablation_write_policy.)\n");
+  return 0;
+}

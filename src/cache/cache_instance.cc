@@ -1,0 +1,528 @@
+#include "src/cache/cache_instance.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "src/common/logging.h"
+
+namespace gemini {
+
+CacheInstance::CacheInstance(InstanceId id, const Clock* clock,
+                             Options options)
+    : id_(id),
+      clock_(clock),
+      options_(options),
+      leases_(clock, options.lease_options) {}
+
+// ---- Availability & persistence emulation ----------------------------------
+
+void CacheInstance::Fail() {
+  std::lock_guard<std::mutex> lock(mu_);
+  available_ = false;
+}
+
+void CacheInstance::RecoverPersistent() {
+  // A writer may have crashed us between its data store update and its
+  // delete-and-release: conservatively delete every entry with an
+  // outstanding Q lease, the crash-spanning analogue of the Q-expiry rule
+  // (Section 2.3). Gemini assumes the persistent medium retains this much.
+  const std::vector<std::string> quarantined = leases_.KeysWithQLeases();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    available_ = true;
+    for (const auto& key : quarantined) {
+      auto it = table_.find(key);
+      if (it != table_.end()) {
+        EraseLocked(it->second, /*count_as_delete=*/true);
+      }
+    }
+    // Fragment leases did not survive the crash; the coordinator re-grants
+    // them as part of publishing the recovery-mode configuration.
+    fragments_.clear();
+    // Buffered write-back values are pinned in the persistent payload; the
+    // in-memory flush queue is rebuilt from them (the durability payoff of
+    // write-back on a persistent cache).
+    pending_flush_.clear();
+    for (const Entry& e : lru_) {
+      if (e.pinned) {
+        pending_flush_.push_back(PendingFlush{e.key, e.value});
+      }
+    }
+  }
+  leases_.Clear();
+}
+
+void CacheInstance::RecoverVolatile() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    available_ = true;
+    fragments_.clear();
+    table_.clear();
+    lru_.clear();
+    pending_flush_.clear();  // volatile cache: buffered writes are LOST
+    used_bytes_ = 0;
+  }
+  leases_.Clear();
+}
+
+bool CacheInstance::available() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return available_;
+}
+
+// ---- Coordinator-facing fragment management ---------------------------------
+
+void CacheInstance::GrantFragmentLease(FragmentId fragment,
+                                       ConfigId min_valid_config,
+                                       Timestamp expiry,
+                                       ConfigId latest_config) {
+  std::lock_guard<std::mutex> lock(mu_);
+  fragments_[fragment] = FragmentLease{min_valid_config, expiry};
+  latest_config_ = std::max(latest_config_, latest_config);
+}
+
+void CacheInstance::RevokeFragmentLease(FragmentId fragment,
+                                        ConfigId latest_config) {
+  std::lock_guard<std::mutex> lock(mu_);
+  fragments_.erase(fragment);
+  latest_config_ = std::max(latest_config_, latest_config);
+}
+
+ConfigId CacheInstance::latest_config_id() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return latest_config_;
+}
+
+bool CacheInstance::HoldsFragmentLease(FragmentId fragment) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = fragments_.find(fragment);
+  return it != fragments_.end() && it->second.expiry > clock_->Now();
+}
+
+std::optional<ConfigId> CacheInstance::FragmentLeaseMinValid(
+    FragmentId fragment) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = fragments_.find(fragment);
+  if (it == fragments_.end() || it->second.expiry <= clock_->Now()) {
+    return std::nullopt;
+  }
+  return it->second.min_valid_config;
+}
+
+std::optional<CacheValue> CacheInstance::RawGet(std::string_view key) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = table_.find(key);
+  if (it == table_.end()) return std::nullopt;
+  return it->second->value;
+}
+
+// ---- Internal helpers --------------------------------------------------------
+
+uint64_t CacheInstance::ChargeOf(const Entry& e) const {
+  return e.key.size() + e.value.charged_bytes + options_.per_entry_overhead;
+}
+
+void CacheInstance::TouchLocked(LruList::iterator it) {
+  lru_.splice(lru_.begin(), lru_, it);
+}
+
+void CacheInstance::EraseLocked(LruList::iterator it, bool count_as_delete) {
+  used_bytes_ -= ChargeOf(*it);
+  if (count_as_delete) {
+    ++counters_.deletes;
+  }
+  table_.erase(std::string_view(it->key));
+  lru_.erase(it);
+}
+
+void CacheInstance::EvictLocked() {
+  if (options_.capacity_bytes == 0) return;
+  // Never evict the most recently used entry: it is the one the current
+  // operation just wrote. A single entry above capacity therefore survives
+  // (memcached instead rejects items above its item-size cap; UpsertLocked
+  // applies that rejection for values, and dirty lists stay usable).
+  // Pinned entries (buffered write-back values) are skipped: evicting one
+  // would lose an acknowledged write.
+  auto victim = lru_.end();
+  while (used_bytes_ > options_.capacity_bytes && victim != lru_.begin()) {
+    --victim;
+    if (victim == lru_.begin()) break;  // never the MRU entry
+    if (victim->pinned) continue;
+    auto doomed = victim;
+    ++victim;  // keep the cursor valid past the erase
+    ++counters_.evictions;
+    EraseLocked(doomed, /*count_as_delete=*/false);
+  }
+}
+
+bool CacheInstance::UpsertLocked(std::string_view key, CacheValue value,
+                                 ConfigId cfg) {
+  auto it = table_.find(key);
+  if (it != table_.end()) {
+    Entry& e = *it->second;
+    used_bytes_ -= ChargeOf(e);
+    e.value = std::move(value);
+    e.config_id = cfg;
+    used_bytes_ += ChargeOf(e);
+    TouchLocked(it->second);
+  } else {
+    Entry e;
+    e.key = std::string(key);
+    e.value = std::move(value);
+    e.config_id = cfg;
+    const uint64_t charge = ChargeOf(e);
+    if (options_.capacity_bytes != 0 && charge > options_.capacity_bytes) {
+      return false;  // Larger than the whole cache: reject, as memcached does.
+    }
+    lru_.push_front(std::move(e));
+    table_.emplace(std::string_view(lru_.front().key), lru_.begin());
+    used_bytes_ += charge;
+  }
+  ++counters_.inserts;
+  EvictLocked();
+  return true;
+}
+
+Status CacheInstance::CheckRequestLocked(const OpContext& ctx) const {
+  if (!available_) {
+    return Status(Code::kUnavailable, "instance down");
+  }
+  if (ctx.config_id != kInternalConfigId && ctx.config_id < latest_config_) {
+    // Rejig: the client's cached configuration is older than the latest id
+    // this instance has observed — make it refresh before serving it.
+    return Status(Code::kStaleConfig);
+  }
+  if (ctx.fragment != kInvalidFragment) {
+    auto it = fragments_.find(ctx.fragment);
+    if (it == fragments_.end() || it->second.expiry <= clock_->Now()) {
+      return Status(Code::kWrongInstance, "no fragment lease");
+    }
+  }
+  return Status::Ok();
+}
+
+std::unordered_map<std::string_view, CacheInstance::LruList::iterator>::iterator
+CacheInstance::FindValidLocked(const OpContext& ctx, std::string_view key) {
+  // A Q lease that expired un-released forces deletion of the entry
+  // (Section 2.3) — apply that before looking the key up.
+  if (leases_.ExpireKey(key).delete_entry) {
+    auto stale = table_.find(key);
+    if (stale != table_.end()) {
+      EraseLocked(stale->second, /*count_as_delete=*/true);
+    }
+  }
+  auto it = table_.find(key);
+  if (it == table_.end()) return table_.end();
+  if (ctx.fragment != kInvalidFragment) {
+    auto frag = fragments_.find(ctx.fragment);
+    const ConfigId min_valid =
+        frag == fragments_.end() ? 0 : frag->second.min_valid_config;
+    if (it->second->config_id < min_valid) {
+      // Obsolete under the Rejig rule (Section 3.2.4): written before the
+      // fragment's current minimum-valid configuration — discard lazily.
+      ++counters_.config_discards;
+      EraseLocked(it->second, /*count_as_delete=*/false);
+      return table_.end();
+    }
+  }
+  return it;
+}
+
+// ---- Data path ----------------------------------------------------------------
+
+Result<CacheValue> CacheInstance::Get(const OpContext& ctx,
+                                      std::string_view key) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (Status s = CheckRequestLocked(ctx); !s.ok()) return s;
+  auto it = FindValidLocked(ctx, key);
+  if (it == table_.end()) {
+    ++counters_.misses;
+    return Status(Code::kNotFound);
+  }
+  ++counters_.hits;
+  TouchLocked(it->second);
+  return it->second->value;
+}
+
+Result<IqGetResult> CacheInstance::IqGet(const OpContext& ctx,
+                                         std::string_view key) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (Status s = CheckRequestLocked(ctx); !s.ok()) return s;
+  auto it = FindValidLocked(ctx, key);
+  if (it != table_.end()) {
+    ++counters_.hits;
+    TouchLocked(it->second);
+    IqGetResult r;
+    r.value = it->second->value;
+    return r;
+  }
+  ++counters_.misses;
+  Result<LeaseToken> lease = leases_.AcquireI(key);
+  if (!lease.ok()) {
+    return lease.status();  // kBackoff: another session is filling this key.
+  }
+  IqGetResult r;
+  r.i_token = *lease;
+  return r;
+}
+
+Status CacheInstance::IqSet(const OpContext& ctx, std::string_view key,
+                            CacheValue value, LeaseToken token) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (Status s = CheckRequestLocked(ctx); !s.ok()) return s;
+  if (!leases_.CheckI(key, token)) {
+    // Voided by a Q lease or expired: ignore the insert (Section 2.3).
+    return Status(Code::kLeaseInvalid);
+  }
+  const ConfigId cfg =
+      ctx.config_id == kInternalConfigId ? latest_config_ : ctx.config_id;
+  UpsertLocked(key, std::move(value), cfg);
+  leases_.ReleaseI(key, token);
+  return Status::Ok();
+}
+
+Result<LeaseToken> CacheInstance::Qareg(const OpContext& ctx,
+                                        std::string_view key) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (Status s = CheckRequestLocked(ctx); !s.ok()) return s;
+  return leases_.AcquireQ(key);
+}
+
+Status CacheInstance::Dar(const OpContext& ctx, std::string_view key,
+                          LeaseToken token) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (Status s = CheckRequestLocked(ctx); !s.ok()) return s;
+  auto it = table_.find(key);
+  if (it != table_.end()) {
+    EraseLocked(it->second, /*count_as_delete=*/true);
+  }
+  leases_.ReleaseQ(key, token);
+  return Status::Ok();
+}
+
+Status CacheInstance::WriteBackInstall(const OpContext& ctx,
+                                       std::string_view key, CacheValue value,
+                                       LeaseToken token) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (Status s = CheckRequestLocked(ctx); !s.ok()) return s;
+  if (!leases_.CheckQ(key, token)) {
+    return Status(Code::kLeaseInvalid);
+  }
+  const ConfigId cfg =
+      ctx.config_id == kInternalConfigId ? latest_config_ : ctx.config_id;
+  CacheValue copy = value;
+  if (!UpsertLocked(key, std::move(value), cfg)) {
+    // Larger than the whole cache: the write cannot be buffered; the caller
+    // must fall back to a synchronous policy.
+    return Status(Code::kInvalidArgument, "value larger than cache capacity");
+  }
+  auto it = table_.find(key);
+  it->second->pinned = true;
+  pending_flush_.push_back(PendingFlush{std::string(key), std::move(copy)});
+  leases_.ReleaseQ(key, token);
+  return Status::Ok();
+}
+
+std::vector<CacheInstance::PendingFlush> CacheInstance::TakePendingFlushes(
+    size_t max) {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<PendingFlush> out;
+  while (!pending_flush_.empty() && out.size() < max) {
+    out.push_back(std::move(pending_flush_.front()));
+    pending_flush_.pop_front();
+  }
+  return out;
+}
+
+void CacheInstance::Unpin(std::string_view key, Version version) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = table_.find(key);
+  if (it == table_.end()) return;
+  // A newer buffered write keeps the pin until its own flush lands.
+  if (it->second->value.version <= version) {
+    it->second->pinned = false;
+  }
+  EvictLocked();
+}
+
+size_t CacheInstance::pending_flush_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  size_t pinned = 0;
+  for (const Entry& e : lru_) {
+    if (e.pinned) ++pinned;
+  }
+  return std::max(pinned, pending_flush_.size());
+}
+
+Status CacheInstance::Rar(const OpContext& ctx, std::string_view key,
+                          CacheValue value, LeaseToken token) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (Status s = CheckRequestLocked(ctx); !s.ok()) return s;
+  if (!leases_.CheckQ(key, token)) {
+    return Status(Code::kLeaseInvalid);
+  }
+  const ConfigId cfg =
+      ctx.config_id == kInternalConfigId ? latest_config_ : ctx.config_id;
+  UpsertLocked(key, std::move(value), cfg);
+  // A synchronous write supersedes any buffered one for this key: the
+  // installed value is already committed, so the pin can go (a late flush
+  // of the older buffered version is a no-op at the store).
+  auto it = table_.find(key);
+  if (it != table_.end()) it->second->pinned = false;
+  leases_.ReleaseQ(key, token);
+  return Status::Ok();
+}
+
+Result<LeaseToken> CacheInstance::ISet(const OpContext& ctx,
+                                       std::string_view key) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (Status s = CheckRequestLocked(ctx); !s.ok()) return s;
+  Result<LeaseToken> lease = leases_.AcquireI(key);
+  if (!lease.ok()) {
+    return lease.status();
+  }
+  auto it = table_.find(key);
+  if (it != table_.end()) {
+    EraseLocked(it->second, /*count_as_delete=*/true);
+  }
+  return *lease;
+}
+
+Status CacheInstance::IDelete(const OpContext& ctx, std::string_view key,
+                              LeaseToken token) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (Status s = CheckRequestLocked(ctx); !s.ok()) return s;
+  auto it = table_.find(key);
+  if (it != table_.end()) {
+    EraseLocked(it->second, /*count_as_delete=*/true);
+  }
+  leases_.ReleaseI(key, token);
+  return Status::Ok();
+}
+
+Status CacheInstance::Delete(const OpContext& ctx, std::string_view key) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (Status s = CheckRequestLocked(ctx); !s.ok()) return s;
+  auto it = table_.find(key);
+  if (it != table_.end()) {
+    EraseLocked(it->second, /*count_as_delete=*/true);
+  }
+  return Status::Ok();
+}
+
+Status CacheInstance::Set(const OpContext& ctx, std::string_view key,
+                          CacheValue value) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (Status s = CheckRequestLocked(ctx); !s.ok()) return s;
+  const ConfigId cfg =
+      ctx.config_id == kInternalConfigId ? latest_config_ : ctx.config_id;
+  if (!UpsertLocked(key, std::move(value), cfg)) {
+    return Status(Code::kInvalidArgument, "value larger than cache capacity");
+  }
+  return Status::Ok();
+}
+
+Status CacheInstance::Append(const OpContext& ctx, std::string_view key,
+                             std::string_view data) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (Status s = CheckRequestLocked(ctx); !s.ok()) return s;
+  auto it = table_.find(key);
+  if (it == table_.end()) {
+    // memcached-style append would fail here; Gemini relies on create-on-
+    // append so that the *marker* (not entry existence) detects evictions.
+    CacheValue value = CacheValue::OfData(std::string(data));
+    const ConfigId cfg =
+        ctx.config_id == kInternalConfigId ? latest_config_ : ctx.config_id;
+    if (!UpsertLocked(key, std::move(value), cfg)) {
+      return Status(Code::kInvalidArgument, "append larger than capacity");
+    }
+    return Status::Ok();
+  }
+  Entry& e = *it->second;
+  used_bytes_ -= ChargeOf(e);
+  e.value.data.append(data);
+  e.value.charged_bytes = static_cast<uint32_t>(
+      std::max<size_t>(e.value.charged_bytes, e.value.data.size()));
+  used_bytes_ += ChargeOf(e);
+  TouchLocked(it->second);
+  EvictLocked();
+  return Status::Ok();
+}
+
+// ---- Redlease -------------------------------------------------------------------
+
+Result<LeaseToken> CacheInstance::AcquireRed(std::string_view key) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!available_) return Status(Code::kUnavailable);
+  }
+  return leases_.AcquireRed(key);
+}
+
+Status CacheInstance::ReleaseRed(std::string_view key, LeaseToken token) {
+  leases_.ReleaseRed(key, token);
+  return Status::Ok();
+}
+
+Status CacheInstance::RenewRed(std::string_view key, LeaseToken token) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!available_) return Status(Code::kUnavailable);
+  }
+  return leases_.RenewRed(key, token) ? Status::Ok()
+                                      : Status(Code::kLeaseInvalid);
+}
+
+// ---- Introspection -----------------------------------------------------------------
+
+CacheInstance::Stats CacheInstance::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  Stats s = counters_;
+  s.used_bytes = used_bytes_;
+  s.entry_count = lru_.size();
+  return s;
+}
+
+void CacheInstance::ResetCounters() {
+  std::lock_guard<std::mutex> lock(mu_);
+  counters_ = Stats{};
+}
+
+bool CacheInstance::ContainsRaw(std::string_view key) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return table_.find(key) != table_.end();
+}
+
+std::optional<ConfigId> CacheInstance::RawConfigIdOf(
+    std::string_view key) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = table_.find(key);
+  if (it == table_.end()) return std::nullopt;
+  return it->second->config_id;
+}
+
+void CacheInstance::ForEachEntry(
+    const std::function<void(std::string_view, const CacheValue&, ConfigId,
+                             bool)>& fn) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const Entry& e : lru_) {
+    fn(e.key, e.value, e.config_id, e.pinned);
+  }
+}
+
+Status CacheInstance::RestoreEntry(std::string_view key, CacheValue value,
+                                   ConfigId config_id, bool pinned) {
+  std::lock_guard<std::mutex> lock(mu_);
+  CacheValue copy = pinned ? value : CacheValue{};
+  if (!UpsertLocked(key, std::move(value), config_id)) {
+    return Status(Code::kInvalidArgument, "entry larger than cache capacity");
+  }
+  if (pinned) {
+    auto it = table_.find(key);
+    it->second->pinned = true;
+    pending_flush_.push_back(PendingFlush{std::string(key), std::move(copy)});
+  }
+  return Status::Ok();
+}
+
+}  // namespace gemini

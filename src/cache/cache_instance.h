@@ -1,0 +1,330 @@
+// CacheInstance: a persistent, memcached-style cache process with the IQ
+// lease extensions (our stand-in for IQ-Twemcached, Section 4).
+//
+// One instance stores cache entries for the fragments assigned to it by the
+// coordinator. It provides:
+//
+//  - LRU eviction under a byte budget (key + value + fixed per-entry
+//    overhead), mirroring memcached's behaviour that matters to Gemini: *any*
+//    entry, including a dirty list, can be evicted.
+//  - IQ lease operations (iqget / iqset / qareg / dar) plus the recovery-mode
+//    primitives iset / idelete of Algorithms 1-3, and Redlease operations for
+//    recovery workers.
+//  - Rejig configuration-id validation (Section 3.2.4): every entry is
+//    stamped with the configuration id under which it was written, every
+//    fragment carries a minimum-valid id, and an entry whose stamp is below
+//    its fragment's minimum is obsolete — deleted on access. This is how
+//    Gemini discards millions of unrecoverable entries in O(1): the
+//    coordinator just raises the fragment's id.
+//  - Fragment leases: the instance serves a fragment only while it holds a
+//    coordinator-granted lease on it (Section 2.1), and tells stale clients
+//    to refresh their configuration (kStaleConfig) when their config id lags
+//    the latest id this instance has seen.
+//  - Persistence emulation: failing an instance makes it unavailable;
+//    recovering it restores its content intact (persistent media) but clears
+//    leases (volatile process state). A volatile cache additionally wipes
+//    content (the VolatileCache baseline).
+//
+// Thread-safe: one mutex guards the table; lease state has its own lock.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <list>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+
+#include "src/common/clock.h"
+#include "src/common/status.h"
+#include "src/common/types.h"
+#include "src/lease/lease_table.h"
+
+namespace gemini {
+
+/// A cached value. `data` carries the payload; `charged_bytes` is the size
+/// the entry is billed at for memory accounting, which lets the simulator
+/// model, e.g., 329-byte Facebook values without materializing them
+/// (charged_bytes >= data.size() always holds for real payloads).
+/// `version` is the data store version the value was computed from — consumed
+/// only by the consistency checker, never by the protocol itself.
+struct CacheValue {
+  std::string data;
+  uint32_t charged_bytes = 0;
+  Version version = 0;
+
+  static CacheValue OfData(std::string d, Version v = 0) {
+    CacheValue value;
+    value.charged_bytes = static_cast<uint32_t>(d.size());
+    value.data = std::move(d);
+    value.version = v;
+    return value;
+  }
+  static CacheValue OfSize(uint32_t bytes, Version v = 0) {
+    CacheValue value;
+    value.charged_bytes = bytes;
+    value.version = v;
+    return value;
+  }
+};
+
+/// Per-operation context. `config_id` is the caller's configuration id
+/// (kInternalConfigId for coordinator/recovery-internal operations, which
+/// bypass the staleness check); `fragment` scopes entry validation, or
+/// kInvalidFragment for Gemini-internal keys (dirty lists, the configuration
+/// entry) which are not fragment-scoped.
+struct OpContext {
+  ConfigId config_id = 0;
+  FragmentId fragment = kInvalidFragment;
+};
+
+inline constexpr ConfigId kInternalConfigId =
+    std::numeric_limits<ConfigId>::max();
+
+/// Result of iqget: either a hit (value set) or a miss. On a miss the
+/// instance attempted to grant an I lease; `i_token` is kNoLease if another
+/// session holds an incompatible lease (caller backs off — surfaced as
+/// Code::kBackoff instead, so this struct always has a token on miss).
+struct IqGetResult {
+  std::optional<CacheValue> value;
+  LeaseToken i_token = kNoLease;
+};
+
+class CacheInstance {
+ public:
+  struct Options {
+    /// Memory budget for entries (bytes). 0 disables eviction.
+    uint64_t capacity_bytes = 0;
+    /// Fixed bookkeeping charge per entry, approximating the memcached item
+    /// header + hash/LRU pointers.
+    uint32_t per_entry_overhead = 56;
+    LeaseTable::Options lease_options;
+  };
+
+  CacheInstance(InstanceId id, const Clock* clock)
+      : CacheInstance(id, clock, Options()) {}
+  CacheInstance(InstanceId id, const Clock* clock, Options options);
+
+  CacheInstance(const CacheInstance&) = delete;
+  CacheInstance& operator=(const CacheInstance&) = delete;
+
+  [[nodiscard]] InstanceId id() const { return id_; }
+
+  // ---- Availability & persistence emulation -------------------------------
+
+  /// Marks the instance failed: all operations return kUnavailable.
+  void Fail();
+
+  /// Brings a *persistent* instance back: content intact, leases cleared
+  /// (leases are volatile process state even on persistent media).
+  void RecoverPersistent();
+
+  /// Brings a *volatile* instance back: content wiped (VolatileCache).
+  void RecoverVolatile();
+
+  [[nodiscard]] bool available() const;
+
+  // ---- Coordinator-facing fragment management ------------------------------
+
+  /// Grants/renews this instance's lease on `fragment` with the given
+  /// minimum-valid configuration id and expiry. Also advances the memoized
+  /// latest configuration id.
+  void GrantFragmentLease(FragmentId fragment, ConfigId min_valid_config,
+                          Timestamp expiry, ConfigId latest_config);
+
+  /// Revokes the lease (fragment reassigned elsewhere).
+  void RevokeFragmentLease(FragmentId fragment, ConfigId latest_config);
+
+  /// The latest configuration id this instance has observed.
+  [[nodiscard]] ConfigId latest_config_id() const;
+
+  /// True iff this instance currently holds a live lease on `fragment`.
+  [[nodiscard]] bool HoldsFragmentLease(FragmentId fragment) const;
+
+  /// The minimum-valid config id of the instance's lease on `fragment`
+  /// (nullopt when it holds none). Auditing hook.
+  [[nodiscard]] std::optional<ConfigId> FragmentLeaseMinValid(
+      FragmentId fragment) const;
+
+  /// Reads the physically present entry for `key` without touching LRU
+  /// order, stats, leases, or validity (auditing hook).
+  [[nodiscard]] std::optional<CacheValue> RawGet(std::string_view key) const;
+
+  // ---- Data path -----------------------------------------------------------
+
+  /// Plain get (no lease on miss). Used for secondary lookups during working
+  /// set transfer and by recovery workers (SR.get(k)).
+  Result<CacheValue> Get(const OpContext& ctx, std::string_view key);
+
+  /// Get; on miss, atomically acquire an I lease (or kBackoff).
+  Result<IqGetResult> IqGet(const OpContext& ctx, std::string_view key);
+
+  /// Insert if the I lease `token` is still valid, then release it. Returns
+  /// kLeaseInvalid (insert ignored) if the lease was voided or expired.
+  Status IqSet(const OpContext& ctx, std::string_view key, CacheValue value,
+               LeaseToken token);
+
+  /// Acquire a Q lease (write-around write path); voids any I lease.
+  Result<LeaseToken> Qareg(const OpContext& ctx, std::string_view key);
+
+  /// Delete-and-release: removes the entry and releases the Q lease.
+  Status Dar(const OpContext& ctx, std::string_view key, LeaseToken token);
+
+  /// Replace-and-release (write-through): installs the new value written to
+  /// the data store and releases the Q lease. Requires the Q lease to still
+  /// be valid — if it expired, the entry was (or will be) deleted by the
+  /// expiry rule and the insert must not resurrect a potentially stale
+  /// value, so kLeaseInvalid is returned and nothing is installed.
+  Status Rar(const OpContext& ctx, std::string_view key, CacheValue value,
+             LeaseToken token);
+
+  /// Recovery primitive (Algorithm 1 line 7, Algorithm 3 line 11): delete the
+  /// entry and acquire an I lease in one step; kBackoff if leases collide.
+  Result<LeaseToken> ISet(const OpContext& ctx, std::string_view key);
+
+  /// Delete the entry and release the I lease (Algorithm 3 line 16).
+  Status IDelete(const OpContext& ctx, std::string_view key, LeaseToken token);
+
+  /// Unconditional delete with no leases (Algorithm 2 line 3: delete in the
+  /// secondary during working set transfer).
+  Status Delete(const OpContext& ctx, std::string_view key);
+
+  /// Unconditional insert with no leases. Used by the coordinator to publish
+  /// configurations and initialize dirty lists, and by tests.
+  Status Set(const OpContext& ctx, std::string_view key, CacheValue value);
+
+  /// Write-back install (extension; Section 2 names write-back as a write
+  /// policy): installs the buffered value under the Q lease, *pins* the
+  /// entry (pinned entries are never evicted — losing a buffered write
+  /// before its flush would lose the write), and enqueues it for the
+  /// flusher. The entry's version is the store's reserved version.
+  Status WriteBackInstall(const OpContext& ctx, std::string_view key,
+                          CacheValue value, LeaseToken token);
+
+  /// A buffered write awaiting its data-store flush.
+  struct PendingFlush {
+    std::string key;
+    CacheValue value;
+  };
+
+  /// Pops up to `max` buffered writes for flushing (pins stay until Unpin).
+  std::vector<PendingFlush> TakePendingFlushes(size_t max);
+
+  /// Releases the pin placed by WriteBackInstall once the flush for
+  /// `version` committed. A newer buffered write (higher version) keeps the
+  /// entry pinned.
+  void Unpin(std::string_view key, Version version);
+
+  /// Number of buffered writes not yet handed to a flusher + pinned entries
+  /// (diagnostics).
+  [[nodiscard]] size_t pending_flush_count() const;
+
+  /// Appends bytes to an entry's payload, creating the entry if absent
+  /// (memcached "append" semantics as Gemini needs them: a re-created dirty
+  /// list is detectable because it lacks the marker).
+  Status Append(const OpContext& ctx, std::string_view key,
+                std::string_view data);
+
+  // ---- Redlease (recovery workers, Section 2.3) ----------------------------
+
+  Result<LeaseToken> AcquireRed(std::string_view key);
+  Status ReleaseRed(std::string_view key, LeaseToken token);
+  /// Extends a held Redlease; kLeaseInvalid if it lapsed.
+  Status RenewRed(std::string_view key, LeaseToken token);
+
+  // ---- Introspection -------------------------------------------------------
+
+  struct Stats {
+    uint64_t hits = 0;
+    uint64_t misses = 0;
+    uint64_t inserts = 0;
+    uint64_t deletes = 0;
+    uint64_t evictions = 0;
+    /// Hits rejected because the entry's config id was below its fragment's
+    /// minimum (Rejig discard rule) — the "discarded keys" of Table 3.
+    uint64_t config_discards = 0;
+    uint64_t used_bytes = 0;
+    uint64_t entry_count = 0;
+  };
+  [[nodiscard]] Stats stats() const;
+  void ResetCounters();
+
+  /// True iff `key` currently has a physically present entry, regardless of
+  /// config-id validity (tests / Table 3 accounting).
+  [[nodiscard]] bool ContainsRaw(std::string_view key) const;
+
+  /// Config id stamped on the physically present entry for `key`, or
+  /// nullopt when absent. Used by the Table 3 bench to count entries that
+  /// the Rejig rule will discard.
+  [[nodiscard]] std::optional<ConfigId> RawConfigIdOf(
+      std::string_view key) const;
+
+  /// Iterates all physically present entries in LRU order (most recent
+  /// first) under the instance lock. The callback must not call back into
+  /// the instance. Used by the snapshot writer.
+  void ForEachEntry(
+      const std::function<void(std::string_view key, const CacheValue& value,
+                               ConfigId config_id, bool pinned)>& fn) const;
+
+  /// Installs an entry with an explicit config-id stamp, bypassing leases
+  /// and the config-staleness check. Snapshot restore only: the stamp must
+  /// reproduce what the entry carried when it was persisted, or the Rejig
+  /// validity rule would mis-classify it. A pinned entry (buffered
+  /// write-back value) is re-pinned and re-enqueued for flushing.
+  Status RestoreEntry(std::string_view key, CacheValue value,
+                      ConfigId config_id, bool pinned = false);
+
+  LeaseTable& leases() { return leases_; }
+  const Options& options() const { return options_; }
+
+ private:
+  struct Entry {
+    std::string key;
+    CacheValue value;
+    ConfigId config_id = 0;
+    /// Pinned entries hold a not-yet-flushed write-back value and are
+    /// exempt from eviction.
+    bool pinned = false;
+  };
+  using LruList = std::list<Entry>;
+
+  // All Locked methods require mu_ held.
+  uint64_t ChargeOf(const Entry& e) const;
+  void TouchLocked(LruList::iterator it);
+  void EraseLocked(LruList::iterator it, bool count_as_delete);
+  void EvictLocked();
+  // Inserts or replaces; returns false if rejected (entry larger than
+  // capacity).
+  bool UpsertLocked(std::string_view key, CacheValue value, ConfigId cfg);
+  // Validates availability + client config freshness + fragment lease.
+  Status CheckRequestLocked(const OpContext& ctx) const;
+  // Looks up the key and applies Rejig validity + Q-expiry actions. Returns
+  // table_.end() on miss/invalid.
+  std::unordered_map<std::string_view, LruList::iterator>::iterator
+  FindValidLocked(const OpContext& ctx, std::string_view key);
+
+  struct FragmentLease {
+    ConfigId min_valid_config = 0;
+    Timestamp expiry = 0;
+  };
+
+  const InstanceId id_;
+  const Clock* clock_;
+  Options options_;
+  LeaseTable leases_;
+
+  mutable std::mutex mu_;
+  bool available_ = true;
+  ConfigId latest_config_ = 0;
+  LruList lru_;  // front = most recently used
+  std::unordered_map<std::string_view, LruList::iterator> table_;
+  std::unordered_map<FragmentId, FragmentLease> fragments_;
+  std::deque<PendingFlush> pending_flush_;
+  uint64_t used_bytes_ = 0;
+  Stats counters_;
+};
+
+}  // namespace gemini

@@ -1,0 +1,56 @@
+#include "src/cache/dirty_list.h"
+
+namespace gemini {
+
+namespace {
+constexpr std::string_view kMarker = "\x01M";
+}  // namespace
+
+std::string DirtyList::InitialPayload() {
+  return std::string(kMarker) + "\n";
+}
+
+std::string DirtyList::EncodeRecord(std::string_view key) {
+  std::string rec(key);
+  rec += '\n';
+  return rec;
+}
+
+std::optional<DirtyList> DirtyList::Parse(std::string_view payload) {
+  // A valid list begins with the marker record; anything else means the
+  // original (marker-bearing) entry was evicted and a client append
+  // re-created a partial list (Section 3.1).
+  const std::string expected = InitialPayload();
+  if (payload.substr(0, expected.size()) != expected) {
+    return std::nullopt;
+  }
+  payload.remove_prefix(expected.size());
+
+  DirtyList list;
+  while (!payload.empty()) {
+    const size_t nl = payload.find('\n');
+    if (nl == std::string_view::npos) {
+      // Truncated trailing record: treat the list as ending here. Appends are
+      // atomic in our instance, so this only happens with corrupted payloads.
+      break;
+    }
+    const std::string_view rec = payload.substr(0, nl);
+    payload.remove_prefix(nl + 1);
+    if (rec.empty() || rec == kMarker) continue;
+    ++list.raw_records_;
+    if (list.index_.insert(std::string(rec)).second) {
+      list.keys_.emplace_back(rec);
+    }
+  }
+  return list;
+}
+
+bool DirtyList::Contains(std::string_view key) const {
+  return index_.find(std::string(key)) != index_.end();
+}
+
+void DirtyList::Remove(std::string_view key) {
+  index_.erase(std::string(key));
+}
+
+}  // namespace gemini

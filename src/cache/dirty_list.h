@@ -1,0 +1,64 @@
+// Dirty-list codec (Section 3.1).
+//
+// While a fragment is in transient mode, the instance hosting its secondary
+// replica maintains a *dirty list*: the keys deleted/updated by writes that
+// referenced the fragment while its primary was down. The list is represented
+// as an ordinary cache entry (key DirtyListKey(fragment)) so that it competes
+// for memory and may be evicted — Gemini detects that and discards the
+// unrecoverable primary replica rather than serving stale data.
+//
+// Eviction detection uses a *marker*: the coordinator initializes the list
+// with a marker record when the fragment enters transient mode. Appends by
+// clients may re-create the entry after an eviction (memcached-style append
+// cannot distinguish "never existed" from "evicted"), but the re-created list
+// lacks the marker and is therefore detected as partial and unusable.
+//
+// Wire format: length-prefix-free, newline-delimited records. The marker is
+// the single record "\x01M"; every other record is a raw key (keys never
+// contain '\n').
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <unordered_set>
+#include <vector>
+
+namespace gemini {
+
+class DirtyList {
+ public:
+  /// The serialized form of a freshly initialized (marker-only) list.
+  static std::string InitialPayload();
+
+  /// Serializes one key as an appendable record.
+  static std::string EncodeRecord(std::string_view key);
+
+  /// Parses a serialized dirty list. Returns std::nullopt if the payload is
+  /// partial (does not begin with the marker), meaning the original list was
+  /// evicted and this entry was re-created by a later append.
+  static std::optional<DirtyList> Parse(std::string_view payload);
+
+  /// Unique keys in first-append order, as of parse time. Not affected by
+  /// Remove(); use Contains() for current membership.
+  [[nodiscard]] const std::vector<std::string>& keys() const { return keys_; }
+  [[nodiscard]] bool Contains(std::string_view key) const;
+  [[nodiscard]] size_t size() const { return index_.size(); }
+  [[nodiscard]] bool empty() const { return index_.empty(); }
+
+  /// Total appended records before deduplication (diagnostics).
+  [[nodiscard]] size_t raw_record_count() const { return raw_records_; }
+
+  /// Marks `key` as handled (Algorithm 1, line 8: "Dj = Dj - k"). O(1).
+  void Remove(std::string_view key);
+
+ private:
+  std::vector<std::string> keys_;
+  // Mirror of keys_ for O(1) membership: clients consult Contains() on every
+  // read while a fragment is in recovery mode (Algorithm 1, line 1), and a
+  // dirty list can hold hundreds of thousands of keys (Section 5.5).
+  std::unordered_set<std::string> index_;
+  size_t raw_records_ = 0;
+};
+
+}  // namespace gemini

@@ -1,0 +1,194 @@
+#include "src/cache/snapshot.h"
+
+#include <cstdio>
+#include <cstring>
+#include <unordered_set>
+#include <vector>
+
+#include "src/common/hash.h"
+
+namespace gemini {
+
+namespace {
+
+constexpr char kMagic[8] = {'G', 'E', 'M', 'S', 'N', 'A', 'P', '1'};
+
+void PutU32(std::string& out, uint32_t v) {
+  char buf[4];
+  std::memcpy(buf, &v, 4);
+  out.append(buf, 4);
+}
+
+void PutU64(std::string& out, uint64_t v) {
+  char buf[8];
+  std::memcpy(buf, &v, 8);
+  out.append(buf, 8);
+}
+
+void PutBytes(std::string& out, std::string_view bytes) {
+  PutU32(out, static_cast<uint32_t>(bytes.size()));
+  out.append(bytes);
+}
+
+class Reader {
+ public:
+  explicit Reader(std::string_view data) : data_(data) {}
+
+  bool GetU32(uint32_t* v) { return GetRaw(v, 4); }
+  bool GetU64(uint64_t* v) { return GetRaw(v, 8); }
+  bool GetBytes(std::string* out) {
+    uint32_t len = 0;
+    if (!GetU32(&len)) return false;
+    if (data_.size() < len) return false;
+    out->assign(data_.substr(0, len));
+    data_.remove_prefix(len);
+    return true;
+  }
+  [[nodiscard]] size_t remaining() const { return data_.size(); }
+
+ private:
+  bool GetRaw(void* out, size_t n) {
+    if (data_.size() < n) return false;
+    std::memcpy(out, data_.data(), n);
+    data_.remove_prefix(n);
+    return true;
+  }
+  std::string_view data_;
+};
+
+}  // namespace
+
+std::string Snapshot::Serialize(CacheInstance& instance) {
+  std::string out;
+  out.append(kMagic, sizeof(kMagic));
+
+  // Entries are counted first; reserve the header slots and patch after.
+  std::vector<std::string> quarantined = instance.leases().KeysWithQLeases();
+  uint64_t entry_count = 0;
+  std::string body;
+  instance.ForEachEntry([&](std::string_view key, const CacheValue& value,
+                            ConfigId config_id, bool pinned) {
+    ++entry_count;
+    PutBytes(body, key);
+    PutBytes(body, value.data);
+    PutU32(body, value.charged_bytes);
+    PutU64(body, value.version);
+    PutU64(body, config_id);
+    PutU32(body, pinned ? 1 : 0);
+  });
+  PutU64(out, entry_count);
+  PutU64(out, quarantined.size());
+  out += body;
+  for (const auto& key : quarantined) {
+    PutBytes(out, key);
+  }
+  PutU64(out, Fnv1a64(out));
+  return out;
+}
+
+Status Snapshot::Load(CacheInstance& instance, std::string_view payload) {
+  if (payload.size() < sizeof(kMagic) + 8 + 8 + 8) {
+    return Status(Code::kInternal, "snapshot truncated");
+  }
+  if (std::memcmp(payload.data(), kMagic, sizeof(kMagic)) != 0) {
+    return Status(Code::kInternal, "snapshot magic mismatch");
+  }
+  // Checksum covers everything before the trailing 8 bytes.
+  const std::string_view checked = payload.substr(0, payload.size() - 8);
+  uint64_t stored_sum = 0;
+  std::memcpy(&stored_sum, payload.data() + payload.size() - 8, 8);
+  if (Fnv1a64(checked) != stored_sum) {
+    return Status(Code::kInternal, "snapshot checksum mismatch");
+  }
+
+  Reader reader(checked.substr(sizeof(kMagic)));
+  uint64_t entry_count = 0, quarantined_count = 0;
+  if (!reader.GetU64(&entry_count) || !reader.GetU64(&quarantined_count)) {
+    return Status(Code::kInternal, "snapshot header corrupt");
+  }
+
+  struct Pending {
+    std::string key;
+    CacheValue value;
+    ConfigId config_id;
+    bool pinned = false;
+  };
+  std::vector<Pending> entries;
+  entries.reserve(entry_count);
+  for (uint64_t i = 0; i < entry_count; ++i) {
+    Pending p;
+    uint64_t version = 0, config_id = 0;
+    uint32_t charged = 0, flags = 0;
+    if (!reader.GetBytes(&p.key) || !reader.GetBytes(&p.value.data) ||
+        !reader.GetU32(&charged) || !reader.GetU64(&version) ||
+        !reader.GetU64(&config_id) || !reader.GetU32(&flags)) {
+      return Status(Code::kInternal, "snapshot entry corrupt");
+    }
+    p.value.charged_bytes = charged;
+    p.value.version = version;
+    p.config_id = config_id;
+    p.pinned = (flags & 1) != 0;
+    entries.push_back(std::move(p));
+  }
+  std::unordered_set<std::string> quarantined;
+  for (uint64_t i = 0; i < quarantined_count; ++i) {
+    std::string key;
+    if (!reader.GetBytes(&key)) {
+      return Status(Code::kInternal, "snapshot quarantine list corrupt");
+    }
+    quarantined.insert(std::move(key));
+  }
+  if (reader.remaining() != 0) {
+    return Status(Code::kInternal, "snapshot has trailing bytes");
+  }
+
+  // Install in reverse so LRU order (most-recent-first in the snapshot) is
+  // reconstructed; skip quarantined keys (the crash-spanning Q rule).
+  for (auto it = entries.rbegin(); it != entries.rend(); ++it) {
+    if (quarantined.count(it->key) > 0) continue;
+    Status s = instance.RestoreEntry(it->key, std::move(it->value),
+                                     it->config_id, it->pinned);
+    if (!s.ok()) return s;
+  }
+  return Status::Ok();
+}
+
+Status Snapshot::WriteToFile(CacheInstance& instance,
+                             const std::string& path) {
+  const std::string payload = Serialize(instance);
+  const std::string tmp = path + ".tmp";
+  std::FILE* f = std::fopen(tmp.c_str(), "wb");
+  if (f == nullptr) {
+    return Status(Code::kInternal, "cannot open " + tmp);
+  }
+  const size_t written = std::fwrite(payload.data(), 1, payload.size(), f);
+  const bool flushed = std::fflush(f) == 0;
+  std::fclose(f);
+  if (written != payload.size() || !flushed) {
+    std::remove(tmp.c_str());
+    return Status(Code::kInternal, "short write to " + tmp);
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    return Status(Code::kInternal, "rename to " + path + " failed");
+  }
+  return Status::Ok();
+}
+
+Status Snapshot::LoadFromFile(CacheInstance& instance,
+                              const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) {
+    return Status(Code::kNotFound, "no snapshot at " + path);
+  }
+  std::string payload;
+  char buf[1 << 16];
+  size_t n = 0;
+  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) {
+    payload.append(buf, n);
+  }
+  std::fclose(f);
+  return Load(instance, payload);
+}
+
+}  // namespace gemini

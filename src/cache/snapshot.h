@@ -1,0 +1,49 @@
+// On-disk snapshots for CacheInstance.
+//
+// The paper emulates its persistent cache "using DRAM" (Section 4) because
+// Gemini's recovery protocol is agnostic to the storage medium. This module
+// supplies the real medium for deployments and durability tests: a compact
+// binary snapshot of an instance's entries (keys, payloads/charged sizes,
+// versions, and — critically for Gemini — the per-entry configuration ids
+// and the set of keys quarantined by outstanding Q leases).
+//
+// Format (little-endian, versioned):
+//   header:  magic "GEMSNAP1" | u64 entry_count | u64 quarantined_count
+//   entry:   u32 key_len | key bytes | u32 data_len | data bytes |
+//            u32 charged_bytes | u64 version | u64 config_id
+//   quarantined keys: u32 key_len | key bytes  (per key)
+//   trailer: u64 FNV-1a checksum of everything before it
+//
+// Load validates the magic and checksum and fails closed (kInternal) on any
+// corruption: a persistent cache must never serve a torn snapshot. Loading
+// applies the crash-spanning Q rule: quarantined keys are NOT restored
+// (their writers may have updated the data store without completing the
+// delete).
+#pragma once
+
+#include <string>
+
+#include "src/cache/cache_instance.h"
+#include "src/common/status.h"
+
+namespace gemini {
+
+class Snapshot {
+ public:
+  /// Serializes the instance's current entries and quarantined-key set.
+  static std::string Serialize(CacheInstance& instance);
+
+  /// Writes Serialize() to `path` atomically (temp file + rename).
+  static Status WriteToFile(CacheInstance& instance, const std::string& path);
+
+  /// Parses `payload` and installs its entries into `instance` (which
+  /// should be empty — existing entries are replaced on key collision).
+  /// Quarantined keys are skipped. Fails closed on corruption.
+  static Status Load(CacheInstance& instance, std::string_view payload);
+
+  /// Reads `path` and Load()s it.
+  static Status LoadFromFile(CacheInstance& instance,
+                             const std::string& path);
+};
+
+}  // namespace gemini

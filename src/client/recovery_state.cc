@@ -1,0 +1,25 @@
+#include "src/client/recovery_state.h"
+
+namespace gemini {
+
+RecoveryState::RecoveryState(size_t num_fragments)
+    : wst_terminated_(num_fragments) {
+  for (auto& f : wst_terminated_) f.store(0, std::memory_order_relaxed);
+}
+
+bool RecoveryState::WstTerminated(FragmentId fragment) const {
+  if (fragment >= wst_terminated_.size()) return true;
+  return wst_terminated_[fragment].load(std::memory_order_relaxed) != 0;
+}
+
+void RecoveryState::TerminateWst(FragmentId fragment) {
+  if (fragment >= wst_terminated_.size()) return;
+  wst_terminated_[fragment].store(1, std::memory_order_relaxed);
+}
+
+void RecoveryState::ResetWst(FragmentId fragment) {
+  if (fragment >= wst_terminated_.size()) return;
+  wst_terminated_[fragment].store(0, std::memory_order_relaxed);
+}
+
+}  // namespace gemini

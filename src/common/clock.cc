@@ -1,0 +1,10 @@
+#include "src/common/clock.h"
+
+namespace gemini {
+
+SystemClock& SystemClock::Global() {
+  static SystemClock clock;
+  return clock;
+}
+
+}  // namespace gemini

@@ -1,0 +1,72 @@
+// Time abstraction.
+//
+// Every time-dependent mechanism in Gemini — IQ lease lifetimes (ms),
+// Redlease lifetimes (ms), fragment leases (seconds), failure detection,
+// working-set-transfer monitoring — reads time through the Clock interface.
+// Production code would bind SystemClock; the experiment harness binds
+// VirtualClock so that the paper's 250-second experiments replay
+// deterministically in a fraction of wall-clock time.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+
+namespace gemini {
+
+/// Microseconds since an arbitrary epoch. Signed so that durations and
+/// differences are natural to compute.
+using Timestamp = int64_t;
+using Duration = int64_t;
+
+inline constexpr Duration kMicrosecond = 1;
+inline constexpr Duration kMillisecond = 1000;
+inline constexpr Duration kSecond = 1000 * 1000;
+
+constexpr Duration Micros(int64_t n) { return n; }
+constexpr Duration Millis(int64_t n) { return n * kMillisecond; }
+constexpr Duration Seconds(double n) {
+  return static_cast<Duration>(n * static_cast<double>(kSecond));
+}
+constexpr double ToSeconds(Duration d) {
+  return static_cast<double>(d) / static_cast<double>(kSecond);
+}
+
+class Clock {
+ public:
+  virtual ~Clock() = default;
+  [[nodiscard]] virtual Timestamp Now() const = 0;
+};
+
+/// Wall-clock time (steady, monotonic).
+class SystemClock final : public Clock {
+ public:
+  [[nodiscard]] Timestamp Now() const override {
+    return std::chrono::duration_cast<std::chrono::microseconds>(
+               std::chrono::steady_clock::now().time_since_epoch())
+        .count();
+  }
+
+  /// A process-wide instance, convenient for tests and examples.
+  static SystemClock& Global();
+};
+
+/// Deterministic, manually advanced clock used by the discrete-event
+/// simulator. Thread-safe: tests advance it from one thread while worker
+/// threads read it.
+class VirtualClock final : public Clock {
+ public:
+  explicit VirtualClock(Timestamp start = 0) : now_(start) {}
+
+  [[nodiscard]] Timestamp Now() const override {
+    return now_.load(std::memory_order_relaxed);
+  }
+
+  void AdvanceTo(Timestamp t) { now_.store(t, std::memory_order_relaxed); }
+  void Advance(Duration d) { now_.fetch_add(d, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<Timestamp> now_;
+};
+
+}  // namespace gemini

@@ -1,0 +1,39 @@
+// Hashing utilities.
+//
+// The Gemini client maps a key to a fragment with
+//   fragment = hash(key) % F        (Section 4)
+// so the hash must be stable across clients, instances, and runs — never use
+// std::hash for routing (it is implementation-defined and per-process
+// seedable). FNV-1a 64-bit is stable, allocation-free, and fast for the short
+// keys (tens of bytes) this workload generates.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+namespace gemini {
+
+constexpr uint64_t kFnvOffsetBasis = 14695981039346656037ULL;
+constexpr uint64_t kFnvPrime = 1099511628211ULL;
+
+constexpr uint64_t Fnv1a64(std::string_view data,
+                           uint64_t seed = kFnvOffsetBasis) {
+  uint64_t h = seed;
+  for (char c : data) {
+    h ^= static_cast<uint8_t>(c);
+    h *= kFnvPrime;
+  }
+  return h;
+}
+
+/// Finalizer from SplitMix64 — turns a weakly mixed integer into a well
+/// distributed one. Used to scramble sequential record ids into a key space
+/// (YCSB's "scrambled Zipfian").
+constexpr uint64_t Mix64(uint64_t x) {
+  x += 0x9E3779B97f4A7C15ULL;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBULL;
+  return x ^ (x >> 31);
+}
+
+}  // namespace gemini

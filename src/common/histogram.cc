@@ -1,0 +1,104 @@
+#include "src/common/histogram.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+namespace gemini {
+
+Histogram::Histogram(int64_t max_value, int buckets_per_decade) {
+  log_base_ = std::log(10.0) / buckets_per_decade;
+  num_buckets_ =
+      static_cast<size_t>(std::log(static_cast<double>(max_value)) /
+                          log_base_) +
+      2;
+  buckets_.assign(num_buckets_, 0);
+}
+
+size_t Histogram::BucketIndex(int64_t value) const {
+  if (value <= 1) return 0;
+  auto idx = static_cast<size_t>(std::log(static_cast<double>(value)) /
+                                 log_base_) +
+             1;
+  return std::min(idx, num_buckets_ - 1);
+}
+
+double Histogram::BucketLowerBound(size_t index) const {
+  if (index == 0) return 0.0;
+  return std::exp(static_cast<double>(index - 1) * log_base_);
+}
+
+void Histogram::Record(int64_t value) {
+  if (count_ == 0) {
+    min_ = max_ = value;
+  } else {
+    min_ = std::min(min_, value);
+    max_ = std::max(max_, value);
+  }
+  ++count_;
+  sum_ += static_cast<double>(value);
+  ++buckets_[BucketIndex(value)];
+}
+
+void Histogram::Merge(const Histogram& other) {
+  if (other.count_ == 0) return;
+  if (count_ == 0) {
+    min_ = other.min_;
+    max_ = other.max_;
+  } else {
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+  }
+  count_ += other.count_;
+  sum_ += other.sum_;
+  const size_t n = std::min(buckets_.size(), other.buckets_.size());
+  for (size_t i = 0; i < n; ++i) buckets_[i] += other.buckets_[i];
+  // Spill any out-of-range tail into our last bucket.
+  for (size_t i = n; i < other.buckets_.size(); ++i) {
+    buckets_.back() += other.buckets_[i];
+  }
+}
+
+void Histogram::Reset() {
+  std::fill(buckets_.begin(), buckets_.end(), 0);
+  count_ = 0;
+  sum_ = 0;
+  min_ = max_ = 0;
+}
+
+double Histogram::Mean() const {
+  return count_ == 0 ? 0.0 : sum_ / static_cast<double>(count_);
+}
+
+double Histogram::Percentile(double q) const {
+  if (count_ == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  const double target = q * static_cast<double>(count_);
+  double cumulative = 0;
+  for (size_t i = 0; i < buckets_.size(); ++i) {
+    const double next = cumulative + static_cast<double>(buckets_[i]);
+    if (next >= target && buckets_[i] > 0) {
+      const double lo = BucketLowerBound(i);
+      const double hi = BucketLowerBound(i + 1);
+      const double frac =
+          (target - cumulative) / static_cast<double>(buckets_[i]);
+      double v = lo + frac * (hi - lo);
+      return std::clamp(v, static_cast<double>(min_),
+                        static_cast<double>(max_));
+    }
+    cumulative = next;
+  }
+  return static_cast<double>(max_);
+}
+
+std::string Histogram::Summary() const {
+  char buf[160];
+  std::snprintf(buf, sizeof(buf),
+                "n=%llu mean=%.1f p50=%.1f p90=%.1f p99=%.1f max=%lld",
+                static_cast<unsigned long long>(count_), Mean(),
+                Percentile(0.50), Percentile(0.90), Percentile(0.99),
+                static_cast<long long>(Max()));
+  return buf;
+}
+
+}  // namespace gemini

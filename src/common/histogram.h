@@ -1,0 +1,49 @@
+// Log-bucketed latency histogram.
+//
+// The evaluation reports mean, 90th, and 99th percentile read latencies
+// (Figure 7.c, Section 5.4.1). Buckets grow geometrically so that the whole
+// microsecond-to-second range is covered with bounded relative error and O(1)
+// record cost; percentile queries interpolate within a bucket.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace gemini {
+
+class Histogram {
+ public:
+  /// Covers [1, max_value] microseconds with `buckets_per_decade` geometric
+  /// buckets per 10x range (relative error ~ 10^(1/buckets_per_decade)).
+  explicit Histogram(int64_t max_value = 60LL * 1000 * 1000,
+                     int buckets_per_decade = 40);
+
+  void Record(int64_t value);
+  void Merge(const Histogram& other);
+  void Reset();
+
+  [[nodiscard]] uint64_t count() const { return count_; }
+  [[nodiscard]] double Mean() const;
+  [[nodiscard]] int64_t Min() const { return count_ == 0 ? 0 : min_; }
+  [[nodiscard]] int64_t Max() const { return count_ == 0 ? 0 : max_; }
+
+  /// q in [0, 1]; e.g. Percentile(0.90) is the p90.
+  [[nodiscard]] double Percentile(double q) const;
+
+  [[nodiscard]] std::string Summary() const;
+
+ private:
+  [[nodiscard]] size_t BucketIndex(int64_t value) const;
+  [[nodiscard]] double BucketLowerBound(size_t index) const;
+
+  double log_base_;
+  size_t num_buckets_;
+  std::vector<uint64_t> buckets_;
+  uint64_t count_ = 0;
+  double sum_ = 0;
+  int64_t min_ = 0;
+  int64_t max_ = 0;
+};
+
+}  // namespace gemini

@@ -1,0 +1,53 @@
+// Minimal leveled logging.
+//
+// The simulator runs millions of operations, so logging defaults to kWarn and
+// every macro checks the level before evaluating its arguments. Experiments
+// raise verbosity with GEMINI_LOG=info|debug or LogState::SetLevel.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace gemini {
+
+enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
+
+class LogState {
+ public:
+  static LogLevel Level();
+  static void SetLevel(LogLevel level);
+
+  /// Writes one formatted line to stderr. Thread-safe.
+  static void Write(LogLevel level, const char* file, int line,
+                    const std::string& message);
+};
+
+namespace internal {
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line)
+      : level_(level), file_(file), line_(line) {}
+  ~LogMessage() { LogState::Write(level_, file_, line_, stream_.str()); }
+  std::ostringstream& stream() { return stream_; }
+
+ private:
+  LogLevel level_;
+  const char* file_;
+  int line_;
+  std::ostringstream stream_;
+};
+}  // namespace internal
+
+#define GEMINI_LOG(level)                                              \
+  if (::gemini::LogLevel::level < ::gemini::LogState::Level()) {       \
+  } else                                                               \
+    ::gemini::internal::LogMessage(::gemini::LogLevel::level, __FILE__, \
+                                   __LINE__)                            \
+        .stream()
+
+#define LOG_DEBUG GEMINI_LOG(kDebug)
+#define LOG_INFO GEMINI_LOG(kInfo)
+#define LOG_WARN GEMINI_LOG(kWarn)
+#define LOG_ERROR GEMINI_LOG(kError)
+
+}  // namespace gemini

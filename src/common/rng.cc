@@ -1,0 +1,36 @@
+#include "src/common/rng.h"
+
+#include <cassert>
+
+namespace gemini {
+
+Zipfian::Zipfian(uint64_t n, double theta) : n_(n), theta_(theta) {
+  assert(n > 0);
+  assert(theta > 0.0 && theta < 1.0);
+  alpha_ = 1.0 / (1.0 - theta);
+  zetan_ = Zeta(n, theta);
+  const double zeta2 = Zeta(2, theta);
+  eta_ = (1.0 - std::pow(2.0 / static_cast<double>(n), 1.0 - theta)) /
+         (1.0 - zeta2 / zetan_);
+}
+
+double Zipfian::Zeta(uint64_t n, double theta) {
+  double sum = 0.0;
+  for (uint64_t i = 1; i <= n; ++i) {
+    sum += 1.0 / std::pow(static_cast<double>(i), theta);
+  }
+  return sum;
+}
+
+uint64_t Zipfian::Next(Rng& rng) const {
+  const double u = rng.NextDouble();
+  const double uz = u * zetan_;
+  if (uz < 1.0) return 0;
+  if (uz < 1.0 + std::pow(0.5, theta_)) return 1;
+  auto rank = static_cast<uint64_t>(
+      static_cast<double>(n_) * std::pow(eta_ * u - eta_ + 1.0, alpha_));
+  if (rank >= n_) rank = n_ - 1;
+  return rank;
+}
+
+}  // namespace gemini

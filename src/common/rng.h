@@ -1,0 +1,174 @@
+// Random number generation and the statistical distributions used by the
+// workload generators.
+//
+// The evaluation (Section 5) needs:
+//  - Zipfian key popularity ("highly skewed", YCSB-style) — implemented with
+//    the Gray et al. rejection-inversion-free algorithm that YCSB uses,
+//    including the "scrambled" variant that decorrelates rank from key id.
+//  - Facebook key/value size models (Atikoglu et al., SIGMETRICS'12): key
+//    sizes follow a Generalized Extreme Value distribution and value sizes a
+//    Generalized Pareto distribution; the paper quotes their means (36 B keys,
+//    329 B values).
+//  - Exponential inter-arrival times (mean 19 us in the Facebook trace).
+//
+// All generators are deterministic functions of their seed so that every
+// experiment replays bit-identically.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "src/common/hash.h"
+
+namespace gemini {
+
+/// xoshiro256** by Blackman & Vigna — fast, high quality, 2^256-1 period.
+/// Seeded via SplitMix64 as its authors recommend.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed) {
+    uint64_t x = seed;
+    for (auto& word : state_) {
+      x += 0x9E3779B97f4A7C15ULL;
+      word = Mix64(x);
+    }
+  }
+
+  uint64_t Next() {
+    const uint64_t result = Rotl(state_[1] * 5, 7) * 9;
+    const uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = Rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform in [0, bound). bound must be > 0.
+  uint64_t NextBounded(uint64_t bound) {
+    // Lemire's multiply-shift with rejection for unbiased results.
+    uint64_t x = Next();
+    __uint128_t m = static_cast<__uint128_t>(x) * bound;
+    auto lo = static_cast<uint64_t>(m);
+    if (lo < bound) {
+      uint64_t threshold = -bound % bound;
+      while (lo < threshold) {
+        x = Next();
+        m = static_cast<__uint128_t>(x) * bound;
+        lo = static_cast<uint64_t>(m);
+      }
+    }
+    return static_cast<uint64_t>(m >> 64);
+  }
+
+  /// Uniform double in [0, 1).
+  double NextDouble() {
+    return static_cast<double>(Next() >> 11) * 0x1.0p-53;
+  }
+
+  /// Exponential with the given mean (> 0).
+  double NextExponential(double mean) {
+    double u = NextDouble();
+    // Guard against log(0).
+    if (u <= 0.0) u = 0x1.0p-53;
+    return -mean * std::log1p(-u);
+  }
+
+ private:
+  static constexpr uint64_t Rotl(uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+  uint64_t state_[4];
+};
+
+/// Zipfian over {0, ..., n-1} with skew parameter theta in (0, 1) —
+/// the algorithm from Gray et al. "Quickly Generating Billion-Record
+/// Synthetic Databases" used by YCSB. Item 0 is the most popular.
+///
+/// YCSB's default theta is 0.99 ("highly skewed"); the paper's "alpha = 100"
+/// denotes the same YCSB skew knob family — see EXPERIMENTS.md for the
+/// calibration note.
+class Zipfian {
+ public:
+  Zipfian(uint64_t n, double theta = 0.99);
+
+  /// Draws a rank in [0, n); rank 0 is most popular.
+  uint64_t Next(Rng& rng) const;
+
+  [[nodiscard]] uint64_t n() const { return n_; }
+  [[nodiscard]] double theta() const { return theta_; }
+
+ private:
+  static double Zeta(uint64_t n, double theta);
+
+  uint64_t n_;
+  double theta_;
+  double alpha_;
+  double zetan_;
+  double eta_;
+};
+
+/// Scrambled Zipfian: Zipfian ranks mapped through a mixing function so that
+/// popular keys are spread uniformly over the key space (and hence over
+/// fragments/instances), as in YCSB.
+class ScrambledZipfian {
+ public:
+  ScrambledZipfian(uint64_t n, double theta = 0.99) : zipf_(n, theta), n_(n) {}
+
+  uint64_t Next(Rng& rng) const { return Mix64(zipf_.Next(rng)) % n_; }
+
+  [[nodiscard]] uint64_t n() const { return n_; }
+
+ private:
+  Zipfian zipf_;
+  uint64_t n_;
+};
+
+/// Generalized Pareto distribution (location mu, scale sigma, shape xi),
+/// sampled by inversion. Atikoglu et al. model Facebook USR value sizes with
+/// GPD(mu=0, sigma=214.476, xi=0.348238).
+class GeneralizedPareto {
+ public:
+  GeneralizedPareto(double mu, double sigma, double xi)
+      : mu_(mu), sigma_(sigma), xi_(xi) {}
+
+  double Next(Rng& rng) const {
+    double u = rng.NextDouble();
+    if (u >= 1.0) u = 1.0 - 0x1.0p-53;
+    if (std::abs(xi_) < 1e-12) {
+      return mu_ - sigma_ * std::log1p(-u);
+    }
+    return mu_ + sigma_ * (std::pow(1.0 - u, -xi_) - 1.0) / xi_;
+  }
+
+ private:
+  double mu_, sigma_, xi_;
+};
+
+/// Generalized Extreme Value distribution, sampled by inversion. Atikoglu et
+/// al. model Facebook key sizes with GEV(mu=30.7984, sigma=8.20449,
+/// xi=0.078688).
+class GeneralizedExtremeValue {
+ public:
+  GeneralizedExtremeValue(double mu, double sigma, double xi)
+      : mu_(mu), sigma_(sigma), xi_(xi) {}
+
+  double Next(Rng& rng) const {
+    double u = rng.NextDouble();
+    if (u <= 0.0) u = 0x1.0p-53;
+    if (u >= 1.0) u = 1.0 - 0x1.0p-53;
+    double ln = -std::log(u);
+    if (std::abs(xi_) < 1e-12) {
+      return mu_ - sigma_ * std::log(ln);
+    }
+    return mu_ + sigma_ * (std::pow(ln, -xi_) - 1.0) / xi_;
+  }
+
+ private:
+  double mu_, sigma_, xi_;
+};
+
+}  // namespace gemini

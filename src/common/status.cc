@@ -1,0 +1,40 @@
+#include "src/common/status.h"
+
+namespace gemini {
+
+std::string_view CodeName(Code code) {
+  switch (code) {
+    case Code::kOk:
+      return "OK";
+    case Code::kNotFound:
+      return "NOT_FOUND";
+    case Code::kBackoff:
+      return "BACKOFF";
+    case Code::kStaleConfig:
+      return "STALE_CONFIG";
+    case Code::kUnavailable:
+      return "UNAVAILABLE";
+    case Code::kLeaseInvalid:
+      return "LEASE_INVALID";
+    case Code::kWrongInstance:
+      return "WRONG_INSTANCE";
+    case Code::kSuspended:
+      return "SUSPENDED";
+    case Code::kInvalidArgument:
+      return "INVALID_ARGUMENT";
+    case Code::kInternal:
+      return "INTERNAL";
+  }
+  return "UNKNOWN";
+}
+
+std::string Status::ToString() const {
+  std::string out(CodeName(code_));
+  if (!message_.empty()) {
+    out += ": ";
+    out += message_;
+  }
+  return out;
+}
+
+}  // namespace gemini

@@ -1,0 +1,112 @@
+// Error handling primitives: Status and Result<T>.
+//
+// Gemini's request paths are hot (millions of simulated operations per run),
+// so error handling is value-based rather than exception-based. The error
+// vocabulary mirrors the protocol: a cache miss, a lease back-off, and a
+// stale client configuration are all *expected* outcomes that callers branch
+// on, not failures.
+#pragma once
+
+#include <cassert>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+
+namespace gemini {
+
+enum class Code : uint8_t {
+  kOk = 0,
+  /// Key not present (a cache miss, or store key never written).
+  kNotFound,
+  /// Caller must back off and retry: an incompatible lease exists
+  /// (Table 2: I requested while I or Q held; Redlease while Redlease held).
+  kBackoff,
+  /// The client's cached configuration id is older than the instance's;
+  /// the client must refresh its configuration and retry (Rejig).
+  kStaleConfig,
+  /// The target instance is unavailable (failed / not yet recovered).
+  kUnavailable,
+  /// The lease supplied with the operation is no longer valid (expired or
+  /// voided by a Q lease); the operation was ignored.
+  kLeaseInvalid,
+  /// The operation references a fragment this instance does not hold a valid
+  /// fragment lease for.
+  kWrongInstance,
+  /// The write was suspended: its fragment's primary is down and the
+  /// coordinator has not yet published a secondary replica (Section 2.2).
+  /// The caller retries once a new configuration is available.
+  kSuspended,
+  /// Malformed request or programming error.
+  kInvalidArgument,
+  /// Internal invariant violation.
+  kInternal,
+};
+
+std::string_view CodeName(Code code);
+
+/// A cheap, copyable status. Ok statuses carry no allocation.
+class Status {
+ public:
+  Status() : code_(Code::kOk) {}
+  explicit Status(Code code) : code_(code) {}
+  Status(Code code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status Ok() { return Status(); }
+
+  [[nodiscard]] bool ok() const { return code_ == Code::kOk; }
+  [[nodiscard]] Code code() const { return code_; }
+  [[nodiscard]] const std::string& message() const { return message_; }
+
+  [[nodiscard]] std::string ToString() const;
+
+  friend bool operator==(const Status& a, const Status& b) {
+    return a.code_ == b.code_;
+  }
+
+ private:
+  Code code_;
+  std::string message_;
+};
+
+/// Result<T>: either a value or a non-ok Status.
+template <typename T>
+class Result {
+ public:
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(google-explicit-constructor)
+  Result(Status status) : status_(std::move(status)) {  // NOLINT
+    assert(!status_.ok() && "Result constructed from OK status without value");
+  }
+  Result(Code code) : status_(code) {}  // NOLINT
+
+  [[nodiscard]] bool ok() const { return value_.has_value(); }
+  [[nodiscard]] Code code() const {
+    return ok() ? Code::kOk : status_.code();
+  }
+  [[nodiscard]] const Status& status() const { return status_; }
+
+  [[nodiscard]] const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  [[nodiscard]] T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  [[nodiscard]] T&& value() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  std::optional<T> value_;
+  Status status_;
+};
+
+}  // namespace gemini

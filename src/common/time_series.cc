@@ -1,0 +1,108 @@
+#include "src/common/time_series.h"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace gemini {
+
+namespace {
+size_t BucketFor(Timestamp t, Duration interval) {
+  if (t < 0) return 0;
+  return static_cast<size_t>(t / interval);
+}
+}  // namespace
+
+void CounterSeries::Add(Timestamp t, uint64_t n) {
+  const size_t b = BucketFor(t, interval_);
+  if (b >= buckets_.size()) buckets_.resize(b + 1, 0);
+  buckets_[b] += n;
+}
+
+uint64_t CounterSeries::At(Timestamp t) const {
+  const size_t b = BucketFor(t, interval_);
+  return b < buckets_.size() ? buckets_[b] : 0;
+}
+
+uint64_t CounterSeries::Total() const {
+  uint64_t total = 0;
+  for (uint64_t v : buckets_) total += v;
+  return total;
+}
+
+std::vector<double> RatioSeries::Ratios(double empty_value) const {
+  const auto& n = num_.buckets();
+  const auto& d = den_.buckets();
+  const size_t size = std::max(n.size(), d.size());
+  std::vector<double> out(size, empty_value);
+  for (size_t i = 0; i < size; ++i) {
+    const uint64_t den = i < d.size() ? d[i] : 0;
+    if (den == 0) continue;
+    const uint64_t num = i < n.size() ? n[i] : 0;
+    out[i] = static_cast<double>(num) / static_cast<double>(den);
+  }
+  return out;
+}
+
+double RatioSeries::RatioBetween(size_t from_bucket, size_t to_bucket) const {
+  const auto& n = num_.buckets();
+  const auto& d = den_.buckets();
+  uint64_t num = 0, den = 0;
+  for (size_t i = from_bucket; i < to_bucket; ++i) {
+    if (i < n.size()) num += n[i];
+    if (i < d.size()) den += d[i];
+  }
+  return den == 0 ? 0.0
+                  : static_cast<double>(num) / static_cast<double>(den);
+}
+
+void LatencySeries::Record(Timestamp t, int64_t latency_us) {
+  const size_t b = BucketFor(t, interval_);
+  while (hists_.size() <= b) hists_.emplace_back();
+  hists_[b].Record(latency_us);
+}
+
+std::vector<double> LatencySeries::Percentiles(double q) const {
+  std::vector<double> out;
+  out.reserve(hists_.size());
+  for (const auto& h : hists_) out.push_back(h.Percentile(q));
+  return out;
+}
+
+std::vector<double> LatencySeries::Means() const {
+  std::vector<double> out;
+  out.reserve(hists_.size());
+  for (const auto& h : hists_) out.push_back(h.Mean());
+  return out;
+}
+
+std::string FormatSeriesTable(const std::vector<std::string>& column_names,
+                              const std::vector<std::vector<double>>& columns,
+                              Duration interval) {
+  std::string out;
+  char buf[64];
+  out += "  sec";
+  for (const auto& name : column_names) {
+    std::snprintf(buf, sizeof(buf), " %14s", name.c_str());
+    out += buf;
+  }
+  out += '\n';
+  size_t rows = 0;
+  for (const auto& c : columns) rows = std::max(rows, c.size());
+  for (size_t r = 0; r < rows; ++r) {
+    std::snprintf(buf, sizeof(buf), "%5.0f",
+                  static_cast<double>(r) * ToSeconds(interval));
+    out += buf;
+    for (const auto& c : columns) {
+      if (r < c.size()) {
+        std::snprintf(buf, sizeof(buf), " %14.3f", c[r]);
+      } else {
+        std::snprintf(buf, sizeof(buf), " %14s", "-");
+      }
+      out += buf;
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace gemini

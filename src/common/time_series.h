@@ -1,0 +1,91 @@
+// Per-interval counters for time-series plots.
+//
+// Every timeline figure in the paper (Figures 1, 6, 7, 10) plots a per-second
+// quantity: stale reads/second, cache hit ratio, throughput, p90 latency.
+// TimeSeries buckets raw events by a fixed interval of *virtual* time and
+// exposes the aggregated series for printing.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/common/clock.h"
+#include "src/common/histogram.h"
+
+namespace gemini {
+
+/// Counts events per fixed interval (default: 1 virtual second).
+class CounterSeries {
+ public:
+  explicit CounterSeries(Duration interval = kSecond) : interval_(interval) {}
+
+  void Add(Timestamp t, uint64_t n = 1);
+
+  /// Count in the interval containing `t` so far.
+  [[nodiscard]] uint64_t At(Timestamp t) const;
+
+  /// All intervals from 0 to the last recorded one.
+  [[nodiscard]] const std::vector<uint64_t>& buckets() const {
+    return buckets_;
+  }
+  [[nodiscard]] Duration interval() const { return interval_; }
+  [[nodiscard]] uint64_t Total() const;
+
+ private:
+  Duration interval_;
+  std::vector<uint64_t> buckets_;
+};
+
+/// Ratio of two event streams per interval — e.g. hits / (hits + misses).
+class RatioSeries {
+ public:
+  explicit RatioSeries(Duration interval = kSecond)
+      : num_(interval), den_(interval) {}
+
+  void AddNumerator(Timestamp t, uint64_t n = 1) { num_.Add(t, n); }
+  void AddDenominator(Timestamp t, uint64_t n = 1) { den_.Add(t, n); }
+
+  /// Ratio per interval; intervals with a zero denominator report
+  /// `empty_value` (default 0).
+  [[nodiscard]] std::vector<double> Ratios(double empty_value = 0.0) const;
+
+  /// Ratio over intervals [from_bucket, to_bucket); 0 if empty.
+  [[nodiscard]] double RatioBetween(size_t from_bucket,
+                                    size_t to_bucket) const;
+
+  [[nodiscard]] const CounterSeries& numerator() const { return num_; }
+  [[nodiscard]] const CounterSeries& denominator() const { return den_; }
+
+ private:
+  CounterSeries num_;
+  CounterSeries den_;
+};
+
+/// Per-interval latency distribution (for p90-per-second plots).
+class LatencySeries {
+ public:
+  explicit LatencySeries(Duration interval = kSecond) : interval_(interval) {}
+
+  void Record(Timestamp t, int64_t latency_us);
+
+  [[nodiscard]] std::vector<double> Percentiles(double q) const;
+  [[nodiscard]] std::vector<double> Means() const;
+  [[nodiscard]] size_t NumBuckets() const { return hists_.size(); }
+  [[nodiscard]] const Histogram* Bucket(size_t i) const {
+    return i < hists_.size() ? &hists_[i] : nullptr;
+  }
+
+ private:
+  Duration interval_;
+  std::vector<Histogram> hists_;
+};
+
+/// Renders aligned columns: one row per interval. Used by the figure benches
+/// to print the same series the paper plots.
+std::string FormatSeriesTable(
+    const std::vector<std::string>& column_names,
+    const std::vector<std::vector<double>>& columns,
+    Duration interval = kSecond);
+
+}  // namespace gemini

@@ -1,0 +1,66 @@
+// Core identifier types shared across all Gemini modules.
+//
+// The paper (Section 2, Table 1) defines the vocabulary used throughout this
+// code base: an *instance* is a process storing cache entries persistently, a
+// *fragment* is a subset of cache entries assigned to an instance, and a
+// *configuration* is an assignment of fragments to instances identified by a
+// monotonically increasing id.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <string>
+
+namespace gemini {
+
+/// Identifies a cache instance. Instances are numbered densely from 0 within
+/// a cluster; the paper's "Instance-M:L" (server M, local index L) flattens to
+/// a single integer here because servers are not a protocol-visible concept.
+using InstanceId = uint32_t;
+
+/// Identifies a fragment, i.e. a cell of the configuration (Figure 3).
+using FragmentId = uint32_t;
+
+/// A monotonically increasing configuration id published by the coordinator
+/// (Table 1). Also stamped on every cache entry at insert time; the Rejig
+/// validity rule compares an entry's id with its fragment's id.
+using ConfigId = uint64_t;
+
+/// Version number of a key in the backing data store. Incremented on every
+/// acknowledged write; used by the consistency checker to detect stale reads.
+using Version = uint64_t;
+
+/// Lease token handed out by a cache instance for I, Q, and Red leases.
+/// Token 0 is reserved to mean "no lease".
+using LeaseToken = uint64_t;
+
+inline constexpr LeaseToken kNoLease = 0;
+
+inline constexpr InstanceId kInvalidInstance =
+    std::numeric_limits<InstanceId>::max();
+
+inline constexpr FragmentId kInvalidFragment =
+    std::numeric_limits<FragmentId>::max();
+
+/// Reserved key prefix for Gemini-internal cache entries (dirty lists and the
+/// published configuration). Application keys must not start with this.
+inline constexpr char kInternalKeyPrefix[] = "__gemini__";
+
+/// Key under which a fragment's dirty list is stored in the instance hosting
+/// its secondary replica (Section 3.1: "The dirty list is represented as a
+/// cache entry").
+std::string DirtyListKey(FragmentId fragment);
+
+/// Key under which the coordinator inserts the latest configuration as a
+/// cache entry in impacted instances (Section 2.1).
+std::string ConfigKey();
+
+inline std::string DirtyListKey(FragmentId fragment) {
+  return std::string(kInternalKeyPrefix) + "/dirty/" + std::to_string(fragment);
+}
+
+inline std::string ConfigKey() {
+  return std::string(kInternalKeyPrefix) + "/config";
+}
+
+}  // namespace gemini

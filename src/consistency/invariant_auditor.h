@@ -1,0 +1,67 @@
+// InvariantAuditor: structural whole-cluster invariants.
+//
+// Complements the StaleReadChecker (which audits the *data* plane) by
+// auditing the *control* plane: after any sequence of failures, recoveries,
+// and coordinator transitions, the assignment state must satisfy the
+// invariants below, or the protocol's consistency argument no longer holds.
+//
+//   I1  Every fragment's mode/replica combination is well-formed: normal
+//       fragments have no secondary; transient fragments have a live
+//       secondary distinct from the primary.
+//   I2  Replica exclusivity: an instance holds a fragment lease only if the
+//       current configuration names it a serving replica of that fragment
+//       (stragglers must have been revoked).
+//   I3  Dirty-list placement: under a dirty-list-maintaining policy, every
+//       transient fragment has its (marker-valid) dirty list in its
+//       secondary — otherwise recovery would silently produce stale data.
+//   I4  Rejig monotonicity: every fragment's config id is at most the
+//       published configuration's id.
+//   I5  Entry validity scope: no *servable* entry of a sampled key set
+//       predates its fragment's minimum-valid id (the instance-side check
+//       enforces this lazily; the auditor verifies the lazy path cannot
+//       leak).
+//
+// The auditor reads through the same public interfaces a debugging operator
+// would; it never mutates state (sampled gets use raw introspection, not the
+// serving path).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "src/cache/cache_instance.h"
+#include "src/coordinator/configuration.h"
+
+namespace gemini {
+
+struct InvariantViolation {
+  std::string invariant;  // "I1".."I5"
+  std::string detail;
+};
+
+class InvariantAuditor {
+ public:
+  /// `maintain_dirty_lists` gates I3 (baselines legitimately have none).
+  InvariantAuditor(std::vector<CacheInstance*> instances,
+                   bool maintain_dirty_lists)
+      : instances_(std::move(instances)),
+        maintain_dirty_lists_(maintain_dirty_lists) {}
+
+  /// Audits `config` against the instances. `sample_keys` feeds I5 (pass the
+  /// key universe or a sample of it; empty skips I5).
+  std::vector<InvariantViolation> Audit(
+      const Configuration& config,
+      const std::vector<std::string>& sample_keys = {}) const;
+
+  /// Convenience: true iff Audit() returns nothing.
+  bool Clean(const Configuration& config,
+             const std::vector<std::string>& sample_keys = {}) const {
+    return Audit(config, sample_keys).empty();
+  }
+
+ private:
+  std::vector<CacheInstance*> instances_;
+  bool maintain_dirty_lists_;
+};
+
+}  // namespace gemini

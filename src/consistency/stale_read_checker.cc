@@ -1,0 +1,14 @@
+#include "src/consistency/stale_read_checker.h"
+
+namespace gemini {
+
+bool StaleReadChecker::OnRead(Timestamp t, std::string_view key,
+                              Version observed) {
+  reads_.Add(t);
+  const Version current = store_->VersionOf(key);
+  const bool stale = observed < current;
+  if (stale) stale_.Add(t);
+  return stale;
+}
+
+}  // namespace gemini

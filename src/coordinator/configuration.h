@@ -1,0 +1,86 @@
+// Configuration: the coordinator-published assignment of fragments to
+// instances (Table 1, Figure 3).
+//
+// A configuration is an immutable snapshot identified by a monotonically
+// increasing id. Each cell (fragment) records its primary replica, its
+// secondary replica (while one exists), its mode in the fragment lifecycle
+// (Figure 4), and the id of the configuration that last changed its
+// assignment — the Rejig minimum-valid id against which instance-resident
+// entries are validated.
+//
+// Clients route a key with hash(key) % F (Section 4) and cache the snapshot;
+// instances store a serialized copy as a cache entry so that a freshly
+// restarted client can bootstrap without contacting the coordinator.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/common/hash.h"
+#include "src/common/types.h"
+
+namespace gemini {
+
+/// Fragment lifecycle (Figure 4).
+enum class FragmentMode : uint8_t {
+  kNormal = 0,     // requests go to the primary replica
+  kTransient = 1,  // primary down; secondary serves and keeps a dirty list
+  kRecovery = 2,   // primary back; both replicas serve while dirty keys drain
+};
+
+std::string_view FragmentModeName(FragmentMode mode);
+
+struct FragmentAssignment {
+  InstanceId primary = kInvalidInstance;
+  InstanceId secondary = kInvalidInstance;
+  /// Minimum-valid configuration id for this fragment's entries (Rejig).
+  ConfigId config_id = 0;
+  FragmentMode mode = FragmentMode::kNormal;
+  /// Bumped on every lifecycle transition of the fragment. Client-side
+  /// caches derived from a fragment's state (its fetched dirty list) are
+  /// valid only within one epoch: a client that never observed an
+  /// intermediate transient window would otherwise keep a dirty list from
+  /// an older recovery episode and miss newly dirtied keys.
+  uint32_t epoch = 0;
+
+  friend bool operator==(const FragmentAssignment&,
+                         const FragmentAssignment&) = default;
+};
+
+class Configuration {
+ public:
+  Configuration() = default;
+  Configuration(ConfigId id, std::vector<FragmentAssignment> fragments)
+      : id_(id), fragments_(std::move(fragments)) {}
+
+  [[nodiscard]] ConfigId id() const { return id_; }
+  [[nodiscard]] size_t num_fragments() const { return fragments_.size(); }
+  [[nodiscard]] const FragmentAssignment& fragment(FragmentId f) const {
+    return fragments_.at(f);
+  }
+  [[nodiscard]] const std::vector<FragmentAssignment>& fragments() const {
+    return fragments_;
+  }
+
+  /// Deterministic key -> fragment mapping: hash(key) % F (Section 4).
+  [[nodiscard]] FragmentId FragmentOf(std::string_view key) const {
+    return static_cast<FragmentId>(Fnv1a64(key) % fragments_.size());
+  }
+
+  /// Wire format for storing the configuration as a cache entry.
+  [[nodiscard]] std::string Serialize() const;
+  static std::optional<Configuration> Deserialize(std::string_view data);
+
+  friend bool operator==(const Configuration&, const Configuration&) = default;
+
+ private:
+  ConfigId id_ = 0;
+  std::vector<FragmentAssignment> fragments_;
+};
+
+using ConfigurationPtr = std::shared_ptr<const Configuration>;
+
+}  // namespace gemini

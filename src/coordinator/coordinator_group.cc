@@ -1,0 +1,145 @@
+#include "src/coordinator/coordinator_group.h"
+
+namespace gemini {
+
+CoordinatorGroup::CoordinatorGroup(const Clock* clock,
+                                   std::vector<CacheInstance*> instances,
+                                   size_t num_fragments, size_t num_shadows,
+                                   Coordinator::Options options)
+    : clock_(clock), instances_(std::move(instances)), options_(options) {
+  std::lock_guard<std::mutex> lock(mu_);
+  master_ = std::make_unique<Coordinator>(clock_, instances_, num_fragments,
+                                          options_);
+  shadows_.resize(num_shadows);
+  ReplicateLocked();
+}
+
+void CoordinatorGroup::ReplicateLocked() {
+  if (master_ == nullptr || shadows_.empty()) return;
+  const CoordinatorState state = master_->ExportState();
+  for (auto& shadow : shadows_) shadow = state;
+}
+
+ConfigurationPtr CoordinatorGroup::GetConfiguration() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return master_ == nullptr ? nullptr : master_->GetConfiguration();
+}
+
+ConfigId CoordinatorGroup::latest_id() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return master_ == nullptr ? 0 : master_->latest_id();
+}
+
+void CoordinatorGroup::OnDirtyListProcessed(FragmentId fragment) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (master_ == nullptr) return;
+  master_->OnDirtyListProcessed(fragment);
+  ReplicateLocked();
+}
+
+void CoordinatorGroup::OnWorkingSetTransferTerminated(FragmentId fragment) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (master_ == nullptr) return;
+  master_->OnWorkingSetTransferTerminated(fragment);
+  ReplicateLocked();
+}
+
+void CoordinatorGroup::OnDirtyListUnavailable(FragmentId fragment) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (master_ == nullptr) return;
+  master_->OnDirtyListUnavailable(fragment);
+  ReplicateLocked();
+}
+
+bool CoordinatorGroup::DirtyProcessed(FragmentId fragment) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return master_ != nullptr && master_->DirtyProcessed(fragment);
+}
+
+void CoordinatorGroup::OnInstanceFailed(InstanceId failed) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (master_ == nullptr) return;
+  master_->OnInstanceFailed(failed);
+  ReplicateLocked();
+}
+
+void CoordinatorGroup::OnInstancesFailed(
+    const std::vector<InstanceId>& failed) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (master_ == nullptr) return;
+  master_->OnInstancesFailed(failed);
+  ReplicateLocked();
+}
+
+void CoordinatorGroup::OnInstanceRecovered(InstanceId recovered) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (master_ == nullptr) return;
+  master_->OnInstanceRecovered(recovered);
+  ReplicateLocked();
+}
+
+void CoordinatorGroup::RenewLeases() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (master_ != nullptr) master_->RenewLeases();
+}
+
+FragmentMode CoordinatorGroup::ModeOf(FragmentId fragment) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return master_ == nullptr ? FragmentMode::kNormal
+                            : master_->ModeOf(fragment);
+}
+
+std::vector<FragmentId> CoordinatorGroup::FragmentsWithPrimary(
+    InstanceId instance) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return master_ == nullptr ? std::vector<FragmentId>{}
+                            : master_->FragmentsWithPrimary(instance);
+}
+
+std::vector<FragmentId> CoordinatorGroup::FragmentsInMode(
+    FragmentMode mode) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return master_ == nullptr ? std::vector<FragmentId>{}
+                            : master_->FragmentsInMode(mode);
+}
+
+uint64_t CoordinatorGroup::discarded_fragment_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return master_ == nullptr ? 0 : master_->discarded_fragment_count();
+}
+
+void CoordinatorGroup::FailMaster() {
+  std::lock_guard<std::mutex> lock(mu_);
+  master_.reset();
+}
+
+bool CoordinatorGroup::PromoteShadow() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (master_ != nullptr || shadows_.empty()) return false;
+  CoordinatorState state = std::move(shadows_.back());
+  shadows_.pop_back();
+  // A promoted shadow adopts the replicated state and re-publishes; the
+  // paper notes this mirrors RAMCloud's coordinator failover.
+  master_ = std::make_unique<Coordinator>(
+      clock_, instances_, state.fragments.size(), options_);
+  master_->ImportState(state);
+  ReplicateLocked();
+  return true;
+}
+
+bool CoordinatorGroup::master_available() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return master_ != nullptr;
+}
+
+size_t CoordinatorGroup::shadows_remaining() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return shadows_.size();
+}
+
+Coordinator* CoordinatorGroup::master() {
+  std::lock_guard<std::mutex> lock(mu_);
+  return master_.get();
+}
+
+}  // namespace gemini

@@ -1,0 +1,94 @@
+// CoordinatorGroup: master + shadow coordinators (Section 2.1).
+//
+// The paper's design places one master coordinator and one or more shadows
+// behind ZooKeeper; when the master fails, a shadow is promoted "similarly
+// to RAMCloud". The paper's own prototype omitted this; we implement the
+// in-process equivalent:
+//
+//  - every mutating call on the master is followed by synchronous state
+//    replication to all shadows (the ZooKeeper write);
+//  - FailMaster() kills the master; while no master is up, client-facing
+//    calls return nullptr/no-op, which the client library already treats as
+//    "read through the data store, suspend writes";
+//  - PromoteShadow() installs the replicated state into a standby
+//    Coordinator, which re-publishes the configuration and re-grants
+//    fragment leases so instances accept the new master.
+//
+// The group exposes the full Coordinator API (clients and recovery workers
+// take a CoordinatorService*; the failure-detector path takes the group
+// directly), so a deployment is one `CoordinatorGroup` instead of one
+// `Coordinator`.
+#pragma once
+
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "src/coordinator/coordinator.h"
+
+namespace gemini {
+
+class CoordinatorGroup : public CoordinatorService {
+ public:
+  CoordinatorGroup(const Clock* clock, std::vector<CacheInstance*> instances,
+                   size_t num_fragments, size_t num_shadows,
+                   Coordinator::Options options = {});
+
+  // ---- CoordinatorService (client/worker-facing, master-routed) -------------
+
+  [[nodiscard]] ConfigurationPtr GetConfiguration() const override;
+  [[nodiscard]] ConfigId latest_id() const override;
+  void OnDirtyListProcessed(FragmentId fragment) override;
+  void OnWorkingSetTransferTerminated(FragmentId fragment) override;
+  void OnDirtyListUnavailable(FragmentId fragment) override;
+  [[nodiscard]] bool DirtyProcessed(FragmentId fragment) const override;
+
+  // ---- Failure-detector-facing ----------------------------------------------
+
+  void OnInstanceFailed(InstanceId failed);
+  void OnInstancesFailed(const std::vector<InstanceId>& failed);
+  void OnInstanceRecovered(InstanceId recovered);
+
+  /// Periodic lease renewal; a no-op while no master is up, so fragment
+  /// leases lapse and instances stop serving (fail-safe).
+  void RenewLeases();
+
+  // ---- Introspection (master-routed; safe defaults while down) --------------
+
+  [[nodiscard]] FragmentMode ModeOf(FragmentId fragment) const;
+  [[nodiscard]] std::vector<FragmentId> FragmentsWithPrimary(
+      InstanceId instance) const;
+  [[nodiscard]] std::vector<FragmentId> FragmentsInMode(
+      FragmentMode mode) const;
+  [[nodiscard]] uint64_t discarded_fragment_count() const;
+
+  // ---- Group management -------------------------------------------------------
+
+  /// Kills the current master. Until a shadow is promoted, the group is
+  /// unavailable (GetConfiguration returns nullptr).
+  void FailMaster();
+
+  /// Promotes a shadow using the replicated state; no-op if a master is up
+  /// or no shadow remains. Returns true if a promotion happened.
+  bool PromoteShadow();
+
+  [[nodiscard]] bool master_available() const;
+  [[nodiscard]] size_t shadows_remaining() const;
+  /// Direct access for tests / the failure injector (null while down).
+  Coordinator* master();
+
+ private:
+  // Replicates the master's state to every shadow (requires mu_).
+  void ReplicateLocked();
+
+  const Clock* clock_;
+  std::vector<CacheInstance*> instances_;
+  Coordinator::Options options_;
+
+  mutable std::mutex mu_;
+  std::unique_ptr<Coordinator> master_;
+  /// Replicated state per standby slot; a promotion consumes one slot.
+  std::vector<CoordinatorState> shadows_;
+};
+
+}  // namespace gemini

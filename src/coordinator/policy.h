@@ -1,0 +1,77 @@
+// Recovery policy: which system of the paper's evaluation a cluster runs.
+//
+// The evaluation compares Gemini's four variants (Figure 5) against two
+// baselines (Section 5):
+//
+//   VolatileCache — discard the content of an instance after recovery
+//                   (a volatile cache: the lower bound on recovery speed).
+//   StaleCache    — reuse the content verbatim, without recovering the state
+//                   of entries written during the failure (fast but serves
+//                   stale reads — Figure 1).
+//   Gemini-I      — consistent recovery; dirty keys invalidated.
+//   Gemini-O      — consistent recovery; dirty keys overwritten with the
+//                   latest value from the secondary replica.
+//   Gemini-I+W / Gemini-O+W — the same plus working set transfer.
+//
+// All six are expressed as flag combinations consumed by the coordinator
+// (dirty-list maintenance, recovery handling), the client (working set
+// transfer), and the recovery workers (invalidate vs overwrite).
+#pragma once
+
+#include <string>
+
+namespace gemini {
+
+struct RecoveryPolicy {
+  /// Cache media survive a power failure. When false, content is wiped on
+  /// recovery (VolatileCache).
+  bool persistent = true;
+  /// Maintain per-fragment dirty lists in secondary replicas during failure.
+  bool maintain_dirty_lists = true;
+  /// Run the Gemini recovery protocol (recovery mode, dirty-key processing).
+  /// When false with persistent=true, recovered content is served verbatim
+  /// (StaleCache).
+  bool consistent_recovery = true;
+  /// Recovery workers overwrite dirty keys from the secondary (Gemini-O)
+  /// instead of invalidating them (Gemini-I).
+  bool overwrite_dirty = true;
+  /// Transfer the working set from the secondary to the recovering primary.
+  bool working_set_transfer = true;
+
+  static RecoveryPolicy VolatileCache() {
+    return {/*persistent=*/false, /*maintain_dirty_lists=*/false,
+            /*consistent_recovery=*/false, /*overwrite_dirty=*/false,
+            /*working_set_transfer=*/false};
+  }
+  static RecoveryPolicy StaleCache() {
+    return {/*persistent=*/true, /*maintain_dirty_lists=*/false,
+            /*consistent_recovery=*/false, /*overwrite_dirty=*/false,
+            /*working_set_transfer=*/false};
+  }
+  static RecoveryPolicy GeminiI() {
+    return {true, true, true, /*overwrite_dirty=*/false,
+            /*working_set_transfer=*/false};
+  }
+  static RecoveryPolicy GeminiO() {
+    return {true, true, true, /*overwrite_dirty=*/true,
+            /*working_set_transfer=*/false};
+  }
+  static RecoveryPolicy GeminiIW() {
+    return {true, true, true, /*overwrite_dirty=*/false,
+            /*working_set_transfer=*/true};
+  }
+  static RecoveryPolicy GeminiOW() {
+    return {true, true, true, /*overwrite_dirty=*/true,
+            /*working_set_transfer=*/true};
+  }
+
+  [[nodiscard]] std::string Name() const {
+    if (!persistent) return "VolatileCache";
+    if (!consistent_recovery) return "StaleCache";
+    std::string name = overwrite_dirty ? "Gemini-O" : "Gemini-I";
+    if (working_set_transfer) name += "+W";
+    return name;
+  }
+};
+
+}  // namespace gemini

@@ -1,0 +1,187 @@
+#include "src/recovery/recovery_worker.h"
+
+#include <cassert>
+
+#include "src/common/logging.h"
+
+namespace gemini {
+
+RecoveryWorker::RecoveryWorker(const Clock* clock,
+                               CoordinatorService* coordinator,
+                               std::vector<CacheInstance*> instances,
+                               Options options)
+    : clock_(clock),
+      coordinator_(coordinator),
+      instances_(std::move(instances)),
+      options_(options) {
+  assert(coordinator_ != nullptr);
+}
+
+std::optional<FragmentId> RecoveryWorker::TryAdoptFragment(Session& session) {
+  if (task_.has_value()) return task_->fragment;
+  session.BillCoordinatorOp();
+  ConfigurationPtr cfg = coordinator_->GetConfiguration();
+  if (cfg == nullptr) return std::nullopt;
+  const size_t n = cfg->num_fragments();
+  // Rotate the scan start so concurrent workers spread across fragments
+  // instead of all hammering the same Redlease.
+  for (size_t step = 0; step < n; ++step) {
+    const auto f = static_cast<FragmentId>((scan_cursor_ + step) % n);
+    const FragmentAssignment& a = cfg->fragment(f);
+    if (a.mode != FragmentMode::kRecovery) continue;
+    if (a.secondary == kInvalidInstance || a.primary == kInvalidInstance) {
+      continue;  // Nothing to fetch the dirty list from.
+    }
+    if (coordinator_->DirtyProcessed(f)) {
+      continue;  // Drained already; waiting on the working set transfer.
+    }
+    CacheInstance& sr = *instances_.at(a.secondary);
+    const std::string list_key = DirtyListKey(f);
+
+    session.BillCacheOp(a.secondary);
+    auto red = sr.AcquireRed(list_key);
+    if (!red.ok()) {
+      if (red.code() == Code::kBackoff) ++stats_.redlease_conflicts;
+      continue;  // Another worker owns this fragment (Section 2.3).
+    }
+
+    // Workers are trusted infrastructure (like the coordinator): they are
+    // exempt from the client-config staleness check, which would otherwise
+    // reject them spuriously while a burst of recovery publishes is in
+    // flight. Fragment-scoped entry validation still applies to their data
+    // ops, and the Redlease plus per-op fragment leases guard misrouting.
+    session.BillCacheOp(a.secondary);
+    const OpContext ctx{kInternalConfigId, kInvalidFragment};
+    auto payload = sr.Get(ctx, list_key);
+    std::optional<DirtyList> parsed;
+    if (payload.ok()) parsed = DirtyList::Parse(payload->data);
+    if (!parsed.has_value()) {
+      (void)sr.ReleaseRed(list_key, *red);
+      if (payload.ok() || payload.code() == Code::kNotFound) {
+        // Missing or partial (evicted): the primary is unrecoverable.
+        session.BillCoordinatorOp();
+        coordinator_->OnDirtyListUnavailable(f);
+      }
+      // Transient errors (instance just failed): leave the fragment alone;
+      // the coordinator's failure handling owns it.
+      continue;
+    }
+
+    Task task;
+    task.fragment = f;
+    task.primary = a.primary;
+    task.secondary = a.secondary;
+    task.config_id = kInternalConfigId;
+    task.red_token = *red;
+    task.list = std::move(*parsed);
+    task_ = std::move(task);
+    scan_cursor_ = f + 1;
+    return f;
+  }
+  return std::nullopt;
+}
+
+void RecoveryWorker::FinishTask(Session& session) {
+  Task& t = *task_;
+  const std::string list_key = DirtyListKey(t.fragment);
+  CacheInstance& sr = *instances_.at(t.secondary);
+  // Algorithm 3 line 22 deletes the drained dirty list; we instead reset it
+  // to the empty (marker-only) payload. If the working set transfer is
+  // still running, the fragment stays in recovery mode and clients keep
+  // consulting the list — deleting it outright would be indistinguishable
+  // from an eviction and would make them discard the freshly recovered
+  // primary. The coordinator deletes the entry when the fragment returns to
+  // normal mode (Figure 4 transition (3)).
+  session.BillCacheOp(t.secondary);
+  const OpContext ctx{t.config_id, kInvalidFragment};
+  (void)sr.Set(ctx, list_key, CacheValue::OfData(DirtyList::InitialPayload()));
+  (void)sr.ReleaseRed(list_key, t.red_token);
+  session.BillCoordinatorOp();
+  coordinator_->OnDirtyListProcessed(t.fragment);
+  ++stats_.fragments_recovered;
+  task_.reset();
+}
+
+void RecoveryWorker::AbandonTask(Session& session, bool release_red) {
+  Task& t = *task_;
+  if (release_red && t.secondary < instances_.size()) {
+    (void)instances_[t.secondary]->ReleaseRed(DirtyListKey(t.fragment),
+                                              t.red_token);
+    session.BillCacheOp(t.secondary);
+  }
+  ++stats_.fragments_abandoned;
+  task_.reset();
+}
+
+bool RecoveryWorker::Step(Session& session) {
+  if (!task_.has_value()) return true;
+  Task& t = *task_;
+  CacheInstance& pr = *instances_.at(t.primary);
+  const OpContext ctx{t.config_id, t.fragment};
+
+  // Keep exclusive ownership for the duration of this batch. Losing the
+  // Redlease means another worker may already be replaying this fragment;
+  // back out (replay is idempotent either way, Section 3.3).
+  session.BillCacheOp(t.secondary);
+  if (!instances_.at(t.secondary)->RenewRed(DirtyListKey(t.fragment),
+                                            t.red_token).ok()) {
+    AbandonTask(session, /*release_red=*/false);
+    return true;
+  }
+
+  const std::vector<std::string>& keys = t.list.keys();
+  size_t processed = 0;
+  while (t.next_key < keys.size() && processed < options_.keys_per_step) {
+    const std::string& key = keys[t.next_key];
+    // A client may have handled this key already (its writes delete dirty
+    // keys); replaying it anyway is idempotent, so no coordination needed.
+    if (options_.overwrite_dirty) {
+      // Algorithm 3 lines 10-17.
+      session.BillCacheOp(t.primary);
+      auto iset = pr.ISet(ctx, key);
+      if (!iset.ok()) {
+        if (iset.code() == Code::kBackoff) {
+          // A client session holds a lease on this key — it is taking care
+          // of it (Algorithm 1 also deletes + refills dirty keys). Retry the
+          // key on the next step.
+          session.BillBackoff(options_.backoff);
+          return false;
+        }
+        // kUnavailable (primary failed again, transition (5)) or a config
+        // change: abandon; the coordinator has re-arranged the fragment.
+        AbandonTask(session, /*release_red=*/true);
+        return true;
+      }
+      session.BillCacheOp(t.secondary);
+      auto v = instances_.at(t.secondary)->Get(ctx, key);
+      if (v.ok()) {
+        session.BillCacheOp(t.primary);
+        (void)pr.IqSet(ctx, key, *v, *iset);
+        ++stats_.keys_overwritten;
+      } else {
+        session.BillCacheOp(t.primary);
+        (void)pr.IDelete(ctx, key, *iset);
+        ++stats_.keys_deleted;
+      }
+    } else {
+      // Algorithm 3 line 20 (Gemini-I): just delete the dirty key.
+      session.BillCacheOp(t.primary);
+      Status s = pr.Delete(ctx, key);
+      if (!s.ok() && s.code() != Code::kNotFound) {
+        AbandonTask(session, /*release_red=*/true);
+        return true;
+      }
+      ++stats_.keys_deleted;
+    }
+    ++t.next_key;
+    ++processed;
+  }
+
+  if (t.next_key >= keys.size()) {
+    FinishTask(session);
+    return true;
+  }
+  return false;
+}
+
+}  // namespace gemini

@@ -1,0 +1,107 @@
+// RecoveryWorker: stateless workers that drain dirty lists (Section 3.2.3,
+// Algorithm 3).
+//
+// A worker adopts one fragment in recovery mode at a time by acquiring the
+// Redlease on its dirty list in the secondary replica — this is the mutual
+// exclusion that keeps one worker per fragment. It then either
+//
+//   - overwrites each dirty key in the primary replica with the latest value
+//     from the secondary (Gemini-O): ISet (delete + I lease) in the primary,
+//     Get in the secondary, IqSet or IDelete in the primary; or
+//   - deletes each dirty key from the primary (Gemini-I) — appropriate when
+//     the working set evolved and the transferred values would be dead
+//     weight (Section 3.2.3).
+//
+// Both are idempotent, so a worker crash mid-fragment is harmless: when its
+// Redlease expires, another worker redoes the fragment (Section 3.3).
+//
+// Processing is incremental (Step() handles a bounded batch of keys) so the
+// discrete-event harness can interleave worker progress with foreground
+// load; a worker renews its Redlease on every step.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/cache/cache_instance.h"
+#include "src/cache/dirty_list.h"
+#include "src/common/clock.h"
+#include "src/common/status.h"
+#include "src/common/types.h"
+#include "src/coordinator/coordinator_service.h"
+#include "src/net/cost_model.h"
+
+namespace gemini {
+
+class RecoveryWorker {
+ public:
+  struct Options {
+    /// Overwrite dirty keys from the secondary (Gemini-O) instead of
+    /// deleting them (Gemini-I).
+    bool overwrite_dirty = true;
+    /// Keys processed per Step() call (harness interleaving granularity).
+    size_t keys_per_step = 64;
+    Duration backoff = Millis(1);
+  };
+
+  RecoveryWorker(const Clock* clock, CoordinatorService* coordinator,
+                 std::vector<CacheInstance*> instances)
+      : RecoveryWorker(clock, coordinator, std::move(instances), Options()) {}
+  RecoveryWorker(const Clock* clock, CoordinatorService* coordinator,
+                 std::vector<CacheInstance*> instances, Options options);
+
+  /// Scans the latest configuration for fragments in recovery mode and
+  /// adopts the first whose Redlease it can win. Returns the adopted
+  /// fragment, or nullopt if there is nothing to adopt.
+  std::optional<FragmentId> TryAdoptFragment(Session& session);
+
+  /// Processes up to keys_per_step dirty keys of the adopted fragment.
+  /// Returns true when the fragment is finished (dirty list deleted,
+  /// Redlease released, coordinator notified) or abandoned; the worker is
+  /// then free to adopt another fragment.
+  bool Step(Session& session);
+
+  [[nodiscard]] bool has_work() const { return task_.has_value(); }
+  [[nodiscard]] std::optional<FragmentId> current_fragment() const {
+    return task_.has_value() ? std::optional<FragmentId>(task_->fragment)
+                             : std::nullopt;
+  }
+
+  struct Stats {
+    uint64_t fragments_recovered = 0;
+    uint64_t fragments_abandoned = 0;
+    uint64_t keys_overwritten = 0;
+    uint64_t keys_deleted = 0;
+    uint64_t redlease_conflicts = 0;
+  };
+  [[nodiscard]] const Stats& stats() const { return stats_; }
+
+ private:
+  struct Task {
+    FragmentId fragment = kInvalidFragment;
+    InstanceId primary = kInvalidInstance;
+    InstanceId secondary = kInvalidInstance;
+    /// Workers operate with the internal config id (infrastructure role);
+    /// fragment leases and Rejig entry validation still apply to their ops.
+    ConfigId config_id = kInternalConfigId;
+    LeaseToken red_token = kNoLease;
+    DirtyList list;
+    size_t next_key = 0;
+  };
+
+  // Finishes the fragment: delete the dirty list, release the Redlease,
+  // notify the coordinator (Algorithm 3 line 22).
+  void FinishTask(Session& session);
+  void AbandonTask(Session& session, bool release_red);
+
+  const Clock* clock_;
+  CoordinatorService* coordinator_;
+  std::vector<CacheInstance*> instances_;
+  Options options_;
+  std::optional<Task> task_;
+  size_t scan_cursor_ = 0;
+  Stats stats_;
+};
+
+}  // namespace gemini

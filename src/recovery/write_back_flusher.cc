@@ -1,0 +1,34 @@
+#include "src/recovery/write_back_flusher.h"
+
+namespace gemini {
+
+WriteBackFlusher::WriteBackFlusher(const Clock* clock,
+                                   std::vector<CacheInstance*> instances,
+                                   DataStore* store, Options options)
+    : clock_(clock),
+      instances_(std::move(instances)),
+      store_(store),
+      options_(options) {}
+
+size_t WriteBackFlusher::FlushOnce(Session& session) {
+  size_t committed = 0;
+  for (auto* instance : instances_) {
+    if (!instance->available()) continue;
+    auto batch = instance->TakePendingFlushes(options_.batch);
+    for (auto& pending : batch) {
+      session.BillStoreUpdate();
+      store_->CommitReserved(
+          pending.key, pending.value.version,
+          pending.value.data.empty()
+              ? std::nullopt
+              : std::optional<std::string>(std::move(pending.value.data)));
+      session.BillCacheOp(instance->id());
+      instance->Unpin(pending.key, pending.value.version);
+      ++committed;
+      ++stats_.flushed;
+    }
+  }
+  return committed;
+}
+
+}  // namespace gemini

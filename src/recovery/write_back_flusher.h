@@ -1,0 +1,54 @@
+// WriteBackFlusher: applies buffered write-back writes to the data store
+// (extension; Section 2 lists write-back as a write policy the paper does
+// not evaluate).
+//
+// A write-back write reserves a version at the store, installs the value in
+// the (persistent, pinned) cache entry, and acknowledges. The flusher
+// drains each instance's pending-flush queue: it commits the reserved
+// version to the store and releases the entry's pin, making it evictable
+// again. Commits are idempotent and ordered by version at the store, so a
+// flusher crash, a duplicate flush after an instance recovery (the queue is
+// rebuilt from pinned entries), or out-of-order flushes across flushers are
+// all safe.
+#pragma once
+
+#include <vector>
+
+#include "src/cache/cache_instance.h"
+#include "src/common/clock.h"
+#include "src/net/cost_model.h"
+#include "src/store/data_store.h"
+
+namespace gemini {
+
+class WriteBackFlusher {
+ public:
+  struct Options {
+    /// Buffered writes flushed per instance per FlushOnce call.
+    size_t batch = 64;
+  };
+
+  WriteBackFlusher(const Clock* clock, std::vector<CacheInstance*> instances,
+                   DataStore* store)
+      : WriteBackFlusher(clock, std::move(instances), store, Options()) {}
+  WriteBackFlusher(const Clock* clock, std::vector<CacheInstance*> instances,
+                   DataStore* store, Options options);
+
+  /// Drains up to `batch` buffered writes from every reachable instance.
+  /// Returns the number of writes committed.
+  size_t FlushOnce(Session& session);
+
+  struct Stats {
+    uint64_t flushed = 0;
+  };
+  [[nodiscard]] const Stats& stats() const { return stats_; }
+
+ private:
+  const Clock* clock_;
+  std::vector<CacheInstance*> instances_;
+  DataStore* store_;
+  Options options_;
+  Stats stats_;
+};
+
+}  // namespace gemini

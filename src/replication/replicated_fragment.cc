@@ -1,0 +1,96 @@
+#include "src/replication/replicated_fragment.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace gemini {
+
+ReplicatedFragment::ReplicatedFragment(FragmentId fragment, ConfigId config_id,
+                                       std::vector<CacheInstance*> replicas,
+                                       ReplicationScheme scheme)
+    : fragment_(fragment),
+      ctx_{config_id, fragment},
+      replicas_(std::move(replicas)),
+      scheme_(scheme) {
+  assert(!replicas_.empty());
+}
+
+Result<CacheValue> ReplicatedFragment::Get(Session& session,
+                                           std::string_view key) {
+  ++stats_.reads;
+  session.BillCacheOp(replicas_[0]->id());
+  auto v = replicas_[0]->Get(ctx_, key);
+  if (scheme_ == ReplicationScheme::kRequestForwarding) {
+    // Replay the reference on every slave so its LRU state tracks the
+    // master's (hits touch; misses are no-ops on both sides).
+    for (size_t r = 1; r < replicas_.size(); ++r) {
+      session.BillCacheOp(replicas_[r]->id());
+      (void)replicas_[r]->Get(ctx_, key);
+      ++stats_.replication_messages;
+    }
+  }
+  if (v.ok()) ++stats_.read_hits;
+  return v;
+}
+
+Status ReplicatedFragment::Insert(Session& session, std::string_view key,
+                                  CacheValue value) {
+  ++stats_.inserts;
+  session.BillCacheOp(replicas_[0]->id());
+  Status s = replicas_[0]->Set(ctx_, key, value);
+  if (!s.ok()) return s;
+  tracked_keys_.emplace_back(key);
+  for (size_t r = 1; r < replicas_.size(); ++r) {
+    session.BillCacheOp(replicas_[r]->id());
+    (void)replicas_[r]->Set(ctx_, key, value);
+    ++stats_.replication_messages;
+  }
+  if (scheme_ == ReplicationScheme::kEvictionBroadcast) {
+    SyncEvictionsLocked(session);
+  }
+  return Status::Ok();
+}
+
+Status ReplicatedFragment::Delete(Session& session, std::string_view key) {
+  ++stats_.deletes;
+  for (size_t r = 0; r < replicas_.size(); ++r) {
+    session.BillCacheOp(replicas_[r]->id());
+    (void)replicas_[r]->Delete(ctx_, key);
+    if (r > 0) ++stats_.replication_messages;
+  }
+  return Status::Ok();
+}
+
+void ReplicatedFragment::SyncEvictionsLocked(Session& session) {
+  // Prototype eviction broadcast: detect keys the master evicted since the
+  // last sync by probing the tracked key set, and delete them from the
+  // slaves. A production design would hook the master's eviction callback;
+  // the *message count* — what the ablation measures — is identical.
+  std::vector<std::string> survivors;
+  survivors.reserve(tracked_keys_.size());
+  for (auto& key : tracked_keys_) {
+    if (replicas_[0]->ContainsRaw(key)) {
+      survivors.push_back(std::move(key));
+      continue;
+    }
+    for (size_t r = 1; r < replicas_.size(); ++r) {
+      session.BillCacheOp(replicas_[r]->id());
+      (void)replicas_[r]->Delete(ctx_, key);
+      ++stats_.replication_messages;
+    }
+  }
+  tracked_keys_ = std::move(survivors);
+}
+
+bool ReplicatedFragment::ReplicasIdentical(
+    const std::vector<std::string>& universe) const {
+  for (const auto& key : universe) {
+    const bool in_master = replicas_[0]->ContainsRaw(key);
+    for (size_t r = 1; r < replicas_.size(); ++r) {
+      if (replicas_[r]->ContainsRaw(key) != in_master) return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace gemini

@@ -1,0 +1,106 @@
+// Replicated fragments — a prototype of the paper's future work (Section 7).
+//
+// The paper closes by asking how Gemini extends to multiple replicas per
+// fragment, and sketches two designs for keeping replicas identical while
+// performing cache evictions:
+//
+//   (a) *eviction broadcast*: a master replica broadcasts its eviction
+//       decisions to the slave replicas;
+//   (b) *request forwarding*: the sequence of requests referencing the
+//       master is forwarded to the slaves; with identical replacement
+//       policies, their eviction decisions coincide.
+//
+// This module implements both so their trade-offs can be measured (see
+// bench/ablation_replication). A ReplicatedFragment owns one master and
+// k-1 slave replicas of a fragment's key range across distinct instances:
+//
+//   - reads are served by the master (or, for read scaling, any replica in
+//     kAnyReplica placement — slaves are only guaranteed identical under
+//     request forwarding);
+//   - writes (write-around deletes) apply to every replica;
+//   - inserts apply to the master and are replicated per the chosen scheme;
+//   - with kEvictionBroadcast, slave caches are given effectively unbounded
+//     budgets and evict exactly what the master evicts;
+//   - with kRequestForwarding, every reference is replayed against slaves so
+//     their LRU state mirrors the master's.
+//
+// The invariant both schemes maintain — checked by ReplicasIdentical() and
+// the property tests — is the paper's question made precise: after any
+// sequence of operations, all replicas hold the same key set.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/cache/cache_instance.h"
+#include "src/common/status.h"
+#include "src/common/types.h"
+#include "src/net/cost_model.h"
+
+namespace gemini {
+
+enum class ReplicationScheme : uint8_t {
+  /// Master broadcasts its eviction decisions to slaves.
+  kEvictionBroadcast,
+  /// The full reference sequence is forwarded to slaves; identical
+  /// replacement policies then make identical decisions.
+  kRequestForwarding,
+};
+
+class ReplicatedFragment {
+ public:
+  /// `replicas[0]` is the master. All replicas must live on distinct
+  /// instances and hold fragment leases for `fragment`.
+  ReplicatedFragment(FragmentId fragment, ConfigId config_id,
+                     std::vector<CacheInstance*> replicas,
+                     ReplicationScheme scheme);
+
+  /// Read through the replica set: master lookup; miss returns kNotFound
+  /// (the caller fills via Insert after computing the value).
+  Result<CacheValue> Get(Session& session, std::string_view key);
+
+  /// Insert a computed value into the master and replicate it.
+  Status Insert(Session& session, std::string_view key, CacheValue value);
+
+  /// Write-around delete on every replica (a write's invalidation).
+  Status Delete(Session& session, std::string_view key);
+
+  /// True iff every replica holds exactly the same set of keys from
+  /// `universe` (the checkable slice of the paper's "are replicas
+  /// identical" question).
+  [[nodiscard]] bool ReplicasIdentical(
+      const std::vector<std::string>& universe) const;
+
+  [[nodiscard]] ReplicationScheme scheme() const { return scheme_; }
+  [[nodiscard]] size_t num_replicas() const { return replicas_.size(); }
+  [[nodiscard]] CacheInstance& master() { return *replicas_[0]; }
+
+  struct Stats {
+    uint64_t reads = 0;
+    uint64_t read_hits = 0;
+    uint64_t inserts = 0;
+    uint64_t deletes = 0;
+    /// Replication messages sent to slaves (the cost the two schemes trade
+    /// off: broadcast sends evictions + inserts; forwarding sends every
+    /// reference).
+    uint64_t replication_messages = 0;
+  };
+  [[nodiscard]] const Stats& stats() const { return stats_; }
+
+ private:
+  // Propagates the master's latest eviction decisions to the slaves.
+  void SyncEvictionsLocked(Session& session);
+
+  FragmentId fragment_;
+  OpContext ctx_;
+  std::vector<CacheInstance*> replicas_;
+  ReplicationScheme scheme_;
+  // Keys inserted since the last eviction sync, in insertion order, used to
+  // detect master evictions cheaply (eviction broadcast).
+  std::vector<std::string> tracked_keys_;
+  Stats stats_;
+};
+
+}  // namespace gemini

@@ -1,0 +1,26 @@
+#include "src/sim/event_queue.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace gemini {
+
+void EventQueue::At(Timestamp t, Fn fn) {
+  t = std::max(t, clock_->Now());
+  heap_.push(Ev{t, next_seq_++, std::move(fn)});
+}
+
+void EventQueue::RunUntil(Timestamp until) {
+  while (!heap_.empty() && heap_.top().t <= until) {
+    // priority_queue::top is const; move via const_cast is the standard
+    // idiom for pop-with-move on a binary heap.
+    Ev ev = std::move(const_cast<Ev&>(heap_.top()));
+    heap_.pop();
+    clock_->AdvanceTo(ev.t);
+    ++executed_;
+    ev.fn(ev.t);
+  }
+  if (clock_->Now() < until) clock_->AdvanceTo(until);
+}
+
+}  // namespace gemini

@@ -1,0 +1,33 @@
+#include "src/sim/metrics.h"
+
+namespace gemini {
+
+SimMetrics::SimMetrics(size_t num_instances, const DataStore* store)
+    : instance_hit(num_instances),
+      instance_self_hit(num_instances),
+      wst_probe_miss(num_instances),
+      stale(store) {}
+
+double SimMetrics::InstanceHitBetween(size_t instance, size_t from_sec,
+                                      size_t to_sec) const {
+  if (instance >= instance_hit.size()) return 0.0;
+  return instance_hit[instance].RatioBetween(from_sec, to_sec);
+}
+
+double SimMetrics::SecondsUntilHitRatio(size_t instance, size_t from_sec,
+                                        double target) const {
+  if (instance >= instance_hit.size()) return -1.0;
+  const auto& series = instance_hit[instance];
+  const auto& num = series.numerator().buckets();
+  const auto& den = series.denominator().buckets();
+  for (size_t s = from_sec; s < den.size(); ++s) {
+    if (den[s] == 0) continue;
+    const double hit =
+        static_cast<double>(s < num.size() ? num[s] : 0) /
+        static_cast<double>(den[s]);
+    if (hit >= target) return static_cast<double>(s - from_sec);
+  }
+  return -1.0;
+}
+
+}  // namespace gemini

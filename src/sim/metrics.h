@@ -1,0 +1,59 @@
+// Per-run metric collection for the experiment harness.
+//
+// Everything the paper's figures plot is derived from these series:
+// throughput and latency percentiles per second (Figure 7), per-instance and
+// overall cache hit ratios per second (Figures 6, 7a, 10), stale reads per
+// second (Figure 1), and working-set-transfer probe outcomes (the Section
+// 3.2.2 termination conditions).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "src/common/clock.h"
+#include "src/common/time_series.h"
+#include "src/consistency/stale_read_checker.h"
+
+namespace gemini {
+
+struct SimMetrics {
+  SimMetrics(size_t num_instances, const DataStore* store);
+
+  // Completions per second.
+  CounterSeries ops;
+  CounterSeries reads;
+  CounterSeries writes;
+  CounterSeries errors;
+  CounterSeries suspended_writes;
+
+  LatencySeries read_latency;
+  LatencySeries write_latency;
+
+  /// Client-perceived cache hit ratio per routed instance: numerator = any
+  /// cache hit for a key routed to it (including working-set-transfer hits
+  /// served from the secondary), denominator = lookups routed to it. This
+  /// is what Figures 6/7a/10 plot.
+  std::vector<RatioSeries> instance_hit;
+  /// Hit ratio from the instance's *own* content only (working-set-transfer
+  /// hits excluded): the "cache hit ratio of the primary replica" that the
+  /// Section 3.2.2 h-threshold monitors.
+  std::vector<RatioSeries> instance_self_hit;
+  RatioSeries overall_hit;
+
+  /// Working-set-transfer probes per *recovering* instance: numerator =
+  /// probes that missed in the secondary, denominator = probes issued.
+  std::vector<RatioSeries> wst_probe_miss;
+
+  StaleReadChecker stale;
+
+  /// Convenience: hit ratio of an instance across [from, to) seconds.
+  [[nodiscard]] double InstanceHitBetween(size_t instance, size_t from_sec,
+                                          size_t to_sec) const;
+
+  /// First second >= from_sec where the instance's per-second hit ratio
+  /// reaches `target` (with a non-empty denominator); -1 if never.
+  [[nodiscard]] double SecondsUntilHitRatio(size_t instance, size_t from_sec,
+                                            double target) const;
+};
+
+}  // namespace gemini

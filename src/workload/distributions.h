@@ -1,0 +1,78 @@
+// Additional access-pattern generators (beyond the paper's Zipfian), in the
+// YCSB family: uniform, hotspot, and latest. Used by the ablation benches
+// and available to downstream users of the workload library.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+
+#include "src/common/rng.h"
+
+namespace gemini {
+
+/// Uniform over {0, ..., n-1}.
+class UniformKeys {
+ public:
+  explicit UniformKeys(uint64_t n) : n_(n) {}
+  uint64_t Next(Rng& rng) const { return rng.NextBounded(n_); }
+  [[nodiscard]] uint64_t n() const { return n_; }
+
+ private:
+  uint64_t n_;
+};
+
+/// Hotspot: `hot_fraction` of accesses hit the first `hot_set_fraction` of
+/// the key space (YCSB's hotspot distribution).
+class HotspotKeys {
+ public:
+  HotspotKeys(uint64_t n, double hot_set_fraction = 0.2,
+              double hot_fraction = 0.8)
+      : n_(n),
+        hot_keys_(std::max<uint64_t>(
+            1, static_cast<uint64_t>(static_cast<double>(n) *
+                                     hot_set_fraction))),
+        hot_fraction_(hot_fraction) {}
+
+  uint64_t Next(Rng& rng) const {
+    if (rng.NextDouble() < hot_fraction_) {
+      return rng.NextBounded(hot_keys_);
+    }
+    const uint64_t cold = n_ - hot_keys_;
+    return cold == 0 ? rng.NextBounded(n_)
+                     : hot_keys_ + rng.NextBounded(cold);
+  }
+
+  [[nodiscard]] uint64_t hot_keys() const { return hot_keys_; }
+
+ private:
+  uint64_t n_;
+  uint64_t hot_keys_;
+  double hot_fraction_;
+};
+
+/// Latest: skewed toward recently inserted records (YCSB's latest
+/// distribution). The caller advances the frontier as records are created;
+/// draws are Zipfian distances behind the frontier.
+class LatestKeys {
+ public:
+  explicit LatestKeys(uint64_t initial_records, double theta = 0.99)
+      : frontier_(initial_records), zipf_(initial_records, theta) {}
+
+  /// Record id, biased toward the most recent.
+  uint64_t Next(Rng& rng) const {
+    const uint64_t back = zipf_.Next(rng) % frontier_;
+    return frontier_ - 1 - back;
+  }
+
+  /// Registers newly inserted records (keeps the Zipfian over the original
+  /// cardinality: YCSB does the same modulo-fold).
+  void Advance(uint64_t new_records) { frontier_ += new_records; }
+
+  [[nodiscard]] uint64_t frontier() const { return frontier_; }
+
+ private:
+  uint64_t frontier_;
+  Zipfian zipf_;
+};
+
+}  // namespace gemini

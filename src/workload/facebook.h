@@ -1,0 +1,65 @@
+// Synthetic Facebook-like workload (Section 5.1).
+//
+// The paper generates a trace from the statistical models of Facebook's USR
+// pool (Atikoglu et al., SIGMETRICS'12): mean key size 36 bytes, mean value
+// size 329 bytes, mean inter-arrival time 19 microseconds, 95% reads, a
+// highly skewed Zipfian access pattern over 10M records, and a cache memory
+// budget equal to 50% of the database size.
+//
+// Per-record key lengths are drawn from the Generalized Extreme Value model
+// and value sizes from the Generalized Pareto model, deterministically from
+// the record id, so every component observes the same universe.
+#pragma once
+
+#include <cstdint>
+
+#include "src/workload/workload.h"
+
+namespace gemini {
+
+class FacebookWorkload final : public Workload {
+ public:
+  struct Options {
+    uint64_t num_records = 1'000'000;
+    double read_fraction = 0.95;
+    double zipf_theta = 0.99;
+    /// Mean inter-arrival time of the open-loop trace. The paper's 19 us is
+    /// calibrated against its 10M-record database; harnesses scale it with
+    /// the database so load-per-record matches (see EXPERIMENTS.md).
+    Duration mean_interarrival = Micros(19);
+    uint64_t seed = 0x9e3779b9;
+
+    // Atikoglu et al. model parameters.
+    double key_gev_mu = 30.7984;
+    double key_gev_sigma = 8.20449;
+    double key_gev_xi = 0.078688;
+    double value_gpd_mu = 0.0;
+    double value_gpd_sigma = 214.476;
+    double value_gpd_xi = 0.348238;
+  };
+
+  explicit FacebookWorkload(Options options);
+
+  Operation Next(Rng& rng) override;
+  Duration NextInterarrival(Rng& rng) override;
+
+  [[nodiscard]] uint64_t num_records() const override {
+    return options_.num_records;
+  }
+  [[nodiscard]] std::string KeyOfRecord(uint64_t record) const override;
+  [[nodiscard]] uint32_t ValueSizeOfRecord(uint64_t record) const override;
+
+  /// Database size in bytes (sum of record value sizes) — the denominator of
+  /// the paper's "cache memory = 50% of the database size".
+  [[nodiscard]] uint64_t ApproxDatabaseBytes() const;
+
+ private:
+  [[nodiscard]] uint32_t KeyLengthOfRecord(uint64_t record) const;
+
+  Options options_;
+  ScrambledZipfian zipf_;
+  GeneralizedExtremeValue key_model_;
+  GeneralizedPareto value_model_;
+};
+
+}  // namespace gemini

@@ -1,0 +1,11 @@
+#include "src/workload/workload.h"
+
+namespace gemini {
+
+void Workload::LoadStore(DataStore& store) const {
+  store.LoadSyntheticSized(
+      num_records(), [this](uint64_t i) { return KeyOfRecord(i); },
+      [this](uint64_t i) { return ValueSizeOfRecord(i); });
+}
+
+}  // namespace gemini

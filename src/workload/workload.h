@@ -1,0 +1,60 @@
+// Workload abstraction shared by the experiment harness.
+//
+// A Workload owns the key universe (record id -> key string, record id ->
+// value size) and generates a stream of operations. Two families reproduce
+// the paper's Section 5:
+//
+//   YcsbWorkload      — YCSB-style: fixed-size records, Zipfian popularity,
+//                       parameterized update fraction (A = 50%, B = 5%,
+//                       sweeps of 1%..10%), static or evolving access
+//                       patterns (the 20% / 100% switches of Section 5.4.4).
+//   FacebookWorkload  — the synthetic Facebook-like trace of Section 5.1:
+//                       key/value size models from Atikoglu et al., 95%
+//                       reads, exponential inter-arrivals.
+//
+// Workloads are deterministic given a seed; the per-record attributes (key
+// length, value size) are pure functions of the record id so that every
+// component (store loader, harness, checkers) sees a consistent universe.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "src/common/clock.h"
+#include "src/common/rng.h"
+#include "src/store/data_store.h"
+
+namespace gemini {
+
+struct Operation {
+  bool is_read = true;
+  uint64_t record = 0;
+  std::string key;
+};
+
+class Workload {
+ public:
+  virtual ~Workload() = default;
+
+  /// Draws the next operation.
+  virtual Operation Next(Rng& rng) = 0;
+
+  /// Switches the access-pattern phase (evolving workloads). Phase 0 is the
+  /// pre-failure pattern; phase 1 the post-failure one. Default: no-op.
+  virtual void SetPhase(int phase) { (void)phase; }
+
+  /// Open-loop inter-arrival time; 0 means the workload is closed-loop.
+  virtual Duration NextInterarrival(Rng& rng) {
+    (void)rng;
+    return 0;
+  }
+
+  [[nodiscard]] virtual uint64_t num_records() const = 0;
+  [[nodiscard]] virtual std::string KeyOfRecord(uint64_t record) const = 0;
+  [[nodiscard]] virtual uint32_t ValueSizeOfRecord(uint64_t record) const = 0;
+
+  /// Bulk-loads every record into the data store.
+  void LoadStore(DataStore& store) const;
+};
+
+}  // namespace gemini

@@ -1,0 +1,49 @@
+#include "src/workload/ycsb.h"
+
+#include <cassert>
+#include <cstdio>
+
+namespace gemini {
+
+YcsbWorkload::YcsbWorkload(Options options)
+    : options_(options),
+      full_zipf_(options.num_records, options.zipf_theta),
+      half_zipf_(std::max<uint64_t>(1, options.num_records / 2),
+                 options.zipf_theta),
+      half_(options.num_records / 2),
+      hot_window_(options.num_records / 2 / 5) {
+  assert(options_.num_records >= 2);
+}
+
+std::string YcsbWorkload::KeyOfRecord(uint64_t record) const {
+  // YCSB-style "user<###>" keys, fixed width so key sizes are uniform.
+  char buf[28];
+  std::snprintf(buf, sizeof(buf), "user%016llu",
+                static_cast<unsigned long long>(record));
+  return buf;
+}
+
+uint64_t YcsbWorkload::DrawRecord(Rng& rng) {
+  if (options_.evolution == Evolution::kStatic) {
+    return full_zipf_.Next(rng);
+  }
+  // Evolving: ranks are drawn over half the database; record ids preserve
+  // rank so the "hottest 20%" is the rank prefix (Section 5.4.4).
+  const uint64_t r = half_zipf_.Next(rng);
+  if (phase_ == 0) return r;  // set A
+  if (options_.evolution == Evolution::kSwitch100) {
+    return half_ + r;  // set B entirely
+  }
+  // 20% change: hottest ranks move to set B, the rest stay in A.
+  return r < hot_window_ ? half_ + r : r;
+}
+
+Operation YcsbWorkload::Next(Rng& rng) {
+  Operation op;
+  op.is_read = rng.NextDouble() >= options_.update_fraction;
+  op.record = DrawRecord(rng);
+  op.key = KeyOfRecord(op.record);
+  return op;
+}
+
+}  // namespace gemini

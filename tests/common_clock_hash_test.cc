@@ -1,0 +1,75 @@
+#include <gtest/gtest.h>
+
+#include <set>
+#include <thread>
+
+#include "src/common/clock.h"
+#include "src/common/hash.h"
+#include "src/common/types.h"
+
+namespace gemini {
+namespace {
+
+TEST(VirtualClock, StartsAtGivenTime) {
+  VirtualClock c(100);
+  EXPECT_EQ(c.Now(), 100);
+}
+
+TEST(VirtualClock, AdvanceMoves) {
+  VirtualClock c;
+  c.Advance(Seconds(2));
+  EXPECT_EQ(c.Now(), Seconds(2));
+  c.AdvanceTo(Seconds(10));
+  EXPECT_EQ(c.Now(), Seconds(10));
+}
+
+TEST(SystemClock, Monotonic) {
+  SystemClock& c = SystemClock::Global();
+  const Timestamp a = c.Now();
+  const Timestamp b = c.Now();
+  EXPECT_LE(a, b);
+}
+
+TEST(DurationHelpers, UnitsCompose) {
+  EXPECT_EQ(Millis(1), 1000);
+  EXPECT_EQ(Seconds(1), 1000000);
+  EXPECT_EQ(Seconds(0.5), 500000);
+  EXPECT_DOUBLE_EQ(ToSeconds(Seconds(2.5)), 2.5);
+}
+
+TEST(Fnv1a, StableKnownValue) {
+  // FNV-1a of empty input is the offset basis; of "a" a fixed constant.
+  EXPECT_EQ(Fnv1a64(""), kFnvOffsetBasis);
+  EXPECT_EQ(Fnv1a64("a"), 0xaf63dc4c8601ec8cULL);
+}
+
+TEST(Fnv1a, DistinctKeysDistinctHashes) {
+  std::set<uint64_t> hashes;
+  for (int i = 0; i < 10000; ++i) {
+    hashes.insert(Fnv1a64("user" + std::to_string(i)));
+  }
+  EXPECT_EQ(hashes.size(), 10000u);
+}
+
+TEST(Fnv1a, FragmentMappingIsBalanced) {
+  // Keys spread across fragments within ~3x of the mean.
+  const int F = 50;
+  std::vector<int> counts(F, 0);
+  for (int i = 0; i < 50000; ++i) {
+    ++counts[Fnv1a64("user" + std::to_string(i)) % F];
+  }
+  for (int c : counts) {
+    EXPECT_GT(c, 50000 / F / 3);
+    EXPECT_LT(c, 50000 / F * 3);
+  }
+}
+
+TEST(InternalKeys, PrefixedAndDistinct) {
+  EXPECT_NE(DirtyListKey(1), DirtyListKey(2));
+  EXPECT_EQ(DirtyListKey(7).find(kInternalKeyPrefix), 0u);
+  EXPECT_EQ(ConfigKey().find(kInternalKeyPrefix), 0u);
+  EXPECT_NE(DirtyListKey(0), ConfigKey());
+}
+
+}  // namespace
+}  // namespace gemini

@@ -1,0 +1,106 @@
+#include "src/common/histogram.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace gemini {
+namespace {
+
+TEST(Histogram, EmptyReportsZeros) {
+  Histogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.Mean(), 0.0);
+  EXPECT_EQ(h.Percentile(0.5), 0.0);
+  EXPECT_EQ(h.Min(), 0);
+  EXPECT_EQ(h.Max(), 0);
+}
+
+TEST(Histogram, SingleValue) {
+  Histogram h;
+  h.Record(100);
+  EXPECT_EQ(h.count(), 1u);
+  EXPECT_EQ(h.Mean(), 100.0);
+  EXPECT_EQ(h.Min(), 100);
+  EXPECT_EQ(h.Max(), 100);
+  EXPECT_NEAR(h.Percentile(0.5), 100.0, 7.0);  // within bucket resolution
+}
+
+TEST(Histogram, MeanIsExact) {
+  Histogram h;
+  for (int v : {10, 20, 30, 40}) h.Record(v);
+  EXPECT_DOUBLE_EQ(h.Mean(), 25.0);
+}
+
+TEST(Histogram, PercentilesOrdered) {
+  Histogram h;
+  for (int64_t v = 1; v <= 10000; ++v) h.Record(v);
+  const double p50 = h.Percentile(0.50);
+  const double p90 = h.Percentile(0.90);
+  const double p99 = h.Percentile(0.99);
+  EXPECT_LT(p50, p90);
+  EXPECT_LT(p90, p99);
+  EXPECT_NEAR(p50, 5000, 5000 * 0.08);
+  EXPECT_NEAR(p90, 9000, 9000 * 0.08);
+  EXPECT_NEAR(p99, 9900, 9900 * 0.08);
+}
+
+TEST(Histogram, BoundedRelativeError) {
+  Histogram h;
+  const int64_t value = 123456;
+  for (int i = 0; i < 100; ++i) h.Record(value);
+  EXPECT_NEAR(h.Percentile(0.5), double(value), value * 0.07);
+}
+
+TEST(Histogram, MergeCombinesCounts) {
+  Histogram a, b;
+  a.Record(10);
+  a.Record(20);
+  b.Record(1000);
+  a.Merge(b);
+  EXPECT_EQ(a.count(), 3u);
+  EXPECT_EQ(a.Min(), 10);
+  EXPECT_EQ(a.Max(), 1000);
+  EXPECT_NEAR(a.Mean(), (10 + 20 + 1000) / 3.0, 1e-9);
+}
+
+TEST(Histogram, MergeIntoEmpty) {
+  Histogram a, b;
+  b.Record(50);
+  a.Merge(b);
+  EXPECT_EQ(a.count(), 1u);
+  EXPECT_EQ(a.Min(), 50);
+}
+
+TEST(Histogram, ResetClears) {
+  Histogram h;
+  h.Record(5);
+  h.Reset();
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.Mean(), 0.0);
+}
+
+TEST(Histogram, ValuesAboveMaxClampToLastBucket) {
+  Histogram h(/*max_value=*/1000);
+  h.Record(100000000);  // far above configured max
+  EXPECT_EQ(h.count(), 1u);
+  EXPECT_EQ(h.Max(), 100000000);
+  EXPECT_GT(h.Percentile(0.99), 0.0);
+}
+
+TEST(Histogram, PercentileClampedToObservedRange) {
+  Histogram h;
+  h.Record(77);
+  EXPECT_GE(h.Percentile(1.0), 77.0 * 0.93);
+  EXPECT_LE(h.Percentile(1.0), 77.0 * 1.07);
+  EXPECT_GE(h.Percentile(0.0), h.Min());
+}
+
+TEST(Histogram, SummaryMentionsCount) {
+  Histogram h;
+  h.Record(10);
+  EXPECT_NE(h.Summary().find("n=1"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace gemini

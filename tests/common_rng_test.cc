@@ -1,0 +1,158 @@
+#include "src/common/rng.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <map>
+#include <vector>
+
+namespace gemini {
+namespace {
+
+TEST(Rng, DeterministicForSeed) {
+  Rng a(123), b(123), c(124);
+  for (int i = 0; i < 100; ++i) {
+    const uint64_t va = a.Next();
+    EXPECT_EQ(va, b.Next());
+    (void)c.Next();
+  }
+  Rng a2(123), c2(124);
+  bool any_diff = false;
+  for (int i = 0; i < 100; ++i) {
+    if (a2.Next() != c2.Next()) any_diff = true;
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(Rng, BoundedStaysInRange) {
+  Rng rng(7);
+  for (uint64_t bound : {1ULL, 2ULL, 3ULL, 10ULL, 1000ULL, 1ULL << 40}) {
+    for (int i = 0; i < 200; ++i) {
+      EXPECT_LT(rng.NextBounded(bound), bound);
+    }
+  }
+}
+
+TEST(Rng, DoubleInUnitInterval) {
+  Rng rng(9);
+  for (int i = 0; i < 10000; ++i) {
+    const double d = rng.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(Rng, BoundedRoughlyUniform) {
+  Rng rng(11);
+  std::vector<int> counts(10, 0);
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) ++counts[rng.NextBounded(10)];
+  for (int c : counts) {
+    EXPECT_NEAR(c, n / 10, n / 10 * 0.1);
+  }
+}
+
+TEST(Rng, ExponentialMeanMatches) {
+  Rng rng(13);
+  double sum = 0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) sum += rng.NextExponential(19.0);
+  EXPECT_NEAR(sum / n, 19.0, 0.5);
+}
+
+TEST(Zipfian, RankZeroMostPopular) {
+  Zipfian z(1000, 0.99);
+  Rng rng(1);
+  std::map<uint64_t, int> counts;
+  for (int i = 0; i < 100000; ++i) ++counts[z.Next(rng)];
+  EXPECT_GT(counts[0], counts[1]);
+  EXPECT_GT(counts[0], counts[10]);
+  EXPECT_GT(counts[1], counts[100]);
+}
+
+TEST(Zipfian, StaysInRange) {
+  Zipfian z(50, 0.8);
+  Rng rng(2);
+  for (int i = 0; i < 10000; ++i) EXPECT_LT(z.Next(rng), 50u);
+}
+
+// Zipf(theta) frequency of the most popular item should be ~ 1/zeta(n,theta).
+class ZipfianSkewTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(ZipfianSkewTest, HeadMassMatchesTheory) {
+  const double theta = GetParam();
+  const uint64_t n = 10000;
+  Zipfian z(n, theta);
+  Rng rng(42);
+  const int draws = 200000;
+  int head = 0;
+  for (int i = 0; i < draws; ++i) {
+    if (z.Next(rng) == 0) ++head;
+  }
+  double zeta = 0;
+  for (uint64_t i = 1; i <= n; ++i) zeta += 1.0 / std::pow(double(i), theta);
+  const double expected = 1.0 / zeta;
+  EXPECT_NEAR(double(head) / draws, expected, expected * 0.15 + 0.002);
+}
+
+INSTANTIATE_TEST_SUITE_P(Thetas, ZipfianSkewTest,
+                         ::testing::Values(0.5, 0.7, 0.9, 0.99));
+
+TEST(ScrambledZipfian, SpreadsHotKeys) {
+  // The hottest ranks should not map to adjacent ids.
+  ScrambledZipfian z(1'000'000, 0.99);
+  Rng rng(3);
+  std::map<uint64_t, int> counts;
+  for (int i = 0; i < 50000; ++i) ++counts[z.Next(rng)];
+  // Find the two hottest ids; they should be far apart with high probability.
+  uint64_t top1 = 0, top2 = 0;
+  int c1 = -1, c2 = -1;
+  for (auto& [id, c] : counts) {
+    if (c > c1) {
+      top2 = top1;
+      c2 = c1;
+      top1 = id;
+      c1 = c;
+    } else if (c > c2) {
+      top2 = id;
+      c2 = c;
+    }
+  }
+  EXPECT_GT(top1 > top2 ? top1 - top2 : top2 - top1, 1000u);
+}
+
+TEST(GeneralizedPareto, MeanApproximatesModel) {
+  // GPD mean = mu + sigma / (1 - xi) for xi < 1.
+  GeneralizedPareto gpd(0.0, 214.476, 0.348238);
+  Rng rng(5);
+  double sum = 0;
+  const int n = 300000;
+  for (int i = 0; i < n; ++i) sum += gpd.Next(rng);
+  const double expected = 214.476 / (1.0 - 0.348238);  // ~329 (paper's mean)
+  EXPECT_NEAR(sum / n, expected, expected * 0.05);
+}
+
+TEST(GeneralizedExtremeValue, MeanApproximatesModel) {
+  // GEV mean = mu + sigma * (Gamma(1-xi) - 1) / xi.
+  GeneralizedExtremeValue gev(30.7984, 8.20449, 0.078688);
+  Rng rng(6);
+  double sum = 0;
+  const int n = 300000;
+  for (int i = 0; i < n; ++i) sum += gev.Next(rng);
+  const double expected =
+      30.7984 + 8.20449 * (std::tgamma(1.0 - 0.078688) - 1.0) / 0.078688;
+  EXPECT_NEAR(sum / n, expected, expected * 0.05);  // ~36 (paper's mean)
+}
+
+TEST(Mix64, Bijective64BitMixing) {
+  // Distinct inputs map to distinct outputs (spot check) and outputs spread.
+  std::map<uint64_t, uint64_t> seen;
+  for (uint64_t i = 0; i < 10000; ++i) {
+    const uint64_t m = Mix64(i);
+    EXPECT_EQ(seen.count(m), 0u);
+    seen[m] = i;
+  }
+}
+
+}  // namespace
+}  // namespace gemini

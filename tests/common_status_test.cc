@@ -1,0 +1,66 @@
+#include "src/common/status.h"
+
+#include <gtest/gtest.h>
+
+namespace gemini {
+namespace {
+
+TEST(Status, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), Code::kOk);
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(Status, CarriesCodeAndMessage) {
+  Status s(Code::kBackoff, "lease held");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), Code::kBackoff);
+  EXPECT_EQ(s.message(), "lease held");
+  EXPECT_EQ(s.ToString(), "BACKOFF: lease held");
+}
+
+TEST(Status, EqualityComparesCodeOnly) {
+  EXPECT_EQ(Status(Code::kNotFound, "a"), Status(Code::kNotFound, "b"));
+  EXPECT_FALSE(Status(Code::kNotFound) == Status(Code::kBackoff));
+}
+
+TEST(Status, EveryCodeHasAName) {
+  for (uint8_t c = 0; c <= static_cast<uint8_t>(Code::kInternal); ++c) {
+    EXPECT_NE(CodeName(static_cast<Code>(c)), "UNKNOWN");
+  }
+}
+
+TEST(Result, HoldsValue) {
+  Result<int> r(42);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, 42);
+  EXPECT_EQ(r.code(), Code::kOk);
+}
+
+TEST(Result, HoldsError) {
+  Result<int> r(Status(Code::kNotFound, "missing"));
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.code(), Code::kNotFound);
+  EXPECT_EQ(r.status().message(), "missing");
+}
+
+TEST(Result, ConstructsFromBareCode) {
+  Result<std::string> r(Code::kUnavailable);
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.code(), Code::kUnavailable);
+}
+
+TEST(Result, MoveOutValue) {
+  Result<std::string> r(std::string("payload"));
+  std::string v = std::move(r).value();
+  EXPECT_EQ(v, "payload");
+}
+
+TEST(Result, ArrowOperator) {
+  Result<std::string> r(std::string("abc"));
+  EXPECT_EQ(r->size(), 3u);
+}
+
+}  // namespace
+}  // namespace gemini

@@ -1,0 +1,93 @@
+#include "src/common/time_series.h"
+
+#include <gtest/gtest.h>
+
+namespace gemini {
+namespace {
+
+TEST(CounterSeries, BucketsByInterval) {
+  CounterSeries s(kSecond);
+  s.Add(0);
+  s.Add(Millis(999));
+  s.Add(Seconds(1));
+  s.Add(Seconds(2.5), 3);
+  EXPECT_EQ(s.buckets().size(), 3u);
+  EXPECT_EQ(s.buckets()[0], 2u);
+  EXPECT_EQ(s.buckets()[1], 1u);
+  EXPECT_EQ(s.buckets()[2], 3u);
+  EXPECT_EQ(s.Total(), 6u);
+}
+
+TEST(CounterSeries, AtReadsBucketOfTimestamp) {
+  CounterSeries s(kSecond);
+  s.Add(Seconds(5), 7);
+  EXPECT_EQ(s.At(Seconds(5.9)), 7u);
+  EXPECT_EQ(s.At(Seconds(4)), 0u);
+  EXPECT_EQ(s.At(Seconds(100)), 0u);
+}
+
+TEST(CounterSeries, NegativeTimeGoesToFirstBucket) {
+  CounterSeries s(kSecond);
+  s.Add(-5);
+  EXPECT_EQ(s.buckets()[0], 1u);
+}
+
+TEST(RatioSeries, ComputesPerIntervalRatios) {
+  RatioSeries r(kSecond);
+  r.AddDenominator(0, 10);
+  r.AddNumerator(0, 9);
+  r.AddDenominator(Seconds(1), 4);
+  r.AddNumerator(Seconds(1), 1);
+  auto ratios = r.Ratios();
+  ASSERT_EQ(ratios.size(), 2u);
+  EXPECT_DOUBLE_EQ(ratios[0], 0.9);
+  EXPECT_DOUBLE_EQ(ratios[1], 0.25);
+}
+
+TEST(RatioSeries, EmptyIntervalUsesSentinel) {
+  RatioSeries r(kSecond);
+  r.AddDenominator(Seconds(2), 2);
+  r.AddNumerator(Seconds(2), 1);
+  auto ratios = r.Ratios(-1.0);
+  ASSERT_EQ(ratios.size(), 3u);
+  EXPECT_DOUBLE_EQ(ratios[0], -1.0);
+  EXPECT_DOUBLE_EQ(ratios[1], -1.0);
+  EXPECT_DOUBLE_EQ(ratios[2], 0.5);
+}
+
+TEST(RatioSeries, RatioBetweenAggregates) {
+  RatioSeries r(kSecond);
+  for (int s = 0; s < 10; ++s) {
+    r.AddDenominator(Seconds(s), 10);
+    r.AddNumerator(Seconds(s), s);  // 0..9 hits out of 10
+  }
+  EXPECT_DOUBLE_EQ(r.RatioBetween(0, 10), 45.0 / 100.0);
+  EXPECT_DOUBLE_EQ(r.RatioBetween(5, 6), 0.5);
+  EXPECT_DOUBLE_EQ(r.RatioBetween(20, 30), 0.0);
+}
+
+TEST(LatencySeries, PerSecondPercentiles) {
+  LatencySeries l(kSecond);
+  for (int i = 1; i <= 100; ++i) l.Record(0, i);
+  for (int i = 1; i <= 100; ++i) l.Record(Seconds(1), i * 10);
+  auto p90 = l.Percentiles(0.90);
+  ASSERT_EQ(p90.size(), 2u);
+  EXPECT_NEAR(p90[0], 90, 10);
+  EXPECT_NEAR(p90[1], 900, 90);
+  auto means = l.Means();
+  EXPECT_NEAR(means[0], 50.5, 1e-9);
+}
+
+TEST(FormatSeriesTable, AlignsColumnsAndRows) {
+  std::string out = FormatSeriesTable({"a", "b"}, {{1.0, 2.0}, {3.0}});
+  // Header + 2 rows.
+  EXPECT_NE(out.find("a"), std::string::npos);
+  EXPECT_NE(out.find("b"), std::string::npos);
+  EXPECT_NE(out.find("1.000"), std::string::npos);
+  EXPECT_NE(out.find("3.000"), std::string::npos);
+  // Missing cell rendered as '-'.
+  EXPECT_NE(out.find('-'), std::string::npos);
+}
+
+}  // namespace
+}  // namespace gemini

@@ -1,0 +1,77 @@
+#include "src/coordinator/configuration.h"
+
+#include <gtest/gtest.h>
+
+namespace gemini {
+namespace {
+
+Configuration MakeConfig() {
+  std::vector<FragmentAssignment> frags(3);
+  frags[0] = {/*primary=*/1, /*secondary=*/kInvalidInstance, /*config_id=*/7,
+              FragmentMode::kNormal};
+  frags[1] = {2, 3, 9, FragmentMode::kTransient};
+  frags[2] = {4, 5, 11, FragmentMode::kRecovery};
+  return Configuration(42, std::move(frags));
+}
+
+TEST(Configuration, AccessorsReflectContents) {
+  Configuration c = MakeConfig();
+  EXPECT_EQ(c.id(), 42u);
+  EXPECT_EQ(c.num_fragments(), 3u);
+  EXPECT_EQ(c.fragment(1).primary, 2u);
+  EXPECT_EQ(c.fragment(1).secondary, 3u);
+  EXPECT_EQ(c.fragment(2).mode, FragmentMode::kRecovery);
+}
+
+TEST(Configuration, SerializeRoundTrips) {
+  Configuration c = MakeConfig();
+  auto parsed = Configuration::Deserialize(c.Serialize());
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(*parsed, c);
+}
+
+TEST(Configuration, RoundTripsInvalidInstanceSentinels) {
+  std::vector<FragmentAssignment> frags(1);
+  frags[0] = {kInvalidInstance, kInvalidInstance, 1, FragmentMode::kNormal};
+  Configuration c(1, std::move(frags));
+  auto parsed = Configuration::Deserialize(c.Serialize());
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->fragment(0).primary, kInvalidInstance);
+}
+
+TEST(Configuration, DeserializeRejectsGarbage) {
+  EXPECT_FALSE(Configuration::Deserialize("").has_value());
+  // Old/unknown wire versions.
+  EXPECT_FALSE(Configuration::Deserialize("v1 1 0\n").has_value());
+  EXPECT_FALSE(Configuration::Deserialize("v3 1 0\n").has_value());
+  EXPECT_FALSE(Configuration::Deserialize("v2 junk").has_value());
+  // Truncated fragment row.
+  EXPECT_FALSE(Configuration::Deserialize("v2 5 1\n1 2\n").has_value());
+  // Out-of-range mode.
+  EXPECT_FALSE(
+      Configuration::Deserialize("v2 5 1\n1 2 3 9 0\n").has_value());
+}
+
+TEST(Configuration, FragmentOfIsDeterministicAndInRange) {
+  Configuration c = MakeConfig();
+  for (int i = 0; i < 1000; ++i) {
+    const std::string key = "user" + std::to_string(i);
+    const FragmentId f = c.FragmentOf(key);
+    EXPECT_LT(f, c.num_fragments());
+    EXPECT_EQ(f, c.FragmentOf(key));  // stable
+  }
+}
+
+TEST(Configuration, FragmentOfMatchesHashModF) {
+  Configuration c = MakeConfig();
+  EXPECT_EQ(c.FragmentOf("abc"), Fnv1a64("abc") % 3);
+}
+
+TEST(Configuration, ModeNamesHumanReadable) {
+  EXPECT_EQ(FragmentModeName(FragmentMode::kNormal), "normal");
+  EXPECT_EQ(FragmentModeName(FragmentMode::kTransient), "transient");
+  EXPECT_EQ(FragmentModeName(FragmentMode::kRecovery), "recovery");
+}
+
+}  // namespace
+}  // namespace gemini

@@ -1,0 +1,248 @@
+// Read-after-write consistency tests mapping to the paper's Appendix A
+// proof: Lemma 2 (normal-mode I/Q races, Cases I and II), Lemma 4
+// (recovery-mode miss paths), Lemma 5 (dirty keys treated as misses), plus
+// the StaleReadChecker itself and the StaleCache anomaly it exists to catch.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/cache/cache_instance.h"
+#include "src/client/gemini_client.h"
+#include "src/consistency/stale_read_checker.h"
+#include "src/coordinator/coordinator.h"
+#include "src/store/data_store.h"
+
+namespace gemini {
+namespace {
+
+// ---- StaleReadChecker ---------------------------------------------------------
+
+TEST(StaleReadChecker, FlagsOldVersions) {
+  DataStore store;
+  store.Put("k", "v1");  // version 1
+  StaleReadChecker checker(&store);
+  EXPECT_FALSE(checker.OnRead(0, "k", 1));
+  store.Update("k");  // version 2
+  EXPECT_TRUE(checker.OnRead(Seconds(1), "k", 1));
+  EXPECT_FALSE(checker.OnRead(Seconds(1), "k", 2));
+  EXPECT_EQ(checker.total_reads(), 3u);
+  EXPECT_EQ(checker.total_stale(), 1u);
+  EXPECT_EQ(checker.stale_per_interval().At(Seconds(1)), 1u);
+}
+
+// ---- Lemma 2: normal mode, concurrent read-miss and write ---------------------
+
+class LemmaFixture : public ::testing::Test {
+ protected:
+  LemmaFixture() : inst_(0, &clock_) {
+    inst_.GrantFragmentLease(0, 1, clock_.Now() + Seconds(3600), 1);
+    store_.Put("k", "v");
+    ctx_ = OpContext{1, 0};
+  }
+
+  VirtualClock clock_;
+  CacheInstance inst_;
+  DataStore store_;
+  OpContext ctx_;
+};
+
+TEST_F(LemmaFixture, Lemma2CaseI_InsertBeforeQ) {
+  // r's insert happens before w acquires its Q lease: r is serialized
+  // before w, and w's delete removes the inserted entry.
+  auto rg = inst_.IqGet(ctx_, "k");
+  ASSERT_TRUE(rg.ok());
+  auto rec = store_.Query("k");
+  ASSERT_TRUE(inst_.IqSet(ctx_, "k", CacheValue::OfData(rec->data, rec->version),
+                          rg->i_token)
+                  .ok());
+  // Now the write runs.
+  auto q = inst_.Qareg(ctx_, "k");
+  store_.Update("k", "v2");
+  ASSERT_TRUE(inst_.Dar(ctx_, "k", *q).ok());
+  // The (now old) inserted entry is gone: no future read sees v.
+  EXPECT_EQ(inst_.Get(ctx_, "k").code(), Code::kNotFound);
+}
+
+TEST_F(LemmaFixture, Lemma2CaseII_QBeforeInsert) {
+  // w acquires Q before r's insert: the I lease is voided, the insert is
+  // ignored, and the cache never holds the stale value.
+  auto rg = inst_.IqGet(ctx_, "k");
+  ASSERT_TRUE(rg.ok());
+  auto rec = store_.Query("k");  // r read v from the store...
+  auto q = inst_.Qareg(ctx_, "k");
+  store_.Update("k", "v2");
+  ASSERT_TRUE(inst_.Dar(ctx_, "k", *q).ok());
+  // ...and its insert after w completes is dropped.
+  EXPECT_EQ(inst_.IqSet(ctx_, "k",
+                        CacheValue::OfData(rec->data, rec->version),
+                        rg->i_token)
+                .code(),
+            Code::kLeaseInvalid);
+  EXPECT_EQ(inst_.Get(ctx_, "k").code(), Code::kNotFound);
+}
+
+// ---- Lemmas 4/5 via the full client stack --------------------------------------
+
+class RecoveryConsistency : public ::testing::Test {
+ protected:
+  static constexpr size_t kInstances = 3;
+  static constexpr size_t kFragments = 6;
+
+  void Build(RecoveryPolicy policy) {
+    for (size_t i = 0; i < kInstances; ++i) {
+      instances_.push_back(std::make_unique<CacheInstance>(
+          static_cast<InstanceId>(i), &clock_));
+      raw_.push_back(instances_.back().get());
+    }
+    Coordinator::Options opts;
+    opts.policy = policy;
+    coordinator_ =
+        std::make_unique<Coordinator>(&clock_, raw_, kFragments, opts);
+    GeminiClient::Options copts;
+    copts.working_set_transfer = policy.working_set_transfer;
+    client_ = std::make_unique<GeminiClient>(&clock_, coordinator_.get(),
+                                             raw_, &store_, copts);
+    checker_ = std::make_unique<StaleReadChecker>(&store_);
+    for (int i = 0; i < 300; ++i) {
+      store_.Put("user" + std::to_string(i), "v");
+    }
+  }
+
+  bool AuditRead(const std::string& key) {
+    auto r = client_->Read(session_, key);
+    if (!r.ok()) return false;
+    return checker_->OnRead(clock_.Now(), key, r->value.version);
+  }
+
+  std::vector<std::string> KeysOnInstance0(int want) {
+    std::vector<std::string> keys;
+    auto cfg = coordinator_->GetConfiguration();
+    for (int i = 0; i < 300 && static_cast<int>(keys.size()) < want; ++i) {
+      std::string key = "user" + std::to_string(i);
+      if (cfg->fragment(cfg->FragmentOf(key)).primary == 0) {
+        keys.push_back(std::move(key));
+      }
+    }
+    return keys;
+  }
+
+  VirtualClock clock_;
+  DataStore store_;
+  std::vector<std::unique_ptr<CacheInstance>> instances_;
+  std::vector<CacheInstance*> raw_;
+  std::unique_ptr<Coordinator> coordinator_;
+  std::unique_ptr<GeminiClient> client_;
+  std::unique_ptr<StaleReadChecker> checker_;
+  Session session_;
+};
+
+TEST_F(RecoveryConsistency, GeminiServesZeroStaleReadsAcrossFailure) {
+  Build(RecoveryPolicy::GeminiOW());
+  auto keys = KeysOnInstance0(10);
+  ASSERT_GE(keys.size(), 3u);
+  for (const auto& k : keys) EXPECT_FALSE(AuditRead(k));  // warm
+
+  coordinator_->OnInstanceFailed(0);
+  // Writes during the failure make the persisted primary entries stale.
+  for (const auto& k : keys) ASSERT_TRUE(client_->Write(session_, k).ok());
+  coordinator_->OnInstanceRecovered(0);
+
+  // Every read after recovery observes the post-write state.
+  for (const auto& k : keys) EXPECT_FALSE(AuditRead(k));
+  // And again once everything is cached.
+  for (const auto& k : keys) EXPECT_FALSE(AuditRead(k));
+  EXPECT_EQ(checker_->total_stale(), 0u);
+}
+
+TEST_F(RecoveryConsistency, StaleCacheServesStaleReadsAfterRecovery) {
+  // Figure 1's anomaly: reusing persistent content verbatim serves values
+  // that writes during the failure have overwritten.
+  Build(RecoveryPolicy::StaleCache());
+  auto keys = KeysOnInstance0(10);
+  ASSERT_GE(keys.size(), 3u);
+  for (const auto& k : keys) EXPECT_FALSE(AuditRead(k));  // cache old values
+  coordinator_->OnInstanceFailed(0);
+  for (const auto& k : keys) ASSERT_TRUE(client_->Write(session_, k).ok());
+  coordinator_->OnInstanceRecovered(0);
+
+  uint64_t stale = 0;
+  for (const auto& k : keys) {
+    if (AuditRead(k)) ++stale;
+  }
+  EXPECT_GT(stale, 0u);
+  EXPECT_EQ(checker_->total_stale(), stale);
+}
+
+TEST_F(RecoveryConsistency, VolatileCacheIsConsistentButCold) {
+  Build(RecoveryPolicy::VolatileCache());
+  auto keys = KeysOnInstance0(10);
+  for (const auto& k : keys) EXPECT_FALSE(AuditRead(k));
+  coordinator_->OnInstanceFailed(0);
+  for (const auto& k : keys) ASSERT_TRUE(client_->Write(session_, k).ok());
+  instances_[0]->RecoverVolatile();
+  coordinator_->OnInstanceRecovered(0);
+  for (const auto& k : keys) EXPECT_FALSE(AuditRead(k));
+  EXPECT_EQ(checker_->total_stale(), 0u);
+}
+
+TEST_F(RecoveryConsistency, Lemma5CaseII_CleanKeyIsACacheHit) {
+  Build(RecoveryPolicy::GeminiO());
+  auto keys = KeysOnInstance0(2);
+  ASSERT_GE(keys.size(), 2u);
+  for (const auto& k : keys) (void)client_->Read(session_, k);
+  coordinator_->OnInstanceFailed(0);
+  // Dirty only keys[0]; keys[1] stays clean in the persistent primary.
+  ASSERT_TRUE(client_->Write(session_, keys[0]).ok());
+  coordinator_->OnInstanceRecovered(0);
+
+  auto r = client_->Read(session_, keys[1]);
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(r->cache_hit);  // k not in Dj: hit consumed directly
+  EXPECT_FALSE(checker_->OnRead(clock_.Now(), keys[1], r->value.version));
+}
+
+TEST_F(RecoveryConsistency, Lemma4_DirtyKeyRefillObservesLatestWrite) {
+  Build(RecoveryPolicy::GeminiOW());
+  auto keys = KeysOnInstance0(1);
+  ASSERT_GE(keys.size(), 1u);
+  const std::string& k = keys[0];
+  (void)client_->Read(session_, k);
+  coordinator_->OnInstanceFailed(0);
+  ASSERT_TRUE(client_->Write(session_, k).ok());   // k in Dj
+  (void)client_->Read(session_, k);                // k in SR, current value
+  coordinator_->OnInstanceRecovered(0);
+
+  // Recovery-mode write streaks ahead of the read (Lemma 4 Case II): the
+  // write deletes k in both replicas, so the read cannot resurrect the
+  // pre-write value from the secondary.
+  ASSERT_TRUE(client_->Write(session_, k).ok());
+  EXPECT_FALSE(AuditRead(k));
+  EXPECT_EQ(checker_->total_stale(), 0u);
+}
+
+TEST_F(RecoveryConsistency, QuarantinedEntryDoesNotSurviveCrash) {
+  // The crash-spanning Q-lease rule: a write that updated the store but
+  // crashed the instance before Dar leaves no stale entry behind.
+  Build(RecoveryPolicy::GeminiO());
+  auto keys = KeysOnInstance0(1);
+  ASSERT_GE(keys.size(), 1u);
+  const std::string& k = keys[0];
+  (void)client_->Read(session_, k);  // cached, version 1
+  auto cfg = coordinator_->GetConfiguration();
+  OpContext ctx{cfg->id(), cfg->FragmentOf(k)};
+  auto q = raw_[0]->Qareg(ctx, k);
+  ASSERT_TRUE(q.ok());
+  store_.Update(k);  // version 2 committed...
+  raw_[0]->Fail();   // ...but the delete never reached the instance.
+  raw_[0]->RecoverPersistent();
+  coordinator_->OnInstanceFailed(0);  // (ordering irrelevant here)
+  coordinator_->OnInstanceRecovered(0);
+
+  EXPECT_FALSE(AuditRead(k));
+  EXPECT_EQ(checker_->total_stale(), 0u);
+}
+
+}  // namespace
+}  // namespace gemini

@@ -1,0 +1,237 @@
+// CoordinatorGroup tests (Section 2.1's master + shadow coordinators):
+// state replication, failover promotion, and the protocol continuing
+// consistently across a coordinator failure mid-recovery.
+#include "src/coordinator/coordinator_group.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/cache/dirty_list.h"
+#include "src/client/gemini_client.h"
+#include "src/consistency/stale_read_checker.h"
+#include "src/recovery/recovery_worker.h"
+
+namespace gemini {
+namespace {
+
+class CoordinatorGroupTest : public ::testing::Test {
+ protected:
+  static constexpr size_t kInstances = 3;
+  static constexpr size_t kFragments = 6;
+
+  void Build(size_t shadows = 2,
+             RecoveryPolicy policy = RecoveryPolicy::GeminiO()) {
+    for (size_t i = 0; i < kInstances; ++i) {
+      instances_.push_back(std::make_unique<CacheInstance>(
+          static_cast<InstanceId>(i), &clock_));
+      raw_.push_back(instances_.back().get());
+    }
+    Coordinator::Options opts;
+    opts.policy = policy;
+    group_ = std::make_unique<CoordinatorGroup>(&clock_, raw_, kFragments,
+                                                shadows, opts);
+    client_ = std::make_unique<GeminiClient>(&clock_, group_.get(), raw_,
+                                             &store_);
+    worker_ = std::make_unique<RecoveryWorker>(&clock_, group_.get(), raw_);
+    checker_ = std::make_unique<StaleReadChecker>(&store_);
+    for (int i = 0; i < 200; ++i) {
+      store_.Put("user" + std::to_string(i), "v");
+    }
+  }
+
+  std::string KeyOnInstance(InstanceId instance) {
+    auto cfg = group_->GetConfiguration();
+    for (int i = 0; i < 200; ++i) {
+      std::string key = "user" + std::to_string(i);
+      if (cfg->fragment(cfg->FragmentOf(key)).primary == instance) return key;
+    }
+    ADD_FAILURE();
+    return "";
+  }
+
+  VirtualClock clock_;
+  DataStore store_;
+  std::vector<std::unique_ptr<CacheInstance>> instances_;
+  std::vector<CacheInstance*> raw_;
+  std::unique_ptr<CoordinatorGroup> group_;
+  std::unique_ptr<GeminiClient> client_;
+  std::unique_ptr<RecoveryWorker> worker_;
+  std::unique_ptr<StaleReadChecker> checker_;
+  Session session_;
+};
+
+TEST_F(CoordinatorGroupTest, ServesAsCoordinatorService) {
+  Build();
+  ASSERT_NE(group_->GetConfiguration(), nullptr);
+  EXPECT_EQ(group_->latest_id(), group_->GetConfiguration()->id());
+  const std::string key = KeyOnInstance(0);
+  auto r = client_->Read(session_, key);
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(client_->Write(session_, key).ok());
+}
+
+TEST_F(CoordinatorGroupTest, FailoverPreservesConfiguration) {
+  Build(/*shadows=*/2);
+  group_->OnInstanceFailed(0);
+  const ConfigId before = group_->latest_id();
+  auto cfg_before = group_->GetConfiguration();
+
+  group_->FailMaster();
+  EXPECT_FALSE(group_->master_available());
+  EXPECT_EQ(group_->GetConfiguration(), nullptr);
+
+  ASSERT_TRUE(group_->PromoteShadow());
+  EXPECT_TRUE(group_->master_available());
+  EXPECT_EQ(group_->shadows_remaining(), 1u);
+  auto cfg_after = group_->GetConfiguration();
+  ASSERT_NE(cfg_after, nullptr);
+  // The promoted shadow re-publishes with a fresh id but identical
+  // assignments.
+  EXPECT_GE(cfg_after->id(), before);
+  ASSERT_EQ(cfg_after->num_fragments(), cfg_before->num_fragments());
+  for (FragmentId f = 0; f < cfg_before->num_fragments(); ++f) {
+    EXPECT_EQ(cfg_after->fragment(f).primary, cfg_before->fragment(f).primary);
+    EXPECT_EQ(cfg_after->fragment(f).secondary,
+              cfg_before->fragment(f).secondary);
+    EXPECT_EQ(cfg_after->fragment(f).mode, cfg_before->fragment(f).mode);
+  }
+}
+
+TEST_F(CoordinatorGroupTest, NoPromotionWhileMasterUp) {
+  Build(1);
+  EXPECT_FALSE(group_->PromoteShadow());
+  EXPECT_EQ(group_->shadows_remaining(), 1u);
+}
+
+TEST_F(CoordinatorGroupTest, RunsOutOfShadows) {
+  Build(1);
+  group_->FailMaster();
+  EXPECT_TRUE(group_->PromoteShadow());
+  group_->FailMaster();
+  EXPECT_FALSE(group_->PromoteShadow());
+  EXPECT_FALSE(group_->master_available());
+}
+
+TEST_F(CoordinatorGroupTest, ClientsRideThroughCoordinatorOutage) {
+  Build();
+  const std::string key = KeyOnInstance(0);
+  (void)client_->Read(session_, key);  // cached config
+
+  group_->FailMaster();
+  // The client keeps serving from its cached configuration; operations that
+  // need no coordinator round trip are unaffected.
+  auto r = client_->Read(session_, key);
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(r->cache_hit);
+  EXPECT_TRUE(client_->Write(session_, key).ok());
+
+  // A fresh client with no cached configuration cannot proceed...
+  GeminiClient fresh(&clock_, group_.get(), raw_, &store_);
+  Session s;
+  EXPECT_FALSE(fresh.Read(s, key).ok());
+  // ...until a shadow is promoted.
+  ASSERT_TRUE(group_->PromoteShadow());
+  auto r2 = fresh.Read(s, key);
+  ASSERT_TRUE(r2.ok());
+}
+
+TEST_F(CoordinatorGroupTest, FailoverMidRecoveryStaysConsistent) {
+  Build(/*shadows=*/2, RecoveryPolicy::GeminiO());
+  const std::string key = KeyOnInstance(0);
+  (void)client_->Read(session_, key);  // old value persists in primary
+  group_->OnInstanceFailed(0);
+  ASSERT_TRUE(client_->Write(session_, key, "fresh").ok());  // dirty
+  group_->OnInstanceRecovered(0);
+  const FragmentId f = group_->GetConfiguration()->FragmentOf(key);
+  ASSERT_NE(group_->master(), nullptr);
+  ASSERT_EQ(group_->master()->ModeOf(f), FragmentMode::kRecovery);
+
+  // Coordinator dies mid-recovery; the promoted shadow remembers the
+  // fragment's recovery state (pre-failure id, dirty-processed flags).
+  group_->FailMaster();
+  ASSERT_TRUE(group_->PromoteShadow());
+  ASSERT_EQ(group_->master()->ModeOf(f), FragmentMode::kRecovery);
+
+  // Reads remain consistent and recovery completes under the new master.
+  auto r = client_->Read(session_, key);
+  ASSERT_TRUE(r.ok());
+  EXPECT_FALSE(checker_->OnRead(clock_.Now(), key, r->value.version));
+  Session ws;
+  for (int guard = 0; guard < 10000; ++guard) {
+    if (!worker_->has_work() && !worker_->TryAdoptFragment(ws).has_value()) {
+      break;
+    }
+    (void)worker_->Step(ws);
+  }
+  EXPECT_EQ(group_->master()->ModeOf(f), FragmentMode::kNormal);
+  auto r2 = client_->Read(session_, key);
+  ASSERT_TRUE(r2.ok());
+  EXPECT_FALSE(checker_->OnRead(clock_.Now(), key, r2->value.version));
+  EXPECT_EQ(checker_->total_stale(), 0u);
+}
+
+TEST_F(CoordinatorGroupTest, FailureEventsDroppedWhileDownAreSafe) {
+  // A failure detected while no master is up is lost until re-detected —
+  // clients fall back to the store for the affected fragments (safe, slow).
+  Build(1);
+  const std::string key = KeyOnInstance(0);
+  group_->FailMaster();
+  group_->OnInstanceFailed(0);  // no-op: nobody to process it
+  raw_[0]->Fail();
+  GeminiClient fresh(&clock_, group_.get(), raw_, &store_);
+  Session s;
+  EXPECT_FALSE(fresh.Read(s, key).ok());  // no config at all
+  ASSERT_TRUE(group_->PromoteShadow());
+  group_->OnInstanceFailed(0);  // re-detected under the new master
+  auto r = fresh.Read(s, key);
+  ASSERT_TRUE(r.ok());  // served via the secondary now
+}
+
+TEST_F(CoordinatorGroupTest, LeaseLapseDuringLongOutageIsFailSafe) {
+  // Fragment leases have a finite lifetime (Section 2.3: seconds to
+  // minutes). If the whole coordinator group is down long enough for them
+  // to lapse, instances stop serving — clients degrade to data-store reads
+  // and suspended writes, never to stale answers.
+  for (size_t i = 0; i < kInstances; ++i) {
+    instances_.push_back(std::make_unique<CacheInstance>(
+        static_cast<InstanceId>(i), &clock_));
+    raw_.push_back(instances_.back().get());
+  }
+  Coordinator::Options opts;
+  opts.fragment_lease_lifetime = Seconds(5);
+  group_ = std::make_unique<CoordinatorGroup>(&clock_, raw_, kFragments,
+                                              /*shadows=*/1, opts);
+  client_ = std::make_unique<GeminiClient>(&clock_, group_.get(), raw_,
+                                           &store_);
+  for (int i = 0; i < 200; ++i) store_.Put("user" + std::to_string(i), "v");
+  const std::string key = KeyOnInstance(0);
+  Session s;
+  (void)client_->Read(s, key);  // cached config + cached entry
+
+  group_->FailMaster();
+  clock_.Advance(Seconds(6));  // all fragment leases lapse
+
+  // The cached entry is physically there, but the instance refuses to serve
+  // it without a lease; the client falls back to the store (consistent).
+  auto r = client_->Read(s, key);
+  ASSERT_TRUE(r.ok());
+  EXPECT_FALSE(r->cache_hit);
+  EXPECT_EQ(r->value.version, store_.VersionOf(key));
+  // Writes are suspended rather than applied inconsistently.
+  EXPECT_EQ(client_->Write(s, key).code(), Code::kSuspended);
+
+  // Promotion re-grants leases; normal service resumes.
+  ASSERT_TRUE(group_->PromoteShadow());
+  auto r2 = client_->Read(s, key);
+  ASSERT_TRUE(r2.ok());
+  auto r3 = client_->Read(s, key);
+  ASSERT_TRUE(r3.ok());
+  EXPECT_TRUE(r3->cache_hit);
+  EXPECT_TRUE(client_->Write(s, key).ok());
+}
+
+}  // namespace
+}  // namespace gemini

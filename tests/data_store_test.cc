@@ -1,0 +1,86 @@
+#include "src/store/data_store.h"
+
+#include <gtest/gtest.h>
+
+namespace gemini {
+namespace {
+
+TEST(DataStore, QueryMissingIsNotFound) {
+  DataStore store;
+  EXPECT_EQ(store.Query("k").code(), Code::kNotFound);
+  EXPECT_EQ(store.VersionOf("k"), 0u);
+}
+
+TEST(DataStore, PutThenQuery) {
+  DataStore store;
+  store.Put("k", "value");
+  auto r = store.Query("k");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->data, "value");
+  EXPECT_EQ(r->size_bytes, 5u);
+  EXPECT_EQ(r->version, 1u);
+}
+
+TEST(DataStore, UpdateBumpsVersion) {
+  DataStore store;
+  store.Put("k", "v1");
+  EXPECT_EQ(store.Update("k"), 2u);
+  EXPECT_EQ(store.Update("k", "v3"), 3u);
+  auto r = store.Query("k");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->data, "v3");
+  EXPECT_EQ(r->version, 3u);
+  EXPECT_EQ(store.VersionOf("k"), 3u);
+}
+
+TEST(DataStore, VersionOnlyUpdateKeepsPayload) {
+  DataStore store;
+  store.Put("k", "payload");
+  store.Update("k");  // synthetic write: only the version moves
+  auto r = store.Query("k");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->data, "payload");
+  EXPECT_EQ(r->version, 2u);
+}
+
+TEST(DataStore, UpdateOnMissingKeyCreatesRecord) {
+  DataStore store;
+  EXPECT_EQ(store.Update("new"), 1u);
+  EXPECT_TRUE(store.Query("new").ok());
+}
+
+TEST(DataStore, LoadSyntheticBulkLoads) {
+  DataStore store;
+  store.LoadSynthetic(100, 512,
+                      [](uint64_t i) { return "r" + std::to_string(i); });
+  EXPECT_EQ(store.size(), 100u);
+  auto r = store.Query("r42");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->size_bytes, 512u);
+  EXPECT_EQ(r->version, 1u);
+  EXPECT_TRUE(r->data.empty());  // payload not materialized
+}
+
+TEST(DataStore, LoadSyntheticSizedUsesPerRecordSizes) {
+  DataStore store;
+  store.LoadSyntheticSized(
+      10, [](uint64_t i) { return "r" + std::to_string(i); },
+      [](uint64_t i) { return 100 + i; });
+  EXPECT_EQ(store.Query("r7")->size_bytes, 107u);
+}
+
+TEST(DataStore, StatsCountOperations) {
+  DataStore store;
+  store.Put("k", "v");
+  (void)store.Query("k");
+  (void)store.Query("missing");
+  store.Update("k");
+  auto s = store.stats();
+  EXPECT_EQ(s.queries, 2u);
+  EXPECT_EQ(s.updates, 1u);
+  store.ResetCounters();
+  EXPECT_EQ(store.stats().queries, 0u);
+}
+
+}  // namespace
+}  // namespace gemini

@@ -1,0 +1,105 @@
+// Dirty-list codec tests (Section 3.1): marker semantics, dedup, parsing.
+#include "src/cache/dirty_list.h"
+
+#include <gtest/gtest.h>
+
+namespace gemini {
+namespace {
+
+TEST(DirtyList, FreshListIsEmptyAndValid) {
+  auto list = DirtyList::Parse(DirtyList::InitialPayload());
+  ASSERT_TRUE(list.has_value());
+  EXPECT_TRUE(list->empty());
+  EXPECT_EQ(list->size(), 0u);
+}
+
+TEST(DirtyList, AppendedKeysParse) {
+  std::string payload = DirtyList::InitialPayload();
+  payload += DirtyList::EncodeRecord("user1");
+  payload += DirtyList::EncodeRecord("user2");
+  auto list = DirtyList::Parse(payload);
+  ASSERT_TRUE(list.has_value());
+  EXPECT_EQ(list->size(), 2u);
+  EXPECT_TRUE(list->Contains("user1"));
+  EXPECT_TRUE(list->Contains("user2"));
+  EXPECT_FALSE(list->Contains("user3"));
+}
+
+TEST(DirtyList, DuplicateAppendsDeduplicated) {
+  std::string payload = DirtyList::InitialPayload();
+  for (int i = 0; i < 5; ++i) payload += DirtyList::EncodeRecord("k");
+  auto list = DirtyList::Parse(payload);
+  ASSERT_TRUE(list.has_value());
+  EXPECT_EQ(list->size(), 1u);
+  EXPECT_EQ(list->raw_record_count(), 5u);
+}
+
+TEST(DirtyList, KeysPreserveFirstAppendOrder) {
+  std::string payload = DirtyList::InitialPayload();
+  payload += DirtyList::EncodeRecord("b");
+  payload += DirtyList::EncodeRecord("a");
+  payload += DirtyList::EncodeRecord("b");
+  auto list = DirtyList::Parse(payload);
+  ASSERT_TRUE(list.has_value());
+  ASSERT_EQ(list->keys().size(), 2u);
+  EXPECT_EQ(list->keys()[0], "b");
+  EXPECT_EQ(list->keys()[1], "a");
+}
+
+TEST(DirtyList, MissingMarkerMeansPartial) {
+  // Section 3.1: a list re-created by append after an eviction lacks the
+  // marker and must be detected as partial.
+  std::string payload = DirtyList::EncodeRecord("user1");
+  EXPECT_FALSE(DirtyList::Parse(payload).has_value());
+}
+
+TEST(DirtyList, EmptyPayloadIsPartial) {
+  EXPECT_FALSE(DirtyList::Parse("").has_value());
+}
+
+TEST(DirtyList, MarkerMustBeFirstRecord) {
+  std::string payload = DirtyList::EncodeRecord("user1");
+  payload += DirtyList::InitialPayload();
+  EXPECT_FALSE(DirtyList::Parse(payload).has_value());
+}
+
+TEST(DirtyList, RemoveMarksHandled) {
+  std::string payload = DirtyList::InitialPayload();
+  payload += DirtyList::EncodeRecord("a");
+  payload += DirtyList::EncodeRecord("b");
+  auto list = DirtyList::Parse(payload);
+  ASSERT_TRUE(list.has_value());
+  list->Remove("a");
+  EXPECT_FALSE(list->Contains("a"));
+  EXPECT_TRUE(list->Contains("b"));
+  EXPECT_EQ(list->size(), 1u);
+  // Removing twice is a no-op.
+  list->Remove("a");
+  EXPECT_EQ(list->size(), 1u);
+}
+
+TEST(DirtyList, TruncatedTrailingRecordIgnored) {
+  std::string payload = DirtyList::InitialPayload();
+  payload += DirtyList::EncodeRecord("ok");
+  payload += "trunc";  // no trailing newline
+  auto list = DirtyList::Parse(payload);
+  ASSERT_TRUE(list.has_value());
+  EXPECT_EQ(list->size(), 1u);
+  EXPECT_TRUE(list->Contains("ok"));
+}
+
+TEST(DirtyList, LargeListRoundTrip) {
+  std::string payload = DirtyList::InitialPayload();
+  constexpr int kKeys = 50000;
+  for (int i = 0; i < kKeys; ++i) {
+    payload += DirtyList::EncodeRecord("user" + std::to_string(i));
+  }
+  auto list = DirtyList::Parse(payload);
+  ASSERT_TRUE(list.has_value());
+  EXPECT_EQ(list->size(), static_cast<size_t>(kKeys));
+  EXPECT_TRUE(list->Contains("user0"));
+  EXPECT_TRUE(list->Contains("user49999"));
+}
+
+}  // namespace
+}  // namespace gemini

@@ -1,0 +1,75 @@
+#include "src/workload/distributions.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace gemini {
+namespace {
+
+TEST(UniformKeys, CoversRangeEvenly) {
+  UniformKeys u(10);
+  Rng rng(1);
+  std::vector<int> counts(10, 0);
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) ++counts[u.Next(rng)];
+  for (int c : counts) EXPECT_NEAR(c, n / 10, n / 10 * 0.1);
+}
+
+TEST(HotspotKeys, HotSetGetsHotFraction) {
+  HotspotKeys h(1000, /*hot_set_fraction=*/0.2, /*hot_fraction=*/0.8);
+  EXPECT_EQ(h.hot_keys(), 200u);
+  Rng rng(2);
+  int hot = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    if (h.Next(rng) < 200) ++hot;
+  }
+  EXPECT_NEAR(double(hot) / n, 0.8, 0.01);
+}
+
+TEST(HotspotKeys, ColdKeysStillReachable) {
+  HotspotKeys h(100, 0.1, 0.9);
+  Rng rng(3);
+  bool saw_cold = false;
+  for (int i = 0; i < 10000 && !saw_cold; ++i) {
+    saw_cold = h.Next(rng) >= 10;
+  }
+  EXPECT_TRUE(saw_cold);
+}
+
+TEST(HotspotKeys, DegenerateAllHot) {
+  HotspotKeys h(10, 1.0, 0.5);
+  Rng rng(4);
+  for (int i = 0; i < 1000; ++i) EXPECT_LT(h.Next(rng), 10u);
+}
+
+TEST(LatestKeys, BiasedTowardFrontier) {
+  LatestKeys l(10000);
+  Rng rng(5);
+  int near_frontier = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    if (l.Next(rng) >= 9000) ++near_frontier;  // last 10% of records
+  }
+  // Zipf-toward-latest concentrates far more than 10% there.
+  EXPECT_GT(double(near_frontier) / n, 0.5);
+}
+
+TEST(LatestKeys, AdvanceShiftsTheBias) {
+  LatestKeys l(1000);
+  Rng rng(6);
+  l.Advance(1000);  // frontier now 2000
+  EXPECT_EQ(l.frontier(), 2000u);
+  int new_half = 0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) {
+    const uint64_t r = l.Next(rng);
+    EXPECT_LT(r, 2000u);
+    if (r >= 1000) ++new_half;
+  }
+  EXPECT_GT(double(new_half) / n, 0.8);
+}
+
+}  // namespace
+}  // namespace gemini

@@ -1,0 +1,101 @@
+#include "src/sim/event_queue.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace gemini {
+namespace {
+
+TEST(EventQueue, RunsEventsInTimeOrder) {
+  VirtualClock clock;
+  EventQueue q(&clock);
+  std::vector<int> order;
+  q.At(30, [&](Timestamp) { order.push_back(3); });
+  q.At(10, [&](Timestamp) { order.push_back(1); });
+  q.At(20, [&](Timestamp) { order.push_back(2); });
+  q.RunUntil(100);
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(clock.Now(), 100);
+}
+
+TEST(EventQueue, TiesBreakByInsertionOrder) {
+  VirtualClock clock;
+  EventQueue q(&clock);
+  std::vector<int> order;
+  for (int i = 0; i < 5; ++i) {
+    q.At(10, [&order, i](Timestamp) { order.push_back(i); });
+  }
+  q.RunUntil(10);
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(EventQueue, ClockAdvancesToEventTime) {
+  VirtualClock clock;
+  EventQueue q(&clock);
+  Timestamp seen = -1;
+  q.At(Seconds(5), [&](Timestamp t) {
+    seen = t;
+    EXPECT_EQ(clock.Now(), Seconds(5));
+  });
+  q.RunUntil(Seconds(10));
+  EXPECT_EQ(seen, Seconds(5));
+}
+
+TEST(EventQueue, EventsPastUntilStayQueued) {
+  VirtualClock clock;
+  EventQueue q(&clock);
+  int ran = 0;
+  q.At(Seconds(5), [&](Timestamp) { ++ran; });
+  q.At(Seconds(50), [&](Timestamp) { ++ran; });
+  q.RunUntil(Seconds(10));
+  EXPECT_EQ(ran, 1);
+  EXPECT_EQ(q.size(), 1u);
+  q.RunUntil(Seconds(60));
+  EXPECT_EQ(ran, 2);
+}
+
+TEST(EventQueue, EventsMayScheduleEvents) {
+  VirtualClock clock;
+  EventQueue q(&clock);
+  int count = 0;
+  std::function<void(Timestamp)> tick = [&](Timestamp t) {
+    if (++count < 10) q.At(t + Millis(1), tick);
+  };
+  q.At(0, tick);
+  q.RunUntil(Seconds(1));
+  EXPECT_EQ(count, 10);
+  EXPECT_EQ(q.executed(), 10u);
+}
+
+TEST(EventQueue, PastTimestampsClampToNow) {
+  VirtualClock clock;
+  EventQueue q(&clock);
+  Timestamp ran_at = -1;
+  q.At(Seconds(1), [&](Timestamp t) {
+    q.At(t - Seconds(10), [&](Timestamp t2) { ran_at = t2; });
+  });
+  q.RunUntil(Seconds(2));
+  EXPECT_EQ(ran_at, Seconds(1));  // not in the past
+}
+
+TEST(EventQueue, AfterSchedulesRelative) {
+  VirtualClock clock(Seconds(3));
+  EventQueue q(&clock);
+  Timestamp ran_at = -1;
+  q.After(Millis(500), [&](Timestamp t) { ran_at = t; });
+  q.RunUntil(Seconds(4));
+  EXPECT_EQ(ran_at, Seconds(3) + Millis(500));
+}
+
+TEST(EventQueue, EventExactlyAtUntilRuns) {
+  VirtualClock clock;
+  EventQueue q(&clock);
+  bool ran = false;
+  q.At(Seconds(10), [&](Timestamp) { ran = true; });
+  q.RunUntil(Seconds(10));
+  EXPECT_TRUE(ran);
+}
+
+}  // namespace
+}  // namespace gemini

@@ -1,0 +1,323 @@
+// Cross-module lifecycle integration tests: multi-episode failover churn,
+// crash-mode recovery through the whole stack, dirty-list budgets, client
+// bootstrap mid-failure, and a policy-parameterized scenario matrix.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/cache/dirty_list.h"
+#include "src/client/gemini_client.h"
+#include "src/consistency/stale_read_checker.h"
+#include "src/coordinator/coordinator.h"
+#include "src/recovery/recovery_worker.h"
+
+namespace gemini {
+namespace {
+
+class LifecycleTest : public ::testing::Test {
+ protected:
+  static constexpr size_t kInstances = 4;
+  static constexpr size_t kFragments = 8;
+
+  void Build(RecoveryPolicy policy, Coordinator::Options extra = {}) {
+    policy_ = policy;
+    extra.policy = policy;
+    for (size_t i = 0; i < kInstances; ++i) {
+      instances_.push_back(std::make_unique<CacheInstance>(
+          static_cast<InstanceId>(i), &clock_));
+      raw_.push_back(instances_.back().get());
+    }
+    coordinator_ =
+        std::make_unique<Coordinator>(&clock_, raw_, kFragments, extra);
+    GeminiClient::Options copts;
+    copts.working_set_transfer = policy.working_set_transfer;
+    copts.maintain_dirty_lists = policy.maintain_dirty_lists;
+    client_ = std::make_unique<GeminiClient>(&clock_, coordinator_.get(),
+                                             raw_, &store_, copts);
+    recovery_state_ = std::make_unique<RecoveryState>(kFragments);
+    client_->BindRecoveryState(recovery_state_.get());
+    RecoveryWorker::Options wopts;
+    wopts.overwrite_dirty = policy.overwrite_dirty;
+    worker_ = std::make_unique<RecoveryWorker>(&clock_, coordinator_.get(),
+                                               raw_, wopts);
+    checker_ = std::make_unique<StaleReadChecker>(&store_);
+    for (int i = 0; i < 400; ++i) {
+      store_.Put("user" + std::to_string(i), "v0");
+    }
+  }
+
+  std::vector<std::string> KeysOnInstance(InstanceId instance, int want) {
+    std::vector<std::string> keys;
+    auto cfg = coordinator_->GetConfiguration();
+    for (int i = 0; i < 400 && static_cast<int>(keys.size()) < want; ++i) {
+      std::string key = "user" + std::to_string(i);
+      if (cfg->fragment(cfg->FragmentOf(key)).primary == instance) {
+        keys.push_back(std::move(key));
+      }
+    }
+    return keys;
+  }
+
+  void DrainWorker() {
+    Session s;
+    for (int guard = 0; guard < 20000; ++guard) {
+      if (!worker_->has_work() &&
+          !worker_->TryAdoptFragment(s).has_value()) {
+        return;
+      }
+      (void)worker_->Step(s);
+    }
+    FAIL() << "worker did not drain";
+  }
+
+  void FinishWst(InstanceId instance) {
+    if (!policy_.working_set_transfer) return;
+    for (FragmentId f : coordinator_->FragmentsWithPrimary(instance)) {
+      if (coordinator_->ModeOf(f) == FragmentMode::kRecovery) {
+        recovery_state_->TerminateWst(f);
+        coordinator_->OnWorkingSetTransferTerminated(f);
+      }
+    }
+  }
+
+  bool AuditRead(const std::string& key) {
+    auto r = client_->Read(session_, key);
+    if (!r.ok()) return false;
+    return checker_->OnRead(clock_.Now(), key, r->value.version);
+  }
+
+  RecoveryPolicy policy_;
+  VirtualClock clock_;
+  DataStore store_;
+  std::vector<std::unique_ptr<CacheInstance>> instances_;
+  std::vector<CacheInstance*> raw_;
+  std::unique_ptr<Coordinator> coordinator_;
+  std::unique_ptr<GeminiClient> client_;
+  std::unique_ptr<RecoveryState> recovery_state_;
+  std::unique_ptr<RecoveryWorker> worker_;
+  std::unique_ptr<StaleReadChecker> checker_;
+  Session session_;
+};
+
+TEST_F(LifecycleTest, FiveFailureEpisodesStayConsistentAndConverge) {
+  Build(RecoveryPolicy::GeminiO());
+  auto keys = KeysOnInstance(0, 12);
+  ASSERT_GE(keys.size(), 4u);
+  for (const auto& k : keys) EXPECT_FALSE(AuditRead(k));
+
+  for (int episode = 0; episode < 5; ++episode) {
+    clock_.Advance(Seconds(1));
+    coordinator_->OnInstanceFailed(0);
+    // Writes and reads while down.
+    for (size_t i = 0; i < keys.size(); i += 2) {
+      ASSERT_TRUE(client_->Write(session_, keys[i]).ok());
+    }
+    for (const auto& k : keys) EXPECT_FALSE(AuditRead(k));
+    clock_.Advance(Seconds(1));
+    coordinator_->OnInstanceRecovered(0);
+    for (const auto& k : keys) EXPECT_FALSE(AuditRead(k));
+    DrainWorker();
+    EXPECT_TRUE(
+        coordinator_->FragmentsInMode(FragmentMode::kRecovery).empty())
+        << "episode " << episode;
+    for (const auto& k : keys) EXPECT_FALSE(AuditRead(k));
+  }
+  EXPECT_EQ(checker_->total_stale(), 0u);
+}
+
+TEST_F(LifecycleTest, CrashModeFullCycleThroughTheStack) {
+  Build(RecoveryPolicy::GeminiO());
+  auto keys = KeysOnInstance(0, 6);
+  ASSERT_GE(keys.size(), 2u);
+  for (const auto& k : keys) (void)client_->Read(session_, k);
+
+  // Real crash: process state (leases) lost, content persistent.
+  raw_[0]->Fail();
+  // Before detection, reads fall back to the store and writes suspend.
+  EXPECT_FALSE(AuditRead(keys[0]));
+  EXPECT_EQ(client_->Write(session_, keys[0]).code(), Code::kSuspended);
+
+  coordinator_->OnInstanceFailed(0);
+  ASSERT_TRUE(client_->Write(session_, keys[0]).ok());
+  EXPECT_FALSE(AuditRead(keys[0]));
+
+  raw_[0]->RecoverPersistent();
+  coordinator_->OnInstanceRecovered(0);
+  // Clean persistent entry survives the crash and serves immediately.
+  auto clean = client_->Read(session_, keys[1]);
+  ASSERT_TRUE(clean.ok());
+  EXPECT_TRUE(clean->cache_hit);
+  EXPECT_FALSE(checker_->OnRead(clock_.Now(), keys[1], clean->value.version));
+  // Dirty key serves the post-failure value.
+  EXPECT_FALSE(AuditRead(keys[0]));
+  DrainWorker();
+  EXPECT_EQ(checker_->total_stale(), 0u);
+}
+
+TEST_F(LifecycleTest, DirtyListBudgetPromotesSecondary) {
+  Coordinator::Options opts;
+  opts.dirty_list_byte_budget = 200;
+  Build(RecoveryPolicy::GeminiO(), opts);
+  auto keys = KeysOnInstance(0, 8);
+  ASSERT_GE(keys.size(), 4u);
+  const FragmentId f = coordinator_->GetConfiguration()->FragmentOf(keys[0]);
+
+  coordinator_->OnInstanceFailed(0);
+  // Push the fragment's dirty list over budget with distinct keys of the
+  // same fragment.
+  std::vector<std::string> same_fragment;
+  auto cfg = coordinator_->GetConfiguration();
+  for (int i = 0; i < 400; ++i) {
+    std::string key = "user" + std::to_string(i);
+    if (cfg->FragmentOf(key) == f) same_fragment.push_back(std::move(key));
+  }
+  for (const auto& k : same_fragment) {
+    ASSERT_TRUE(client_->Write(session_, k).ok());
+    if (coordinator_->EnforceDirtyListBudget(f)) break;
+  }
+  // Transition (4): the fragment is in normal mode on the promoted
+  // secondary; everything keeps being served consistently.
+  EXPECT_EQ(coordinator_->ModeOf(f), FragmentMode::kNormal);
+  EXPECT_GE(coordinator_->discarded_fragment_count(), 1u);
+  for (const auto& k : same_fragment) EXPECT_FALSE(AuditRead(k));
+  // The old primary's content for f is unrecoverable by construction; when
+  // the instance returns it simply no longer owns the fragment.
+  coordinator_->OnInstanceRecovered(0);
+  for (const auto& k : same_fragment) EXPECT_FALSE(AuditRead(k));
+  EXPECT_EQ(checker_->total_stale(), 0u);
+}
+
+TEST_F(LifecycleTest, FreshClientBootstrapsDuringFailure) {
+  Build(RecoveryPolicy::GeminiO());
+  auto keys = KeysOnInstance(0, 2);
+  ASSERT_GE(keys.size(), 1u);
+  (void)client_->Read(session_, keys[0]);
+  coordinator_->OnInstanceFailed(0);
+
+  // A freshly restarted client bootstraps from an instance's config entry
+  // (Section 3.3) and observes the transient-mode routing.
+  GeminiClient fresh(&clock_, coordinator_.get(), raw_, &store_);
+  Session s;
+  const ConfigId id = fresh.Bootstrap(s, /*via_instance=*/1);
+  EXPECT_EQ(id, coordinator_->latest_id());
+  auto r = fresh.Read(s, keys[0]);
+  ASSERT_TRUE(r.ok());
+  EXPECT_NE(r->routed, 0u);  // not the failed instance
+}
+
+TEST_F(LifecycleTest, WorkerAndClientContendOnSameDirtyKey) {
+  Build(RecoveryPolicy::GeminiO());
+  auto keys = KeysOnInstance(0, 2);
+  ASSERT_GE(keys.size(), 1u);
+  const std::string& key = keys[0];
+  (void)client_->Read(session_, key);
+  coordinator_->OnInstanceFailed(0);
+  ASSERT_TRUE(client_->Write(session_, key).ok());
+  (void)client_->Read(session_, key);  // fresh value in the secondary
+  coordinator_->OnInstanceRecovered(0);
+
+  // Client gets there first (holds the I lease via its dirty-key read).
+  const FragmentId f = coordinator_->GetConfiguration()->FragmentOf(key);
+  OpContext ctx{coordinator_->latest_id(), f};
+  auto held = raw_[0]->ISet(ctx, key);  // simulate the in-flight client
+  ASSERT_TRUE(held.ok());
+
+  // Worker adoption + stepping must back off on that key, not corrupt it.
+  ASSERT_TRUE(worker_->TryAdoptFragment(session_).has_value() ||
+              worker_->has_work());
+  // Find the adopted fragment; if it is a different one, drain until ours.
+  for (int guard = 0; guard < 1000; ++guard) {
+    if (worker_->has_work() &&
+        worker_->current_fragment() == std::optional<FragmentId>(f)) {
+      break;
+    }
+    if (!worker_->has_work() &&
+        !worker_->TryAdoptFragment(session_).has_value()) {
+      break;
+    }
+    (void)worker_->Step(session_);
+  }
+  if (worker_->has_work() &&
+      worker_->current_fragment() == std::optional<FragmentId>(f)) {
+    EXPECT_FALSE(worker_->Step(session_));  // backs off on the held key
+  }
+  // Release the lease; everything drains and stays consistent.
+  (void)raw_[0]->IDelete(ctx, key, *held);
+  DrainWorker();
+  EXPECT_FALSE(AuditRead(key));
+  EXPECT_EQ(checker_->total_stale(), 0u);
+}
+
+// ---- Policy matrix -------------------------------------------------------------
+
+class PolicyMatrixTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(PolicyMatrixTest, FailureEpisodeMeetsPolicyContract) {
+  RecoveryPolicy policy;
+  switch (GetParam()) {
+    case 0: policy = RecoveryPolicy::VolatileCache(); break;
+    case 1: policy = RecoveryPolicy::StaleCache(); break;
+    case 2: policy = RecoveryPolicy::GeminiI(); break;
+    case 3: policy = RecoveryPolicy::GeminiO(); break;
+    case 4: policy = RecoveryPolicy::GeminiIW(); break;
+    default: policy = RecoveryPolicy::GeminiOW(); break;
+  }
+
+  VirtualClock clock;
+  DataStore store;
+  std::vector<std::unique_ptr<CacheInstance>> owned;
+  std::vector<CacheInstance*> raw;
+  for (InstanceId i = 0; i < 3; ++i) {
+    owned.push_back(std::make_unique<CacheInstance>(i, &clock));
+    raw.push_back(owned.back().get());
+  }
+  Coordinator::Options copts;
+  copts.policy = policy;
+  Coordinator coordinator(&clock, raw, 6, copts);
+  GeminiClient::Options cl;
+  cl.working_set_transfer = policy.working_set_transfer;
+  cl.maintain_dirty_lists = policy.maintain_dirty_lists;
+  GeminiClient client(&clock, &coordinator, raw, &store);
+  RecoveryState rs(6);
+  client.BindRecoveryState(&rs);
+  StaleReadChecker checker(&store);
+  Session session;
+  for (int i = 0; i < 200; ++i) store.Put("user" + std::to_string(i), "v");
+
+  // Warm keys of instance 0, fail it, write them, recover it.
+  std::vector<std::string> keys;
+  auto cfg = coordinator.GetConfiguration();
+  for (int i = 0; i < 200 && keys.size() < 6; ++i) {
+    std::string key = "user" + std::to_string(i);
+    if (cfg->fragment(cfg->FragmentOf(key)).primary == 0) {
+      keys.push_back(std::move(key));
+    }
+  }
+  for (const auto& k : keys) (void)client.Read(session, k);
+  coordinator.OnInstanceFailed(0);
+  for (const auto& k : keys) ASSERT_TRUE(client.Write(session, k).ok());
+  if (!policy.persistent) raw[0]->RecoverVolatile();
+  coordinator.OnInstanceRecovered(0);
+
+  uint64_t stale = 0;
+  for (const auto& k : keys) {
+    auto r = client.Read(session, k);
+    ASSERT_TRUE(r.ok());
+    if (checker.OnRead(clock.Now(), k, r->value.version)) ++stale;
+  }
+  if (policy.consistent_recovery || !policy.persistent) {
+    // All Gemini variants and VolatileCache: zero stale reads.
+    EXPECT_EQ(stale, 0u) << policy.Name();
+  } else {
+    // StaleCache: every warmed-and-overwritten key is served stale.
+    EXPECT_GT(stale, 0u);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllPolicies, PolicyMatrixTest,
+                         ::testing::Range(0, 6));
+
+}  // namespace
+}  // namespace gemini

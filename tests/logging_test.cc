@@ -1,0 +1,34 @@
+#include "src/common/logging.h"
+
+#include <gtest/gtest.h>
+
+namespace gemini {
+namespace {
+
+TEST(Logging, LevelRoundTrips) {
+  const LogLevel before = LogState::Level();
+  LogState::SetLevel(LogLevel::kDebug);
+  EXPECT_EQ(LogState::Level(), LogLevel::kDebug);
+  LogState::SetLevel(LogLevel::kError);
+  EXPECT_EQ(LogState::Level(), LogLevel::kError);
+  LogState::SetLevel(before);
+}
+
+TEST(Logging, MacroCompilesAndFiltersBelowLevel) {
+  const LogLevel before = LogState::Level();
+  LogState::SetLevel(LogLevel::kError);
+  // Suppressed: argument side effects must still not run.
+  int evaluations = 0;
+  auto touch = [&evaluations] {
+    ++evaluations;
+    return "x";
+  };
+  LOG_DEBUG << touch();
+  LOG_INFO << touch();
+  EXPECT_EQ(evaluations, 0);
+  LOG_ERROR << "visible at error level (stderr)";
+  LogState::SetLevel(before);
+}
+
+}  // namespace
+}  // namespace gemini

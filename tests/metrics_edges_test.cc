@@ -1,0 +1,101 @@
+// Edge coverage for the metric plumbing the benches rely on, plus
+// parameterized lease-lifetime sweeps (the paper: IQ leases live for
+// milliseconds, fragment leases for seconds to minutes — behaviour must be
+// lifetime-independent).
+#include <gtest/gtest.h>
+
+#include "src/common/histogram.h"
+#include "src/lease/lease_table.h"
+#include "src/sim/metrics.h"
+#include "src/store/data_store.h"
+
+namespace gemini {
+namespace {
+
+// ---- SimMetrics ---------------------------------------------------------------
+
+TEST(SimMetricsEdges, SecondsUntilHitRatioSkipsEmptyBucketsAndMisses) {
+  DataStore store;
+  SimMetrics m(2, &store);
+  // Seconds 0-1: below target; second 2: empty; second 3: reaches target.
+  m.instance_hit[0].AddDenominator(Seconds(0), 10);
+  m.instance_hit[0].AddNumerator(Seconds(0), 2);
+  m.instance_hit[0].AddDenominator(Seconds(1), 10);
+  m.instance_hit[0].AddNumerator(Seconds(1), 5);
+  m.instance_hit[0].AddDenominator(Seconds(3), 10);
+  m.instance_hit[0].AddNumerator(Seconds(3), 9);
+  EXPECT_EQ(m.SecondsUntilHitRatio(0, 0, 0.9), 3.0);
+  EXPECT_EQ(m.SecondsUntilHitRatio(0, 1, 0.5), 0.0);
+  EXPECT_EQ(m.SecondsUntilHitRatio(0, 0, 0.99), -1.0);  // never reached
+  EXPECT_EQ(m.SecondsUntilHitRatio(99, 0, 0.5), -1.0);  // bad instance
+}
+
+TEST(SimMetricsEdges, InstanceHitBetweenOutOfRange) {
+  DataStore store;
+  SimMetrics m(1, &store);
+  EXPECT_EQ(m.InstanceHitBetween(5, 0, 10), 0.0);
+  EXPECT_EQ(m.InstanceHitBetween(0, 0, 10), 0.0);  // no data
+}
+
+TEST(LatencySeriesEdges, BucketAccessor) {
+  LatencySeries l(kSecond);
+  l.Record(Seconds(2), 100);
+  EXPECT_EQ(l.NumBuckets(), 3u);
+  ASSERT_NE(l.Bucket(2), nullptr);
+  EXPECT_EQ(l.Bucket(2)->count(), 1u);
+  ASSERT_NE(l.Bucket(0), nullptr);
+  EXPECT_EQ(l.Bucket(0)->count(), 0u);
+  EXPECT_EQ(l.Bucket(99), nullptr);
+}
+
+TEST(HistogramEdges, MergeSpillsOversizedTail) {
+  Histogram small(/*max_value=*/100);
+  Histogram big(/*max_value=*/1'000'000'000);
+  big.Record(500'000'000);
+  small.Merge(big);
+  EXPECT_EQ(small.count(), 1u);
+  EXPECT_EQ(small.Max(), 500'000'000);
+  EXPECT_GT(small.Percentile(0.99), 0.0);
+}
+
+// ---- Lease lifetimes -------------------------------------------------------------
+
+class LeaseLifetimeTest : public ::testing::TestWithParam<int64_t> {};
+
+TEST_P(LeaseLifetimeTest, ExpirySemanticsScaleWithLifetime) {
+  const Duration lifetime = Millis(GetParam());
+  VirtualClock clock;
+  LeaseTable::Options opts;
+  opts.i_lease_lifetime = lifetime;
+  opts.q_lease_lifetime = lifetime;
+  opts.red_lease_lifetime = lifetime;
+  LeaseTable table(&clock, opts);
+
+  auto i = table.AcquireI("k");
+  ASSERT_TRUE(i.ok());
+  clock.Advance(lifetime - 1);
+  EXPECT_TRUE(table.CheckI("k", *i));
+  clock.Advance(2);
+  EXPECT_FALSE(table.CheckI("k", *i));
+  EXPECT_TRUE(table.AcquireI("k").ok());
+
+  const LeaseToken q = table.AcquireQ("q-key");
+  clock.Advance(lifetime + 1);
+  EXPECT_FALSE(table.CheckQ("q-key", q));
+  EXPECT_TRUE(table.ExpireKey("q-key").delete_entry);
+
+  auto red = table.AcquireRed("list");
+  clock.Advance(lifetime - 1);
+  EXPECT_TRUE(table.RenewRed("list", *red));
+  clock.Advance(lifetime - 1);
+  EXPECT_TRUE(table.CheckRed("list", *red));
+  clock.Advance(2);
+  EXPECT_FALSE(table.CheckRed("list", *red));
+}
+
+// Milliseconds (the paper's IQ leases) up to minutes (fragment-lease scale).
+INSTANTIATE_TEST_SUITE_P(Lifetimes, LeaseLifetimeTest,
+                         ::testing::Values(1, 10, 100, 1000, 60'000));
+
+}  // namespace
+}  // namespace gemini

@@ -1,0 +1,303 @@
+// Rejig configuration-id semantics across full fragment lifecycles
+// (Section 3.2.4 and the Rejig report the paper defers to). These tests
+// exercise the interplay of per-entry stamps, per-fragment minimum-valid
+// ids, pre-failure restoration, and replica re-use across episodes — the
+// machinery that makes "discard a million entries" an O(1) id bump.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/client/gemini_client.h"
+#include "src/consistency/stale_read_checker.h"
+#include "src/coordinator/coordinator.h"
+#include "src/recovery/recovery_worker.h"
+
+namespace gemini {
+namespace {
+
+class RejigTest : public ::testing::Test {
+ protected:
+  static constexpr size_t kInstances = 3;
+  static constexpr size_t kFragments = 3;  // fragment i on instance i
+
+  void Build(RecoveryPolicy policy = RecoveryPolicy::GeminiO()) {
+    for (size_t i = 0; i < kInstances; ++i) {
+      instances_.push_back(std::make_unique<CacheInstance>(
+          static_cast<InstanceId>(i), &clock_));
+      raw_.push_back(instances_.back().get());
+    }
+    Coordinator::Options opts;
+    opts.policy = policy;
+    coordinator_ =
+        std::make_unique<Coordinator>(&clock_, raw_, kFragments, opts);
+    GeminiClient::Options copts;
+    copts.working_set_transfer = policy.working_set_transfer;
+    client_ = std::make_unique<GeminiClient>(&clock_, coordinator_.get(),
+                                             raw_, &store_, copts);
+    worker_ = std::make_unique<RecoveryWorker>(&clock_, coordinator_.get(),
+                                               raw_);
+    checker_ = std::make_unique<StaleReadChecker>(&store_);
+    for (int i = 0; i < 300; ++i) {
+      store_.Put("user" + std::to_string(i), "v");
+    }
+  }
+
+  std::string KeyOnInstance(InstanceId instance) {
+    auto cfg = coordinator_->GetConfiguration();
+    for (int i = 0; i < 300; ++i) {
+      std::string key = "user" + std::to_string(i);
+      if (cfg->fragment(cfg->FragmentOf(key)).primary == instance) return key;
+    }
+    ADD_FAILURE();
+    return "";
+  }
+
+  void DrainWorkers() {
+    Session s;
+    for (int guard = 0; guard < 10000; ++guard) {
+      if (!worker_->has_work() &&
+          !worker_->TryAdoptFragment(s).has_value()) {
+        return;
+      }
+      (void)worker_->Step(s);
+    }
+    FAIL() << "workers did not drain";
+  }
+
+  bool ReadIsStale(const std::string& key) {
+    auto r = client_->Read(session_, key);
+    if (!r.ok()) return false;
+    return checker_->OnRead(clock_.Now(), key, r->value.version);
+  }
+
+  VirtualClock clock_;
+  DataStore store_;
+  std::vector<std::unique_ptr<CacheInstance>> instances_;
+  std::vector<CacheInstance*> raw_;
+  std::unique_ptr<Coordinator> coordinator_;
+  std::unique_ptr<GeminiClient> client_;
+  std::unique_ptr<RecoveryWorker> worker_;
+  std::unique_ptr<StaleReadChecker> checker_;
+  Session session_;
+};
+
+TEST_F(RejigTest, EntryStampsFollowClientConfigId) {
+  Build();
+  const std::string key = KeyOnInstance(0);
+  (void)client_->Read(session_, key);
+  auto stamp = raw_[0]->RawConfigIdOf(key);
+  ASSERT_TRUE(stamp.has_value());
+  EXPECT_EQ(*stamp, coordinator_->latest_id());
+}
+
+TEST_F(RejigTest, PrefailureRestoreRevalidatesPrimaryEntries) {
+  Build();
+  const std::string key = KeyOnInstance(0);
+  (void)client_->Read(session_, key);
+  const auto stamp = *raw_[0]->RawConfigIdOf(key);
+
+  coordinator_->OnInstanceFailed(0);
+  coordinator_->OnInstanceRecovered(0);
+  const FragmentId f =
+      coordinator_->GetConfiguration()->FragmentOf(key);
+  // Fragment id restored at/below the entry's stamp: entry servable.
+  EXPECT_LE(coordinator_->GetConfiguration()->fragment(f).config_id, stamp);
+  auto r = client_->Read(session_, key);
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(r->cache_hit);
+  EXPECT_EQ(r->instance, 0u);
+}
+
+TEST_F(RejigTest, ReusedSecondaryLeftoversNeverServeStale) {
+  // The episode-crossing scenario the property tests originally caught:
+  // 1. episode 1: instance 0 fails; secondary S caches k.
+  // 2. recovery completes; S keeps its (now retired) copy physically.
+  // 3. k is written in normal mode (primary invalidated; S's copy is stale).
+  // 4. instance 0 fails again and S becomes the secondary again.
+  // 5. instance 0 recovers; the fragment id is restored for the primary —
+  //    S's stale leftover must NOT be re-validated for WST/overwrite reads.
+  Build(RecoveryPolicy::GeminiOW());
+  const std::string key = KeyOnInstance(0);
+  const FragmentId f = coordinator_->GetConfiguration()->FragmentOf(key);
+
+  // Episode 1.
+  coordinator_->OnInstanceFailed(0);
+  (void)client_->Read(session_, key);  // S caches k
+  const InstanceId s1 =
+      coordinator_->GetConfiguration()->fragment(f).secondary;
+  ASSERT_TRUE(raw_[s1]->ContainsRaw(key));
+  coordinator_->OnInstanceRecovered(0);
+  DrainWorkers();
+  // Terminate WST to finish the episode.
+  coordinator_->OnWorkingSetTransferTerminated(f);
+  ASSERT_EQ(coordinator_->ModeOf(f), FragmentMode::kNormal);
+
+  // Stale leftover in S.
+  ASSERT_TRUE(client_->Write(session_, key).ok());
+
+  // Episode 2 — keep failing until S is the secondary again.
+  for (int attempt = 0; attempt < 8; ++attempt) {
+    coordinator_->OnInstanceFailed(0);
+    const InstanceId s2 =
+        coordinator_->GetConfiguration()->fragment(f).secondary;
+    coordinator_->OnInstanceRecovered(0);
+    if (s2 == s1) break;
+    // Finish this episode cleanly and try again.
+    DrainWorkers();
+    coordinator_->OnWorkingSetTransferTerminated(f);
+  }
+  ASSERT_EQ(coordinator_->ModeOf(f), FragmentMode::kRecovery);
+
+  // The dirty list of episode 2 is empty; the read misses the primary (the
+  // write deleted k there) and probes the secondary: the leftover must be
+  // invisible, forcing a store fill.
+  EXPECT_FALSE(ReadIsStale(key));
+  EXPECT_EQ(checker_->total_stale(), 0u);
+}
+
+TEST_F(RejigTest, DiscardIsOrderOneIdBump) {
+  Build();
+  // Cache plenty of entries for instance 0's fragment.
+  std::vector<std::string> keys;
+  auto cfg = coordinator_->GetConfiguration();
+  for (int i = 0; i < 300; ++i) {
+    std::string key = "user" + std::to_string(i);
+    if (cfg->fragment(cfg->FragmentOf(key)).primary == 0) {
+      (void)client_->Read(session_, key);
+      keys.push_back(std::move(key));
+    }
+  }
+  ASSERT_GT(keys.size(), 10u);
+
+  // Lose the dirty list mid-failure: discard.
+  coordinator_->OnInstanceFailed(0);
+  auto mid = coordinator_->GetConfiguration();
+  const FragmentId f = mid->FragmentOf(keys[0]);
+  const InstanceId sec = mid->fragment(f).secondary;
+  OpContext internal{kInternalConfigId, kInvalidFragment};
+  ASSERT_TRUE(raw_[sec]->Delete(internal, DirtyListKey(f)).ok());
+  coordinator_->OnInstanceRecovered(0);
+
+  // All entries still physically present (the discard touched none)...
+  size_t resident = 0;
+  for (const auto& k : keys) {
+    if (raw_[0]->ContainsRaw(k)) ++resident;
+  }
+  EXPECT_EQ(resident, keys.size());
+  // ...but none are servable; they are deleted lazily on access.
+  const auto discards_before = raw_[0]->stats().config_discards;
+  for (const auto& k : keys) {
+    auto r = client_->Read(session_, k);
+    ASSERT_TRUE(r.ok());
+    EXPECT_FALSE(r->cache_hit) << k;
+  }
+  EXPECT_EQ(raw_[0]->stats().config_discards - discards_before, keys.size());
+}
+
+TEST_F(RejigTest, StaleDirtyListFromOlderEpochIsNotReused) {
+  // A client that never observes the intermediate transient window must not
+  // keep its dirty list from the previous recovery episode: keys dirtied in
+  // the NEW episode would be missing from it and served stale.
+  Build(RecoveryPolicy::GeminiO());
+  const std::string key = KeyOnInstance(0);
+  const FragmentId f = coordinator_->GetConfiguration()->FragmentOf(key);
+  (void)client_->Read(session_, key);  // cached in the primary
+
+  // Episode 1: fail, no writes, recover. The client fetches the (empty)
+  // dirty list while the fragment is in recovery mode.
+  coordinator_->OnInstanceFailed(0);
+  coordinator_->OnInstanceRecovered(0);
+  ASSERT_EQ(coordinator_->ModeOf(f), FragmentMode::kRecovery);
+  (void)client_->Read(session_, key);  // fetches Dj (empty)
+
+  // Episode 2 begins while the fragment is still in recovery (transition
+  // (5)): the primary fails again and `key` is dirtied via a SECOND client
+  // whose write the first client never sees.
+  coordinator_->OnInstanceFailed(0);
+  GeminiClient other(&clock_, coordinator_.get(), raw_, &store_);
+  Session s2;
+  ASSERT_TRUE(other.Write(s2, key, "fresh-epoch-2").ok());
+  coordinator_->OnInstanceRecovered(0);
+  ASSERT_EQ(coordinator_->ModeOf(f), FragmentMode::kRecovery);
+
+  // The first client reads `key` without ever having refreshed through the
+  // transient window: its cached episode-1 dirty list must be invalidated
+  // (fragment epoch changed), forcing a refetch that contains `key`.
+  EXPECT_FALSE(ReadIsStale(key));
+  EXPECT_EQ(checker_->total_stale(), 0u);
+}
+
+TEST_F(RejigTest, ConfigIdsAreMonotonic) {
+  Build();
+  ConfigId last = coordinator_->latest_id();
+  for (int round = 0; round < 5; ++round) {
+    coordinator_->OnInstanceFailed(0);
+    ConfigId id = coordinator_->latest_id();
+    EXPECT_GT(id, last);
+    last = id;
+    coordinator_->OnInstanceRecovered(0);
+    id = coordinator_->latest_id();
+    EXPECT_GT(id, last);
+    last = id;
+    DrainWorkers();
+    EXPECT_GE(coordinator_->latest_id(), last);
+    last = coordinator_->latest_id();
+  }
+}
+
+TEST_F(RejigTest, StragglerClientCannotWriteThroughOldPrimary) {
+  // A client that never observed the failure keeps its old configuration;
+  // the (emulated-failed, still reachable) old primary must reject it.
+  Build();
+  const std::string key = KeyOnInstance(0);
+  (void)client_->Read(session_, key);  // caches config + entry
+
+  GeminiClient straggler(&clock_, coordinator_.get(), raw_, &store_);
+  Session s;
+  (void)straggler.Read(s, key);  // straggler caches the old config
+
+  coordinator_->OnInstanceFailed(0);
+
+  // The straggler's next write must not land on the revoked primary; the
+  // client library refreshes transparently and the write reaches the
+  // secondary's dirty list.
+  ASSERT_TRUE(straggler.Write(s, key).ok());
+  const FragmentId f = coordinator_->GetConfiguration()->FragmentOf(key);
+  const InstanceId sec =
+      coordinator_->GetConfiguration()->fragment(f).secondary;
+  OpContext internal{kInternalConfigId, kInvalidFragment};
+  auto payload = raw_[sec]->Get(internal, DirtyListKey(f));
+  ASSERT_TRUE(payload.ok());
+  auto list = DirtyList::Parse(payload->data);
+  ASSERT_TRUE(list.has_value());
+  EXPECT_TRUE(list->Contains(key));
+}
+
+TEST_F(RejigTest, BatchedFailureAvoidsDoomedSecondaries) {
+  Build();
+  // Failing 0 and 1 together must place every secondary on instance 2.
+  coordinator_->OnInstancesFailed({0, 1});
+  auto cfg = coordinator_->GetConfiguration();
+  for (FragmentId f = 0; f < cfg->num_fragments(); ++f) {
+    const auto& a = cfg->fragment(f);
+    if (a.mode == FragmentMode::kTransient) {
+      EXPECT_EQ(a.secondary, 2u);
+    }
+  }
+  EXPECT_EQ(coordinator_->discarded_fragment_count(), 0u);
+}
+
+TEST_F(RejigTest, SequentialFailureDiscardsDoomedSecondaries) {
+  Build();
+  coordinator_->OnInstanceFailed(0);
+  auto mid = coordinator_->GetConfiguration();
+  // Find where fragment 0's secondary landed, then fail that instance.
+  const InstanceId sec = mid->fragment(0).secondary;
+  coordinator_->OnInstanceFailed(sec);
+  EXPECT_GE(coordinator_->discarded_fragment_count(), 1u);
+}
+
+}  // namespace
+}  // namespace gemini

@@ -1,0 +1,161 @@
+// Replicated-fragment tests (the paper's Section 7 future work): both
+// eviction-synchronization schemes must keep all replicas holding exactly
+// the same key set through arbitrary insert/read/delete/eviction sequences.
+#include "src/replication/replicated_fragment.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "src/common/rng.h"
+
+namespace gemini {
+namespace {
+
+class ReplicationFixture {
+ public:
+  // capacity_entries = 0 means unbounded.
+  ReplicationFixture(ReplicationScheme scheme, size_t replicas,
+                     uint64_t capacity_entries) {
+    CacheInstance::Options opts;
+    opts.per_entry_overhead = 0;
+    // Keys are "k<i>" (<= 8 bytes) and values are charged 10 bytes.
+    opts.capacity_bytes = capacity_entries * 18;
+    for (size_t i = 0; i < replicas; ++i) {
+      CacheInstance::Options o = opts;
+      if (scheme == ReplicationScheme::kEvictionBroadcast && i > 0) {
+        // Broadcast scheme: slaves follow the master's decisions, so they
+        // must not evict on their own.
+        o.capacity_bytes = 0;
+      }
+      instances_.push_back(std::make_unique<CacheInstance>(
+          static_cast<InstanceId>(i), &clock_, o));
+      instances_.back()->GrantFragmentLease(0, 1, clock_.Now() + Seconds(3600),
+                                            1);
+      raw_.push_back(instances_.back().get());
+    }
+    fragment_ = std::make_unique<ReplicatedFragment>(0, 1, raw_, scheme);
+  }
+
+  ReplicatedFragment& fragment() { return *fragment_; }
+
+  static std::string Key(int i) { return "k" + std::to_string(i); }
+
+  std::vector<std::string> Universe(int n) {
+    std::vector<std::string> keys;
+    keys.reserve(n);
+    for (int i = 0; i < n; ++i) keys.push_back(Key(i));
+    return keys;
+  }
+
+ private:
+  VirtualClock clock_;
+  std::vector<std::unique_ptr<CacheInstance>> instances_;
+  std::vector<CacheInstance*> raw_;
+  std::unique_ptr<ReplicatedFragment> fragment_;
+};
+
+class ReplicationSchemeTest
+    : public ::testing::TestWithParam<ReplicationScheme> {};
+
+TEST_P(ReplicationSchemeTest, InsertReplicatesToAllReplicas) {
+  ReplicationFixture fx(GetParam(), 3, 0);
+  Session s;
+  ASSERT_TRUE(fx.fragment().Insert(s, "k1", CacheValue::OfSize(10)).ok());
+  EXPECT_TRUE(fx.fragment().ReplicasIdentical(fx.Universe(4)));
+  auto v = fx.fragment().Get(s, "k1");
+  EXPECT_TRUE(v.ok());
+}
+
+TEST_P(ReplicationSchemeTest, DeleteRemovesEverywhere) {
+  ReplicationFixture fx(GetParam(), 3, 0);
+  Session s;
+  ASSERT_TRUE(fx.fragment().Insert(s, "k1", CacheValue::OfSize(10)).ok());
+  ASSERT_TRUE(fx.fragment().Delete(s, "k1").ok());
+  EXPECT_TRUE(fx.fragment().ReplicasIdentical(fx.Universe(4)));
+  EXPECT_EQ(fx.fragment().Get(s, "k1").code(), Code::kNotFound);
+}
+
+TEST_P(ReplicationSchemeTest, EvictionsStayIdentical) {
+  // Capacity of 4 entries; insert 10 keys: evictions must apply to every
+  // replica identically.
+  ReplicationFixture fx(GetParam(), 3, 4);
+  Session s;
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_TRUE(fx.fragment().Insert(s, ReplicationFixture::Key(i),
+                                     CacheValue::OfSize(10))
+                    .ok());
+    EXPECT_TRUE(fx.fragment().ReplicasIdentical(fx.Universe(10)))
+        << "after insert " << i;
+  }
+  // Only ~4 keys survive, and it's the most recent ones on every replica.
+  EXPECT_TRUE(fx.fragment().Get(s, ReplicationFixture::Key(9)).ok());
+  EXPECT_EQ(fx.fragment().Get(s, ReplicationFixture::Key(0)).code(),
+            Code::kNotFound);
+}
+
+TEST_P(ReplicationSchemeTest, RandomizedSequencesKeepReplicasIdentical) {
+  ReplicationFixture fx(GetParam(), 3, 16);
+  Session s;
+  Rng rng(GetParam() == ReplicationScheme::kEvictionBroadcast ? 1 : 2);
+  const int kKeys = 64;
+  for (int step = 0; step < 2000; ++step) {
+    const std::string key =
+        ReplicationFixture::Key(static_cast<int>(rng.NextBounded(kKeys)));
+    const uint64_t dice = rng.NextBounded(10);
+    if (dice < 5) {
+      auto v = fx.fragment().Get(s, key);
+      if (!v.ok()) {
+        ASSERT_TRUE(fx.fragment().Insert(s, key, CacheValue::OfSize(10)).ok());
+      }
+    } else if (dice < 8) {
+      ASSERT_TRUE(fx.fragment().Insert(s, key, CacheValue::OfSize(10)).ok());
+    } else {
+      ASSERT_TRUE(fx.fragment().Delete(s, key).ok());
+    }
+    if (step % 100 == 0) {
+      ASSERT_TRUE(fx.fragment().ReplicasIdentical(fx.Universe(kKeys)))
+          << "step " << step;
+    }
+  }
+  EXPECT_TRUE(fx.fragment().ReplicasIdentical(fx.Universe(kKeys)));
+}
+
+INSTANTIATE_TEST_SUITE_P(Schemes, ReplicationSchemeTest,
+                         ::testing::Values(
+                             ReplicationScheme::kEvictionBroadcast,
+                             ReplicationScheme::kRequestForwarding));
+
+TEST(ReplicationCosts, ForwardingSendsMoreMessagesOnReadHeavyLoad) {
+  // The trade-off the paper's Section 7 asks about: request forwarding
+  // replicates every reference; eviction broadcast only inserts/evictions.
+  ReplicationFixture bc(ReplicationScheme::kEvictionBroadcast, 3, 0);
+  ReplicationFixture fw(ReplicationScheme::kRequestForwarding, 3, 0);
+  Session s;
+  for (int i = 0; i < 10; ++i) {
+    (void)bc.fragment().Insert(s, ReplicationFixture::Key(i),
+                               CacheValue::OfSize(10));
+    (void)fw.fragment().Insert(s, ReplicationFixture::Key(i),
+                               CacheValue::OfSize(10));
+  }
+  for (int r = 0; r < 500; ++r) {
+    (void)bc.fragment().Get(s, ReplicationFixture::Key(r % 10));
+    (void)fw.fragment().Get(s, ReplicationFixture::Key(r % 10));
+  }
+  EXPECT_GT(fw.fragment().stats().replication_messages,
+            bc.fragment().stats().replication_messages * 5);
+}
+
+TEST(ReplicationCosts, SingleReplicaDegeneratesToPlainCache) {
+  ReplicationFixture fx(ReplicationScheme::kEvictionBroadcast, 1, 0);
+  Session s;
+  ASSERT_TRUE(fx.fragment().Insert(s, "k1", CacheValue::OfSize(10)).ok());
+  EXPECT_TRUE(fx.fragment().Get(s, "k1").ok());
+  EXPECT_EQ(fx.fragment().stats().replication_messages, 0u);
+}
+
+}  // namespace
+}  // namespace gemini

@@ -1,0 +1,226 @@
+// End-to-end discrete-event simulations: small-scale versions of the
+// paper's experiments, asserting the qualitative results each figure makes.
+#include "src/sim/cluster_sim.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "src/workload/ycsb.h"
+
+namespace gemini {
+namespace {
+
+SimOptions SmallCluster(RecoveryPolicy policy) {
+  SimOptions o;
+  o.num_instances = 4;
+  o.num_fragments = 64;
+  o.num_client_objects = 2;
+  o.closed_loop_threads = 8;
+  o.num_recovery_workers = 2;
+  o.policy = policy;
+  o.seed = 7;
+  return o;
+}
+
+std::shared_ptr<Workload> SmallYcsb(double update_fraction = 0.05) {
+  YcsbWorkload::Options o;
+  o.num_records = 2000;
+  o.update_fraction = update_fraction;
+  return std::make_shared<YcsbWorkload>(o);
+}
+
+TEST(SimIntegration, SteadyStateReachesHighHitRatio) {
+  ClusterSim sim(SmallCluster(RecoveryPolicy::GeminiOW()), SmallYcsb());
+  sim.Run(Seconds(20));
+  const double hit = sim.metrics().overall_hit.RatioBetween(15, 20);
+  EXPECT_GT(hit, 0.9);
+  EXPECT_EQ(sim.metrics().stale.total_stale(), 0u);
+  EXPECT_GT(sim.metrics().ops.Total(), 10000u);
+}
+
+TEST(SimIntegration, GeminiRecoversWithZeroStaleReads) {
+  ClusterSim sim(SmallCluster(RecoveryPolicy::GeminiOW()), SmallYcsb(0.10));
+  sim.ScheduleFailure(0, Seconds(10), Seconds(5));
+  sim.Run(Seconds(40));
+  EXPECT_EQ(sim.metrics().stale.total_stale(), 0u);
+  // Recovery completed: all fragments back to normal.
+  EXPECT_GE(sim.RecoveryDurationSeconds(0), 0.0);
+  EXPECT_TRUE(
+      sim.coordinator().FragmentsInMode(FragmentMode::kRecovery).empty());
+  EXPECT_TRUE(
+      sim.coordinator().FragmentsInMode(FragmentMode::kTransient).empty());
+}
+
+TEST(SimIntegration, StaleCacheServesStaleReads) {
+  // Figure 1: reusing content verbatim violates read-after-write.
+  ClusterSim sim(SmallCluster(RecoveryPolicy::StaleCache()), SmallYcsb(0.10));
+  sim.ScheduleFailure(0, Seconds(10), Seconds(5));
+  sim.Run(Seconds(30));
+  EXPECT_GT(sim.metrics().stale.total_stale(), 0u);
+}
+
+TEST(SimIntegration, VolatileCacheConsistentButSlowerToWarm) {
+  ClusterSim gemini_sim(SmallCluster(RecoveryPolicy::GeminiO()),
+                        SmallYcsb(0.05));
+  ClusterSim volatile_sim(SmallCluster(RecoveryPolicy::VolatileCache()),
+                          SmallYcsb(0.05));
+  for (auto* sim : {&gemini_sim, &volatile_sim}) {
+    sim->ScheduleFailure(0, Seconds(10), Seconds(5));
+    sim->Run(Seconds(60));
+    EXPECT_EQ(sim->metrics().stale.total_stale(), 0u);
+  }
+  // Gemini restores the instance's hit ratio faster than VolatileCache
+  // (the paper's headline: two orders of magnitude at scale).
+  const double g = gemini_sim.SecondsToRestoreHitRatio(0);
+  const double v = volatile_sim.SecondsToRestoreHitRatio(0);
+  ASSERT_GE(g, 0.0);
+  // VolatileCache either took longer or never restored within the run.
+  if (v >= 0.0) {
+    EXPECT_LE(g, v);
+  }
+  // Immediately after recovery Gemini's instance serves hits from its
+  // persistent content while VolatileCache starts cold.
+  const double g_hit = gemini_sim.metrics().InstanceHitBetween(0, 15, 18);
+  const double v_hit = volatile_sim.metrics().InstanceHitBetween(0, 15, 18);
+  EXPECT_GT(g_hit, v_hit);
+}
+
+TEST(SimIntegration, TransientModeRoutesToSecondaries) {
+  ClusterSim sim(SmallCluster(RecoveryPolicy::GeminiO()), SmallYcsb());
+  sim.ScheduleFailure(0, Seconds(10), Seconds(10));
+  sim.Run(Seconds(15));
+  // Mid-failure: the failed instance serves nothing.
+  const auto& hit = sim.metrics().instance_hit[0];
+  const auto& den = hit.denominator().buckets();
+  for (size_t s = 12; s < 15 && s < den.size(); ++s) {
+    EXPECT_EQ(den[s], 0u) << "second " << s;
+  }
+  // Ops keep completing against the secondaries.
+  EXPECT_GT(sim.metrics().ops.At(Seconds(13)), 100u);
+  sim.Run(Seconds(40));
+  EXPECT_EQ(sim.metrics().stale.total_stale(), 0u);
+}
+
+TEST(SimIntegration, SuspendedWritesResumeAfterPublication) {
+  // Crash failures with a detection delay exercise the failover window.
+  SimOptions o = SmallCluster(RecoveryPolicy::GeminiO());
+  o.crash_failures = true;
+  o.failure_detection_delay = Millis(500);
+  ClusterSim sim(o, SmallYcsb(0.5));  // write-heavy: hits the window often
+  sim.ScheduleFailure(0, Seconds(10), Seconds(5));
+  sim.Run(Seconds(30));
+  EXPECT_GT(sim.metrics().suspended_writes.Total(), 0u);
+  EXPECT_EQ(sim.metrics().stale.total_stale(), 0u);
+  EXPECT_TRUE(
+      sim.coordinator().FragmentsInMode(FragmentMode::kTransient).empty());
+}
+
+TEST(SimIntegration, EvolvingPatternWstImprovesHitRatio) {
+  // Section 5.4.4: with a 100% pattern change, Gemini-I+W restores hit
+  // ratio faster than Gemini-I because the new working set lives in the
+  // secondaries.
+  auto make = [](RecoveryPolicy policy) {
+    YcsbWorkload::Options wo;
+    // A working set large relative to the data store's refill bandwidth:
+    // the transfer's advantage is fetching the new working set from the
+    // fast secondaries instead of the slow store.
+    wo.num_records = 20000;
+    wo.update_fraction = 0.05;
+    wo.evolution = YcsbWorkload::Evolution::kSwitch100;
+    SimOptions so = SmallCluster(policy);
+    so.closed_loop_threads = 16;
+    so.net.store_servers = 4;
+    return std::make_unique<ClusterSim>(so,
+                                        std::make_shared<YcsbWorkload>(wo));
+  };
+  auto with_wst = make(RecoveryPolicy::GeminiIW());
+  auto without = make(RecoveryPolicy::GeminiI());
+  for (auto* sim : {with_wst.get(), without.get()}) {
+    sim->ScheduleFailure(0, Seconds(12), Seconds(10));
+    sim->SchedulePhaseChange(Seconds(12), 1);
+    sim->Run(Seconds(30));
+  }
+  // In the seconds right after recovery (t=22..27) the WST variant serves a
+  // higher hit ratio on the recovering instance.
+  const double w = with_wst->metrics().InstanceHitBetween(0, 22, 27);
+  const double wo_hit = without->metrics().InstanceHitBetween(0, 22, 27);
+  EXPECT_GT(w, wo_hit);
+  uint64_t copies = 0;
+  for (size_t c = 0; c < with_wst->num_clients(); ++c) {
+    copies += with_wst->client(c).stats().wst_copies;
+  }
+  EXPECT_GT(copies, 0u);
+  EXPECT_EQ(with_wst->metrics().stale.total_stale(), 0u);
+  EXPECT_EQ(without->metrics().stale.total_stale(), 0u);
+}
+
+TEST(SimIntegration, OpenLoopFacebookStyleDrive) {
+  // Open-loop arrivals (the Figure 1/6 drive mode) with a YCSB universe.
+  class OpenLoopYcsb : public YcsbWorkload {
+   public:
+    using YcsbWorkload::YcsbWorkload;
+    Duration NextInterarrival(Rng& rng) override {
+      return std::max<Duration>(
+          1, static_cast<Duration>(rng.NextExponential(200.0)));
+    }
+  };
+  YcsbWorkload::Options wo;
+  wo.num_records = 2000;
+  SimOptions so = SmallCluster(RecoveryPolicy::GeminiOW());
+  so.closed_loop_threads = 0;  // open loop
+  ClusterSim sim(so, std::make_shared<OpenLoopYcsb>(wo));
+  sim.Run(Seconds(10));
+  // ~5000 arrivals/sec.
+  EXPECT_GT(sim.metrics().ops.At(Seconds(8)), 3000u);
+  EXPECT_LT(sim.metrics().ops.At(Seconds(8)), 8000u);
+}
+
+TEST(SimIntegration, HighLoadRaisesLatency) {
+  SimOptions low = SmallCluster(RecoveryPolicy::GeminiO());
+  low.closed_loop_threads = 4;
+  SimOptions high = SmallCluster(RecoveryPolicy::GeminiO());
+  high.closed_loop_threads = 64;
+  ClusterSim low_sim(low, SmallYcsb());
+  ClusterSim high_sim(high, SmallYcsb());
+  low_sim.Run(Seconds(10));
+  high_sim.Run(Seconds(10));
+  const double low_p90 = low_sim.metrics().read_latency.Percentiles(0.9).back();
+  const double high_p90 =
+      high_sim.metrics().read_latency.Percentiles(0.9).back();
+  EXPECT_GT(high_p90, low_p90);
+  // Throughput scales with threads until capacity.
+  EXPECT_GT(high_sim.metrics().ops.At(Seconds(9)),
+            low_sim.metrics().ops.At(Seconds(9)));
+}
+
+TEST(SimIntegration, CoordinatorFailoverMidInstanceFailure) {
+  // The coordinator master dies while an instance failure is in flight; a
+  // shadow promotion restores progress with zero stale reads (Section 2.1).
+  SimOptions o = SmallCluster(RecoveryPolicy::GeminiO());
+  o.coordinator_shadows = 2;
+  ClusterSim sim(o, SmallYcsb(0.10));
+  sim.ScheduleFailure(0, Seconds(10), Seconds(8));
+  sim.ScheduleCoordinatorFailure(Seconds(12), Seconds(4));
+  sim.Run(Seconds(40));
+  EXPECT_EQ(sim.metrics().stale.total_stale(), 0u);
+  EXPECT_TRUE(sim.coordinator().master_available());
+  EXPECT_TRUE(
+      sim.coordinator().FragmentsInMode(FragmentMode::kRecovery).empty());
+  EXPECT_TRUE(
+      sim.coordinator().FragmentsInMode(FragmentMode::kTransient).empty());
+  EXPECT_GT(sim.metrics().ops.At(Seconds(38)), 1000u);
+}
+
+TEST(SimIntegration, DeterministicForSameSeed) {
+  auto run = [] {
+    ClusterSim sim(SmallCluster(RecoveryPolicy::GeminiOW()), SmallYcsb());
+    sim.ScheduleFailure(0, Seconds(5), Seconds(3));
+    sim.Run(Seconds(15));
+    return sim.metrics().ops.Total();
+  };
+  EXPECT_EQ(run(), run());
+}
+
+}  // namespace
+}  // namespace gemini

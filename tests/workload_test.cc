@@ -1,0 +1,188 @@
+// Workload generator tests: YCSB mixes and evolving patterns (Sections 5.2,
+// 5.4.4) and the Facebook-like trace models (Section 5.1).
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "src/workload/facebook.h"
+#include "src/workload/ycsb.h"
+
+namespace gemini {
+namespace {
+
+// ---- YCSB ---------------------------------------------------------------------
+
+class YcsbUpdateFractionTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(YcsbUpdateFractionTest, MixMatchesParameter) {
+  YcsbWorkload::Options o;
+  o.num_records = 1000;
+  o.update_fraction = GetParam();
+  YcsbWorkload w(o);
+  Rng rng(1);
+  int writes = 0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) {
+    if (!w.Next(rng).is_read) ++writes;
+  }
+  EXPECT_NEAR(double(writes) / n, GetParam(), 0.01);
+}
+
+// The paper sweeps 1%..10% update ratios (Figures 8, 9) and uses
+// workloads A (50%) and B (5%).
+INSTANTIATE_TEST_SUITE_P(PaperSweep, YcsbUpdateFractionTest,
+                         ::testing::Values(0.01, 0.05, 0.10, 0.5));
+
+TEST(YcsbWorkload, KeysStableAndInRange) {
+  YcsbWorkload::Options o;
+  o.num_records = 500;
+  YcsbWorkload w(o);
+  EXPECT_EQ(w.KeyOfRecord(7), w.KeyOfRecord(7));
+  Rng rng(2);
+  for (int i = 0; i < 1000; ++i) {
+    Operation op = w.Next(rng);
+    EXPECT_LT(op.record, 500u);
+    EXPECT_EQ(op.key, w.KeyOfRecord(op.record));
+  }
+}
+
+TEST(YcsbWorkload, UniformKeyWidth) {
+  YcsbWorkload::Options o;
+  YcsbWorkload w(o);
+  EXPECT_EQ(w.KeyOfRecord(0).size(), w.KeyOfRecord(99999).size());
+}
+
+TEST(YcsbWorkload, StaticPatternIgnoresPhase) {
+  YcsbWorkload::Options o;
+  o.num_records = 1000;
+  YcsbWorkload w(o);
+  Rng r1(3), r2(3);
+  YcsbWorkload w2(o);
+  w2.SetPhase(1);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(w.Next(r1).record, w2.Next(r2).record);
+  }
+}
+
+TEST(YcsbWorkload, Switch100MovesAllReferences) {
+  YcsbWorkload::Options o;
+  o.num_records = 1000;
+  o.evolution = YcsbWorkload::Evolution::kSwitch100;
+  YcsbWorkload w(o);
+  Rng rng(4);
+  for (int i = 0; i < 2000; ++i) {
+    EXPECT_LT(w.Next(rng).record, 500u);  // phase 0: set A only
+  }
+  w.SetPhase(1);
+  for (int i = 0; i < 2000; ++i) {
+    EXPECT_GE(w.Next(rng).record, 500u);  // phase 1: set B only
+  }
+}
+
+TEST(YcsbWorkload, Switch20MovesOnlyHotRanks) {
+  YcsbWorkload::Options o;
+  o.num_records = 1000;  // half = 500, hot window = 100
+  o.evolution = YcsbWorkload::Evolution::kSwitch20;
+  YcsbWorkload w(o);
+  w.SetPhase(1);
+  Rng rng(5);
+  int in_b = 0, in_a = 0;
+  for (int i = 0; i < 20000; ++i) {
+    const uint64_t r = w.Next(rng).record;
+    if (r >= 500) {
+      ++in_b;
+      EXPECT_LT(r, 600u);  // only the hottest 100 ranks moved
+    } else {
+      ++in_a;
+      EXPECT_GE(r, 100u);  // cold ranks stay in A above the hot window
+    }
+  }
+  // With theta=0.99 the hottest 20% of ranks carry most of the mass.
+  EXPECT_GT(in_b, in_a);
+}
+
+TEST(YcsbWorkload, ClosedLoopByDefault) {
+  YcsbWorkload::Options o;
+  YcsbWorkload w(o);
+  Rng rng(6);
+  EXPECT_EQ(w.NextInterarrival(rng), 0);
+}
+
+TEST(YcsbWorkload, LoadStorePopulatesEveryRecord) {
+  YcsbWorkload::Options o;
+  o.num_records = 50;
+  o.record_bytes = 256;
+  YcsbWorkload w(o);
+  DataStore store;
+  w.LoadStore(store);
+  EXPECT_EQ(store.size(), 50u);
+  auto rec = store.Query(w.KeyOfRecord(49));
+  ASSERT_TRUE(rec.ok());
+  EXPECT_EQ(rec->size_bytes, 256u);
+}
+
+// ---- Facebook-like -------------------------------------------------------------
+
+TEST(FacebookWorkload, MeanSizesMatchPaper) {
+  // Section 5.1: mean key size 36 B, mean value size 329 B.
+  FacebookWorkload::Options o;
+  o.num_records = 20000;
+  FacebookWorkload w(o);
+  double key_sum = 0, value_sum = 0;
+  for (uint64_t r = 0; r < o.num_records; ++r) {
+    key_sum += double(w.KeyOfRecord(r).size());
+    value_sum += double(w.ValueSizeOfRecord(r));
+  }
+  EXPECT_NEAR(key_sum / double(o.num_records), 36.0, 4.0);
+  EXPECT_NEAR(value_sum / double(o.num_records), 329.0, 40.0);
+}
+
+TEST(FacebookWorkload, ReadFractionMatches) {
+  FacebookWorkload::Options o;
+  o.num_records = 1000;
+  FacebookWorkload w(o);
+  Rng rng(7);
+  int reads = 0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) {
+    if (w.Next(rng).is_read) ++reads;
+  }
+  EXPECT_NEAR(double(reads) / n, 0.95, 0.01);
+}
+
+TEST(FacebookWorkload, InterarrivalMeanMatches) {
+  FacebookWorkload::Options o;
+  o.num_records = 100;
+  o.mean_interarrival = Micros(19);
+  FacebookWorkload w(o);
+  Rng rng(8);
+  double sum = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) sum += double(w.NextInterarrival(rng));
+  EXPECT_NEAR(sum / n, 19.0, 1.0);
+}
+
+TEST(FacebookWorkload, KeysAreDistinctAndStable) {
+  FacebookWorkload::Options o;
+  o.num_records = 5000;
+  FacebookWorkload w(o);
+  std::set<std::string> keys;
+  for (uint64_t r = 0; r < 5000; ++r) {
+    EXPECT_EQ(w.KeyOfRecord(r), w.KeyOfRecord(r));
+    keys.insert(w.KeyOfRecord(r));
+  }
+  EXPECT_EQ(keys.size(), 5000u);
+}
+
+TEST(FacebookWorkload, DatabaseBytesApproximation) {
+  FacebookWorkload::Options o;
+  o.num_records = 10000;
+  FacebookWorkload w(o);
+  const uint64_t approx = w.ApproxDatabaseBytes();
+  // ~ (329 + 36) bytes per record.
+  EXPECT_GT(approx, 10000ull * 250);
+  EXPECT_LT(approx, 10000ull * 500);
+}
+
+}  // namespace
+}  // namespace gemini

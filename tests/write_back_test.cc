@@ -1,0 +1,233 @@
+// Write-back policy tests (extension): acknowledged-before-flush semantics,
+// pinning, flusher commits, crash durability on persistent media, the
+// failure-window staleness hole (quantified — the reason the paper uses
+// write-around), and fallback behaviour outside normal mode.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/client/gemini_client.h"
+#include "src/consistency/stale_read_checker.h"
+#include "src/coordinator/coordinator.h"
+#include "src/recovery/recovery_worker.h"
+#include "src/recovery/write_back_flusher.h"
+
+namespace gemini {
+namespace {
+
+class WriteBackTest : public ::testing::Test {
+ protected:
+  static constexpr size_t kInstances = 3;
+  static constexpr size_t kFragments = 6;
+
+  void Build() {
+    for (size_t i = 0; i < kInstances; ++i) {
+      instances_.push_back(std::make_unique<CacheInstance>(
+          static_cast<InstanceId>(i), &clock_));
+      raw_.push_back(instances_.back().get());
+    }
+    coordinator_ =
+        std::make_unique<Coordinator>(&clock_, raw_, kFragments);
+    GeminiClient::Options copts;
+    copts.write_policy = WritePolicy::kWriteBack;
+    client_ = std::make_unique<GeminiClient>(&clock_, coordinator_.get(),
+                                             raw_, &store_, copts);
+    flusher_ = std::make_unique<WriteBackFlusher>(&clock_, raw_, &store_);
+    checker_ = std::make_unique<StaleReadChecker>(&store_);
+    for (int i = 0; i < 200; ++i) {
+      store_.Put("user" + std::to_string(i), "v0");
+    }
+  }
+
+  std::string KeyOnInstance(InstanceId instance) {
+    auto cfg = coordinator_->GetConfiguration();
+    for (int i = 0; i < 200; ++i) {
+      std::string key = "user" + std::to_string(i);
+      if (cfg->fragment(cfg->FragmentOf(key)).primary == instance) return key;
+    }
+    ADD_FAILURE();
+    return "";
+  }
+
+  VirtualClock clock_;
+  DataStore store_;
+  std::vector<std::unique_ptr<CacheInstance>> instances_;
+  std::vector<CacheInstance*> raw_;
+  std::unique_ptr<Coordinator> coordinator_;
+  std::unique_ptr<GeminiClient> client_;
+  std::unique_ptr<WriteBackFlusher> flusher_;
+  std::unique_ptr<StaleReadChecker> checker_;
+  Session session_;
+};
+
+TEST_F(WriteBackTest, AckBeforeFlushAndReadYourWrite) {
+  Build();
+  const std::string key = KeyOnInstance(0);
+  const Version committed_before = store_.CommittedVersionOf(key);
+  ASSERT_TRUE(client_->Write(session_, key, "buffered").ok());
+  // Acknowledged without a store data write...
+  EXPECT_EQ(store_.CommittedVersionOf(key), committed_before);
+  EXPECT_GT(store_.VersionOf(key), committed_before);  // ...but reserved.
+  // ...and the writer reads its own write from the cache, consistently.
+  auto r = client_->Read(session_, key);
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(r->cache_hit);
+  EXPECT_EQ(r->value.data, "buffered");
+  EXPECT_FALSE(checker_->OnRead(clock_.Now(), key, r->value.version));
+}
+
+TEST_F(WriteBackTest, FlusherCommitsAndUnpins) {
+  Build();
+  const std::string key = KeyOnInstance(0);
+  ASSERT_TRUE(client_->Write(session_, key, "buffered").ok());
+  EXPECT_EQ(raw_[0]->pending_flush_count(), 1u);
+  EXPECT_EQ(flusher_->FlushOnce(session_), 1u);
+  EXPECT_EQ(raw_[0]->pending_flush_count(), 0u);
+  auto rec = store_.Query(key);
+  ASSERT_TRUE(rec.ok());
+  EXPECT_EQ(rec->data, "buffered");
+  EXPECT_EQ(store_.CommittedVersionOf(key), store_.VersionOf(key));
+  // Idempotent: flushing again moves nothing.
+  EXPECT_EQ(flusher_->FlushOnce(session_), 0u);
+}
+
+TEST_F(WriteBackTest, PinnedEntriesSurviveEvictionPressure) {
+  VirtualClock clock;
+  CacheInstance::Options opts;
+  opts.per_entry_overhead = 0;
+  opts.capacity_bytes = 4 * 30;
+  CacheInstance inst(0, &clock, opts);
+  inst.GrantFragmentLease(0, 1, clock.Now() + Seconds(3600), 1);
+  OpContext ctx{1, 0};
+  auto q = inst.Qareg(ctx, "pinned");
+  ASSERT_TRUE(inst.WriteBackInstall(ctx, "pinned",
+                                    CacheValue::OfSize(20, 1), *q)
+                  .ok());
+  for (int i = 0; i < 20; ++i) {
+    (void)inst.Set(ctx, "filler" + std::to_string(i), CacheValue::OfSize(20));
+  }
+  EXPECT_TRUE(inst.ContainsRaw("pinned"));  // never evicted while buffered
+  inst.Unpin("pinned", 1);
+  for (int i = 20; i < 40; ++i) {
+    (void)inst.Set(ctx, "filler" + std::to_string(i), CacheValue::OfSize(20));
+  }
+  EXPECT_FALSE(inst.ContainsRaw("pinned"));  // evictable again after flush
+}
+
+TEST_F(WriteBackTest, BufferedWritesSurviveCrashOnPersistentMedia) {
+  Build();
+  const std::string key = KeyOnInstance(0);
+  ASSERT_TRUE(client_->Write(session_, key, "durable").ok());
+  // Crash before any flush. The pinned entry is persistent; the flush queue
+  // is rebuilt from it at recovery.
+  raw_[0]->Fail();
+  EXPECT_EQ(flusher_->FlushOnce(session_), 0u);  // unreachable while down
+  raw_[0]->RecoverPersistent();
+  EXPECT_EQ(raw_[0]->pending_flush_count(), 1u);
+  EXPECT_EQ(flusher_->FlushOnce(session_), 1u);
+  EXPECT_EQ(store_.Query(key)->data, "durable");
+}
+
+TEST_F(WriteBackTest, VolatileCrashLosesBufferedWrites) {
+  Build();
+  const std::string key = KeyOnInstance(0);
+  ASSERT_TRUE(client_->Write(session_, key, "doomed").ok());
+  raw_[0]->Fail();
+  raw_[0]->RecoverVolatile();
+  EXPECT_EQ(raw_[0]->pending_flush_count(), 0u);
+  EXPECT_EQ(flusher_->FlushOnce(session_), 0u);
+  // The write is gone: the store still has v0 — write-back needs the
+  // persistent medium to be safe.
+  EXPECT_EQ(store_.Query(key)->data, "v0");
+}
+
+TEST_F(WriteBackTest, FailureWindowServesStaleUntilFlush) {
+  // The hole that makes the paper choose write-around: an unflushed write
+  // is invisible to the secondary replica, so reads during the failure
+  // observe the pre-write value.
+  Build();
+  const std::string key = KeyOnInstance(0);
+  ASSERT_TRUE(client_->Write(session_, key, "unflushed").ok());
+  coordinator_->OnInstanceFailed(0);  // before any flush
+
+  auto r = client_->Read(session_, key);  // served via secondary -> store
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->value.data, "v0");
+  EXPECT_TRUE(checker_->OnRead(clock_.Now(), key, r->value.version))
+      << "write-back's acknowledged write must be (measurably) invisible";
+
+  // Recovery + flush restore consistency.
+  coordinator_->OnInstanceRecovered(0);
+  EXPECT_GE(flusher_->FlushOnce(session_), 1u);
+  RecoveryWorker worker(&clock_, coordinator_.get(), raw_);
+  Session s;
+  for (int guard = 0; guard < 10000; ++guard) {
+    if (!worker.has_work() && !worker.TryAdoptFragment(s).has_value()) break;
+    (void)worker.Step(s);
+  }
+  auto r2 = client_->Read(session_, key);
+  ASSERT_TRUE(r2.ok());
+  EXPECT_FALSE(checker_->OnRead(clock_.Now(), key, r2->value.version));
+}
+
+TEST_F(WriteBackTest, FallsBackToWriteThroughOutsideNormalMode) {
+  Build();
+  const std::string key = KeyOnInstance(0);
+  coordinator_->OnInstanceFailed(0);
+  // Transient-mode write: synchronous (write-through fallback) — committed
+  // at the store immediately, nothing buffered.
+  const Version committed_before = store_.CommittedVersionOf(key);
+  ASSERT_TRUE(client_->Write(session_, key, "sync").ok());
+  EXPECT_GT(store_.CommittedVersionOf(key), committed_before);
+  for (auto* inst : raw_) {
+    EXPECT_EQ(inst->pending_flush_count(), 0u);
+  }
+  // And it is on the dirty list for the primary's recovery.
+  const FragmentId f = coordinator_->GetConfiguration()->FragmentOf(key);
+  const InstanceId sec =
+      coordinator_->GetConfiguration()->fragment(f).secondary;
+  OpContext internal{kInternalConfigId, kInvalidFragment};
+  auto payload = raw_[sec]->Get(internal, DirtyListKey(f));
+  ASSERT_TRUE(payload.ok());
+  EXPECT_TRUE(DirtyList::Parse(payload->data)->Contains(key));
+}
+
+TEST_F(WriteBackTest, LastWriterWinsAcrossBufferedWrites) {
+  Build();
+  const std::string key = KeyOnInstance(0);
+  ASSERT_TRUE(client_->Write(session_, key, "first").ok());
+  ASSERT_TRUE(client_->Write(session_, key, "second").ok());
+  EXPECT_GE(flusher_->FlushOnce(session_), 2u);
+  EXPECT_EQ(store_.Query(key)->data, "second");
+  auto r = client_->Read(session_, key);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->value.data, "second");
+  EXPECT_FALSE(checker_->OnRead(clock_.Now(), key, r->value.version));
+}
+
+TEST_F(WriteBackTest, SynchronousWriteSupersedesBufferedOne) {
+  // write-back(v) then a write-through-style synchronous write must not be
+  // clobbered by the late flush of the older buffered value.
+  Build();
+  const std::string key = KeyOnInstance(0);
+  ASSERT_TRUE(client_->Write(session_, key, "buffered").ok());
+
+  GeminiClient::Options sync_opts;
+  sync_opts.write_policy = WritePolicy::kWriteThrough;
+  GeminiClient sync_client(&clock_, coordinator_.get(), raw_, &store_,
+                           sync_opts);
+  Session s;
+  ASSERT_TRUE(sync_client.Write(s, key, "synchronous").ok());
+
+  EXPECT_GE(flusher_->FlushOnce(session_), 1u);  // late flush of "buffered"
+  EXPECT_EQ(store_.Query(key)->data, "synchronous");
+  auto r = client_->Read(session_, key);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->value.data, "synchronous");
+  EXPECT_FALSE(checker_->OnRead(clock_.Now(), key, r->value.version));
+}
+
+}  // namespace
+}  // namespace gemini

@@ -1,0 +1,231 @@
+// Write-through policy tests (extension; the paper evaluates write-around
+// and notes the write-through implementation "is different" — Section 2).
+// A write-through write installs the post-update value in the cache under
+// the same Q lease (replace-and-release) instead of deleting the entry.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/client/gemini_client.h"
+#include "src/consistency/stale_read_checker.h"
+#include "src/coordinator/coordinator.h"
+#include "src/recovery/recovery_worker.h"
+
+namespace gemini {
+namespace {
+
+// ---- Instance-level Rar primitive ---------------------------------------------
+
+class RarTest : public ::testing::Test {
+ protected:
+  RarTest() : inst_(0, &clock_) {
+    inst_.GrantFragmentLease(0, 1, clock_.Now() + Seconds(3600), 1);
+  }
+  OpContext Ctx() { return OpContext{1, 0}; }
+  VirtualClock clock_;
+  CacheInstance inst_;
+};
+
+TEST_F(RarTest, InstallsValueAndReleasesQ) {
+  ASSERT_TRUE(inst_.Set(Ctx(), "k", CacheValue::OfData("old", 1)).ok());
+  auto q = inst_.Qareg(Ctx(), "k");
+  ASSERT_TRUE(q.ok());
+  ASSERT_TRUE(inst_.Rar(Ctx(), "k", CacheValue::OfData("new", 2), *q).ok());
+  auto v = inst_.Get(Ctx(), "k");
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(v->data, "new");
+  EXPECT_EQ(v->version, 2u);
+  // Q released: an I lease is grantable again.
+  EXPECT_TRUE(inst_.IqGet(Ctx(), "missing").ok());
+  EXPECT_TRUE(inst_.Qareg(Ctx(), "k").ok());
+}
+
+TEST_F(RarTest, ExpiredQLeaseRefusesInstall) {
+  ASSERT_TRUE(inst_.Set(Ctx(), "k", CacheValue::OfData("old", 1)).ok());
+  auto q = inst_.Qareg(Ctx(), "k");
+  clock_.Advance(inst_.options().lease_options.q_lease_lifetime + 1);
+  EXPECT_EQ(inst_.Rar(Ctx(), "k", CacheValue::OfData("new", 2), *q).code(),
+            Code::kLeaseInvalid);
+  // The expiry rule deleted the (potentially stale) entry.
+  EXPECT_EQ(inst_.Get(Ctx(), "k").code(), Code::kNotFound);
+}
+
+TEST_F(RarTest, RarVoidsPendingReaderInsert) {
+  // Same race as Lemma 2 Case II but with a value install instead of a
+  // delete: the reader's stale insert must still be dropped.
+  auto rg = inst_.IqGet(Ctx(), "k");
+  ASSERT_TRUE(rg.ok());
+  auto q = inst_.Qareg(Ctx(), "k");
+  ASSERT_TRUE(inst_.Rar(Ctx(), "k", CacheValue::OfData("new", 2), *q).ok());
+  EXPECT_EQ(
+      inst_.IqSet(Ctx(), "k", CacheValue::OfData("stale", 1), rg->i_token)
+          .code(),
+      Code::kLeaseInvalid);
+  EXPECT_EQ(inst_.Get(Ctx(), "k")->data, "new");
+}
+
+// ---- Full-stack write-through --------------------------------------------------
+
+class WriteThroughTest : public ::testing::Test {
+ protected:
+  static constexpr size_t kInstances = 3;
+  static constexpr size_t kFragments = 6;
+
+  void Build(RecoveryPolicy policy = RecoveryPolicy::GeminiO()) {
+    for (size_t i = 0; i < kInstances; ++i) {
+      instances_.push_back(std::make_unique<CacheInstance>(
+          static_cast<InstanceId>(i), &clock_));
+      raw_.push_back(instances_.back().get());
+    }
+    Coordinator::Options opts;
+    opts.policy = policy;
+    coordinator_ =
+        std::make_unique<Coordinator>(&clock_, raw_, kFragments, opts);
+    GeminiClient::Options copts;
+    copts.write_policy = WritePolicy::kWriteThrough;
+    copts.working_set_transfer = policy.working_set_transfer;
+    client_ = std::make_unique<GeminiClient>(&clock_, coordinator_.get(),
+                                             raw_, &store_, copts);
+    RecoveryWorker::Options wopts;
+    wopts.overwrite_dirty = policy.overwrite_dirty;
+    worker_ = std::make_unique<RecoveryWorker>(&clock_, coordinator_.get(),
+                                               raw_, wopts);
+    checker_ = std::make_unique<StaleReadChecker>(&store_);
+    for (int i = 0; i < 200; ++i) {
+      store_.Put("user" + std::to_string(i), "v0");
+    }
+  }
+
+  std::string KeyOnInstance(InstanceId instance) {
+    auto cfg = coordinator_->GetConfiguration();
+    for (int i = 0; i < 200; ++i) {
+      std::string key = "user" + std::to_string(i);
+      if (cfg->fragment(cfg->FragmentOf(key)).primary == instance) return key;
+    }
+    ADD_FAILURE();
+    return "";
+  }
+
+  void DrainWorker() {
+    Session s;
+    for (int guard = 0; guard < 10000; ++guard) {
+      if (!worker_->has_work() &&
+          !worker_->TryAdoptFragment(s).has_value()) {
+        return;
+      }
+      (void)worker_->Step(s);
+    }
+    FAIL();
+  }
+
+  VirtualClock clock_;
+  DataStore store_;
+  std::vector<std::unique_ptr<CacheInstance>> instances_;
+  std::vector<CacheInstance*> raw_;
+  std::unique_ptr<Coordinator> coordinator_;
+  std::unique_ptr<GeminiClient> client_;
+  std::unique_ptr<RecoveryWorker> worker_;
+  std::unique_ptr<StaleReadChecker> checker_;
+  Session session_;
+};
+
+TEST_F(WriteThroughTest, WriteLeavesFreshValueCached) {
+  Build();
+  const std::string key = KeyOnInstance(0);
+  ASSERT_TRUE(client_->Write(session_, key, "fresh").ok());
+  // No store query needed: the write installed the value.
+  const auto queries_before = store_.stats().queries;
+  auto r = client_->Read(session_, key);
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(r->cache_hit);
+  EXPECT_EQ(r->value.data, "fresh");
+  EXPECT_EQ(r->value.version, store_.VersionOf(key));
+  EXPECT_EQ(store_.stats().queries, queries_before);
+}
+
+TEST_F(WriteThroughTest, TransientWritesInstallInSecondaryAndStayDirty) {
+  Build();
+  const std::string key = KeyOnInstance(0);
+  (void)client_->Read(session_, key);  // stale copy persists in primary
+  coordinator_->OnInstanceFailed(0);
+  ASSERT_TRUE(client_->Write(session_, key, "during-failure").ok());
+  // Served as a hit from the secondary without a store round trip.
+  auto r = client_->Read(session_, key);
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(r->cache_hit);
+  EXPECT_EQ(r->value.data, "during-failure");
+  // And recorded dirty for the primary's recovery.
+  const FragmentId f = coordinator_->GetConfiguration()->FragmentOf(key);
+  const InstanceId sec =
+      coordinator_->GetConfiguration()->fragment(f).secondary;
+  OpContext internal{kInternalConfigId, kInvalidFragment};
+  auto payload = raw_[sec]->Get(internal, DirtyListKey(f));
+  ASSERT_TRUE(payload.ok());
+  EXPECT_TRUE(DirtyList::Parse(payload->data)->Contains(key));
+}
+
+TEST_F(WriteThroughTest, GeminiOOverwriteRestoresRealValues) {
+  // The payoff of write-through + Gemini-O: the secondary holds the real
+  // latest value, so the recovery worker's overwrite repopulates the
+  // primary without any data store traffic.
+  Build(RecoveryPolicy::GeminiO());
+  const std::string key = KeyOnInstance(0);
+  (void)client_->Read(session_, key);
+  coordinator_->OnInstanceFailed(0);
+  ASSERT_TRUE(client_->Write(session_, key, "newest").ok());
+  coordinator_->OnInstanceRecovered(0);
+  DrainWorker();
+  const auto queries_before = store_.stats().queries;
+  auto r = client_->Read(session_, key);
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(r->cache_hit);
+  EXPECT_EQ(r->value.data, "newest");
+  EXPECT_EQ(store_.stats().queries, queries_before);
+  EXPECT_FALSE(checker_->OnRead(clock_.Now(), key, r->value.version));
+}
+
+TEST_F(WriteThroughTest, RecoveryModeWriteInstallsInPrimary) {
+  Build();
+  const std::string key = KeyOnInstance(0);
+  (void)client_->Read(session_, key);
+  coordinator_->OnInstanceFailed(0);
+  ASSERT_TRUE(client_->Write(session_, key).ok());
+  coordinator_->OnInstanceRecovered(0);
+  ASSERT_TRUE(client_->Write(session_, key, "recovery-write").ok());
+  auto r = client_->Read(session_, key);
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(r->cache_hit);
+  EXPECT_EQ(r->value.data, "recovery-write");
+  EXPECT_EQ(r->value.version, store_.VersionOf(key));
+}
+
+TEST_F(WriteThroughTest, ConsistentAcrossFailureEpisode) {
+  Build();
+  std::vector<std::string> keys;
+  auto cfg = coordinator_->GetConfiguration();
+  for (int i = 0; i < 200 && keys.size() < 8; ++i) {
+    std::string key = "user" + std::to_string(i);
+    if (cfg->fragment(cfg->FragmentOf(key)).primary == 0) {
+      keys.push_back(std::move(key));
+    }
+  }
+  for (const auto& k : keys) (void)client_->Read(session_, k);
+  coordinator_->OnInstanceFailed(0);
+  for (const auto& k : keys) {
+    ASSERT_TRUE(client_->Write(session_, k, "w1-" + k).ok());
+  }
+  coordinator_->OnInstanceRecovered(0);
+  for (const auto& k : keys) {
+    auto r = client_->Read(session_, k);
+    ASSERT_TRUE(r.ok());
+    EXPECT_FALSE(checker_->OnRead(clock_.Now(), k, r->value.version)) << k;
+    EXPECT_EQ(r->value.data, "w1-" + k);
+  }
+  DrainWorker();
+  EXPECT_EQ(checker_->total_stale(), 0u);
+}
+
+}  // namespace
+}  // namespace gemini
