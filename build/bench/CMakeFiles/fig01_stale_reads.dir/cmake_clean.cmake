@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig01_stale_reads.dir/fig01_stale_reads.cc.o"
+  "CMakeFiles/fig01_stale_reads.dir/fig01_stale_reads.cc.o.d"
+  "fig01_stale_reads"
+  "fig01_stale_reads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig01_stale_reads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

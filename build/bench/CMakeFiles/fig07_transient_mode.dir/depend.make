@@ -1,0 +1,2 @@
+# Empty dependencies file for fig07_transient_mode.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig09_invalidate_vs_overwrite.dir/fig09_invalidate_vs_overwrite.cc.o"
+  "CMakeFiles/fig09_invalidate_vs_overwrite.dir/fig09_invalidate_vs_overwrite.cc.o.d"
+  "fig09_invalidate_vs_overwrite"
+  "fig09_invalidate_vs_overwrite.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_invalidate_vs_overwrite.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

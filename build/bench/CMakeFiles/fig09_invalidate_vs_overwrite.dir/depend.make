@@ -1,0 +1,2 @@
+# Empty dependencies file for fig09_invalidate_vs_overwrite.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_working_set_transfer.dir/fig10_working_set_transfer.cc.o"
+  "CMakeFiles/fig10_working_set_transfer.dir/fig10_working_set_transfer.cc.o.d"
+  "fig10_working_set_transfer"
+  "fig10_working_set_transfer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_working_set_transfer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sec55_worst_case.dir/sec55_worst_case.cc.o"
+  "CMakeFiles/sec55_worst_case.dir/sec55_worst_case.cc.o.d"
+  "sec55_worst_case"
+  "sec55_worst_case.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sec55_worst_case.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table3_discarded_keys.dir/table3_discarded_keys.cc.o"
+  "CMakeFiles/table3_discarded_keys.dir/table3_discarded_keys.cc.o.d"
+  "table3_discarded_keys"
+  "table3_discarded_keys.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_discarded_keys.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

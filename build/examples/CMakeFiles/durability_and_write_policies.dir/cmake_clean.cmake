@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/durability_and_write_policies.dir/durability_and_write_policies.cpp.o"
+  "CMakeFiles/durability_and_write_policies.dir/durability_and_write_policies.cpp.o.d"
+  "durability_and_write_policies"
+  "durability_and_write_policies.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/durability_and_write_policies.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

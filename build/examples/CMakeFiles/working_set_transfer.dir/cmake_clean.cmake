@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/working_set_transfer.dir/working_set_transfer.cpp.o"
+  "CMakeFiles/working_set_transfer.dir/working_set_transfer.cpp.o.d"
+  "working_set_transfer"
+  "working_set_transfer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/working_set_transfer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

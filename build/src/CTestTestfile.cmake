@@ -1,0 +1,18 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("common")
+subdirs("lease")
+subdirs("cache")
+subdirs("store")
+subdirs("net")
+subdirs("coordinator")
+subdirs("client")
+subdirs("recovery")
+subdirs("workload")
+subdirs("consistency")
+subdirs("replication")
+subdirs("sim")

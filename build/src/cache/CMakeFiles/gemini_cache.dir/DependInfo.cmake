@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cache/cache_instance.cc" "src/cache/CMakeFiles/gemini_cache.dir/cache_instance.cc.o" "gcc" "src/cache/CMakeFiles/gemini_cache.dir/cache_instance.cc.o.d"
+  "/root/repo/src/cache/dirty_list.cc" "src/cache/CMakeFiles/gemini_cache.dir/dirty_list.cc.o" "gcc" "src/cache/CMakeFiles/gemini_cache.dir/dirty_list.cc.o.d"
+  "/root/repo/src/cache/snapshot.cc" "src/cache/CMakeFiles/gemini_cache.dir/snapshot.cc.o" "gcc" "src/cache/CMakeFiles/gemini_cache.dir/snapshot.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/gemini_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/lease/CMakeFiles/gemini_lease.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

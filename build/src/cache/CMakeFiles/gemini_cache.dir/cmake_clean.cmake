@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gemini_cache.dir/cache_instance.cc.o"
+  "CMakeFiles/gemini_cache.dir/cache_instance.cc.o.d"
+  "CMakeFiles/gemini_cache.dir/dirty_list.cc.o"
+  "CMakeFiles/gemini_cache.dir/dirty_list.cc.o.d"
+  "CMakeFiles/gemini_cache.dir/snapshot.cc.o"
+  "CMakeFiles/gemini_cache.dir/snapshot.cc.o.d"
+  "libgemini_cache.a"
+  "libgemini_cache.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gemini_cache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gemini_client.dir/gemini_client.cc.o"
+  "CMakeFiles/gemini_client.dir/gemini_client.cc.o.d"
+  "CMakeFiles/gemini_client.dir/recovery_state.cc.o"
+  "CMakeFiles/gemini_client.dir/recovery_state.cc.o.d"
+  "libgemini_client.a"
+  "libgemini_client.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gemini_client.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

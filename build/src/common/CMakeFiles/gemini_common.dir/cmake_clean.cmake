@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gemini_common.dir/clock.cc.o"
+  "CMakeFiles/gemini_common.dir/clock.cc.o.d"
+  "CMakeFiles/gemini_common.dir/histogram.cc.o"
+  "CMakeFiles/gemini_common.dir/histogram.cc.o.d"
+  "CMakeFiles/gemini_common.dir/logging.cc.o"
+  "CMakeFiles/gemini_common.dir/logging.cc.o.d"
+  "CMakeFiles/gemini_common.dir/rng.cc.o"
+  "CMakeFiles/gemini_common.dir/rng.cc.o.d"
+  "CMakeFiles/gemini_common.dir/status.cc.o"
+  "CMakeFiles/gemini_common.dir/status.cc.o.d"
+  "CMakeFiles/gemini_common.dir/time_series.cc.o"
+  "CMakeFiles/gemini_common.dir/time_series.cc.o.d"
+  "libgemini_common.a"
+  "libgemini_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gemini_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

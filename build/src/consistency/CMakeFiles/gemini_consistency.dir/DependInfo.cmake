@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/consistency/invariant_auditor.cc" "src/consistency/CMakeFiles/gemini_consistency.dir/invariant_auditor.cc.o" "gcc" "src/consistency/CMakeFiles/gemini_consistency.dir/invariant_auditor.cc.o.d"
+  "/root/repo/src/consistency/stale_read_checker.cc" "src/consistency/CMakeFiles/gemini_consistency.dir/stale_read_checker.cc.o" "gcc" "src/consistency/CMakeFiles/gemini_consistency.dir/stale_read_checker.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/gemini_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/store/CMakeFiles/gemini_store.dir/DependInfo.cmake"
+  "/root/repo/build/src/cache/CMakeFiles/gemini_cache.dir/DependInfo.cmake"
+  "/root/repo/build/src/coordinator/CMakeFiles/gemini_coordinator.dir/DependInfo.cmake"
+  "/root/repo/build/src/lease/CMakeFiles/gemini_lease.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gemini_consistency.dir/invariant_auditor.cc.o"
+  "CMakeFiles/gemini_consistency.dir/invariant_auditor.cc.o.d"
+  "CMakeFiles/gemini_consistency.dir/stale_read_checker.cc.o"
+  "CMakeFiles/gemini_consistency.dir/stale_read_checker.cc.o.d"
+  "libgemini_consistency.a"
+  "libgemini_consistency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gemini_consistency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

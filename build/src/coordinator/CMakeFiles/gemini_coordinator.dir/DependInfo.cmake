@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/coordinator/configuration.cc" "src/coordinator/CMakeFiles/gemini_coordinator.dir/configuration.cc.o" "gcc" "src/coordinator/CMakeFiles/gemini_coordinator.dir/configuration.cc.o.d"
+  "/root/repo/src/coordinator/coordinator.cc" "src/coordinator/CMakeFiles/gemini_coordinator.dir/coordinator.cc.o" "gcc" "src/coordinator/CMakeFiles/gemini_coordinator.dir/coordinator.cc.o.d"
+  "/root/repo/src/coordinator/coordinator_group.cc" "src/coordinator/CMakeFiles/gemini_coordinator.dir/coordinator_group.cc.o" "gcc" "src/coordinator/CMakeFiles/gemini_coordinator.dir/coordinator_group.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/gemini_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/cache/CMakeFiles/gemini_cache.dir/DependInfo.cmake"
+  "/root/repo/build/src/lease/CMakeFiles/gemini_lease.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gemini_coordinator.dir/configuration.cc.o"
+  "CMakeFiles/gemini_coordinator.dir/configuration.cc.o.d"
+  "CMakeFiles/gemini_coordinator.dir/coordinator.cc.o"
+  "CMakeFiles/gemini_coordinator.dir/coordinator.cc.o.d"
+  "CMakeFiles/gemini_coordinator.dir/coordinator_group.cc.o"
+  "CMakeFiles/gemini_coordinator.dir/coordinator_group.cc.o.d"
+  "libgemini_coordinator.a"
+  "libgemini_coordinator.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gemini_coordinator.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

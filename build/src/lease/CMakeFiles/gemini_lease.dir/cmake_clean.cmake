@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gemini_lease.dir/lease_table.cc.o"
+  "CMakeFiles/gemini_lease.dir/lease_table.cc.o.d"
+  "libgemini_lease.a"
+  "libgemini_lease.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gemini_lease.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gemini_net.dir/cost_model.cc.o"
+  "CMakeFiles/gemini_net.dir/cost_model.cc.o.d"
+  "libgemini_net.a"
+  "libgemini_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gemini_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

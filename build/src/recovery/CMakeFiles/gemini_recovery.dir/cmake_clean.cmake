@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gemini_recovery.dir/recovery_worker.cc.o"
+  "CMakeFiles/gemini_recovery.dir/recovery_worker.cc.o.d"
+  "CMakeFiles/gemini_recovery.dir/write_back_flusher.cc.o"
+  "CMakeFiles/gemini_recovery.dir/write_back_flusher.cc.o.d"
+  "libgemini_recovery.a"
+  "libgemini_recovery.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gemini_recovery.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/replication/replicated_fragment.cc" "src/replication/CMakeFiles/gemini_replication.dir/replicated_fragment.cc.o" "gcc" "src/replication/CMakeFiles/gemini_replication.dir/replicated_fragment.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/gemini_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/cache/CMakeFiles/gemini_cache.dir/DependInfo.cmake"
+  "/root/repo/build/src/store/CMakeFiles/gemini_store.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/gemini_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/lease/CMakeFiles/gemini_lease.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

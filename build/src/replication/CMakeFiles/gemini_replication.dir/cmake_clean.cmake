@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gemini_replication.dir/replicated_fragment.cc.o"
+  "CMakeFiles/gemini_replication.dir/replicated_fragment.cc.o.d"
+  "libgemini_replication.a"
+  "libgemini_replication.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gemini_replication.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gemini_sim.dir/cluster_sim.cc.o"
+  "CMakeFiles/gemini_sim.dir/cluster_sim.cc.o.d"
+  "CMakeFiles/gemini_sim.dir/event_queue.cc.o"
+  "CMakeFiles/gemini_sim.dir/event_queue.cc.o.d"
+  "CMakeFiles/gemini_sim.dir/metrics.cc.o"
+  "CMakeFiles/gemini_sim.dir/metrics.cc.o.d"
+  "libgemini_sim.a"
+  "libgemini_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gemini_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

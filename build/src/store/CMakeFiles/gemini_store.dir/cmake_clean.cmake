@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gemini_store.dir/data_store.cc.o"
+  "CMakeFiles/gemini_store.dir/data_store.cc.o.d"
+  "libgemini_store.a"
+  "libgemini_store.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gemini_store.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

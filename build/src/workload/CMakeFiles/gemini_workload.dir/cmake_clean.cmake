@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gemini_workload.dir/facebook.cc.o"
+  "CMakeFiles/gemini_workload.dir/facebook.cc.o.d"
+  "CMakeFiles/gemini_workload.dir/workload.cc.o"
+  "CMakeFiles/gemini_workload.dir/workload.cc.o.d"
+  "CMakeFiles/gemini_workload.dir/ycsb.cc.o"
+  "CMakeFiles/gemini_workload.dir/ycsb.cc.o.d"
+  "libgemini_workload.a"
+  "libgemini_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gemini_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cache_instance_test.dir/cache_instance_test.cc.o"
+  "CMakeFiles/cache_instance_test.dir/cache_instance_test.cc.o.d"
+  "cache_instance_test"
+  "cache_instance_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cache_instance_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/common_time_series_test.dir/common_time_series_test.cc.o"
+  "CMakeFiles/common_time_series_test.dir/common_time_series_test.cc.o.d"
+  "common_time_series_test"
+  "common_time_series_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/common_time_series_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/coordinator_group_test.dir/coordinator_group_test.cc.o"
+  "CMakeFiles/coordinator_group_test.dir/coordinator_group_test.cc.o.d"
+  "coordinator_group_test"
+  "coordinator_group_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/coordinator_group_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/data_store_test.dir/data_store_test.cc.o"
+  "CMakeFiles/data_store_test.dir/data_store_test.cc.o.d"
+  "data_store_test"
+  "data_store_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/data_store_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dirty_list_test.dir/dirty_list_test.cc.o"
+  "CMakeFiles/dirty_list_test.dir/dirty_list_test.cc.o.d"
+  "dirty_list_test"
+  "dirty_list_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dirty_list_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/invariant_auditor_test.dir/invariant_auditor_test.cc.o"
+  "CMakeFiles/invariant_auditor_test.dir/invariant_auditor_test.cc.o.d"
+  "invariant_auditor_test"
+  "invariant_auditor_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/invariant_auditor_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

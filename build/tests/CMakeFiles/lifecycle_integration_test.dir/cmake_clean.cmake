@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lifecycle_integration_test.dir/lifecycle_integration_test.cc.o"
+  "CMakeFiles/lifecycle_integration_test.dir/lifecycle_integration_test.cc.o.d"
+  "lifecycle_integration_test"
+  "lifecycle_integration_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lifecycle_integration_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

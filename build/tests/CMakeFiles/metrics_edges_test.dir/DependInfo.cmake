@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/metrics_edges_test.cc" "tests/CMakeFiles/metrics_edges_test.dir/metrics_edges_test.cc.o" "gcc" "tests/CMakeFiles/metrics_edges_test.dir/metrics_edges_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/gemini_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/lease/CMakeFiles/gemini_lease.dir/DependInfo.cmake"
+  "/root/repo/build/src/cache/CMakeFiles/gemini_cache.dir/DependInfo.cmake"
+  "/root/repo/build/src/store/CMakeFiles/gemini_store.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/gemini_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/coordinator/CMakeFiles/gemini_coordinator.dir/DependInfo.cmake"
+  "/root/repo/build/src/client/CMakeFiles/gemini_client.dir/DependInfo.cmake"
+  "/root/repo/build/src/recovery/CMakeFiles/gemini_recovery.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/gemini_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/consistency/CMakeFiles/gemini_consistency.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/gemini_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/replication/CMakeFiles/gemini_replication.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/recovery_worker_test.dir/recovery_worker_test.cc.o"
+  "CMakeFiles/recovery_worker_test.dir/recovery_worker_test.cc.o.d"
+  "recovery_worker_test"
+  "recovery_worker_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/recovery_worker_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

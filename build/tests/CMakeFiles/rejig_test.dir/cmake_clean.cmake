@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rejig_test.dir/rejig_test.cc.o"
+  "CMakeFiles/rejig_test.dir/rejig_test.cc.o.d"
+  "rejig_test"
+  "rejig_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rejig_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
