@@ -1,0 +1,147 @@
+// CacheBackend: the per-key cache surface GeminiClient (and the recovery
+// machinery) program against.
+//
+// Two implementations exist:
+//  - CacheInstance (src/cache/cache_instance.h): the in-process cache used by
+//    the discrete-event harness and the unit tests.
+//  - TcpCacheBackend (src/transport/tcp_backend.h): a socket client that
+//    speaks the geminid wire protocol (docs/PROTOCOL.md §10) to a remote
+//    cache process.
+//
+// The split keeps the protocol library deployment-agnostic: the client
+// routes, leases, retries, and bills sessions identically whether the
+// "instance" is a pointer or a TCP connection. Methods mirror the IQ /
+// Redlease vocabulary of Sections 2.3 and 3 of the paper; see
+// cache_instance.h for per-operation semantics.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "src/common/status.h"
+#include "src/common/types.h"
+
+namespace gemini {
+
+/// A cached value. `data` carries the payload; `charged_bytes` is the size
+/// the entry is billed at for memory accounting, which lets the simulator
+/// model, e.g., 329-byte Facebook values without materializing them
+/// (charged_bytes >= data.size() always holds for real payloads).
+/// `version` is the data store version the value was computed from — consumed
+/// only by the consistency checker, never by the protocol itself.
+struct CacheValue {
+  std::string data;
+  uint32_t charged_bytes = 0;
+  Version version = 0;
+
+  static CacheValue OfData(std::string d, Version v = 0) {
+    CacheValue value;
+    value.charged_bytes = static_cast<uint32_t>(d.size());
+    value.data = std::move(d);
+    value.version = v;
+    return value;
+  }
+  static CacheValue OfSize(uint32_t bytes, Version v = 0) {
+    CacheValue value;
+    value.charged_bytes = bytes;
+    value.version = v;
+    return value;
+  }
+};
+
+/// Per-operation context. `config_id` is the caller's configuration id
+/// (kInternalConfigId for coordinator/recovery-internal operations, which
+/// bypass the staleness check); `fragment` scopes entry validation, or
+/// kInvalidFragment for Gemini-internal keys (dirty lists, the configuration
+/// entry) which are not fragment-scoped.
+struct OpContext {
+  ConfigId config_id = 0;
+  FragmentId fragment = kInvalidFragment;
+};
+
+inline constexpr ConfigId kInternalConfigId =
+    std::numeric_limits<ConfigId>::max();
+
+/// Result of iqget: either a hit (value set) or a miss. On a miss the
+/// instance attempted to grant an I lease; `i_token` is kNoLease if another
+/// session holds an incompatible lease (caller backs off — surfaced as
+/// Code::kBackoff instead, so this struct always has a token on miss).
+struct IqGetResult {
+  std::optional<CacheValue> value;
+  LeaseToken i_token = kNoLease;
+};
+
+class CacheBackend {
+ public:
+  virtual ~CacheBackend() = default;
+
+  /// The InstanceId of the cache this backend fronts.
+  [[nodiscard]] virtual InstanceId id() const = 0;
+
+  // ---- Data path (Section 2.3 / Algorithms 1-3) ---------------------------
+
+  /// Plain get, no lease on miss.
+  virtual Result<CacheValue> Get(const OpContext& ctx,
+                                 std::string_view key) = 0;
+
+  /// Get; on miss, atomically acquire an I lease (or kBackoff).
+  virtual Result<IqGetResult> IqGet(const OpContext& ctx,
+                                    std::string_view key) = 0;
+
+  /// Insert if the I lease `token` is still valid, then release it.
+  virtual Status IqSet(const OpContext& ctx, std::string_view key,
+                       CacheValue value, LeaseToken token) = 0;
+
+  /// Acquire a Q lease (write path); voids any I lease.
+  virtual Result<LeaseToken> Qareg(const OpContext& ctx,
+                                   std::string_view key) = 0;
+
+  /// Delete-and-release (write-around commit).
+  virtual Status Dar(const OpContext& ctx, std::string_view key,
+                     LeaseToken token) = 0;
+
+  /// Replace-and-release (write-through commit).
+  virtual Status Rar(const OpContext& ctx, std::string_view key,
+                     CacheValue value, LeaseToken token) = 0;
+
+  /// Delete the entry and acquire an I lease in one step.
+  virtual Result<LeaseToken> ISet(const OpContext& ctx,
+                                  std::string_view key) = 0;
+
+  /// Delete the entry and release the I lease.
+  virtual Status IDelete(const OpContext& ctx, std::string_view key,
+                         LeaseToken token) = 0;
+
+  /// Unconditional delete with no leases.
+  virtual Status Delete(const OpContext& ctx, std::string_view key) = 0;
+
+  /// Unconditional insert with no leases.
+  virtual Status Set(const OpContext& ctx, std::string_view key,
+                     CacheValue value) = 0;
+
+  /// Compare-and-swap: replace the entry iff its current version equals
+  /// `expected`. kNotFound when absent, kLeaseInvalid on version mismatch.
+  virtual Status Cas(const OpContext& ctx, std::string_view key,
+                     Version expected, CacheValue value) = 0;
+
+  /// Write-back install: buffer the value under the Q lease, pin the entry.
+  virtual Status WriteBackInstall(const OpContext& ctx, std::string_view key,
+                                  CacheValue value, LeaseToken token) = 0;
+
+  /// Appends bytes to an entry's payload, creating the entry if absent
+  /// (dirty-list append semantics).
+  virtual Status Append(const OpContext& ctx, std::string_view key,
+                        std::string_view data) = 0;
+
+  // ---- Redlease (recovery workers, Section 2.3) ---------------------------
+
+  virtual Result<LeaseToken> AcquireRed(std::string_view key) = 0;
+  virtual Status ReleaseRed(std::string_view key, LeaseToken token) = 0;
+  /// Extends a held Redlease; kLeaseInvalid if it lapsed.
+  virtual Status RenewRed(std::string_view key, LeaseToken token) = 0;
+};
+
+}  // namespace gemini

@@ -93,6 +93,11 @@ ConfigId CacheInstance::latest_config_id() const {
   return latest_config_;
 }
 
+void CacheInstance::ObserveConfigId(ConfigId latest) {
+  std::lock_guard<std::mutex> lock(mu_);
+  latest_config_ = std::max(latest_config_, latest);
+}
+
 bool CacheInstance::HoldsFragmentLease(FragmentId fragment) const {
   std::lock_guard<std::mutex> lock(mu_);
   auto it = fragments_.find(fragment);
@@ -414,6 +419,26 @@ Status CacheInstance::Set(const OpContext& ctx, std::string_view key,
                           CacheValue value) {
   std::lock_guard<std::mutex> lock(mu_);
   if (Status s = CheckRequestLocked(ctx); !s.ok()) return s;
+  const ConfigId cfg =
+      ctx.config_id == kInternalConfigId ? latest_config_ : ctx.config_id;
+  if (!UpsertLocked(key, std::move(value), cfg)) {
+    return Status(Code::kInvalidArgument, "value larger than cache capacity");
+  }
+  return Status::Ok();
+}
+
+Status CacheInstance::Cas(const OpContext& ctx, std::string_view key,
+                          Version expected, CacheValue value) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (Status s = CheckRequestLocked(ctx); !s.ok()) return s;
+  auto it = FindValidLocked(ctx, key);
+  if (it == table_.end()) {
+    ++counters_.misses;
+    return Status(Code::kNotFound);
+  }
+  if (it->second->value.version != expected) {
+    return Status(Code::kLeaseInvalid, "cas version mismatch");
+  }
   const ConfigId cfg =
       ctx.config_id == kInternalConfigId ? latest_config_ : ctx.config_id;
   if (!UpsertLocked(key, std::move(value), cfg)) {

@@ -38,6 +38,7 @@
 #include <string_view>
 #include <unordered_map>
 
+#include "src/cache/cache_backend.h"
 #include "src/common/clock.h"
 #include "src/common/status.h"
 #include "src/common/types.h"
@@ -45,55 +46,7 @@
 
 namespace gemini {
 
-/// A cached value. `data` carries the payload; `charged_bytes` is the size
-/// the entry is billed at for memory accounting, which lets the simulator
-/// model, e.g., 329-byte Facebook values without materializing them
-/// (charged_bytes >= data.size() always holds for real payloads).
-/// `version` is the data store version the value was computed from — consumed
-/// only by the consistency checker, never by the protocol itself.
-struct CacheValue {
-  std::string data;
-  uint32_t charged_bytes = 0;
-  Version version = 0;
-
-  static CacheValue OfData(std::string d, Version v = 0) {
-    CacheValue value;
-    value.charged_bytes = static_cast<uint32_t>(d.size());
-    value.data = std::move(d);
-    value.version = v;
-    return value;
-  }
-  static CacheValue OfSize(uint32_t bytes, Version v = 0) {
-    CacheValue value;
-    value.charged_bytes = bytes;
-    value.version = v;
-    return value;
-  }
-};
-
-/// Per-operation context. `config_id` is the caller's configuration id
-/// (kInternalConfigId for coordinator/recovery-internal operations, which
-/// bypass the staleness check); `fragment` scopes entry validation, or
-/// kInvalidFragment for Gemini-internal keys (dirty lists, the configuration
-/// entry) which are not fragment-scoped.
-struct OpContext {
-  ConfigId config_id = 0;
-  FragmentId fragment = kInvalidFragment;
-};
-
-inline constexpr ConfigId kInternalConfigId =
-    std::numeric_limits<ConfigId>::max();
-
-/// Result of iqget: either a hit (value set) or a miss. On a miss the
-/// instance attempted to grant an I lease; `i_token` is kNoLease if another
-/// session holds an incompatible lease (caller backs off — surfaced as
-/// Code::kBackoff instead, so this struct always has a token on miss).
-struct IqGetResult {
-  std::optional<CacheValue> value;
-  LeaseToken i_token = kNoLease;
-};
-
-class CacheInstance {
+class CacheInstance : public CacheBackend {
  public:
   struct Options {
     /// Memory budget for entries (bytes). 0 disables eviction.
@@ -111,7 +64,7 @@ class CacheInstance {
   CacheInstance(const CacheInstance&) = delete;
   CacheInstance& operator=(const CacheInstance&) = delete;
 
-  [[nodiscard]] InstanceId id() const { return id_; }
+  [[nodiscard]] InstanceId id() const override { return id_; }
 
   // ---- Availability & persistence emulation -------------------------------
 
@@ -141,6 +94,11 @@ class CacheInstance {
   /// The latest configuration id this instance has observed.
   [[nodiscard]] ConfigId latest_config_id() const;
 
+  /// Advances the memoized latest configuration id without touching any
+  /// fragment lease (the wire protocol's config-bump op; a coordinator uses
+  /// it to make an instance bounce stale clients before leases arrive).
+  void ObserveConfigId(ConfigId latest);
+
   /// True iff this instance currently holds a live lease on `fragment`.
   [[nodiscard]] bool HoldsFragmentLease(FragmentId fragment) const;
 
@@ -157,21 +115,24 @@ class CacheInstance {
 
   /// Plain get (no lease on miss). Used for secondary lookups during working
   /// set transfer and by recovery workers (SR.get(k)).
-  Result<CacheValue> Get(const OpContext& ctx, std::string_view key);
+  Result<CacheValue> Get(const OpContext& ctx, std::string_view key) override;
 
   /// Get; on miss, atomically acquire an I lease (or kBackoff).
-  Result<IqGetResult> IqGet(const OpContext& ctx, std::string_view key);
+  Result<IqGetResult> IqGet(const OpContext& ctx,
+                            std::string_view key) override;
 
   /// Insert if the I lease `token` is still valid, then release it. Returns
   /// kLeaseInvalid (insert ignored) if the lease was voided or expired.
   Status IqSet(const OpContext& ctx, std::string_view key, CacheValue value,
-               LeaseToken token);
+               LeaseToken token) override;
 
   /// Acquire a Q lease (write-around write path); voids any I lease.
-  Result<LeaseToken> Qareg(const OpContext& ctx, std::string_view key);
+  Result<LeaseToken> Qareg(const OpContext& ctx,
+                           std::string_view key) override;
 
   /// Delete-and-release: removes the entry and releases the Q lease.
-  Status Dar(const OpContext& ctx, std::string_view key, LeaseToken token);
+  Status Dar(const OpContext& ctx, std::string_view key,
+             LeaseToken token) override;
 
   /// Replace-and-release (write-through): installs the new value written to
   /// the data store and releases the Q lease. Requires the Q lease to still
@@ -179,22 +140,32 @@ class CacheInstance {
   /// expiry rule and the insert must not resurrect a potentially stale
   /// value, so kLeaseInvalid is returned and nothing is installed.
   Status Rar(const OpContext& ctx, std::string_view key, CacheValue value,
-             LeaseToken token);
+             LeaseToken token) override;
 
   /// Recovery primitive (Algorithm 1 line 7, Algorithm 3 line 11): delete the
   /// entry and acquire an I lease in one step; kBackoff if leases collide.
-  Result<LeaseToken> ISet(const OpContext& ctx, std::string_view key);
+  Result<LeaseToken> ISet(const OpContext& ctx,
+                          std::string_view key) override;
 
   /// Delete the entry and release the I lease (Algorithm 3 line 16).
-  Status IDelete(const OpContext& ctx, std::string_view key, LeaseToken token);
+  Status IDelete(const OpContext& ctx, std::string_view key,
+                 LeaseToken token) override;
 
   /// Unconditional delete with no leases (Algorithm 2 line 3: delete in the
   /// secondary during working set transfer).
-  Status Delete(const OpContext& ctx, std::string_view key);
+  Status Delete(const OpContext& ctx, std::string_view key) override;
 
   /// Unconditional insert with no leases. Used by the coordinator to publish
   /// configurations and initialize dirty lists, and by tests.
-  Status Set(const OpContext& ctx, std::string_view key, CacheValue value);
+  Status Set(const OpContext& ctx, std::string_view key,
+             CacheValue value) override;
+
+  /// Compare-and-swap: atomically replaces the entry iff its current version
+  /// equals `expected`. kNotFound when the key is absent (or invalid under
+  /// Rejig), kLeaseInvalid on a version mismatch. No lease interaction — the
+  /// wire protocol exposes it for memcached-style cas clients.
+  Status Cas(const OpContext& ctx, std::string_view key, Version expected,
+             CacheValue value) override;
 
   /// Write-back install (extension; Section 2 names write-back as a write
   /// policy): installs the buffered value under the Q lease, *pins* the
@@ -202,7 +173,7 @@ class CacheInstance {
   /// before its flush would lose the write), and enqueues it for the
   /// flusher. The entry's version is the store's reserved version.
   Status WriteBackInstall(const OpContext& ctx, std::string_view key,
-                          CacheValue value, LeaseToken token);
+                          CacheValue value, LeaseToken token) override;
 
   /// A buffered write awaiting its data-store flush.
   struct PendingFlush {
@@ -226,14 +197,14 @@ class CacheInstance {
   /// (memcached "append" semantics as Gemini needs them: a re-created dirty
   /// list is detectable because it lacks the marker).
   Status Append(const OpContext& ctx, std::string_view key,
-                std::string_view data);
+                std::string_view data) override;
 
   // ---- Redlease (recovery workers, Section 2.3) ----------------------------
 
-  Result<LeaseToken> AcquireRed(std::string_view key);
-  Status ReleaseRed(std::string_view key, LeaseToken token);
+  Result<LeaseToken> AcquireRed(std::string_view key) override;
+  Status ReleaseRed(std::string_view key, LeaseToken token) override;
   /// Extends a held Redlease; kLeaseInvalid if it lapsed.
-  Status RenewRed(std::string_view key, LeaseToken token);
+  Status RenewRed(std::string_view key, LeaseToken token) override;
 
   // ---- Introspection -------------------------------------------------------
 

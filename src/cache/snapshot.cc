@@ -1,5 +1,9 @@
 #include "src/cache/snapshot.h"
 
+#include <errno.h>
+#include <fcntl.h>
+#include <unistd.h>
+
 #include <cstdio>
 #include <cstring>
 #include <unordered_set>
@@ -157,20 +161,44 @@ Status Snapshot::WriteToFile(CacheInstance& instance,
                              const std::string& path) {
   const std::string payload = Serialize(instance);
   const std::string tmp = path + ".tmp";
-  std::FILE* f = std::fopen(tmp.c_str(), "wb");
-  if (f == nullptr) {
+  int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) {
     return Status(Code::kInternal, "cannot open " + tmp);
   }
-  const size_t written = std::fwrite(payload.data(), 1, payload.size(), f);
-  const bool flushed = std::fflush(f) == 0;
-  std::fclose(f);
-  if (written != payload.size() || !flushed) {
+  size_t written = 0;
+  while (written < payload.size()) {
+    const ssize_t n =
+        ::write(fd, payload.data() + written, payload.size() - written);
+    if (n < 0 && errno == EINTR) continue;
+    if (n <= 0) break;
+    written += static_cast<size_t>(n);
+  }
+  // fsync before rename: without it the rename can hit disk before the
+  // data, and a crash leaves `path` pointing at a torn file — exactly the
+  // stale-entry hazard a persistent cache must fail closed on.
+  const bool synced = written == payload.size() && ::fsync(fd) == 0;
+  ::close(fd);
+  if (!synced) {
     std::remove(tmp.c_str());
     return Status(Code::kInternal, "short write to " + tmp);
   }
   if (std::rename(tmp.c_str(), path.c_str()) != 0) {
     std::remove(tmp.c_str());
     return Status(Code::kInternal, "rename to " + path + " failed");
+  }
+  // fsync the directory so the rename itself survives a crash.
+  const size_t slash = path.find_last_of('/');
+  const std::string dir = slash == std::string::npos
+                              ? std::string(".")
+                              : path.substr(0, slash == 0 ? 1 : slash);
+  int dir_fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+  if (dir_fd < 0) {
+    return Status(Code::kInternal, "cannot open directory " + dir);
+  }
+  const bool dir_synced = ::fsync(dir_fd) == 0;
+  ::close(dir_fd);
+  if (!dir_synced) {
+    return Status(Code::kInternal, "fsync of directory " + dir + " failed");
   }
   return Status::Ok();
 }

@@ -17,7 +17,7 @@ CacheValue ValueFromRecord(const StoreRecord& rec) {
 }  // namespace
 
 GeminiClient::GeminiClient(const Clock* clock, CoordinatorService* coordinator,
-                           std::vector<CacheInstance*> instances,
+                           std::vector<CacheBackend*> instances,
                            DataStore* store, Options options)
     : clock_(clock),
       coordinator_(coordinator),
@@ -201,7 +201,7 @@ Result<GeminiClient::ReadResult> GeminiClient::Read(Session& session,
 Result<GeminiClient::ReadResult> GeminiClient::ReadViaReplica(
     Session& session, std::string_view key, FragmentId fragment,
     InstanceId target, ConfigId config_id) {
-  CacheInstance& inst = *instances_.at(target);
+  CacheBackend& inst = *instances_.at(target);
   const OpContext ctx{config_id, fragment};
   for (int i = 0; i <= options_.max_backoff_retries; ++i) {
     session.BillCacheOp(target);
@@ -252,7 +252,7 @@ Result<GeminiClient::ReadResult> GeminiClient::FillFromStore(
     ++stats_.store_reads;
   }
   auto rec = store_->Query(key);
-  CacheInstance& inst = *instances_.at(target);
+  CacheBackend& inst = *instances_.at(target);
   const OpContext ctx{config_id, fragment};
   if (!rec.ok()) {
     // No backing record: release the I lease so other sessions proceed.
@@ -332,7 +332,7 @@ Result<GeminiClient::ReadResult> GeminiClient::ReadRecovery(
     Session& session, std::string_view key, FragmentId fragment,
     const FragmentAssignment& a, ConfigId config_id) {
   if (a.primary == kInvalidInstance) return Status(Code::kUnavailable);
-  CacheInstance& pr = *instances_.at(a.primary);
+  CacheBackend& pr = *instances_.at(a.primary);
   const OpContext ctx{config_id, fragment};
 
   CachedDirtyList* dl = EnsureDirtyList(session, fragment, a, config_id);
@@ -431,7 +431,7 @@ Result<GeminiClient::ReadResult> GeminiClient::ReadRecovery(
 
 // ---- Write ------------------------------------------------------------------
 
-Status GeminiClient::CommitWrite(Session& session, CacheInstance& inst,
+Status GeminiClient::CommitWrite(Session& session, CacheBackend& inst,
                                  InstanceId instance, const OpContext& ctx,
                                  std::string_view key, LeaseToken q_token,
                                  std::optional<std::string>& data,
@@ -502,7 +502,7 @@ Status GeminiClient::Write(Session& session, std::string_view key,
         }
         // Write-around in normal mode: Q lease, store update, delete-and-
         // release (Section 2.3).
-        CacheInstance& inst = *instances_.at(a.primary);
+        CacheBackend& inst = *instances_.at(a.primary);
         const OpContext ctx{id, f};
         session.BillCacheOp(a.primary);
         auto q = inst.Qareg(ctx, key);
@@ -522,7 +522,7 @@ Status GeminiClient::Write(Session& session, std::string_view key,
         // Section 3.1: invalidate in the secondary and record the key on the
         // fragment's dirty list. The append precedes the store update so a
         // confirmed write is always covered by the list.
-        CacheInstance& inst = *instances_.at(a.secondary);
+        CacheBackend& inst = *instances_.at(a.secondary);
         const OpContext ctx{id, f};
         session.BillCacheOp(a.secondary);
         auto q = inst.Qareg(ctx, key);
@@ -550,7 +550,7 @@ Status GeminiClient::Write(Session& session, std::string_view key,
           break;
         }
         // Algorithm 2.
-        CacheInstance& pr = *instances_.at(a.primary);
+        CacheBackend& pr = *instances_.at(a.primary);
         const OpContext ctx{id, f};
         session.BillCacheOp(a.primary);
         auto q = pr.Qareg(ctx, key);

@@ -90,12 +90,24 @@ class GeminiClient {
   };
 
   GeminiClient(const Clock* clock, CoordinatorService* coordinator,
-               std::vector<CacheInstance*> instances, DataStore* store)
+               std::vector<CacheBackend*> instances, DataStore* store)
       : GeminiClient(clock, coordinator, std::move(instances), store,
                      Options()) {}
   GeminiClient(const Clock* clock, CoordinatorService* coordinator,
-               std::vector<CacheInstance*> instances, DataStore* store,
+               std::vector<CacheBackend*> instances, DataStore* store,
                Options options);
+  /// Convenience overloads for in-process clusters (tests, the DES harness):
+  /// a CacheInstance* vector upcasts element-wise to the backend interface.
+  GeminiClient(const Clock* clock, CoordinatorService* coordinator,
+               const std::vector<CacheInstance*>& instances, DataStore* store)
+      : GeminiClient(clock, coordinator, instances, store, Options()) {}
+  GeminiClient(const Clock* clock, CoordinatorService* coordinator,
+               const std::vector<CacheInstance*>& instances, DataStore* store,
+               Options options)
+      : GeminiClient(clock, coordinator,
+                     std::vector<CacheBackend*>(instances.begin(),
+                                                instances.end()),
+                     store, options) {}
 
   /// Binds the shared WST-termination flags (required when
   /// working_set_transfer is on).
@@ -199,7 +211,7 @@ class GeminiClient {
   // Applies the data-store update and the cache-side completion of a write
   // session per the configured write policy: delete-and-release
   // (write-around) or replace-and-release (write-through).
-  Status CommitWrite(Session& session, CacheInstance& inst,
+  Status CommitWrite(Session& session, CacheBackend& inst,
                      InstanceId instance, const OpContext& ctx,
                      std::string_view key, LeaseToken q_token,
                      std::optional<std::string>& data, bool allow_write_back);
@@ -217,7 +229,7 @@ class GeminiClient {
 
   const Clock* clock_;
   CoordinatorService* coordinator_;
-  std::vector<CacheInstance*> instances_;
+  std::vector<CacheBackend*> instances_;
   DataStore* store_;
   Options options_;
   RecoveryState* recovery_state_ = nullptr;

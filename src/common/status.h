@@ -15,6 +15,8 @@
 
 namespace gemini {
 
+/// Numeric values are frozen: they travel as wire response tags
+/// (docs/PROTOCOL.md §10.4). Append new codes; never renumber.
 enum class Code : uint8_t {
   kOk = 0,
   /// Key not present (a cache miss, or store key never written).

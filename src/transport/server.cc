@@ -1,0 +1,750 @@
+#include "src/transport/server.h"
+
+#include <arpa/inet.h>
+#include <errno.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#if defined(__linux__)
+#include <sys/epoll.h>
+#endif
+
+#include <algorithm>
+#include <cstring>
+#include <vector>
+
+#include "src/cache/snapshot.h"
+#include "src/common/logging.h"
+#include "src/transport/wire.h"
+
+namespace gemini {
+
+namespace {
+
+bool SetNonBlocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  return flags >= 0 && ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) == 0;
+}
+
+}  // namespace
+
+// ---- Connection -------------------------------------------------------------
+
+struct TransportServer::Connection {
+  explicit Connection(int fd_in) : fd(fd_in) {}
+  int fd;
+  std::string in;   // unparsed request bytes
+  std::string out;  // unflushed response bytes
+  size_t out_offset = 0;
+  bool hello_done = false;
+
+  [[nodiscard]] bool has_pending_writes() const {
+    return out_offset < out.size();
+  }
+};
+
+// ---- Pollers ----------------------------------------------------------------
+
+struct PollerEvent {
+  int fd = -1;
+  bool readable = false;
+  bool writable = false;
+  bool error = false;
+};
+
+class TransportServer::Poller {
+ public:
+  virtual ~Poller() = default;
+  virtual bool Add(int fd) = 0;
+  /// Toggles write-readiness interest (read interest is permanent).
+  virtual void Update(int fd, bool want_write) = 0;
+  virtual void Remove(int fd) = 0;
+  /// Blocks up to timeout_ms; fills `out` with ready fds.
+  virtual bool Wait(int timeout_ms, std::vector<PollerEvent>& out) = 0;
+};
+
+/// Portable fallback: poll(2) over a flat pollfd vector. O(n) per wait, which
+/// is fine for the connection counts a single cache instance serves.
+class TransportServer::PollPoller final : public TransportServer::Poller {
+ public:
+  bool Add(int fd) override {
+    fds_.push_back({fd, POLLIN, 0});
+    return true;
+  }
+
+  void Update(int fd, bool want_write) override {
+    for (auto& p : fds_) {
+      if (p.fd == fd) {
+        p.events = static_cast<short>(POLLIN | (want_write ? POLLOUT : 0));
+        return;
+      }
+    }
+  }
+
+  void Remove(int fd) override {
+    for (auto it = fds_.begin(); it != fds_.end(); ++it) {
+      if (it->fd == fd) {
+        fds_.erase(it);
+        return;
+      }
+    }
+  }
+
+  bool Wait(int timeout_ms, std::vector<PollerEvent>& out) override {
+    const int n = ::poll(fds_.data(), fds_.size(), timeout_ms);
+    if (n < 0) return errno == EINTR;
+    for (const auto& p : fds_) {
+      if (p.revents == 0) continue;
+      PollerEvent ev;
+      ev.fd = p.fd;
+      ev.readable = (p.revents & (POLLIN | POLLHUP)) != 0;
+      ev.writable = (p.revents & POLLOUT) != 0;
+      ev.error = (p.revents & (POLLERR | POLLNVAL)) != 0;
+      out.push_back(ev);
+    }
+    return true;
+  }
+
+ private:
+  std::vector<struct pollfd> fds_;
+};
+
+#if defined(__linux__)
+class TransportServer::EpollPoller final : public TransportServer::Poller {
+ public:
+  EpollPoller() : epfd_(::epoll_create1(EPOLL_CLOEXEC)) {}
+  ~EpollPoller() override {
+    if (epfd_ >= 0) ::close(epfd_);
+  }
+
+  [[nodiscard]] bool valid() const { return epfd_ >= 0; }
+
+  bool Add(int fd) override {
+    struct epoll_event ev;
+    std::memset(&ev, 0, sizeof(ev));
+    ev.events = EPOLLIN;
+    ev.data.fd = fd;
+    return ::epoll_ctl(epfd_, EPOLL_CTL_ADD, fd, &ev) == 0;
+  }
+
+  void Update(int fd, bool want_write) override {
+    struct epoll_event ev;
+    std::memset(&ev, 0, sizeof(ev));
+    ev.events = EPOLLIN | (want_write ? EPOLLOUT : 0);
+    ev.data.fd = fd;
+    ::epoll_ctl(epfd_, EPOLL_CTL_MOD, fd, &ev);
+  }
+
+  void Remove(int fd) override {
+    ::epoll_ctl(epfd_, EPOLL_CTL_DEL, fd, nullptr);
+  }
+
+  bool Wait(int timeout_ms, std::vector<PollerEvent>& out) override {
+    struct epoll_event events[64];
+    const int n = ::epoll_wait(epfd_, events, 64, timeout_ms);
+    if (n < 0) return errno == EINTR;
+    for (int i = 0; i < n; ++i) {
+      PollerEvent ev;
+      ev.fd = events[i].data.fd;
+      ev.readable = (events[i].events & (EPOLLIN | EPOLLHUP)) != 0;
+      ev.writable = (events[i].events & EPOLLOUT) != 0;
+      ev.error = (events[i].events & EPOLLERR) != 0;
+      out.push_back(ev);
+    }
+    return true;
+  }
+
+ private:
+  int epfd_;
+};
+#endif  // __linux__
+
+// ---- Lifecycle --------------------------------------------------------------
+
+TransportServer::TransportServer(CacheInstance* instance, Options options)
+    : instance_(instance), options_(std::move(options)) {}
+
+TransportServer::~TransportServer() { Stop(); }
+
+Status TransportServer::Start() {
+  if (running_.load(std::memory_order_acquire)) {
+    return Status(Code::kInvalidArgument, "server already running");
+  }
+  stop_requested_.store(false, std::memory_order_release);
+
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) return Status(Code::kInternal, "socket() failed");
+  int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  struct sockaddr_in addr;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(options_.port);
+  if (::inet_pton(AF_INET, options_.bind_address.c_str(), &addr.sin_addr) !=
+      1) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return Status(Code::kInvalidArgument,
+                  "bad bind address " + options_.bind_address);
+  }
+  if (::bind(listen_fd_, reinterpret_cast<struct sockaddr*>(&addr),
+             sizeof(addr)) != 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return Status(Code::kInternal,
+                  "bind(" + options_.bind_address + ":" +
+                      std::to_string(options_.port) + ") failed: " +
+                      std::strerror(errno));
+  }
+  if (::listen(listen_fd_, options_.listen_backlog) != 0 ||
+      !SetNonBlocking(listen_fd_)) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return Status(Code::kInternal, "listen() failed");
+  }
+  socklen_t addr_len = sizeof(addr);
+  ::getsockname(listen_fd_, reinterpret_cast<struct sockaddr*>(&addr),
+                &addr_len);
+  port_ = ntohs(addr.sin_port);
+
+  if (::pipe(wake_fds_) != 0 || !SetNonBlocking(wake_fds_[0]) ||
+      !SetNonBlocking(wake_fds_[1])) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return Status(Code::kInternal, "self-pipe failed");
+  }
+
+#if defined(__linux__)
+  if (!options_.use_poll_fallback) {
+    auto epoll = std::make_unique<EpollPoller>();
+    if (epoll->valid()) poller_ = std::move(epoll);
+  }
+#endif
+  if (poller_ == nullptr) poller_ = std::make_unique<PollPoller>();
+  poller_->Add(listen_fd_);
+  poller_->Add(wake_fds_[0]);
+
+  running_.store(true, std::memory_order_release);
+  loop_thread_ = std::thread([this] { Loop(); });
+  LOG_INFO << "geminid transport listening on " << options_.bind_address
+           << ":" << port_ << " (instance " << instance_->id() << ")";
+  return Status::Ok();
+}
+
+void TransportServer::Stop() {
+  if (!running_.load(std::memory_order_acquire)) return;
+  stop_requested_.store(true, std::memory_order_release);
+  // Wake the loop; a failed write means it is already draining.
+  const char byte = 'w';
+  [[maybe_unused]] ssize_t n = ::write(wake_fds_[1], &byte, 1);
+  if (loop_thread_.joinable()) loop_thread_.join();
+  running_.store(false, std::memory_order_release);
+}
+
+TransportServer::Stats TransportServer::stats() const {
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  return stats_;
+}
+
+// ---- Event loop -------------------------------------------------------------
+
+void TransportServer::Loop() {
+  std::vector<PollerEvent> events;
+  // Drain deadline once stop is requested (monotonic ms).
+  int drain_budget_ms = options_.drain_timeout_ms;
+  bool draining = false;
+
+  for (;;) {
+    if (stop_requested_.load(std::memory_order_acquire) && !draining) {
+      draining = true;
+      // Stop accepting; connections with queued responses get to drain.
+      poller_->Remove(listen_fd_);
+      std::vector<int> idle;
+      for (auto& [fd, conn] : connections_) {
+        if (!conn->has_pending_writes()) idle.push_back(fd);
+      }
+      for (int fd : idle) CloseConnection(fd);
+    }
+    if (draining && (connections_.empty() || drain_budget_ms <= 0)) break;
+
+    events.clear();
+    const int timeout = draining ? std::min(drain_budget_ms, 50) : 500;
+    if (!poller_->Wait(timeout, events)) break;
+    if (draining) drain_budget_ms -= timeout;
+
+    for (const PollerEvent& ev : events) {
+      if (ev.fd == wake_fds_[0]) {
+        char buf[64];
+        while (::read(wake_fds_[0], buf, sizeof(buf)) > 0) {
+        }
+        continue;
+      }
+      if (ev.fd == listen_fd_) {
+        if (!draining) AcceptReady();
+        continue;
+      }
+      auto it = connections_.find(ev.fd);
+      if (it == connections_.end()) continue;
+      Connection& conn = *it->second;
+      bool alive = !ev.error;
+      if (alive && ev.writable) alive = FlushWrites(conn);
+      if (alive && ev.readable && !draining) alive = ReadReady(conn);
+      if (alive && draining && !conn.has_pending_writes()) alive = false;
+      if (!alive) CloseConnection(ev.fd);
+    }
+  }
+
+  for (auto it = connections_.begin(); it != connections_.end();) {
+    int fd = it->first;
+    ++it;
+    CloseConnection(fd);
+  }
+  ::close(listen_fd_);
+  listen_fd_ = -1;
+  ::close(wake_fds_[0]);
+  ::close(wake_fds_[1]);
+  wake_fds_[0] = wake_fds_[1] = -1;
+  poller_.reset();
+}
+
+void TransportServer::AcceptReady() {
+  for (;;) {
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) return;  // EAGAIN (or transient error): back to the loop
+    if (!SetNonBlocking(fd)) {
+      ::close(fd);
+      continue;
+    }
+    int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    poller_->Add(fd);
+    connections_.emplace(fd, std::make_unique<Connection>(fd));
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    ++stats_.connections_accepted;
+  }
+}
+
+bool TransportServer::ReadReady(Connection& conn) {
+  char buf[64 * 1024];
+  for (;;) {
+    const ssize_t n = ::recv(conn.fd, buf, sizeof(buf), 0);
+    if (n > 0) {
+      conn.in.append(buf, static_cast<size_t>(n));
+      if (n < static_cast<ssize_t>(sizeof(buf))) break;
+      continue;
+    }
+    if (n == 0) return false;  // peer closed
+    if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+    if (errno == EINTR) continue;
+    return false;
+  }
+
+  size_t cursor = 0;
+  for (;;) {
+    size_t consumed = 0;
+    uint8_t op = 0;
+    std::string_view body;
+    const std::string_view rest =
+        std::string_view(conn.in).substr(cursor);
+    const wire::DecodeResult r =
+        wire::DecodeFrame(rest, &consumed, &op, &body);
+    if (r == wire::DecodeResult::kNeedMore) break;
+    if (r == wire::DecodeResult::kMalformed) {
+      std::lock_guard<std::mutex> lock(stats_mu_);
+      ++stats_.protocol_errors;
+      return false;
+    }
+    cursor += consumed;
+    if (!HandleFrame(conn, op, body)) {
+      std::lock_guard<std::mutex> lock(stats_mu_);
+      ++stats_.protocol_errors;
+      return false;
+    }
+  }
+  conn.in.erase(0, cursor);
+  return FlushWrites(conn);
+}
+
+bool TransportServer::FlushWrites(Connection& conn) {
+  while (conn.has_pending_writes()) {
+    const ssize_t n =
+        ::send(conn.fd, conn.out.data() + conn.out_offset,
+               conn.out.size() - conn.out_offset, MSG_NOSIGNAL);
+    if (n > 0) {
+      conn.out_offset += static_cast<size_t>(n);
+      continue;
+    }
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      poller_->Update(conn.fd, /*want_write=*/true);
+      return true;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    return false;
+  }
+  conn.out.clear();
+  conn.out_offset = 0;
+  poller_->Update(conn.fd, /*want_write=*/false);
+  return true;
+}
+
+void TransportServer::CloseConnection(int fd) {
+  poller_->Remove(fd);
+  ::close(fd);
+  connections_.erase(fd);
+}
+
+// ---- Request dispatch -------------------------------------------------------
+
+namespace {
+
+/// Appends a response frame for a plain Status outcome.
+void RespondStatus(std::string& out, const Status& s) {
+  std::string body;
+  if (!s.ok() && !s.message().empty()) wire::PutBlob(body, s.message());
+  wire::AppendResponse(out, s.code(), body);
+}
+
+/// Appends a kOk response with a lease-token body.
+void RespondToken(std::string& out, LeaseToken token) {
+  std::string body;
+  wire::PutU64(body, token);
+  wire::AppendResponse(out, Code::kOk, body);
+}
+
+}  // namespace
+
+bool TransportServer::HandleFrame(Connection& conn, uint8_t op_byte,
+                                  std::string_view body) {
+  {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    ++stats_.frames_handled;
+  }
+  if (!wire::IsKnownOp(op_byte)) return false;
+  const wire::Op op = static_cast<wire::Op>(op_byte);
+  wire::Reader r(body);
+
+  // The handshake must come first, and exactly once.
+  if (!conn.hello_done) {
+    if (op != wire::Op::kHello) return false;
+    uint32_t version = 0;
+    if (!r.GetU32(&version) || !r.Done()) return false;
+    if (version != wire::kProtocolVersion) {
+      RespondStatus(conn.out,
+                    Status(Code::kInvalidArgument,
+                           "protocol version mismatch: server speaks " +
+                               std::to_string(wire::kProtocolVersion)));
+      // Answer, then drop: FlushWrites runs before the close in ReadReady's
+      // caller only on true returns, so flush here explicitly.
+      FlushWrites(conn);
+      return false;
+    }
+    conn.hello_done = true;
+    std::string resp;
+    wire::PutU32(resp, wire::kProtocolVersion);
+    wire::PutU32(resp, instance_->id());
+    wire::AppendResponse(conn.out, Code::kOk, resp);
+    return true;
+  }
+  if (op == wire::Op::kHello) return false;
+
+  const auto malformed = [&conn]() -> bool {
+    RespondStatus(conn.out,
+                  Status(Code::kInvalidArgument, "malformed request body"));
+    return true;
+  };
+
+  switch (op) {
+    case wire::Op::kHello:
+      return false;  // handled above
+
+    case wire::Op::kPing: {
+      if (!r.Done()) return malformed();
+      wire::AppendResponse(conn.out, Code::kOk, {});
+      return true;
+    }
+
+    case wire::Op::kGet: {
+      OpContext ctx;
+      std::string_view key;
+      if (!r.GetContext(&ctx) || !r.GetKey(&key) || !r.Done()) {
+        return malformed();
+      }
+      auto v = instance_->Get(ctx, key);
+      if (!v.ok()) {
+        RespondStatus(conn.out, v.status());
+        return true;
+      }
+      std::string resp;
+      wire::PutValue(resp, *v);
+      wire::AppendResponse(conn.out, Code::kOk, resp);
+      return true;
+    }
+
+    case wire::Op::kSet: {
+      OpContext ctx;
+      std::string_view key;
+      CacheValue value;
+      if (!r.GetContext(&ctx) || !r.GetKey(&key) || !r.GetValue(&value) ||
+          !r.Done()) {
+        return malformed();
+      }
+      RespondStatus(conn.out, instance_->Set(ctx, key, std::move(value)));
+      return true;
+    }
+
+    case wire::Op::kDelete: {
+      OpContext ctx;
+      std::string_view key;
+      if (!r.GetContext(&ctx) || !r.GetKey(&key) || !r.Done()) {
+        return malformed();
+      }
+      RespondStatus(conn.out, instance_->Delete(ctx, key));
+      return true;
+    }
+
+    case wire::Op::kCas: {
+      OpContext ctx;
+      std::string_view key;
+      uint64_t expected = 0;
+      CacheValue value;
+      if (!r.GetContext(&ctx) || !r.GetKey(&key) || !r.GetU64(&expected) ||
+          !r.GetValue(&value) || !r.Done()) {
+        return malformed();
+      }
+      RespondStatus(conn.out,
+                    instance_->Cas(ctx, key, expected, std::move(value)));
+      return true;
+    }
+
+    case wire::Op::kAppend: {
+      OpContext ctx;
+      std::string_view key, data;
+      if (!r.GetContext(&ctx) || !r.GetKey(&key) || !r.GetBlob(&data) ||
+          !r.Done()) {
+        return malformed();
+      }
+      RespondStatus(conn.out, instance_->Append(ctx, key, data));
+      return true;
+    }
+
+    case wire::Op::kIqGet: {
+      OpContext ctx;
+      std::string_view key;
+      if (!r.GetContext(&ctx) || !r.GetKey(&key) || !r.Done()) {
+        return malformed();
+      }
+      auto res = instance_->IqGet(ctx, key);
+      if (!res.ok()) {
+        RespondStatus(conn.out, res.status());
+        return true;
+      }
+      std::string resp;
+      wire::PutU8(resp, res->value.has_value() ? 1 : 0);
+      if (res->value.has_value()) wire::PutValue(resp, *res->value);
+      wire::PutU64(resp, res->i_token);
+      wire::AppendResponse(conn.out, Code::kOk, resp);
+      return true;
+    }
+
+    case wire::Op::kIqSet: {
+      OpContext ctx;
+      std::string_view key;
+      uint64_t token = 0;
+      CacheValue value;
+      if (!r.GetContext(&ctx) || !r.GetKey(&key) || !r.GetU64(&token) ||
+          !r.GetValue(&value) || !r.Done()) {
+        return malformed();
+      }
+      RespondStatus(conn.out,
+                    instance_->IqSet(ctx, key, std::move(value), token));
+      return true;
+    }
+
+    case wire::Op::kQareg: {
+      OpContext ctx;
+      std::string_view key;
+      if (!r.GetContext(&ctx) || !r.GetKey(&key) || !r.Done()) {
+        return malformed();
+      }
+      auto token = instance_->Qareg(ctx, key);
+      if (!token.ok()) {
+        RespondStatus(conn.out, token.status());
+      } else {
+        RespondToken(conn.out, *token);
+      }
+      return true;
+    }
+
+    case wire::Op::kDar: {
+      OpContext ctx;
+      std::string_view key;
+      uint64_t token = 0;
+      if (!r.GetContext(&ctx) || !r.GetKey(&key) || !r.GetU64(&token) ||
+          !r.Done()) {
+        return malformed();
+      }
+      RespondStatus(conn.out, instance_->Dar(ctx, key, token));
+      return true;
+    }
+
+    case wire::Op::kRar: {
+      OpContext ctx;
+      std::string_view key;
+      uint64_t token = 0;
+      CacheValue value;
+      if (!r.GetContext(&ctx) || !r.GetKey(&key) || !r.GetU64(&token) ||
+          !r.GetValue(&value) || !r.Done()) {
+        return malformed();
+      }
+      RespondStatus(conn.out,
+                    instance_->Rar(ctx, key, std::move(value), token));
+      return true;
+    }
+
+    case wire::Op::kISet: {
+      OpContext ctx;
+      std::string_view key;
+      if (!r.GetContext(&ctx) || !r.GetKey(&key) || !r.Done()) {
+        return malformed();
+      }
+      auto token = instance_->ISet(ctx, key);
+      if (!token.ok()) {
+        RespondStatus(conn.out, token.status());
+      } else {
+        RespondToken(conn.out, *token);
+      }
+      return true;
+    }
+
+    case wire::Op::kIDelete: {
+      OpContext ctx;
+      std::string_view key;
+      uint64_t token = 0;
+      if (!r.GetContext(&ctx) || !r.GetKey(&key) || !r.GetU64(&token) ||
+          !r.Done()) {
+        return malformed();
+      }
+      RespondStatus(conn.out, instance_->IDelete(ctx, key, token));
+      return true;
+    }
+
+    case wire::Op::kWriteBackInstall: {
+      OpContext ctx;
+      std::string_view key;
+      uint64_t token = 0;
+      CacheValue value;
+      if (!r.GetContext(&ctx) || !r.GetKey(&key) || !r.GetU64(&token) ||
+          !r.GetValue(&value) || !r.Done()) {
+        return malformed();
+      }
+      RespondStatus(
+          conn.out,
+          instance_->WriteBackInstall(ctx, key, std::move(value), token));
+      return true;
+    }
+
+    case wire::Op::kRedAcquire: {
+      std::string_view key;
+      if (!r.GetKey(&key) || !r.Done()) return malformed();
+      auto token = instance_->AcquireRed(key);
+      if (!token.ok()) {
+        RespondStatus(conn.out, token.status());
+      } else {
+        RespondToken(conn.out, *token);
+      }
+      return true;
+    }
+
+    case wire::Op::kRedRelease: {
+      std::string_view key;
+      uint64_t token = 0;
+      if (!r.GetKey(&key) || !r.GetU64(&token) || !r.Done()) {
+        return malformed();
+      }
+      RespondStatus(conn.out, instance_->ReleaseRed(key, token));
+      return true;
+    }
+
+    case wire::Op::kRedRenew: {
+      std::string_view key;
+      uint64_t token = 0;
+      if (!r.GetKey(&key) || !r.GetU64(&token) || !r.Done()) {
+        return malformed();
+      }
+      RespondStatus(conn.out, instance_->RenewRed(key, token));
+      return true;
+    }
+
+    case wire::Op::kDirtyListGet: {
+      uint64_t config_id = 0;
+      uint32_t fragment = 0;
+      if (!r.GetU64(&config_id) || !r.GetU32(&fragment) || !r.Done()) {
+        return malformed();
+      }
+      const OpContext ctx{config_id, kInvalidFragment};
+      auto v = instance_->Get(ctx, DirtyListKey(fragment));
+      if (!v.ok()) {
+        RespondStatus(conn.out, v.status());
+        return true;
+      }
+      std::string resp;
+      wire::PutValue(resp, *v);
+      wire::AppendResponse(conn.out, Code::kOk, resp);
+      return true;
+    }
+
+    case wire::Op::kDirtyListAppend: {
+      uint64_t config_id = 0;
+      uint32_t fragment = 0;
+      std::string_view record;
+      if (!r.GetU64(&config_id) || !r.GetU32(&fragment) ||
+          !r.GetBlob(&record) || !r.Done()) {
+        return malformed();
+      }
+      const OpContext ctx{config_id, kInvalidFragment};
+      RespondStatus(conn.out,
+                    instance_->Append(ctx, DirtyListKey(fragment), record));
+      return true;
+    }
+
+    case wire::Op::kConfigIdGet: {
+      if (!r.Done()) return malformed();
+      std::string resp;
+      wire::PutU64(resp, instance_->latest_config_id());
+      wire::AppendResponse(conn.out, Code::kOk, resp);
+      return true;
+    }
+
+    case wire::Op::kConfigIdBump: {
+      uint64_t latest = 0;
+      if (!r.GetU64(&latest) || !r.Done()) return malformed();
+      instance_->ObserveConfigId(latest);
+      wire::AppendResponse(conn.out, Code::kOk, {});
+      return true;
+    }
+
+    case wire::Op::kSnapshot: {
+      std::string_view requested;
+      if (!r.GetBlob(&requested) || !r.Done()) return malformed();
+      std::string path = options_.snapshot_path;
+      if (!requested.empty() && options_.allow_remote_snapshot_paths) {
+        path.assign(requested);
+      }
+      if (path.empty()) {
+        RespondStatus(conn.out, Status(Code::kInvalidArgument,
+                                       "no snapshot path configured"));
+        return true;
+      }
+      RespondStatus(conn.out, Snapshot::WriteToFile(*instance_, path));
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace gemini

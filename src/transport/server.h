@@ -1,0 +1,120 @@
+// TransportServer: the geminid event loop.
+//
+// Hosts one CacheInstance behind the wire protocol (src/transport/wire.h,
+// docs/PROTOCOL.md §10). Single-threaded, non-blocking: an epoll loop on
+// Linux (level-triggered), a poll(2) loop everywhere else — the fallback is
+// also runtime-selectable so tests exercise both paths on any platform.
+//
+// Connection model: accept → mandatory HELLO (version + instance id
+// exchange) → strict request/response alternation. Each connection owns a
+// read buffer (frames are reassembled across short reads) and a write
+// buffer (responses that do not fit the socket buffer are flushed when the
+// fd turns writable). A framing violation — oversized length prefix,
+// unknown opcode, HELLO out of order — closes the connection; a merely
+// unparsable body gets a kInvalidArgument response and the connection
+// lives on.
+//
+// Shutdown is graceful: Stop() stops accepting, lets each connection drain
+// its pending write buffer (bounded by drain_timeout), then closes
+// everything and joins the loop thread.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+
+#include "src/cache/cache_instance.h"
+#include "src/common/status.h"
+
+namespace gemini {
+
+class TransportServer {
+ public:
+  struct Options {
+    /// Address to bind. Loopback by default: the protocol is unauthenticated
+    /// (trusted-cluster), so exposing it wider is an explicit choice.
+    std::string bind_address = "127.0.0.1";
+    /// TCP port; 0 picks an ephemeral port (read it back via port()).
+    uint16_t port = 0;
+    /// Force the portable poll(2) loop even where epoll is available.
+    bool use_poll_fallback = false;
+    /// Target file of the kSnapshot op; empty rejects snapshot triggers.
+    std::string snapshot_path;
+    /// Honor a path carried in a kSnapshot request (off: the request path
+    /// is ignored and snapshot_path is used — remote peers cannot choose
+    /// where the server writes).
+    bool allow_remote_snapshot_paths = false;
+    int listen_backlog = 128;
+    /// How long Stop() waits for write buffers to drain.
+    int drain_timeout_ms = 2000;
+  };
+
+  TransportServer(CacheInstance* instance, Options options);
+  ~TransportServer();
+
+  TransportServer(const TransportServer&) = delete;
+  TransportServer& operator=(const TransportServer&) = delete;
+
+  /// Binds, listens, and starts the loop thread. kInternal on socket errors
+  /// (bind failure, exhausted fds).
+  Status Start();
+
+  /// Graceful shutdown; idempotent. Safe to call from any thread.
+  void Stop();
+
+  [[nodiscard]] bool running() const {
+    return running_.load(std::memory_order_acquire);
+  }
+
+  /// The bound port (valid after Start() returned Ok).
+  [[nodiscard]] uint16_t port() const { return port_; }
+
+  struct Stats {
+    uint64_t connections_accepted = 0;
+    uint64_t frames_handled = 0;
+    uint64_t protocol_errors = 0;
+  };
+  [[nodiscard]] Stats stats() const;
+
+ private:
+  struct Connection;
+  class Poller;
+  class PollPoller;
+#if defined(__linux__)
+  class EpollPoller;
+#endif
+
+  void Loop();
+  void AcceptReady();
+  /// Reads, decodes, and handles frames; returns false when the connection
+  /// must be closed.
+  bool ReadReady(Connection& conn);
+  /// Flushes the write buffer; returns false on a dead socket.
+  bool FlushWrites(Connection& conn);
+  void CloseConnection(int fd);
+  /// Dispatches one request frame, appending the response frame to the
+  /// connection's write buffer. Returns false to drop the connection.
+  bool HandleFrame(Connection& conn, uint8_t op, std::string_view body);
+
+  CacheInstance* instance_;
+  Options options_;
+
+  int listen_fd_ = -1;
+  int wake_fds_[2] = {-1, -1};  // self-pipe: Stop() wakes the loop
+  uint16_t port_ = 0;
+  std::atomic<bool> running_{false};
+  std::atomic<bool> stop_requested_{false};
+  std::thread loop_thread_;
+
+  // Loop-thread state (no lock needed there); stats_ is read cross-thread.
+  std::unique_ptr<Poller> poller_;
+  std::unordered_map<int, std::unique_ptr<Connection>> connections_;
+  mutable std::mutex stats_mu_;
+  Stats stats_;
+};
+
+}  // namespace gemini

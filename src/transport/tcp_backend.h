@@ -1,0 +1,122 @@
+// TcpCacheBackend: a CacheBackend that fronts a remote geminid over TCP.
+//
+// One blocking socket per backend, one outstanding request at a time (an
+// internal mutex serializes callers, so a GeminiClient shared across threads
+// behaves exactly as it does against an in-process CacheInstance). Every
+// operation is one wire frame and one response frame; connection loss maps
+// to kUnavailable — the same code an in-process failed instance returns — so
+// GeminiClient's failover machinery (configuration refresh, store
+// fall-through, write suspension) drives recovery with no transport-specific
+// logic. By default the backend redials transparently on the next call
+// after a drop.
+#pragma once
+
+#include <mutex>
+#include <string>
+
+#include "src/cache/cache_backend.h"
+#include "src/common/clock.h"
+#include "src/transport/wire.h"
+
+namespace gemini {
+
+class TcpCacheBackend : public CacheBackend {
+ public:
+  struct Options {
+    Duration connect_timeout = Seconds(5);
+    /// Per-call socket send/receive timeout (0 = OS default, i.e. block).
+    Duration io_timeout = Seconds(30);
+    /// Redial automatically on the first call after a connection drop.
+    bool auto_reconnect = true;
+  };
+
+  TcpCacheBackend(std::string host, uint16_t port)
+      : TcpCacheBackend(std::move(host), port, Options()) {}
+  TcpCacheBackend(std::string host, uint16_t port, Options options);
+  ~TcpCacheBackend() override;
+
+  TcpCacheBackend(const TcpCacheBackend&) = delete;
+  TcpCacheBackend& operator=(const TcpCacheBackend&) = delete;
+
+  /// Dials and runs the HELLO handshake. Idempotent; kUnavailable when the
+  /// server cannot be reached, kInternal on a protocol-version mismatch.
+  Status Connect();
+  void Disconnect();
+  [[nodiscard]] bool connected() const;
+
+  /// The remote instance's id, learned from HELLO (kInvalidInstance until
+  /// the first successful Connect()).
+  [[nodiscard]] InstanceId id() const override;
+
+  // ---- CacheBackend ---------------------------------------------------------
+
+  Result<CacheValue> Get(const OpContext& ctx, std::string_view key) override;
+  Result<IqGetResult> IqGet(const OpContext& ctx,
+                            std::string_view key) override;
+  Status IqSet(const OpContext& ctx, std::string_view key, CacheValue value,
+               LeaseToken token) override;
+  Result<LeaseToken> Qareg(const OpContext& ctx,
+                           std::string_view key) override;
+  Status Dar(const OpContext& ctx, std::string_view key,
+             LeaseToken token) override;
+  Status Rar(const OpContext& ctx, std::string_view key, CacheValue value,
+             LeaseToken token) override;
+  Result<LeaseToken> ISet(const OpContext& ctx,
+                          std::string_view key) override;
+  Status IDelete(const OpContext& ctx, std::string_view key,
+                 LeaseToken token) override;
+  Status Delete(const OpContext& ctx, std::string_view key) override;
+  Status Set(const OpContext& ctx, std::string_view key,
+             CacheValue value) override;
+  Status Cas(const OpContext& ctx, std::string_view key, Version expected,
+             CacheValue value) override;
+  Status WriteBackInstall(const OpContext& ctx, std::string_view key,
+                          CacheValue value, LeaseToken token) override;
+  Status Append(const OpContext& ctx, std::string_view key,
+                std::string_view data) override;
+  Result<LeaseToken> AcquireRed(std::string_view key) override;
+  Status ReleaseRed(std::string_view key, LeaseToken token) override;
+  Status RenewRed(std::string_view key, LeaseToken token) override;
+
+  // ---- Wire-only extras -----------------------------------------------------
+
+  Status Ping();
+  /// The remote instance's latest observed configuration id.
+  Result<ConfigId> RemoteConfigId();
+  /// Advances the remote instance's latest observed configuration id.
+  Status BumpConfigId(ConfigId latest);
+  /// Dirty-list ops by fragment id (the server owns the key scheme).
+  Result<CacheValue> DirtyListGet(ConfigId config_id, FragmentId fragment);
+  Status DirtyListAppend(ConfigId config_id, FragmentId fragment,
+                         std::string_view record);
+  /// Asks the server to persist a snapshot. `path` is honored only when the
+  /// server allows remote paths; empty uses the server's configured target.
+  Status TriggerSnapshot(std::string_view path = {});
+
+ private:
+  /// Sends one request and decodes the response; requires mu_ held.
+  /// `resp_body` receives the response payload of a kOk reply; a non-ok
+  /// reply becomes the returned Status (message from the body blob).
+  Status TransactLocked(wire::Op op, std::string_view body,
+                        std::string* resp_body);
+  Status ConnectLocked();
+  Status EnsureConnectedLocked();
+  void DisconnectLocked();
+  Status SendAllLocked(std::string_view bytes);
+  /// Reads until one full frame is buffered; outputs its tag and body.
+  Status ReadFrameLocked(uint8_t* tag, std::string* body);
+
+  /// Shared guard-rail: keys above the wire limit never leave the client.
+  static Status CheckKey(std::string_view key);
+
+  const std::string host_;
+  const uint16_t port_;
+  const Options options_;
+
+  mutable std::mutex mu_;
+  int fd_ = -1;
+  InstanceId remote_id_ = kInvalidInstance;
+  std::string recv_buf_;
+};
+
+}  // namespace gemini

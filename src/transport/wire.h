@@ -1,0 +1,166 @@
+// The geminid wire protocol: framing and body codecs.
+//
+// Everything that crosses a socket between TcpCacheBackend and a geminid
+// server is a *frame*:
+//
+//   u32 len | u8 tag | payload            (len = 1 + payload size)
+//
+// all integers little-endian. For a request the tag is an opcode (Op below);
+// for a response it is a status code (the wire value of gemini::Code — the
+// enum's numeric values are frozen by this protocol, append-only). A
+// connection starts with a HELLO exchange carrying the protocol version and
+// the server's InstanceId; everything after that is a strict
+// request/response alternation per connection.
+//
+// Body grammar (docs/PROTOCOL.md §10 is the normative spec):
+//   key   = u16 len | bytes               (max 64 KiB - 1)
+//   blob  = u32 len | bytes
+//   value = blob data | u32 charged_bytes | u64 version
+//   ctx   = u64 config_id | u32 fragment
+//
+// Decoding never over-reads: every Get* checks the remaining span first, and
+// DecodeFrame refuses to consume bytes until the full frame has arrived.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "src/cache/cache_backend.h"
+#include "src/common/status.h"
+#include "src/common/types.h"
+
+namespace gemini {
+namespace wire {
+
+/// Bumped on any incompatible change; HELLO negotiates it (both sides
+/// currently require an exact match).
+inline constexpr uint32_t kProtocolVersion = 1;
+
+/// Upper bound on `len`; a peer announcing more is malformed and the
+/// connection is dropped (protects the read buffer from hostile frames).
+inline constexpr uint32_t kMaxFrameLen = 16u << 20;
+
+/// Keys are length-prefixed with a u16.
+inline constexpr size_t kMaxKeyLen = 0xFFFF;
+
+/// Frame header: u32 len + u8 tag.
+inline constexpr size_t kFrameHeaderLen = 5;
+
+enum class Op : uint8_t {
+  // Session management.
+  kHello = 0x01,  // u32 version            -> u32 version | u32 instance_id
+  kPing = 0x02,   // empty                  -> empty
+
+  // Plain data ops.
+  kGet = 0x10,     // ctx | key              -> value
+  kSet = 0x11,     // ctx | key | value      -> empty
+  kDelete = 0x12,  // ctx | key              -> empty
+  kCas = 0x13,     // ctx | key | u64 expected | value -> empty
+  kAppend = 0x14,  // ctx | key | blob       -> empty
+
+  // IQ lease ops (Section 2.3) and recovery primitives (Algorithms 1-3).
+  kIqGet = 0x20,    // ctx | key                    -> u8 hit | [value] | u64 token
+  kIqSet = 0x21,    // ctx | key | u64 token | value -> empty
+  kQareg = 0x22,    // ctx | key                    -> u64 token
+  kDar = 0x23,      // ctx | key | u64 token        -> empty
+  kRar = 0x24,      // ctx | key | u64 token | value -> empty
+  kISet = 0x25,     // ctx | key                    -> u64 token
+  kIDelete = 0x26,  // ctx | key | u64 token        -> empty
+  kWriteBackInstall = 0x27,  // ctx | key | u64 token | value -> empty
+
+  // Redleases (recovery workers).
+  kRedAcquire = 0x30,  // key             -> u64 token
+  kRedRelease = 0x31,  // key | u64 token -> empty
+  kRedRenew = 0x32,    // key | u64 token -> empty
+
+  // Dirty lists (Section 3.1): server-side aliases for get/append on
+  // DirtyListKey(fragment), so remote clients need not know the key scheme.
+  kDirtyListGet = 0x40,     // u64 config_id | u32 fragment        -> value
+  kDirtyListAppend = 0x41,  // u64 config_id | u32 fragment | blob -> empty
+
+  // Configuration ids (Rejig, Section 3.2.4).
+  kConfigIdGet = 0x50,   // empty     -> u64 latest_config_id
+  kConfigIdBump = 0x51,  // u64 latest -> empty
+
+  // Persistence.
+  kSnapshot = 0x60,  // blob path (empty = server default) -> empty
+};
+
+/// True iff `op` is a defined opcode (decode-side validation).
+bool IsKnownOp(uint8_t op);
+
+// ---- Primitive writers (append to `out`) ----------------------------------
+
+void PutU8(std::string& out, uint8_t v);
+void PutU16(std::string& out, uint16_t v);
+void PutU32(std::string& out, uint32_t v);
+void PutU64(std::string& out, uint64_t v);
+/// key: u16 length prefix. The caller must have checked kMaxKeyLen.
+void PutKey(std::string& out, std::string_view key);
+/// blob: u32 length prefix.
+void PutBlob(std::string& out, std::string_view bytes);
+void PutValue(std::string& out, const CacheValue& value);
+void PutContext(std::string& out, const OpContext& ctx);
+
+// ---- Primitive reader ------------------------------------------------------
+
+/// Cursor over a decoded frame body. Every accessor returns false (and
+/// consumes nothing) when fewer bytes remain than requested; once the body
+/// is parsed, callers check Done() to reject trailing garbage.
+class Reader {
+ public:
+  explicit Reader(std::string_view data) : data_(data) {}
+
+  bool GetU8(uint8_t* v);
+  bool GetU16(uint16_t* v);
+  bool GetU32(uint32_t* v);
+  bool GetU64(uint64_t* v);
+  bool GetKey(std::string_view* key);
+  bool GetBlob(std::string_view* bytes);
+  bool GetValue(CacheValue* value);
+  bool GetContext(OpContext* ctx);
+
+  [[nodiscard]] size_t remaining() const { return data_.size(); }
+  [[nodiscard]] bool Done() const { return data_.empty(); }
+
+ private:
+  bool GetRaw(void* out, size_t n);
+  std::string_view data_;
+};
+
+// ---- Frames ----------------------------------------------------------------
+
+/// Appends `u32 len | u8 tag | body` to `out`.
+void AppendFrame(std::string& out, uint8_t tag, std::string_view body);
+
+inline void AppendRequest(std::string& out, Op op, std::string_view body) {
+  AppendFrame(out, static_cast<uint8_t>(op), body);
+}
+inline void AppendResponse(std::string& out, Code code,
+                           std::string_view body) {
+  AppendFrame(out, static_cast<uint8_t>(code), body);
+}
+
+enum class DecodeResult : uint8_t {
+  /// A complete frame was decoded; *consumed bytes were used.
+  kFrame,
+  /// The buffer holds a prefix of a frame; read more and retry.
+  kNeedMore,
+  /// The peer is speaking garbage (oversized or undersized frame); the
+  /// connection must be closed.
+  kMalformed,
+};
+
+/// Decodes one frame from the front of `buf`. On kFrame, `*tag` and `*body`
+/// alias `buf` (valid until the buffer is mutated) and `*consumed` is the
+/// total frame size in bytes.
+DecodeResult DecodeFrame(std::string_view buf, size_t* consumed, uint8_t* tag,
+                         std::string_view* body);
+
+/// Status-code <-> wire tag mapping. Unknown tags map to kInternal so a
+/// newer peer cannot make an older client misbehave.
+Code CodeFromWire(uint8_t tag);
+
+}  // namespace wire
+}  // namespace gemini

@@ -131,6 +131,32 @@ TEST_F(SnapshotTest, PinnedWriteBackEntriesSurviveSnapshot) {
   EXPECT_EQ(batch[0].value.version, 9u);
 }
 
+TEST_F(SnapshotTest, OnDiskCorruptionFailsClosed) {
+  // File-level fail-closed check: a snapshot torn *on disk* (bit rot, a
+  // crash mid-write that fsync ordering did not cover) must be rejected by
+  // LoadFromFile, never partially installed.
+  ASSERT_TRUE(inst_.Set(Ctx(), "k", CacheValue::OfData("payload", 4)).ok());
+  const std::string path = ::testing::TempDir() + "/gemini_corrupt_test.bin";
+  ASSERT_TRUE(Snapshot::WriteToFile(inst_, path).ok());
+
+  // Flip one byte in the middle of the file.
+  std::FILE* f = std::fopen(path.c_str(), "r+b");
+  ASSERT_NE(f, nullptr);
+  ASSERT_EQ(std::fseek(f, 0, SEEK_END), 0);
+  const long size = std::ftell(f);
+  ASSERT_GT(size, 0);
+  ASSERT_EQ(std::fseek(f, size / 2, SEEK_SET), 0);
+  int byte = std::fgetc(f);
+  ASSERT_NE(byte, EOF);
+  ASSERT_EQ(std::fseek(f, size / 2, SEEK_SET), 0);
+  ASSERT_NE(std::fputc(byte ^ 0x5a, f), EOF);
+  ASSERT_EQ(std::fclose(f), 0);
+
+  EXPECT_EQ(Snapshot::LoadFromFile(restored_, path).code(), Code::kInternal);
+  EXPECT_EQ(restored_.stats().entry_count, 0u);
+  std::remove(path.c_str());
+}
+
 TEST_F(SnapshotTest, MissingFileIsNotFound) {
   EXPECT_EQ(
       Snapshot::LoadFromFile(restored_, "/nonexistent/gemini.snap").code(),

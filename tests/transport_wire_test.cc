@@ -1,0 +1,317 @@
+// Wire codec tests: primitive round trips, frame encode/decode for every
+// opcode's body shape, boundary sizes (zero-length values, max-length keys),
+// and rejection of truncated or hostile frames without over-reading.
+#include "src/transport/wire.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace gemini {
+namespace wire {
+namespace {
+
+TEST(WireReaderTest, PrimitiveRoundTrip) {
+  std::string buf;
+  PutU8(buf, 0xAB);
+  PutU16(buf, 0xBEEF);
+  PutU32(buf, 0xDEADBEEF);
+  PutU64(buf, 0x0123456789ABCDEFull);
+  Reader r(buf);
+  uint8_t u8 = 0;
+  uint16_t u16 = 0;
+  uint32_t u32 = 0;
+  uint64_t u64 = 0;
+  ASSERT_TRUE(r.GetU8(&u8));
+  ASSERT_TRUE(r.GetU16(&u16));
+  ASSERT_TRUE(r.GetU32(&u32));
+  ASSERT_TRUE(r.GetU64(&u64));
+  EXPECT_EQ(u8, 0xAB);
+  EXPECT_EQ(u16, 0xBEEF);
+  EXPECT_EQ(u32, 0xDEADBEEF);
+  EXPECT_EQ(u64, 0x0123456789ABCDEFull);
+  EXPECT_TRUE(r.Done());
+}
+
+TEST(WireReaderTest, LittleEndianOnTheWire) {
+  std::string buf;
+  PutU32(buf, 0x01020304);
+  ASSERT_EQ(buf.size(), 4u);
+  EXPECT_EQ(static_cast<uint8_t>(buf[0]), 0x04);
+  EXPECT_EQ(static_cast<uint8_t>(buf[3]), 0x01);
+}
+
+TEST(WireReaderTest, KeyAndBlobRoundTrip) {
+  std::string buf;
+  PutKey(buf, "user42");
+  PutBlob(buf, std::string("\x00\x01payload", 9));
+  Reader r(buf);
+  std::string_view key, blob;
+  ASSERT_TRUE(r.GetKey(&key));
+  ASSERT_TRUE(r.GetBlob(&blob));
+  EXPECT_EQ(key, "user42");
+  EXPECT_EQ(blob, std::string_view("\x00\x01payload", 9));
+  EXPECT_TRUE(r.Done());
+}
+
+TEST(WireReaderTest, MaxLengthKey) {
+  const std::string big(kMaxKeyLen, 'k');
+  std::string buf;
+  PutKey(buf, big);
+  Reader r(buf);
+  std::string_view key;
+  ASSERT_TRUE(r.GetKey(&key));
+  EXPECT_EQ(key.size(), kMaxKeyLen);
+  EXPECT_TRUE(r.Done());
+}
+
+TEST(WireReaderTest, ZeroLengthValue) {
+  // A size-only CacheValue (charged bytes, no payload) is a first-class
+  // citizen of the simulator and must survive the wire unchanged.
+  CacheValue in = CacheValue::OfSize(329, /*v=*/7);
+  std::string buf;
+  PutValue(buf, in);
+  Reader r(buf);
+  CacheValue out;
+  ASSERT_TRUE(r.GetValue(&out));
+  EXPECT_TRUE(out.data.empty());
+  EXPECT_EQ(out.charged_bytes, 329u);
+  EXPECT_EQ(out.version, 7u);
+  EXPECT_TRUE(r.Done());
+}
+
+TEST(WireReaderTest, ValueAndContextRoundTrip) {
+  CacheValue in = CacheValue::OfData("hello world", 99);
+  in.charged_bytes = 4096;  // charged > data.size() is legal
+  OpContext ctx{0x1122334455667788ull, 13};
+  std::string buf;
+  PutValue(buf, in);
+  PutContext(buf, ctx);
+  Reader r(buf);
+  CacheValue out;
+  OpContext out_ctx;
+  ASSERT_TRUE(r.GetValue(&out));
+  ASSERT_TRUE(r.GetContext(&out_ctx));
+  EXPECT_EQ(out.data, "hello world");
+  EXPECT_EQ(out.charged_bytes, 4096u);
+  EXPECT_EQ(out.version, 99u);
+  EXPECT_EQ(out_ctx.config_id, ctx.config_id);
+  EXPECT_EQ(out_ctx.fragment, ctx.fragment);
+}
+
+TEST(WireReaderTest, TruncatedReadsFailWithoutConsuming) {
+  std::string buf;
+  PutU32(buf, 1000);  // blob claims 1000 bytes...
+  buf += "short";     // ...but only 5 follow
+  Reader r(buf);
+  std::string_view blob;
+  EXPECT_FALSE(r.GetBlob(&blob));
+  // The reader did not over-read: the length prefix was consumed but the
+  // 5 remaining bytes were not handed out as a blob.
+  EXPECT_EQ(r.remaining(), 5u);
+
+  Reader r2(std::string_view("ab"));
+  uint32_t v = 0;
+  EXPECT_FALSE(r2.GetU32(&v));
+  EXPECT_EQ(r2.remaining(), 2u);  // nothing consumed on failure
+}
+
+// ---- Frames -----------------------------------------------------------------
+
+TEST(WireFrameTest, EncodeDecodeRoundTrip) {
+  std::string out;
+  AppendRequest(out, Op::kGet, "BODY");
+  ASSERT_EQ(out.size(), kFrameHeaderLen + 4);
+
+  size_t consumed = 0;
+  uint8_t tag = 0;
+  std::string_view body;
+  ASSERT_EQ(DecodeFrame(out, &consumed, &tag, &body), DecodeResult::kFrame);
+  EXPECT_EQ(consumed, out.size());
+  EXPECT_EQ(tag, static_cast<uint8_t>(Op::kGet));
+  EXPECT_EQ(body, "BODY");
+}
+
+TEST(WireFrameTest, EmptyBodyFrame) {
+  std::string out;
+  AppendResponse(out, Code::kOk, {});
+  size_t consumed = 0;
+  uint8_t tag = 0;
+  std::string_view body;
+  ASSERT_EQ(DecodeFrame(out, &consumed, &tag, &body), DecodeResult::kFrame);
+  EXPECT_EQ(tag, static_cast<uint8_t>(Code::kOk));
+  EXPECT_TRUE(body.empty());
+}
+
+TEST(WireFrameTest, EveryTruncationPrefixNeedsMore) {
+  // A frame cut at every possible byte boundary must yield kNeedMore —
+  // never a bogus frame, never an over-read.
+  std::string full;
+  std::string body;
+  PutContext(body, OpContext{42, 3});
+  PutKey(body, "k");
+  AppendRequest(full, Op::kIqGet, body);
+  for (size_t cut = 0; cut < full.size(); ++cut) {
+    size_t consumed = 0;
+    uint8_t tag = 0;
+    std::string_view decoded;
+    EXPECT_EQ(DecodeFrame(std::string_view(full).substr(0, cut), &consumed,
+                          &tag, &decoded),
+              DecodeResult::kNeedMore)
+        << "cut at " << cut;
+  }
+}
+
+TEST(WireFrameTest, BackToBackFramesDecodeIndividually) {
+  std::string out;
+  AppendRequest(out, Op::kPing, {});
+  AppendRequest(out, Op::kConfigIdGet, {});
+  size_t consumed = 0;
+  uint8_t tag = 0;
+  std::string_view body;
+  ASSERT_EQ(DecodeFrame(out, &consumed, &tag, &body), DecodeResult::kFrame);
+  EXPECT_EQ(tag, static_cast<uint8_t>(Op::kPing));
+  const std::string_view rest = std::string_view(out).substr(consumed);
+  ASSERT_EQ(DecodeFrame(rest, &consumed, &tag, &body), DecodeResult::kFrame);
+  EXPECT_EQ(tag, static_cast<uint8_t>(Op::kConfigIdGet));
+  EXPECT_EQ(rest.size(), consumed);
+}
+
+TEST(WireFrameTest, OversizedAndUndersizedFramesAreMalformed) {
+  std::string huge;
+  PutU32(huge, kMaxFrameLen + 1);
+  huge.push_back('\x01');
+  size_t consumed = 0;
+  uint8_t tag = 0;
+  std::string_view body;
+  EXPECT_EQ(DecodeFrame(huge, &consumed, &tag, &body),
+            DecodeResult::kMalformed);
+
+  std::string zero;
+  PutU32(zero, 0);  // a frame must at least carry its tag byte
+  EXPECT_EQ(DecodeFrame(zero, &consumed, &tag, &body),
+            DecodeResult::kMalformed);
+}
+
+TEST(WireOpTest, KnownAndUnknownOpcodes) {
+  EXPECT_TRUE(IsKnownOp(static_cast<uint8_t>(Op::kHello)));
+  EXPECT_TRUE(IsKnownOp(static_cast<uint8_t>(Op::kSnapshot)));
+  EXPECT_TRUE(IsKnownOp(static_cast<uint8_t>(Op::kWriteBackInstall)));
+  EXPECT_FALSE(IsKnownOp(0x00));
+  EXPECT_FALSE(IsKnownOp(0xFF));
+  EXPECT_FALSE(IsKnownOp(0x3F));
+}
+
+TEST(WireOpTest, StatusCodeMapping) {
+  // The Code enum's numeric values are frozen by the wire protocol.
+  EXPECT_EQ(CodeFromWire(static_cast<uint8_t>(Code::kBackoff)),
+            Code::kBackoff);
+  EXPECT_EQ(CodeFromWire(static_cast<uint8_t>(Code::kStaleConfig)),
+            Code::kStaleConfig);
+  EXPECT_EQ(CodeFromWire(0xEE), Code::kInternal);  // future/unknown codes
+}
+
+// Encode/decode every opcode's request-body shape, as the normative grammar
+// test: if this breaks, docs/PROTOCOL.md §10 must be revised too.
+TEST(WireGrammarTest, EveryOpcodeBodyRoundTrips) {
+  const OpContext ctx{7, 2};
+  const CacheValue value = CacheValue::OfData("v", 3);
+
+  struct Case {
+    Op op;
+    std::string body;
+  };
+  std::vector<Case> cases;
+  {
+    std::string b;
+    PutU32(b, kProtocolVersion);
+    cases.push_back({Op::kHello, b});
+  }
+  cases.push_back({Op::kPing, {}});
+  for (Op op : {Op::kGet, Op::kDelete, Op::kIqGet, Op::kQareg, Op::kISet}) {
+    std::string b;
+    PutContext(b, ctx);
+    PutKey(b, "key");
+    cases.push_back({op, b});
+  }
+  {
+    std::string b;
+    PutContext(b, ctx);
+    PutKey(b, "key");
+    PutValue(b, value);
+    cases.push_back({Op::kSet, b});
+  }
+  {
+    std::string b;
+    PutContext(b, ctx);
+    PutKey(b, "key");
+    PutU64(b, 5);
+    PutValue(b, value);
+    cases.push_back({Op::kCas, b});
+    cases.push_back({Op::kIqSet, b});
+    cases.push_back({Op::kRar, b});
+    cases.push_back({Op::kWriteBackInstall, b});
+  }
+  {
+    std::string b;
+    PutContext(b, ctx);
+    PutKey(b, "key");
+    PutBlob(b, "record");
+    cases.push_back({Op::kAppend, b});
+  }
+  for (Op op : {Op::kDar, Op::kIDelete}) {
+    std::string b;
+    PutContext(b, ctx);
+    PutKey(b, "key");
+    PutU64(b, 9);
+    cases.push_back({op, b});
+  }
+  {
+    std::string b;
+    PutKey(b, "key");
+    cases.push_back({Op::kRedAcquire, b});
+  }
+  for (Op op : {Op::kRedRelease, Op::kRedRenew}) {
+    std::string b;
+    PutKey(b, "key");
+    PutU64(b, 11);
+    cases.push_back({op, b});
+  }
+  {
+    std::string b;
+    PutU64(b, 7);
+    PutU32(b, 2);
+    cases.push_back({Op::kDirtyListGet, b});
+    PutBlob(b, "rec");
+    cases.push_back({Op::kDirtyListAppend, b});
+  }
+  cases.push_back({Op::kConfigIdGet, {}});
+  {
+    std::string b;
+    PutU64(b, 99);
+    cases.push_back({Op::kConfigIdBump, b});
+  }
+  {
+    std::string b;
+    PutBlob(b, "/tmp/snap");
+    cases.push_back({Op::kSnapshot, b});
+  }
+
+  for (const Case& c : cases) {
+    std::string out;
+    AppendRequest(out, c.op, c.body);
+    size_t consumed = 0;
+    uint8_t tag = 0;
+    std::string_view body;
+    ASSERT_EQ(DecodeFrame(out, &consumed, &tag, &body), DecodeResult::kFrame)
+        << "op 0x" << std::hex << static_cast<int>(c.op);
+    EXPECT_EQ(consumed, out.size());
+    EXPECT_TRUE(IsKnownOp(tag));
+    EXPECT_EQ(tag, static_cast<uint8_t>(c.op));
+    EXPECT_EQ(body, c.body);
+  }
+}
+
+}  // namespace
+}  // namespace wire
+}  // namespace gemini

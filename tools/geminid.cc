@@ -1,0 +1,165 @@
+// geminid: a standalone Gemini cache instance server.
+//
+// Hosts one CacheInstance behind the wire protocol (docs/PROTOCOL.md §10) so
+// real clients — TcpCacheBackend, and through it an unmodified GeminiClient —
+// can run the paper's protocol over actual sockets instead of the
+// discrete-event cost model. Optional snapshot persistence closes the loop:
+// a geminid killed and restarted with the same --snapshot file comes back
+// with its entries intact, which is exactly the persistent-cache premise
+// Gemini's recovery protocol exists for.
+//
+// Usage:
+//   geminid [--port N] [--bind ADDR] [--id N] [--capacity-mb N]
+//           [--snapshot FILE [--snapshot-interval-s N]] [--poll] [--verbose]
+//
+// SIGINT/SIGTERM shut down gracefully: stop accepting, drain connections,
+// write a final snapshot when one is configured.
+#include <csignal>
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <string>
+#include <thread>
+
+#include "src/cache/cache_instance.h"
+#include "src/cache/snapshot.h"
+#include "src/common/clock.h"
+#include "src/common/logging.h"
+#include "src/transport/server.h"
+
+namespace {
+
+volatile std::sig_atomic_t g_shutdown = 0;
+
+void HandleSignal(int) { g_shutdown = 1; }
+
+void Usage(const char* argv0) {
+  std::cerr
+      << "usage: " << argv0 << " [options]\n"
+      << "  --port N               TCP port (default 7311; 0 = ephemeral)\n"
+      << "  --bind ADDR            bind address (default 127.0.0.1)\n"
+      << "  --id N                 this instance's InstanceId (default 0)\n"
+      << "  --capacity-mb N        LRU byte budget in MiB (default 0 = "
+         "unbounded)\n"
+      << "  --snapshot FILE        load FILE at boot, write it at shutdown\n"
+      << "  --snapshot-interval-s N  also write FILE every N seconds\n"
+      << "  --poll                 use the portable poll(2) loop, not epoll\n"
+      << "  --verbose              info-level logging\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  uint16_t port = 7311;
+  std::string bind_address = "127.0.0.1";
+  gemini::InstanceId instance_id = 0;
+  uint64_t capacity_mb = 0;
+  std::string snapshot_path;
+  long snapshot_interval_s = 0;
+  bool use_poll = false;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::cerr << arg << " requires a value\n";
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--port") {
+      port = static_cast<uint16_t>(std::atoi(next()));
+    } else if (arg == "--bind") {
+      bind_address = next();
+    } else if (arg == "--id") {
+      instance_id = static_cast<gemini::InstanceId>(std::atoi(next()));
+    } else if (arg == "--capacity-mb") {
+      capacity_mb = static_cast<uint64_t>(std::atoll(next()));
+    } else if (arg == "--snapshot") {
+      snapshot_path = next();
+    } else if (arg == "--snapshot-interval-s") {
+      snapshot_interval_s = std::atol(next());
+    } else if (arg == "--poll") {
+      use_poll = true;
+    } else if (arg == "--verbose") {
+      gemini::LogState::SetLevel(gemini::LogLevel::kInfo);
+    } else if (arg == "--help" || arg == "-h") {
+      Usage(argv[0]);
+      return 0;
+    } else {
+      std::cerr << "unknown option " << arg << "\n";
+      Usage(argv[0]);
+      return 2;
+    }
+  }
+
+  gemini::CacheInstance::Options cache_options;
+  cache_options.capacity_bytes = capacity_mb << 20;
+  gemini::CacheInstance instance(instance_id,
+                                 &gemini::SystemClock::Global(),
+                                 cache_options);
+
+  if (!snapshot_path.empty()) {
+    gemini::Status s = gemini::Snapshot::LoadFromFile(instance, snapshot_path);
+    if (s.ok()) {
+      std::cout << "geminid: restored " << instance.stats().entry_count
+                << " entries from " << snapshot_path << "\n";
+    } else if (s.code() == gemini::Code::kNotFound) {
+      std::cout << "geminid: no snapshot at " << snapshot_path
+                << ", starting empty\n";
+    } else {
+      // Fail closed: a torn snapshot must not silently serve stale data.
+      std::cerr << "geminid: refusing corrupt snapshot " << snapshot_path
+                << ": " << s.ToString() << "\n";
+      return 1;
+    }
+  }
+
+  gemini::TransportServer::Options options;
+  options.bind_address = bind_address;
+  options.port = port;
+  options.use_poll_fallback = use_poll;
+  options.snapshot_path = snapshot_path;
+  gemini::TransportServer server(&instance, options);
+  if (gemini::Status s = server.Start(); !s.ok()) {
+    std::cerr << "geminid: " << s.ToString() << "\n";
+    return 1;
+  }
+  std::cout << "geminid: instance " << instance_id << " serving on "
+            << bind_address << ":" << server.port() << std::endl;
+
+  std::signal(SIGINT, HandleSignal);
+  std::signal(SIGTERM, HandleSignal);
+
+  const gemini::Timestamp interval =
+      gemini::Seconds(static_cast<double>(snapshot_interval_s));
+  gemini::Timestamp last_snapshot = gemini::SystemClock::Global().Now();
+  while (g_shutdown == 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+    if (!snapshot_path.empty() && interval > 0) {
+      const gemini::Timestamp now = gemini::SystemClock::Global().Now();
+      if (now - last_snapshot >= interval) {
+        last_snapshot = now;
+        gemini::Status s =
+            gemini::Snapshot::WriteToFile(instance, snapshot_path);
+        if (!s.ok()) {
+          std::cerr << "geminid: periodic snapshot failed: " << s.ToString()
+                    << "\n";
+        }
+      }
+    }
+  }
+
+  std::cout << "geminid: shutting down\n";
+  server.Stop();
+  if (!snapshot_path.empty()) {
+    gemini::Status s = gemini::Snapshot::WriteToFile(instance, snapshot_path);
+    if (!s.ok()) {
+      std::cerr << "geminid: final snapshot failed: " << s.ToString() << "\n";
+      return 1;
+    }
+    std::cout << "geminid: wrote " << instance.stats().entry_count
+              << " entries to " << snapshot_path << "\n";
+  }
+  return 0;
+}
