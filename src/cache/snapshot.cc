@@ -4,6 +4,7 @@
 #include <fcntl.h>
 #include <unistd.h>
 
+#include <atomic>
 #include <cstdio>
 #include <cstring>
 #include <unordered_set>
@@ -160,7 +161,15 @@ Status Snapshot::Load(CacheInstance& instance, std::string_view payload) {
 Status Snapshot::WriteToFile(CacheInstance& instance,
                              const std::string& path) {
   const std::string payload = Serialize(instance);
-  const std::string tmp = path + ".tmp";
+  // Unique temp name per writer: a periodic snapshot thread, a wire
+  // kSnapshot trigger, and a shutdown's final write may all target `path`
+  // concurrently. With a shared ".tmp" they could truncate or rename each
+  // other's half-written file; with unique temps each rename publishes one
+  // complete, checksummed snapshot and the last writer wins.
+  static std::atomic<uint64_t> seq{0};
+  const std::string tmp =
+      path + ".tmp." + std::to_string(::getpid()) + "." +
+      std::to_string(seq.fetch_add(1, std::memory_order_relaxed));
   int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
   if (fd < 0) {
     return Status(Code::kInternal, "cannot open " + tmp);

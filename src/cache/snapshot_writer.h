@@ -1,0 +1,93 @@
+// SnapshotWriter: periodic, multi-instance snapshot persistence.
+//
+// geminid's durability loop, extracted into the library so it can host any
+// number of instances and be tested without a process: each target pairs a
+// CacheInstance with its snapshot file, and a single background thread
+// writes every target each `interval` (Snapshot::WriteToFile, so every
+// write is fsync+rename-atomic and a crash mid-write leaves the previous
+// snapshot intact).
+//
+// Shutdown contract (the SIGTERM path): Stop() wakes the thread and joins
+// it — a write in flight *completes* before Stop() returns, and targets
+// not yet reached in that sweep are skipped whole; nothing is ever torn.
+// The caller then runs WriteAll() for the final authoritative write.
+// WriteAll() is also safe concurrently with the periodic thread (and with
+// wire-triggered snapshots of the same instance): writers never share temp
+// files, so the last complete snapshot wins.
+#pragma once
+
+#include <condition_variable>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/cache/cache_instance.h"
+#include "src/cache/snapshot.h"
+#include "src/common/clock.h"
+#include "src/common/status.h"
+
+namespace gemini {
+
+class SnapshotWriter {
+ public:
+  struct Target {
+    CacheInstance* instance = nullptr;
+    std::string path;
+  };
+
+  struct Options {
+    /// Time between periodic sweeps; <= 0 disables the background thread
+    /// (WriteAll() remains usable for explicit writes).
+    Duration interval = 0;
+  };
+
+  SnapshotWriter(std::vector<Target> targets, Options options);
+  ~SnapshotWriter();
+
+  SnapshotWriter(const SnapshotWriter&) = delete;
+  SnapshotWriter& operator=(const SnapshotWriter&) = delete;
+
+  /// Starts the periodic thread (no-op when interval <= 0 or no targets).
+  /// kInvalidArgument when already started or a target is malformed.
+  Status Start();
+
+  /// Stops the periodic thread; an in-flight write completes first.
+  /// Idempotent, safe without Start().
+  void Stop();
+
+  /// Writes every target now, on the calling thread. Returns the first
+  /// failure (after attempting all targets) or Ok.
+  Status WriteAll();
+
+  [[nodiscard]] bool running() const;
+
+  struct Stats {
+    uint64_t writes_ok = 0;
+    uint64_t writes_failed = 0;
+    uint64_t sweeps = 0;
+  };
+  [[nodiscard]] Stats stats() const;
+
+ private:
+  void Loop();
+  Status WriteAllInternal();
+
+  const std::vector<Target> targets_;
+  const Options options_;
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  bool stop_ = false;
+  bool running_ = false;
+  std::thread thread_;
+
+  /// Serializes sweeps (periodic thread vs. WriteAll callers) so the final
+  /// write of a shutdown is ordered after any in-flight periodic one.
+  std::mutex write_mu_;
+
+  mutable std::mutex stats_mu_;
+  Stats stats_;
+};
+
+}  // namespace gemini

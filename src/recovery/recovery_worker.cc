@@ -8,7 +8,7 @@ namespace gemini {
 
 RecoveryWorker::RecoveryWorker(const Clock* clock,
                                CoordinatorService* coordinator,
-                               std::vector<CacheInstance*> instances,
+                               std::vector<CacheBackend*> instances,
                                Options options)
     : clock_(clock),
       coordinator_(coordinator),
@@ -35,7 +35,7 @@ std::optional<FragmentId> RecoveryWorker::TryAdoptFragment(Session& session) {
     if (coordinator_->DirtyProcessed(f)) {
       continue;  // Drained already; waiting on the working set transfer.
     }
-    CacheInstance& sr = *instances_.at(a.secondary);
+    CacheBackend& sr = *instances_.at(a.secondary);
     const std::string list_key = DirtyListKey(f);
 
     session.BillCacheOp(a.secondary);
@@ -84,7 +84,7 @@ std::optional<FragmentId> RecoveryWorker::TryAdoptFragment(Session& session) {
 void RecoveryWorker::FinishTask(Session& session) {
   Task& t = *task_;
   const std::string list_key = DirtyListKey(t.fragment);
-  CacheInstance& sr = *instances_.at(t.secondary);
+  CacheBackend& sr = *instances_.at(t.secondary);
   // Algorithm 3 line 22 deletes the drained dirty list; we instead reset it
   // to the empty (marker-only) payload. If the working set transfer is
   // still running, the fragment stays in recovery mode and clients keep
@@ -116,7 +116,7 @@ void RecoveryWorker::AbandonTask(Session& session, bool release_red) {
 bool RecoveryWorker::Step(Session& session) {
   if (!task_.has_value()) return true;
   Task& t = *task_;
-  CacheInstance& pr = *instances_.at(t.primary);
+  CacheBackend& pr = *instances_.at(t.primary);
   const OpContext ctx{t.config_id, t.fragment};
 
   // Keep exclusive ownership for the duration of this batch. Losing the

@@ -45,11 +45,24 @@ class RecoveryWorker {
     Duration backoff = Millis(1);
   };
 
+  /// Workers program against CacheBackend, so `instances` may be the
+  /// in-process CacheInstances (DES/tests) or TcpCacheBackends reaching a
+  /// remote cluster — dirty lists then drain over real sockets.
   RecoveryWorker(const Clock* clock, CoordinatorService* coordinator,
-                 std::vector<CacheInstance*> instances)
+                 std::vector<CacheBackend*> instances)
       : RecoveryWorker(clock, coordinator, std::move(instances), Options()) {}
   RecoveryWorker(const Clock* clock, CoordinatorService* coordinator,
-                 std::vector<CacheInstance*> instances, Options options);
+                 std::vector<CacheBackend*> instances, Options options);
+  /// Convenience for the in-process deployments.
+  RecoveryWorker(const Clock* clock, CoordinatorService* coordinator,
+                 const std::vector<CacheInstance*>& instances)
+      : RecoveryWorker(clock, coordinator, instances, Options()) {}
+  RecoveryWorker(const Clock* clock, CoordinatorService* coordinator,
+                 const std::vector<CacheInstance*>& instances, Options options)
+      : RecoveryWorker(
+            clock, coordinator,
+            std::vector<CacheBackend*>(instances.begin(), instances.end()),
+            options) {}
 
   /// Scans the latest configuration for fragments in recovery mode and
   /// adopts the first whose Redlease it can win. Returns the adopted
@@ -97,7 +110,7 @@ class RecoveryWorker {
 
   const Clock* clock_;
   CoordinatorService* coordinator_;
-  std::vector<CacheInstance*> instances_;
+  std::vector<CacheBackend*> instances_;
   Options options_;
   std::optional<Task> task_;
   size_t scan_cursor_ = 0;

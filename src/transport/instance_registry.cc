@@ -1,0 +1,44 @@
+#include "src/transport/instance_registry.h"
+
+namespace gemini {
+
+Status InstanceRegistry::Add(CacheInstance* instance,
+                             InstanceOptions options) {
+  if (instance == nullptr) {
+    return Status(Code::kInvalidArgument, "null instance");
+  }
+  const InstanceId id = instance->id();
+  if (id == kInvalidInstance) {
+    return Status(Code::kInvalidArgument,
+                  "instance id " + std::to_string(id) +
+                      " is reserved by the wire protocol");
+  }
+  const auto [it, inserted] =
+      entries_.emplace(id, Entry{instance, std::move(options)});
+  (void)it;
+  if (!inserted) {
+    return Status(Code::kInvalidArgument,
+                  "duplicate instance id " + std::to_string(id));
+  }
+  if (default_id_ == kInvalidInstance) default_id_ = id;
+  return Status::Ok();
+}
+
+CacheInstance* InstanceRegistry::Find(InstanceId id) const {
+  const auto it = entries_.find(id);
+  return it == entries_.end() ? nullptr : it->second.instance;
+}
+
+const InstanceOptions* InstanceRegistry::FindOptions(InstanceId id) const {
+  const auto it = entries_.find(id);
+  return it == entries_.end() ? nullptr : &it->second.options;
+}
+
+std::vector<InstanceId> InstanceRegistry::ids() const {
+  std::vector<InstanceId> out;
+  out.reserve(entries_.size());
+  for (const auto& [id, entry] : entries_) out.push_back(id);
+  return out;
+}
+
+}  // namespace gemini

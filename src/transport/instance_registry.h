@@ -1,0 +1,64 @@
+// InstanceRegistry: the set of CacheInstances one geminid process hosts.
+//
+// The paper's deployment unit is a cluster of instances — a configuration
+// assigns fragments to several of them — and a single server machine
+// typically hosts more than one (the paper's "Instance-M:L" naming). The
+// registry maps InstanceId → {instance, per-instance snapshot policy} so a
+// single TransportServer event loop can route each connection to the
+// instance its HELLO selected.
+//
+// The registry is assembled before TransportServer::Start() and is
+// immutable afterwards: the event loop reads it without locking.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/cache/cache_instance.h"
+#include "src/common/status.h"
+
+namespace gemini {
+
+/// Per-instance transport policy (today: snapshot persistence).
+struct InstanceOptions {
+  /// Target file of the wire kSnapshot op for this instance; empty rejects
+  /// remote snapshot triggers.
+  std::string snapshot_path;
+};
+
+class InstanceRegistry {
+ public:
+  InstanceRegistry() = default;
+
+  /// Registers `instance` under its own id. The first registered instance
+  /// becomes the default (what a v1 client, or a v2 HELLO carrying
+  /// kAnyInstance, binds to). kInvalidArgument on nullptr, a reserved id,
+  /// or a duplicate id.
+  Status Add(CacheInstance* instance, InstanceOptions options = {});
+
+  /// nullptr when `id` is not hosted here.
+  [[nodiscard]] CacheInstance* Find(InstanceId id) const;
+  [[nodiscard]] const InstanceOptions* FindOptions(InstanceId id) const;
+
+  [[nodiscard]] InstanceId default_id() const { return default_id_; }
+  [[nodiscard]] CacheInstance* default_instance() const {
+    return Find(default_id_);
+  }
+
+  /// All hosted ids, ascending (the kInstanceList response order).
+  [[nodiscard]] std::vector<InstanceId> ids() const;
+
+  [[nodiscard]] size_t size() const { return entries_.size(); }
+  [[nodiscard]] bool empty() const { return entries_.empty(); }
+
+ private:
+  struct Entry {
+    CacheInstance* instance = nullptr;
+    InstanceOptions options;
+  };
+  std::map<InstanceId, Entry> entries_;
+  InstanceId default_id_ = kInvalidInstance;
+};
+
+}  // namespace gemini

@@ -41,6 +41,10 @@ struct TransportServer::Connection {
   std::string out;  // unflushed response bytes
   size_t out_offset = 0;
   bool hello_done = false;
+  // Bound by HELLO; every data op on this connection hits this instance.
+  CacheInstance* instance = nullptr;
+  InstanceId bound_id = kInvalidInstance;
+  const InstanceOptions* instance_options = nullptr;
 
   [[nodiscard]] bool has_pending_writes() const {
     return out_offset < out.size();
@@ -165,14 +169,24 @@ class TransportServer::EpollPoller final : public TransportServer::Poller {
 
 // ---- Lifecycle --------------------------------------------------------------
 
+TransportServer::TransportServer(InstanceRegistry registry, Options options)
+    : registry_(std::move(registry)), options_(std::move(options)) {}
+
 TransportServer::TransportServer(CacheInstance* instance, Options options)
-    : instance_(instance), options_(std::move(options)) {}
+    : options_(std::move(options)) {
+  InstanceOptions iopts;
+  iopts.snapshot_path = options_.snapshot_path;
+  (void)registry_.Add(instance, std::move(iopts));
+}
 
 TransportServer::~TransportServer() { Stop(); }
 
 Status TransportServer::Start() {
   if (running_.load(std::memory_order_acquire)) {
     return Status(Code::kInvalidArgument, "server already running");
+  }
+  if (registry_.empty()) {
+    return Status(Code::kInvalidArgument, "no instances registered");
   }
   stop_requested_.store(false, std::memory_order_release);
 
@@ -231,8 +245,13 @@ Status TransportServer::Start() {
 
   running_.store(true, std::memory_order_release);
   loop_thread_ = std::thread([this] { Loop(); });
+  std::string id_list;
+  for (InstanceId id : registry_.ids()) {
+    if (!id_list.empty()) id_list += ",";
+    id_list += std::to_string(id);
+  }
   LOG_INFO << "geminid transport listening on " << options_.bind_address
-           << ":" << port_ << " (instance " << instance_->id() << ")";
+           << ":" << port_ << " (instances " << id_list << ")";
   return Status::Ok();
 }
 
@@ -243,6 +262,13 @@ void TransportServer::Stop() {
   const char byte = 'w';
   [[maybe_unused]] ssize_t n = ::write(wake_fds_[1], &byte, 1);
   if (loop_thread_.joinable()) loop_thread_.join();
+  // The loop thread has exited: closing the listen socket and the self-pipe
+  // here (not in Loop()) keeps the write above from racing the close.
+  ::close(listen_fd_);
+  listen_fd_ = -1;
+  ::close(wake_fds_[0]);
+  ::close(wake_fds_[1]);
+  wake_fds_[0] = wake_fds_[1] = -1;
   running_.store(false, std::memory_order_release);
 }
 
@@ -304,11 +330,8 @@ void TransportServer::Loop() {
     ++it;
     CloseConnection(fd);
   }
-  ::close(listen_fd_);
-  listen_fd_ = -1;
-  ::close(wake_fds_[0]);
-  ::close(wake_fds_[1]);
-  wake_fds_[0] = wake_fds_[1] = -1;
+  // listen_fd_ and the self-pipe stay open until Stop() has joined this
+  // thread; closing them here would race Stop()'s wake-up write.
   poller_.reset();
 }
 
@@ -355,14 +378,12 @@ bool TransportServer::ReadReady(Connection& conn) {
         wire::DecodeFrame(rest, &consumed, &op, &body);
     if (r == wire::DecodeResult::kNeedMore) break;
     if (r == wire::DecodeResult::kMalformed) {
-      std::lock_guard<std::mutex> lock(stats_mu_);
-      ++stats_.protocol_errors;
+      CountProtocolError(conn);
       return false;
     }
     cursor += consumed;
     if (!HandleFrame(conn, op, body)) {
-      std::lock_guard<std::mutex> lock(stats_mu_);
-      ++stats_.protocol_errors;
+      CountProtocolError(conn);
       return false;
     }
   }
@@ -418,11 +439,73 @@ void RespondToken(std::string& out, LeaseToken token) {
 
 }  // namespace
 
+void TransportServer::CountProtocolError(const Connection& conn) {
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  ++stats_.protocol_errors;
+  if (conn.bound_id != kInvalidInstance) {
+    ++stats_.per_instance[conn.bound_id].protocol_errors;
+  }
+}
+
+bool TransportServer::HandleHello(Connection& conn, wire::Reader& r) {
+  uint32_t version = 0;
+  if (!r.GetU32(&version)) return false;
+  if (version < wire::kMinProtocolVersion ||
+      version > wire::kProtocolVersion) {
+    RespondStatus(conn.out,
+                  Status(Code::kInvalidArgument,
+                         "protocol version mismatch: server speaks " +
+                             std::to_string(wire::kMinProtocolVersion) +
+                             ".." +
+                             std::to_string(wire::kProtocolVersion)));
+    // Answer, then drop: FlushWrites runs before the close in ReadReady's
+    // caller only on true returns, so flush here explicitly.
+    FlushWrites(conn);
+    return false;
+  }
+
+  // v1 ends after the version; v2 appends the target instance id.
+  InstanceId requested = wire::kAnyInstance;
+  if (version >= 2) {
+    uint32_t id = 0;
+    if (!r.GetU32(&id)) return false;
+    requested = id;
+  }
+  if (!r.Done()) return false;
+
+  CacheInstance* instance = requested == wire::kAnyInstance
+                                ? registry_.default_instance()
+                                : registry_.Find(requested);
+  if (instance == nullptr) {
+    // Fail the handshake cleanly: tell the client which id was refused,
+    // then close — a client configured for a fragment group this server
+    // does not host must not silently talk to the wrong instance.
+    RespondStatus(conn.out,
+                  Status(Code::kWrongInstance,
+                         "instance " + std::to_string(requested) +
+                             " is not hosted by this server"));
+    FlushWrites(conn);
+    return false;
+  }
+  conn.hello_done = true;
+  conn.instance = instance;
+  conn.bound_id = instance->id();
+  conn.instance_options = registry_.FindOptions(conn.bound_id);
+  std::string resp;
+  wire::PutU32(resp, version);
+  wire::PutU32(resp, conn.bound_id);
+  wire::AppendResponse(conn.out, Code::kOk, resp);
+  return true;
+}
+
 bool TransportServer::HandleFrame(Connection& conn, uint8_t op_byte,
                                   std::string_view body) {
   {
     std::lock_guard<std::mutex> lock(stats_mu_);
     ++stats_.frames_handled;
+    if (conn.bound_id != kInvalidInstance) {
+      ++stats_.per_instance[conn.bound_id].frames_handled;
+    }
   }
   if (!wire::IsKnownOp(op_byte)) return false;
   const wire::Op op = static_cast<wire::Op>(op_byte);
@@ -431,26 +514,10 @@ bool TransportServer::HandleFrame(Connection& conn, uint8_t op_byte,
   // The handshake must come first, and exactly once.
   if (!conn.hello_done) {
     if (op != wire::Op::kHello) return false;
-    uint32_t version = 0;
-    if (!r.GetU32(&version) || !r.Done()) return false;
-    if (version != wire::kProtocolVersion) {
-      RespondStatus(conn.out,
-                    Status(Code::kInvalidArgument,
-                           "protocol version mismatch: server speaks " +
-                               std::to_string(wire::kProtocolVersion)));
-      // Answer, then drop: FlushWrites runs before the close in ReadReady's
-      // caller only on true returns, so flush here explicitly.
-      FlushWrites(conn);
-      return false;
-    }
-    conn.hello_done = true;
-    std::string resp;
-    wire::PutU32(resp, wire::kProtocolVersion);
-    wire::PutU32(resp, instance_->id());
-    wire::AppendResponse(conn.out, Code::kOk, resp);
-    return true;
+    return HandleHello(conn, r);
   }
   if (op == wire::Op::kHello) return false;
+  CacheInstance* const instance = conn.instance;
 
   const auto malformed = [&conn]() -> bool {
     RespondStatus(conn.out,
@@ -468,13 +535,23 @@ bool TransportServer::HandleFrame(Connection& conn, uint8_t op_byte,
       return true;
     }
 
+    case wire::Op::kInstanceList: {
+      if (!r.Done()) return malformed();
+      const std::vector<InstanceId> ids = registry_.ids();
+      std::string resp;
+      wire::PutU32(resp, static_cast<uint32_t>(ids.size()));
+      for (InstanceId id : ids) wire::PutU32(resp, id);
+      wire::AppendResponse(conn.out, Code::kOk, resp);
+      return true;
+    }
+
     case wire::Op::kGet: {
       OpContext ctx;
       std::string_view key;
       if (!r.GetContext(&ctx) || !r.GetKey(&key) || !r.Done()) {
         return malformed();
       }
-      auto v = instance_->Get(ctx, key);
+      auto v = instance->Get(ctx, key);
       if (!v.ok()) {
         RespondStatus(conn.out, v.status());
         return true;
@@ -493,7 +570,7 @@ bool TransportServer::HandleFrame(Connection& conn, uint8_t op_byte,
           !r.Done()) {
         return malformed();
       }
-      RespondStatus(conn.out, instance_->Set(ctx, key, std::move(value)));
+      RespondStatus(conn.out, instance->Set(ctx, key, std::move(value)));
       return true;
     }
 
@@ -503,7 +580,7 @@ bool TransportServer::HandleFrame(Connection& conn, uint8_t op_byte,
       if (!r.GetContext(&ctx) || !r.GetKey(&key) || !r.Done()) {
         return malformed();
       }
-      RespondStatus(conn.out, instance_->Delete(ctx, key));
+      RespondStatus(conn.out, instance->Delete(ctx, key));
       return true;
     }
 
@@ -517,7 +594,7 @@ bool TransportServer::HandleFrame(Connection& conn, uint8_t op_byte,
         return malformed();
       }
       RespondStatus(conn.out,
-                    instance_->Cas(ctx, key, expected, std::move(value)));
+                    instance->Cas(ctx, key, expected, std::move(value)));
       return true;
     }
 
@@ -528,7 +605,7 @@ bool TransportServer::HandleFrame(Connection& conn, uint8_t op_byte,
           !r.Done()) {
         return malformed();
       }
-      RespondStatus(conn.out, instance_->Append(ctx, key, data));
+      RespondStatus(conn.out, instance->Append(ctx, key, data));
       return true;
     }
 
@@ -538,7 +615,7 @@ bool TransportServer::HandleFrame(Connection& conn, uint8_t op_byte,
       if (!r.GetContext(&ctx) || !r.GetKey(&key) || !r.Done()) {
         return malformed();
       }
-      auto res = instance_->IqGet(ctx, key);
+      auto res = instance->IqGet(ctx, key);
       if (!res.ok()) {
         RespondStatus(conn.out, res.status());
         return true;
@@ -561,7 +638,7 @@ bool TransportServer::HandleFrame(Connection& conn, uint8_t op_byte,
         return malformed();
       }
       RespondStatus(conn.out,
-                    instance_->IqSet(ctx, key, std::move(value), token));
+                    instance->IqSet(ctx, key, std::move(value), token));
       return true;
     }
 
@@ -571,7 +648,7 @@ bool TransportServer::HandleFrame(Connection& conn, uint8_t op_byte,
       if (!r.GetContext(&ctx) || !r.GetKey(&key) || !r.Done()) {
         return malformed();
       }
-      auto token = instance_->Qareg(ctx, key);
+      auto token = instance->Qareg(ctx, key);
       if (!token.ok()) {
         RespondStatus(conn.out, token.status());
       } else {
@@ -588,7 +665,7 @@ bool TransportServer::HandleFrame(Connection& conn, uint8_t op_byte,
           !r.Done()) {
         return malformed();
       }
-      RespondStatus(conn.out, instance_->Dar(ctx, key, token));
+      RespondStatus(conn.out, instance->Dar(ctx, key, token));
       return true;
     }
 
@@ -602,7 +679,7 @@ bool TransportServer::HandleFrame(Connection& conn, uint8_t op_byte,
         return malformed();
       }
       RespondStatus(conn.out,
-                    instance_->Rar(ctx, key, std::move(value), token));
+                    instance->Rar(ctx, key, std::move(value), token));
       return true;
     }
 
@@ -612,7 +689,7 @@ bool TransportServer::HandleFrame(Connection& conn, uint8_t op_byte,
       if (!r.GetContext(&ctx) || !r.GetKey(&key) || !r.Done()) {
         return malformed();
       }
-      auto token = instance_->ISet(ctx, key);
+      auto token = instance->ISet(ctx, key);
       if (!token.ok()) {
         RespondStatus(conn.out, token.status());
       } else {
@@ -629,7 +706,7 @@ bool TransportServer::HandleFrame(Connection& conn, uint8_t op_byte,
           !r.Done()) {
         return malformed();
       }
-      RespondStatus(conn.out, instance_->IDelete(ctx, key, token));
+      RespondStatus(conn.out, instance->IDelete(ctx, key, token));
       return true;
     }
 
@@ -644,14 +721,14 @@ bool TransportServer::HandleFrame(Connection& conn, uint8_t op_byte,
       }
       RespondStatus(
           conn.out,
-          instance_->WriteBackInstall(ctx, key, std::move(value), token));
+          instance->WriteBackInstall(ctx, key, std::move(value), token));
       return true;
     }
 
     case wire::Op::kRedAcquire: {
       std::string_view key;
       if (!r.GetKey(&key) || !r.Done()) return malformed();
-      auto token = instance_->AcquireRed(key);
+      auto token = instance->AcquireRed(key);
       if (!token.ok()) {
         RespondStatus(conn.out, token.status());
       } else {
@@ -666,7 +743,7 @@ bool TransportServer::HandleFrame(Connection& conn, uint8_t op_byte,
       if (!r.GetKey(&key) || !r.GetU64(&token) || !r.Done()) {
         return malformed();
       }
-      RespondStatus(conn.out, instance_->ReleaseRed(key, token));
+      RespondStatus(conn.out, instance->ReleaseRed(key, token));
       return true;
     }
 
@@ -676,7 +753,7 @@ bool TransportServer::HandleFrame(Connection& conn, uint8_t op_byte,
       if (!r.GetKey(&key) || !r.GetU64(&token) || !r.Done()) {
         return malformed();
       }
-      RespondStatus(conn.out, instance_->RenewRed(key, token));
+      RespondStatus(conn.out, instance->RenewRed(key, token));
       return true;
     }
 
@@ -687,7 +764,7 @@ bool TransportServer::HandleFrame(Connection& conn, uint8_t op_byte,
         return malformed();
       }
       const OpContext ctx{config_id, kInvalidFragment};
-      auto v = instance_->Get(ctx, DirtyListKey(fragment));
+      auto v = instance->Get(ctx, DirtyListKey(fragment));
       if (!v.ok()) {
         RespondStatus(conn.out, v.status());
         return true;
@@ -708,14 +785,14 @@ bool TransportServer::HandleFrame(Connection& conn, uint8_t op_byte,
       }
       const OpContext ctx{config_id, kInvalidFragment};
       RespondStatus(conn.out,
-                    instance_->Append(ctx, DirtyListKey(fragment), record));
+                    instance->Append(ctx, DirtyListKey(fragment), record));
       return true;
     }
 
     case wire::Op::kConfigIdGet: {
       if (!r.Done()) return malformed();
       std::string resp;
-      wire::PutU64(resp, instance_->latest_config_id());
+      wire::PutU64(resp, instance->latest_config_id());
       wire::AppendResponse(conn.out, Code::kOk, resp);
       return true;
     }
@@ -723,7 +800,7 @@ bool TransportServer::HandleFrame(Connection& conn, uint8_t op_byte,
     case wire::Op::kConfigIdBump: {
       uint64_t latest = 0;
       if (!r.GetU64(&latest) || !r.Done()) return malformed();
-      instance_->ObserveConfigId(latest);
+      instance->ObserveConfigId(latest);
       wire::AppendResponse(conn.out, Code::kOk, {});
       return true;
     }
@@ -731,7 +808,9 @@ bool TransportServer::HandleFrame(Connection& conn, uint8_t op_byte,
     case wire::Op::kSnapshot: {
       std::string_view requested;
       if (!r.GetBlob(&requested) || !r.Done()) return malformed();
-      std::string path = options_.snapshot_path;
+      std::string path = conn.instance_options != nullptr
+                             ? conn.instance_options->snapshot_path
+                             : std::string();
       if (!requested.empty() && options_.allow_remote_snapshot_paths) {
         path.assign(requested);
       }
@@ -740,7 +819,7 @@ bool TransportServer::HandleFrame(Connection& conn, uint8_t op_byte,
                                        "no snapshot path configured"));
         return true;
       }
-      RespondStatus(conn.out, Snapshot::WriteToFile(*instance_, path));
+      RespondStatus(conn.out, Snapshot::WriteToFile(*instance, path));
       return true;
     }
   }

@@ -1,18 +1,21 @@
 // TransportServer: the geminid event loop.
 //
-// Hosts one CacheInstance behind the wire protocol (src/transport/wire.h,
-// docs/PROTOCOL.md §10). Single-threaded, non-blocking: an epoll loop on
-// Linux (level-triggered), a poll(2) loop everywhere else — the fallback is
-// also runtime-selectable so tests exercise both paths on any platform.
+// Hosts an InstanceRegistry — one or many CacheInstances — behind the wire
+// protocol (src/transport/wire.h, docs/PROTOCOL.md §10). Single-threaded,
+// non-blocking: an epoll loop on Linux (level-triggered), a poll(2) loop
+// everywhere else — the fallback is also runtime-selectable so tests
+// exercise both paths on any platform.
 //
-// Connection model: accept → mandatory HELLO (version + instance id
-// exchange) → strict request/response alternation. Each connection owns a
-// read buffer (frames are reassembled across short reads) and a write
-// buffer (responses that do not fit the socket buffer are flushed when the
-// fd turns writable). A framing violation — oversized length prefix,
-// unknown opcode, HELLO out of order — closes the connection; a merely
-// unparsable body gets a kInvalidArgument response and the connection
-// lives on.
+// Connection model: accept → mandatory HELLO (version exchange; a v2 HELLO
+// names the target instance, a v1 HELLO gets the registry's default) →
+// strict request/response alternation against the bound instance. Selecting
+// an instance the registry does not host fails the handshake cleanly: the
+// server answers kWrongInstance, then closes. Each connection owns a read
+// buffer (frames are reassembled across short reads) and a write buffer
+// (responses that do not fit the socket buffer are flushed when the fd
+// turns writable). A framing violation — oversized length prefix, unknown
+// opcode, HELLO out of order — closes the connection; a merely unparsable
+// body gets a kInvalidArgument response and the connection lives on.
 //
 // Shutdown is graceful: Stop() stops accepting, lets each connection drain
 // its pending write buffer (bounded by drain_timeout), then closes
@@ -21,6 +24,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <map>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -29,6 +33,8 @@
 
 #include "src/cache/cache_instance.h"
 #include "src/common/status.h"
+#include "src/transport/instance_registry.h"
+#include "src/transport/wire.h"
 
 namespace gemini {
 
@@ -42,25 +48,33 @@ class TransportServer {
     uint16_t port = 0;
     /// Force the portable poll(2) loop even where epoll is available.
     bool use_poll_fallback = false;
-    /// Target file of the kSnapshot op; empty rejects snapshot triggers.
+    /// Target file of the kSnapshot op for the single-instance constructor;
+    /// the registry constructor takes per-instance paths via
+    /// InstanceOptions instead. Empty rejects snapshot triggers.
     std::string snapshot_path;
     /// Honor a path carried in a kSnapshot request (off: the request path
-    /// is ignored and snapshot_path is used — remote peers cannot choose
-    /// where the server writes).
+    /// is ignored and the instance's configured path is used — remote peers
+    /// cannot choose where the server writes).
     bool allow_remote_snapshot_paths = false;
     int listen_backlog = 128;
     /// How long Stop() waits for write buffers to drain.
     int drain_timeout_ms = 2000;
   };
 
+  /// Multi-instance server. The registry must stay unchanged (and its
+  /// instances alive) for the server's lifetime.
+  TransportServer(InstanceRegistry registry, Options options);
+  /// Single-instance sugar: a one-entry registry whose snapshot path is
+  /// options.snapshot_path.
   TransportServer(CacheInstance* instance, Options options);
   ~TransportServer();
 
   TransportServer(const TransportServer&) = delete;
   TransportServer& operator=(const TransportServer&) = delete;
 
-  /// Binds, listens, and starts the loop thread. kInternal on socket errors
-  /// (bind failure, exhausted fds).
+  /// Binds, listens, and starts the loop thread. kInvalidArgument on an
+  /// empty registry, kInternal on socket errors (bind failure, exhausted
+  /// fds).
   Status Start();
 
   /// Graceful shutdown; idempotent. Safe to call from any thread.
@@ -73,10 +87,20 @@ class TransportServer {
   /// The bound port (valid after Start() returned Ok).
   [[nodiscard]] uint16_t port() const { return port_; }
 
+  [[nodiscard]] const InstanceRegistry& registry() const { return registry_; }
+
   struct Stats {
     uint64_t connections_accepted = 0;
     uint64_t frames_handled = 0;
     uint64_t protocol_errors = 0;
+    struct PerInstance {
+      uint64_t frames_handled = 0;
+      uint64_t protocol_errors = 0;
+    };
+    /// Frames/errors attributed to the instance the connection was bound
+    /// to; handshake traffic (HELLO itself, pre-HELLO violations) counts
+    /// only in the totals above.
+    std::map<InstanceId, PerInstance> per_instance;
   };
   [[nodiscard]] Stats stats() const;
 
@@ -99,8 +123,11 @@ class TransportServer {
   /// Dispatches one request frame, appending the response frame to the
   /// connection's write buffer. Returns false to drop the connection.
   bool HandleFrame(Connection& conn, uint8_t op, std::string_view body);
+  /// Handles the mandatory first frame; binds the connection's instance.
+  bool HandleHello(Connection& conn, wire::Reader& r);
+  void CountProtocolError(const Connection& conn);
 
-  CacheInstance* instance_;
+  InstanceRegistry registry_;
   Options options_;
 
   int listen_fd_ = -1;

@@ -1,219 +1,24 @@
 #include "src/transport/tcp_backend.h"
 
-#include <arpa/inet.h>
-#include <errno.h>
-#include <fcntl.h>
-#include <netdb.h>
-#include <netinet/in.h>
-#include <netinet/tcp.h>
-#include <poll.h>
-#include <sys/socket.h>
-#include <unistd.h>
-
-#include <cstring>
-
 namespace gemini {
 
-namespace {
-
-Status SocketError(const char* what) {
-  return Status(Code::kUnavailable,
-                std::string(what) + ": " + std::strerror(errno));
-}
-
-void SetTimeout(int fd, int optname, Duration d) {
-  if (d <= 0) return;
-  struct timeval tv;
-  tv.tv_sec = d / kSecond;
-  tv.tv_usec = d % kSecond;
-  ::setsockopt(fd, SOL_SOCKET, optname, &tv, sizeof(tv));
-}
-
-}  // namespace
-
 TcpCacheBackend::TcpCacheBackend(std::string host, uint16_t port,
-                                 Options options)
-    : host_(std::move(host)), port_(port), options_(options) {}
+                                 InstanceId target_instance, Options options)
+    : conn_(TcpConnection::Acquire(host, port, target_instance, options)) {}
 
-TcpCacheBackend::~TcpCacheBackend() { Disconnect(); }
+TcpCacheBackend::~TcpCacheBackend() = default;
 
-bool TcpCacheBackend::connected() const {
-  std::lock_guard<std::mutex> lock(mu_);
-  return fd_ >= 0;
-}
+bool TcpCacheBackend::connected() const { return conn_->connected(); }
 
-InstanceId TcpCacheBackend::id() const {
-  std::lock_guard<std::mutex> lock(mu_);
-  return remote_id_;
-}
+InstanceId TcpCacheBackend::id() const { return conn_->remote_id(); }
 
-Status TcpCacheBackend::Connect() {
-  std::lock_guard<std::mutex> lock(mu_);
-  return ConnectLocked();
-}
+Status TcpCacheBackend::Connect() { return conn_->Connect(); }
 
-void TcpCacheBackend::Disconnect() {
-  std::lock_guard<std::mutex> lock(mu_);
-  DisconnectLocked();
-}
+void TcpCacheBackend::Disconnect() { conn_->Disconnect(); }
 
-void TcpCacheBackend::DisconnectLocked() {
-  if (fd_ >= 0) {
-    ::close(fd_);
-    fd_ = -1;
-  }
-  recv_buf_.clear();
-}
-
-Status TcpCacheBackend::ConnectLocked() {
-  if (fd_ >= 0) return Status::Ok();
-
-  struct addrinfo hints;
-  std::memset(&hints, 0, sizeof(hints));
-  hints.ai_family = AF_INET;
-  hints.ai_socktype = SOCK_STREAM;
-  struct addrinfo* res = nullptr;
-  const std::string port_str = std::to_string(port_);
-  if (::getaddrinfo(host_.c_str(), port_str.c_str(), &hints, &res) != 0 ||
-      res == nullptr) {
-    return Status(Code::kUnavailable, "cannot resolve " + host_);
-  }
-
-  int fd = ::socket(res->ai_family, res->ai_socktype, res->ai_protocol);
-  if (fd < 0) {
-    ::freeaddrinfo(res);
-    return SocketError("socket");
-  }
-
-  // Non-blocking connect with a poll()-based timeout, then back to blocking
-  // with per-call IO timeouts.
-  const int flags = ::fcntl(fd, F_GETFL, 0);
-  ::fcntl(fd, F_SETFL, flags | O_NONBLOCK);
-  int rc = ::connect(fd, res->ai_addr, res->ai_addrlen);
-  ::freeaddrinfo(res);
-  if (rc != 0 && errno != EINPROGRESS) {
-    ::close(fd);
-    return SocketError("connect");
-  }
-  if (rc != 0) {
-    struct pollfd pfd{fd, POLLOUT, 0};
-    const int timeout_ms =
-        static_cast<int>(options_.connect_timeout / kMillisecond);
-    rc = ::poll(&pfd, 1, timeout_ms > 0 ? timeout_ms : -1);
-    int err = 0;
-    socklen_t len = sizeof(err);
-    if (rc <= 0 ||
-        ::getsockopt(fd, SOL_SOCKET, SO_ERROR, &err, &len) != 0 || err != 0) {
-      ::close(fd);
-      return Status(Code::kUnavailable,
-                    "connect to " + host_ + ":" + port_str +
-                        (rc <= 0 ? " timed out" : " refused"));
-    }
-  }
-  ::fcntl(fd, F_SETFL, flags);
-  int one = 1;
-  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
-  SetTimeout(fd, SO_RCVTIMEO, options_.io_timeout);
-  SetTimeout(fd, SO_SNDTIMEO, options_.io_timeout);
-  fd_ = fd;
-  recv_buf_.clear();
-
-  // HELLO: version exchange + the remote instance id.
-  std::string body;
-  wire::PutU32(body, wire::kProtocolVersion);
-  std::string resp;
-  Status s = TransactLocked(wire::Op::kHello, body, &resp);
-  if (!s.ok()) {
-    DisconnectLocked();
-    if (s.code() == Code::kInvalidArgument) {
-      return Status(Code::kInternal, "protocol version rejected by server: " +
-                                         s.message());
-    }
-    return s;
-  }
-  wire::Reader r(resp);
-  uint32_t version = 0, instance_id = 0;
-  if (!r.GetU32(&version) || !r.GetU32(&instance_id) || !r.Done() ||
-      version != wire::kProtocolVersion) {
-    DisconnectLocked();
-    return Status(Code::kInternal, "malformed HELLO response");
-  }
-  remote_id_ = instance_id;
-  return Status::Ok();
-}
-
-Status TcpCacheBackend::EnsureConnectedLocked() {
-  if (fd_ >= 0) return Status::Ok();
-  if (!options_.auto_reconnect) {
-    return Status(Code::kUnavailable, "not connected");
-  }
-  return ConnectLocked();
-}
-
-Status TcpCacheBackend::SendAllLocked(std::string_view bytes) {
-  size_t sent = 0;
-  while (sent < bytes.size()) {
-    const ssize_t n = ::send(fd_, bytes.data() + sent, bytes.size() - sent,
-                             MSG_NOSIGNAL);
-    if (n > 0) {
-      sent += static_cast<size_t>(n);
-      continue;
-    }
-    if (n < 0 && errno == EINTR) continue;
-    return SocketError("send");
-  }
-  return Status::Ok();
-}
-
-Status TcpCacheBackend::ReadFrameLocked(uint8_t* tag, std::string* body) {
-  char buf[64 * 1024];
-  for (;;) {
-    size_t consumed = 0;
-    std::string_view view;
-    const wire::DecodeResult r =
-        wire::DecodeFrame(recv_buf_, &consumed, tag, &view);
-    if (r == wire::DecodeResult::kFrame) {
-      body->assign(view);
-      recv_buf_.erase(0, consumed);
-      return Status::Ok();
-    }
-    if (r == wire::DecodeResult::kMalformed) {
-      return Status(Code::kInternal, "malformed response frame");
-    }
-    const ssize_t n = ::recv(fd_, buf, sizeof(buf), 0);
-    if (n > 0) {
-      recv_buf_.append(buf, static_cast<size_t>(n));
-      continue;
-    }
-    if (n < 0 && errno == EINTR) continue;
-    if (n == 0) return Status(Code::kUnavailable, "server closed connection");
-    return SocketError("recv");
-  }
-}
-
-Status TcpCacheBackend::TransactLocked(wire::Op op, std::string_view body,
-                                       std::string* resp_body) {
-  std::string frame;
-  frame.reserve(wire::kFrameHeaderLen + body.size());
-  wire::AppendRequest(frame, op, body);
-  Status s = SendAllLocked(frame);
-  uint8_t tag = 0;
-  if (s.ok()) s = ReadFrameLocked(&tag, resp_body);
-  if (!s.ok()) {
-    // The request/response stream is torn (bytes may be half-sent or
-    // half-read); drop the socket so the next call starts clean.
-    DisconnectLocked();
-    return s;
-  }
-  const Code code = wire::CodeFromWire(tag);
-  if (code == Code::kOk) return Status::Ok();
-  // Non-ok reply: the body optionally carries a message blob.
-  wire::Reader r(*resp_body);
-  std::string_view message;
-  if (r.GetBlob(&message) && r.Done() && !message.empty()) {
-    return Status(code, std::string(message));
-  }
-  return Status(code);
+Status TcpCacheBackend::Transact(wire::Op op, std::string_view body,
+                                 std::string* resp_body) {
+  return conn_->Transact(op, body, resp_body);
 }
 
 Status TcpCacheBackend::CheckKey(std::string_view key) {
@@ -240,10 +45,8 @@ std::string CtxKeyBody(const OpContext& ctx, std::string_view key) {
 Result<CacheValue> TcpCacheBackend::Get(const OpContext& ctx,
                                         std::string_view key) {
   if (Status s = CheckKey(key); !s.ok()) return s;
-  std::lock_guard<std::mutex> lock(mu_);
-  if (Status s = EnsureConnectedLocked(); !s.ok()) return s;
   std::string resp;
-  if (Status s = TransactLocked(wire::Op::kGet, CtxKeyBody(ctx, key), &resp);
+  if (Status s = Transact(wire::Op::kGet, CtxKeyBody(ctx, key), &resp);
       !s.ok()) {
     return s;
   }
@@ -258,11 +61,8 @@ Result<CacheValue> TcpCacheBackend::Get(const OpContext& ctx,
 Result<IqGetResult> TcpCacheBackend::IqGet(const OpContext& ctx,
                                            std::string_view key) {
   if (Status s = CheckKey(key); !s.ok()) return s;
-  std::lock_guard<std::mutex> lock(mu_);
-  if (Status s = EnsureConnectedLocked(); !s.ok()) return s;
   std::string resp;
-  if (Status s =
-          TransactLocked(wire::Op::kIqGet, CtxKeyBody(ctx, key), &resp);
+  if (Status s = Transact(wire::Op::kIqGet, CtxKeyBody(ctx, key), &resp);
       !s.ok()) {
     return s;
   }
@@ -291,20 +91,15 @@ Status TcpCacheBackend::IqSet(const OpContext& ctx, std::string_view key,
   wire::PutKey(body, key);
   wire::PutU64(body, token);
   wire::PutValue(body, value);
-  std::lock_guard<std::mutex> lock(mu_);
-  if (Status s = EnsureConnectedLocked(); !s.ok()) return s;
   std::string resp;
-  return TransactLocked(wire::Op::kIqSet, body, &resp);
+  return Transact(wire::Op::kIqSet, body, &resp);
 }
 
 Result<LeaseToken> TcpCacheBackend::Qareg(const OpContext& ctx,
                                           std::string_view key) {
   if (Status s = CheckKey(key); !s.ok()) return s;
-  std::lock_guard<std::mutex> lock(mu_);
-  if (Status s = EnsureConnectedLocked(); !s.ok()) return s;
   std::string resp;
-  if (Status s =
-          TransactLocked(wire::Op::kQareg, CtxKeyBody(ctx, key), &resp);
+  if (Status s = Transact(wire::Op::kQareg, CtxKeyBody(ctx, key), &resp);
       !s.ok()) {
     return s;
   }
@@ -323,10 +118,8 @@ Status TcpCacheBackend::Dar(const OpContext& ctx, std::string_view key,
   wire::PutContext(body, ctx);
   wire::PutKey(body, key);
   wire::PutU64(body, token);
-  std::lock_guard<std::mutex> lock(mu_);
-  if (Status s = EnsureConnectedLocked(); !s.ok()) return s;
   std::string resp;
-  return TransactLocked(wire::Op::kDar, body, &resp);
+  return Transact(wire::Op::kDar, body, &resp);
 }
 
 Status TcpCacheBackend::Rar(const OpContext& ctx, std::string_view key,
@@ -337,19 +130,15 @@ Status TcpCacheBackend::Rar(const OpContext& ctx, std::string_view key,
   wire::PutKey(body, key);
   wire::PutU64(body, token);
   wire::PutValue(body, value);
-  std::lock_guard<std::mutex> lock(mu_);
-  if (Status s = EnsureConnectedLocked(); !s.ok()) return s;
   std::string resp;
-  return TransactLocked(wire::Op::kRar, body, &resp);
+  return Transact(wire::Op::kRar, body, &resp);
 }
 
 Result<LeaseToken> TcpCacheBackend::ISet(const OpContext& ctx,
                                          std::string_view key) {
   if (Status s = CheckKey(key); !s.ok()) return s;
-  std::lock_guard<std::mutex> lock(mu_);
-  if (Status s = EnsureConnectedLocked(); !s.ok()) return s;
   std::string resp;
-  if (Status s = TransactLocked(wire::Op::kISet, CtxKeyBody(ctx, key), &resp);
+  if (Status s = Transact(wire::Op::kISet, CtxKeyBody(ctx, key), &resp);
       !s.ok()) {
     return s;
   }
@@ -368,18 +157,14 @@ Status TcpCacheBackend::IDelete(const OpContext& ctx, std::string_view key,
   wire::PutContext(body, ctx);
   wire::PutKey(body, key);
   wire::PutU64(body, token);
-  std::lock_guard<std::mutex> lock(mu_);
-  if (Status s = EnsureConnectedLocked(); !s.ok()) return s;
   std::string resp;
-  return TransactLocked(wire::Op::kIDelete, body, &resp);
+  return Transact(wire::Op::kIDelete, body, &resp);
 }
 
 Status TcpCacheBackend::Delete(const OpContext& ctx, std::string_view key) {
   if (Status s = CheckKey(key); !s.ok()) return s;
-  std::lock_guard<std::mutex> lock(mu_);
-  if (Status s = EnsureConnectedLocked(); !s.ok()) return s;
   std::string resp;
-  return TransactLocked(wire::Op::kDelete, CtxKeyBody(ctx, key), &resp);
+  return Transact(wire::Op::kDelete, CtxKeyBody(ctx, key), &resp);
 }
 
 Status TcpCacheBackend::Set(const OpContext& ctx, std::string_view key,
@@ -389,10 +174,8 @@ Status TcpCacheBackend::Set(const OpContext& ctx, std::string_view key,
   wire::PutContext(body, ctx);
   wire::PutKey(body, key);
   wire::PutValue(body, value);
-  std::lock_guard<std::mutex> lock(mu_);
-  if (Status s = EnsureConnectedLocked(); !s.ok()) return s;
   std::string resp;
-  return TransactLocked(wire::Op::kSet, body, &resp);
+  return Transact(wire::Op::kSet, body, &resp);
 }
 
 Status TcpCacheBackend::Cas(const OpContext& ctx, std::string_view key,
@@ -403,10 +186,8 @@ Status TcpCacheBackend::Cas(const OpContext& ctx, std::string_view key,
   wire::PutKey(body, key);
   wire::PutU64(body, expected);
   wire::PutValue(body, value);
-  std::lock_guard<std::mutex> lock(mu_);
-  if (Status s = EnsureConnectedLocked(); !s.ok()) return s;
   std::string resp;
-  return TransactLocked(wire::Op::kCas, body, &resp);
+  return Transact(wire::Op::kCas, body, &resp);
 }
 
 Status TcpCacheBackend::WriteBackInstall(const OpContext& ctx,
@@ -418,10 +199,8 @@ Status TcpCacheBackend::WriteBackInstall(const OpContext& ctx,
   wire::PutKey(body, key);
   wire::PutU64(body, token);
   wire::PutValue(body, value);
-  std::lock_guard<std::mutex> lock(mu_);
-  if (Status s = EnsureConnectedLocked(); !s.ok()) return s;
   std::string resp;
-  return TransactLocked(wire::Op::kWriteBackInstall, body, &resp);
+  return Transact(wire::Op::kWriteBackInstall, body, &resp);
 }
 
 Status TcpCacheBackend::Append(const OpContext& ctx, std::string_view key,
@@ -431,21 +210,16 @@ Status TcpCacheBackend::Append(const OpContext& ctx, std::string_view key,
   wire::PutContext(body, ctx);
   wire::PutKey(body, key);
   wire::PutBlob(body, data);
-  std::lock_guard<std::mutex> lock(mu_);
-  if (Status s = EnsureConnectedLocked(); !s.ok()) return s;
   std::string resp;
-  return TransactLocked(wire::Op::kAppend, body, &resp);
+  return Transact(wire::Op::kAppend, body, &resp);
 }
 
 Result<LeaseToken> TcpCacheBackend::AcquireRed(std::string_view key) {
   if (Status s = CheckKey(key); !s.ok()) return s;
   std::string body;
   wire::PutKey(body, key);
-  std::lock_guard<std::mutex> lock(mu_);
-  if (Status s = EnsureConnectedLocked(); !s.ok()) return s;
   std::string resp;
-  if (Status s = TransactLocked(wire::Op::kRedAcquire, body, &resp);
-      !s.ok()) {
+  if (Status s = Transact(wire::Op::kRedAcquire, body, &resp); !s.ok()) {
     return s;
   }
   wire::Reader r(resp);
@@ -461,10 +235,8 @@ Status TcpCacheBackend::ReleaseRed(std::string_view key, LeaseToken token) {
   std::string body;
   wire::PutKey(body, key);
   wire::PutU64(body, token);
-  std::lock_guard<std::mutex> lock(mu_);
-  if (Status s = EnsureConnectedLocked(); !s.ok()) return s;
   std::string resp;
-  return TransactLocked(wire::Op::kRedRelease, body, &resp);
+  return Transact(wire::Op::kRedRelease, body, &resp);
 }
 
 Status TcpCacheBackend::RenewRed(std::string_view key, LeaseToken token) {
@@ -472,24 +244,22 @@ Status TcpCacheBackend::RenewRed(std::string_view key, LeaseToken token) {
   std::string body;
   wire::PutKey(body, key);
   wire::PutU64(body, token);
-  std::lock_guard<std::mutex> lock(mu_);
-  if (Status s = EnsureConnectedLocked(); !s.ok()) return s;
   std::string resp;
-  return TransactLocked(wire::Op::kRedRenew, body, &resp);
+  return Transact(wire::Op::kRedRenew, body, &resp);
 }
 
 Status TcpCacheBackend::Ping() {
-  std::lock_guard<std::mutex> lock(mu_);
-  if (Status s = EnsureConnectedLocked(); !s.ok()) return s;
   std::string resp;
-  return TransactLocked(wire::Op::kPing, {}, &resp);
+  return Transact(wire::Op::kPing, {}, &resp);
+}
+
+Result<std::vector<InstanceId>> TcpCacheBackend::ListInstances() {
+  return conn_->ListInstances();
 }
 
 Result<ConfigId> TcpCacheBackend::RemoteConfigId() {
-  std::lock_guard<std::mutex> lock(mu_);
-  if (Status s = EnsureConnectedLocked(); !s.ok()) return s;
   std::string resp;
-  if (Status s = TransactLocked(wire::Op::kConfigIdGet, {}, &resp); !s.ok()) {
+  if (Status s = Transact(wire::Op::kConfigIdGet, {}, &resp); !s.ok()) {
     return s;
   }
   wire::Reader r(resp);
@@ -503,10 +273,8 @@ Result<ConfigId> TcpCacheBackend::RemoteConfigId() {
 Status TcpCacheBackend::BumpConfigId(ConfigId latest) {
   std::string body;
   wire::PutU64(body, latest);
-  std::lock_guard<std::mutex> lock(mu_);
-  if (Status s = EnsureConnectedLocked(); !s.ok()) return s;
   std::string resp;
-  return TransactLocked(wire::Op::kConfigIdBump, body, &resp);
+  return Transact(wire::Op::kConfigIdBump, body, &resp);
 }
 
 Result<CacheValue> TcpCacheBackend::DirtyListGet(ConfigId config_id,
@@ -514,11 +282,8 @@ Result<CacheValue> TcpCacheBackend::DirtyListGet(ConfigId config_id,
   std::string body;
   wire::PutU64(body, config_id);
   wire::PutU32(body, fragment);
-  std::lock_guard<std::mutex> lock(mu_);
-  if (Status s = EnsureConnectedLocked(); !s.ok()) return s;
   std::string resp;
-  if (Status s = TransactLocked(wire::Op::kDirtyListGet, body, &resp);
-      !s.ok()) {
+  if (Status s = Transact(wire::Op::kDirtyListGet, body, &resp); !s.ok()) {
     return s;
   }
   wire::Reader r(resp);
@@ -536,19 +301,15 @@ Status TcpCacheBackend::DirtyListAppend(ConfigId config_id,
   wire::PutU64(body, config_id);
   wire::PutU32(body, fragment);
   wire::PutBlob(body, record);
-  std::lock_guard<std::mutex> lock(mu_);
-  if (Status s = EnsureConnectedLocked(); !s.ok()) return s;
   std::string resp;
-  return TransactLocked(wire::Op::kDirtyListAppend, body, &resp);
+  return Transact(wire::Op::kDirtyListAppend, body, &resp);
 }
 
 Status TcpCacheBackend::TriggerSnapshot(std::string_view path) {
   std::string body;
   wire::PutBlob(body, path);
-  std::lock_guard<std::mutex> lock(mu_);
-  if (Status s = EnsureConnectedLocked(); !s.ok()) return s;
   std::string resp;
-  return TransactLocked(wire::Op::kSnapshot, body, &resp);
+  return Transact(wire::Op::kSnapshot, body, &resp);
 }
 
 }  // namespace gemini

@@ -1,46 +1,58 @@
 // TcpCacheBackend: a CacheBackend that fronts a remote geminid over TCP.
 //
-// One blocking socket per backend, one outstanding request at a time (an
-// internal mutex serializes callers, so a GeminiClient shared across threads
-// behaves exactly as it does against an in-process CacheInstance). Every
-// operation is one wire frame and one response frame; connection loss maps
-// to kUnavailable — the same code an in-process failed instance returns — so
-// GeminiClient's failover machinery (configuration refresh, store
-// fall-through, write suspension) drives recovery with no transport-specific
-// logic. By default the backend redials transparently on the next call
-// after a drop.
+// A backend names `(endpoint, instance)` — since a geminid can host many
+// CacheInstances behind one event loop, the instance id picks which one
+// this backend talks to (kAnyInstance = the server's default, which is
+// what a single-instance geminid serves). The socket itself lives in a
+// shared TcpConnection (src/transport/tcp_connection.h): every backend in
+// the process targeting the same (host, port, instance) multiplexes one
+// connection, serialized request-by-request — so a GeminiClient, a
+// recovery worker, and a flusher pointed at the same instance cost one
+// socket, not three.
+//
+// Every operation is one wire frame and one response frame; connection
+// loss maps to kUnavailable — the same code an in-process failed instance
+// returns — so GeminiClient's failover machinery (configuration refresh,
+// store fall-through, write suspension) drives recovery with no
+// transport-specific logic. By default the backend redials transparently
+// on the next call after a drop.
 #pragma once
 
-#include <mutex>
+#include <memory>
 #include <string>
+#include <vector>
 
 #include "src/cache/cache_backend.h"
 #include "src/common/clock.h"
+#include "src/transport/tcp_connection.h"
 #include "src/transport/wire.h"
 
 namespace gemini {
 
 class TcpCacheBackend : public CacheBackend {
  public:
-  struct Options {
-    Duration connect_timeout = Seconds(5);
-    /// Per-call socket send/receive timeout (0 = OS default, i.e. block).
-    Duration io_timeout = Seconds(30);
-    /// Redial automatically on the first call after a connection drop.
-    bool auto_reconnect = true;
-  };
+  using Options = TcpConnection::Options;
 
   TcpCacheBackend(std::string host, uint16_t port)
-      : TcpCacheBackend(std::move(host), port, Options()) {}
-  TcpCacheBackend(std::string host, uint16_t port, Options options);
+      : TcpCacheBackend(std::move(host), port, wire::kAnyInstance,
+                        Options()) {}
+  TcpCacheBackend(std::string host, uint16_t port, Options options)
+      : TcpCacheBackend(std::move(host), port, wire::kAnyInstance, options) {}
+  /// Targets a specific instance on a multi-instance server; the HELLO
+  /// handshake fails with kWrongInstance when the server does not host it.
+  TcpCacheBackend(std::string host, uint16_t port,
+                  InstanceId target_instance, Options options = Options());
   ~TcpCacheBackend() override;
 
   TcpCacheBackend(const TcpCacheBackend&) = delete;
   TcpCacheBackend& operator=(const TcpCacheBackend&) = delete;
 
   /// Dials and runs the HELLO handshake. Idempotent; kUnavailable when the
-  /// server cannot be reached, kInternal on a protocol-version mismatch.
+  /// server cannot be reached, kWrongInstance when it does not host the
+  /// target instance, kInternal on a protocol-version mismatch.
   Status Connect();
+  /// Closes the underlying (possibly shared) socket; sharers redial on
+  /// their next call.
   void Disconnect();
   [[nodiscard]] bool connected() const;
 
@@ -81,6 +93,9 @@ class TcpCacheBackend : public CacheBackend {
   // ---- Wire-only extras -----------------------------------------------------
 
   Status Ping();
+  /// The instance ids the remote server hosts (discovery for tools and
+  /// cluster bring-up).
+  Result<std::vector<InstanceId>> ListInstances();
   /// The remote instance's latest observed configuration id.
   Result<ConfigId> RemoteConfigId();
   /// Advances the remote instance's latest observed configuration id.
@@ -89,34 +104,19 @@ class TcpCacheBackend : public CacheBackend {
   Result<CacheValue> DirtyListGet(ConfigId config_id, FragmentId fragment);
   Status DirtyListAppend(ConfigId config_id, FragmentId fragment,
                          std::string_view record);
-  /// Asks the server to persist a snapshot. `path` is honored only when the
-  /// server allows remote paths; empty uses the server's configured target.
+  /// Asks the server to persist a snapshot of the bound instance. `path`
+  /// is honored only when the server allows remote paths; empty uses the
+  /// server's configured per-instance target.
   Status TriggerSnapshot(std::string_view path = {});
 
  private:
-  /// Sends one request and decodes the response; requires mu_ held.
-  /// `resp_body` receives the response payload of a kOk reply; a non-ok
-  /// reply becomes the returned Status (message from the body blob).
-  Status TransactLocked(wire::Op op, std::string_view body,
-                        std::string* resp_body);
-  Status ConnectLocked();
-  Status EnsureConnectedLocked();
-  void DisconnectLocked();
-  Status SendAllLocked(std::string_view bytes);
-  /// Reads until one full frame is buffered; outputs its tag and body.
-  Status ReadFrameLocked(uint8_t* tag, std::string* body);
+  /// One round trip over the shared connection.
+  Status Transact(wire::Op op, std::string_view body, std::string* resp_body);
 
   /// Shared guard-rail: keys above the wire limit never leave the client.
   static Status CheckKey(std::string_view key);
 
-  const std::string host_;
-  const uint16_t port_;
-  const Options options_;
-
-  mutable std::mutex mu_;
-  int fd_ = -1;
-  InstanceId remote_id_ = kInvalidInstance;
-  std::string recv_buf_;
+  std::shared_ptr<TcpConnection> conn_;
 };
 
 }  // namespace gemini

@@ -1,0 +1,287 @@
+#include "src/transport/tcp_connection.h"
+
+#include <arpa/inet.h>
+#include <errno.h>
+#include <fcntl.h>
+#include <netdb.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstring>
+#include <unordered_map>
+
+namespace gemini {
+
+namespace {
+
+Status SocketError(const char* what) {
+  return Status(Code::kUnavailable,
+                std::string(what) + ": " + std::strerror(errno));
+}
+
+void SetTimeout(int fd, int optname, Duration d) {
+  if (d <= 0) return;
+  struct timeval tv;
+  tv.tv_sec = d / kSecond;
+  tv.tv_usec = d % kSecond;
+  ::setsockopt(fd, SOL_SOCKET, optname, &tv, sizeof(tv));
+}
+
+}  // namespace
+
+TcpConnection::TcpConnection(std::string host, uint16_t port,
+                             InstanceId target_instance, Options options)
+    : host_(std::move(host)),
+      port_(port),
+      target_instance_(target_instance),
+      options_(options) {}
+
+TcpConnection::~TcpConnection() { Disconnect(); }
+
+std::shared_ptr<TcpConnection> TcpConnection::Acquire(
+    const std::string& host, uint16_t port, InstanceId target_instance,
+    const Options& options) {
+  static std::mutex pool_mu;
+  static std::unordered_map<std::string, std::weak_ptr<TcpConnection>>* pool =
+      new std::unordered_map<std::string, std::weak_ptr<TcpConnection>>();
+
+  const std::string key =
+      host + ":" + std::to_string(port) + "#" + std::to_string(target_instance);
+  std::lock_guard<std::mutex> lock(pool_mu);
+  // Prune dead entries so ephemeral test servers don't accumulate.
+  for (auto it = pool->begin(); it != pool->end();) {
+    it = it->second.expired() ? pool->erase(it) : std::next(it);
+  }
+  if (auto existing = (*pool)[key].lock()) return existing;
+  auto conn =
+      std::make_shared<TcpConnection>(host, port, target_instance, options);
+  (*pool)[key] = conn;
+  return conn;
+}
+
+bool TcpConnection::connected() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return fd_ >= 0;
+}
+
+InstanceId TcpConnection::remote_id() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return remote_id_;
+}
+
+Status TcpConnection::Connect() {
+  std::lock_guard<std::mutex> lock(mu_);
+  return ConnectLocked();
+}
+
+void TcpConnection::Disconnect() {
+  std::lock_guard<std::mutex> lock(mu_);
+  DisconnectLocked();
+}
+
+void TcpConnection::DisconnectLocked() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+  recv_buf_.clear();
+}
+
+Status TcpConnection::ConnectLocked() {
+  if (fd_ >= 0) return Status::Ok();
+
+  struct addrinfo hints;
+  std::memset(&hints, 0, sizeof(hints));
+  hints.ai_family = AF_INET;
+  hints.ai_socktype = SOCK_STREAM;
+  struct addrinfo* res = nullptr;
+  const std::string port_str = std::to_string(port_);
+  if (::getaddrinfo(host_.c_str(), port_str.c_str(), &hints, &res) != 0 ||
+      res == nullptr) {
+    return Status(Code::kUnavailable, "cannot resolve " + host_);
+  }
+
+  int fd = ::socket(res->ai_family, res->ai_socktype, res->ai_protocol);
+  if (fd < 0) {
+    ::freeaddrinfo(res);
+    return SocketError("socket");
+  }
+
+  // Non-blocking connect with a poll()-based timeout, then back to blocking
+  // with per-call IO timeouts.
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  ::fcntl(fd, F_SETFL, flags | O_NONBLOCK);
+  int rc = ::connect(fd, res->ai_addr, res->ai_addrlen);
+  ::freeaddrinfo(res);
+  if (rc != 0 && errno != EINPROGRESS) {
+    ::close(fd);
+    return SocketError("connect");
+  }
+  if (rc != 0) {
+    struct pollfd pfd{fd, POLLOUT, 0};
+    const int timeout_ms =
+        static_cast<int>(options_.connect_timeout / kMillisecond);
+    rc = ::poll(&pfd, 1, timeout_ms > 0 ? timeout_ms : -1);
+    int err = 0;
+    socklen_t len = sizeof(err);
+    if (rc <= 0 ||
+        ::getsockopt(fd, SOL_SOCKET, SO_ERROR, &err, &len) != 0 || err != 0) {
+      ::close(fd);
+      return Status(Code::kUnavailable,
+                    "connect to " + host_ + ":" + port_str +
+                        (rc <= 0 ? " timed out" : " refused"));
+    }
+  }
+  ::fcntl(fd, F_SETFL, flags);
+  int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  SetTimeout(fd, SO_RCVTIMEO, options_.io_timeout);
+  SetTimeout(fd, SO_SNDTIMEO, options_.io_timeout);
+  fd_ = fd;
+  recv_buf_.clear();
+
+  // HELLO: version exchange + instance selection. kAnyInstance asks for
+  // the server's default (what a v1 client would have gotten).
+  std::string body;
+  wire::PutU32(body, wire::kProtocolVersion);
+  wire::PutU32(body, target_instance_);
+  std::string resp;
+  Status s = TransactLocked(wire::Op::kHello, body, &resp);
+  if (!s.ok()) {
+    DisconnectLocked();
+    if (s.code() == Code::kInvalidArgument) {
+      return Status(Code::kInternal, "protocol version rejected by server: " +
+                                         s.message());
+    }
+    // kWrongInstance (the server does not host the target) and transport
+    // errors pass through untouched.
+    return s;
+  }
+  wire::Reader r(resp);
+  uint32_t version = 0, instance_id = 0;
+  if (!r.GetU32(&version) || !r.GetU32(&instance_id) || !r.Done() ||
+      version != wire::kProtocolVersion) {
+    DisconnectLocked();
+    return Status(Code::kInternal, "malformed HELLO response");
+  }
+  if (target_instance_ != wire::kAnyInstance &&
+      instance_id != target_instance_) {
+    DisconnectLocked();
+    return Status(Code::kWrongInstance,
+                  "server bound instance " + std::to_string(instance_id) +
+                      ", wanted " + std::to_string(target_instance_));
+  }
+  remote_id_ = instance_id;
+  return Status::Ok();
+}
+
+Status TcpConnection::EnsureConnectedLocked() {
+  if (fd_ >= 0) return Status::Ok();
+  if (!options_.auto_reconnect) {
+    return Status(Code::kUnavailable, "not connected");
+  }
+  return ConnectLocked();
+}
+
+Status TcpConnection::SendAllLocked(std::string_view bytes) {
+  size_t sent = 0;
+  while (sent < bytes.size()) {
+    const ssize_t n = ::send(fd_, bytes.data() + sent, bytes.size() - sent,
+                             MSG_NOSIGNAL);
+    if (n > 0) {
+      sent += static_cast<size_t>(n);
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    return SocketError("send");
+  }
+  return Status::Ok();
+}
+
+Status TcpConnection::ReadFrameLocked(uint8_t* tag, std::string* body) {
+  char buf[64 * 1024];
+  for (;;) {
+    size_t consumed = 0;
+    std::string_view view;
+    const wire::DecodeResult r =
+        wire::DecodeFrame(recv_buf_, &consumed, tag, &view);
+    if (r == wire::DecodeResult::kFrame) {
+      body->assign(view);
+      recv_buf_.erase(0, consumed);
+      return Status::Ok();
+    }
+    if (r == wire::DecodeResult::kMalformed) {
+      return Status(Code::kInternal, "malformed response frame");
+    }
+    const ssize_t n = ::recv(fd_, buf, sizeof(buf), 0);
+    if (n > 0) {
+      recv_buf_.append(buf, static_cast<size_t>(n));
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    if (n == 0) return Status(Code::kUnavailable, "server closed connection");
+    return SocketError("recv");
+  }
+}
+
+Status TcpConnection::Transact(wire::Op op, std::string_view body,
+                               std::string* resp_body) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (Status s = EnsureConnectedLocked(); !s.ok()) return s;
+  return TransactLocked(op, body, resp_body);
+}
+
+Status TcpConnection::TransactLocked(wire::Op op, std::string_view body,
+                                     std::string* resp_body) {
+  std::string frame;
+  frame.reserve(wire::kFrameHeaderLen + body.size());
+  wire::AppendRequest(frame, op, body);
+  Status s = SendAllLocked(frame);
+  uint8_t tag = 0;
+  if (s.ok()) s = ReadFrameLocked(&tag, resp_body);
+  if (!s.ok()) {
+    // The request/response stream is torn (bytes may be half-sent or
+    // half-read); drop the socket so the next call starts clean.
+    DisconnectLocked();
+    return s;
+  }
+  const Code code = wire::CodeFromWire(tag);
+  if (code == Code::kOk) return Status::Ok();
+  // Non-ok reply: the body optionally carries a message blob.
+  wire::Reader r(*resp_body);
+  std::string_view message;
+  if (r.GetBlob(&message) && r.Done() && !message.empty()) {
+    return Status(code, std::string(message));
+  }
+  return Status(code);
+}
+
+Result<std::vector<InstanceId>> TcpConnection::ListInstances() {
+  std::string resp;
+  if (Status s = Transact(wire::Op::kInstanceList, {}, &resp); !s.ok()) {
+    return s;
+  }
+  wire::Reader r(resp);
+  uint32_t count = 0;
+  if (!r.GetU32(&count)) {
+    return Status(Code::kInternal, "malformed INSTANCE_LIST response");
+  }
+  std::vector<InstanceId> ids;
+  ids.reserve(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    uint32_t id = 0;
+    if (!r.GetU32(&id)) {
+      return Status(Code::kInternal, "malformed INSTANCE_LIST response");
+    }
+    ids.push_back(id);
+  }
+  if (!r.Done()) {
+    return Status(Code::kInternal, "malformed INSTANCE_LIST response");
+  }
+  return ids;
+}
+
+}  // namespace gemini

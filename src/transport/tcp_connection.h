@@ -1,0 +1,102 @@
+// TcpConnection: one wire-protocol socket to a geminid, shareable between
+// several TcpCacheBackends.
+//
+// A connection dials, runs the HELLO handshake (naming the target instance
+// when the server hosts several), and then carries a strict
+// request/response alternation; an internal mutex serializes callers, so
+// any number of backends — a GeminiClient's per-instance backend, a
+// recovery worker's, a flusher's — can multiplex one socket. This
+// connection-sharing layer is the stepping stone to request pipelining:
+// once responses are matched to requests instead of strictly alternating,
+// the sharers stop waiting on each other.
+//
+// Sharing is per (host, port, instance): Acquire() hands out a
+// process-wide shared connection for the triple, creating it lazily and
+// dropping it when the last holder releases it. Connection loss maps to
+// kUnavailable — the same code an in-process failed instance returns — and
+// by default the connection redials transparently on the next call.
+#pragma once
+
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "src/common/clock.h"
+#include "src/common/status.h"
+#include "src/common/types.h"
+#include "src/transport/wire.h"
+
+namespace gemini {
+
+class TcpConnection {
+ public:
+  struct Options {
+    Duration connect_timeout = Seconds(5);
+    /// Per-call socket send/receive timeout (0 = OS default, i.e. block).
+    Duration io_timeout = Seconds(30);
+    /// Redial automatically on the first call after a connection drop.
+    bool auto_reconnect = true;
+  };
+
+  /// `target_instance` selects the remote instance in the v2 HELLO;
+  /// kAnyInstance binds the server's default instance.
+  TcpConnection(std::string host, uint16_t port, InstanceId target_instance,
+                Options options);
+  ~TcpConnection();
+
+  TcpConnection(const TcpConnection&) = delete;
+  TcpConnection& operator=(const TcpConnection&) = delete;
+
+  /// Returns the process-wide shared connection for (host, port,
+  /// target_instance), creating it with `options` when no live holder
+  /// exists (an already-live connection keeps its original options).
+  static std::shared_ptr<TcpConnection> Acquire(const std::string& host,
+                                                uint16_t port,
+                                                InstanceId target_instance,
+                                                const Options& options);
+
+  /// Dials and runs the HELLO handshake. Idempotent; kUnavailable when the
+  /// server cannot be reached, kWrongInstance when it does not host the
+  /// target, kInternal on a protocol-version mismatch.
+  Status Connect();
+  /// Closes the socket. Every sharer sees the drop; the next call redials
+  /// (under auto_reconnect).
+  void Disconnect();
+  [[nodiscard]] bool connected() const;
+
+  /// The bound remote instance's id, learned from HELLO (kInvalidInstance
+  /// until the first successful Connect()).
+  [[nodiscard]] InstanceId remote_id() const;
+
+  /// One request/response round trip (connecting first if needed).
+  /// `resp_body` receives the response payload of a kOk reply; a non-ok
+  /// reply becomes the returned Status (message from the body blob).
+  Status Transact(wire::Op op, std::string_view body,
+                  std::string* resp_body);
+
+  /// The instance ids the remote server hosts (wire kInstanceList).
+  Result<std::vector<InstanceId>> ListInstances();
+
+ private:
+  Status TransactLocked(wire::Op op, std::string_view body,
+                        std::string* resp_body);
+  Status ConnectLocked();
+  Status EnsureConnectedLocked();
+  void DisconnectLocked();
+  Status SendAllLocked(std::string_view bytes);
+  /// Reads until one full frame is buffered; outputs its tag and body.
+  Status ReadFrameLocked(uint8_t* tag, std::string* body);
+
+  const std::string host_;
+  const uint16_t port_;
+  const InstanceId target_instance_;
+  const Options options_;
+
+  mutable std::mutex mu_;
+  int fd_ = -1;
+  InstanceId remote_id_ = kInvalidInstance;
+  std::string recv_buf_;
+};
+
+}  // namespace gemini

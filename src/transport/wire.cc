@@ -9,6 +9,7 @@ bool IsKnownOp(uint8_t op) {
   switch (static_cast<Op>(op)) {
     case Op::kHello:
     case Op::kPing:
+    case Op::kInstanceList:
     case Op::kGet:
     case Op::kSet:
     case Op::kDelete:

@@ -8,9 +8,11 @@
 // all integers little-endian. For a request the tag is an opcode (Op below);
 // for a response it is a status code (the wire value of gemini::Code — the
 // enum's numeric values are frozen by this protocol, append-only). A
-// connection starts with a HELLO exchange carrying the protocol version and
-// the server's InstanceId; everything after that is a strict
-// request/response alternation per connection.
+// connection starts with a HELLO exchange carrying the protocol version and,
+// since v2, the instance the client wants to talk to (a geminid hosts many
+// CacheInstances behind one event loop); the server answers with the bound
+// instance's id. Everything after that is a strict request/response
+// alternation per connection.
 //
 // Body grammar (docs/PROTOCOL.md §10 is the normative spec):
 //   key   = u16 len | bytes               (max 64 KiB - 1)
@@ -33,9 +35,20 @@
 namespace gemini {
 namespace wire {
 
-/// Bumped on any incompatible change; HELLO negotiates it (both sides
-/// currently require an exact match).
-inline constexpr uint32_t kProtocolVersion = 1;
+/// Bumped on any incompatible change; HELLO negotiates it. The HELLO body is
+/// append-only across versions (like the status-code space): v1 carries
+/// `u32 version`, v2 appends `u32 instance_id`. A v2 server recognizes a v1
+/// HELLO by its announced version, binds the connection to its default
+/// instance, and answers with version 1, so pre-refactor clients keep
+/// working unchanged.
+inline constexpr uint32_t kProtocolVersion = 2;
+
+/// The lowest HELLO version a server still accepts.
+inline constexpr uint32_t kMinProtocolVersion = 1;
+
+/// Sentinel instance id in a v2 HELLO: "bind me to the server's default
+/// instance" (whatever a v1 client would have gotten).
+inline constexpr InstanceId kAnyInstance = kInvalidInstance;
 
 /// Upper bound on `len`; a peer announcing more is malformed and the
 /// connection is dropped (protects the read buffer from hostile frames).
@@ -49,8 +62,10 @@ inline constexpr size_t kFrameHeaderLen = 5;
 
 enum class Op : uint8_t {
   // Session management.
-  kHello = 0x01,  // u32 version            -> u32 version | u32 instance_id
+  kHello = 0x01,  // u32 version [| u32 instance_id (v2)]
+                  //                        -> u32 version | u32 instance_id
   kPing = 0x02,   // empty                  -> empty
+  kInstanceList = 0x03,  // empty           -> u32 count | count * u32 id
 
   // Plain data ops.
   kGet = 0x10,     // ctx | key              -> value

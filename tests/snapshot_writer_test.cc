@@ -1,0 +1,163 @@
+// SnapshotWriter tests: periodic sweeps actually fire and persist every
+// target, the shutdown path (Stop + final WriteAll — what geminid runs on
+// SIGTERM) leaves authoritative snapshots behind, and concurrent writers
+// never publish a torn file.
+#include "src/cache/snapshot_writer.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/cache/cache_instance.h"
+#include "src/cache/snapshot.h"
+#include "src/common/clock.h"
+
+namespace gemini {
+namespace {
+
+constexpr OpContext kCtx{kInternalConfigId, kInvalidFragment};
+
+class SnapshotWriterTest : public ::testing::Test {
+ protected:
+  std::string TempPath(const std::string& name) {
+    const std::string path = ::testing::TempDir() + "/" + name;
+    std::remove(path.c_str());
+    paths_.push_back(path);
+    return path;
+  }
+
+  void TearDown() override {
+    for (const auto& p : paths_) std::remove(p.c_str());
+  }
+
+  /// Loads `path` into a fresh instance; false when the file is missing or
+  /// torn. The instance stays alive (in restored_) for content checks.
+  bool LoadsCleanly(InstanceId id, const std::string& path,
+                    CacheInstance** out = nullptr) {
+    restored_ = std::make_unique<CacheInstance>(id, &clock_);
+    if (!Snapshot::LoadFromFile(*restored_, path).ok()) return false;
+    if (out != nullptr) *out = restored_.get();
+    return true;
+  }
+
+  VirtualClock clock_;
+  std::vector<std::string> paths_;
+  std::unique_ptr<CacheInstance> restored_;
+};
+
+TEST_F(SnapshotWriterTest, StartRejectsMalformedTargets) {
+  CacheInstance instance(1, &clock_);
+  {
+    SnapshotWriter writer({{nullptr, "x"}}, {});
+    EXPECT_EQ(writer.Start().code(), Code::kInvalidArgument);
+  }
+  {
+    SnapshotWriter writer({{&instance, ""}}, {});
+    EXPECT_EQ(writer.Start().code(), Code::kInvalidArgument);
+  }
+}
+
+TEST_F(SnapshotWriterTest, DisabledIntervalMeansNoThreadButWriteAllWorks) {
+  CacheInstance instance(1, &clock_);
+  const std::string path = TempPath("writer_manual.bin");
+  ASSERT_TRUE(instance.Set(kCtx, "k", CacheValue::OfData("v")).ok());
+
+  SnapshotWriter writer({{&instance, path}}, SnapshotWriter::Options{});
+  ASSERT_TRUE(writer.Start().ok());
+  EXPECT_FALSE(writer.running());
+
+  ASSERT_TRUE(writer.WriteAll().ok());
+  CacheInstance* restored = nullptr;
+  ASSERT_TRUE(LoadsCleanly(1, path, &restored));
+  EXPECT_TRUE(restored->ContainsRaw("k"));
+  EXPECT_EQ(writer.stats().writes_ok, 1u);
+}
+
+TEST_F(SnapshotWriterTest, PeriodicSweepWritesEveryTarget) {
+  CacheInstance a(1, &clock_), b(2, &clock_);
+  const std::string path_a = TempPath("writer_periodic_a.bin");
+  const std::string path_b = TempPath("writer_periodic_b.bin");
+  ASSERT_TRUE(a.Set(kCtx, "ka", CacheValue::OfData("va")).ok());
+  ASSERT_TRUE(b.Set(kCtx, "kb", CacheValue::OfData("vb")).ok());
+
+  SnapshotWriter::Options options;
+  options.interval = Millis(5);
+  SnapshotWriter writer({{&a, path_a}, {&b, path_b}}, options);
+  ASSERT_TRUE(writer.Start().ok());
+  EXPECT_TRUE(writer.running());
+
+  // Wait for at least one full sweep (bounded: ~2s worst case).
+  for (int i = 0; i < 400 && writer.stats().sweeps < 1; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  ASSERT_GE(writer.stats().sweeps, 1u);
+  writer.Stop();
+  EXPECT_FALSE(writer.running());
+
+  CacheInstance* restored = nullptr;
+  ASSERT_TRUE(LoadsCleanly(1, path_a, &restored));
+  EXPECT_TRUE(restored->ContainsRaw("ka"));
+  ASSERT_TRUE(LoadsCleanly(2, path_b, &restored));
+  EXPECT_TRUE(restored->ContainsRaw("kb"));
+}
+
+TEST_F(SnapshotWriterTest, ShutdownPathWritesFinalAuthoritativeSnapshot) {
+  // The geminid SIGTERM sequence: mutate, Stop() the periodic thread, then
+  // WriteAll() — the file on disk must reflect the *latest* state even if
+  // no periodic sweep ever saw it.
+  CacheInstance instance(3, &clock_);
+  const std::string path = TempPath("writer_shutdown.bin");
+  SnapshotWriter::Options options;
+  options.interval = Seconds(3600);  // will never fire during the test
+  SnapshotWriter writer({{&instance, path}}, options);
+  ASSERT_TRUE(writer.Start().ok());
+
+  ASSERT_TRUE(instance.Set(kCtx, "late", CacheValue::OfData("write")).ok());
+  writer.Stop();
+  ASSERT_TRUE(writer.WriteAll().ok());
+
+  CacheInstance* restored = nullptr;
+  ASSERT_TRUE(LoadsCleanly(3, path, &restored));
+  EXPECT_TRUE(restored->ContainsRaw("late"));
+}
+
+TEST_F(SnapshotWriterTest, StopIsIdempotentAndSafeWithoutStart) {
+  CacheInstance instance(1, &clock_);
+  SnapshotWriter writer({{&instance, TempPath("writer_noop.bin")}}, {});
+  writer.Stop();
+  writer.Stop();
+  ASSERT_TRUE(writer.Start().ok());
+  writer.Stop();
+  writer.Stop();
+}
+
+TEST_F(SnapshotWriterTest, ConcurrentWritersNeverPublishATornSnapshot) {
+  // A tiny interval keeps the periodic thread sweeping while the foreground
+  // hammers WriteAll() and mutates the instance; every published file must
+  // load cleanly (rename atomicity + unique temp names).
+  CacheInstance instance(5, &clock_);
+  const std::string path = TempPath("writer_race.bin");
+  SnapshotWriter::Options options;
+  options.interval = Micros(200);
+  SnapshotWriter writer({{&instance, path}}, options);
+  ASSERT_TRUE(writer.Start().ok());
+
+  for (int i = 0; i < 50; ++i) {
+    ASSERT_TRUE(instance
+                    .Set(kCtx, "k" + std::to_string(i),
+                         CacheValue::OfData(std::string(256, 'x')))
+                    .ok());
+    ASSERT_TRUE(writer.WriteAll().ok());
+    ASSERT_TRUE(LoadsCleanly(5, path)) << "torn snapshot at iteration " << i;
+  }
+  writer.Stop();
+  ASSERT_TRUE(writer.WriteAll().ok());
+  EXPECT_TRUE(LoadsCleanly(5, path));
+  EXPECT_EQ(writer.stats().writes_failed, 0u);
+}
+
+}  // namespace
+}  // namespace gemini

@@ -1,30 +1,42 @@
-// geminid: a standalone Gemini cache instance server.
+// geminid: a standalone Gemini cache server.
 //
-// Hosts one CacheInstance behind the wire protocol (docs/PROTOCOL.md §10) so
-// real clients — TcpCacheBackend, and through it an unmodified GeminiClient —
-// can run the paper's protocol over actual sockets instead of the
-// discrete-event cost model. Optional snapshot persistence closes the loop:
-// a geminid killed and restarted with the same --snapshot file comes back
-// with its entries intact, which is exactly the persistent-cache premise
-// Gemini's recovery protocol exists for.
+// Hosts one or more CacheInstances behind a single event loop speaking the
+// wire protocol (docs/PROTOCOL.md §10) so real clients — TcpCacheBackend,
+// and through it an unmodified GeminiClient — can run the paper's protocol
+// over actual sockets instead of the discrete-event cost model. A client
+// names the instance it wants in its HELLO; one geminid can therefore stand
+// in for a whole replica set (e.g. a fragment's primary and secondary) on a
+// laptop. Optional snapshot persistence closes the loop: a geminid killed
+// and restarted with the same snapshot files comes back with its entries
+// intact, which is exactly the persistent-cache premise Gemini's recovery
+// protocol exists for.
 //
 // Usage:
-//   geminid [--port N] [--bind ADDR] [--id N] [--capacity-mb N]
-//           [--snapshot FILE [--snapshot-interval-s N]] [--poll] [--verbose]
+//   geminid [--port N] [--bind ADDR]
+//           [--instance ID[:SNAPSHOT_FILE]]...   (repeatable)
+//           [--capacity-mb N] [--snapshot-interval-s N] [--poll] [--verbose]
+//
+// Single-instance sugar (mutually exclusive with --instance):
+//   geminid [--id N] [--snapshot FILE]
 //
 // SIGINT/SIGTERM shut down gracefully: stop accepting, drain connections,
-// write a final snapshot when one is configured.
+// write a final snapshot for every instance that has one configured.
+#include <cerrno>
 #include <csignal>
 #include <cstdlib>
 #include <cstring>
 #include <iostream>
+#include <memory>
 #include <string>
 #include <thread>
+#include <vector>
 
 #include "src/cache/cache_instance.h"
 #include "src/cache/snapshot.h"
+#include "src/cache/snapshot_writer.h"
 #include "src/common/clock.h"
 #include "src/common/logging.h"
+#include "src/transport/instance_registry.h"
 #include "src/transport/server.h"
 
 namespace {
@@ -38,13 +50,59 @@ void Usage(const char* argv0) {
       << "usage: " << argv0 << " [options]\n"
       << "  --port N               TCP port (default 7311; 0 = ephemeral)\n"
       << "  --bind ADDR            bind address (default 127.0.0.1)\n"
-      << "  --id N                 this instance's InstanceId (default 0)\n"
-      << "  --capacity-mb N        LRU byte budget in MiB (default 0 = "
-         "unbounded)\n"
-      << "  --snapshot FILE        load FILE at boot, write it at shutdown\n"
-      << "  --snapshot-interval-s N  also write FILE every N seconds\n"
+      << "  --instance ID[:FILE]   host instance ID, optionally persisted to\n"
+         "                         snapshot FILE; repeatable, first one is\n"
+         "                         the default for version-1 clients\n"
+      << "  --capacity-mb N        per-instance LRU byte budget in MiB\n"
+         "                         (default 0 = unbounded)\n"
+      << "  --id N                 single-instance sugar for --instance N\n"
+      << "  --snapshot FILE        single-instance sugar: snapshot file for\n"
+         "                         the --id instance\n"
+      << "  --snapshot-interval-s N  write every snapshot file every N "
+         "seconds\n"
       << "  --poll                 use the portable poll(2) loop, not epoll\n"
       << "  --verbose              info-level logging\n";
+}
+
+/// Parses a non-negative integer flag value in [0, max]. Exits with the
+/// offending flag and value on anything else — atoi's silent 0 turned
+/// "--port 8O80" into an ephemeral port, which is exactly the kind of
+/// operator surprise a server binary must not have.
+uint64_t ParseUint(const std::string& flag, const char* value, uint64_t max) {
+  errno = 0;
+  char* end = nullptr;
+  const unsigned long long parsed = std::strtoull(value, &end, 10);
+  if (end == value || *end != '\0' || errno == ERANGE || parsed > max ||
+      value[0] == '-') {
+    std::cerr << "geminid: invalid value '" << value << "' for " << flag
+              << " (expected an integer in [0, " << max << "])\n";
+    std::exit(2);
+  }
+  return static_cast<uint64_t>(parsed);
+}
+
+struct InstanceSpec {
+  gemini::InstanceId id = 0;
+  std::string snapshot_path;
+};
+
+/// Parses "ID" or "ID:SNAPSHOT_FILE".
+InstanceSpec ParseInstanceSpec(const std::string& flag, const char* value) {
+  const std::string spec = value;
+  const size_t colon = spec.find(':');
+  const std::string id_part = spec.substr(0, colon);
+  InstanceSpec out;
+  out.id = static_cast<gemini::InstanceId>(
+      ParseUint(flag, id_part.c_str(), gemini::kInvalidInstance - 1));
+  if (colon != std::string::npos) {
+    out.snapshot_path = spec.substr(colon + 1);
+    if (out.snapshot_path.empty()) {
+      std::cerr << "geminid: invalid value '" << value << "' for " << flag
+                << " (empty snapshot path after ':')\n";
+      std::exit(2);
+    }
+  }
+  return out;
 }
 
 }  // namespace
@@ -52,33 +110,40 @@ void Usage(const char* argv0) {
 int main(int argc, char** argv) {
   uint16_t port = 7311;
   std::string bind_address = "127.0.0.1";
-  gemini::InstanceId instance_id = 0;
   uint64_t capacity_mb = 0;
-  std::string snapshot_path;
-  long snapshot_interval_s = 0;
+  uint64_t snapshot_interval_s = 0;
   bool use_poll = false;
+  std::vector<InstanceSpec> specs;
+  // Single-instance sugar, folded into `specs` after parsing.
+  bool saw_single_flags = false;
+  InstanceSpec single;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     auto next = [&]() -> const char* {
       if (i + 1 >= argc) {
-        std::cerr << arg << " requires a value\n";
+        std::cerr << "geminid: " << arg << " requires a value\n";
         std::exit(2);
       }
       return argv[++i];
     };
     if (arg == "--port") {
-      port = static_cast<uint16_t>(std::atoi(next()));
+      port = static_cast<uint16_t>(ParseUint(arg, next(), 65535));
     } else if (arg == "--bind") {
       bind_address = next();
+    } else if (arg == "--instance") {
+      specs.push_back(ParseInstanceSpec(arg, next()));
     } else if (arg == "--id") {
-      instance_id = static_cast<gemini::InstanceId>(std::atoi(next()));
+      single.id = static_cast<gemini::InstanceId>(
+          ParseUint(arg, next(), gemini::kInvalidInstance - 1));
+      saw_single_flags = true;
     } else if (arg == "--capacity-mb") {
-      capacity_mb = static_cast<uint64_t>(std::atoll(next()));
+      capacity_mb = ParseUint(arg, next(), uint64_t{1} << 40);
     } else if (arg == "--snapshot") {
-      snapshot_path = next();
+      single.snapshot_path = next();
+      saw_single_flags = true;
     } else if (arg == "--snapshot-interval-s") {
-      snapshot_interval_s = std::atol(next());
+      snapshot_interval_s = ParseUint(arg, next(), uint64_t{1} << 31);
     } else if (arg == "--poll") {
       use_poll = true;
     } else if (arg == "--verbose") {
@@ -87,31 +152,53 @@ int main(int argc, char** argv) {
       Usage(argv[0]);
       return 0;
     } else {
-      std::cerr << "unknown option " << arg << "\n";
+      std::cerr << "geminid: unknown option " << arg << "\n";
       Usage(argv[0]);
       return 2;
     }
   }
 
+  if (saw_single_flags && !specs.empty()) {
+    std::cerr << "geminid: --id/--snapshot are single-instance sugar and "
+                 "cannot be combined with --instance\n";
+    return 2;
+  }
+  if (specs.empty()) specs.push_back(single);  // Defaults to instance 0.
+
   gemini::CacheInstance::Options cache_options;
   cache_options.capacity_bytes = capacity_mb << 20;
-  gemini::CacheInstance instance(instance_id,
-                                 &gemini::SystemClock::Global(),
-                                 cache_options);
+  std::vector<std::unique_ptr<gemini::CacheInstance>> instances;
+  gemini::InstanceRegistry registry;
+  std::vector<gemini::SnapshotWriter::Target> snapshot_targets;
+  for (const InstanceSpec& spec : specs) {
+    instances.push_back(std::make_unique<gemini::CacheInstance>(
+        spec.id, &gemini::SystemClock::Global(), cache_options));
+    gemini::CacheInstance& instance = *instances.back();
 
-  if (!snapshot_path.empty()) {
-    gemini::Status s = gemini::Snapshot::LoadFromFile(instance, snapshot_path);
-    if (s.ok()) {
-      std::cout << "geminid: restored " << instance.stats().entry_count
-                << " entries from " << snapshot_path << "\n";
-    } else if (s.code() == gemini::Code::kNotFound) {
-      std::cout << "geminid: no snapshot at " << snapshot_path
-                << ", starting empty\n";
-    } else {
-      // Fail closed: a torn snapshot must not silently serve stale data.
-      std::cerr << "geminid: refusing corrupt snapshot " << snapshot_path
-                << ": " << s.ToString() << "\n";
-      return 1;
+    if (!spec.snapshot_path.empty()) {
+      gemini::Status s =
+          gemini::Snapshot::LoadFromFile(instance, spec.snapshot_path);
+      if (s.ok()) {
+        std::cout << "geminid: instance " << spec.id << " restored "
+                  << instance.stats().entry_count << " entries from "
+                  << spec.snapshot_path << "\n";
+      } else if (s.code() == gemini::Code::kNotFound) {
+        std::cout << "geminid: instance " << spec.id << " has no snapshot at "
+                  << spec.snapshot_path << ", starting empty\n";
+      } else {
+        // Fail closed: a torn snapshot must not silently serve stale data.
+        std::cerr << "geminid: refusing corrupt snapshot "
+                  << spec.snapshot_path << ": " << s.ToString() << "\n";
+        return 1;
+      }
+      snapshot_targets.push_back({&instance, spec.snapshot_path});
+    }
+
+    gemini::InstanceOptions iopts;
+    iopts.snapshot_path = spec.snapshot_path;
+    if (gemini::Status s = registry.Add(&instance, iopts); !s.ok()) {
+      std::cerr << "geminid: " << s.ToString() << "\n";
+      return 2;
     }
   }
 
@@ -119,47 +206,53 @@ int main(int argc, char** argv) {
   options.bind_address = bind_address;
   options.port = port;
   options.use_poll_fallback = use_poll;
-  options.snapshot_path = snapshot_path;
-  gemini::TransportServer server(&instance, options);
+  gemini::TransportServer server(std::move(registry), options);
   if (gemini::Status s = server.Start(); !s.ok()) {
     std::cerr << "geminid: " << s.ToString() << "\n";
     return 1;
   }
-  std::cout << "geminid: instance " << instance_id << " serving on "
-            << bind_address << ":" << server.port() << std::endl;
+  {
+    std::string ids;
+    for (const InstanceSpec& spec : specs) {
+      if (!ids.empty()) ids += ",";
+      ids += std::to_string(spec.id);
+    }
+    std::cout << "geminid: instances " << ids << " serving on " << bind_address
+              << ":" << server.port() << std::endl;
+  }
 
   std::signal(SIGINT, HandleSignal);
   std::signal(SIGTERM, HandleSignal);
 
-  const gemini::Timestamp interval =
+  gemini::SnapshotWriter::Options writer_options;
+  writer_options.interval =
       gemini::Seconds(static_cast<double>(snapshot_interval_s));
-  gemini::Timestamp last_snapshot = gemini::SystemClock::Global().Now();
+  gemini::SnapshotWriter writer(snapshot_targets, writer_options);
+  if (gemini::Status s = writer.Start(); !s.ok()) {
+    std::cerr << "geminid: " << s.ToString() << "\n";
+    server.Stop();
+    return 1;
+  }
+
   while (g_shutdown == 0) {
     std::this_thread::sleep_for(std::chrono::milliseconds(100));
-    if (!snapshot_path.empty() && interval > 0) {
-      const gemini::Timestamp now = gemini::SystemClock::Global().Now();
-      if (now - last_snapshot >= interval) {
-        last_snapshot = now;
-        gemini::Status s =
-            gemini::Snapshot::WriteToFile(instance, snapshot_path);
-        if (!s.ok()) {
-          std::cerr << "geminid: periodic snapshot failed: " << s.ToString()
-                    << "\n";
-        }
-      }
-    }
   }
 
   std::cout << "geminid: shutting down\n";
+  // Order matters: stop accepting work, stop the periodic writer (an
+  // in-flight sweep completes, never tears), then write the final
+  // authoritative snapshots with everything quiesced.
   server.Stop();
-  if (!snapshot_path.empty()) {
-    gemini::Status s = gemini::Snapshot::WriteToFile(instance, snapshot_path);
-    if (!s.ok()) {
+  writer.Stop();
+  if (!snapshot_targets.empty()) {
+    if (gemini::Status s = writer.WriteAll(); !s.ok()) {
       std::cerr << "geminid: final snapshot failed: " << s.ToString() << "\n";
       return 1;
     }
-    std::cout << "geminid: wrote " << instance.stats().entry_count
-              << " entries to " << snapshot_path << "\n";
+    for (const auto& target : snapshot_targets) {
+      std::cout << "geminid: wrote " << target.instance->stats().entry_count
+                << " entries to " << target.path << "\n";
+    }
   }
   return 0;
 }
