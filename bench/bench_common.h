@@ -17,6 +17,8 @@
 #include <cstring>
 #include <memory>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "src/sim/cluster_sim.h"
 #include "src/workload/facebook.h"
@@ -50,6 +52,61 @@ inline void PrintHeader(const char* id, const char* title) {
 
 inline void PrintClaim(const char* paper, const char* measured) {
   std::printf("  PAPER:    %s\n  MEASURED: %s\n", paper, measured);
+}
+
+// ---- Machine-readable results (BENCH_*.json) --------------------------------
+//
+// Alongside its human-readable table, a bench can emit its series as a flat
+// JSON document — the format CI smoke-validates and the committed baselines
+// at the repo root (BENCH_<suite>.json) use:
+//
+//   { "bench": "<suite>",
+//     "results": [ { "name": "...", "params": { "k": v, ... },
+//                    "ops_per_sec": ..., "p50_us": ..., "p99_us": ... } ] }
+
+struct BenchResult {
+  std::string name;
+  /// Ordered (key, value) parameter pairs identifying the configuration.
+  std::vector<std::pair<std::string, double>> params;
+  double ops_per_sec = 0;
+  double p50_us = 0;
+  double p99_us = 0;
+};
+
+inline std::string JsonNumber(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.6g", v);
+  return buf;
+}
+
+inline std::string ResultsToJson(const std::string& suite,
+                                 const std::vector<BenchResult>& results) {
+  // Names and param keys are plain identifiers by convention, so no string
+  // escaping is needed here.
+  std::string out = "{\n  \"bench\": \"" + suite + "\",\n  \"results\": [";
+  for (size_t i = 0; i < results.size(); ++i) {
+    const BenchResult& r = results[i];
+    out += i == 0 ? "\n" : ",\n";
+    out += "    {\"name\": \"" + r.name + "\", \"params\": {";
+    for (size_t j = 0; j < r.params.size(); ++j) {
+      if (j > 0) out += ", ";
+      out += "\"" + r.params[j].first + "\": " + JsonNumber(r.params[j].second);
+    }
+    out += "}, \"ops_per_sec\": " + JsonNumber(r.ops_per_sec);
+    out += ", \"p50_us\": " + JsonNumber(r.p50_us);
+    out += ", \"p99_us\": " + JsonNumber(r.p99_us) + "}";
+  }
+  out += "\n  ]\n}\n";
+  return out;
+}
+
+inline bool WriteResultsJson(const std::string& path, const std::string& suite,
+                             const std::vector<BenchResult>& results) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return false;
+  const std::string doc = ResultsToJson(suite, results);
+  const bool wrote = std::fwrite(doc.data(), 1, doc.size(), f) == doc.size();
+  return std::fclose(f) == 0 && wrote;
 }
 
 // ---- The paper's YCSB cluster (Section 5.2), proportionally scaled ----------

@@ -1,0 +1,212 @@
+// bench_transport: throughput and latency of the pipelined TCP transport vs
+// the in-flight window, over loopback against a real TransportServer (the
+// geminid event loop).
+//
+// One closed-loop submitter issues small GETs through TcpConnection's async
+// window: window=1 reproduces the old strict request/response alternation
+// (one frame in flight, one round trip per op), larger windows let the
+// writer coalesce frames into single send(2) calls and the server answer
+// whole bursts per epoll wakeup. Prints an ops/sec + p50/p99 table and
+// writes the machine-readable series (bench_common.h JSON schema) to
+// BENCH_transport.json; the committed file at the repo root is the loopback
+// baseline backing the ROADMAP pipelining claim.
+//
+// Flags: --quick (CI smoke), --full, --ops=N (per window), --value-bytes=B,
+//        --keys=K, --json=PATH.
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <cstdlib>
+#include <cstring>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "src/cache/cache_instance.h"
+#include "src/common/clock.h"
+#include "src/common/histogram.h"
+#include "src/transport/server.h"
+#include "src/transport/tcp_backend.h"
+#include "src/transport/tcp_connection.h"
+#include "src/transport/wire.h"
+
+namespace gemini {
+namespace {
+
+using SteadyClock = std::chrono::steady_clock;
+
+std::string KeyName(size_t k) { return "key" + std::to_string(k); }
+
+struct WindowRun {
+  size_t window = 0;
+  double ops_per_sec = 0;
+  double p50_us = 0;
+  double p99_us = 0;
+  uint64_t errors = 0;
+};
+
+/// Runs `ops` GETs closed-loop at in-flight depth `window` on a fresh
+/// connection (constructed directly, not via the Acquire pool, so every
+/// window size gets its own options).
+WindowRun RunWindow(uint16_t port, size_t window, size_t ops,
+                    const std::vector<std::string>& bodies) {
+  TcpConnection::Options copts;
+  copts.max_inflight = window;
+  TcpConnection conn("127.0.0.1", port, wire::kAnyInstance, copts);
+
+  std::mutex mu;
+  std::condition_variable cv;
+  Histogram hist;
+  uint64_t errors = 0;
+  size_t completed = 0;
+
+  const auto submit_all = [&](size_t n, bool record) {
+    {
+      std::lock_guard<std::mutex> lock(mu);
+      completed = 0;
+    }
+    for (size_t i = 0; i < n; ++i) {
+      const auto start = SteadyClock::now();
+      // SubmitAsync blocks while the window is full, so the submitter is
+      // the closed loop and the connection enforces the depth.
+      conn.SubmitAsync(wire::Op::kGet, bodies[i % bodies.size()],
+                       [&, start, record, n](Status s, std::string) {
+                         const int64_t us =
+                             std::chrono::duration_cast<
+                                 std::chrono::microseconds>(
+                                 SteadyClock::now() - start)
+                                 .count();
+                         std::lock_guard<std::mutex> lock(mu);
+                         if (record) {
+                           hist.Record(us > 0 ? us : 1);
+                           if (!s.ok()) ++errors;
+                         }
+                         if (++completed == n) cv.notify_one();
+                       });
+    }
+    std::unique_lock<std::mutex> lock(mu);
+    cv.wait(lock, [&] { return completed == n; });
+  };
+
+  submit_all(std::min<size_t>(ops / 10 + 1, 2000), /*record=*/false);
+  const auto t0 = SteadyClock::now();
+  submit_all(ops, /*record=*/true);
+  const double secs =
+      std::chrono::duration<double>(SteadyClock::now() - t0).count();
+
+  WindowRun out;
+  out.window = window;
+  out.ops_per_sec = secs > 0 ? static_cast<double>(ops) / secs : 0;
+  out.p50_us = hist.Percentile(0.50);
+  out.p99_us = hist.Percentile(0.99);
+  out.errors = errors;
+  return out;
+}
+
+int Run(int argc, char** argv) {
+  const bench::BenchFlags flags = bench::ParseFlags(argc, argv);
+  size_t ops = flags.full ? 200'000 : 50'000;
+  if (flags.quick) ops = 2'000;
+  size_t value_bytes = 100;
+  size_t num_keys = 1'000;
+  std::string json_path = "BENCH_transport.json";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--ops=", 6) == 0) {
+      ops = std::strtoull(argv[i] + 6, nullptr, 10);
+    } else if (std::strncmp(argv[i], "--value-bytes=", 14) == 0) {
+      value_bytes = std::strtoull(argv[i] + 14, nullptr, 10);
+    } else if (std::strncmp(argv[i], "--keys=", 7) == 0) {
+      num_keys = std::strtoull(argv[i] + 7, nullptr, 10);
+    } else if (std::strncmp(argv[i], "--json=", 7) == 0) {
+      json_path = argv[i] + 7;
+    }
+  }
+  if (ops == 0 || num_keys == 0) {
+    std::fprintf(stderr, "bench_transport: --ops and --keys must be > 0\n");
+    return 2;
+  }
+
+  bench::PrintHeader("bench_transport",
+                     "pipelined TCP transport: ops/sec vs in-flight window "
+                     "(loopback geminid)");
+  std::printf("  ops/window=%zu  value=%zuB  keys=%zu\n\n", ops, value_bytes,
+              num_keys);
+
+  SystemClock& clock = SystemClock::Global();
+  CacheInstance instance(0, &clock);
+  TransportServer server(&instance, TransportServer::Options{});
+  if (Status s = server.Start(); !s.ok()) {
+    std::fprintf(stderr, "server start failed: %s\n", s.ToString().c_str());
+    return 1;
+  }
+
+  // Preload the working set and pre-encode the GET request bodies so the
+  // timed loop measures the transport, not the codec.
+  const OpContext ctx{kInternalConfigId, kInvalidFragment};
+  {
+    TcpCacheBackend seeder("127.0.0.1", server.port());
+    const std::string payload(value_bytes, 'x');
+    for (size_t k = 0; k < num_keys; ++k) {
+      if (Status s = seeder.Set(ctx, KeyName(k), CacheValue::OfData(payload));
+          !s.ok()) {
+        std::fprintf(stderr, "preload failed: %s\n", s.ToString().c_str());
+        return 1;
+      }
+    }
+  }
+  std::vector<std::string> bodies(num_keys);
+  for (size_t k = 0; k < num_keys; ++k) {
+    wire::PutContext(bodies[k], ctx);
+    wire::PutKey(bodies[k], KeyName(k));
+  }
+
+  const std::vector<size_t> windows = {1, 2, 4, 8, 16, 32, 64};
+  std::vector<WindowRun> runs;
+  std::printf("  %8s %12s %10s %10s\n", "window", "ops/sec", "p50 us",
+              "p99 us");
+  uint64_t total_errors = 0;
+  for (const size_t w : windows) {
+    runs.push_back(RunWindow(server.port(), w, ops, bodies));
+    const WindowRun& r = runs.back();
+    std::printf("  %8zu %12.0f %10.1f %10.1f\n", r.window, r.ops_per_sec,
+                r.p50_us, r.p99_us);
+    total_errors += r.errors;
+  }
+  server.Stop();
+  if (total_errors > 0) {
+    std::fprintf(stderr, "bench_transport: %llu ops failed\n",
+                 static_cast<unsigned long long>(total_errors));
+    return 1;
+  }
+
+  double base = 0, at32 = 0;
+  std::vector<bench::BenchResult> results;
+  for (const WindowRun& r : runs) {
+    if (r.window == 1) base = r.ops_per_sec;
+    if (r.window == 32) at32 = r.ops_per_sec;
+    bench::BenchResult br;
+    br.name = "transport_get";
+    br.params = {{"window", static_cast<double>(r.window)},
+                 {"ops", static_cast<double>(ops)},
+                 {"value_bytes", static_cast<double>(value_bytes)},
+                 {"keys", static_cast<double>(num_keys)}};
+    br.ops_per_sec = r.ops_per_sec;
+    br.p50_us = r.p50_us;
+    br.p99_us = r.p99_us;
+    results.push_back(std::move(br));
+  }
+  std::printf("\n  window 32 vs 1 speedup: %.1fx\n",
+              base > 0 ? at32 / base : 0.0);
+  if (!bench::WriteResultsJson(json_path, "transport", results)) {
+    std::fprintf(stderr, "cannot write %s\n", json_path.c_str());
+    return 1;
+  }
+  std::printf("  results written to %s\n", json_path.c_str());
+  return 0;
+}
+
+}  // namespace
+}  // namespace gemini
+
+int main(int argc, char** argv) { return gemini::Run(argc, argv); }

@@ -20,6 +20,7 @@
 #include <optional>
 #include <string>
 #include <string_view>
+#include <vector>
 
 #include "src/common/status.h"
 #include "src/common/types.h"
@@ -65,6 +66,14 @@ struct OpContext {
 inline constexpr ConfigId kInternalConfigId =
     std::numeric_limits<ConfigId>::max();
 
+/// One request of a MultiGet batch. The context travels per key because a
+/// batch may span fragments, and each key validates against its own
+/// fragment's lease and Rejig stamp.
+struct GetRequest {
+  OpContext ctx;
+  std::string key;
+};
+
 /// Result of iqget: either a hit (value set) or a miss. On a miss the
 /// instance attempted to grant an I lease; `i_token` is kNoLease if another
 /// session holds an incompatible lease (caller backs off — surfaced as
@@ -86,6 +95,19 @@ class CacheBackend {
   /// Plain get, no lease on miss.
   virtual Result<CacheValue> Get(const OpContext& ctx,
                                  std::string_view key) = 0;
+
+  /// Batched plain get; results align with `reqs` by index, each the exact
+  /// outcome Get() would have produced. The base implementation loops;
+  /// transports that can pipeline (TcpCacheBackend) override it to issue
+  /// the whole batch as one in-flight burst, turning N round trips into
+  /// roughly one.
+  virtual std::vector<Result<CacheValue>> MultiGet(
+      const std::vector<GetRequest>& reqs) {
+    std::vector<Result<CacheValue>> out;
+    out.reserve(reqs.size());
+    for (const auto& req : reqs) out.push_back(Get(req.ctx, req.key));
+    return out;
+  }
 
   /// Get; on miss, atomically acquire an I lease (or kBackoff).
   virtual Result<IqGetResult> IqGet(const OpContext& ctx,

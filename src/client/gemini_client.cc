@@ -139,6 +139,61 @@ bool GeminiClient::WstActive(FragmentId fragment,
 
 // ---- Read -------------------------------------------------------------------
 
+size_t GeminiClient::WarmUp(Session& session,
+                            const std::vector<std::string>& keys) {
+  ConfigurationPtr cfg = EnsureConfig(session);
+  if (cfg == nullptr) return 0;
+
+  // Group probes by the replica the configuration routes each key to; every
+  // group becomes one MultiGet burst. Recovery-mode fragments are skipped —
+  // their reads must consult the dirty list (Algorithm 1), which the full
+  // Read() below does.
+  std::unordered_map<InstanceId, std::vector<size_t>> by_target;
+  for (size_t i = 0; i < keys.size(); ++i) {
+    const FragmentAssignment& a = cfg->fragment(cfg->FragmentOf(keys[i]));
+    InstanceId target = kInvalidInstance;
+    switch (a.mode) {
+      case FragmentMode::kNormal:
+        target = a.primary;
+        break;
+      case FragmentMode::kTransient:
+        target = a.secondary;
+        break;
+      case FragmentMode::kRecovery:
+        break;
+    }
+    if (target == kInvalidInstance || target >= instances_.size()) continue;
+    by_target[target].push_back(i);
+  }
+
+  size_t already_cached = 0;
+  std::vector<bool> cached(keys.size(), false);
+  for (auto& [target, idxs] : by_target) {
+    std::vector<GetRequest> reqs;
+    reqs.reserve(idxs.size());
+    for (const size_t i : idxs) {
+      session.BillCacheOp(target);
+      reqs.push_back({OpContext{cfg->id(), cfg->FragmentOf(keys[i])},
+                      keys[i]});
+    }
+    auto results = instances_[target]->MultiGet(reqs);
+    for (size_t j = 0; j < idxs.size(); ++j) {
+      if (results[j].ok()) {
+        cached[idxs[j]] = true;
+        ++already_cached;
+      }
+    }
+  }
+
+  // Any key the probe missed — including probes bounced by a configuration
+  // change — takes the full read path, which refreshes the configuration,
+  // fills from the store under an I lease, and falls back as usual.
+  for (size_t i = 0; i < keys.size(); ++i) {
+    if (!cached[i]) (void)Read(session, keys[i]);
+  }
+  return already_cached;
+}
+
 Result<GeminiClient::ReadResult> GeminiClient::Read(Session& session,
                                                     std::string_view key) {
   {

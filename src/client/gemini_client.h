@@ -139,6 +139,15 @@ class GeminiClient {
   /// computes the cache entry, and inserts it for future references.
   Result<ReadResult> Read(Session& session, std::string_view key);
 
+  /// Primes the cache for `keys` (e.g. after a client restart, or ahead of
+  /// an anticipated hot set). Probes the cluster with one batched MultiGet
+  /// per routed replica — over TCP each burst pipelines through the
+  /// connection's in-flight window instead of paying one round trip per
+  /// key — then runs the full Read() path only for the keys the probes did
+  /// not find. Returns how many keys were already cached. Probe lookups do
+  /// not count toward stats(); the fill-in Reads bill and count as usual.
+  size_t WarmUp(Session& session, const std::vector<std::string>& keys);
+
   /// Application write, write-around policy: updates the data store and
   /// invalidates the impacted cache entry under a Q lease. `data` optionally
   /// replaces the record payload (synthetic workloads pass nullopt; only the

@@ -131,39 +131,80 @@ bool RecoveryWorker::Step(Session& session) {
 
   const std::vector<std::string>& keys = t.list.keys();
   size_t processed = 0;
-  while (t.next_key < keys.size() && processed < options_.keys_per_step) {
-    const std::string& key = keys[t.next_key];
-    // A client may have handled this key already (its writes delete dirty
-    // keys); replaying it anyway is idempotent, so no coordination needed.
-    if (options_.overwrite_dirty) {
-      // Algorithm 3 lines 10-17.
+  if (options_.overwrite_dirty) {
+    // Algorithm 3 lines 10-17 (Gemini-O), drained as a phased batch so the
+    // secondary lookups ride one pipelined MultiGet over TCP instead of one
+    // round trip per key. Per key the order ISet_k < Get_k < IqSet_k still
+    // holds — the phases only reorder operations *across* keys, which
+    // Algorithm 3 never sequences — so a client write racing key k after
+    // its ISet voids our I token exactly as in the one-key-at-a-time loop.
+    //
+    // Phase 1: arm every key in the batch with an ISet on the primary.
+    struct Armed {
+      const std::string* key;
+      LeaseToken token;
+    };
+    std::vector<Armed> armed;
+    bool backoff = false, abandoned = false;
+    while (t.next_key < keys.size() && processed < options_.keys_per_step) {
+      const std::string& key = keys[t.next_key];
+      // A client may have handled this key already (its writes delete dirty
+      // keys); replaying it anyway is idempotent, so no coordination needed.
       session.BillCacheOp(t.primary);
       auto iset = pr.ISet(ctx, key);
       if (!iset.ok()) {
         if (iset.code() == Code::kBackoff) {
           // A client session holds a lease on this key — it is taking care
           // of it (Algorithm 1 also deletes + refills dirty keys). Retry the
-          // key on the next step.
-          session.BillBackoff(options_.backoff);
-          return false;
+          // key on the next step; the keys already armed drain below.
+          backoff = true;
+        } else {
+          // kUnavailable (primary failed again, transition (5)) or a config
+          // change: abandon; the coordinator has re-arranged the fragment.
+          abandoned = true;
         }
-        // kUnavailable (primary failed again, transition (5)) or a config
-        // change: abandon; the coordinator has re-arranged the fragment.
-        AbandonTask(session, /*release_red=*/true);
-        return true;
+        break;
       }
+      armed.push_back({&key, *iset});
+      ++t.next_key;
+      ++processed;
+    }
+
+    // Phase 2: fetch every armed key's fresh value from the secondary in
+    // one batch.
+    std::vector<GetRequest> gets;
+    gets.reserve(armed.size());
+    for (const Armed& a : armed) {
       session.BillCacheOp(t.secondary);
-      auto v = instances_.at(t.secondary)->Get(ctx, key);
-      if (v.ok()) {
-        session.BillCacheOp(t.primary);
-        (void)pr.IqSet(ctx, key, *v, *iset);
+      gets.push_back({ctx, *a.key});
+    }
+    auto values = instances_.at(t.secondary)->MultiGet(gets);
+
+    // Phase 3: overwrite (value found) or invalidate (miss / error) on the
+    // primary under the I token from phase 1.
+    for (size_t i = 0; i < armed.size(); ++i) {
+      session.BillCacheOp(t.primary);
+      if (values[i].ok()) {
+        (void)pr.IqSet(ctx, *armed[i].key, std::move(*values[i]),
+                       armed[i].token);
         ++stats_.keys_overwritten;
       } else {
-        session.BillCacheOp(t.primary);
-        (void)pr.IDelete(ctx, key, *iset);
+        (void)pr.IDelete(ctx, *armed[i].key, armed[i].token);
         ++stats_.keys_deleted;
       }
-    } else {
+    }
+
+    if (backoff) {
+      session.BillBackoff(options_.backoff);
+      return false;
+    }
+    if (abandoned) {
+      AbandonTask(session, /*release_red=*/true);
+      return true;
+    }
+  } else {
+    while (t.next_key < keys.size() && processed < options_.keys_per_step) {
+      const std::string& key = keys[t.next_key];
       // Algorithm 3 line 20 (Gemini-I): just delete the dirty key.
       session.BillCacheOp(t.primary);
       Status s = pr.Delete(ctx, key);
@@ -172,9 +213,9 @@ bool RecoveryWorker::Step(Session& session) {
         return true;
       }
       ++stats_.keys_deleted;
+      ++t.next_key;
+      ++processed;
     }
-    ++t.next_key;
-    ++processed;
   }
 
   if (t.next_key >= keys.size()) {

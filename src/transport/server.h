@@ -8,7 +8,11 @@
 //
 // Connection model: accept → mandatory HELLO (version exchange; a v2 HELLO
 // names the target instance, a v1 HELLO gets the registry's default) →
-// strict request/response alternation against the bound instance. Selecting
+// pipelined requests against the bound instance: every complete frame in
+// the read buffer is processed in arrival order and its response appended
+// to the write buffer in that same order, which is the FIFO-per-connection
+// guarantee (docs/PROTOCOL.md §10.6) pipelined clients match responses
+// against. Selecting
 // an instance the registry does not host fails the handshake cleanly: the
 // server answers kWrongInstance, then closes. Each connection owns a read
 // buffer (frames are reassembled across short reads) and a write buffer

@@ -58,6 +58,42 @@ Result<CacheValue> TcpCacheBackend::Get(const OpContext& ctx,
   return value;
 }
 
+std::vector<Result<CacheValue>> TcpCacheBackend::MultiGet(
+    const std::vector<GetRequest>& reqs) {
+  std::vector<Result<CacheValue>> out;
+  out.reserve(reqs.size());
+  std::vector<TcpConnection::BatchRequest> batch;
+  batch.reserve(reqs.size());
+  std::vector<size_t> slot_of;  // out index of each submitted request
+  for (const auto& req : reqs) {
+    if (Status s = CheckKey(req.key); !s.ok()) {
+      // Oversized keys never leave the client; their slots fail locally and
+      // the rest of the batch still ships.
+      out.push_back(std::move(s));
+      continue;
+    }
+    out.push_back(Status(Code::kInternal, "no response"));
+    slot_of.push_back(out.size() - 1);
+    batch.push_back({wire::Op::kGet, CtxKeyBody(req.ctx, req.key)});
+  }
+  std::vector<TcpConnection::BatchResponse> resps = conn_->TransactBatch(batch);
+  for (size_t i = 0; i < resps.size(); ++i) {
+    Result<CacheValue>& slot = out[slot_of[i]];
+    if (!resps[i].status.ok()) {
+      slot = std::move(resps[i].status);
+      continue;
+    }
+    wire::Reader r(resps[i].body);
+    CacheValue value;
+    if (!r.GetValue(&value) || !r.Done()) {
+      slot = Status(Code::kInternal, "malformed GET response");
+    } else {
+      slot = std::move(value);
+    }
+  }
+  return out;
+}
+
 Result<IqGetResult> TcpCacheBackend::IqGet(const OpContext& ctx,
                                            std::string_view key) {
   if (Status s = CheckKey(key); !s.ok()) return s;

@@ -6,9 +6,10 @@
 // what a single-instance geminid serves). The socket itself lives in a
 // shared TcpConnection (src/transport/tcp_connection.h): every backend in
 // the process targeting the same (host, port, instance) multiplexes one
-// connection, serialized request-by-request — so a GeminiClient, a
-// recovery worker, and a flusher pointed at the same instance cost one
-// socket, not three.
+// *pipelined* connection — so a GeminiClient, a recovery worker, and a
+// flusher pointed at the same instance cost one socket, not three, and
+// their requests share the in-flight window instead of waiting on each
+// other's round trips.
 //
 // Every operation is one wire frame and one response frame; connection
 // loss maps to kUnavailable — the same code an in-process failed instance
@@ -63,6 +64,10 @@ class TcpCacheBackend : public CacheBackend {
   // ---- CacheBackend ---------------------------------------------------------
 
   Result<CacheValue> Get(const OpContext& ctx, std::string_view key) override;
+  /// Issues the whole batch as one pipelined burst over the shared
+  /// connection: N gets cost ~1 round trip (window permitting) instead of N.
+  std::vector<Result<CacheValue>> MultiGet(
+      const std::vector<GetRequest>& reqs) override;
   Result<IqGetResult> IqGet(const OpContext& ctx,
                             std::string_view key) override;
   Status IqSet(const OpContext& ctx, std::string_view key, CacheValue value,

@@ -10,6 +10,7 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cstring>
 #include <unordered_map>
 
@@ -30,7 +31,68 @@ void SetTimeout(int fd, int optname, Duration d) {
   ::setsockopt(fd, SOL_SOCKET, optname, &tv, sizeof(tv));
 }
 
+Status SendAllFd(int fd, std::string_view bytes) {
+  size_t sent = 0;
+  while (sent < bytes.size()) {
+    const ssize_t n = ::send(fd, bytes.data() + sent, bytes.size() - sent,
+                             MSG_NOSIGNAL);
+    if (n > 0) {
+      sent += static_cast<size_t>(n);
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    return SocketError("send");
+  }
+  return Status::Ok();
+}
+
+/// Reads from `fd` into `buf` until one full frame is decodable; outputs its
+/// tag and body and erases the consumed bytes. Used only for the synchronous
+/// HELLO exchange, before the connection's reader thread owns the stream.
+Status ReadFrameFd(int fd, std::string& buf, uint8_t* tag, std::string* body) {
+  char chunk[64 * 1024];
+  for (;;) {
+    size_t consumed = 0;
+    std::string_view view;
+    const wire::DecodeResult r = wire::DecodeFrame(buf, &consumed, tag, &view);
+    if (r == wire::DecodeResult::kFrame) {
+      body->assign(view);
+      buf.erase(0, consumed);
+      return Status::Ok();
+    }
+    if (r == wire::DecodeResult::kMalformed) {
+      return Status(Code::kInternal, "malformed response frame");
+    }
+    const ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
+    if (n > 0) {
+      buf.append(chunk, static_cast<size_t>(n));
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    if (n == 0) return Status(Code::kUnavailable, "server closed connection");
+    return SocketError("recv");
+  }
+}
+
+/// Decodes a non-ok response body's optional message blob.
+Status StatusFromError(Code code, std::string_view body) {
+  wire::Reader r(body);
+  std::string_view message;
+  if (r.GetBlob(&message) && r.Done() && !message.empty()) {
+    return Status(code, std::string(message));
+  }
+  return Status(code);
+}
+
 }  // namespace
+
+TcpConnection::Socket::~Socket() {
+  if (fd >= 0) ::close(fd);
+}
+
+void TcpConnection::Socket::ShutdownBoth() const {
+  ::shutdown(fd, SHUT_RDWR);
+}
 
 TcpConnection::TcpConnection(std::string host, uint16_t port,
                              InstanceId target_instance, Options options)
@@ -39,7 +101,17 @@ TcpConnection::TcpConnection(std::string host, uint16_t port,
       target_instance_(target_instance),
       options_(options) {}
 
-TcpConnection::~TcpConnection() { Disconnect(); }
+TcpConnection::~TcpConnection() {
+  std::deque<Completion> victims;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutdown_ = true;
+    victims = TearLocked();
+  }
+  FailAll(victims, "connection destroyed");
+  if (writer_.joinable()) writer_.join();
+  if (reader_.joinable()) reader_.join();
+}
 
 std::shared_ptr<TcpConnection> TcpConnection::Acquire(
     const std::string& host, uint16_t port, InstanceId target_instance,
@@ -64,7 +136,7 @@ std::shared_ptr<TcpConnection> TcpConnection::Acquire(
 
 bool TcpConnection::connected() const {
   std::lock_guard<std::mutex> lock(mu_);
-  return fd_ >= 0;
+  return sock_ != nullptr;
 }
 
 InstanceId TcpConnection::remote_id() const {
@@ -78,20 +150,39 @@ Status TcpConnection::Connect() {
 }
 
 void TcpConnection::Disconnect() {
-  std::lock_guard<std::mutex> lock(mu_);
-  DisconnectLocked();
+  std::deque<Completion> victims;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    victims = TearLocked();
+  }
+  FailAll(victims, "disconnected");
 }
 
-void TcpConnection::DisconnectLocked() {
-  if (fd_ >= 0) {
-    ::close(fd_);
-    fd_ = -1;
+std::deque<TcpConnection::Completion> TcpConnection::TearLocked() {
+  if (sock_ != nullptr) {
+    // Shutdown (not close) interrupts any thread blocked in send/recv; the
+    // fd itself is closed when the last Socket reference drops, so a thread
+    // still holding the epoch can never race fd-number reuse.
+    sock_->ShutdownBoth();
+    sock_.reset();
   }
-  recv_buf_.clear();
+  send_queue_.clear();
+  std::deque<Completion> victims;
+  victims.swap(inflight_);
+  writer_cv_.notify_all();
+  reader_cv_.notify_all();
+  window_cv_.notify_all();
+  return victims;
+}
+
+void TcpConnection::FailAll(std::deque<Completion>& victims,
+                            const std::string& why) {
+  for (auto& done : victims) done(Status(Code::kUnavailable, why), {});
+  victims.clear();
 }
 
 Status TcpConnection::ConnectLocked() {
-  if (fd_ >= 0) return Status::Ok();
+  if (sock_ != nullptr) return Status::Ok();
 
   struct addrinfo hints;
   std::memset(&hints, 0, sizeof(hints));
@@ -140,123 +231,242 @@ Status TcpConnection::ConnectLocked() {
   ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
   SetTimeout(fd, SO_RCVTIMEO, options_.io_timeout);
   SetTimeout(fd, SO_SNDTIMEO, options_.io_timeout);
-  fd_ = fd;
-  recv_buf_.clear();
 
-  // HELLO: version exchange + instance selection. kAnyInstance asks for
-  // the server's default (what a v1 client would have gotten).
+  // HELLO: version exchange + instance selection, run synchronously on this
+  // thread *before* the epoch is published — the reader and writer threads
+  // never see handshake bytes. kAnyInstance asks for the server's default
+  // (what a v1 client would have gotten).
   std::string body;
   wire::PutU32(body, wire::kProtocolVersion);
   wire::PutU32(body, target_instance_);
+  std::string frame;
+  wire::AppendRequest(frame, wire::Op::kHello, body);
+  std::string stream;
+  uint8_t tag = 0;
   std::string resp;
-  Status s = TransactLocked(wire::Op::kHello, body, &resp);
+  Status s = SendAllFd(fd, frame);
+  if (s.ok()) s = ReadFrameFd(fd, stream, &tag, &resp);
   if (!s.ok()) {
-    DisconnectLocked();
-    if (s.code() == Code::kInvalidArgument) {
+    ::close(fd);
+    return s;
+  }
+  if (const Code code = wire::CodeFromWire(tag); code != Code::kOk) {
+    ::close(fd);
+    Status err = StatusFromError(code, resp);
+    if (code == Code::kInvalidArgument) {
       return Status(Code::kInternal, "protocol version rejected by server: " +
-                                         s.message());
+                                         err.message());
     }
     // kWrongInstance (the server does not host the target) and transport
     // errors pass through untouched.
-    return s;
+    return err;
   }
   wire::Reader r(resp);
   uint32_t version = 0, instance_id = 0;
   if (!r.GetU32(&version) || !r.GetU32(&instance_id) || !r.Done() ||
       version != wire::kProtocolVersion) {
-    DisconnectLocked();
+    ::close(fd);
     return Status(Code::kInternal, "malformed HELLO response");
   }
   if (target_instance_ != wire::kAnyInstance &&
       instance_id != target_instance_) {
-    DisconnectLocked();
+    ::close(fd);
     return Status(Code::kWrongInstance,
                   "server bound instance " + std::to_string(instance_id) +
                       ", wanted " + std::to_string(target_instance_));
   }
   remote_id_ = instance_id;
+  sock_ = std::make_shared<Socket>(fd);
+  sock_->recv_buf = std::move(stream);  // bytes the server sent past HELLO
+  if (!threads_started_) {
+    threads_started_ = true;
+    writer_ = std::thread(&TcpConnection::WriterLoop, this);
+    reader_ = std::thread(&TcpConnection::ReaderLoop, this);
+  }
   return Status::Ok();
 }
 
 Status TcpConnection::EnsureConnectedLocked() {
-  if (fd_ >= 0) return Status::Ok();
+  if (sock_ != nullptr) return Status::Ok();
   if (!options_.auto_reconnect) {
     return Status(Code::kUnavailable, "not connected");
   }
   return ConnectLocked();
 }
 
-Status TcpConnection::SendAllLocked(std::string_view bytes) {
-  size_t sent = 0;
-  while (sent < bytes.size()) {
-    const ssize_t n = ::send(fd_, bytes.data() + sent, bytes.size() - sent,
-                             MSG_NOSIGNAL);
-    if (n > 0) {
-      sent += static_cast<size_t>(n);
-      continue;
-    }
-    if (n < 0 && errno == EINTR) continue;
-    return SocketError("send");
+void TcpConnection::SubmitAsync(wire::Op op, std::string_view body,
+                                Completion done) {
+  const size_t window = std::max<size_t>(1, options_.max_inflight);
+  std::unique_lock<std::mutex> lock(mu_);
+  if (Status s = EnsureConnectedLocked(); !s.ok()) {
+    lock.unlock();
+    done(std::move(s), {});
+    return;
   }
-  return Status::Ok();
+  // Backpressure: wait for a window slot on *this* epoch. A teardown while
+  // we wait (sock_ changed or cleared) fails the request instead of silently
+  // enqueuing onto a different connection.
+  const std::shared_ptr<Socket> sock = sock_;
+  window_cv_.wait(lock, [&] {
+    return shutdown_ || sock_ != sock || inflight_.size() < window;
+  });
+  if (shutdown_ || sock_ != sock) {
+    lock.unlock();
+    done(Status(Code::kUnavailable, "connection dropped"), {});
+    return;
+  }
+  wire::AppendRequest(send_queue_, op, body);
+  inflight_.push_back(std::move(done));
+  writer_cv_.notify_one();
+  reader_cv_.notify_one();
 }
 
-Status TcpConnection::ReadFrameLocked(uint8_t* tag, std::string* body) {
-  char buf[64 * 1024];
+void TcpConnection::WriterLoop() {
+  std::unique_lock<std::mutex> lock(mu_);
   for (;;) {
-    size_t consumed = 0;
-    std::string_view view;
-    const wire::DecodeResult r =
-        wire::DecodeFrame(recv_buf_, &consumed, tag, &view);
-    if (r == wire::DecodeResult::kFrame) {
-      body->assign(view);
-      recv_buf_.erase(0, consumed);
-      return Status::Ok();
+    writer_cv_.wait(lock, [&] {
+      return shutdown_ || (sock_ != nullptr && !send_queue_.empty());
+    });
+    if (shutdown_) return;
+    const std::shared_ptr<Socket> sock = sock_;
+    // Write coalescing: take everything queued since the last wakeup and
+    // push it through one send(2) — under load, many small frames ride one
+    // syscall (and one TCP segment, with TCP_NODELAY).
+    std::string out;
+    out.swap(send_queue_);
+    lock.unlock();
+    const Status s = SendAllFd(sock->fd, out);
+    lock.lock();
+    if (!s.ok() && sock_ == sock) {
+      auto victims = TearLocked();
+      lock.unlock();
+      FailAll(victims, s.message());
+      lock.lock();
     }
-    if (r == wire::DecodeResult::kMalformed) {
-      return Status(Code::kInternal, "malformed response frame");
-    }
-    const ssize_t n = ::recv(fd_, buf, sizeof(buf), 0);
-    if (n > 0) {
-      recv_buf_.append(buf, static_cast<size_t>(n));
-      continue;
-    }
-    if (n < 0 && errno == EINTR) continue;
-    if (n == 0) return Status(Code::kUnavailable, "server closed connection");
-    return SocketError("recv");
   }
+}
+
+void TcpConnection::ReaderLoop() {
+  std::unique_lock<std::mutex> lock(mu_);
+  for (;;) {
+    reader_cv_.wait(lock, [&] {
+      return shutdown_ || (sock_ != nullptr && !inflight_.empty());
+    });
+    if (shutdown_) return;
+    const std::shared_ptr<Socket> sock = sock_;
+    // Drain responses while this epoch stays current and requests are in
+    // flight. Responses match requests by position (FIFO per connection,
+    // docs/PROTOCOL.md §10.6).
+    while (!shutdown_ && sock_ == sock && !inflight_.empty()) {
+      size_t consumed = 0;
+      uint8_t tag = 0;
+      std::string_view view;
+      const wire::DecodeResult r =
+          wire::DecodeFrame(sock->recv_buf, &consumed, &tag, &view);
+      if (r == wire::DecodeResult::kFrame) {
+        std::string body(view);
+        sock->recv_buf.erase(0, consumed);
+        Completion done = std::move(inflight_.front());
+        inflight_.pop_front();
+        window_cv_.notify_one();
+        lock.unlock();
+        CompleteFromFrame(done, tag, std::move(body));
+        lock.lock();
+        continue;
+      }
+      if (r == wire::DecodeResult::kMalformed) {
+        // The stream is unparseable; attribute the malformed frame to the
+        // oldest in-flight request and drop everything behind it.
+        auto victims = TearLocked();
+        lock.unlock();
+        if (!victims.empty()) {
+          Completion first = std::move(victims.front());
+          victims.pop_front();
+          first(Status(Code::kInternal, "malformed response frame"), {});
+        }
+        FailAll(victims, "connection dropped after malformed frame");
+        lock.lock();
+        break;
+      }
+      // kNeedMore: block in recv with the lock released so submitters and
+      // Disconnect() stay unblocked; ShutdownBoth() interrupts the call.
+      lock.unlock();
+      char chunk[64 * 1024];
+      const ssize_t n = ::recv(sock->fd, chunk, sizeof(chunk), 0);
+      const int recv_errno = errno;
+      lock.lock();
+      if (sock_ != sock) break;  // torn down while we were blocked
+      if (n > 0) {
+        sock->recv_buf.append(chunk, static_cast<size_t>(n));
+        continue;
+      }
+      if (n < 0 && recv_errno == EINTR) continue;
+      errno = recv_errno;
+      const Status err = (n == 0)
+                             ? Status(Code::kUnavailable,
+                                      "server closed connection")
+                             : SocketError("recv");
+      auto victims = TearLocked();
+      lock.unlock();
+      FailAll(victims, err.message());
+      lock.lock();
+      break;
+    }
+  }
+}
+
+void TcpConnection::CompleteFromFrame(const Completion& done, uint8_t tag,
+                                      std::string body) {
+  const Code code = wire::CodeFromWire(tag);
+  if (code == Code::kOk) {
+    done(Status::Ok(), std::move(body));
+    return;
+  }
+  done(StatusFromError(code, body), {});
 }
 
 Status TcpConnection::Transact(wire::Op op, std::string_view body,
                                std::string* resp_body) {
-  std::lock_guard<std::mutex> lock(mu_);
-  if (Status s = EnsureConnectedLocked(); !s.ok()) return s;
-  return TransactLocked(op, body, resp_body);
+  struct Waiter {
+    std::mutex mu;
+    std::condition_variable cv;
+    bool done = false;
+    Status status = Status::Ok();
+    std::string body;
+  } w;
+  SubmitAsync(op, body, [&w](Status s, std::string b) {
+    std::lock_guard<std::mutex> lk(w.mu);
+    w.status = std::move(s);
+    w.body = std::move(b);
+    w.done = true;
+    w.cv.notify_one();
+  });
+  std::unique_lock<std::mutex> lk(w.mu);
+  w.cv.wait(lk, [&] { return w.done; });
+  if (resp_body != nullptr) *resp_body = std::move(w.body);
+  return w.status;
 }
 
-Status TcpConnection::TransactLocked(wire::Op op, std::string_view body,
-                                     std::string* resp_body) {
-  std::string frame;
-  frame.reserve(wire::kFrameHeaderLen + body.size());
-  wire::AppendRequest(frame, op, body);
-  Status s = SendAllLocked(frame);
-  uint8_t tag = 0;
-  if (s.ok()) s = ReadFrameLocked(&tag, resp_body);
-  if (!s.ok()) {
-    // The request/response stream is torn (bytes may be half-sent or
-    // half-read); drop the socket so the next call starts clean.
-    DisconnectLocked();
-    return s;
+std::vector<TcpConnection::BatchResponse> TcpConnection::TransactBatch(
+    const std::vector<BatchRequest>& reqs) {
+  std::vector<BatchResponse> out(reqs.size());
+  if (reqs.empty()) return out;
+  std::mutex mu;
+  std::condition_variable cv;
+  size_t pending = reqs.size();
+  for (size_t i = 0; i < reqs.size(); ++i) {
+    // Submissions past the window block until earlier responses free slots,
+    // so arbitrarily large batches stream through without growing the queue.
+    SubmitAsync(reqs[i].op, reqs[i].body, [&, i](Status s, std::string b) {
+      std::lock_guard<std::mutex> lk(mu);
+      out[i].status = std::move(s);
+      out[i].body = std::move(b);
+      if (--pending == 0) cv.notify_one();
+    });
   }
-  const Code code = wire::CodeFromWire(tag);
-  if (code == Code::kOk) return Status::Ok();
-  // Non-ok reply: the body optionally carries a message blob.
-  wire::Reader r(*resp_body);
-  std::string_view message;
-  if (r.GetBlob(&message) && r.Done() && !message.empty()) {
-    return Status(code, std::string(message));
-  }
-  return Status(code);
+  std::unique_lock<std::mutex> lk(mu);
+  cv.wait(lk, [&] { return pending == 0; });
+  return out;
 }
 
 Result<std::vector<InstanceId>> TcpConnection::ListInstances() {

@@ -1,25 +1,33 @@
-// TcpConnection: one wire-protocol socket to a geminid, shareable between
-// several TcpCacheBackends.
+// TcpConnection: one pipelined wire-protocol socket to a geminid, shareable
+// between several TcpCacheBackends.
 //
 // A connection dials, runs the HELLO handshake (naming the target instance
-// when the server hosts several), and then carries a strict
-// request/response alternation; an internal mutex serializes callers, so
-// any number of backends — a GeminiClient's per-instance backend, a
-// recovery worker's, a flusher's — can multiplex one socket. This
-// connection-sharing layer is the stepping stone to request pipelining:
-// once responses are matched to requests instead of strictly alternating,
-// the sharers stop waiting on each other.
+// when the server hosts several), and then carries a *pipelined* request
+// stream: callers enqueue (frame, completion) pairs into a bounded in-flight
+// window, a writer thread coalesces everything pending into one send(2), and
+// a reader thread drains responses, completing callers strictly in FIFO
+// order. Response frames carry a status code, not a correlation id, so FIFO
+// completion is the protocol's matching rule — sound because a geminid
+// processes each connection's frames sequentially and replies in submission
+// order (docs/PROTOCOL.md §10.6). Any number of backends — a GeminiClient's
+// per-instance backend, a recovery worker's, a flusher's — multiplex one
+// socket without waiting on each other's round trips.
 //
 // Sharing is per (host, port, instance): Acquire() hands out a
 // process-wide shared connection for the triple, creating it lazily and
-// dropping it when the last holder releases it. Connection loss maps to
-// kUnavailable — the same code an in-process failed instance returns — and
-// by default the connection redials transparently on the next call.
+// dropping it when the last holder releases it. Connection loss fails every
+// in-flight call with kUnavailable — the same code an in-process failed
+// instance returns — and by default the connection redials transparently on
+// the next call.
 #pragma once
 
+#include <condition_variable>
+#include <deque>
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "src/common/clock.h"
@@ -37,6 +45,28 @@ class TcpConnection {
     Duration io_timeout = Seconds(30);
     /// Redial automatically on the first call after a connection drop.
     bool auto_reconnect = true;
+    /// Upper bound on requests in flight (submitted, response pending) on
+    /// this connection. Submitters past the bound block until a slot frees;
+    /// 1 degenerates to the old strict request/response alternation.
+    size_t max_inflight = 32;
+  };
+
+  /// Completion of one submitted request: the response status and, for kOk,
+  /// the response body. Invoked exactly once, on the reader thread (or on
+  /// the submitting thread when the request fails before being enqueued) —
+  /// keep it cheap and never call back into this connection from inside.
+  using Completion = std::function<void(Status, std::string)>;
+
+  /// One request of a pipelined batch.
+  struct BatchRequest {
+    wire::Op op;
+    std::string body;
+  };
+  /// Its response: `status` is kOk with `body` holding the payload, or the
+  /// decoded error (connection loss = kUnavailable).
+  struct BatchResponse {
+    Status status = Status::Ok();
+    std::string body;
   };
 
   /// `target_instance` selects the remote instance in the v2 HELLO;
@@ -60,8 +90,10 @@ class TcpConnection {
   /// server cannot be reached, kWrongInstance when it does not host the
   /// target, kInternal on a protocol-version mismatch.
   Status Connect();
-  /// Closes the socket. Every sharer sees the drop; the next call redials
-  /// (under auto_reconnect).
+  /// Tears the connection down promptly: shuts the socket down out-of-band
+  /// (interrupting reader/writer syscalls mid-flight) and fails every
+  /// in-flight request with kUnavailable. Every sharer sees the drop; the
+  /// next call redials (under auto_reconnect).
   void Disconnect();
   [[nodiscard]] bool connected() const;
 
@@ -69,24 +101,61 @@ class TcpConnection {
   /// until the first successful Connect()).
   [[nodiscard]] InstanceId remote_id() const;
 
+  /// Submits one request into the pipeline (connecting first if needed) and
+  /// returns once it occupies a window slot; `done` fires when its response
+  /// arrives, in FIFO order with every other submission. Blocks while the
+  /// window is full. On connection loss `done` fires with kUnavailable.
+  void SubmitAsync(wire::Op op, std::string_view body, Completion done);
+
   /// One request/response round trip (connecting first if needed).
   /// `resp_body` receives the response payload of a kOk reply; a non-ok
   /// reply becomes the returned Status (message from the body blob).
+  /// Internally a SubmitAsync + wait, so concurrent callers pipeline
+  /// instead of serializing.
   Status Transact(wire::Op op, std::string_view body,
                   std::string* resp_body);
+
+  /// Submits every request back-to-back (one coalesced burst, up to the
+  /// window) and waits for all responses. resp[i] corresponds to reqs[i].
+  std::vector<BatchResponse> TransactBatch(
+      const std::vector<BatchRequest>& reqs);
 
   /// The instance ids the remote server hosts (wire kInstanceList).
   Result<std::vector<InstanceId>> ListInstances();
 
  private:
-  Status TransactLocked(wire::Op op, std::string_view body,
-                        std::string* resp_body);
+  /// One connection epoch: the fd plus the receive buffer of its response
+  /// stream. Epochs are immutable-identity objects handed to the reader and
+  /// writer via shared_ptr, so a reconnect (new epoch) can never mix two
+  /// sockets' bytes, and the fd is closed only when the last reference
+  /// drops — after every thread has stopped issuing syscalls on it.
+  struct Socket {
+    explicit Socket(int fd_in) : fd(fd_in) {}
+    ~Socket();
+    /// Out-of-band interrupt: wakes any thread blocked in send/recv on this
+    /// fd without racing fd reuse (close happens at destruction).
+    void ShutdownBoth() const;
+
+    const int fd;
+    /// Bytes received but not yet decoded. Only the reader thread touches
+    /// it while the epoch is current.
+    std::string recv_buf;
+  };
+
   Status ConnectLocked();
   Status EnsureConnectedLocked();
-  void DisconnectLocked();
-  Status SendAllLocked(std::string_view bytes);
-  /// Reads until one full frame is buffered; outputs its tag and body.
-  Status ReadFrameLocked(uint8_t* tag, std::string* body);
+  /// Drops the current epoch and returns the completions (in-flight and
+  /// queued-unsent) the caller must fail with `why` AFTER unlocking.
+  std::deque<Completion> TearLocked();
+  /// Fails `victims` with (kUnavailable, why); call without holding mu_.
+  static void FailAll(std::deque<Completion>& victims, const std::string& why);
+
+  void WriterLoop();
+  void ReaderLoop();
+  /// Decodes one kOk/error response body into the Status/payload pair the
+  /// completion receives.
+  static void CompleteFromFrame(const Completion& done, uint8_t tag,
+                                std::string body);
 
   const std::string host_;
   const uint16_t port_;
@@ -94,9 +163,25 @@ class TcpConnection {
   const Options options_;
 
   mutable std::mutex mu_;
-  int fd_ = -1;
+  /// Current epoch; nullptr = disconnected.
+  std::shared_ptr<Socket> sock_;
   InstanceId remote_id_ = kInvalidInstance;
-  std::string recv_buf_;
+  /// Encoded request frames accepted but not yet handed to send(2). The
+  /// writer swaps the whole string out, so every frame pending at wakeup
+  /// leaves in one syscall (write coalescing).
+  std::string send_queue_;
+  /// Completions of submitted requests, oldest first — the FIFO the reader
+  /// matches response frames against.
+  std::deque<Completion> inflight_;
+  bool shutdown_ = false;
+  bool threads_started_ = false;
+
+  std::condition_variable writer_cv_;  // work for the writer / teardown
+  std::condition_variable reader_cv_;  // work for the reader / teardown
+  std::condition_variable window_cv_;  // a window slot freed / epoch died
+
+  std::thread writer_;
+  std::thread reader_;
 };
 
 }  // namespace gemini

@@ -11,8 +11,10 @@
 // connection starts with a HELLO exchange carrying the protocol version and,
 // since v2, the instance the client wants to talk to (a geminid hosts many
 // CacheInstances behind one event loop); the server answers with the bound
-// instance's id. Everything after that is a strict request/response
-// alternation per connection.
+// instance's id. After that, requests may be pipelined: a client may have
+// several frames in flight, and the server answers them strictly in arrival
+// order — responses carry no correlation id, so FIFO-per-connection ordering
+// (docs/PROTOCOL.md §10.6) is the matching rule.
 //
 // Body grammar (docs/PROTOCOL.md §10 is the normative spec):
 //   key   = u16 len | bytes               (max 64 KiB - 1)
