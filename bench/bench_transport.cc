@@ -1,18 +1,27 @@
-// bench_transport: throughput and latency of the pipelined TCP transport vs
-// the in-flight window, over loopback against a real TransportServer (the
-// geminid event loop).
+// bench_transport: throughput and latency of the pipelined TCP transport,
+// over loopback against a real TransportServer (the geminid event loops).
 //
-// One closed-loop submitter issues small GETs through TcpConnection's async
-// window: window=1 reproduces the old strict request/response alternation
-// (one frame in flight, one round trip per op), larger windows let the
-// writer coalesce frames into single send(2) calls and the server answer
-// whole bursts per epoll wakeup. Prints an ops/sec + p50/p99 table and
-// writes the machine-readable series (bench_common.h JSON schema) to
-// BENCH_transport.json; the committed file at the repo root is the loopback
-// baseline backing the ROADMAP pipelining claim.
+// Two modes:
 //
-// Flags: --quick (CI smoke), --full, --ops=N (per window), --value-bytes=B,
-//        --keys=K, --json=PATH.
+//  Default — window sweep. One closed-loop submitter issues small GETs
+//  through TcpConnection's async window: window=1 reproduces the old strict
+//  request/response alternation (one frame in flight, one round trip per
+//  op), larger windows let the writer coalesce frames into single send(2)
+//  calls and the server answer whole bursts per epoll wakeup. Writes
+//  BENCH_transport.json; the committed file at the repo root is the
+//  loopback baseline backing the ROADMAP pipelining claim.
+//
+//  --scaling — server scaling sweep. For each event-loop count in {1,2,4},
+//  starts a fresh server with that many loops (and a lock-striped
+//  CacheInstance), drives it with the same number of client connections —
+//  one closed-loop submitter thread each at window 32 — and reports the
+//  aggregate GET throughput. Writes BENCH_server_scaling.json; the params
+//  record `cpus` (hardware threads of the machine that produced the file)
+//  because the loops>1 rows can only beat the loops=1 row when the server
+//  actually has cores to spread across.
+//
+// Flags: --quick (CI smoke), --full, --scaling, --ops=N (per connection),
+//        --value-bytes=B, --keys=K, --json=PATH.
 #include <chrono>
 #include <condition_variable>
 #include <cstdint>
@@ -20,6 +29,7 @@
 #include <cstring>
 #include <mutex>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "bench/bench_common.h"
@@ -38,6 +48,37 @@ using SteadyClock = std::chrono::steady_clock;
 
 std::string KeyName(size_t k) { return "key" + std::to_string(k); }
 
+/// Issues `n` pipelined GETs closed-loop on `conn`, recording latencies and
+/// errors when `record` is set. Returns when every response arrived.
+void SubmitClosedLoop(TcpConnection& conn, size_t n,
+                      const std::vector<std::string>& bodies, bool record,
+                      Histogram& hist, uint64_t& errors) {
+  std::mutex mu;
+  std::condition_variable cv;
+  size_t completed = 0;
+  for (size_t i = 0; i < n; ++i) {
+    const auto start = SteadyClock::now();
+    // SubmitAsync blocks while the window is full, so the submitter is the
+    // closed loop and the connection enforces the depth.
+    conn.SubmitAsync(wire::Op::kGet, bodies[i % bodies.size()],
+                     [&, start, record, n](Status s, std::string) {
+                       const int64_t us =
+                           std::chrono::duration_cast<
+                               std::chrono::microseconds>(SteadyClock::now() -
+                                                          start)
+                               .count();
+                       std::lock_guard<std::mutex> lock(mu);
+                       if (record) {
+                         hist.Record(us > 0 ? us : 1);
+                         if (!s.ok()) ++errors;
+                       }
+                       if (++completed == n) cv.notify_one();
+                     });
+  }
+  std::unique_lock<std::mutex> lock(mu);
+  cv.wait(lock, [&] { return completed == n; });
+}
+
 struct WindowRun {
   size_t window = 0;
   double ops_per_sec = 0;
@@ -55,43 +96,12 @@ WindowRun RunWindow(uint16_t port, size_t window, size_t ops,
   copts.max_inflight = window;
   TcpConnection conn("127.0.0.1", port, wire::kAnyInstance, copts);
 
-  std::mutex mu;
-  std::condition_variable cv;
   Histogram hist;
   uint64_t errors = 0;
-  size_t completed = 0;
-
-  const auto submit_all = [&](size_t n, bool record) {
-    {
-      std::lock_guard<std::mutex> lock(mu);
-      completed = 0;
-    }
-    for (size_t i = 0; i < n; ++i) {
-      const auto start = SteadyClock::now();
-      // SubmitAsync blocks while the window is full, so the submitter is
-      // the closed loop and the connection enforces the depth.
-      conn.SubmitAsync(wire::Op::kGet, bodies[i % bodies.size()],
-                       [&, start, record, n](Status s, std::string) {
-                         const int64_t us =
-                             std::chrono::duration_cast<
-                                 std::chrono::microseconds>(
-                                 SteadyClock::now() - start)
-                                 .count();
-                         std::lock_guard<std::mutex> lock(mu);
-                         if (record) {
-                           hist.Record(us > 0 ? us : 1);
-                           if (!s.ok()) ++errors;
-                         }
-                         if (++completed == n) cv.notify_one();
-                       });
-    }
-    std::unique_lock<std::mutex> lock(mu);
-    cv.wait(lock, [&] { return completed == n; });
-  };
-
-  submit_all(std::min<size_t>(ops / 10 + 1, 2000), /*record=*/false);
+  SubmitClosedLoop(conn, std::min<size_t>(ops / 10 + 1, 2000), bodies,
+                   /*record=*/false, hist, errors);
   const auto t0 = SteadyClock::now();
-  submit_all(ops, /*record=*/true);
+  SubmitClosedLoop(conn, ops, bodies, /*record=*/true, hist, errors);
   const double secs =
       std::chrono::duration<double>(SteadyClock::now() - t0).count();
 
@@ -104,13 +114,181 @@ WindowRun RunWindow(uint16_t port, size_t window, size_t ops,
   return out;
 }
 
+// ---- Server scaling mode ----------------------------------------------------
+
+struct ScalingRun {
+  size_t loops = 0;
+  double ops_per_sec = 0;  // aggregate across all connections
+  double p50_us = 0;
+  double p99_us = 0;
+  uint64_t errors = 0;
+};
+
+/// Starts a fresh `loops`-shard server over a striped instance, preloads the
+/// working set, then drives it with `loops` connections (one submitter
+/// thread each, window `window`, `ops` GETs per connection) released
+/// together so the timed region measures concurrent load on every shard.
+ScalingRun RunScalingPoint(size_t loops, size_t window, size_t ops,
+                           size_t value_bytes, size_t num_keys,
+                           uint32_t stripes,
+                           const std::vector<std::string>& bodies) {
+  SystemClock& clock = SystemClock::Global();
+  CacheInstance::Options copts;
+  copts.num_stripes = stripes;
+  CacheInstance instance(0, &clock, copts);
+  TransportServer::Options sopts;
+  sopts.num_loops = static_cast<uint32_t>(loops);
+  TransportServer server(&instance, sopts);
+  ScalingRun out;
+  out.loops = loops;
+  if (Status s = server.Start(); !s.ok()) {
+    std::fprintf(stderr, "server start failed: %s\n", s.ToString().c_str());
+    out.errors = 1;
+    return out;
+  }
+  {
+    TcpCacheBackend seeder("127.0.0.1", server.port());
+    const OpContext ctx{kInternalConfigId, kInvalidFragment};
+    const std::string payload(value_bytes, 'x');
+    for (size_t k = 0; k < num_keys; ++k) {
+      if (Status s = seeder.Set(ctx, KeyName(k), CacheValue::OfData(payload));
+          !s.ok()) {
+        std::fprintf(stderr, "preload failed: %s\n", s.ToString().c_str());
+        out.errors = 1;
+        return out;
+      }
+    }
+  }
+
+  std::vector<Histogram> hists(loops);
+  std::vector<uint64_t> errors(loops, 0);
+  std::mutex gate_mu;
+  std::condition_variable gate_cv;
+  size_t warmed = 0;
+  bool go = false;
+
+  std::vector<std::thread> clients;
+  clients.reserve(loops);
+  for (size_t c = 0; c < loops; ++c) {
+    clients.emplace_back([&, c] {
+      TcpConnection::Options copts2;
+      copts2.max_inflight = window;
+      TcpConnection conn("127.0.0.1", server.port(), wire::kAnyInstance,
+                         copts2);
+      SubmitClosedLoop(conn, std::min<size_t>(ops / 10 + 1, 2000), bodies,
+                       /*record=*/false, hists[c], errors[c]);
+      {
+        std::unique_lock<std::mutex> lock(gate_mu);
+        if (++warmed == loops) gate_cv.notify_all();
+        gate_cv.wait(lock, [&] { return go; });
+      }
+      SubmitClosedLoop(conn, ops, bodies, /*record=*/true, hists[c],
+                       errors[c]);
+    });
+  }
+
+  // Release every warmed-up client at once and time the concurrent region.
+  std::chrono::steady_clock::time_point t0;
+  {
+    std::unique_lock<std::mutex> lock(gate_mu);
+    gate_cv.wait(lock, [&] { return warmed == loops; });
+    go = true;
+    t0 = SteadyClock::now();
+    gate_cv.notify_all();
+  }
+  for (auto& t : clients) t.join();
+  const double secs =
+      std::chrono::duration<double>(SteadyClock::now() - t0).count();
+  server.Stop();
+
+  Histogram merged;
+  for (size_t c = 0; c < loops; ++c) {
+    merged.Merge(hists[c]);
+    out.errors += errors[c];
+  }
+  out.ops_per_sec =
+      secs > 0 ? static_cast<double>(ops * loops) / secs : 0;
+  out.p50_us = merged.Percentile(0.50);
+  out.p99_us = merged.Percentile(0.99);
+  return out;
+}
+
+int RunScaling(size_t ops, size_t value_bytes, size_t num_keys,
+               const std::string& json_path) {
+  constexpr size_t kWindow = 32;
+  constexpr uint32_t kStripes = 16;
+  bench::PrintHeader("bench_transport --scaling",
+                     "sharded server: aggregate GET ops/sec vs event loops "
+                     "(connections = loops, window 32, loopback geminid)");
+  const unsigned cpus = std::max(1u, std::thread::hardware_concurrency());
+  std::printf("  ops/connection=%zu  value=%zuB  keys=%zu  stripes=%u  "
+              "cpus=%u\n\n",
+              ops, value_bytes, num_keys, kStripes, cpus);
+
+  const OpContext ctx{kInternalConfigId, kInvalidFragment};
+  std::vector<std::string> bodies(num_keys);
+  for (size_t k = 0; k < num_keys; ++k) {
+    wire::PutContext(bodies[k], ctx);
+    wire::PutKey(bodies[k], KeyName(k));
+  }
+
+  const std::vector<size_t> loop_counts = {1, 2, 4};
+  std::vector<ScalingRun> runs;
+  std::printf("  %6s %6s %12s %10s %10s\n", "loops", "conns", "ops/sec",
+              "p50 us", "p99 us");
+  uint64_t total_errors = 0;
+  for (const size_t loops : loop_counts) {
+    runs.push_back(RunScalingPoint(loops, kWindow, ops, value_bytes, num_keys,
+                                   kStripes, bodies));
+    const ScalingRun& r = runs.back();
+    std::printf("  %6zu %6zu %12.0f %10.1f %10.1f\n", r.loops, r.loops,
+                r.ops_per_sec, r.p50_us, r.p99_us);
+    total_errors += r.errors;
+  }
+  if (total_errors > 0) {
+    std::fprintf(stderr, "bench_transport: %llu ops failed\n",
+                 static_cast<unsigned long long>(total_errors));
+    return 1;
+  }
+
+  double base = 0, at4 = 0;
+  std::vector<bench::BenchResult> results;
+  for (const ScalingRun& r : runs) {
+    if (r.loops == 1) base = r.ops_per_sec;
+    if (r.loops == 4) at4 = r.ops_per_sec;
+    bench::BenchResult br;
+    br.name = "server_scaling";
+    br.params = {{"loops", static_cast<double>(r.loops)},
+                 {"connections", static_cast<double>(r.loops)},
+                 {"window", static_cast<double>(kWindow)},
+                 {"ops", static_cast<double>(ops)},
+                 {"value_bytes", static_cast<double>(value_bytes)},
+                 {"keys", static_cast<double>(num_keys)},
+                 {"stripes", static_cast<double>(kStripes)},
+                 {"cpus", static_cast<double>(cpus)}};
+    br.ops_per_sec = r.ops_per_sec;
+    br.p50_us = r.p50_us;
+    br.p99_us = r.p99_us;
+    results.push_back(std::move(br));
+  }
+  std::printf("\n  4 loops vs 1 loop aggregate speedup: %.2fx (on %u cpus)\n",
+              base > 0 ? at4 / base : 0.0, cpus);
+  if (!bench::WriteResultsJson(json_path, "server_scaling", results)) {
+    std::fprintf(stderr, "cannot write %s\n", json_path.c_str());
+    return 1;
+  }
+  std::printf("  results written to %s\n", json_path.c_str());
+  return 0;
+}
+
 int Run(int argc, char** argv) {
   const bench::BenchFlags flags = bench::ParseFlags(argc, argv);
   size_t ops = flags.full ? 200'000 : 50'000;
   if (flags.quick) ops = 2'000;
   size_t value_bytes = 100;
   size_t num_keys = 1'000;
-  std::string json_path = "BENCH_transport.json";
+  bool scaling = false;
+  std::string json_path;
   for (int i = 1; i < argc; ++i) {
     if (std::strncmp(argv[i], "--ops=", 6) == 0) {
       ops = std::strtoull(argv[i] + 6, nullptr, 10);
@@ -120,11 +298,19 @@ int Run(int argc, char** argv) {
       num_keys = std::strtoull(argv[i] + 7, nullptr, 10);
     } else if (std::strncmp(argv[i], "--json=", 7) == 0) {
       json_path = argv[i] + 7;
+    } else if (std::strcmp(argv[i], "--scaling") == 0) {
+      scaling = true;
     }
   }
   if (ops == 0 || num_keys == 0) {
     std::fprintf(stderr, "bench_transport: --ops and --keys must be > 0\n");
     return 2;
+  }
+  if (json_path.empty()) {
+    json_path = scaling ? "BENCH_server_scaling.json" : "BENCH_transport.json";
+  }
+  if (scaling) {
+    return RunScaling(ops, value_bytes, num_keys, json_path);
   }
 
   bench::PrintHeader("bench_transport",
@@ -135,7 +321,9 @@ int Run(int argc, char** argv) {
 
   SystemClock& clock = SystemClock::Global();
   CacheInstance instance(0, &clock);
-  TransportServer server(&instance, TransportServer::Options{});
+  TransportServer::Options sopts;
+  sopts.num_loops = 1;  // the window sweep isolates the client pipeline
+  TransportServer server(&instance, sopts);
   if (Status s = server.Start(); !s.ok()) {
     std::fprintf(stderr, "server start failed: %s\n", s.ToString().c_str());
     return 1;

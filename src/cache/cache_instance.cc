@@ -3,21 +3,50 @@
 #include <algorithm>
 #include <cassert>
 
+#include "src/common/hash.h"
 #include "src/common/logging.h"
 
 namespace gemini {
+
+namespace {
+
+uint32_t RoundUpPow2(uint32_t n) {
+  uint32_t p = 1;
+  while (p < n) p <<= 1;
+  return p;
+}
+
+}  // namespace
 
 CacheInstance::CacheInstance(InstanceId id, const Clock* clock,
                              Options options)
     : id_(id),
       clock_(clock),
       options_(options),
-      leases_(clock, options.lease_options) {}
+      leases_(clock, options.lease_options) {
+  const uint32_t n =
+      RoundUpPow2(std::clamp<uint32_t>(options_.num_stripes, 1, 256));
+  stripes_.reserve(n);
+  for (uint32_t i = 0; i < n; ++i) {
+    stripes_.push_back(std::make_unique<Stripe>());
+  }
+  stripe_mask_ = n - 1;
+  stripe_capacity_ = options_.capacity_bytes == 0
+                         ? 0
+                         : std::max<uint64_t>(1, options_.capacity_bytes / n);
+}
+
+CacheInstance::Stripe& CacheInstance::StripeOf(std::string_view key) const {
+  // Mix the FNV hash before masking: fragment routing uses the same raw hash
+  // modulo the fragment count, and shared factors between that modulus and
+  // the stripe mask would collapse one fragment's keys onto a few stripes.
+  return *stripes_[Mix64(Fnv1a64(key)) & stripe_mask_];
+}
 
 // ---- Availability & persistence emulation ----------------------------------
 
 void CacheInstance::Fail() {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::unique_lock<std::shared_mutex> meta(meta_mu_);
   available_ = false;
 }
 
@@ -28,12 +57,17 @@ void CacheInstance::RecoverPersistent() {
   // (Section 2.3). Gemini assumes the persistent medium retains this much.
   const std::vector<std::string> quarantined = leases_.KeysWithQLeases();
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    // Holding meta exclusively blocks the whole data path (every op takes it
+    // shared first), so the recovery sweep below is one atomic step to
+    // concurrent callers even though stripes are locked one at a time.
+    std::unique_lock<std::shared_mutex> meta(meta_mu_);
     available_ = true;
     for (const auto& key : quarantined) {
-      auto it = table_.find(key);
-      if (it != table_.end()) {
-        EraseLocked(it->second, /*count_as_delete=*/true);
+      Stripe& st = StripeOf(key);
+      std::lock_guard<std::mutex> lock(st.mu);
+      auto it = st.table.find(key);
+      if (it != st.table.end()) {
+        EraseLocked(st, it->second, /*count_as_delete=*/true);
       }
     }
     // Fragment leases did not survive the crash; the coordinator re-grants
@@ -42,31 +76,40 @@ void CacheInstance::RecoverPersistent() {
     // Buffered write-back values are pinned in the persistent payload; the
     // in-memory flush queue is rebuilt from them (the durability payoff of
     // write-back on a persistent cache).
-    pending_flush_.clear();
-    for (const Entry& e : lru_) {
-      if (e.pinned) {
-        pending_flush_.push_back(PendingFlush{e.key, e.value});
+    std::deque<PendingFlush> rebuilt;
+    for (const auto& sp : stripes_) {
+      std::lock_guard<std::mutex> lock(sp->mu);
+      for (const Entry& e : sp->lru) {
+        if (e.pinned) {
+          rebuilt.push_back(PendingFlush{e.key, e.value});
+        }
       }
     }
+    std::lock_guard<std::mutex> flush_lock(flush_mu_);
+    pending_flush_ = std::move(rebuilt);
   }
   leases_.Clear();
 }
 
 void CacheInstance::RecoverVolatile() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    std::unique_lock<std::shared_mutex> meta(meta_mu_);
     available_ = true;
     fragments_.clear();
-    table_.clear();
-    lru_.clear();
+    for (const auto& sp : stripes_) {
+      std::lock_guard<std::mutex> lock(sp->mu);
+      sp->table.clear();
+      sp->lru.clear();
+      sp->used_bytes = 0;
+    }
+    std::lock_guard<std::mutex> flush_lock(flush_mu_);
     pending_flush_.clear();  // volatile cache: buffered writes are LOST
-    used_bytes_ = 0;
   }
   leases_.Clear();
 }
 
 bool CacheInstance::available() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::shared_lock<std::shared_mutex> meta(meta_mu_);
   return available_;
 }
 
@@ -76,37 +119,37 @@ void CacheInstance::GrantFragmentLease(FragmentId fragment,
                                        ConfigId min_valid_config,
                                        Timestamp expiry,
                                        ConfigId latest_config) {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::unique_lock<std::shared_mutex> meta(meta_mu_);
   fragments_[fragment] = FragmentLease{min_valid_config, expiry};
   latest_config_ = std::max(latest_config_, latest_config);
 }
 
 void CacheInstance::RevokeFragmentLease(FragmentId fragment,
                                         ConfigId latest_config) {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::unique_lock<std::shared_mutex> meta(meta_mu_);
   fragments_.erase(fragment);
   latest_config_ = std::max(latest_config_, latest_config);
 }
 
 ConfigId CacheInstance::latest_config_id() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::shared_lock<std::shared_mutex> meta(meta_mu_);
   return latest_config_;
 }
 
 void CacheInstance::ObserveConfigId(ConfigId latest) {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::unique_lock<std::shared_mutex> meta(meta_mu_);
   latest_config_ = std::max(latest_config_, latest);
 }
 
 bool CacheInstance::HoldsFragmentLease(FragmentId fragment) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::shared_lock<std::shared_mutex> meta(meta_mu_);
   auto it = fragments_.find(fragment);
   return it != fragments_.end() && it->second.expiry > clock_->Now();
 }
 
 std::optional<ConfigId> CacheInstance::FragmentLeaseMinValid(
     FragmentId fragment) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::shared_lock<std::shared_mutex> meta(meta_mu_);
   auto it = fragments_.find(fragment);
   if (it == fragments_.end() || it->second.expiry <= clock_->Now()) {
     return std::nullopt;
@@ -115,9 +158,10 @@ std::optional<ConfigId> CacheInstance::FragmentLeaseMinValid(
 }
 
 std::optional<CacheValue> CacheInstance::RawGet(std::string_view key) const {
-  std::lock_guard<std::mutex> lock(mu_);
-  auto it = table_.find(key);
-  if (it == table_.end()) return std::nullopt;
+  Stripe& st = StripeOf(key);
+  std::lock_guard<std::mutex> lock(st.mu);
+  auto it = st.table.find(key);
+  if (it == st.table.end()) return std::nullopt;
   return it->second->value;
 }
 
@@ -127,68 +171,70 @@ uint64_t CacheInstance::ChargeOf(const Entry& e) const {
   return e.key.size() + e.value.charged_bytes + options_.per_entry_overhead;
 }
 
-void CacheInstance::TouchLocked(LruList::iterator it) {
-  lru_.splice(lru_.begin(), lru_, it);
+void CacheInstance::TouchLocked(Stripe& st, LruList::iterator it) {
+  st.lru.splice(st.lru.begin(), st.lru, it);
 }
 
-void CacheInstance::EraseLocked(LruList::iterator it, bool count_as_delete) {
-  used_bytes_ -= ChargeOf(*it);
+void CacheInstance::EraseLocked(Stripe& st, LruList::iterator it,
+                                bool count_as_delete) {
+  st.used_bytes -= ChargeOf(*it);
   if (count_as_delete) {
-    ++counters_.deletes;
+    counters_.deletes.fetch_add(1, std::memory_order_relaxed);
   }
-  table_.erase(std::string_view(it->key));
-  lru_.erase(it);
+  st.table.erase(std::string_view(it->key));
+  st.lru.erase(it);
 }
 
-void CacheInstance::EvictLocked() {
-  if (options_.capacity_bytes == 0) return;
+void CacheInstance::EvictLocked(Stripe& st) {
+  if (stripe_capacity_ == 0) return;
   // Never evict the most recently used entry: it is the one the current
   // operation just wrote. A single entry above capacity therefore survives
   // (memcached instead rejects items above its item-size cap; UpsertLocked
   // applies that rejection for values, and dirty lists stay usable).
   // Pinned entries (buffered write-back values) are skipped: evicting one
   // would lose an acknowledged write.
-  auto victim = lru_.end();
-  while (used_bytes_ > options_.capacity_bytes && victim != lru_.begin()) {
+  auto victim = st.lru.end();
+  while (st.used_bytes > stripe_capacity_ && victim != st.lru.begin()) {
     --victim;
-    if (victim == lru_.begin()) break;  // never the MRU entry
+    if (victim == st.lru.begin()) break;  // never the MRU entry
     if (victim->pinned) continue;
     auto doomed = victim;
     ++victim;  // keep the cursor valid past the erase
-    ++counters_.evictions;
-    EraseLocked(doomed, /*count_as_delete=*/false);
+    counters_.evictions.fetch_add(1, std::memory_order_relaxed);
+    EraseLocked(st, doomed, /*count_as_delete=*/false);
   }
 }
 
-bool CacheInstance::UpsertLocked(std::string_view key, CacheValue value,
-                                 ConfigId cfg) {
-  auto it = table_.find(key);
-  if (it != table_.end()) {
+bool CacheInstance::UpsertLocked(Stripe& st, std::string_view key,
+                                 CacheValue value, ConfigId cfg) {
+  auto it = st.table.find(key);
+  if (it != st.table.end()) {
     Entry& e = *it->second;
-    used_bytes_ -= ChargeOf(e);
+    st.used_bytes -= ChargeOf(e);
     e.value = std::move(value);
     e.config_id = cfg;
-    used_bytes_ += ChargeOf(e);
-    TouchLocked(it->second);
+    st.used_bytes += ChargeOf(e);
+    TouchLocked(st, it->second);
   } else {
     Entry e;
     e.key = std::string(key);
     e.value = std::move(value);
     e.config_id = cfg;
     const uint64_t charge = ChargeOf(e);
-    if (options_.capacity_bytes != 0 && charge > options_.capacity_bytes) {
-      return false;  // Larger than the whole cache: reject, as memcached does.
+    if (stripe_capacity_ != 0 && charge > stripe_capacity_) {
+      return false;  // Larger than the stripe's budget: reject, as memcached
+                     // rejects items above its item-size cap.
     }
-    lru_.push_front(std::move(e));
-    table_.emplace(std::string_view(lru_.front().key), lru_.begin());
-    used_bytes_ += charge;
+    st.lru.push_front(std::move(e));
+    st.table.emplace(std::string_view(st.lru.front().key), st.lru.begin());
+    st.used_bytes += charge;
   }
-  ++counters_.inserts;
-  EvictLocked();
+  counters_.inserts.fetch_add(1, std::memory_order_relaxed);
+  EvictLocked(st);
   return true;
 }
 
-Status CacheInstance::CheckRequestLocked(const OpContext& ctx) const {
+Status CacheInstance::CheckRequestMeta(const OpContext& ctx) const {
   if (!available_) {
     return Status(Code::kUnavailable, "instance down");
   }
@@ -206,29 +252,34 @@ Status CacheInstance::CheckRequestLocked(const OpContext& ctx) const {
   return Status::Ok();
 }
 
-std::unordered_map<std::string_view, CacheInstance::LruList::iterator>::iterator
-CacheInstance::FindValidLocked(const OpContext& ctx, std::string_view key) {
+ConfigId CacheInstance::StampForMeta(const OpContext& ctx) const {
+  return ctx.config_id == kInternalConfigId ? latest_config_ : ctx.config_id;
+}
+
+ConfigId CacheInstance::MinValidMeta(const OpContext& ctx) const {
+  if (ctx.fragment == kInvalidFragment) return 0;
+  auto it = fragments_.find(ctx.fragment);
+  return it == fragments_.end() ? 0 : it->second.min_valid_config;
+}
+
+CacheInstance::Table::iterator CacheInstance::FindValidLocked(
+    Stripe& st, ConfigId min_valid, std::string_view key) {
   // A Q lease that expired un-released forces deletion of the entry
   // (Section 2.3) — apply that before looking the key up.
   if (leases_.ExpireKey(key).delete_entry) {
-    auto stale = table_.find(key);
-    if (stale != table_.end()) {
-      EraseLocked(stale->second, /*count_as_delete=*/true);
+    auto stale = st.table.find(key);
+    if (stale != st.table.end()) {
+      EraseLocked(st, stale->second, /*count_as_delete=*/true);
     }
   }
-  auto it = table_.find(key);
-  if (it == table_.end()) return table_.end();
-  if (ctx.fragment != kInvalidFragment) {
-    auto frag = fragments_.find(ctx.fragment);
-    const ConfigId min_valid =
-        frag == fragments_.end() ? 0 : frag->second.min_valid_config;
-    if (it->second->config_id < min_valid) {
-      // Obsolete under the Rejig rule (Section 3.2.4): written before the
-      // fragment's current minimum-valid configuration — discard lazily.
-      ++counters_.config_discards;
-      EraseLocked(it->second, /*count_as_delete=*/false);
-      return table_.end();
-    }
+  auto it = st.table.find(key);
+  if (it == st.table.end()) return st.table.end();
+  if (it->second->config_id < min_valid) {
+    // Obsolete under the Rejig rule (Section 3.2.4): written before the
+    // fragment's current minimum-valid configuration — discard lazily.
+    counters_.config_discards.fetch_add(1, std::memory_order_relaxed);
+    EraseLocked(st, it->second, /*count_as_delete=*/false);
+    return st.table.end();
   }
   return it;
 }
@@ -237,31 +288,37 @@ CacheInstance::FindValidLocked(const OpContext& ctx, std::string_view key) {
 
 Result<CacheValue> CacheInstance::Get(const OpContext& ctx,
                                       std::string_view key) {
-  std::lock_guard<std::mutex> lock(mu_);
-  if (Status s = CheckRequestLocked(ctx); !s.ok()) return s;
-  auto it = FindValidLocked(ctx, key);
-  if (it == table_.end()) {
-    ++counters_.misses;
+  std::shared_lock<std::shared_mutex> meta(meta_mu_);
+  if (Status s = CheckRequestMeta(ctx); !s.ok()) return s;
+  const ConfigId min_valid = MinValidMeta(ctx);
+  Stripe& st = StripeOf(key);
+  std::lock_guard<std::mutex> lock(st.mu);
+  auto it = FindValidLocked(st, min_valid, key);
+  if (it == st.table.end()) {
+    counters_.misses.fetch_add(1, std::memory_order_relaxed);
     return Status(Code::kNotFound);
   }
-  ++counters_.hits;
-  TouchLocked(it->second);
+  counters_.hits.fetch_add(1, std::memory_order_relaxed);
+  TouchLocked(st, it->second);
   return it->second->value;
 }
 
 Result<IqGetResult> CacheInstance::IqGet(const OpContext& ctx,
                                          std::string_view key) {
-  std::lock_guard<std::mutex> lock(mu_);
-  if (Status s = CheckRequestLocked(ctx); !s.ok()) return s;
-  auto it = FindValidLocked(ctx, key);
-  if (it != table_.end()) {
-    ++counters_.hits;
-    TouchLocked(it->second);
+  std::shared_lock<std::shared_mutex> meta(meta_mu_);
+  if (Status s = CheckRequestMeta(ctx); !s.ok()) return s;
+  const ConfigId min_valid = MinValidMeta(ctx);
+  Stripe& st = StripeOf(key);
+  std::lock_guard<std::mutex> lock(st.mu);
+  auto it = FindValidLocked(st, min_valid, key);
+  if (it != st.table.end()) {
+    counters_.hits.fetch_add(1, std::memory_order_relaxed);
+    TouchLocked(st, it->second);
     IqGetResult r;
     r.value = it->second->value;
     return r;
   }
-  ++counters_.misses;
+  counters_.misses.fetch_add(1, std::memory_order_relaxed);
   Result<LeaseToken> lease = leases_.AcquireI(key);
   if (!lease.ok()) {
     return lease.status();  // kBackoff: another session is filling this key.
@@ -273,33 +330,48 @@ Result<IqGetResult> CacheInstance::IqGet(const OpContext& ctx,
 
 Status CacheInstance::IqSet(const OpContext& ctx, std::string_view key,
                             CacheValue value, LeaseToken token) {
-  std::lock_guard<std::mutex> lock(mu_);
-  if (Status s = CheckRequestLocked(ctx); !s.ok()) return s;
+  std::shared_lock<std::shared_mutex> meta(meta_mu_);
+  if (Status s = CheckRequestMeta(ctx); !s.ok()) return s;
+  const ConfigId cfg = StampForMeta(ctx);
+  Stripe& st = StripeOf(key);
+  std::lock_guard<std::mutex> lock(st.mu);
   if (!leases_.CheckI(key, token)) {
     // Voided by a Q lease or expired: ignore the insert (Section 2.3).
     return Status(Code::kLeaseInvalid);
   }
-  const ConfigId cfg =
-      ctx.config_id == kInternalConfigId ? latest_config_ : ctx.config_id;
-  UpsertLocked(key, std::move(value), cfg);
+  UpsertLocked(st, key, std::move(value), cfg);
+  // The lease table has its own lock, so a concurrent Qareg may have voided
+  // the I lease between the check above and the insert. Re-verify under the
+  // stripe lock and undo the insert if so: the Q-lease holder deletes or
+  // overwrites the entry anyway, and keeping the stale fill would recreate
+  // the very race the I/Q protocol exists to prevent.
+  if (!leases_.CheckI(key, token)) {
+    auto it = st.table.find(key);
+    if (it != st.table.end()) {
+      EraseLocked(st, it->second, /*count_as_delete=*/false);
+    }
+    return Status(Code::kLeaseInvalid);
+  }
   leases_.ReleaseI(key, token);
   return Status::Ok();
 }
 
 Result<LeaseToken> CacheInstance::Qareg(const OpContext& ctx,
                                         std::string_view key) {
-  std::lock_guard<std::mutex> lock(mu_);
-  if (Status s = CheckRequestLocked(ctx); !s.ok()) return s;
+  std::shared_lock<std::shared_mutex> meta(meta_mu_);
+  if (Status s = CheckRequestMeta(ctx); !s.ok()) return s;
   return leases_.AcquireQ(key);
 }
 
 Status CacheInstance::Dar(const OpContext& ctx, std::string_view key,
                           LeaseToken token) {
-  std::lock_guard<std::mutex> lock(mu_);
-  if (Status s = CheckRequestLocked(ctx); !s.ok()) return s;
-  auto it = table_.find(key);
-  if (it != table_.end()) {
-    EraseLocked(it->second, /*count_as_delete=*/true);
+  std::shared_lock<std::shared_mutex> meta(meta_mu_);
+  if (Status s = CheckRequestMeta(ctx); !s.ok()) return s;
+  Stripe& st = StripeOf(key);
+  std::lock_guard<std::mutex> lock(st.mu);
+  auto it = st.table.find(key);
+  if (it != st.table.end()) {
+    EraseLocked(st, it->second, /*count_as_delete=*/true);
   }
   leases_.ReleaseQ(key, token);
   return Status::Ok();
@@ -308,29 +380,33 @@ Status CacheInstance::Dar(const OpContext& ctx, std::string_view key,
 Status CacheInstance::WriteBackInstall(const OpContext& ctx,
                                        std::string_view key, CacheValue value,
                                        LeaseToken token) {
-  std::lock_guard<std::mutex> lock(mu_);
-  if (Status s = CheckRequestLocked(ctx); !s.ok()) return s;
+  std::shared_lock<std::shared_mutex> meta(meta_mu_);
+  if (Status s = CheckRequestMeta(ctx); !s.ok()) return s;
+  const ConfigId cfg = StampForMeta(ctx);
+  Stripe& st = StripeOf(key);
+  std::lock_guard<std::mutex> lock(st.mu);
   if (!leases_.CheckQ(key, token)) {
     return Status(Code::kLeaseInvalid);
   }
-  const ConfigId cfg =
-      ctx.config_id == kInternalConfigId ? latest_config_ : ctx.config_id;
   CacheValue copy = value;
-  if (!UpsertLocked(key, std::move(value), cfg)) {
-    // Larger than the whole cache: the write cannot be buffered; the caller
-    // must fall back to a synchronous policy.
+  if (!UpsertLocked(st, key, std::move(value), cfg)) {
+    // Larger than the stripe's budget: the write cannot be buffered; the
+    // caller must fall back to a synchronous policy.
     return Status(Code::kInvalidArgument, "value larger than cache capacity");
   }
-  auto it = table_.find(key);
+  auto it = st.table.find(key);
   it->second->pinned = true;
-  pending_flush_.push_back(PendingFlush{std::string(key), std::move(copy)});
+  {
+    std::lock_guard<std::mutex> flush_lock(flush_mu_);
+    pending_flush_.push_back(PendingFlush{std::string(key), std::move(copy)});
+  }
   leases_.ReleaseQ(key, token);
   return Status::Ok();
 }
 
 std::vector<CacheInstance::PendingFlush> CacheInstance::TakePendingFlushes(
     size_t max) {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::lock_guard<std::mutex> lock(flush_mu_);
   std::vector<PendingFlush> out;
   while (!pending_flush_.empty() && out.size() < max) {
     out.push_back(std::move(pending_flush_.front()));
@@ -340,88 +416,100 @@ std::vector<CacheInstance::PendingFlush> CacheInstance::TakePendingFlushes(
 }
 
 void CacheInstance::Unpin(std::string_view key, Version version) {
-  std::lock_guard<std::mutex> lock(mu_);
-  auto it = table_.find(key);
-  if (it == table_.end()) return;
+  Stripe& st = StripeOf(key);
+  std::lock_guard<std::mutex> lock(st.mu);
+  auto it = st.table.find(key);
+  if (it == st.table.end()) return;
   // A newer buffered write keeps the pin until its own flush lands.
   if (it->second->value.version <= version) {
     it->second->pinned = false;
   }
-  EvictLocked();
+  EvictLocked(st);
 }
 
 size_t CacheInstance::pending_flush_count() const {
-  std::lock_guard<std::mutex> lock(mu_);
   size_t pinned = 0;
-  for (const Entry& e : lru_) {
-    if (e.pinned) ++pinned;
+  for (const auto& sp : stripes_) {
+    std::lock_guard<std::mutex> lock(sp->mu);
+    for (const Entry& e : sp->lru) {
+      if (e.pinned) ++pinned;
+    }
   }
+  std::lock_guard<std::mutex> lock(flush_mu_);
   return std::max(pinned, pending_flush_.size());
 }
 
 Status CacheInstance::Rar(const OpContext& ctx, std::string_view key,
                           CacheValue value, LeaseToken token) {
-  std::lock_guard<std::mutex> lock(mu_);
-  if (Status s = CheckRequestLocked(ctx); !s.ok()) return s;
+  std::shared_lock<std::shared_mutex> meta(meta_mu_);
+  if (Status s = CheckRequestMeta(ctx); !s.ok()) return s;
+  const ConfigId cfg = StampForMeta(ctx);
+  Stripe& st = StripeOf(key);
+  std::lock_guard<std::mutex> lock(st.mu);
   if (!leases_.CheckQ(key, token)) {
     return Status(Code::kLeaseInvalid);
   }
-  const ConfigId cfg =
-      ctx.config_id == kInternalConfigId ? latest_config_ : ctx.config_id;
-  UpsertLocked(key, std::move(value), cfg);
+  UpsertLocked(st, key, std::move(value), cfg);
   // A synchronous write supersedes any buffered one for this key: the
   // installed value is already committed, so the pin can go (a late flush
   // of the older buffered version is a no-op at the store).
-  auto it = table_.find(key);
-  if (it != table_.end()) it->second->pinned = false;
+  auto it = st.table.find(key);
+  if (it != st.table.end()) it->second->pinned = false;
   leases_.ReleaseQ(key, token);
   return Status::Ok();
 }
 
 Result<LeaseToken> CacheInstance::ISet(const OpContext& ctx,
                                        std::string_view key) {
-  std::lock_guard<std::mutex> lock(mu_);
-  if (Status s = CheckRequestLocked(ctx); !s.ok()) return s;
+  std::shared_lock<std::shared_mutex> meta(meta_mu_);
+  if (Status s = CheckRequestMeta(ctx); !s.ok()) return s;
+  Stripe& st = StripeOf(key);
+  std::lock_guard<std::mutex> lock(st.mu);
   Result<LeaseToken> lease = leases_.AcquireI(key);
   if (!lease.ok()) {
     return lease.status();
   }
-  auto it = table_.find(key);
-  if (it != table_.end()) {
-    EraseLocked(it->second, /*count_as_delete=*/true);
+  auto it = st.table.find(key);
+  if (it != st.table.end()) {
+    EraseLocked(st, it->second, /*count_as_delete=*/true);
   }
   return *lease;
 }
 
 Status CacheInstance::IDelete(const OpContext& ctx, std::string_view key,
                               LeaseToken token) {
-  std::lock_guard<std::mutex> lock(mu_);
-  if (Status s = CheckRequestLocked(ctx); !s.ok()) return s;
-  auto it = table_.find(key);
-  if (it != table_.end()) {
-    EraseLocked(it->second, /*count_as_delete=*/true);
+  std::shared_lock<std::shared_mutex> meta(meta_mu_);
+  if (Status s = CheckRequestMeta(ctx); !s.ok()) return s;
+  Stripe& st = StripeOf(key);
+  std::lock_guard<std::mutex> lock(st.mu);
+  auto it = st.table.find(key);
+  if (it != st.table.end()) {
+    EraseLocked(st, it->second, /*count_as_delete=*/true);
   }
   leases_.ReleaseI(key, token);
   return Status::Ok();
 }
 
 Status CacheInstance::Delete(const OpContext& ctx, std::string_view key) {
-  std::lock_guard<std::mutex> lock(mu_);
-  if (Status s = CheckRequestLocked(ctx); !s.ok()) return s;
-  auto it = table_.find(key);
-  if (it != table_.end()) {
-    EraseLocked(it->second, /*count_as_delete=*/true);
+  std::shared_lock<std::shared_mutex> meta(meta_mu_);
+  if (Status s = CheckRequestMeta(ctx); !s.ok()) return s;
+  Stripe& st = StripeOf(key);
+  std::lock_guard<std::mutex> lock(st.mu);
+  auto it = st.table.find(key);
+  if (it != st.table.end()) {
+    EraseLocked(st, it->second, /*count_as_delete=*/true);
   }
   return Status::Ok();
 }
 
 Status CacheInstance::Set(const OpContext& ctx, std::string_view key,
                           CacheValue value) {
-  std::lock_guard<std::mutex> lock(mu_);
-  if (Status s = CheckRequestLocked(ctx); !s.ok()) return s;
-  const ConfigId cfg =
-      ctx.config_id == kInternalConfigId ? latest_config_ : ctx.config_id;
-  if (!UpsertLocked(key, std::move(value), cfg)) {
+  std::shared_lock<std::shared_mutex> meta(meta_mu_);
+  if (Status s = CheckRequestMeta(ctx); !s.ok()) return s;
+  const ConfigId cfg = StampForMeta(ctx);
+  Stripe& st = StripeOf(key);
+  std::lock_guard<std::mutex> lock(st.mu);
+  if (!UpsertLocked(st, key, std::move(value), cfg)) {
     return Status(Code::kInvalidArgument, "value larger than cache capacity");
   }
   return Status::Ok();
@@ -429,19 +517,21 @@ Status CacheInstance::Set(const OpContext& ctx, std::string_view key,
 
 Status CacheInstance::Cas(const OpContext& ctx, std::string_view key,
                           Version expected, CacheValue value) {
-  std::lock_guard<std::mutex> lock(mu_);
-  if (Status s = CheckRequestLocked(ctx); !s.ok()) return s;
-  auto it = FindValidLocked(ctx, key);
-  if (it == table_.end()) {
-    ++counters_.misses;
+  std::shared_lock<std::shared_mutex> meta(meta_mu_);
+  if (Status s = CheckRequestMeta(ctx); !s.ok()) return s;
+  const ConfigId min_valid = MinValidMeta(ctx);
+  const ConfigId cfg = StampForMeta(ctx);
+  Stripe& st = StripeOf(key);
+  std::lock_guard<std::mutex> lock(st.mu);
+  auto it = FindValidLocked(st, min_valid, key);
+  if (it == st.table.end()) {
+    counters_.misses.fetch_add(1, std::memory_order_relaxed);
     return Status(Code::kNotFound);
   }
   if (it->second->value.version != expected) {
     return Status(Code::kLeaseInvalid, "cas version mismatch");
   }
-  const ConfigId cfg =
-      ctx.config_id == kInternalConfigId ? latest_config_ : ctx.config_id;
-  if (!UpsertLocked(key, std::move(value), cfg)) {
+  if (!UpsertLocked(st, key, std::move(value), cfg)) {
     return Status(Code::kInvalidArgument, "value larger than cache capacity");
   }
   return Status::Ok();
@@ -449,28 +539,29 @@ Status CacheInstance::Cas(const OpContext& ctx, std::string_view key,
 
 Status CacheInstance::Append(const OpContext& ctx, std::string_view key,
                              std::string_view data) {
-  std::lock_guard<std::mutex> lock(mu_);
-  if (Status s = CheckRequestLocked(ctx); !s.ok()) return s;
-  auto it = table_.find(key);
-  if (it == table_.end()) {
+  std::shared_lock<std::shared_mutex> meta(meta_mu_);
+  if (Status s = CheckRequestMeta(ctx); !s.ok()) return s;
+  const ConfigId cfg = StampForMeta(ctx);
+  Stripe& st = StripeOf(key);
+  std::lock_guard<std::mutex> lock(st.mu);
+  auto it = st.table.find(key);
+  if (it == st.table.end()) {
     // memcached-style append would fail here; Gemini relies on create-on-
     // append so that the *marker* (not entry existence) detects evictions.
     CacheValue value = CacheValue::OfData(std::string(data));
-    const ConfigId cfg =
-        ctx.config_id == kInternalConfigId ? latest_config_ : ctx.config_id;
-    if (!UpsertLocked(key, std::move(value), cfg)) {
+    if (!UpsertLocked(st, key, std::move(value), cfg)) {
       return Status(Code::kInvalidArgument, "append larger than capacity");
     }
     return Status::Ok();
   }
   Entry& e = *it->second;
-  used_bytes_ -= ChargeOf(e);
+  st.used_bytes -= ChargeOf(e);
   e.value.data.append(data);
   e.value.charged_bytes = static_cast<uint32_t>(
       std::max<size_t>(e.value.charged_bytes, e.value.data.size()));
-  used_bytes_ += ChargeOf(e);
-  TouchLocked(it->second);
-  EvictLocked();
+  st.used_bytes += ChargeOf(e);
+  TouchLocked(st, it->second);
+  EvictLocked(st);
   return Status::Ok();
 }
 
@@ -478,7 +569,7 @@ Status CacheInstance::Append(const OpContext& ctx, std::string_view key,
 
 Result<LeaseToken> CacheInstance::AcquireRed(std::string_view key) {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    std::shared_lock<std::shared_mutex> meta(meta_mu_);
     if (!available_) return Status(Code::kUnavailable);
   }
   return leases_.AcquireRed(key);
@@ -491,7 +582,7 @@ Status CacheInstance::ReleaseRed(std::string_view key, LeaseToken token) {
 
 Status CacheInstance::RenewRed(std::string_view key, LeaseToken token) {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    std::shared_lock<std::shared_mutex> meta(meta_mu_);
     if (!available_) return Status(Code::kUnavailable);
   }
   return leases_.RenewRed(key, token) ? Status::Ok()
@@ -501,50 +592,75 @@ Status CacheInstance::RenewRed(std::string_view key, LeaseToken token) {
 // ---- Introspection -----------------------------------------------------------------
 
 CacheInstance::Stats CacheInstance::stats() const {
-  std::lock_guard<std::mutex> lock(mu_);
-  Stats s = counters_;
-  s.used_bytes = used_bytes_;
-  s.entry_count = lru_.size();
+  Stats s;
+  s.hits = counters_.hits.load(std::memory_order_relaxed);
+  s.misses = counters_.misses.load(std::memory_order_relaxed);
+  s.inserts = counters_.inserts.load(std::memory_order_relaxed);
+  s.deletes = counters_.deletes.load(std::memory_order_relaxed);
+  s.evictions = counters_.evictions.load(std::memory_order_relaxed);
+  s.config_discards = counters_.config_discards.load(std::memory_order_relaxed);
+  for (const auto& sp : stripes_) {
+    std::lock_guard<std::mutex> lock(sp->mu);
+    s.used_bytes += sp->used_bytes;
+    s.entry_count += sp->lru.size();
+  }
   return s;
 }
 
 void CacheInstance::ResetCounters() {
-  std::lock_guard<std::mutex> lock(mu_);
-  counters_ = Stats{};
+  counters_.hits.store(0, std::memory_order_relaxed);
+  counters_.misses.store(0, std::memory_order_relaxed);
+  counters_.inserts.store(0, std::memory_order_relaxed);
+  counters_.deletes.store(0, std::memory_order_relaxed);
+  counters_.evictions.store(0, std::memory_order_relaxed);
+  counters_.config_discards.store(0, std::memory_order_relaxed);
 }
 
 bool CacheInstance::ContainsRaw(std::string_view key) const {
-  std::lock_guard<std::mutex> lock(mu_);
-  return table_.find(key) != table_.end();
+  Stripe& st = StripeOf(key);
+  std::lock_guard<std::mutex> lock(st.mu);
+  return st.table.find(key) != st.table.end();
 }
 
 std::optional<ConfigId> CacheInstance::RawConfigIdOf(
     std::string_view key) const {
-  std::lock_guard<std::mutex> lock(mu_);
-  auto it = table_.find(key);
-  if (it == table_.end()) return std::nullopt;
+  Stripe& st = StripeOf(key);
+  std::lock_guard<std::mutex> lock(st.mu);
+  auto it = st.table.find(key);
+  if (it == st.table.end()) return std::nullopt;
   return it->second->config_id;
 }
 
 void CacheInstance::ForEachEntry(
     const std::function<void(std::string_view, const CacheValue&, ConfigId,
                              bool)>& fn) const {
-  std::lock_guard<std::mutex> lock(mu_);
-  for (const Entry& e : lru_) {
-    fn(e.key, e.value, e.config_id, e.pinned);
+  // Lock every stripe, in ascending index order, for the whole iteration:
+  // the callback observes one coherent cut of the table even while writers
+  // run on other threads (they block on their stripe until we finish).
+  std::vector<std::unique_lock<std::mutex>> locks;
+  locks.reserve(stripes_.size());
+  for (const auto& sp : stripes_) {
+    locks.emplace_back(sp->mu);
+  }
+  for (const auto& sp : stripes_) {
+    for (const Entry& e : sp->lru) {
+      fn(e.key, e.value, e.config_id, e.pinned);
+    }
   }
 }
 
 Status CacheInstance::RestoreEntry(std::string_view key, CacheValue value,
                                    ConfigId config_id, bool pinned) {
-  std::lock_guard<std::mutex> lock(mu_);
+  Stripe& st = StripeOf(key);
+  std::lock_guard<std::mutex> lock(st.mu);
   CacheValue copy = pinned ? value : CacheValue{};
-  if (!UpsertLocked(key, std::move(value), config_id)) {
+  if (!UpsertLocked(st, key, std::move(value), config_id)) {
     return Status(Code::kInvalidArgument, "entry larger than cache capacity");
   }
   if (pinned) {
-    auto it = table_.find(key);
+    auto it = st.table.find(key);
     it->second->pinned = true;
+    std::lock_guard<std::mutex> flush_lock(flush_mu_);
     pending_flush_.push_back(PendingFlush{std::string(key), std::move(copy)});
   }
   return Status::Ok();

@@ -25,18 +25,37 @@
 //    leases (volatile process state). A volatile cache additionally wipes
 //    content (the VolatileCache baseline).
 //
-// Thread-safe: one mutex guards the table; lease state has its own lock.
+// Thread-safe, with memcached-style lock striping: the key table is
+// partitioned into `Options::num_stripes` independent shards (key-hash →
+// stripe), each owning its own mutex, hash map, LRU list, and byte budget
+// (capacity_bytes / num_stripes). Operations on keys in different stripes
+// run concurrently; operations on one key serialize on its stripe. The
+// read-mostly fragment-lease / config-id / availability state lives under a
+// small shared_mutex taken shared on the data path, op counters are
+// atomics, and the lease table keeps its own internal lock. num_stripes = 1
+// (the default) reproduces the historical single-mutex behaviour exactly,
+// including one global LRU order; with more stripes LRU order and the byte
+// budget are per-stripe, which is the memcached trade: a skewed stripe can
+// evict earlier than a global LRU would.
+//
+// Lock order (never take a later lock while holding an earlier one in
+// reverse): meta (shared_mutex) → stripe mutex (ascending index when taking
+// several) → flush-queue mutex → LeaseTable's internal lock.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <deque>
 #include <functional>
 #include <list>
+#include <memory>
 #include <mutex>
 #include <optional>
+#include <shared_mutex>
 #include <string>
 #include <string_view>
 #include <unordered_map>
+#include <vector>
 
 #include "src/cache/cache_backend.h"
 #include "src/common/clock.h"
@@ -54,6 +73,11 @@ class CacheInstance : public CacheBackend {
     /// Fixed bookkeeping charge per entry, approximating the memcached item
     /// header + hash/LRU pointers.
     uint32_t per_entry_overhead = 56;
+    /// Lock stripes for the key table. Rounded up to a power of two and
+    /// clamped to [1, 256]. 1 (the default) keeps one global mutex + LRU
+    /// list; a multi-core server (geminid --threads N) wants roughly 4x its
+    /// event-loop count so concurrent shards stop convoying on one lock.
+    uint32_t num_stripes = 1;
     LeaseTable::Options lease_options;
   };
 
@@ -233,9 +257,13 @@ class CacheInstance : public CacheBackend {
   [[nodiscard]] std::optional<ConfigId> RawConfigIdOf(
       std::string_view key) const;
 
-  /// Iterates all physically present entries in LRU order (most recent
-  /// first) under the instance lock. The callback must not call back into
-  /// the instance. Used by the snapshot writer.
+  /// Iterates all physically present entries, holding *every* stripe lock
+  /// (taken in fixed ascending order) for the duration — the callback sees
+  /// one coherent cut of the whole table even while writers run on other
+  /// threads. Within a stripe, entries come in LRU order (most recent
+  /// first); stripes are visited in index order, so the cross-stripe order
+  /// is not a global LRU order unless num_stripes == 1. The callback must
+  /// not call back into the instance. Used by the snapshot writer.
   void ForEachEntry(
       const std::function<void(std::string_view key, const CacheValue& value,
                                ConfigId config_id, bool pinned)>& fn) const;
@@ -251,6 +279,11 @@ class CacheInstance : public CacheBackend {
   LeaseTable& leases() { return leases_; }
   const Options& options() const { return options_; }
 
+  /// Effective stripe count after rounding/clamping (diagnostics).
+  [[nodiscard]] uint32_t stripe_count() const {
+    return static_cast<uint32_t>(stripes_.size());
+  }
+
  private:
   struct Entry {
     std::string key;
@@ -261,25 +294,57 @@ class CacheInstance : public CacheBackend {
     bool pinned = false;
   };
   using LruList = std::list<Entry>;
+  using Table = std::unordered_map<std::string_view, LruList::iterator>;
 
-  // All Locked methods require mu_ held.
+  /// One lock-striped shard of the key table: its own mutex, map, LRU list,
+  /// and byte budget (capacity_bytes / num_stripes).
+  struct Stripe {
+    mutable std::mutex mu;
+    LruList lru;  // front = most recently used
+    Table table;
+    uint64_t used_bytes = 0;
+  };
+
+  [[nodiscard]] Stripe& StripeOf(std::string_view key) const;
+
+  // All *Locked methods require the owning stripe's mutex held.
   uint64_t ChargeOf(const Entry& e) const;
-  void TouchLocked(LruList::iterator it);
-  void EraseLocked(LruList::iterator it, bool count_as_delete);
-  void EvictLocked();
-  // Inserts or replaces; returns false if rejected (entry larger than
-  // capacity).
-  bool UpsertLocked(std::string_view key, CacheValue value, ConfigId cfg);
+  void TouchLocked(Stripe& st, LruList::iterator it);
+  void EraseLocked(Stripe& st, LruList::iterator it, bool count_as_delete);
+  void EvictLocked(Stripe& st);
+  // Inserts or replaces; returns false if rejected (entry larger than the
+  // stripe's budget).
+  bool UpsertLocked(Stripe& st, std::string_view key, CacheValue value,
+                    ConfigId cfg);
+  // Looks up the key and applies Rejig validity + Q-expiry actions.
+  // `min_valid` is the fragment's minimum-valid config id (0 = no check),
+  // read from the meta state by the caller. Returns st.table.end() on
+  // miss/invalid.
+  Table::iterator FindValidLocked(Stripe& st, ConfigId min_valid,
+                                  std::string_view key);
+
+  // The following require meta_mu_ held (shared suffices).
   // Validates availability + client config freshness + fragment lease.
-  Status CheckRequestLocked(const OpContext& ctx) const;
-  // Looks up the key and applies Rejig validity + Q-expiry actions. Returns
-  // table_.end() on miss/invalid.
-  std::unordered_map<std::string_view, LruList::iterator>::iterator
-  FindValidLocked(const OpContext& ctx, std::string_view key);
+  Status CheckRequestMeta(const OpContext& ctx) const;
+  // The config id to stamp on an entry written under `ctx`.
+  [[nodiscard]] ConfigId StampForMeta(const OpContext& ctx) const;
+  // The fragment's minimum-valid config id (0 when not fragment-scoped).
+  [[nodiscard]] ConfigId MinValidMeta(const OpContext& ctx) const;
 
   struct FragmentLease {
     ConfigId min_valid_config = 0;
     Timestamp expiry = 0;
+  };
+
+  /// Op counters as atomics so the striped data path never shares a lock
+  /// for bookkeeping; folded into Stats on read.
+  struct Counters {
+    std::atomic<uint64_t> hits{0};
+    std::atomic<uint64_t> misses{0};
+    std::atomic<uint64_t> inserts{0};
+    std::atomic<uint64_t> deletes{0};
+    std::atomic<uint64_t> evictions{0};
+    std::atomic<uint64_t> config_discards{0};
   };
 
   const InstanceId id_;
@@ -287,15 +352,22 @@ class CacheInstance : public CacheBackend {
   Options options_;
   LeaseTable leases_;
 
-  mutable std::mutex mu_;
+  // Read-mostly instance-wide state: availability, fragment leases, and the
+  // memoized latest config id. Shared-locked on the data path, uniquely
+  // locked by the (rare) coordinator-facing mutations.
+  mutable std::shared_mutex meta_mu_;
   bool available_ = true;
   ConfigId latest_config_ = 0;
-  LruList lru_;  // front = most recently used
-  std::unordered_map<std::string_view, LruList::iterator> table_;
   std::unordered_map<FragmentId, FragmentLease> fragments_;
+
+  std::vector<std::unique_ptr<Stripe>> stripes_;
+  uint64_t stripe_mask_ = 0;
+  uint64_t stripe_capacity_ = 0;  // capacity_bytes / num_stripes
+
+  mutable std::mutex flush_mu_;
   std::deque<PendingFlush> pending_flush_;
-  uint64_t used_bytes_ = 0;
-  Stats counters_;
+
+  mutable Counters counters_;
 };
 
 }  // namespace gemini

@@ -1,5 +1,7 @@
 #include "src/transport/instance_registry.h"
 
+#include <iterator>
+
 namespace gemini {
 
 Status InstanceRegistry::Add(CacheInstance* instance,
@@ -39,6 +41,12 @@ std::vector<InstanceId> InstanceRegistry::ids() const {
   out.reserve(entries_.size());
   for (const auto& [id, entry] : entries_) out.push_back(id);
   return out;
+}
+
+size_t InstanceRegistry::IndexOf(InstanceId id) const {
+  const auto it = entries_.find(id);
+  if (it == entries_.end()) return npos;
+  return static_cast<size_t>(std::distance(entries_.begin(), it));
 }
 
 }  // namespace gemini

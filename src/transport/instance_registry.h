@@ -49,6 +49,13 @@ class InstanceRegistry {
   /// All hosted ids, ascending (the kInstanceList response order).
   [[nodiscard]] std::vector<InstanceId> ids() const;
 
+  /// Dense slot index of `id` in ascending-id order, or npos when not
+  /// hosted. Stable for the registry's lifetime (the registry is immutable
+  /// after Start), so per-instance counters can live in flat atomic arrays
+  /// indexed by slot instead of a locked map.
+  static constexpr size_t npos = static_cast<size_t>(-1);
+  [[nodiscard]] size_t IndexOf(InstanceId id) const;
+
   [[nodiscard]] size_t size() const { return entries_.size(); }
   [[nodiscard]] bool empty() const { return entries_.empty(); }
 

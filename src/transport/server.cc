@@ -15,6 +15,8 @@
 
 #include <algorithm>
 #include <cstring>
+#include <mutex>
+#include <unordered_map>
 #include <vector>
 
 #include "src/cache/snapshot.h"
@@ -44,6 +46,7 @@ struct TransportServer::Connection {
   // Bound by HELLO; every data op on this connection hits this instance.
   CacheInstance* instance = nullptr;
   InstanceId bound_id = kInvalidInstance;
+  size_t instance_slot = InstanceRegistry::npos;
   const InstanceOptions* instance_options = nullptr;
 
   [[nodiscard]] bool has_pending_writes() const {
@@ -72,7 +75,7 @@ class TransportServer::Poller {
 };
 
 /// Portable fallback: poll(2) over a flat pollfd vector. O(n) per wait, which
-/// is fine for the connection counts a single cache instance serves.
+/// is fine for the connection counts a single event-loop shard serves.
 class TransportServer::PollPoller final : public TransportServer::Poller {
  public:
   bool Add(int fd) override {
@@ -167,6 +170,35 @@ class TransportServer::EpollPoller final : public TransportServer::Poller {
 };
 #endif  // __linux__
 
+// ---- Shard ------------------------------------------------------------------
+
+/// One event-loop shard: its own poller, connections, self-pipe, thread, and
+/// atomic counters. Everything except the inbox (and the counters, read by
+/// stats()) is touched only by the shard's own loop thread.
+struct TransportServer::Shard {
+  Shard(size_t index_in, size_t nslots)
+      : index(index_in),
+        per_instance_frames(nslots),
+        per_instance_errors(nslots) {}
+
+  const size_t index;
+  int wake_fds[2] = {-1, -1};  // self-pipe: Stop()/the acceptor wake the loop
+  std::unique_ptr<Poller> poller;
+  std::unordered_map<int, std::unique_ptr<Connection>> connections;
+  std::thread thread;
+
+  // Accepted fds handed over by the acceptor (shard 0), adopted by this
+  // shard's loop on its next wake-up.
+  std::mutex inbox_mu;
+  std::vector<int> inbox;
+
+  std::atomic<uint64_t> frames_handled{0};
+  std::atomic<uint64_t> protocol_errors{0};
+  // Indexed by registry slot (ascending instance-id order).
+  std::vector<std::atomic<uint64_t>> per_instance_frames;
+  std::vector<std::atomic<uint64_t>> per_instance_errors;
+};
+
 // ---- Lifecycle --------------------------------------------------------------
 
 TransportServer::TransportServer(InstanceRegistry registry, Options options)
@@ -189,6 +221,12 @@ Status TransportServer::Start() {
     return Status(Code::kInvalidArgument, "no instances registered");
   }
   stop_requested_.store(false, std::memory_order_release);
+  // Drop any joined shards from a previous run; a restarted server reports
+  // stats for its current run only (the per-shard counters die with the
+  // shards, so the server-level counter must reset in step).
+  shards_.clear();
+  connections_accepted_.store(0, std::memory_order_relaxed);
+  slot_ids_ = registry_.ids();
 
   listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
   if (listen_fd_ < 0) return Status(Code::kInternal, "socket() failed");
@@ -226,60 +264,120 @@ Status TransportServer::Start() {
                 &addr_len);
   port_ = ntohs(addr.sin_port);
 
-  if (::pipe(wake_fds_) != 0 || !SetNonBlocking(wake_fds_[0]) ||
-      !SetNonBlocking(wake_fds_[1])) {
+  uint32_t nloops = options_.num_loops;
+  if (nloops == 0) {
+    nloops = std::max(1u, std::thread::hardware_concurrency());
+  }
+  nloops = std::min(nloops, 64u);
+
+  const auto teardown = [this]() {
+    for (auto& shard : shards_) {
+      if (shard->wake_fds[0] >= 0) ::close(shard->wake_fds[0]);
+      if (shard->wake_fds[1] >= 0) ::close(shard->wake_fds[1]);
+    }
+    shards_.clear();
     ::close(listen_fd_);
     listen_fd_ = -1;
-    return Status(Code::kInternal, "self-pipe failed");
-  }
+  };
 
+  shards_.reserve(nloops);
+  for (uint32_t i = 0; i < nloops; ++i) {
+    auto shard = std::make_unique<Shard>(i, slot_ids_.size());
+    if (::pipe(shard->wake_fds) != 0 ||
+        !SetNonBlocking(shard->wake_fds[0]) ||
+        !SetNonBlocking(shard->wake_fds[1])) {
+      shards_.push_back(std::move(shard));  // so teardown closes its pipe
+      teardown();
+      return Status(Code::kInternal, "self-pipe failed");
+    }
 #if defined(__linux__)
-  if (!options_.use_poll_fallback) {
-    auto epoll = std::make_unique<EpollPoller>();
-    if (epoll->valid()) poller_ = std::move(epoll);
-  }
+    if (!options_.use_poll_fallback) {
+      auto epoll = std::make_unique<EpollPoller>();
+      if (epoll->valid()) shard->poller = std::move(epoll);
+    }
 #endif
-  if (poller_ == nullptr) poller_ = std::make_unique<PollPoller>();
-  poller_->Add(listen_fd_);
-  poller_->Add(wake_fds_[0]);
+    if (shard->poller == nullptr) {
+      shard->poller = std::make_unique<PollPoller>();
+    }
+    shard->poller->Add(shard->wake_fds[0]);
+    shards_.push_back(std::move(shard));
+  }
+  shards_[0]->poller->Add(listen_fd_);
+  next_shard_ = 0;
 
   running_.store(true, std::memory_order_release);
-  loop_thread_ = std::thread([this] { Loop(); });
+  for (auto& shard : shards_) {
+    Shard* s = shard.get();
+    s->thread = std::thread([this, s] { Loop(*s); });
+  }
   std::string id_list;
-  for (InstanceId id : registry_.ids()) {
+  for (InstanceId id : slot_ids_) {
     if (!id_list.empty()) id_list += ",";
     id_list += std::to_string(id);
   }
   LOG_INFO << "geminid transport listening on " << options_.bind_address
-           << ":" << port_ << " (instances " << id_list << ")";
+           << ":" << port_ << " (instances " << id_list << ", "
+           << shards_.size() << " event loop"
+           << (shards_.size() == 1 ? "" : "s") << ")";
   return Status::Ok();
 }
 
 void TransportServer::Stop() {
   if (!running_.load(std::memory_order_acquire)) return;
   stop_requested_.store(true, std::memory_order_release);
-  // Wake the loop; a failed write means it is already draining.
+  // Wake every shard; a failed write means that loop is already draining.
   const char byte = 'w';
-  [[maybe_unused]] ssize_t n = ::write(wake_fds_[1], &byte, 1);
-  if (loop_thread_.joinable()) loop_thread_.join();
-  // The loop thread has exited: closing the listen socket and the self-pipe
-  // here (not in Loop()) keeps the write above from racing the close.
+  for (auto& shard : shards_) {
+    [[maybe_unused]] ssize_t n = ::write(shard->wake_fds[1], &byte, 1);
+  }
+  for (auto& shard : shards_) {
+    if (shard->thread.joinable()) shard->thread.join();
+  }
+  // Every loop thread has exited: closing the listen socket and the
+  // self-pipes here (not in Loop()) keeps the wake writes above from racing
+  // the close. Any fd the acceptor handed over that its target shard never
+  // adopted is closed here too.
   ::close(listen_fd_);
   listen_fd_ = -1;
-  ::close(wake_fds_[0]);
-  ::close(wake_fds_[1]);
-  wake_fds_[0] = wake_fds_[1] = -1;
+  for (auto& shard : shards_) {
+    ::close(shard->wake_fds[0]);
+    ::close(shard->wake_fds[1]);
+    shard->wake_fds[0] = shard->wake_fds[1] = -1;
+    std::lock_guard<std::mutex> lock(shard->inbox_mu);
+    for (int fd : shard->inbox) ::close(fd);
+    shard->inbox.clear();
+  }
   running_.store(false, std::memory_order_release);
 }
 
 TransportServer::Stats TransportServer::stats() const {
-  std::lock_guard<std::mutex> lock(stats_mu_);
-  return stats_;
+  Stats s;
+  s.connections_accepted =
+      connections_accepted_.load(std::memory_order_relaxed);
+  for (const auto& shard : shards_) {
+    s.frames_handled += shard->frames_handled.load(std::memory_order_relaxed);
+    s.protocol_errors +=
+        shard->protocol_errors.load(std::memory_order_relaxed);
+  }
+  for (size_t slot = 0; slot < slot_ids_.size(); ++slot) {
+    uint64_t frames = 0;
+    uint64_t errors = 0;
+    for (const auto& shard : shards_) {
+      frames +=
+          shard->per_instance_frames[slot].load(std::memory_order_relaxed);
+      errors +=
+          shard->per_instance_errors[slot].load(std::memory_order_relaxed);
+    }
+    if (frames != 0 || errors != 0) {
+      s.per_instance[slot_ids_[slot]] = Stats::PerInstance{frames, errors};
+    }
+  }
+  return s;
 }
 
 // ---- Event loop -------------------------------------------------------------
 
-void TransportServer::Loop() {
+void TransportServer::Loop(Shard& shard) {
   std::vector<PollerEvent> events;
   // Drain deadline once stop is requested (monotonic ms).
   int drain_budget_ms = options_.drain_timeout_ms;
@@ -289,53 +387,58 @@ void TransportServer::Loop() {
     if (stop_requested_.load(std::memory_order_acquire) && !draining) {
       draining = true;
       // Stop accepting; connections with queued responses get to drain.
-      poller_->Remove(listen_fd_);
+      if (shard.index == 0) shard.poller->Remove(listen_fd_);
+      AdoptInbox(shard, /*draining=*/true);
       std::vector<int> idle;
-      for (auto& [fd, conn] : connections_) {
+      for (auto& [fd, conn] : shard.connections) {
         if (!conn->has_pending_writes()) idle.push_back(fd);
       }
-      for (int fd : idle) CloseConnection(fd);
+      for (int fd : idle) CloseConnection(shard, fd);
     }
-    if (draining && (connections_.empty() || drain_budget_ms <= 0)) break;
+    if (draining && (shard.connections.empty() || drain_budget_ms <= 0)) {
+      break;
+    }
 
     events.clear();
     const int timeout = draining ? std::min(drain_budget_ms, 50) : 500;
-    if (!poller_->Wait(timeout, events)) break;
+    if (!shard.poller->Wait(timeout, events)) break;
     if (draining) drain_budget_ms -= timeout;
 
     for (const PollerEvent& ev : events) {
-      if (ev.fd == wake_fds_[0]) {
+      if (ev.fd == shard.wake_fds[0]) {
         char buf[64];
-        while (::read(wake_fds_[0], buf, sizeof(buf)) > 0) {
+        while (::read(shard.wake_fds[0], buf, sizeof(buf)) > 0) {
         }
+        AdoptInbox(shard, draining);
         continue;
       }
-      if (ev.fd == listen_fd_) {
-        if (!draining) AcceptReady();
+      if (ev.fd == listen_fd_ && shard.index == 0) {
+        if (!draining) AcceptReady(shard);
         continue;
       }
-      auto it = connections_.find(ev.fd);
-      if (it == connections_.end()) continue;
+      auto it = shard.connections.find(ev.fd);
+      if (it == shard.connections.end()) continue;
       Connection& conn = *it->second;
       bool alive = !ev.error;
-      if (alive && ev.writable) alive = FlushWrites(conn);
-      if (alive && ev.readable && !draining) alive = ReadReady(conn);
+      if (alive && ev.writable) alive = FlushWrites(shard, conn);
+      if (alive && ev.readable && !draining) alive = ReadReady(shard, conn);
       if (alive && draining && !conn.has_pending_writes()) alive = false;
-      if (!alive) CloseConnection(ev.fd);
+      if (!alive) CloseConnection(shard, ev.fd);
     }
   }
 
-  for (auto it = connections_.begin(); it != connections_.end();) {
+  AdoptInbox(shard, /*draining=*/true);
+  for (auto it = shard.connections.begin(); it != shard.connections.end();) {
     int fd = it->first;
     ++it;
-    CloseConnection(fd);
+    CloseConnection(shard, fd);
   }
-  // listen_fd_ and the self-pipe stay open until Stop() has joined this
-  // thread; closing them here would race Stop()'s wake-up write.
-  poller_.reset();
+  // listen_fd_ and the self-pipes stay open until Stop() has joined every
+  // loop thread; closing them here would race Stop()'s wake-up writes.
+  shard.poller.reset();
 }
 
-void TransportServer::AcceptReady() {
+void TransportServer::AcceptReady(Shard& shard) {
   for (;;) {
     const int fd = ::accept(listen_fd_, nullptr, nullptr);
     if (fd < 0) return;  // EAGAIN (or transient error): back to the loop
@@ -345,14 +448,41 @@ void TransportServer::AcceptReady() {
     }
     int one = 1;
     ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
-    poller_->Add(fd);
-    connections_.emplace(fd, std::make_unique<Connection>(fd));
-    std::lock_guard<std::mutex> lock(stats_mu_);
-    ++stats_.connections_accepted;
+    connections_accepted_.fetch_add(1, std::memory_order_relaxed);
+
+    Shard& target = *shards_[next_shard_ % shards_.size()];
+    ++next_shard_;
+    if (&target == &shard) {
+      shard.poller->Add(fd);
+      shard.connections.emplace(fd, std::make_unique<Connection>(fd));
+      continue;
+    }
+    {
+      std::lock_guard<std::mutex> lock(target.inbox_mu);
+      target.inbox.push_back(fd);
+    }
+    const char byte = 'c';
+    [[maybe_unused]] ssize_t n = ::write(target.wake_fds[1], &byte, 1);
   }
 }
 
-bool TransportServer::ReadReady(Connection& conn) {
+void TransportServer::AdoptInbox(Shard& shard, bool draining) {
+  std::vector<int> handoff;
+  {
+    std::lock_guard<std::mutex> lock(shard.inbox_mu);
+    handoff.swap(shard.inbox);
+  }
+  for (int fd : handoff) {
+    if (draining) {
+      ::close(fd);
+      continue;
+    }
+    shard.poller->Add(fd);
+    shard.connections.emplace(fd, std::make_unique<Connection>(fd));
+  }
+}
+
+bool TransportServer::ReadReady(Shard& shard, Connection& conn) {
   char buf[64 * 1024];
   for (;;) {
     const ssize_t n = ::recv(conn.fd, buf, sizeof(buf), 0);
@@ -378,20 +508,20 @@ bool TransportServer::ReadReady(Connection& conn) {
         wire::DecodeFrame(rest, &consumed, &op, &body);
     if (r == wire::DecodeResult::kNeedMore) break;
     if (r == wire::DecodeResult::kMalformed) {
-      CountProtocolError(conn);
+      CountProtocolError(shard, conn);
       return false;
     }
     cursor += consumed;
-    if (!HandleFrame(conn, op, body)) {
-      CountProtocolError(conn);
+    if (!HandleFrame(shard, conn, op, body)) {
+      CountProtocolError(shard, conn);
       return false;
     }
   }
   conn.in.erase(0, cursor);
-  return FlushWrites(conn);
+  return FlushWrites(shard, conn);
 }
 
-bool TransportServer::FlushWrites(Connection& conn) {
+bool TransportServer::FlushWrites(Shard& shard, Connection& conn) {
   while (conn.has_pending_writes()) {
     const ssize_t n =
         ::send(conn.fd, conn.out.data() + conn.out_offset,
@@ -401,7 +531,7 @@ bool TransportServer::FlushWrites(Connection& conn) {
       continue;
     }
     if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
-      poller_->Update(conn.fd, /*want_write=*/true);
+      shard.poller->Update(conn.fd, /*want_write=*/true);
       return true;
     }
     if (n < 0 && errno == EINTR) continue;
@@ -409,14 +539,14 @@ bool TransportServer::FlushWrites(Connection& conn) {
   }
   conn.out.clear();
   conn.out_offset = 0;
-  poller_->Update(conn.fd, /*want_write=*/false);
+  shard.poller->Update(conn.fd, /*want_write=*/false);
   return true;
 }
 
-void TransportServer::CloseConnection(int fd) {
-  poller_->Remove(fd);
+void TransportServer::CloseConnection(Shard& shard, int fd) {
+  shard.poller->Remove(fd);
   ::close(fd);
-  connections_.erase(fd);
+  shard.connections.erase(fd);
 }
 
 // ---- Request dispatch -------------------------------------------------------
@@ -439,15 +569,17 @@ void RespondToken(std::string& out, LeaseToken token) {
 
 }  // namespace
 
-void TransportServer::CountProtocolError(const Connection& conn) {
-  std::lock_guard<std::mutex> lock(stats_mu_);
-  ++stats_.protocol_errors;
-  if (conn.bound_id != kInvalidInstance) {
-    ++stats_.per_instance[conn.bound_id].protocol_errors;
+void TransportServer::CountProtocolError(Shard& shard,
+                                         const Connection& conn) {
+  shard.protocol_errors.fetch_add(1, std::memory_order_relaxed);
+  if (conn.instance_slot != InstanceRegistry::npos) {
+    shard.per_instance_errors[conn.instance_slot].fetch_add(
+        1, std::memory_order_relaxed);
   }
 }
 
-bool TransportServer::HandleHello(Connection& conn, wire::Reader& r) {
+bool TransportServer::HandleHello(Shard& shard, Connection& conn,
+                                  wire::Reader& r) {
   uint32_t version = 0;
   if (!r.GetU32(&version)) return false;
   if (version < wire::kMinProtocolVersion ||
@@ -460,7 +592,7 @@ bool TransportServer::HandleHello(Connection& conn, wire::Reader& r) {
                              std::to_string(wire::kProtocolVersion)));
     // Answer, then drop: FlushWrites runs before the close in ReadReady's
     // caller only on true returns, so flush here explicitly.
-    FlushWrites(conn);
+    FlushWrites(shard, conn);
     return false;
   }
 
@@ -484,12 +616,13 @@ bool TransportServer::HandleHello(Connection& conn, wire::Reader& r) {
                   Status(Code::kWrongInstance,
                          "instance " + std::to_string(requested) +
                              " is not hosted by this server"));
-    FlushWrites(conn);
+    FlushWrites(shard, conn);
     return false;
   }
   conn.hello_done = true;
   conn.instance = instance;
   conn.bound_id = instance->id();
+  conn.instance_slot = registry_.IndexOf(conn.bound_id);
   conn.instance_options = registry_.FindOptions(conn.bound_id);
   std::string resp;
   wire::PutU32(resp, version);
@@ -498,14 +631,12 @@ bool TransportServer::HandleHello(Connection& conn, wire::Reader& r) {
   return true;
 }
 
-bool TransportServer::HandleFrame(Connection& conn, uint8_t op_byte,
-                                  std::string_view body) {
-  {
-    std::lock_guard<std::mutex> lock(stats_mu_);
-    ++stats_.frames_handled;
-    if (conn.bound_id != kInvalidInstance) {
-      ++stats_.per_instance[conn.bound_id].frames_handled;
-    }
+bool TransportServer::HandleFrame(Shard& shard, Connection& conn,
+                                  uint8_t op_byte, std::string_view body) {
+  shard.frames_handled.fetch_add(1, std::memory_order_relaxed);
+  if (conn.instance_slot != InstanceRegistry::npos) {
+    shard.per_instance_frames[conn.instance_slot].fetch_add(
+        1, std::memory_order_relaxed);
   }
   if (!wire::IsKnownOp(op_byte)) return false;
   const wire::Op op = static_cast<wire::Op>(op_byte);
@@ -514,7 +645,7 @@ bool TransportServer::HandleFrame(Connection& conn, uint8_t op_byte,
   // The handshake must come first, and exactly once.
   if (!conn.hello_done) {
     if (op != wire::Op::kHello) return false;
-    return HandleHello(conn, r);
+    return HandleHello(shard, conn, r);
   }
   if (op == wire::Op::kHello) return false;
   CacheInstance* const instance = conn.instance;

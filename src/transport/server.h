@@ -1,18 +1,25 @@
-// TransportServer: the geminid event loop.
+// TransportServer: the geminid event loops.
 //
 // Hosts an InstanceRegistry — one or many CacheInstances — behind the wire
-// protocol (src/transport/wire.h, docs/PROTOCOL.md §10). Single-threaded,
-// non-blocking: an epoll loop on Linux (level-triggered), a poll(2) loop
+// protocol (src/transport/wire.h, docs/PROTOCOL.md §10). The server runs
+// `Options::num_loops` event-loop shards, each a non-blocking loop on its
+// own thread: an epoll loop on Linux (level-triggered), a poll(2) loop
 // everywhere else — the fallback is also runtime-selectable so tests
-// exercise both paths on any platform.
+// exercise both paths on any platform. Shard 0 owns the listen socket and
+// acts as the acceptor, assigning each accepted connection to a shard
+// round-robin; a connection lives on exactly one shard for its whole
+// lifetime, so only that shard's thread ever reads or writes it.
+// num_loops = 1 (and the default on a single-core machine) reproduces the
+// historical single-threaded behavior exactly.
 //
 // Connection model: accept → mandatory HELLO (version exchange; a v2 HELLO
 // names the target instance, a v1 HELLO gets the registry's default) →
 // pipelined requests against the bound instance: every complete frame in
 // the read buffer is processed in arrival order and its response appended
-// to the write buffer in that same order, which is the FIFO-per-connection
-// guarantee (docs/PROTOCOL.md §10.6) pipelined clients match responses
-// against. Selecting
+// to the write buffer in that same order. Because a connection is pinned to
+// one shard, this is the FIFO-per-connection guarantee (docs/PROTOCOL.md
+// §10.6) pipelined clients match responses against — sharding does not
+// weaken it, it only removes cross-connection serialization. Selecting
 // an instance the registry does not host fails the handshake cleanly: the
 // server answers kWrongInstance, then closes. Each connection owns a read
 // buffer (frames are reassembled across short reads) and a write buffer
@@ -21,19 +28,23 @@
 // opcode, HELLO out of order — closes the connection; a merely unparsable
 // body gets a kInvalidArgument response and the connection lives on.
 //
-// Shutdown is graceful: Stop() stops accepting, lets each connection drain
-// its pending write buffer (bounded by drain_timeout), then closes
-// everything and joins the loop thread.
+// Stats are lock-free on the hot path: each shard keeps its own atomic
+// counters (plus flat per-instance arrays indexed by registry slot), and
+// stats() aggregates across shards on read, so a kStats-style poller never
+// contends with request handling.
+//
+// Shutdown is graceful: Stop() stops accepting, lets every shard drain its
+// connections' pending write buffers (bounded by drain_timeout), then
+// closes everything and joins the loop threads.
 #pragma once
 
 #include <atomic>
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <thread>
-#include <unordered_map>
+#include <vector>
 
 #include "src/cache/cache_instance.h"
 #include "src/common/status.h"
@@ -50,6 +61,10 @@ class TransportServer {
     std::string bind_address = "127.0.0.1";
     /// TCP port; 0 picks an ephemeral port (read it back via port()).
     uint16_t port = 0;
+    /// Event-loop shards. 0 = one per hardware thread
+    /// (std::thread::hardware_concurrency); clamped to [1, 64]. 1 preserves
+    /// the single-threaded behavior of earlier versions.
+    uint32_t num_loops = 0;
     /// Force the portable poll(2) loop even where epoll is available.
     bool use_poll_fallback = false;
     /// Target file of the kSnapshot op for the single-instance constructor;
@@ -76,7 +91,7 @@ class TransportServer {
   TransportServer(const TransportServer&) = delete;
   TransportServer& operator=(const TransportServer&) = delete;
 
-  /// Binds, listens, and starts the loop thread. kInvalidArgument on an
+  /// Binds, listens, and starts the loop threads. kInvalidArgument on an
   /// empty registry, kInternal on socket errors (bind failure, exhausted
   /// fds).
   Status Start();
@@ -90,6 +105,10 @@ class TransportServer {
 
   /// The bound port (valid after Start() returned Ok).
   [[nodiscard]] uint16_t port() const { return port_; }
+
+  /// Effective shard count after resolving num_loops = 0 (valid after
+  /// Start() returned Ok).
+  [[nodiscard]] size_t loop_count() const { return shards_.size(); }
 
   [[nodiscard]] const InstanceRegistry& registry() const { return registry_; }
 
@@ -106,46 +125,53 @@ class TransportServer {
     /// only in the totals above.
     std::map<InstanceId, PerInstance> per_instance;
   };
+  /// Aggregates the per-shard atomic counters; never blocks the data path.
   [[nodiscard]] Stats stats() const;
 
  private:
   struct Connection;
+  struct Shard;
   class Poller;
   class PollPoller;
 #if defined(__linux__)
   class EpollPoller;
 #endif
 
-  void Loop();
-  void AcceptReady();
+  void Loop(Shard& shard);
+  /// Shard 0 only: accepts and assigns connections round-robin.
+  void AcceptReady(Shard& shard);
+  /// Moves fds handed over by the acceptor onto this shard's poller.
+  void AdoptInbox(Shard& shard, bool draining);
   /// Reads, decodes, and handles frames; returns false when the connection
   /// must be closed.
-  bool ReadReady(Connection& conn);
+  bool ReadReady(Shard& shard, Connection& conn);
   /// Flushes the write buffer; returns false on a dead socket.
-  bool FlushWrites(Connection& conn);
-  void CloseConnection(int fd);
+  bool FlushWrites(Shard& shard, Connection& conn);
+  void CloseConnection(Shard& shard, int fd);
   /// Dispatches one request frame, appending the response frame to the
   /// connection's write buffer. Returns false to drop the connection.
-  bool HandleFrame(Connection& conn, uint8_t op, std::string_view body);
+  bool HandleFrame(Shard& shard, Connection& conn, uint8_t op,
+                   std::string_view body);
   /// Handles the mandatory first frame; binds the connection's instance.
-  bool HandleHello(Connection& conn, wire::Reader& r);
-  void CountProtocolError(const Connection& conn);
+  bool HandleHello(Shard& shard, Connection& conn, wire::Reader& r);
+  void CountProtocolError(Shard& shard, const Connection& conn);
 
   InstanceRegistry registry_;
   Options options_;
 
   int listen_fd_ = -1;
-  int wake_fds_[2] = {-1, -1};  // self-pipe: Stop() wakes the loop
   uint16_t port_ = 0;
   std::atomic<bool> running_{false};
   std::atomic<bool> stop_requested_{false};
-  std::thread loop_thread_;
 
-  // Loop-thread state (no lock needed there); stats_ is read cross-thread.
-  std::unique_ptr<Poller> poller_;
-  std::unordered_map<int, std::unique_ptr<Connection>> connections_;
-  mutable std::mutex stats_mu_;
-  Stats stats_;
+  /// Ascending instance ids; position = registry slot (per-shard counter
+  /// arrays are indexed by it).
+  std::vector<InstanceId> slot_ids_;
+
+  std::vector<std::unique_ptr<Shard>> shards_;
+  /// Round-robin cursor for connection assignment (acceptor thread only).
+  size_t next_shard_ = 0;
+  std::atomic<uint64_t> connections_accepted_{0};
 };
 
 }  // namespace gemini

@@ -291,7 +291,10 @@ TEST_F(MultiInstanceTest, UnsupportedHelloVersionIsRejectedNotDropped) {
 
 // ---- The payoff: full failure/recovery cycle against one geminid -----------
 
-class MultiInstanceClusterTest : public ::testing::Test {
+// Parameterized over the server's event-loop shard count: the failover
+// cycle must be oblivious to whether the backends' connections share one
+// loop or land on different shards.
+class MultiInstanceClusterTest : public ::testing::TestWithParam<uint32_t> {
  protected:
   static constexpr size_t kInstances = 2;
   static constexpr size_t kFragments = 4;
@@ -305,8 +308,9 @@ class MultiInstanceClusterTest : public ::testing::Test {
       ASSERT_TRUE(registry.Add(instances_.back().get()).ok());
     }
     // ONE server hosts the whole replica set.
-    server_ = std::make_unique<TransportServer>(std::move(registry),
-                                                TransportServer::Options{});
+    TransportServer::Options sopts;
+    sopts.num_loops = GetParam();
+    server_ = std::make_unique<TransportServer>(std::move(registry), sopts);
     ASSERT_TRUE(server_->Start().ok());
     for (size_t i = 0; i < kInstances; ++i) {
       backends_.push_back(std::make_unique<TcpCacheBackend>(
@@ -358,7 +362,7 @@ class MultiInstanceClusterTest : public ::testing::Test {
   Session session_;
 };
 
-TEST_F(MultiInstanceClusterTest, FullFailoverAndRecoveryCycleOverTcp) {
+TEST_P(MultiInstanceClusterTest, FullFailoverAndRecoveryCycleOverTcp) {
   const std::string key = KeyOnPrimary(0);
   const FragmentId f =
       coordinator_->GetConfiguration()->FragmentOf(key);
@@ -421,6 +425,12 @@ TEST_F(MultiInstanceClusterTest, FullFailoverAndRecoveryCycleOverTcp) {
   EXPECT_EQ(r->value.data, "fresh");
   EXPECT_EQ(r->value.version, store_.VersionOf(key));
 }
+
+INSTANTIATE_TEST_SUITE_P(Loops, MultiInstanceClusterTest,
+                         ::testing::Values(1u, 4u),
+                         [](const ::testing::TestParamInfo<uint32_t>& info) {
+                           return std::to_string(info.param) + "Loops";
+                         });
 
 }  // namespace
 }  // namespace gemini

@@ -1,0 +1,145 @@
+#!/usr/bin/env python3
+"""Compare a fresh bench run against a committed BENCH_*.json baseline.
+
+Absolute ops/sec are machine-dependent (the committed baselines record the
+machine's core count in params where it matters), so this checks the *shape*
+of each series instead: within a result group (same "name"), every point's
+ops_per_sec is normalized by the group's anchor point (the one with the
+smallest scale-parameter value, e.g. window=1 or loops=1). A regression is a
+fresh normalized curve that falls more than --tolerance below the baseline's
+normalized curve — e.g. pipelining that used to give 10x at window 32 now
+giving 3x, or a sharded server that used to scale now serializing.
+
+The check is deliberately one-sided and generous: faster is never a failure,
+and a baseline speedup is only enforced down to max(1-tol, base*(1-tol)) so
+a baseline recorded on a many-core machine cannot fail a small CI runner
+that has no cores to scale across — its curve legitimately flattens to ~1.0,
+and with extra threads time-slicing one core it may even dip slightly below.
+Only anti-scaling beyond the tolerance itself fails.
+
+Usage:
+  check_bench.py --baseline BENCH_transport.json --fresh fresh.json \
+                 [--tolerance 0.4]
+
+Exit codes: 0 ok, 1 regression, 2 usage/schema error.
+"""
+
+import argparse
+import json
+import sys
+
+# Parameters that identify a point on the scale axis, in preference order.
+SCALE_PARAM_CANDIDATES = ("window", "loops", "connections", "threads")
+# Parameters that describe the machine or run size, never the scale axis.
+IGNORED_PARAMS = ("cpus", "ops", "value_bytes", "keys", "stripes")
+
+
+def load(path):
+    try:
+        with open(path) as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        sys.exit(f"check_bench: cannot read {path}: {e}")
+    if not isinstance(doc.get("results"), list) or not doc["results"]:
+        sys.exit(f"check_bench: {path} has no results")
+    for r in doc["results"]:
+        if not isinstance(r.get("name"), str) or "params" not in r:
+            sys.exit(f"check_bench: {path} has a malformed result entry")
+        if not isinstance(r.get("ops_per_sec"), (int, float)):
+            sys.exit(f"check_bench: {path}: ops_per_sec missing")
+    return doc
+
+
+def scale_param(group):
+    """The parameter that varies across the group (the series' x axis)."""
+    varying = set()
+    for key in group[0]["params"]:
+        values = {r["params"].get(key) for r in group}
+        if len(values) > 1:
+            varying.add(key)
+    for candidate in SCALE_PARAM_CANDIDATES:
+        if candidate in varying:
+            return candidate
+    varying -= set(IGNORED_PARAMS)
+    return sorted(varying)[0] if varying else None
+
+
+def normalized(group, param):
+    """{scale value: ops_per_sec / anchor ops_per_sec}, anchor = min scale."""
+    points = {r["params"][param]: r["ops_per_sec"] for r in group}
+    anchor = points[min(points)]
+    if anchor <= 0:
+        sys.exit("check_bench: anchor point has non-positive ops_per_sec")
+    return {scale: ops / anchor for scale, ops in points.items()}
+
+
+def group_by_name(doc):
+    groups = {}
+    for r in doc["results"]:
+        groups.setdefault(r["name"], []).append(r)
+    return groups
+
+
+def main():
+    ap = argparse.ArgumentParser()
+    ap.add_argument("--baseline", required=True)
+    ap.add_argument("--fresh", required=True)
+    ap.add_argument("--tolerance", type=float, default=0.4,
+                    help="allowed fractional drop in normalized speedup")
+    args = ap.parse_args()
+    if not 0 <= args.tolerance < 1:
+        sys.exit("check_bench: --tolerance must be in [0, 1)")
+
+    base_groups = group_by_name(load(args.baseline))
+    fresh_groups = group_by_name(load(args.fresh))
+
+    failures = []
+    checked = 0
+    for name, base_group in sorted(base_groups.items()):
+        if name not in fresh_groups:
+            failures.append(f"{name}: missing from fresh run")
+            continue
+        param = scale_param(base_group)
+        if param is None:
+            print(f"  {name}: single point, no scale axis — skipped")
+            continue
+        if any(param not in r["params"] for r in fresh_groups[name]):
+            failures.append(f"{name}: fresh run lacks param {param!r}")
+            continue
+        base_curve = normalized(base_group, param)
+        fresh_curve = normalized(fresh_groups[name], param)
+        for scale in sorted(base_curve):
+            base_norm = base_curve[scale]
+            if scale not in fresh_curve:
+                failures.append(f"{name}: fresh run missing {param}={scale:g}")
+                continue
+            fresh_norm = fresh_curve[scale]
+            checked += 1
+            # Only enforce speedups the baseline actually demonstrated. The
+            # floor dips below flat (1.0) by the tolerance: a fresh run on
+            # weaker hardware may legitimately not scale — and with threads
+            # time-slicing one core may even anti-scale a little — but it
+            # must not anti-scale beyond the tolerance.
+            floor = max(1.0 - args.tolerance,
+                        base_norm * (1 - args.tolerance))
+            ok = base_norm < 1.0 or fresh_norm >= floor
+            marker = "ok " if ok else "REGRESSION"
+            print(f"  {name} {param}={scale:g}: baseline {base_norm:.2f}x, "
+                  f"fresh {fresh_norm:.2f}x (floor {floor:.2f}x) {marker}")
+            if not ok:
+                failures.append(
+                    f"{name} {param}={scale:g}: normalized {fresh_norm:.2f}x "
+                    f"< floor {floor:.2f}x (baseline {base_norm:.2f}x)")
+
+    if failures:
+        print(f"check_bench: {len(failures)} regression(s):", file=sys.stderr)
+        for f in failures:
+            print(f"  {f}", file=sys.stderr)
+        return 1
+    print(f"check_bench: {checked} point(s) within tolerance "
+          f"{args.tolerance:.0%}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,6 +1,6 @@
 // geminid: a standalone Gemini cache server.
 //
-// Hosts one or more CacheInstances behind a single event loop speaking the
+// Hosts one or more CacheInstances behind sharded event loops speaking the
 // wire protocol (docs/PROTOCOL.md §10) so real clients — TcpCacheBackend,
 // and through it an unmodified GeminiClient — can run the paper's protocol
 // over actual sockets instead of the discrete-event cost model. A client
@@ -12,7 +12,7 @@
 // protocol exists for.
 //
 // Usage:
-//   geminid [--port N] [--bind ADDR]
+//   geminid [--port N] [--bind ADDR] [--threads N] [--stripes S]
 //           [--instance ID[:SNAPSHOT_FILE]]...   (repeatable)
 //           [--capacity-mb N] [--snapshot-interval-s N] [--poll] [--verbose]
 //
@@ -21,6 +21,7 @@
 //
 // SIGINT/SIGTERM shut down gracefully: stop accepting, drain connections,
 // write a final snapshot for every instance that has one configured.
+#include <algorithm>
 #include <cerrno>
 #include <csignal>
 #include <cstdlib>
@@ -55,6 +56,11 @@ void Usage(const char* argv0) {
          "                         the default for version-1 clients\n"
       << "  --capacity-mb N        per-instance LRU byte budget in MiB\n"
          "                         (default 0 = unbounded)\n"
+      << "  --threads N            event-loop shards (default 0 = one per\n"
+         "                         hardware thread; 1 = single-threaded)\n"
+      << "  --stripes S            lock stripes per instance (default 0 =\n"
+         "                         auto: 1 for one loop, else 4x the loop\n"
+         "                         count; rounded up to a power of two)\n"
       << "  --id N                 single-instance sugar for --instance N\n"
       << "  --snapshot FILE        single-instance sugar: snapshot file for\n"
          "                         the --id instance\n"
@@ -112,6 +118,8 @@ int main(int argc, char** argv) {
   std::string bind_address = "127.0.0.1";
   uint64_t capacity_mb = 0;
   uint64_t snapshot_interval_s = 0;
+  uint64_t threads = 0;  // 0 = auto (hardware_concurrency)
+  uint64_t stripes = 0;  // 0 = auto (derived from the loop count)
   bool use_poll = false;
   std::vector<InstanceSpec> specs;
   // Single-instance sugar, folded into `specs` after parsing.
@@ -139,6 +147,10 @@ int main(int argc, char** argv) {
       saw_single_flags = true;
     } else if (arg == "--capacity-mb") {
       capacity_mb = ParseUint(arg, next(), uint64_t{1} << 40);
+    } else if (arg == "--threads") {
+      threads = ParseUint(arg, next(), 64);
+    } else if (arg == "--stripes") {
+      stripes = ParseUint(arg, next(), 256);
     } else if (arg == "--snapshot") {
       single.snapshot_path = next();
       saw_single_flags = true;
@@ -165,8 +177,22 @@ int main(int argc, char** argv) {
   }
   if (specs.empty()) specs.push_back(single);  // Defaults to instance 0.
 
+  // Resolve --threads 0 here (not in the server) because the stripe default
+  // derives from it: roughly 4 stripes per event loop keeps concurrent
+  // shards off each other's locks, while one loop keeps the historical
+  // single-mutex, global-LRU behavior.
+  uint32_t effective_loops = threads == 0
+                                 ? std::max(1u, std::thread::hardware_concurrency())
+                                 : static_cast<uint32_t>(threads);
+  effective_loops = std::min(effective_loops, 64u);
+  const uint32_t effective_stripes =
+      stripes != 0 ? static_cast<uint32_t>(stripes)
+                   : (effective_loops == 1 ? 1
+                                           : std::min(64u, 4 * effective_loops));
+
   gemini::CacheInstance::Options cache_options;
   cache_options.capacity_bytes = capacity_mb << 20;
+  cache_options.num_stripes = effective_stripes;
   std::vector<std::unique_ptr<gemini::CacheInstance>> instances;
   gemini::InstanceRegistry registry;
   std::vector<gemini::SnapshotWriter::Target> snapshot_targets;
@@ -205,6 +231,7 @@ int main(int argc, char** argv) {
   gemini::TransportServer::Options options;
   options.bind_address = bind_address;
   options.port = port;
+  options.num_loops = effective_loops;
   options.use_poll_fallback = use_poll;
   gemini::TransportServer server(std::move(registry), options);
   if (gemini::Status s = server.Start(); !s.ok()) {
