@@ -20,8 +20,17 @@
 //  because the loops>1 rows can only beat the loops=1 row when the server
 //  actually has cores to spread across.
 //
-// Flags: --quick (CI smoke), --full, --scaling, --ops=N (per connection),
-//        --value-bytes=B, --keys=K, --json=PATH.
+//  --chaos — the same window sweep through a FaultProxy injecting mild,
+//  seeded per-frame delays (plus hold bursts) on both directions. Results go
+//  to a separate name/file (BENCH_transport_chaos.json) so the committed
+//  clean-path baseline and tools/check_bench.py are untouched; the point is
+//  a quick read on how much a lossy-ish network costs the pipeline, and a
+//  standing proof that the retry layer adds nothing to the healthy path
+//  (compare BENCH_transport.json before/after: the default sweep runs with
+//  retry enabled but never exercised).
+//
+// Flags: --quick (CI smoke), --full, --scaling, --chaos, --chaos-seed=N,
+//        --ops=N (per connection), --value-bytes=B, --keys=K, --json=PATH.
 #include <chrono>
 #include <condition_variable>
 #include <cstdint>
@@ -36,6 +45,7 @@
 #include "src/cache/cache_instance.h"
 #include "src/common/clock.h"
 #include "src/common/histogram.h"
+#include "src/transport/fault_proxy.h"
 #include "src/transport/server.h"
 #include "src/transport/tcp_backend.h"
 #include "src/transport/tcp_connection.h"
@@ -288,6 +298,8 @@ int Run(int argc, char** argv) {
   size_t value_bytes = 100;
   size_t num_keys = 1'000;
   bool scaling = false;
+  bool chaos = false;
+  uint64_t chaos_seed = 1;
   std::string json_path;
   for (int i = 1; i < argc; ++i) {
     if (std::strncmp(argv[i], "--ops=", 6) == 0) {
@@ -298,8 +310,12 @@ int Run(int argc, char** argv) {
       num_keys = std::strtoull(argv[i] + 7, nullptr, 10);
     } else if (std::strncmp(argv[i], "--json=", 7) == 0) {
       json_path = argv[i] + 7;
+    } else if (std::strncmp(argv[i], "--chaos-seed=", 13) == 0) {
+      chaos_seed = std::strtoull(argv[i] + 13, nullptr, 10);
     } else if (std::strcmp(argv[i], "--scaling") == 0) {
       scaling = true;
+    } else if (std::strcmp(argv[i], "--chaos") == 0) {
+      chaos = true;
     }
   }
   if (ops == 0 || num_keys == 0) {
@@ -307,15 +323,19 @@ int Run(int argc, char** argv) {
     return 2;
   }
   if (json_path.empty()) {
-    json_path = scaling ? "BENCH_server_scaling.json" : "BENCH_transport.json";
+    json_path = scaling ? "BENCH_server_scaling.json"
+                : chaos ? "BENCH_transport_chaos.json"
+                        : "BENCH_transport.json";
   }
   if (scaling) {
     return RunScaling(ops, value_bytes, num_keys, json_path);
   }
 
-  bench::PrintHeader("bench_transport",
-                     "pipelined TCP transport: ops/sec vs in-flight window "
-                     "(loopback geminid)");
+  bench::PrintHeader(chaos ? "bench_transport --chaos" : "bench_transport",
+                     chaos ? "pipelined TCP transport through a seeded "
+                             "delay/hold FaultProxy: ops/sec vs window"
+                           : "pipelined TCP transport: ops/sec vs in-flight "
+                             "window (loopback geminid)");
   std::printf("  ops/window=%zu  value=%zuB  keys=%zu\n\n", ops, value_bytes,
               num_keys);
 
@@ -349,18 +369,45 @@ int Run(int argc, char** argv) {
     wire::PutKey(bodies[k], KeyName(k));
   }
 
+  // Under --chaos, clients dial the proxy instead of the server. Mild,
+  // purely additive-latency faults (no cuts): every op still completes, so
+  // the sweep measures degradation rather than error handling.
+  std::unique_ptr<FaultProxy> proxy;
+  uint16_t target_port = server.port();
+  if (chaos) {
+    FaultProxy::Options popts;
+    popts.seed = chaos_seed;
+    for (auto* p : {&popts.client_to_server, &popts.server_to_client}) {
+      p->skip_frames = 1;
+      p->delay_prob = 0.2;
+      p->delay_min = 0;
+      p->delay_max = Millis(1);
+      p->hold_every = 32;
+      p->hold_count = 4;
+    }
+    proxy = std::make_unique<FaultProxy>("127.0.0.1", server.port(), popts);
+    if (Status s = proxy->Start(); !s.ok()) {
+      std::fprintf(stderr, "proxy start failed: %s\n", s.ToString().c_str());
+      return 1;
+    }
+    target_port = proxy->port();
+    std::printf("  chaos seed=%llu (delays<=1ms p=0.2 both ways, hold 4/32)\n",
+                static_cast<unsigned long long>(chaos_seed));
+  }
+
   const std::vector<size_t> windows = {1, 2, 4, 8, 16, 32, 64};
   std::vector<WindowRun> runs;
   std::printf("  %8s %12s %10s %10s\n", "window", "ops/sec", "p50 us",
               "p99 us");
   uint64_t total_errors = 0;
   for (const size_t w : windows) {
-    runs.push_back(RunWindow(server.port(), w, ops, bodies));
+    runs.push_back(RunWindow(target_port, w, ops, bodies));
     const WindowRun& r = runs.back();
     std::printf("  %8zu %12.0f %10.1f %10.1f\n", r.window, r.ops_per_sec,
                 r.p50_us, r.p99_us);
     total_errors += r.errors;
   }
+  if (proxy) proxy->Stop();
   server.Stop();
   if (total_errors > 0) {
     std::fprintf(stderr, "bench_transport: %llu ops failed\n",
@@ -374,11 +421,12 @@ int Run(int argc, char** argv) {
     if (r.window == 1) base = r.ops_per_sec;
     if (r.window == 32) at32 = r.ops_per_sec;
     bench::BenchResult br;
-    br.name = "transport_get";
+    br.name = chaos ? "transport_get_chaos" : "transport_get";
     br.params = {{"window", static_cast<double>(r.window)},
                  {"ops", static_cast<double>(ops)},
                  {"value_bytes", static_cast<double>(value_bytes)},
                  {"keys", static_cast<double>(num_keys)}};
+    if (chaos) br.params.push_back({"seed", static_cast<double>(chaos_seed)});
     br.ops_per_sec = r.ops_per_sec;
     br.p50_us = r.p50_us;
     br.p99_us = r.p99_us;
@@ -386,7 +434,8 @@ int Run(int argc, char** argv) {
   }
   std::printf("\n  window 32 vs 1 speedup: %.1fx\n",
               base > 0 ? at32 / base : 0.0);
-  if (!bench::WriteResultsJson(json_path, "transport", results)) {
+  if (!bench::WriteResultsJson(json_path, chaos ? "transport_chaos" : "transport",
+                               results)) {
     std::fprintf(stderr, "cannot write %s\n", json_path.c_str());
     return 1;
   }

@@ -15,7 +15,12 @@
 //  - kUnavailable with an unchanged configuration (the coordinator has not
 //    yet published the secondary): reads fall through to the data store,
 //    writes return kSuspended — callers retry after the new configuration
-//    appears, preserving read-after-write consistency.
+//    appears, preserving read-after-write consistency. Over TCP the
+//    transport layer may already have retried idempotent ops (and a tripped
+//    circuit breaker fails instantly without dialing) before kUnavailable
+//    reaches this client — see docs/PROTOCOL.md §11; either way the meaning
+//    here is identical: treat the instance as failed, degrade, never guess
+//    about lease or write outcome.
 //  - Lease back-off (kBackoff): bounded retry with a configurable pause;
 //    reads exhausted of retries fall through to the data store *without*
 //    populating the cache.

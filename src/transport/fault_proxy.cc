@@ -1,0 +1,491 @@
+#include "src/transport/fault_proxy.h"
+
+#include <arpa/inet.h>
+#include <errno.h>
+#include <fcntl.h>
+#include <netdb.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cstring>
+#include <thread>
+
+#include "src/common/hash.h"
+#include "src/common/rng.h"
+#include "src/transport/wire.h"
+
+namespace gemini {
+
+namespace {
+
+/// Relay threads poll their source fd in short ticks so Stop() and a Sever()
+/// from the opposite direction are noticed promptly.
+constexpr int kRelayTickMs = 20;
+
+void SleepFor(Duration d) {
+  if (d > 0) std::this_thread::sleep_for(std::chrono::microseconds(d));
+}
+
+bool SendAllFd(int fd, std::string_view bytes) {
+  size_t sent = 0;
+  while (sent < bytes.size()) {
+    const ssize_t n = ::send(fd, bytes.data() + sent, bytes.size() - sent,
+                             MSG_NOSIGNAL);
+    if (n > 0) {
+      sent += static_cast<size_t>(n);
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+/// One proxied connection: the client-side fd, the upstream fd, and the two
+/// relay threads shoveling bytes between them. `severed` flips once either
+/// direction decides (or discovers) the connection is dead; both relays exit
+/// on their next tick.
+struct FaultProxy::Link {
+  Link(int client_fd_in, int server_fd_in, uint64_t conn_index_in)
+      : client_fd(client_fd_in),
+        server_fd(server_fd_in),
+        conn_index(conn_index_in) {}
+
+  const int client_fd;
+  const int server_fd;
+  const uint64_t conn_index;
+  std::atomic<bool> severed{false};
+  std::atomic<int> relays_done{0};
+  std::thread forward_thread;   // client -> server
+  std::thread backward_thread;  // server -> client
+
+  [[nodiscard]] int src_fd(Direction d) const {
+    return d == Direction::kClientToServer ? client_fd : server_fd;
+  }
+  [[nodiscard]] int dst_fd(Direction d) const {
+    return d == Direction::kClientToServer ? server_fd : client_fd;
+  }
+};
+
+FaultProxy::FaultProxy(std::string upstream_host, uint16_t upstream_port,
+                       Options options)
+    : upstream_host_(std::move(upstream_host)),
+      upstream_port_(upstream_port),
+      options_(options) {}
+
+FaultProxy::~FaultProxy() { Stop(); }
+
+// ---- The schedule -----------------------------------------------------------
+
+FaultProxy::PlannedFault FaultProxy::PlanFor(uint64_t conn_index,
+                                             Direction direction,
+                                             uint64_t frame_index) const {
+  const DirectionProfile& p = direction == Direction::kClientToServer
+                                  ? options_.client_to_server
+                                  : options_.server_to_client;
+  PlannedFault out;
+  if (frame_index < p.skip_frames) return out;
+  const uint64_t f = frame_index - p.skip_frames;
+
+  // Hold groups are positional, not probabilistic: the last `hold_count`
+  // frames of every `hold_every`-frame window are buffered and released as
+  // one burst. Positional placement keeps holds from colliding with the
+  // probabilistic faults below in a seed-dependent way.
+  if (p.hold_every > 0 && p.hold_count > 0) {
+    const uint32_t in_group =
+        static_cast<uint32_t>(f % p.hold_every);
+    const uint32_t first_held =
+        p.hold_every - std::min(p.hold_count, p.hold_every);
+    if (in_group >= first_held) {
+      out.kind = FaultKind::kHold;
+      return out;
+    }
+  }
+
+  // One Rng per decision, keyed by every index that identifies it — the
+  // schedule is a pure function of (seed, conn, direction, frame) and never
+  // of arrival timing or thread interleaving.
+  Rng rng(Mix64(options_.seed ^ Mix64(conn_index * 2 +
+                                      static_cast<uint64_t>(direction)) ^
+                Mix64(f + 0x517CC1B727220A95ULL)));
+  double roll = rng.NextDouble();
+  const double split = 0.15 + 0.7 * rng.NextDouble();
+  if (roll < p.cut_prob) {
+    out.kind = FaultKind::kCut;
+    out.split = split;
+    return out;
+  }
+  roll -= p.cut_prob;
+  if (roll < p.truncate_prob) {
+    out.kind = FaultKind::kTruncate;
+    out.split = split;
+    return out;
+  }
+  roll -= p.truncate_prob;
+  if (roll < p.stall_prob) {
+    out.kind = FaultKind::kStall;
+    out.split = split;
+    out.delay = p.stall;
+    return out;
+  }
+  roll -= p.stall_prob;
+  if (roll < p.delay_prob) {
+    out.kind = FaultKind::kDelay;
+    const Duration lo = std::min(p.delay_min, p.delay_max);
+    const Duration hi = std::max(p.delay_min, p.delay_max);
+    out.delay =
+        lo + static_cast<Duration>(rng.NextBounded(
+                 static_cast<uint64_t>(hi - lo) + 1));
+    return out;
+  }
+  return out;
+}
+
+bool FaultProxy::ResetOnAccept(uint64_t conn_index) const {
+  if (options_.reset_on_accept_prob <= 0.0) return false;
+  Rng rng(Mix64(options_.seed ^ Mix64(conn_index + 0x2545F4914F6CDD1DULL)));
+  return rng.NextDouble() < options_.reset_on_accept_prob;
+}
+
+// ---- Lifecycle --------------------------------------------------------------
+
+Status FaultProxy::Start() {
+  if (running_.load(std::memory_order_acquire)) {
+    return Status(Code::kInvalidArgument, "proxy already running");
+  }
+  stop_.store(false, std::memory_order_release);
+
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) return Status(Code::kInternal, "socket() failed");
+  int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  struct sockaddr_in addr;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_port = 0;  // ephemeral
+  ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+  if (::bind(listen_fd_, reinterpret_cast<struct sockaddr*>(&addr),
+             sizeof(addr)) != 0 ||
+      ::listen(listen_fd_, 64) != 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return Status(Code::kInternal,
+                  std::string("proxy bind/listen failed: ") +
+                      std::strerror(errno));
+  }
+  socklen_t len = sizeof(addr);
+  ::getsockname(listen_fd_, reinterpret_cast<struct sockaddr*>(&addr), &len);
+  port_ = ntohs(addr.sin_port);
+
+  running_.store(true, std::memory_order_release);
+  accept_thread_ = std::thread(&FaultProxy::AcceptLoop, this);
+  return Status::Ok();
+}
+
+void FaultProxy::Stop() {
+  if (!running_.load(std::memory_order_acquire)) return;
+  stop_.store(true, std::memory_order_release);
+  if (accept_thread_.joinable()) accept_thread_.join();
+  std::vector<std::unique_ptr<Link>> links;
+  {
+    std::lock_guard<std::mutex> lock(links_mu_);
+    links.swap(links_);
+  }
+  for (auto& link : links) Sever(*link);
+  for (auto& link : links) {
+    if (link->forward_thread.joinable()) link->forward_thread.join();
+    if (link->backward_thread.joinable()) link->backward_thread.join();
+    ::close(link->client_fd);
+    ::close(link->server_fd);
+  }
+  ::close(listen_fd_);
+  listen_fd_ = -1;
+  running_.store(false, std::memory_order_release);
+}
+
+FaultProxy::Stats FaultProxy::stats() const {
+  Stats s;
+  s.connections_accepted = connections_accepted_.load();
+  s.connections_reset_on_accept = connections_reset_.load();
+  s.frames_forwarded = frames_forwarded_.load();
+  s.bytes_forwarded = bytes_forwarded_.load();
+  s.delays = delays_.load();
+  s.stalls = stalls_.load();
+  s.cuts = cuts_.load();
+  s.truncations = truncations_.load();
+  s.holds = holds_.load();
+  return s;
+}
+
+void FaultProxy::ReapFinishedLinks() {
+  std::lock_guard<std::mutex> lock(links_mu_);
+  for (auto it = links_.begin(); it != links_.end();) {
+    Link& link = **it;
+    if (link.relays_done.load(std::memory_order_acquire) == 2) {
+      if (link.forward_thread.joinable()) link.forward_thread.join();
+      if (link.backward_thread.joinable()) link.backward_thread.join();
+      ::close(link.client_fd);
+      ::close(link.server_fd);
+      it = links_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+void FaultProxy::AcceptLoop() {
+  while (!stop_.load(std::memory_order_acquire)) {
+    struct pollfd pfd{listen_fd_, POLLIN, 0};
+    const int rc = ::poll(&pfd, 1, 50);
+    if (rc <= 0) {
+      ReapFinishedLinks();
+      continue;
+    }
+    const int client_fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (client_fd < 0) continue;
+    const uint64_t conn_index = next_conn_index_++;
+    connections_accepted_.fetch_add(1, std::memory_order_relaxed);
+
+    if (ResetOnAccept(conn_index)) {
+      // SO_LINGER with zero timeout turns close() into an RST — the client
+      // sees ECONNRESET on its next read/write, not a clean FIN.
+      struct linger lg{1, 0};
+      ::setsockopt(client_fd, SOL_SOCKET, SO_LINGER, &lg, sizeof(lg));
+      ::close(client_fd);
+      connections_reset_.fetch_add(1, std::memory_order_relaxed);
+      continue;
+    }
+
+    // Dial the upstream leg (blocking with a poll()-bounded connect).
+    int server_fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    bool up = server_fd >= 0;
+    if (up) {
+      struct sockaddr_in addr;
+      std::memset(&addr, 0, sizeof(addr));
+      addr.sin_family = AF_INET;
+      addr.sin_port = htons(upstream_port_);
+      up = ::inet_pton(AF_INET, upstream_host_.c_str(), &addr.sin_addr) == 1;
+      if (up) {
+        const int flags = ::fcntl(server_fd, F_GETFL, 0);
+        ::fcntl(server_fd, F_SETFL, flags | O_NONBLOCK);
+        int rc2 = ::connect(server_fd,
+                            reinterpret_cast<struct sockaddr*>(&addr),
+                            sizeof(addr));
+        if (rc2 != 0 && errno == EINPROGRESS) {
+          struct pollfd cpfd{server_fd, POLLOUT, 0};
+          const int timeout_ms = static_cast<int>(
+              options_.upstream_connect_timeout / kMillisecond);
+          rc2 = ::poll(&cpfd, 1, timeout_ms > 0 ? timeout_ms : -1);
+          int err = 0;
+          socklen_t elen = sizeof(err);
+          up = rc2 > 0 &&
+               ::getsockopt(server_fd, SOL_SOCKET, SO_ERROR, &err, &elen) ==
+                   0 &&
+               err == 0;
+        } else {
+          up = rc2 == 0;
+        }
+        if (up) ::fcntl(server_fd, F_SETFL, flags);
+      }
+    }
+    if (!up) {
+      if (server_fd >= 0) ::close(server_fd);
+      ::close(client_fd);
+      continue;
+    }
+    int one = 1;
+    ::setsockopt(client_fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    ::setsockopt(server_fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+
+    auto link = std::make_unique<Link>(client_fd, server_fd, conn_index);
+    Link* raw = link.get();
+    raw->forward_thread = std::thread(
+        [this, raw] { Relay(*raw, Direction::kClientToServer); });
+    raw->backward_thread = std::thread(
+        [this, raw] { Relay(*raw, Direction::kServerToClient); });
+    {
+      std::lock_guard<std::mutex> lock(links_mu_);
+      links_.push_back(std::move(link));
+    }
+    ReapFinishedLinks();
+  }
+}
+
+void FaultProxy::Sever(Link& link) {
+  if (link.severed.exchange(true, std::memory_order_acq_rel)) return;
+  // Shutdown (not close) so the relay threads still own valid fds; close
+  // happens once both threads are done (ReapFinishedLinks / Stop).
+  ::shutdown(link.client_fd, SHUT_RDWR);
+  ::shutdown(link.server_fd, SHUT_RDWR);
+}
+
+bool FaultProxy::Forward(Link& link, Direction direction,
+                         std::string_view bytes) {
+  const DirectionProfile& p = direction == Direction::kClientToServer
+                                  ? options_.client_to_server
+                                  : options_.server_to_client;
+  const int fd = link.dst_fd(direction);
+  if (p.throttle_bytes_per_sec == 0) {
+    if (!SendAllFd(fd, bytes)) return false;
+  } else {
+    // Chunked pacing: send at most 5 ms worth of bytes, then sleep 5 ms.
+    const size_t chunk = std::max<uint64_t>(
+        1, p.throttle_bytes_per_sec / 200);
+    size_t off = 0;
+    while (off < bytes.size()) {
+      if (stop_.load(std::memory_order_acquire) ||
+          link.severed.load(std::memory_order_acquire)) {
+        return false;
+      }
+      const size_t n = std::min(chunk, bytes.size() - off);
+      if (!SendAllFd(fd, bytes.substr(off, n))) return false;
+      off += n;
+      if (off < bytes.size()) SleepFor(Millis(5));
+    }
+  }
+  bytes_forwarded_.fetch_add(bytes.size(), std::memory_order_relaxed);
+  return true;
+}
+
+void FaultProxy::Relay(Link& link, Direction direction) {
+  const int src = link.src_fd(direction);
+  std::string in;        // received, not yet framed
+  std::string held;      // complete frames buffered by kHold
+  Timestamp held_since = 0;
+  uint64_t frame_index = 0;
+  const SystemClock& clock = SystemClock::Global();
+  bool dead = false;
+
+  const auto flush_held = [&]() -> bool {
+    if (held.empty()) return true;
+    const bool ok = Forward(link, direction, held);
+    held.clear();
+    return ok;
+  };
+
+  while (!dead && !stop_.load(std::memory_order_acquire) &&
+         !link.severed.load(std::memory_order_acquire)) {
+    // Frame extraction first: recv() appends, this loop drains.
+    for (;;) {
+      size_t consumed = 0;
+      uint8_t tag = 0;
+      std::string_view body;
+      const wire::DecodeResult r =
+          wire::DecodeFrame(in, &consumed, &tag, &body);
+      if (r != wire::DecodeResult::kFrame) {
+        // kNeedMore: wait for bytes. kMalformed: the peer is not speaking
+        // the wire protocol — forward verbatim and stop framing this
+        // direction (pass-through keeps the proxy usable under garbage).
+        if (r == wire::DecodeResult::kMalformed && !in.empty()) {
+          if (!flush_held() || !Forward(link, direction, in)) dead = true;
+          in.clear();
+        }
+        break;
+      }
+      const std::string_view frame(in.data(), consumed);
+      const PlannedFault plan = PlanFor(link.conn_index, direction,
+                                        frame_index);
+      ++frame_index;
+      switch (plan.kind) {
+        case FaultKind::kNone:
+          if (!flush_held() || !Forward(link, direction, frame)) dead = true;
+          break;
+        case FaultKind::kDelay:
+          delays_.fetch_add(1, std::memory_order_relaxed);
+          SleepFor(plan.delay);
+          if (!flush_held() || !Forward(link, direction, frame)) dead = true;
+          break;
+        case FaultKind::kStall: {
+          stalls_.fetch_add(1, std::memory_order_relaxed);
+          const size_t prefix = std::max<size_t>(
+              1, static_cast<size_t>(plan.split *
+                                     static_cast<double>(frame.size())));
+          if (!flush_held() ||
+              !Forward(link, direction, frame.substr(0, prefix))) {
+            dead = true;
+            break;
+          }
+          // Mid-frame pause, in severable ticks so Stop() stays prompt.
+          Duration remaining = plan.delay;
+          while (remaining > 0 && !stop_.load(std::memory_order_acquire) &&
+                 !link.severed.load(std::memory_order_acquire)) {
+            const Duration step = std::min<Duration>(remaining,
+                                                     Millis(kRelayTickMs));
+            SleepFor(step);
+            remaining -= step;
+          }
+          if (!Forward(link, direction, frame.substr(prefix))) dead = true;
+          break;
+        }
+        case FaultKind::kCut: {
+          cuts_.fetch_add(1, std::memory_order_relaxed);
+          const size_t prefix = std::max<size_t>(
+              1, static_cast<size_t>(plan.split *
+                                     static_cast<double>(frame.size())));
+          (void)flush_held();
+          (void)Forward(link, direction, frame.substr(0, prefix));
+          Sever(link);
+          dead = true;
+          break;
+        }
+        case FaultKind::kTruncate: {
+          truncations_.fetch_add(1, std::memory_order_relaxed);
+          const size_t prefix = std::max<size_t>(
+              1, static_cast<size_t>(plan.split *
+                                     static_cast<double>(frame.size())));
+          (void)flush_held();
+          (void)Forward(link, direction, frame.substr(0, prefix));
+          Sever(link);
+          dead = true;
+          break;
+        }
+        case FaultKind::kHold:
+          holds_.fetch_add(1, std::memory_order_relaxed);
+          if (held.empty()) held_since = clock.Now();
+          held.append(frame);
+          break;
+      }
+      if (!dead) {
+        frames_forwarded_.fetch_add(1, std::memory_order_relaxed);
+      }
+      in.erase(0, consumed);
+      if (dead) break;
+    }
+    if (dead) break;
+
+    // Age out a hold whose group never completed (e.g. the client went
+    // quiet waiting for a held response) — holds delay, never deadlock.
+    if (!held.empty() &&
+        clock.Now() - held_since >= options_.hold_flush) {
+      if (!flush_held()) break;
+    }
+
+    struct pollfd pfd{src, POLLIN, 0};
+    const int rc = ::poll(&pfd, 1, kRelayTickMs);
+    if (rc <= 0) continue;
+    char buf[64 * 1024];
+    const ssize_t n = ::recv(src, buf, sizeof(buf), 0);
+    if (n > 0) {
+      in.append(buf, static_cast<size_t>(n));
+      continue;
+    }
+    if (n < 0 && (errno == EINTR || errno == EAGAIN || errno == EWOULDBLOCK)) {
+      continue;
+    }
+    // EOF or a hard error: flush anything buffered, then propagate the
+    // close downstream so the receiver sees it too.
+    (void)flush_held();
+    break;
+  }
+  (void)flush_held();
+  Sever(link);
+  link.relays_done.fetch_add(1, std::memory_order_acq_rel);
+}
+
+}  // namespace gemini

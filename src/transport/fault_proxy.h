@@ -1,0 +1,198 @@
+// FaultProxy: a deterministic, seeded fault-injection TCP proxy.
+//
+// Sits between a wire-protocol client (TcpCacheBackend/TcpConnection) and a
+// server (TransportServer/geminid) on loopback and executes a *scripted
+// fault schedule* against the byte stream: per-frame delays, partial-frame
+// writes followed by a stall, mid-frame disconnects, byte truncation,
+// connection resets at accept time, bandwidth throttling, and
+// hold-N-frames-then-release bursts. The DES stresses the protocol with
+// crashes; this stresses the *transport* with the hostile networks real
+// deployments see — and because every decision is a pure function of
+// (seed, connection index, direction, frame index), a failing schedule
+// replays bit-identically from its seed.
+//
+// The proxy is frame-aware: it reassembles wire frames (wire::DecodeFrame)
+// on each direction so faults land on frame boundaries ("delay the 7th
+// response", "cut the connection after 40% of the 3rd request") rather than
+// at arbitrary byte offsets. Bytes that never form a complete frame (a
+// client speaking garbage) are forwarded verbatim.
+//
+// Faults are scripted per direction (client→server vs server→client) via
+// DirectionProfile, and per connection implicitly: each accepted connection
+// gets its own index and hence its own deterministic schedule. The first
+// `skip_frames` frames of a direction are never faulted, so a test can let
+// the HELLO handshake through and attack only data traffic.
+//
+// Threading: one accept thread plus two relay threads per proxied
+// connection (one per direction). Stop() severs every stream and joins.
+// This is test/tool infrastructure — it favors clarity over scale.
+//
+// tools/gemini_chaos.cc wraps this class as a standalone binary so a live
+// geminid can be fronted by the same schedules.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/common/clock.h"
+#include "src/common/status.h"
+
+namespace gemini {
+
+class FaultProxy {
+ public:
+  enum class Direction : uint8_t { kClientToServer = 0, kServerToClient = 1 };
+
+  enum class FaultKind : uint8_t {
+    kNone = 0,
+    /// Pause `delay`, then forward the frame intact.
+    kDelay,
+    /// Forward a prefix of the frame, pause `delay` mid-frame, then forward
+    /// the rest (the partial-frame write + stall a slow or congested peer
+    /// produces; trips SO_RCVTIMEO on the receiving side when long enough).
+    kStall,
+    /// Forward a prefix of the frame, then sever the connection both ways —
+    /// the receiver sees EOF mid-frame.
+    kCut,
+    /// Forward a prefix, drop the rest of the frame, then sever — like kCut
+    /// but the prefix fraction is drawn independently, and it is counted
+    /// separately so tests can assert on the specific fault.
+    kTruncate,
+    /// Buffer this frame; it is released in one burst with its hold group
+    /// (see DirectionProfile::hold_every/hold_count) or after hold_flush.
+    kHold,
+  };
+
+  /// One scheduled decision: what happens to frame `frame_index` of one
+  /// direction of one connection. `split` is the fraction of the frame
+  /// forwarded before a kStall/kCut/kTruncate takes effect.
+  struct PlannedFault {
+    FaultKind kind = FaultKind::kNone;
+    Duration delay = 0;
+    double split = 0.5;
+  };
+
+  /// Fault mix for one direction of every connection. Probabilities are per
+  /// frame and drawn independently (cut first, then truncate, stall, delay);
+  /// hold groups are positional (every `hold_every` frames, the next
+  /// `hold_count` are buffered) so they compose with the probabilistic
+  /// faults deterministically.
+  struct DirectionProfile {
+    /// Never fault the first N frames of this direction (N=1 lets HELLO or
+    /// its response through untouched).
+    uint32_t skip_frames = 0;
+    double delay_prob = 0.0;
+    Duration delay_min = 0;
+    Duration delay_max = Millis(2);
+    double stall_prob = 0.0;
+    /// Mid-frame pause length for kStall.
+    Duration stall = Millis(50);
+    double cut_prob = 0.0;
+    double truncate_prob = 0.0;
+    /// hold_every > 0 buffers `hold_count` frames out of every `hold_every`
+    /// (the tail of each group), releasing them in one burst.
+    uint32_t hold_every = 0;
+    uint32_t hold_count = 0;
+    /// Cap on forwarding rate; 0 = unthrottled. Applied by chunking sends.
+    uint64_t throttle_bytes_per_sec = 0;
+  };
+
+  struct Options {
+    /// Root of every scheduling decision; same seed + same profiles =>
+    /// identical schedule, byte for byte.
+    uint64_t seed = 1;
+    /// Probability an accepted connection is reset (RST) before any byte is
+    /// proxied; decided per connection index.
+    double reset_on_accept_prob = 0.0;
+    DirectionProfile client_to_server;
+    DirectionProfile server_to_client;
+    /// Held frames are flushed after this long even if their group never
+    /// completes, so a hold can delay but never deadlock a request/response
+    /// exchange.
+    Duration hold_flush = Millis(20);
+    /// Dial timeout for the upstream leg of each proxied connection.
+    Duration upstream_connect_timeout = Seconds(2);
+  };
+
+  struct Stats {
+    uint64_t connections_accepted = 0;
+    uint64_t connections_reset_on_accept = 0;
+    uint64_t frames_forwarded = 0;
+    uint64_t bytes_forwarded = 0;
+    uint64_t delays = 0;
+    uint64_t stalls = 0;
+    uint64_t cuts = 0;
+    uint64_t truncations = 0;
+    uint64_t holds = 0;
+  };
+
+  /// Proxies 127.0.0.1:<port()> -> upstream_host:upstream_port.
+  FaultProxy(std::string upstream_host, uint16_t upstream_port,
+             Options options);
+  ~FaultProxy();
+
+  FaultProxy(const FaultProxy&) = delete;
+  FaultProxy& operator=(const FaultProxy&) = delete;
+
+  /// Binds an ephemeral loopback port and starts accepting.
+  Status Start();
+  /// Severs every proxied stream and joins all threads; idempotent.
+  void Stop();
+
+  /// The proxy's listen port (valid after Start()).
+  [[nodiscard]] uint16_t port() const { return port_; }
+
+  [[nodiscard]] Stats stats() const;
+
+  /// The schedule, as a pure function: the fault assigned to frame
+  /// `frame_index` of `direction` on connection `conn_index`. Depends only
+  /// on (options.seed, the profiles, the three indices) — never on timing —
+  /// which is what makes a chaos run reproducible from its seed.
+  [[nodiscard]] PlannedFault PlanFor(uint64_t conn_index, Direction direction,
+                                     uint64_t frame_index) const;
+  /// Whether connection `conn_index` is reset at accept (same determinism).
+  [[nodiscard]] bool ResetOnAccept(uint64_t conn_index) const;
+
+ private:
+  struct Link;
+
+  void AcceptLoop();
+  void Relay(Link& link, Direction direction);
+  /// Forwards `bytes` to the destination fd of `direction`, applying the
+  /// throttle; returns false when the link died.
+  bool Forward(Link& link, Direction direction, std::string_view bytes);
+  void Sever(Link& link);
+  void ReapFinishedLinks();
+
+  const std::string upstream_host_;
+  const uint16_t upstream_port_;
+  const Options options_;
+
+  int listen_fd_ = -1;
+  uint16_t port_ = 0;
+  std::atomic<bool> running_{false};
+  std::atomic<bool> stop_{false};
+  std::thread accept_thread_;
+
+  mutable std::mutex links_mu_;
+  std::vector<std::unique_ptr<Link>> links_;
+  uint64_t next_conn_index_ = 0;
+
+  // Counters are written by relay/accept threads, read by stats().
+  std::atomic<uint64_t> connections_accepted_{0};
+  std::atomic<uint64_t> connections_reset_{0};
+  std::atomic<uint64_t> frames_forwarded_{0};
+  std::atomic<uint64_t> bytes_forwarded_{0};
+  std::atomic<uint64_t> delays_{0};
+  std::atomic<uint64_t> stalls_{0};
+  std::atomic<uint64_t> cuts_{0};
+  std::atomic<uint64_t> truncations_{0};
+  std::atomic<uint64_t> holds_{0};
+};
+
+}  // namespace gemini

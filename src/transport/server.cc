@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "src/cache/snapshot.h"
+#include "src/common/clock.h"
 #include "src/common/logging.h"
 #include "src/transport/wire.h"
 
@@ -37,8 +38,12 @@ bool SetNonBlocking(int fd) {
 // ---- Connection -------------------------------------------------------------
 
 struct TransportServer::Connection {
-  explicit Connection(int fd_in) : fd(fd_in) {}
+  explicit Connection(int fd_in)
+      : fd(fd_in), last_activity(SystemClock::Global().Now()) {}
   int fd;
+  /// Last time bytes arrived (monotonic us); the reaper compares it against
+  /// idle_timeout_ms for connections stuck pre-HELLO or mid-frame.
+  Timestamp last_activity;
   std::string in;   // unparsed request bytes
   std::string out;  // unflushed response bytes
   size_t out_offset = 0;
@@ -194,6 +199,13 @@ struct TransportServer::Shard {
 
   std::atomic<uint64_t> frames_handled{0};
   std::atomic<uint64_t> protocol_errors{0};
+  std::atomic<uint64_t> connections_reaped{0};
+  std::atomic<uint64_t> accept_errors{0};
+  // Acceptor-only state (shard 0's loop thread): the accept-error burst
+  // guard's consecutive-failure count and suspension window.
+  int consecutive_accept_errors = 0;
+  bool accept_suspended = false;
+  Timestamp accept_suspended_until = 0;
   // Indexed by registry slot (ascending instance-id order).
   std::vector<std::atomic<uint64_t>> per_instance_frames;
   std::vector<std::atomic<uint64_t>> per_instance_errors;
@@ -358,6 +370,9 @@ TransportServer::Stats TransportServer::stats() const {
     s.frames_handled += shard->frames_handled.load(std::memory_order_relaxed);
     s.protocol_errors +=
         shard->protocol_errors.load(std::memory_order_relaxed);
+    s.connections_reaped +=
+        shard->connections_reaped.load(std::memory_order_relaxed);
+    s.accept_errors += shard->accept_errors.load(std::memory_order_relaxed);
   }
   for (size_t slot = 0; slot < slot_ids_.size(); ++slot) {
     uint64_t frames = 0;
@@ -399,10 +414,48 @@ void TransportServer::Loop(Shard& shard) {
       break;
     }
 
+    // Resume accepting after an accept-error burst pause (the guard in
+    // AcceptReady unsubscribed the listen fd so a level-triggered poller
+    // does not spin on it).
+    if (shard.index == 0 && shard.accept_suspended && !draining &&
+        SystemClock::Global().Now() >= shard.accept_suspended_until) {
+      shard.poller->Add(listen_fd_);
+      shard.accept_suspended = false;
+    }
+
     events.clear();
-    const int timeout = draining ? std::min(drain_budget_ms, 50) : 500;
+    // With the reaper armed, wake often enough to enforce its deadline even
+    // when no fd turns ready.
+    int timeout = 500;
+    if (options_.idle_timeout_ms > 0) {
+      timeout = std::min(timeout, std::max(10, options_.idle_timeout_ms / 4));
+    }
+    if (shard.index == 0 && shard.accept_suspended) {
+      timeout = std::min(timeout, std::max(10, options_.accept_pause_ms / 2));
+    }
+    if (draining) timeout = std::min(drain_budget_ms, 50);
     if (!shard.poller->Wait(timeout, events)) break;
     if (draining) drain_budget_ms -= timeout;
+
+    // Idle/partial-frame reaper: close connections that are stuck before
+    // HELLO or mid-frame (slowloris, dead peers holding fds). Established
+    // connections idle *between* requests are left alone — pipelined
+    // clients hold their connection for life.
+    if (!draining && options_.idle_timeout_ms > 0) {
+      const Timestamp now = SystemClock::Global().Now();
+      const Duration limit = Millis(options_.idle_timeout_ms);
+      std::vector<int> reap;
+      for (auto& [fd, conn] : shard.connections) {
+        if ((!conn->hello_done || !conn->in.empty()) &&
+            now - conn->last_activity > limit) {
+          reap.push_back(fd);
+        }
+      }
+      for (int fd : reap) {
+        shard.connections_reaped.fetch_add(1, std::memory_order_relaxed);
+        CloseConnection(shard, fd);
+      }
+    }
 
     for (const PollerEvent& ev : events) {
       if (ev.fd == shard.wake_fds[0]) {
@@ -441,7 +494,27 @@ void TransportServer::Loop(Shard& shard) {
 void TransportServer::AcceptReady(Shard& shard) {
   for (;;) {
     const int fd = ::accept(listen_fd_, nullptr, nullptr);
-    if (fd < 0) return;  // EAGAIN (or transient error): back to the loop
+    if (fd < 0) {
+      if (errno == EAGAIN || errno == EWOULDBLOCK) return;  // drained
+      if (errno == EINTR) continue;
+      // A real accept failure (EMFILE/ENFILE fd exhaustion, aborted
+      // connections under SYN pressure). Count it; after a burst of
+      // consecutive failures, unsubscribe from the listen fd for
+      // accept_pause_ms — a level-triggered poller would otherwise report
+      // it ready forever and turn the error into a busy spin.
+      shard.accept_errors.fetch_add(1, std::memory_order_relaxed);
+      if (options_.accept_error_burst > 0 &&
+          ++shard.consecutive_accept_errors >= options_.accept_error_burst) {
+        shard.poller->Remove(listen_fd_);
+        shard.accept_suspended = true;
+        shard.accept_suspended_until =
+            SystemClock::Global().Now() + Millis(options_.accept_pause_ms);
+        shard.consecutive_accept_errors = 0;
+        return;
+      }
+      continue;
+    }
+    shard.consecutive_accept_errors = 0;
     if (!SetNonBlocking(fd)) {
       ::close(fd);
       continue;
@@ -488,6 +561,7 @@ bool TransportServer::ReadReady(Shard& shard, Connection& conn) {
     const ssize_t n = ::recv(conn.fd, buf, sizeof(buf), 0);
     if (n > 0) {
       conn.in.append(buf, static_cast<size_t>(n));
+      conn.last_activity = SystemClock::Global().Now();
       if (n < static_cast<ssize_t>(sizeof(buf))) break;
       continue;
     }

@@ -78,6 +78,20 @@ class TransportServer {
     int listen_backlog = 128;
     /// How long Stop() waits for write buffers to drain.
     int drain_timeout_ms = 2000;
+    /// Slowloris guard: a connection that has not completed its HELLO, or
+    /// sits on a partial request frame, for longer than this is reaped
+    /// (counted in Stats::connections_reaped). Established connections that
+    /// are merely idle between complete requests are never reaped — clients
+    /// legitimately hold pipelined connections open for their lifetime.
+    /// 0 disables reaping.
+    int idle_timeout_ms = 30000;
+    /// Accept-error burst guard: after this many *consecutive* accept(2)
+    /// failures (fd exhaustion, accept storms — EAGAIN and EINTR do not
+    /// count) the acceptor unsubscribes from the listen socket for
+    /// accept_pause_ms instead of spinning, then resumes. Each failure
+    /// counts in Stats::accept_errors.
+    int accept_error_burst = 64;
+    int accept_pause_ms = 100;
   };
 
   /// Multi-instance server. The registry must stay unchanged (and its
@@ -116,6 +130,10 @@ class TransportServer {
     uint64_t connections_accepted = 0;
     uint64_t frames_handled = 0;
     uint64_t protocol_errors = 0;
+    /// Connections closed by the idle/partial-frame reaper.
+    uint64_t connections_reaped = 0;
+    /// accept(2) failures other than EAGAIN/EINTR.
+    uint64_t accept_errors = 0;
     struct PerInstance {
       uint64_t frames_handled = 0;
       uint64_t protocol_errors = 0;

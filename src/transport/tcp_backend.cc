@@ -1,5 +1,9 @@
 #include "src/transport/tcp_backend.h"
 
+#include <thread>
+
+#include "src/common/hash.h"
+
 namespace gemini {
 
 TcpCacheBackend::TcpCacheBackend(std::string host, uint16_t port,
@@ -11,6 +15,14 @@ TcpCacheBackend::~TcpCacheBackend() = default;
 bool TcpCacheBackend::connected() const { return conn_->connected(); }
 
 InstanceId TcpCacheBackend::id() const { return conn_->remote_id(); }
+
+TcpConnection::BreakerState TcpCacheBackend::breaker_state() const {
+  return conn_->breaker_state();
+}
+
+const TcpCacheBackend::Options& TcpCacheBackend::options() const {
+  return conn_->options();
+}
 
 Status TcpCacheBackend::Connect() { return conn_->Connect(); }
 
@@ -76,19 +88,54 @@ std::vector<Result<CacheValue>> TcpCacheBackend::MultiGet(
     slot_of.push_back(out.size() - 1);
     batch.push_back({wire::Op::kGet, CtxKeyBody(req.ctx, req.key)});
   }
-  std::vector<TcpConnection::BatchResponse> resps = conn_->TransactBatch(batch);
-  for (size_t i = 0; i < resps.size(); ++i) {
-    Result<CacheValue>& slot = out[slot_of[i]];
-    if (!resps[i].status.ok()) {
-      slot = std::move(resps[i].status);
-      continue;
+  const auto fill_slot = [](Result<CacheValue>& slot,
+                            TcpConnection::BatchResponse& resp) {
+    if (!resp.status.ok()) {
+      slot = std::move(resp.status);
+      return;
     }
-    wire::Reader r(resps[i].body);
+    wire::Reader r(resp.body);
     CacheValue value;
     if (!r.GetValue(&value) || !r.Done()) {
       slot = Status(Code::kInternal, "malformed GET response");
     } else {
       slot = std::move(value);
+    }
+  };
+
+  const RetryPolicy& policy = options().retry;
+  const Timestamp start = SystemClock::Global().Now();
+  std::vector<TcpConnection::BatchResponse> resps = conn_->TransactBatch(batch);
+  for (size_t i = 0; i < resps.size(); ++i) {
+    fill_slot(out[slot_of[i]], resps[i]);
+  }
+
+  // Gets are idempotent, so kUnavailable slots (a connection drop failed
+  // part or all of the burst) are re-batched together and retried under the
+  // same attempt/backoff/deadline budget a single Get would get.
+  for (int attempt = 2; attempt <= policy.max_attempts; ++attempt) {
+    std::vector<size_t> failed;  // indices into batch/slot_of
+    for (size_t i = 0; i < batch.size(); ++i) {
+      const Result<CacheValue>& slot = out[slot_of[i]];
+      if (!slot.ok() && slot.status().code() == Code::kUnavailable) {
+        failed.push_back(i);
+      }
+    }
+    if (failed.empty()) break;
+    const Duration elapsed = SystemClock::Global().Now() - start;
+    const Duration sleep = TcpConnection::BackoffBeforeAttempt(
+        policy, attempt, elapsed, Fnv1a64("multiget") ^ failed.size());
+    if (sleep < 0) break;  // deadline budget exhausted
+    if (sleep > 0) {
+      std::this_thread::sleep_for(std::chrono::microseconds(sleep));
+    }
+    std::vector<TcpConnection::BatchRequest> retry_batch;
+    retry_batch.reserve(failed.size());
+    for (size_t i : failed) retry_batch.push_back(batch[i]);
+    std::vector<TcpConnection::BatchResponse> retry_resps =
+        conn_->TransactBatch(retry_batch);
+    for (size_t j = 0; j < retry_resps.size(); ++j) {
+      fill_slot(out[slot_of[failed[j]]], retry_resps[j]);
     }
   }
   return out;

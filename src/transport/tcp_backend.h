@@ -61,11 +61,23 @@ class TcpCacheBackend : public CacheBackend {
   /// the first successful Connect()).
   [[nodiscard]] InstanceId id() const override;
 
+  /// Circuit-breaker state of the underlying (possibly shared) connection;
+  /// kOpen means calls fail fast with kUnavailable without dialing.
+  [[nodiscard]] TcpConnection::BreakerState breaker_state() const;
+
+  /// The effective connection options. When the connection is shared, these
+  /// are the *creator's* options, which may differ from the ones this
+  /// backend was constructed with (see TcpConnection::Acquire).
+  [[nodiscard]] const Options& options() const;
+
   // ---- CacheBackend ---------------------------------------------------------
 
   Result<CacheValue> Get(const OpContext& ctx, std::string_view key) override;
   /// Issues the whole batch as one pipelined burst over the shared
   /// connection: N gets cost ~1 round trip (window permitting) instead of N.
+  /// Under a RetryPolicy with max_attempts > 1, slots that failed with
+  /// kUnavailable are re-batched and retried together (gets are idempotent)
+  /// within the same attempt/deadline budget as a single Get.
   std::vector<Result<CacheValue>> MultiGet(
       const std::vector<GetRequest>& reqs) override;
   Result<IqGetResult> IqGet(const OpContext& ctx,

@@ -37,11 +37,39 @@
 
 namespace gemini {
 
+/// Client-side retry policy for *idempotent* wire ops (wire::IsIdempotentOp;
+/// docs/PROTOCOL.md §11). A failed idempotent Transact() is redialed and
+/// re-sent up to max_attempts times with exponential backoff and full
+/// jitter; non-idempotent ops (anything touching leases, versions, or dirty
+/// lists) always fail fast after one attempt, because a duplicated send
+/// after an ambiguous connection drop could double-apply. Only kUnavailable
+/// is retried — every other code is a definitive answer from the server.
+struct RetryPolicy {
+  /// Total attempts including the first; 1 (the default) disables retry, so
+  /// existing callers see byte-identical behavior.
+  int max_attempts = 1;
+  /// Backoff cap before attempt 2; doubles per attempt up to max_backoff.
+  /// The actual sleep is uniform in [0, cap] (full jitter).
+  Duration initial_backoff = Millis(2);
+  Duration max_backoff = Millis(100);
+  /// Per-op wall-clock budget across all attempts and backoffs; once it is
+  /// spent no new attempt starts (the op returns its last error). 0 = no
+  /// budget (bounded by max_attempts alone).
+  Duration deadline = 0;
+  /// Seed for the jitter draw; 0 derives one from the endpoint so two
+  /// clients hammering the same dead server do not sleep in lockstep.
+  uint64_t jitter_seed = 0;
+};
+
 class TcpConnection {
  public:
   struct Options {
     Duration connect_timeout = Seconds(5);
     /// Per-call socket send/receive timeout (0 = OS default, i.e. block).
+    /// Expiry mid-response is connection-fatal: the reader cannot tell a
+    /// stalled peer from a dead one, and resuming a half-read stream later
+    /// would desync the FIFO, so it fails the whole in-flight window with
+    /// kUnavailable and forces a redial.
     Duration io_timeout = Seconds(30);
     /// Redial automatically on the first call after a connection drop.
     bool auto_reconnect = true;
@@ -49,7 +77,22 @@ class TcpConnection {
     /// this connection. Submitters past the bound block until a slot frees;
     /// 1 degenerates to the old strict request/response alternation.
     size_t max_inflight = 32;
+    /// Retry policy for idempotent ops issued via Transact()/MultiGet
+    /// (SubmitAsync stays single-shot: async callers own their retries).
+    RetryPolicy retry;
+    /// Circuit breaker: after this many *consecutive* failed dials (socket
+    /// or handshake failure with kUnavailable) the endpoint is considered
+    /// down and every call fails fast — no dial, no connect_timeout — until
+    /// breaker_cooldown passes; then exactly one half-open probe dial runs,
+    /// closing the breaker on success or re-opening it on failure. 0
+    /// disables the breaker. Fast kUnavailable is what lets GeminiClient
+    /// fall through to the data store instead of hammering a dead endpoint.
+    int breaker_failure_threshold = 8;
+    Duration breaker_cooldown = Millis(500);
   };
+
+  /// Observable circuit-breaker state (for tests and introspection).
+  enum class BreakerState : uint8_t { kClosed, kOpen, kHalfOpen };
 
   /// Completion of one submitted request: the response status and, for kOk,
   /// the response body. Invoked exactly once, on the reader thread (or on
@@ -101,6 +144,24 @@ class TcpConnection {
   /// until the first successful Connect()).
   [[nodiscard]] InstanceId remote_id() const;
 
+  /// The options this connection was created with (shared holders all see
+  /// the creator's options — see Acquire()).
+  [[nodiscard]] const Options& options() const { return options_; }
+
+  /// Current circuit-breaker state. kOpen = calls fail fast without
+  /// dialing; kHalfOpen = the cooldown has passed and the next call is the
+  /// probe.
+  [[nodiscard]] BreakerState breaker_state() const;
+
+  /// The full-jitter backoff to sleep before `attempt` (2-based: the sleep
+  /// between attempt N-1 and N), or a negative Duration when `policy`'s
+  /// deadline leaves no room for another attempt. `elapsed` is the time
+  /// already spent on the op; `salt` decorrelates independent retry loops.
+  /// Exposed so TcpCacheBackend::MultiGet can share the exact policy
+  /// semantics.
+  static Duration BackoffBeforeAttempt(const RetryPolicy& policy, int attempt,
+                                       Duration elapsed, uint64_t salt);
+
   /// Submits one request into the pipeline (connecting first if needed) and
   /// returns once it occupies a window slot; `done` fires when its response
   /// arrives, in FIFO order with every other submission. Blocks while the
@@ -111,7 +172,9 @@ class TcpConnection {
   /// `resp_body` receives the response payload of a kOk reply; a non-ok
   /// reply becomes the returned Status (message from the body blob).
   /// Internally a SubmitAsync + wait, so concurrent callers pipeline
-  /// instead of serializing.
+  /// instead of serializing. When options().retry allows it and `op` is
+  /// idempotent, a kUnavailable outcome is transparently retried (redial +
+  /// re-send) within the policy's attempt and deadline budget.
   Status Transact(wire::Op op, std::string_view body,
                   std::string* resp_body);
 
@@ -143,7 +206,13 @@ class TcpConnection {
   };
 
   Status ConnectLocked();
+  /// The actual dial + HELLO, called by ConnectLocked once the breaker
+  /// admits the attempt.
+  Status DialLocked();
   Status EnsureConnectedLocked();
+  /// One SubmitAsync + wait round trip (the pre-retry Transact()).
+  Status TransactOnce(wire::Op op, std::string_view body,
+                      std::string* resp_body);
   /// Drops the current epoch and returns the completions (in-flight and
   /// queued-unsent) the caller must fail with `why` AFTER unlocking.
   std::deque<Completion> TearLocked();
@@ -166,6 +235,11 @@ class TcpConnection {
   /// Current epoch; nullptr = disconnected.
   std::shared_ptr<Socket> sock_;
   InstanceId remote_id_ = kInvalidInstance;
+  /// Circuit breaker (guarded by mu_): consecutive kUnavailable dial
+  /// failures and the wall-clock (SystemClock, monotonic us) the open state
+  /// lasts until.
+  int consecutive_dial_failures_ = 0;
+  Timestamp breaker_open_until_ = 0;
   /// Encoded request frames accepted but not yet handed to send(2). The
   /// writer swaps the whole string out, so every frame pending at wakeup
   /// leaves in one syscall (write coalescing).

@@ -36,6 +36,20 @@ bool IsKnownOp(uint8_t op) {
   return false;
 }
 
+bool IsIdempotentOp(Op op) {
+  switch (op) {
+    case Op::kPing:
+    case Op::kInstanceList:
+    case Op::kGet:
+    case Op::kDirtyListGet:
+    case Op::kConfigIdGet:
+    case Op::kConfigIdBump:  // ObserveConfigId is a max-merge
+      return true;
+    default:
+      return false;
+  }
+}
+
 void PutU8(std::string& out, uint8_t v) {
   out.push_back(static_cast<char>(v));
 }

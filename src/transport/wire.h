@@ -107,6 +107,17 @@ enum class Op : uint8_t {
 /// True iff `op` is a defined opcode (decode-side validation).
 bool IsKnownOp(uint8_t op);
 
+/// True iff re-sending `op` after an ambiguous failure (connection dropped
+/// with the response unread — the server may or may not have executed it)
+/// cannot change the outcome. These are the only ops a client-side retry
+/// layer may resend automatically (docs/PROTOCOL.md §11): pure reads (kGet,
+/// kDirtyListGet, kConfigIdGet, kPing, kInstanceList) and kConfigIdBump,
+/// which is a max-merge into the instance's observed configuration id.
+/// Everything that touches leases, versions, or dirty lists stays
+/// fail-fast — a duplicated kIqSet/kDar/kAppend could double-apply or
+/// resurrect a lease the protocol already voided.
+bool IsIdempotentOp(Op op);
+
 // ---- Primitive writers (append to `out`) ----------------------------------
 
 void PutU8(std::string& out, uint8_t v);

@@ -66,6 +66,13 @@ void Usage(const char* argv0) {
          "                         the --id instance\n"
       << "  --snapshot-interval-s N  write every snapshot file every N "
          "seconds\n"
+      << "  --drain-timeout-ms N   how long a graceful shutdown waits for\n"
+         "                         pending responses to drain (default "
+      << gemini::TransportServer::Options().drain_timeout_ms << ")\n"
+      << "  --idle-timeout-ms N    reap connections stuck before HELLO or\n"
+         "                         mid-frame after N ms; 0 disables "
+         "(default "
+      << gemini::TransportServer::Options().idle_timeout_ms << ")\n"
       << "  --poll                 use the portable poll(2) loop, not epoll\n"
       << "  --verbose              info-level logging\n";
 }
@@ -120,6 +127,8 @@ int main(int argc, char** argv) {
   uint64_t snapshot_interval_s = 0;
   uint64_t threads = 0;  // 0 = auto (hardware_concurrency)
   uint64_t stripes = 0;  // 0 = auto (derived from the loop count)
+  int64_t drain_timeout_ms = -1;  // -1 = server default
+  int64_t idle_timeout_ms = -1;   // -1 = server default
   bool use_poll = false;
   std::vector<InstanceSpec> specs;
   // Single-instance sugar, folded into `specs` after parsing.
@@ -156,6 +165,12 @@ int main(int argc, char** argv) {
       saw_single_flags = true;
     } else if (arg == "--snapshot-interval-s") {
       snapshot_interval_s = ParseUint(arg, next(), uint64_t{1} << 31);
+    } else if (arg == "--drain-timeout-ms") {
+      drain_timeout_ms =
+          static_cast<int64_t>(ParseUint(arg, next(), 10 * 60 * 1000));
+    } else if (arg == "--idle-timeout-ms") {
+      idle_timeout_ms =
+          static_cast<int64_t>(ParseUint(arg, next(), 24LL * 3600 * 1000));
     } else if (arg == "--poll") {
       use_poll = true;
     } else if (arg == "--verbose") {
@@ -233,11 +248,23 @@ int main(int argc, char** argv) {
   options.port = port;
   options.num_loops = effective_loops;
   options.use_poll_fallback = use_poll;
+  if (drain_timeout_ms >= 0) {
+    options.drain_timeout_ms = static_cast<int>(drain_timeout_ms);
+  }
+  if (idle_timeout_ms >= 0) {
+    options.idle_timeout_ms = static_cast<int>(idle_timeout_ms);
+  }
   gemini::TransportServer server(std::move(registry), options);
   if (gemini::Status s = server.Start(); !s.ok()) {
     std::cerr << "geminid: " << s.ToString() << "\n";
     return 1;
   }
+  // Install the handlers before announcing readiness: anything supervising
+  // geminid (an init system, a test harness) may take the banner as its cue
+  // to signal, and a SIGTERM landing in the gap would kill us un-drained.
+  std::signal(SIGINT, HandleSignal);
+  std::signal(SIGTERM, HandleSignal);
+
   {
     std::string ids;
     for (const InstanceSpec& spec : specs) {
@@ -247,9 +274,6 @@ int main(int argc, char** argv) {
     std::cout << "geminid: instances " << ids << " serving on " << bind_address
               << ":" << server.port() << std::endl;
   }
-
-  std::signal(SIGINT, HandleSignal);
-  std::signal(SIGTERM, HandleSignal);
 
   gemini::SnapshotWriter::Options writer_options;
   writer_options.interval =
