@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cassert>
 
+#include "src/cache/persistence_sink.h"
 #include "src/common/hash.h"
 #include "src/common/logging.h"
 
@@ -23,7 +24,8 @@ CacheInstance::CacheInstance(InstanceId id, const Clock* clock,
     : id_(id),
       clock_(clock),
       options_(options),
-      leases_(clock, options.lease_options) {
+      leases_(clock, options.lease_options),
+      sink_(options.persistence) {
   const uint32_t n =
       RoundUpPow2(std::clamp<uint32_t>(options_.num_stripes, 1, 256));
   stripes_.reserve(n);
@@ -63,12 +65,18 @@ void CacheInstance::RecoverPersistent() {
     std::unique_lock<std::shared_mutex> meta(meta_mu_);
     available_ = true;
     for (const auto& key : quarantined) {
-      Stripe& st = StripeOf(key);
-      std::lock_guard<std::mutex> lock(st.mu);
-      auto it = st.table.find(key);
-      if (it != st.table.end()) {
-        EraseLocked(st, it->second, /*count_as_delete=*/true);
+      {
+        Stripe& st = StripeOf(key);
+        std::lock_guard<std::mutex> lock(st.mu);
+        auto it = st.table.find(key);
+        if (it != st.table.end()) {
+          EraseLocked(st, it->second, /*count_as_delete=*/true);
+        }
       }
+      // The durable log must agree with the sweep: a restart replaying it
+      // would drop these keys via the QBegin count anyway, but the explicit
+      // delete keeps the on-disk history self-describing.
+      if (sink_ != nullptr) sink_->OnDelete(PersistOp::kQExpiry, key);
     }
     // Fragment leases did not survive the crash; the coordinator re-grants
     // them as part of publishing the recovery-mode configuration.
@@ -85,8 +93,12 @@ void CacheInstance::RecoverPersistent() {
         }
       }
     }
-    std::lock_guard<std::mutex> flush_lock(flush_mu_);
-    pending_flush_ = std::move(rebuilt);
+    {
+      std::lock_guard<std::mutex> flush_lock(flush_mu_);
+      pending_flush_ = std::move(rebuilt);
+    }
+    // Every outstanding quarantine is now resolved (swept above).
+    if (sink_ != nullptr) sink_->OnQuarantineClear();
   }
   leases_.Clear();
 }
@@ -102,8 +114,11 @@ void CacheInstance::RecoverVolatile() {
       sp->lru.clear();
       sp->used_bytes = 0;
     }
-    std::lock_guard<std::mutex> flush_lock(flush_mu_);
-    pending_flush_.clear();  // volatile cache: buffered writes are LOST
+    {
+      std::lock_guard<std::mutex> flush_lock(flush_mu_);
+      pending_flush_.clear();  // volatile cache: buffered writes are LOST
+    }
+    if (sink_ != nullptr) sink_->OnVolatileWipe();
   }
   leases_.Clear();
 }
@@ -121,14 +136,22 @@ void CacheInstance::GrantFragmentLease(FragmentId fragment,
                                        ConfigId latest_config) {
   std::unique_lock<std::shared_mutex> meta(meta_mu_);
   fragments_[fragment] = FragmentLease{min_valid_config, expiry};
+  const ConfigId before = latest_config_;
   latest_config_ = std::max(latest_config_, latest_config);
+  if (sink_ != nullptr && latest_config_ > before) {
+    sink_->OnConfigObserved(latest_config_);
+  }
 }
 
 void CacheInstance::RevokeFragmentLease(FragmentId fragment,
                                         ConfigId latest_config) {
   std::unique_lock<std::shared_mutex> meta(meta_mu_);
   fragments_.erase(fragment);
+  const ConfigId before = latest_config_;
   latest_config_ = std::max(latest_config_, latest_config);
+  if (sink_ != nullptr && latest_config_ > before) {
+    sink_->OnConfigObserved(latest_config_);
+  }
 }
 
 ConfigId CacheInstance::latest_config_id() const {
@@ -138,7 +161,11 @@ ConfigId CacheInstance::latest_config_id() const {
 
 void CacheInstance::ObserveConfigId(ConfigId latest) {
   std::unique_lock<std::shared_mutex> meta(meta_mu_);
+  const ConfigId before = latest_config_;
   latest_config_ = std::max(latest_config_, latest);
+  if (sink_ != nullptr && latest_config_ > before) {
+    sink_->OnConfigObserved(latest_config_);
+  }
 }
 
 bool CacheInstance::HoldsFragmentLease(FragmentId fragment) const {
@@ -262,6 +289,15 @@ ConfigId CacheInstance::MinValidMeta(const OpContext& ctx) const {
   return it == fragments_.end() ? 0 : it->second.min_valid_config;
 }
 
+void CacheInstance::LogUpsertLocked(Stripe& st, PersistOp op,
+                                    std::string_view key) {
+  if (sink_ == nullptr) return;
+  auto it = st.table.find(key);
+  if (it == st.table.end()) return;  // upsert was rejected (over budget)
+  const Entry& e = *it->second;
+  sink_->OnUpsert(op, key, e.value, e.config_id, e.pinned);
+}
+
 CacheInstance::Table::iterator CacheInstance::FindValidLocked(
     Stripe& st, ConfigId min_valid, std::string_view key) {
   // A Q lease that expired un-released forces deletion of the entry
@@ -271,12 +307,18 @@ CacheInstance::Table::iterator CacheInstance::FindValidLocked(
     if (stale != st.table.end()) {
       EraseLocked(st, stale->second, /*count_as_delete=*/true);
     }
+    if (sink_ != nullptr) {
+      sink_->OnDelete(PersistOp::kQExpiry, key);
+      sink_->OnQuarantineEnd(key);
+    }
   }
   auto it = st.table.find(key);
   if (it == st.table.end()) return st.table.end();
   if (it->second->config_id < min_valid) {
     // Obsolete under the Rejig rule (Section 3.2.4): written before the
-    // fragment's current minimum-valid configuration — discard lazily.
+    // fragment's current minimum-valid configuration — discard lazily. Not
+    // logged to the persistence sink: a replayed entry keeps its old stamp
+    // and is re-discarded the same way once leases are re-granted.
     counters_.config_discards.fetch_add(1, std::memory_order_relaxed);
     EraseLocked(st, it->second, /*count_as_delete=*/false);
     return st.table.end();
@@ -352,6 +394,7 @@ Status CacheInstance::IqSet(const OpContext& ctx, std::string_view key,
     }
     return Status(Code::kLeaseInvalid);
   }
+  LogUpsertLocked(st, PersistOp::kIqSet, key);
   leases_.ReleaseI(key, token);
   return Status::Ok();
 }
@@ -360,7 +403,14 @@ Result<LeaseToken> CacheInstance::Qareg(const OpContext& ctx,
                                         std::string_view key) {
   std::shared_lock<std::shared_mutex> meta(meta_mu_);
   if (Status s = CheckRequestMeta(ctx); !s.ok()) return s;
-  return leases_.AcquireQ(key);
+  Result<LeaseToken> token = leases_.AcquireQ(key);
+  if (token.ok() && sink_ != nullptr) {
+    // Durable (eagerly synced) before the token escapes: once the writer
+    // holds it, it may update the data store at any moment, and a crash
+    // must then treat this key as quarantined.
+    sink_->OnQuarantineBegin(key);
+  }
+  return token;
 }
 
 Status CacheInstance::Dar(const OpContext& ctx, std::string_view key,
@@ -372,6 +422,10 @@ Status CacheInstance::Dar(const OpContext& ctx, std::string_view key,
   auto it = st.table.find(key);
   if (it != st.table.end()) {
     EraseLocked(st, it->second, /*count_as_delete=*/true);
+  }
+  if (sink_ != nullptr) {
+    sink_->OnDelete(PersistOp::kDar, key);
+    sink_->OnQuarantineEnd(key);
   }
   leases_.ReleaseQ(key, token);
   return Status::Ok();
@@ -400,6 +454,10 @@ Status CacheInstance::WriteBackInstall(const OpContext& ctx,
     std::lock_guard<std::mutex> flush_lock(flush_mu_);
     pending_flush_.push_back(PendingFlush{std::string(key), std::move(copy)});
   }
+  // Logged pinned + eagerly synced by the sink: the ack'd value exists
+  // nowhere but this cache until its flush lands.
+  LogUpsertLocked(st, PersistOp::kWriteBack, key);
+  if (sink_ != nullptr) sink_->OnQuarantineEnd(key);
   leases_.ReleaseQ(key, token);
   return Status::Ok();
 }
@@ -455,6 +513,8 @@ Status CacheInstance::Rar(const OpContext& ctx, std::string_view key,
   // of the older buffered version is a no-op at the store).
   auto it = st.table.find(key);
   if (it != st.table.end()) it->second->pinned = false;
+  LogUpsertLocked(st, PersistOp::kRar, key);
+  if (sink_ != nullptr) sink_->OnQuarantineEnd(key);
   leases_.ReleaseQ(key, token);
   return Status::Ok();
 }
@@ -473,6 +533,7 @@ Result<LeaseToken> CacheInstance::ISet(const OpContext& ctx,
   if (it != st.table.end()) {
     EraseLocked(st, it->second, /*count_as_delete=*/true);
   }
+  if (sink_ != nullptr) sink_->OnDelete(PersistOp::kISet, key);
   return *lease;
 }
 
@@ -486,6 +547,7 @@ Status CacheInstance::IDelete(const OpContext& ctx, std::string_view key,
   if (it != st.table.end()) {
     EraseLocked(st, it->second, /*count_as_delete=*/true);
   }
+  if (sink_ != nullptr) sink_->OnDelete(PersistOp::kIDelete, key);
   leases_.ReleaseI(key, token);
   return Status::Ok();
 }
@@ -499,6 +561,7 @@ Status CacheInstance::Delete(const OpContext& ctx, std::string_view key) {
   if (it != st.table.end()) {
     EraseLocked(st, it->second, /*count_as_delete=*/true);
   }
+  if (sink_ != nullptr) sink_->OnDelete(PersistOp::kDelete, key);
   return Status::Ok();
 }
 
@@ -512,6 +575,7 @@ Status CacheInstance::Set(const OpContext& ctx, std::string_view key,
   if (!UpsertLocked(st, key, std::move(value), cfg)) {
     return Status(Code::kInvalidArgument, "value larger than cache capacity");
   }
+  LogUpsertLocked(st, PersistOp::kSet, key);
   return Status::Ok();
 }
 
@@ -534,6 +598,7 @@ Status CacheInstance::Cas(const OpContext& ctx, std::string_view key,
   if (!UpsertLocked(st, key, std::move(value), cfg)) {
     return Status(Code::kInvalidArgument, "value larger than cache capacity");
   }
+  LogUpsertLocked(st, PersistOp::kSet, key);
   return Status::Ok();
 }
 
@@ -552,6 +617,7 @@ Status CacheInstance::Append(const OpContext& ctx, std::string_view key,
     if (!UpsertLocked(st, key, std::move(value), cfg)) {
       return Status(Code::kInvalidArgument, "append larger than capacity");
     }
+    LogUpsertLocked(st, PersistOp::kAppend, key);
     return Status::Ok();
   }
   Entry& e = *it->second;
@@ -562,6 +628,7 @@ Status CacheInstance::Append(const OpContext& ctx, std::string_view key,
   st.used_bytes += ChargeOf(e);
   TouchLocked(st, it->second);
   EvictLocked(st);
+  LogUpsertLocked(st, PersistOp::kAppend, key);
   return Status::Ok();
 }
 
@@ -657,13 +724,46 @@ Status CacheInstance::RestoreEntry(std::string_view key, CacheValue value,
   if (!UpsertLocked(st, key, std::move(value), config_id)) {
     return Status(Code::kInvalidArgument, "entry larger than cache capacity");
   }
+  // The pin state is restored explicitly both ways: WAL replay re-installs a
+  // key several times, and a later unpinned record must clear the pin a
+  // prior pinned record set.
+  auto it = st.table.find(key);
+  it->second->pinned = pinned;
   if (pinned) {
-    auto it = st.table.find(key);
-    it->second->pinned = true;
     std::lock_guard<std::mutex> flush_lock(flush_mu_);
     pending_flush_.push_back(PendingFlush{std::string(key), std::move(copy)});
   }
   return Status::Ok();
+}
+
+void CacheInstance::RestoreErase(std::string_view key) {
+  Stripe& st = StripeOf(key);
+  std::lock_guard<std::mutex> lock(st.mu);
+  auto it = st.table.find(key);
+  if (it != st.table.end()) {
+    EraseLocked(st, it->second, /*count_as_delete=*/false);
+  }
+}
+
+void CacheInstance::RebuildFlushQueue() {
+  std::unique_lock<std::shared_mutex> meta(meta_mu_);
+  std::deque<PendingFlush> rebuilt;
+  for (const auto& sp : stripes_) {
+    std::lock_guard<std::mutex> lock(sp->mu);
+    for (const Entry& e : sp->lru) {
+      if (e.pinned) {
+        rebuilt.push_back(PendingFlush{e.key, e.value});
+      }
+    }
+  }
+  std::lock_guard<std::mutex> flush_lock(flush_mu_);
+  pending_flush_ = std::move(rebuilt);
+}
+
+void CacheInstance::SetPersistenceSink(PersistenceSink* sink) {
+  std::unique_lock<std::shared_mutex> meta(meta_mu_);
+  sink_ = sink;
+  options_.persistence = sink;
 }
 
 }  // namespace gemini

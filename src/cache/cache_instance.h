@@ -65,6 +65,9 @@
 
 namespace gemini {
 
+class PersistenceSink;
+enum class PersistOp : uint8_t;
+
 class CacheInstance : public CacheBackend {
  public:
   struct Options {
@@ -79,6 +82,11 @@ class CacheInstance : public CacheBackend {
     /// event-loop count so concurrent shards stop convoying on one lock.
     uint32_t num_stripes = 1;
     LeaseTable::Options lease_options;
+    /// When set, every durable state change is reported through this sink
+    /// (see persistence_sink.h for the callback/locking contract). Null (the
+    /// default) is the legacy volatile behavior. Not owned; must outlive the
+    /// instance or be detached with SetPersistenceSink(nullptr).
+    PersistenceSink* persistence = nullptr;
   };
 
   CacheInstance(InstanceId id, const Clock* clock)
@@ -276,6 +284,22 @@ class CacheInstance : public CacheBackend {
   Status RestoreEntry(std::string_view key, CacheValue value,
                       ConfigId config_id, bool pinned = false);
 
+  /// Erases the physically present entry for `key` without touching leases,
+  /// op counters, or the persistence sink. Recovery replay only (the
+  /// durable log already accounts for the deletion being re-applied).
+  void RestoreErase(std::string_view key);
+
+  /// Clears the pending-flush queue and rebuilds it from the entries that
+  /// are pinned *now* — the post-replay analogue of RecoverPersistent's
+  /// sweep. WAL replay enqueues one flush per pinned upsert record, some of
+  /// them superseded; only the final pinned state may be flushed.
+  void RebuildFlushQueue();
+
+  /// Swaps the persistence sink (see Options::persistence). Used when a
+  /// recovered process re-attaches a fresh store to an existing instance
+  /// object. Pass nullptr to detach.
+  void SetPersistenceSink(PersistenceSink* sink);
+
   LeaseTable& leases() { return leases_; }
   const Options& options() const { return options_; }
 
@@ -316,6 +340,10 @@ class CacheInstance : public CacheBackend {
   // stripe's budget).
   bool UpsertLocked(Stripe& st, std::string_view key, CacheValue value,
                     ConfigId cfg);
+  // Reports the just-installed entry for `key` to the persistence sink (a
+  // no-op when the sink is null or the upsert was rejected). Requires the
+  // stripe lock and meta_mu_ (shared) held.
+  void LogUpsertLocked(Stripe& st, PersistOp op, std::string_view key);
   // Looks up the key and applies Rejig validity + Q-expiry actions.
   // `min_valid` is the fragment's minimum-valid config id (0 = no check),
   // read from the meta state by the caller. Returns st.table.end() on
@@ -351,6 +379,11 @@ class CacheInstance : public CacheBackend {
   const Clock* clock_;
   Options options_;
   LeaseTable leases_;
+
+  /// Durability sink, null when persistence is off. Guarded by meta_mu_:
+  /// every call site holds it (shared suffices — the sink itself is
+  /// thread-safe); SetPersistenceSink takes it exclusively.
+  PersistenceSink* sink_ = nullptr;
 
   // Read-mostly instance-wide state: availability, fragment leases, and the
   // memoized latest config id. Shared-locked on the data path, uniquely

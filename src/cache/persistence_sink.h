@@ -1,0 +1,74 @@
+// The cache → durability boundary.
+//
+// CacheInstance does not know about files, fsync, or WAL framing; it reports
+// every durable state change through this narrow interface while still
+// holding the lock that made the change atomic. The persist/ subsystem
+// implements it (PersistentStore); tests implement it to spy on the write
+// path. A null sink (the default) is exactly the legacy volatile behavior.
+//
+// Locking contract: OnUpsert/OnDelete are invoked under the key's stripe
+// mutex, OnQuarantineBegin/End under the meta lock (shared), and
+// OnConfigObserved under the meta lock (exclusive). Implementations must not
+// call back into the cache and must not block unboundedly — an append to a
+// buffered log is the intended cost.
+#pragma once
+
+#include <string_view>
+
+#include "src/cache/cache_backend.h"
+#include "src/common/types.h"
+
+namespace gemini {
+
+/// Which cache operation caused a persisted mutation. Recovery does not need
+/// this to replay (records carry exact values), but it makes the log legible
+/// and lets the crash-point oracle reason about lease-protected writes.
+enum class PersistOp : uint8_t {
+  kSet = 0,        // plain Set / Cas
+  kIqSet = 1,      // IqSet filling a miss under an I lease
+  kRar = 2,        // read-after-recovery copy-in
+  kAppend = 3,     // read-modify-write append
+  kWriteBack = 4,  // WriteBackInstall of a buffered dirty write
+  kDelete = 5,     // plain Delete
+  kDar = 6,        // delete-after-recovery
+  kIDelete = 7,    // invalidate under an I lease
+  kISet = 8,       // ISet (refill marker → delete on this path)
+  kQExpiry = 9,    // entry dropped because its Q lease expired unreleased
+};
+
+class PersistenceSink {
+ public:
+  virtual ~PersistenceSink() = default;
+
+  /// `key` now maps to `value` (exact bytes, version, charge) at `config_id`.
+  /// `pinned` mirrors the flush-queue pin (buffered write not yet persisted
+  /// to the data store).
+  virtual void OnUpsert(PersistOp op, std::string_view key,
+                        const CacheValue& value, ConfigId config_id,
+                        bool pinned) = 0;
+
+  /// `key` no longer maps to anything.
+  virtual void OnDelete(PersistOp op, std::string_view key) = 0;
+
+  /// A Q lease was granted on `key` (Qareg). Until the matching
+  /// OnQuarantineEnd, a crash must treat `key` as quarantined: its cached
+  /// value may be about to diverge from the data store.
+  virtual void OnQuarantineBegin(std::string_view key) = 0;
+
+  /// The Q lease on `key` resolved (Dar applied, write-back installed, or
+  /// the lease expired and the entry was dropped).
+  virtual void OnQuarantineEnd(std::string_view key) = 0;
+
+  /// The instance-wide latest config id advanced to `latest`.
+  virtual void OnConfigObserved(ConfigId latest) = 0;
+
+  /// RecoverPersistent finished its sweep: every outstanding quarantine is
+  /// resolved (the swept keys were reported through OnDelete first).
+  virtual void OnQuarantineClear() = 0;
+
+  /// RecoverVolatile wiped the instance: all prior entries, pins, and
+  /// quarantines are gone (the observed config id survives).
+  virtual void OnVolatileWipe() = 0;
+};
+
+}  // namespace gemini

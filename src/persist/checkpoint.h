@@ -1,0 +1,64 @@
+// Log-truncating checkpoints.
+//
+// A checkpoint `checkpoint-<seq>.snap` is a Snapshot (snapshot.h format) of
+// the full cache state that covers every WAL segment with sequence < seq:
+// after it lands (atomic temp+rename+dir-fsync via Snapshot::WriteToFile),
+// those segments and any older checkpoints are garbage. Recovery loads the
+// highest checkpoint, then replays segments >= its seq in order.
+//
+// The seq is the WAL segment that was *current when serialization started*
+// (i.e. rotation happens first, then the snapshot is cut). Records appended
+// to segment seq before the cut are therefore both in the checkpoint and in
+// the replayed log; that overlap is safe because records carry exact values
+// and replay re-applies them in original order — the result converges on the
+// same state.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/cache/cache_instance.h"
+#include "src/common/status.h"
+
+namespace gemini {
+
+/// Sorted sequence numbers of the persistence files present in a data dir.
+/// Unrelated names are ignored (temp files, user droppings).
+struct DirListing {
+  std::vector<uint64_t> wal_seqs;
+  std::vector<uint64_t> checkpoint_seqs;
+};
+
+class CheckpointManager {
+ public:
+  explicit CheckpointManager(std::string dir) : dir_(std::move(dir)) {}
+
+  /// Serializes `instance` into checkpoint-<seq>.snap atomically.
+  Status Write(CacheInstance& instance, uint64_t seq);
+
+  /// Loads checkpoint-<seq>.snap into `instance`. Fails closed (kInternal)
+  /// on corruption: a checkpoint is written atomically, so a damaged one is
+  /// disk rot, not a crash artifact.
+  Status Load(CacheInstance& instance, uint64_t seq);
+
+  /// Deletes WAL segments and checkpoints with sequence < keep_seq. Returns
+  /// the first unlink failure but attempts every file.
+  Status GarbageCollect(uint64_t keep_seq);
+
+  /// Scans the data dir for wal-*.log / checkpoint-*.snap names.
+  Status List(DirListing& out) const;
+
+  std::string CheckpointPath(uint64_t seq) const;
+  /// Parses "checkpoint-<seq>.snap" (basename). False for any other name.
+  static bool ParseCheckpointName(std::string_view name, uint64_t& seq);
+
+  [[nodiscard]] const std::string& dir() const { return dir_; }
+  [[nodiscard]] uint64_t checkpoints_written() const { return written_; }
+
+ private:
+  std::string dir_;
+  uint64_t written_ = 0;
+};
+
+}  // namespace gemini

@@ -1,0 +1,56 @@
+// FaultFile: deterministic crash-point mutations for persistence files.
+//
+// ALICE-style testing: a crash (or torn sector) leaves the write-ahead log
+// in some byte-level state the code never wrote atomically. This module
+// produces those states deterministically — pick a seed, derive a plan,
+// apply it to a copy of the file — so every failure is replayable from the
+// seed alone (echoed by CI, same idiom as FaultProxy's seeded schedules).
+//
+// Three mutation kinds model the interesting states:
+//   kCut            truncate at a uniformly random *byte* offset — the tail
+//                   record is torn mid-frame (or mid-header).
+//   kTruncateRecord truncate at a *record boundary* — the clean crash, a
+//                   whole suffix of records lost.
+//   kTornWrite      truncate at a random byte offset, then append seeded
+//                   garbage — a sector half-filled with stale disk content.
+//
+// Recovery must handle every plan by either restoring a consistent prefix
+// of history or failing closed; silently wrong state is the only failure.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/common/status.h"
+
+namespace gemini {
+
+struct FaultPlan {
+  enum class Kind : uint8_t { kCut = 0, kTruncateRecord = 1, kTornWrite = 2 };
+
+  Kind kind = Kind::kCut;
+  /// File size after the truncate step.
+  uint64_t truncate_to = 0;
+  /// kTornWrite: garbage bytes appended after the truncate (0 otherwise).
+  uint32_t garbage_len = 0;
+  /// kTornWrite: seed for the garbage byte stream.
+  uint64_t garbage_seed = 0;
+};
+
+class FaultFile {
+ public:
+  /// Derives the mutation plan for (`seed`, `index`) — a pure function, so
+  /// a failing case replays from the two integers. `file_size` bounds the
+  /// truncation offset; `record_ends` (record-boundary offsets from
+  /// Wal::ScanFile, may be empty) anchors kTruncateRecord plans.
+  static FaultPlan PlanFor(uint64_t seed, uint32_t index, FaultPlan::Kind kind,
+                           uint64_t file_size,
+                           const std::vector<uint64_t>& record_ends);
+
+  /// Applies `plan` to `path` in place (callers mutate a copy of the data
+  /// dir, never the live one).
+  static Status Apply(const std::string& path, const FaultPlan& plan);
+};
+
+}  // namespace gemini

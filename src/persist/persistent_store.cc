@@ -1,0 +1,552 @@
+#include "src/persist/persistent_store.h"
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <unordered_map>
+#include <vector>
+
+#include <sys/stat.h>
+
+namespace gemini {
+namespace {
+
+/// mkdir -p: creates every missing component of `dir`.
+Status EnsureDir(const std::string& dir) {
+  std::string partial;
+  size_t pos = 0;
+  while (pos <= dir.size()) {
+    const size_t slash = dir.find('/', pos);
+    partial = slash == std::string::npos ? dir : dir.substr(0, slash);
+    pos = slash == std::string::npos ? dir.size() + 1 : slash + 1;
+    if (partial.empty()) continue;  // leading '/'
+    if (::mkdir(partial.c_str(), 0755) != 0 && errno != EEXIST) {
+      return Status(Code::kInternal, "cannot create data dir " + partial +
+                                         ": " + std::strerror(errno));
+    }
+  }
+  return Status::Ok();
+}
+
+}  // namespace
+
+PersistentStore::PersistentStore(std::string dir, Options options)
+    : dir_(std::move(dir)), options_(options), checkpoints_(dir_) {}
+
+PersistentStore::~PersistentStore() { Close(); }
+
+Status PersistentStore::Open(CacheInstance& instance) {
+  if (instance_ != nullptr) {
+    return Status(Code::kInvalidArgument, "persistent store already open");
+  }
+  if (Status s = EnsureDir(dir_); !s.ok()) return s;
+
+  uint64_t next_seq = 0;
+  if (Status s = Replay(instance, next_seq); !s.ok()) return s;
+
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    Wal::Options wal_options;
+    // With a background thread the batch trigger hands the fsync off to it
+    // (Append nudges bg_cv_); without one the Wal syncs inline at the
+    // threshold as before.
+    wal_options.sync_batch_bytes = options_.sync_interval > 0
+                                       ? SIZE_MAX
+                                       : options_.sync_batch_bytes;
+    if (Status s = wal_.Open(dir_, next_seq, wal_options); !s.ok()) return s;
+    // Head every segment with the latest observed config id: checkpoints
+    // (Snapshot format) do not store it, and the segments that did are about
+    // to be garbage-collected.
+    WalRecord head;
+    head.type = WalRecordType::kConfigId;
+    head.config_id = max_config_.load(std::memory_order_relaxed);
+    if (Status s = wal_.Append(head, /*sync_now=*/true); !s.ok()) return s;
+    appended_records_.fetch_add(1, std::memory_order_relaxed);
+  }
+  instance_ = &instance;
+  writer_thread_ = std::thread([this] { WriterLoop(); });
+  recording_.store(true, std::memory_order_release);
+
+  // A post-recovery checkpoint makes the replayed state durable in one file
+  // and truncates the replayed log — including any torn final segment.
+  if (Status s = checkpoints_.Write(instance, next_seq); !s.ok()) return s;
+  if (Status s = checkpoints_.GarbageCollect(next_seq); !s.ok()) return s;
+
+  if (options_.sync_interval > 0) {
+    bg_thread_ = std::thread([this] { BackgroundLoop(); });
+  }
+  return Status::Ok();
+}
+
+Status PersistentStore::Replay(CacheInstance& instance, uint64_t& next_seq) {
+  DirListing listing;
+  if (Status s = checkpoints_.List(listing); !s.ok()) return s;
+
+  uint64_t cp_seq = 0;
+  if (!listing.checkpoint_seqs.empty()) {
+    cp_seq = listing.checkpoint_seqs.back();
+    // A checkpoint lands atomically (temp + rename + dir fsync), so damage
+    // here is disk rot, not a crash artifact: fail closed rather than fall
+    // back to an older checkpoint whose covering log was truncated away.
+    if (Status s = checkpoints_.Load(instance, cp_seq); !s.ok()) {
+      return Status(Code::kInternal,
+                    "checkpoint " + checkpoints_.CheckpointPath(cp_seq) +
+                        " failed to load, refusing to serve possibly stale "
+                        "state: " + s.ToString());
+    }
+  }
+
+  std::vector<uint64_t> replay;
+  for (uint64_t seq : listing.wal_seqs) {
+    if (seq >= cp_seq) replay.push_back(seq);
+  }
+  for (size_t i = 1; i < replay.size(); ++i) {
+    if (replay[i] != replay[i - 1] + 1) {
+      return Status(Code::kInternal,
+                    "wal segment gap: " + std::to_string(replay[i - 1]) +
+                        " -> " + std::to_string(replay[i]));
+    }
+  }
+
+  // QBegin/QEnd counting. The count can only over-estimate outstanding
+  // quarantines (every QEnd is logged after its resolving mutation), so a
+  // positive final count is always safe to act on — and a key the
+  // checkpoint itself saw as quarantined was already skipped by
+  // Snapshot::Load.
+  std::unordered_map<std::string, int64_t> qcount;
+  ConfigId max_config = 0;
+
+  for (size_t i = 0; i < replay.size(); ++i) {
+    const uint64_t seq = replay[i];
+    WalScanResult scan = Wal::ScanFile(Wal::SegmentPath(dir_, seq));
+    if (!scan.error.ok()) return scan.error;
+    if (scan.torn_tail) {
+      if (i + 1 != replay.size()) {
+        // A crash tears only the segment being appended to — the newest.
+        // A torn middle segment means lost history: fail closed.
+        return Status(Code::kInternal,
+                      "torn tail in non-final wal segment " +
+                          Wal::SegmentPath(dir_, seq));
+      }
+      torn_tail_bytes_ += scan.file_bytes - scan.valid_bytes;
+    }
+    ++replayed_segments_;
+    for (const WalRecord& rec : scan.records) {
+      ++replayed_records_;
+      switch (rec.type) {
+        case WalRecordType::kUpsert: {
+          CacheValue value;
+          value.data = rec.data;
+          value.charged_bytes = rec.charged_bytes;
+          value.version = rec.version;
+          // Rejected only when larger than the cache budget — then it was
+          // never accepted live either.
+          (void)instance.RestoreEntry(rec.key, std::move(value),
+                                      rec.config_id, rec.pinned);
+          break;
+        }
+        case WalRecordType::kDelete:
+          instance.RestoreErase(rec.key);
+          break;
+        case WalRecordType::kQBegin:
+          ++qcount[rec.key];
+          break;
+        case WalRecordType::kQEnd: {
+          auto it = qcount.find(rec.key);
+          if (it != qcount.end() && it->second > 0) --it->second;
+          break;
+        }
+        case WalRecordType::kConfigId:
+          max_config = std::max(max_config, rec.config_id);
+          break;
+        case WalRecordType::kQClear:
+          qcount.clear();
+          break;
+        case WalRecordType::kWipe:
+          instance.RecoverVolatile();
+          qcount.clear();
+          break;
+      }
+    }
+  }
+
+  // Crash-spanning Q rule (Section 2.3): a key with more QBegins than QEnds
+  // had a writer in flight between its data-store update and its
+  // delete/replace-and-release — drop it rather than risk a stale read.
+  for (const auto& [key, count] : qcount) {
+    if (count > 0) {
+      instance.RestoreErase(key);
+      ++quarantine_drops_;
+    }
+  }
+
+  // Replay re-enqueued a flush per pinned upsert record; rebuild the queue
+  // from the *final* pinned entries so superseded buffered writes are not
+  // re-flushed over newer data-store state.
+  instance.RebuildFlushQueue();
+
+  instance.ForEachEntry([&max_config](std::string_view, const CacheValue&,
+                                      ConfigId config_id, bool) {
+    max_config = std::max(max_config, config_id);
+  });
+  if (max_config > 0) instance.ObserveConfigId(max_config);
+  max_config_.store(max_config, std::memory_order_relaxed);
+
+  restored_entries_ = instance.stats().entry_count;
+  next_seq = 0;
+  if (!listing.wal_seqs.empty()) {
+    next_seq = listing.wal_seqs.back() + 1;
+  }
+  if (!listing.checkpoint_seqs.empty()) {
+    next_seq = std::max(next_seq, cp_seq + 1);
+  }
+  return Status::Ok();
+}
+
+Status PersistentStore::Checkpoint() {
+  if (instance_ == nullptr) {
+    return Status(Code::kInvalidArgument, "persistent store not open");
+  }
+  uint64_t new_seq = 0;
+  {
+    // sync_mu_ first: Rotate closes the old segment's fd, which must not
+    // happen while an off-thread fsync is in flight on it.
+    std::lock_guard<std::mutex> sync_lock(sync_mu_);
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!error_.ok()) return error_;
+    if (Status s = wal_.Rotate(); !s.ok()) {
+      error_ = s;
+      recording_.store(false, std::memory_order_release);
+      return s;
+    }
+    new_seq = wal_.seq();
+    WalRecord head;
+    head.type = WalRecordType::kConfigId;
+    head.config_id = max_config_.load(std::memory_order_relaxed);
+    if (Status s = wal_.Append(head, /*sync_now=*/true); !s.ok()) {
+      error_ = s;
+      recording_.store(false, std::memory_order_release);
+      return s;
+    }
+    appended_records_.fetch_add(1, std::memory_order_relaxed);
+  }
+  // Serialize outside mu_: ForEachEntry holds every stripe lock, and writers
+  // blocked on stripes must not be deadlocked against the log mutex. Records
+  // racing into segment new_seq before the cut are replayed on top of the
+  // checkpoint — idempotent, they carry exact values in original order.
+  if (Status s = checkpoints_.Write(*instance_, new_seq); !s.ok()) return s;
+  return checkpoints_.GarbageCollect(new_seq);
+}
+
+Status PersistentStore::Sync() {
+  // Wait for the writer to drain everything enqueued so far, then fsync.
+  {
+    std::unique_lock<std::mutex> lock(q_mu_);
+    const uint64_t target = enqueued_;
+    q_done_cv_.wait(lock, [this, target] {
+      return written_ >= target ||
+             !recording_.load(std::memory_order_acquire);
+    });
+  }
+  return SyncOffThread();
+}
+
+Status PersistentStore::SyncOffThread() {
+  std::lock_guard<std::mutex> sync_lock(sync_mu_);
+  Wal::SyncToken token;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!error_.ok()) return error_;
+    if (!wal_.is_open()) return Status::Ok();
+    token = wal_.PrepareSync();
+  }
+  // The fsync runs with mu_ released: appends land in the page cache and
+  // ride to the next sync. sync_mu_ keeps the fd alive under us.
+  Status s = wal_.CompleteSync(token);
+  if (!s.ok()) {
+    std::lock_guard<std::mutex> lock(mu_);
+    error_ = s;
+    recording_.store(false, std::memory_order_release);
+  }
+  return s;
+}
+
+void PersistentStore::Close() {
+  // Stop the writer first: it drains the queue fully before exiting, so
+  // every record accepted by Append reaches write(2); wal_.Close() below
+  // then makes the tail durable.
+  {
+    std::lock_guard<std::mutex> lock(q_mu_);
+    writer_stop_ = true;
+  }
+  q_cv_.notify_all();
+  q_space_cv_.notify_all();
+  if (writer_thread_.joinable()) writer_thread_.join();
+  {
+    std::lock_guard<std::mutex> lock(bg_mu_);
+    stop_ = true;
+  }
+  bg_cv_.notify_all();
+  if (bg_thread_.joinable()) bg_thread_.join();
+  recording_.store(false, std::memory_order_release);
+  std::lock_guard<std::mutex> sync_lock(sync_mu_);
+  std::lock_guard<std::mutex> lock(mu_);
+  wal_.Close();
+}
+
+Status PersistentStore::error() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return error_;
+}
+
+PersistentStore::Stats PersistentStore::stats() const {
+  Stats s;
+  s.appended_records = appended_records_.load(std::memory_order_relaxed);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    s.fsyncs = wal_.fsync_count();
+  }
+  s.checkpoints = checkpoints_.checkpoints_written();
+  s.replayed_segments = replayed_segments_;
+  s.replayed_records = replayed_records_;
+  s.restored_entries = restored_entries_;
+  s.quarantine_drops = quarantine_drops_;
+  s.torn_tail_bytes = torn_tail_bytes_;
+  return s;
+}
+
+uint64_t PersistentStore::wal_seq() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return wal_.seq();
+}
+
+namespace {
+/// Backpressure bound on the writer queue: when the disk cannot keep up,
+/// producers wait rather than buffering framed bytes without limit.
+constexpr size_t kMaxPendingBytes = 8 << 20;
+/// Enough pending bytes to skip the writer's accumulation window and write
+/// immediately — a burst this large no longer benefits from waiting.
+constexpr size_t kGroupCommitBytes = 512 << 10;
+}  // namespace
+
+template <typename Record>
+void PersistentStore::AppendImpl(const Record& record, bool sync_now) {
+  if (!recording_.load(std::memory_order_acquire)) return;
+  uint64_t my_seq = 0;
+  bool wake = false;
+  {
+    std::unique_lock<std::mutex> lock(q_mu_);
+    q_space_cv_.wait(lock, [this] {
+      return pending_.size() < kMaxPendingBytes || writer_stop_;
+    });
+    if (writer_stop_ || !recording_.load(std::memory_order_acquire)) return;
+    // Notify only on the empty -> non-empty transition: while the writer is
+    // busy with a previous batch its wait predicate re-checks the buffer,
+    // so the wakeup cannot be lost — and the common case (writer already
+    // draining) skips the futex wake entirely.
+    wake = pending_.empty() || sync_now;
+    Wal::EncodeFrame(pending_, record);
+    ++pending_records_;
+    pending_eager_ |= sync_now;
+    my_seq = ++enqueued_;
+    appended_records_.fetch_add(1, std::memory_order_relaxed);
+  }
+  if (wake) q_cv_.notify_one();
+  if (sync_now) {
+    // An eager record must be durable before the triggering operation
+    // returns (e.g. before a Qareg token escapes). FIFO order means the
+    // group fsync that covers it covers everything enqueued before it.
+    std::unique_lock<std::mutex> lock(q_mu_);
+    q_done_cv_.wait(lock, [this, my_seq] {
+      return durable_ >= my_seq ||
+             !recording_.load(std::memory_order_acquire);
+    });
+  }
+}
+
+void PersistentStore::Append(const WalRecord& record, bool sync_now) {
+  AppendImpl(record, sync_now);
+}
+
+void PersistentStore::Append(const WalUpsertRef& record, bool sync_now) {
+  AppendImpl(record, sync_now);
+}
+
+void PersistentStore::WriterLoop() {
+  std::string batch;
+  for (;;) {
+    size_t count = 0;
+    bool has_eager = false;
+    batch.clear();
+    {
+      std::unique_lock<std::mutex> lock(q_mu_);
+      q_cv_.wait(lock, [this] { return !pending_.empty() || writer_stop_; });
+      if (pending_.empty() && writer_stop_) return;
+      if (!writer_stop_ && !pending_eager_ &&
+          pending_.size() < kGroupCommitBytes) {
+        // Group commit: let a burst of batched-class records accumulate
+        // before paying for the write. Crucially this also keeps the writer
+        // from preempting the serving thread once per record on small
+        // machines — producers only signal on empty->non-empty or eager, and
+        // by the time this timer fires the whole burst drains in one
+        // write(2). Batched-class records already tolerate the sync_interval
+        // loss window (a lost record is a cache miss, never a stale read),
+        // so a few milliseconds of page-cache delay changes nothing; eager
+        // records skip the wait via the predicate below.
+        q_cv_.wait_for(lock, std::chrono::milliseconds(4), [this] {
+          return writer_stop_ || pending_eager_ ||
+                 pending_.size() >= kGroupCommitBytes;
+        });
+      }
+      batch.swap(pending_);  // pending_ inherits batch's grown capacity
+      count = pending_records_;
+      pending_records_ = 0;
+      has_eager = pending_eager_;
+      pending_eager_ = false;
+    }
+    q_space_cv_.notify_all();
+
+    Status s;
+    bool nudge = false;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (!error_.ok()) {
+        s = error_;
+      } else {
+        // One write(2) for the whole batch; fsync only when a record in it
+        // demands durability-before-return (group commit).
+        s = wal_.AppendRaw(batch, has_eager);
+        if (!s.ok()) {
+          // A log with a hole must not pretend to be complete: stop
+          // recording so the owner (error()) can fail the instance over
+          // rather than let a future recovery miss a delete and serve a
+          // stale value.
+          error_ = s;
+          recording_.store(false, std::memory_order_release);
+        } else {
+          nudge = !has_eager &&
+                  wal_.unsynced_bytes() >= options_.sync_batch_bytes &&
+                  options_.sync_interval > 0 &&
+                  !sync_requested_.exchange(true, std::memory_order_relaxed);
+        }
+      }
+    }
+    {
+      std::lock_guard<std::mutex> lock(q_mu_);
+      if (s.ok()) {
+        written_ += count;
+        if (has_eager) durable_ = written_;
+      }
+    }
+    // On failure eager waiters are released by the recording_ flip above;
+    // notify unconditionally so none of them sleeps through it.
+    q_done_cv_.notify_all();
+    if (nudge) bg_cv_.notify_one();
+  }
+}
+
+void PersistentStore::BackgroundLoop() {
+  std::unique_lock<std::mutex> lock(bg_mu_);
+  while (!stop_) {
+    bg_cv_.wait_for(
+        lock, std::chrono::microseconds(options_.sync_interval), [this] {
+          return stop_ || sync_requested_.load(std::memory_order_relaxed);
+        });
+    if (stop_) break;
+    sync_requested_.store(false, std::memory_order_relaxed);
+    lock.unlock();
+    (void)SyncOffThread();
+    bool want_checkpoint = false;
+    {
+      std::lock_guard<std::mutex> wal_lock(mu_);
+      want_checkpoint = options_.checkpoint_wal_bytes > 0 && wal_.is_open() &&
+                        wal_.segment_bytes() > options_.checkpoint_wal_bytes;
+    }
+    if (want_checkpoint) (void)Checkpoint();
+    lock.lock();
+  }
+}
+
+// ---- PersistenceSink --------------------------------------------------------
+
+void PersistentStore::OnUpsert(PersistOp op, std::string_view key,
+                               const CacheValue& value, ConfigId config_id,
+                               bool pinned) {
+  if (!recording_.load(std::memory_order_acquire)) return;
+  WalUpsertRef rec;  // view: framed under q_mu_ before the sink returns
+  rec.origin = static_cast<uint8_t>(op);
+  rec.pinned = pinned;
+  rec.key = key;
+  rec.data = value.data;
+  rec.charged_bytes = value.charged_bytes;
+  rec.version = value.version;
+  rec.config_id = config_id;
+  // A write-back install is ack'd to the client while the value exists
+  // nowhere but this cache: it must survive a crash, so it skips the batch.
+  Append(rec, /*sync_now=*/op == PersistOp::kWriteBack);
+}
+
+void PersistentStore::OnDelete(PersistOp op, std::string_view key) {
+  if (!recording_.load(std::memory_order_acquire)) return;
+  WalRecord rec;
+  rec.type = WalRecordType::kDelete;
+  rec.origin = static_cast<uint8_t>(op);
+  rec.key = std::string(key);
+  // Recovery-mode invalidations (iset/idelete) erase entries the protocol
+  // has proven unrecoverable; losing one to the batch would resurrect it.
+  const bool eager =
+      op == PersistOp::kISet || op == PersistOp::kIDelete;
+  Append(std::move(rec), eager);
+}
+
+void PersistentStore::OnQuarantineBegin(std::string_view key) {
+  if (!recording_.load(std::memory_order_acquire)) return;
+  WalRecord rec;
+  rec.type = WalRecordType::kQBegin;
+  rec.key = std::string(key);
+  // Must be durable before the Qareg token escapes to the writer: once the
+  // writer may have touched the data store, a crash must quarantine the key.
+  Append(std::move(rec), /*sync_now=*/true);
+}
+
+void PersistentStore::OnQuarantineEnd(std::string_view key) {
+  if (!recording_.load(std::memory_order_acquire)) return;
+  WalRecord rec;
+  rec.type = WalRecordType::kQEnd;
+  rec.key = std::string(key);
+  // Batched: a lost QEnd merely re-quarantines (over-deletes) after a crash.
+  Append(std::move(rec), /*sync_now=*/false);
+}
+
+void PersistentStore::OnConfigObserved(ConfigId latest) {
+  // Track the max even before recording starts (Open's head record uses it).
+  uint64_t seen = max_config_.load(std::memory_order_relaxed);
+  while (latest > seen &&
+         !max_config_.compare_exchange_weak(seen, latest,
+                                            std::memory_order_relaxed)) {
+  }
+  if (!recording_.load(std::memory_order_acquire)) return;
+  WalRecord rec;
+  rec.type = WalRecordType::kConfigId;
+  rec.config_id = latest;
+  // Serving under an older config after a crash would resurrect entries the
+  // Rejig rule already discarded in O(1): sync before the grant is usable.
+  Append(std::move(rec), /*sync_now=*/true);
+}
+
+void PersistentStore::OnQuarantineClear() {
+  if (!recording_.load(std::memory_order_acquire)) return;
+  WalRecord rec;
+  rec.type = WalRecordType::kQClear;
+  Append(std::move(rec), /*sync_now=*/false);
+}
+
+void PersistentStore::OnVolatileWipe() {
+  if (!recording_.load(std::memory_order_acquire)) return;
+  WalRecord rec;
+  rec.type = WalRecordType::kWipe;
+  Append(std::move(rec), /*sync_now=*/true);
+}
+
+}  // namespace gemini

@@ -1,0 +1,210 @@
+// PersistentStore: the durability engine behind CacheInstance.
+//
+// Wires a write-ahead log (wal.h) and log-truncating checkpoints
+// (checkpoint.h) into the PersistenceSink interface the cache calls on every
+// durable state change. One store owns one data directory and backs one
+// instance:
+//
+//   CacheInstance::Options opts;
+//   PersistentStore store(dir);
+//   opts.persistence = &store;
+//   CacheInstance instance(id, clock, opts);
+//   Status s = store.Open(instance);   // replay checkpoint + WAL tail
+//
+// Open() replays the highest checkpoint plus all WAL segments at or above
+// its sequence, applies the crash-spanning Q rule (keys whose QBegin count
+// exceeds their QEnd count are dropped — their writers may have raced the
+// data store), restores the latest observed config id, then starts
+// recording: a fresh segment is opened, a post-recovery checkpoint truncates
+// the replayed log, and every subsequent sink callback appends a record.
+//
+// Fsync policy: appends are batched (sync_batch_bytes / background
+// sync_interval) except the records whose loss could cause a *stale read*
+// rather than a mere cache miss, which sync eagerly before the triggering
+// operation returns:
+//   - kQBegin        (a Qareg token escapes to a writer; a crash must
+//                     quarantine the key)
+//   - kConfigId      (serving under an older config would resurrect entries
+//                     Rejig already discarded)
+//   - write-back upserts (the ack'd value exists nowhere but this cache)
+//   - ISet/IDelete deletes (recovery-mode invalidations)
+// Losing a batched record is always conservative: a lost upsert is a miss, a
+// lost QEnd re-quarantines (over-deletes), a lost plain delete cannot
+// resurface because the preceding QBegin (if any) was synced first.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "src/cache/cache_instance.h"
+#include "src/cache/persistence_sink.h"
+#include "src/common/clock.h"
+#include "src/common/status.h"
+#include "src/persist/checkpoint.h"
+#include "src/persist/wal.h"
+
+namespace gemini {
+
+class PersistentStore final : public PersistenceSink {
+ public:
+  struct Options {
+    /// fsync the log once this many unsynced bytes accumulate. With the
+    /// background thread enabled this is a *nudge*, not an inline sync: the
+    /// serving thread signals the background thread and keeps appending, so
+    /// the write path never waits on the disk for batched-class records
+    /// (whose loss is a cache miss, never a stale read). Bytes appended
+    /// while one fsync is in flight ride to the next one; sync_interval is
+    /// the backstop bound on the loss window. With sync_interval == 0 the
+    /// trigger syncs inline on the appending thread as there is nobody
+    /// else to hand the work to. The default is sized so a write burst
+    /// triggers few journal commits (each one steals CPU from serving);
+    /// the batched-record loss window is bounded by sync_interval either
+    /// way, and batched loss is a cache miss, never a stale read.
+    size_t sync_batch_bytes = 1024 * 1024;
+    /// Background fsync cadence. 0 disables the background thread (tests
+    /// drive Sync()/Checkpoint() by hand).
+    Duration sync_interval = Millis(50);
+    /// Rotate + checkpoint once the current segment exceeds this many
+    /// bytes (checked by the background thread). 0 disables size-triggered
+    /// checkpoints.
+    uint64_t checkpoint_wal_bytes = 8ull << 20;
+  };
+
+  explicit PersistentStore(std::string dir) : PersistentStore(dir, Options()) {}
+  PersistentStore(std::string dir, Options options);
+  ~PersistentStore() override;
+  PersistentStore(const PersistentStore&) = delete;
+  PersistentStore& operator=(const PersistentStore&) = delete;
+
+  /// Creates the data dir if needed, replays existing state into `instance`
+  /// (construct it with Options::persistence == this), and starts recording.
+  /// Fails closed (kInternal) on corruption: a damaged checkpoint, a
+  /// mid-log CRC mismatch, a torn tail anywhere but the newest segment, or
+  /// a gap in the segment sequence. One-shot per store.
+  Status Open(CacheInstance& instance);
+
+  /// Rotates the log, snapshots the instance, and garbage-collects covered
+  /// segments and older checkpoints.
+  Status Checkpoint();
+
+  /// fsyncs any unsynced log tail.
+  Status Sync();
+
+  /// Stops the background thread and syncs. Idempotent; the destructor
+  /// calls it. Does NOT checkpoint — callers wanting a compact shutdown
+  /// state call Checkpoint() first.
+  void Close();
+
+  /// First WAL I/O error since Open, if any. Once set, the store stops
+  /// recording (a log with a hole must not pretend to be complete) and the
+  /// owner should treat the instance as no longer durably backed.
+  [[nodiscard]] Status error() const;
+
+  struct Stats {
+    uint64_t appended_records = 0;
+    uint64_t fsyncs = 0;
+    uint64_t checkpoints = 0;
+    uint64_t replayed_segments = 0;
+    uint64_t replayed_records = 0;
+    uint64_t restored_entries = 0;
+    uint64_t quarantine_drops = 0;  // keys dropped by the crash-spanning Q rule
+    uint64_t torn_tail_bytes = 0;   // bytes discarded from a torn final segment
+  };
+  [[nodiscard]] Stats stats() const;
+  [[nodiscard]] const std::string& dir() const { return dir_; }
+  [[nodiscard]] uint64_t wal_seq() const;
+
+  // ---- PersistenceSink (called by CacheInstance under its locks) ----------
+  void OnUpsert(PersistOp op, std::string_view key, const CacheValue& value,
+                ConfigId config_id, bool pinned) override;
+  void OnDelete(PersistOp op, std::string_view key) override;
+  void OnQuarantineBegin(std::string_view key) override;
+  void OnQuarantineEnd(std::string_view key) override;
+  void OnConfigObserved(ConfigId latest) override;
+  void OnQuarantineClear() override;
+  void OnVolatileWipe() override;
+
+ private:
+  /// Loads the highest checkpoint + replays segments >= its seq into
+  /// `instance`; `next_seq` receives the sequence for the fresh segment.
+  Status Replay(CacheInstance& instance, uint64_t& next_seq);
+  /// Frames the record into pending_ for the writer thread. The serving
+  /// thread's only WAL cost is this encode-under-lock; with `sync_now` it
+  /// then blocks until the writer's group fsync has passed the record
+  /// (everything enqueued before it is durable too, so an eager record is a
+  /// durability barrier). On writer failure error_ latches and recording
+  /// stops.
+  void Append(const WalRecord& record, bool sync_now);
+  /// Zero-copy overload for the upsert hot path: frames straight from the
+  /// cache's buffers (the views must stay valid for the duration of the
+  /// call, which is all the queue needs — framing copies them).
+  void Append(const WalUpsertRef& record, bool sync_now);
+  template <typename Record>
+  void AppendImpl(const Record& record, bool sync_now);
+  /// Two-phase batched sync: snapshots the tail under mu_, fsyncs with mu_
+  /// released so appends keep flowing. Holds sync_mu_ throughout so
+  /// Rotate/Close cannot invalidate the fd mid-fsync.
+  Status SyncOffThread();
+  /// Drains queue_ in batches: one write(2) per batch, one fsync when the
+  /// batch contains any eager record (group commit).
+  void WriterLoop();
+  void BackgroundLoop();
+
+  const std::string dir_;
+  const Options options_;
+  CheckpointManager checkpoints_;
+
+  /// Serializes fsync against Rotate/Close (fd lifetime). Lock order:
+  /// sync_mu_ before mu_, never the reverse.
+  mutable std::mutex sync_mu_;
+  mutable std::mutex mu_;  // guards wal_ and error_
+  Wal wal_;
+  Status error_;
+
+  CacheInstance* instance_ = nullptr;
+  std::atomic<bool> recording_{false};
+  /// Max config id ever observed; read after rotation to head each new
+  /// segment with a kConfigId record (checkpoints do not store it).
+  std::atomic<uint64_t> max_config_{0};
+
+  std::atomic<uint64_t> appended_records_{0};
+  uint64_t replayed_segments_ = 0;
+  uint64_t replayed_records_ = 0;
+  uint64_t restored_entries_ = 0;
+  uint64_t quarantine_drops_ = 0;
+  uint64_t torn_tail_bytes_ = 0;
+
+  // ---- WAL writer thread (group commit) -----------------------------------
+  // Producers frame records straight into pending_ (Wal::EncodeFrame) under
+  // q_mu_; the writer swaps the buffer out and hands it to one write(2).
+  // The two buffers recycle their capacity between the threads, so a
+  // steady-state append allocates nothing.
+  std::mutex q_mu_;
+  std::condition_variable q_cv_;        // producers -> writer: work available
+  std::condition_variable q_space_cv_;  // writer -> producers: backpressure
+  std::condition_variable q_done_cv_;   // writer -> waiters: progress
+  std::string pending_;                 // framed bytes not yet written
+  size_t pending_records_ = 0;
+  bool pending_eager_ = false;
+  uint64_t enqueued_ = 0;  // records ever queued
+  uint64_t written_ = 0;   // records handed to write(2)
+  uint64_t durable_ = 0;   // records covered by an fsync
+  bool writer_stop_ = false;
+  std::thread writer_thread_;
+
+  std::mutex bg_mu_;
+  std::condition_variable bg_cv_;
+  bool stop_ = false;
+  /// Set by the writer when the unsynced tail crosses sync_batch_bytes;
+  /// wakes the background thread for an early (off-thread) fsync.
+  std::atomic<bool> sync_requested_{false};
+  std::thread bg_thread_;
+};
+
+}  // namespace gemini

@@ -11,6 +11,7 @@
 #include <string>
 #include <vector>
 
+#include <dirent.h>
 #include <fcntl.h>
 #include <sys/wait.h>
 #include <unistd.h>
@@ -134,6 +135,143 @@ TEST(GeminidCli, InvalidTimeoutFlagsExitTwo) {
     Child child = SpawnGeminid({flag, "bogus"});
     ASSERT_GT(child.pid, 0);
     EXPECT_EQ(WaitForExit(child.pid), 2) << flag;
+    ::close(child.stdout_fd);
+  }
+}
+
+TEST(GeminidCli, DataDirConflictsWithSnapshotFlagsExitTwo) {
+  const std::string dir = ::testing::TempDir() + "/geminid_cli_conflict";
+  const std::vector<std::vector<std::string>> bad = {
+      {"--data-dir", dir, "--snapshot", dir + "/s.bin"},
+      {"--data-dir", dir, "--instance", "3:" + dir + "/s.bin"},
+      {"--data-dir", dir, "--snapshot-interval-s", "5"},
+  };
+  for (const auto& args : bad) {
+    Child child = SpawnGeminid(args);
+    ASSERT_GT(child.pid, 0);
+    EXPECT_EQ(WaitForExit(child.pid), 2) << args[2];
+    ::close(child.stdout_fd);
+  }
+}
+
+/// The acceptance test for the durable engine at the process level: kill -9
+/// (never SIGTERM — no snapshot sweep, no checkpoint, no fsync courtesy)
+/// and a restart on the same --data-dir must come back warm with exact
+/// data, config-id metadata, and the crash-spanning quarantine rule applied.
+TEST(GeminidCli, SigkillRestartRestoresWarmStateFromDataDir) {
+  const std::string dir = ::testing::TempDir() + "/geminid_cli_data";
+  // Fresh directory per run; leftover state would mask a restore bug.
+  for (const char* sub : {"/instance_7", ""}) {
+    const std::string d = dir + sub;
+    DIR* dp = ::opendir(d.c_str());
+    if (dp != nullptr) {
+      while (struct dirent* e = ::readdir(dp)) {
+        std::string name = e->d_name;
+        if (name != "." && name != "..") std::remove((d + "/" + name).c_str());
+      }
+      ::closedir(dp);
+      ::rmdir(d.c_str());
+    }
+  }
+
+  LeaseToken inflight_token = kNoLease;
+  {
+    Child child = SpawnGeminid({"--port", "0", "--id", "7", "--data-dir", dir,
+                                "--threads", "1", "--idle-timeout-ms",
+                                "5000"});
+    ASSERT_GT(child.pid, 0);
+    const std::string banner = ReadUntil(child.stdout_fd, "serving on");
+    EXPECT_NE(banner.find("restored 0 entries"), std::string::npos) << banner;
+    const uint16_t port = PortFromBanner(banner);
+    ASSERT_NE(port, 0) << "no banner; geminid said:\n" << banner;
+
+    TcpCacheBackend backend("127.0.0.1", port);
+    ASSERT_TRUE(backend.Connect().ok());
+    ASSERT_TRUE(backend.Set(kInternalCtx, "warm",
+                            CacheValue::OfData("survives", 3)).ok());
+    ASSERT_TRUE(backend.Set(kInternalCtx, "victim",
+                            CacheValue::OfData("maybe-stale", 1)).ok());
+    ASSERT_TRUE(backend.Set(kInternalCtx, "gone",
+                            CacheValue::OfData("deleted")).ok());
+    ASSERT_TRUE(backend.Delete(kInternalCtx, "gone").ok());
+    // A completed write-through cycle: durable, clean.
+    auto qt = backend.Qareg(kInternalCtx, "warm");
+    ASSERT_TRUE(qt.ok());
+    ASSERT_TRUE(backend.Rar(kInternalCtx, "warm",
+                            CacheValue::OfData("survives-v4", 4), *qt).ok());
+    // An *unreleased* Q lease over "victim": its writer is mid-flight at the
+    // kill, so the cached value must not be served after restart.
+    auto in_flight = backend.Qareg(kInternalCtx, "victim");
+    ASSERT_TRUE(in_flight.ok());
+    inflight_token = *in_flight;
+    // Config-id metadata (byte-exact restore is part of the contract).
+    ASSERT_TRUE(backend.BumpConfigId(29).ok());
+    backend.Disconnect();
+
+    ASSERT_EQ(::kill(child.pid, SIGKILL), 0);
+    EXPECT_EQ(WaitForExit(child.pid), -SIGKILL);
+    ::close(child.stdout_fd);
+  }
+
+  {
+    Child child = SpawnGeminid({"--port", "0", "--id", "7", "--data-dir", dir,
+                                "--threads", "1", "--idle-timeout-ms",
+                                "5000"});
+    ASSERT_GT(child.pid, 0);
+    const std::string banner = ReadUntil(child.stdout_fd, "serving on");
+    const uint16_t port = PortFromBanner(banner);
+    ASSERT_NE(port, 0) << "no banner; geminid said:\n" << banner;
+    // The boot line proves this came from WAL replay, not a lucky cache.
+    EXPECT_NE(banner.find("restored 1 entries"), std::string::npos) << banner;
+    EXPECT_NE(banner.find("1 quarantine drops"), std::string::npos) << banner;
+
+    TcpCacheBackend backend("127.0.0.1", port);
+    ASSERT_TRUE(backend.Connect().ok());
+    // Warm restore, byte-exact including the version.
+    auto warm = backend.Get(kInternalCtx, "warm");
+    ASSERT_TRUE(warm.ok());
+    EXPECT_EQ(warm->data, "survives-v4");
+    EXPECT_EQ(warm->version, 4u);
+    // The deleted key stayed deleted; the quarantined key failed to a miss.
+    EXPECT_EQ(backend.Get(kInternalCtx, "gone").code(), Code::kNotFound);
+    EXPECT_EQ(backend.Get(kInternalCtx, "victim").code(), Code::kNotFound);
+    // The pre-crash Q lease token is dead process state: it must not be
+    // honored by the restarted server.
+    EXPECT_FALSE(backend.Rar(kInternalCtx, "victim",
+                             CacheValue::OfData("zombie", 9),
+                             inflight_token).ok());
+    EXPECT_EQ(backend.Get(kInternalCtx, "victim").code(), Code::kNotFound);
+    // Config-id metadata restored exactly.
+    auto remote_config = backend.RemoteConfigId();
+    ASSERT_TRUE(remote_config.ok());
+    EXPECT_EQ(*remote_config, 29u);
+    backend.Disconnect();
+
+    // SIGTERM now: the graceful path checkpoints the data dir.
+    ASSERT_EQ(::kill(child.pid, SIGTERM), 0);
+    const std::string tail = ReadUntil(child.stdout_fd, "checkpointed");
+    EXPECT_NE(tail.find("geminid: checkpointed"), std::string::npos) << tail;
+    EXPECT_EQ(WaitForExit(child.pid), 0);
+    ::close(child.stdout_fd);
+  }
+
+  // Third boot: restart after the graceful checkpoint still restores the
+  // same state (now from the checkpoint instead of log replay).
+  {
+    Child child = SpawnGeminid({"--port", "0", "--id", "7", "--data-dir", dir,
+                                "--threads", "1"});
+    ASSERT_GT(child.pid, 0);
+    const std::string banner = ReadUntil(child.stdout_fd, "serving on");
+    EXPECT_NE(banner.find("restored 1 entries"), std::string::npos) << banner;
+    const uint16_t port = PortFromBanner(banner);
+    ASSERT_NE(port, 0);
+    TcpCacheBackend backend("127.0.0.1", port);
+    ASSERT_TRUE(backend.Connect().ok());
+    auto warm = backend.Get(kInternalCtx, "warm");
+    ASSERT_TRUE(warm.ok());
+    EXPECT_EQ(warm->data, "survives-v4");
+    ASSERT_EQ(::kill(child.pid, SIGTERM), 0);
+    EXPECT_EQ(WaitForExit(child.pid), 0);
     ::close(child.stdout_fd);
   }
 }

@@ -1,0 +1,524 @@
+// PersistentStore tests: kill-and-restart roundtrips restore byte-exact
+// entries and metadata, the crash-spanning Q rule drops in-flight writes,
+// write-back pins and their flush queue survive, checkpoints truncate the
+// log, damage fails closed, and a SIGKILL'd primary rejoins the cluster
+// through the normal failover -> transient -> recovery cycle with zero
+// stale reads and a warm cache.
+#include "src/persist/persistent_store.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <memory>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include <ftw.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include "src/cache/cache_instance.h"
+#include "src/client/gemini_client.h"
+#include "src/consistency/stale_read_checker.h"
+#include "src/coordinator/coordinator.h"
+#include "src/persist/wal.h"
+#include "src/recovery/recovery_worker.h"
+
+namespace gemini {
+namespace {
+
+constexpr OpContext kCtx{kInternalConfigId, kInvalidFragment};
+
+int RemoveEntry(const char* path, const struct stat*, int, struct FTW*) {
+  return ::remove(path);
+}
+
+void RemoveTree(const std::string& dir) {
+  ::nftw(dir.c_str(), RemoveEntry, 16, FTW_DEPTH | FTW_PHYS);
+}
+
+/// Everything the durable medium promises to restore for one entry.
+struct EntryImage {
+  std::string data;
+  uint32_t charged_bytes = 0;
+  Version version = 0;
+  ConfigId config_id = 0;
+  bool pinned = false;
+
+  bool operator==(const EntryImage& o) const {
+    return data == o.data && charged_bytes == o.charged_bytes &&
+           version == o.version && config_id == o.config_id &&
+           pinned == o.pinned;
+  }
+};
+
+std::map<std::string, EntryImage> ImageOf(const CacheInstance& instance) {
+  std::map<std::string, EntryImage> image;
+  instance.ForEachEntry([&image](std::string_view key, const CacheValue& value,
+                                 ConfigId config_id, bool pinned) {
+    image[std::string(key)] =
+        EntryImage{value.data, value.charged_bytes, value.version, config_id,
+                   pinned};
+  });
+  return image;
+}
+
+class PersistentStoreTest : public ::testing::Test {
+ protected:
+  std::string TempDir(const std::string& name) {
+    const std::string dir = ::testing::TempDir() + "/store_" + name;
+    RemoveTree(dir);
+    dirs_.push_back(dir);
+    return dir;
+  }
+
+  void TearDown() override {
+    for (const auto& d : dirs_) RemoveTree(d);
+  }
+
+  /// Test stores run without the background thread: Sync()/Checkpoint() are
+  /// driven by hand so every test is deterministic.
+  static PersistentStore::Options StoreOptions() {
+    PersistentStore::Options o;
+    o.sync_interval = 0;
+    return o;
+  }
+
+  /// One "process": a store and the instance it durably backs.
+  struct Process {
+    std::unique_ptr<PersistentStore> store;
+    std::unique_ptr<CacheInstance> instance;
+  };
+
+  Process Boot(const std::string& dir, InstanceId id = 1) {
+    Process p;
+    p.store = std::make_unique<PersistentStore>(dir, StoreOptions());
+    CacheInstance::Options opts;
+    opts.persistence = p.store.get();
+    p.instance = std::make_unique<CacheInstance>(id, &clock_, opts);
+    EXPECT_TRUE(p.store->Open(*p.instance).ok());
+    return p;
+  }
+
+  /// SIGKILL: drop the process without checkpointing. The store destructor
+  /// closes the fd, but everything already reached the page cache through
+  /// write() — exactly what a same-OS kill -9 leaves behind.
+  static void Kill(Process& p) {
+    p.store.reset();
+    p.instance.reset();
+  }
+
+  VirtualClock clock_;
+  std::vector<std::string> dirs_;
+};
+
+TEST_F(PersistentStoreTest, EmptyDirBootsEmptyAndCheckpointed) {
+  const std::string dir = TempDir("empty");
+  Process p = Boot(dir);
+  EXPECT_EQ(p.instance->stats().entry_count, 0u);
+  EXPECT_EQ(p.store->stats().restored_entries, 0u);
+  EXPECT_TRUE(p.store->error().ok());
+  // Open leaves a checkpoint + a live segment behind.
+  DirListing listing;
+  CheckpointManager manager(dir);
+  ASSERT_TRUE(manager.List(listing).ok());
+  EXPECT_EQ(listing.checkpoint_seqs.size(), 1u);
+  EXPECT_EQ(listing.wal_seqs.size(), 1u);
+}
+
+TEST_F(PersistentStoreTest, OpenIsOneShot) {
+  const std::string dir = TempDir("oneshot");
+  Process p = Boot(dir);
+  CacheInstance other(2, &clock_);
+  EXPECT_EQ(p.store->Open(other).code(), Code::kInvalidArgument);
+}
+
+TEST_F(PersistentStoreTest, KillRestartRestoresByteExactEntriesAndConfigId) {
+  const std::string dir = TempDir("roundtrip");
+  Process p = Boot(dir);
+  CacheInstance& a = *p.instance;
+
+  // A mix of every upsert path. Fragment 3's lease stamps config id 9 on
+  // entries written under it; the instance-wide latest id advances to 11.
+  a.GrantFragmentLease(3, 9, clock_.Now() + Seconds(60), 9);
+  const OpContext fctx{9, 3};
+  ASSERT_TRUE(a.Set(fctx, "stamped", CacheValue::OfData("sv", 5)).ok());
+  ASSERT_TRUE(a.Set(kCtx, "plain", CacheValue::OfData("pv", 2)).ok());
+  ASSERT_TRUE(a.Append(kCtx, "list", "head;").ok());
+  ASSERT_TRUE(a.Append(kCtx, "list", "tail;").ok());
+  ASSERT_TRUE(a.Cas(kCtx, "plain", 2, CacheValue::OfData("pv2", 3)).ok());
+  auto iq = a.IqGet(kCtx, "filled");
+  ASSERT_TRUE(iq.ok());
+  ASSERT_FALSE(iq->value.has_value());
+  ASSERT_TRUE(a.IqSet(kCtx, "filled", CacheValue::OfData("fv", 7),
+                      iq->i_token).ok());
+  ASSERT_TRUE(a.Set(kCtx, "gone", CacheValue::OfData("x")).ok());
+  ASSERT_TRUE(a.Delete(kCtx, "gone").ok());
+  // Odd payload bytes and a charge above the data size must both survive.
+  CacheValue odd;
+  odd.data = std::string("\x00\xff\x7f", 3);
+  odd.charged_bytes = 4096;
+  odd.version = 99;
+  ASSERT_TRUE(a.Set(kCtx, "odd", odd).ok());
+  a.ObserveConfigId(11);
+
+  const auto before = ImageOf(a);
+  ASSERT_TRUE(before.count("stamped"));
+  EXPECT_EQ(before.at("stamped").config_id, 9u);
+  const ConfigId config_before = a.latest_config_id();
+  EXPECT_EQ(config_before, 11u);
+  Kill(p);
+
+  Process q = Boot(dir);
+  EXPECT_EQ(ImageOf(*q.instance), before);
+  EXPECT_EQ(q.instance->latest_config_id(), config_before);
+  EXPECT_FALSE(q.instance->ContainsRaw("gone"));
+  EXPECT_GT(q.store->stats().replayed_records, 0u);
+}
+
+TEST_F(PersistentStoreTest, CrashSpanningQuarantineRuleDropsInFlightWrites) {
+  const std::string dir = TempDir("qrule");
+  Process p = Boot(dir);
+  CacheInstance& a = *p.instance;
+
+  ASSERT_TRUE(a.Set(kCtx, "committed", CacheValue::OfData("v1", 1)).ok());
+  ASSERT_TRUE(a.Set(kCtx, "deleted", CacheValue::OfData("v1", 1)).ok());
+  ASSERT_TRUE(a.Set(kCtx, "inflight", CacheValue::OfData("v1", 1)).ok());
+
+  // Completed write-through cycle: the new value is durable and clean.
+  auto t1 = a.Qareg(kCtx, "committed");
+  ASSERT_TRUE(t1.ok());
+  ASSERT_TRUE(a.Rar(kCtx, "committed", CacheValue::OfData("v2", 2), *t1).ok());
+  // Completed write-around cycle: the entry is durably gone.
+  auto t2 = a.Qareg(kCtx, "deleted");
+  ASSERT_TRUE(t2.ok());
+  ASSERT_TRUE(a.Dar(kCtx, "deleted", *t2).ok());
+  // In-flight cycle: the writer holds the Q lease at the crash. Its data
+  // store write may or may not have landed — the cached "v1" may be stale.
+  auto t3 = a.Qareg(kCtx, "inflight");
+  ASSERT_TRUE(t3.ok());
+  ASSERT_TRUE(a.ContainsRaw("inflight"));
+  Kill(p);
+
+  Process q = Boot(dir);
+  CacheInstance& b = *q.instance;
+  auto committed = b.Get(kCtx, "committed");
+  ASSERT_TRUE(committed.ok());
+  EXPECT_EQ(committed->data, "v2");
+  EXPECT_FALSE(b.ContainsRaw("deleted"));
+  // The Q rule fails toward a miss, never a stale hit.
+  EXPECT_FALSE(b.ContainsRaw("inflight"));
+  EXPECT_GE(q.store->stats().quarantine_drops, 1u);
+}
+
+TEST_F(PersistentStoreTest, WriteBackPinsAndFlushQueueSurviveRestart) {
+  const std::string dir = TempDir("writeback");
+  Process p = Boot(dir);
+  CacheInstance& a = *p.instance;
+
+  // Two buffered writes on one key (the second supersedes the first) plus
+  // one on another key.
+  for (Version v = 1; v <= 2; ++v) {
+    auto t = a.Qareg(kCtx, "hot");
+    ASSERT_TRUE(t.ok());
+    ASSERT_TRUE(a.WriteBackInstall(kCtx, "hot",
+                                   CacheValue::OfData("h" + std::to_string(v),
+                                                      v),
+                                   *t).ok());
+  }
+  auto t = a.Qareg(kCtx, "cold");
+  ASSERT_TRUE(t.ok());
+  ASSERT_TRUE(
+      a.WriteBackInstall(kCtx, "cold", CacheValue::OfData("c1", 10), *t).ok());
+  Kill(p);
+
+  Process q = Boot(dir);
+  CacheInstance& b = *q.instance;
+  const auto image = ImageOf(b);
+  ASSERT_TRUE(image.count("hot"));
+  EXPECT_TRUE(image.at("hot").pinned);
+  EXPECT_EQ(image.at("hot").data, "h2");
+  ASSERT_TRUE(image.count("cold"));
+  EXPECT_TRUE(image.at("cold").pinned);
+
+  // The flush queue was rebuilt from the final pinned entries: exactly one
+  // flush per key, carrying the latest buffered value — never the
+  // superseded "h1".
+  auto flushes = b.TakePendingFlushes(10);
+  ASSERT_EQ(flushes.size(), 2u);
+  std::map<std::string, Version> versions;
+  for (const auto& f : flushes) versions[f.key] = f.value.version;
+  EXPECT_EQ(versions.at("hot"), 2u);
+  EXPECT_EQ(versions.at("cold"), 10u);
+  b.Unpin("hot", 2);
+  b.Unpin("cold", 10);
+  EXPECT_EQ(b.pending_flush_count(), 0u);
+}
+
+TEST_F(PersistentStoreTest, CheckpointTruncatesLogAndRestartStaysExact) {
+  const std::string dir = TempDir("checkpoint");
+  Process p = Boot(dir);
+  CacheInstance& a = *p.instance;
+  for (int i = 0; i < 100; ++i) {
+    ASSERT_TRUE(a.Set(kCtx, "k" + std::to_string(i),
+                      CacheValue::OfData(
+                          std::string(64, static_cast<char>('a' + i % 26)),
+                                         static_cast<Version>(i)))
+                    .ok());
+  }
+  const uint64_t seq_before = p.store->wal_seq();
+  ASSERT_TRUE(p.store->Checkpoint().ok());
+  EXPECT_GT(p.store->wal_seq(), seq_before);
+
+  // Covered segments and superseded checkpoints are gone.
+  DirListing listing;
+  CheckpointManager manager(dir);
+  ASSERT_TRUE(manager.List(listing).ok());
+  ASSERT_EQ(listing.checkpoint_seqs.size(), 1u);
+  EXPECT_EQ(listing.checkpoint_seqs[0], p.store->wal_seq());
+  for (uint64_t seq : listing.wal_seqs) EXPECT_GE(seq, p.store->wal_seq());
+
+  // Mutations after the checkpoint land in the fresh segment and replay on
+  // top of it.
+  ASSERT_TRUE(a.Set(kCtx, "post", CacheValue::OfData("pv", 1)).ok());
+  ASSERT_TRUE(a.Delete(kCtx, "k5").ok());
+  const auto before = ImageOf(a);
+  Kill(p);
+
+  Process q = Boot(dir);
+  EXPECT_EQ(ImageOf(*q.instance), before);
+  EXPECT_FALSE(q.instance->ContainsRaw("k5"));
+  EXPECT_EQ(q.instance->stats().entry_count, 100u);  // 100 - k5 + post
+}
+
+TEST_F(PersistentStoreTest, ConfigIdSurvivesThroughCheckpointHeadRecord) {
+  const std::string dir = TempDir("confighead");
+  Process p = Boot(dir);
+  p.instance->ObserveConfigId(42);
+  // A checkpoint garbage-collects the segment holding the kConfigId record;
+  // the replacement segment's head record must carry it forward even though
+  // no entry is stamped with it.
+  ASSERT_TRUE(p.store->Checkpoint().ok());
+  Kill(p);
+
+  Process q = Boot(dir);
+  EXPECT_EQ(q.instance->latest_config_id(), 42u);
+}
+
+TEST_F(PersistentStoreTest, CorruptLogFailsClosed) {
+  const std::string dir = TempDir("corrupt");
+  Process p = Boot(dir);
+  ASSERT_TRUE(p.instance->Set(kCtx, "k", CacheValue::OfData("v")).ok());
+  const uint64_t seq = p.store->wal_seq();
+  Kill(p);
+
+  // Flip a byte in the middle of the live segment (past the head record).
+  const std::string path = Wal::SegmentPath(dir, seq);
+  WalScanResult scan = Wal::ScanFile(path);
+  ASSERT_GE(scan.records.size(), 2u);
+  FILE* f = std::fopen(path.c_str(), "r+b");
+  ASSERT_NE(f, nullptr);
+  ASSERT_EQ(std::fseek(f, static_cast<long>(scan.record_ends[0] + 9), SEEK_SET),
+            0);
+  char b = 0;
+  ASSERT_EQ(std::fread(&b, 1, 1, f), 1u);
+  std::fseek(f, -1, SEEK_CUR);
+  b ^= 0x40;
+  ASSERT_EQ(std::fwrite(&b, 1, 1, f), 1u);
+  std::fclose(f);
+
+  PersistentStore store(dir, StoreOptions());
+  CacheInstance::Options opts;
+  opts.persistence = &store;
+  CacheInstance instance(1, &clock_, opts);
+  EXPECT_EQ(store.Open(instance).code(), Code::kInternal);
+}
+
+TEST_F(PersistentStoreTest, SegmentGapFailsClosed) {
+  const std::string dir = TempDir("gap");
+  RemoveTree(dir);
+  ASSERT_EQ(::mkdir(dir.c_str(), 0755), 0);
+  // Segments 0 and 2 with no 1: history is missing, recovery must refuse.
+  for (uint64_t seq : {0ull, 2ull}) {
+    Wal wal;
+    ASSERT_TRUE(wal.Open(dir, seq, {}).ok());
+    WalRecord rec;
+    rec.type = WalRecordType::kConfigId;
+    ASSERT_TRUE(wal.Append(rec, true).ok());
+    wal.Close();
+  }
+  PersistentStore store(dir, StoreOptions());
+  CacheInstance::Options opts;
+  opts.persistence = &store;
+  CacheInstance instance(1, &clock_, opts);
+  EXPECT_EQ(store.Open(instance).code(), Code::kInternal);
+}
+
+TEST_F(PersistentStoreTest, TornTailInMiddleSegmentFailsClosed) {
+  const std::string dir = TempDir("midtorn");
+  Process p = Boot(dir);
+  ASSERT_TRUE(p.instance->Set(kCtx, "a", CacheValue::OfData("1")).ok());
+  const uint64_t first = p.store->wal_seq();
+  // Rotate without checkpointing so two segments must both replay.
+  {
+    Wal wal;  // new handle appends nothing; rotate via a second segment
+    ASSERT_TRUE(wal.Open(dir, first + 1, {}).ok());
+    WalRecord rec;
+    rec.type = WalRecordType::kConfigId;
+    ASSERT_TRUE(wal.Append(rec, true).ok());
+    wal.Close();
+  }
+  Kill(p);
+
+  // Tear the *first* segment's tail: that is lost history, not a crash.
+  const std::string path = Wal::SegmentPath(dir, first);
+  WalScanResult scan = Wal::ScanFile(path);
+  ASSERT_TRUE(scan.error.ok());
+  ASSERT_EQ(::truncate(path.c_str(),
+                       static_cast<off_t>(scan.valid_bytes - 3)), 0);
+
+  PersistentStore store(dir, StoreOptions());
+  CacheInstance::Options opts;
+  opts.persistence = &store;
+  CacheInstance instance(1, &clock_, opts);
+  EXPECT_EQ(store.Open(instance).code(), Code::kInternal);
+}
+
+// The acceptance-criteria integration test: a SIGKILL'd primary rejoins
+// through the normal failover -> transient -> recovery cycle. The restarted
+// process replays its data dir into a cold CacheInstance, comes back warm
+// (clean keys are cache hits immediately), serves the post-failure value
+// for dirty keys, and the StaleReadChecker observes zero stale reads across
+// the whole episode.
+TEST_F(PersistentStoreTest, KilledPrimaryRejoinsWarmThroughRecoveryCycle) {
+  constexpr size_t kInstances = 4;
+  constexpr size_t kFragments = 8;
+  const std::string dir = TempDir("lifecycle");
+
+  auto store0 = std::make_unique<PersistentStore>(dir, StoreOptions());
+  std::vector<std::unique_ptr<CacheInstance>> instances;
+  std::vector<CacheInstance*> raw;
+  for (size_t i = 0; i < kInstances; ++i) {
+    CacheInstance::Options opts;
+    if (i == 0) opts.persistence = store0.get();
+    instances.push_back(std::make_unique<CacheInstance>(
+        static_cast<InstanceId>(i), &clock_, opts));
+    raw.push_back(instances.back().get());
+  }
+  ASSERT_TRUE(store0->Open(*instances[0]).ok());
+
+  DataStore data_store;
+  Coordinator::Options copts;
+  copts.policy = RecoveryPolicy::GeminiO();
+  Coordinator coordinator(&clock_, raw, kFragments, copts);
+  GeminiClient client(&clock_, &coordinator, raw, &data_store, {});
+  RecoveryState recovery_state(kFragments);
+  client.BindRecoveryState(&recovery_state);
+  RecoveryWorker worker(&clock_, &coordinator, raw, {});
+  StaleReadChecker checker(&data_store);
+  Session session;
+
+  for (int i = 0; i < 200; ++i) {
+    data_store.Put("user" + std::to_string(i), "v0");
+  }
+  auto audit = [&](const std::string& key) {
+    auto r = client.Read(session, key);
+    ASSERT_TRUE(r.ok()) << key;
+    EXPECT_FALSE(checker.OnRead(clock_.Now(), key, r->value.version)) << key;
+  };
+
+  // Warm every cache, then write a few keys through the Q path so the log
+  // holds completed quarantine cycles too.
+  std::vector<std::string> on_zero;
+  auto cfg = coordinator.GetConfiguration();
+  for (int i = 0; i < 200; ++i) {
+    std::string key = "user" + std::to_string(i);
+    audit(key);
+    if (cfg->fragment(cfg->FragmentOf(key)).primary == 0 &&
+        on_zero.size() < 12) {
+      on_zero.push_back(std::move(key));
+    }
+  }
+  ASSERT_GE(on_zero.size(), 4u);
+  ASSERT_TRUE(client.Write(session, on_zero[0]).ok());
+  audit(on_zero[0]);
+
+  const auto image_before = ImageOf(*instances[0]);
+  const ConfigId config_before = instances[0]->latest_config_id();
+  ASSERT_FALSE(image_before.empty());
+
+  // SIGKILL the primary: the process (store + in-memory state) dies; only
+  // the data dir survives. The instance *object* stays (the coordinator
+  // holds pointers), so model the dead process by detaching the store and
+  // wiping all volatile state.
+  instances[0]->Fail();
+  store0.reset();
+  instances[0]->SetPersistenceSink(nullptr);
+
+  // Failover: writes while the primary is down dirty half the keys.
+  clock_.Advance(Seconds(1));
+  coordinator.OnInstanceFailed(0);
+  for (size_t i = 0; i < on_zero.size(); i += 2) {
+    ASSERT_TRUE(client.Write(session, on_zero[i]).ok());
+  }
+  for (const auto& k : on_zero) audit(k);
+
+  // Restart: a fresh store replays the data dir into the (cold, wiped)
+  // instance. Content and config id come back from disk alone.
+  instances[0]->RecoverVolatile();
+  ASSERT_EQ(instances[0]->stats().entry_count, 0u);
+  auto store1 = std::make_unique<PersistentStore>(dir, StoreOptions());
+  instances[0]->SetPersistenceSink(store1.get());
+  ASSERT_TRUE(store1->Open(*instances[0]).ok());
+
+  EXPECT_EQ(ImageOf(*instances[0]), image_before);
+  EXPECT_EQ(instances[0]->latest_config_id(), config_before);
+
+  // Rejoin: the coordinator runs the standard recovery-mode cycle.
+  clock_.Advance(Seconds(1));
+  coordinator.OnInstanceRecovered(0);
+
+  // A clean key (not written while down) must be a warm cache hit on the
+  // recovered primary immediately — the whole point of the durable medium.
+  std::string clean_key;
+  for (size_t i = 1; i < on_zero.size(); i += 2) {
+    clean_key = on_zero[i];
+    break;
+  }
+  ASSERT_FALSE(clean_key.empty());
+  auto clean = client.Read(session, clean_key);
+  ASSERT_TRUE(clean.ok());
+  EXPECT_TRUE(clean->cache_hit);
+  EXPECT_FALSE(checker.OnRead(clock_.Now(), clean_key, clean->value.version));
+
+  // Dirty keys serve the post-failure value; drain recovery back to normal.
+  for (const auto& k : on_zero) audit(k);
+  Session worker_session;
+  for (int guard = 0; guard < 20000; ++guard) {
+    if (!worker.has_work() &&
+        !worker.TryAdoptFragment(worker_session).has_value()) {
+      break;
+    }
+    (void)worker.Step(worker_session);
+  }
+  EXPECT_TRUE(coordinator.FragmentsInMode(FragmentMode::kRecovery).empty());
+  for (const auto& k : on_zero) audit(k);
+  EXPECT_EQ(checker.total_stale(), 0u);
+
+  // And the recovered process is itself durable: kill it again and the
+  // post-recovery state comes back.
+  const auto image_after = ImageOf(*instances[0]);
+  store1.reset();
+  instances[0]->SetPersistenceSink(nullptr);
+
+  PersistentStore store2(dir, StoreOptions());
+  CacheInstance::Options opts;
+  opts.persistence = &store2;
+  CacheInstance fresh(0, &clock_, opts);
+  ASSERT_TRUE(store2.Open(fresh).ok());
+  EXPECT_EQ(ImageOf(fresh), image_after);
+}
+
+}  // namespace
+}  // namespace gemini

@@ -11,6 +11,9 @@
 #include <thread>
 #include <vector>
 
+#include <dirent.h>
+#include <sys/stat.h>
+
 #include "src/cache/cache_instance.h"
 #include "src/cache/snapshot.h"
 #include "src/common/clock.h"
@@ -31,6 +34,20 @@ class SnapshotWriterTest : public ::testing::Test {
 
   void TearDown() override {
     for (const auto& p : paths_) std::remove(p.c_str());
+  }
+
+  /// Empties and removes a single-level directory (test scratch space).
+  static void RemoveAllIn(const std::string& dir) {
+    if (DIR* dp = ::opendir(dir.c_str())) {
+      while (struct dirent* e = ::readdir(dp)) {
+        const std::string name = e->d_name;
+        if (name != "." && name != "..") {
+          std::remove((dir + "/" + name).c_str());
+        }
+      }
+      ::closedir(dp);
+      ::rmdir(dir.c_str());
+    }
   }
 
   /// Loads `path` into a fresh instance; false when the file is missing or
@@ -132,6 +149,61 @@ TEST_F(SnapshotWriterTest, StopIsIdempotentAndSafeWithoutStart) {
   ASSERT_TRUE(writer.Start().ok());
   writer.Stop();
   writer.Stop();
+}
+
+TEST_F(SnapshotWriterTest, ShutdownSweepSurfacesFailureButWritesEveryTarget) {
+  // The SIGTERM sweep writes N instances; target 1 failing must not stop
+  // target 2 from persisting (its entries are at stake too), and the sweep
+  // must still report the failure so geminid exits non-zero rather than
+  // pretend the state is safe on disk.
+  CacheInstance broken(1, &clock_), healthy(2, &clock_);
+  ASSERT_TRUE(healthy.Set(kCtx, "keep", CacheValue::OfData("me")).ok());
+  const std::string bad_path =
+      ::testing::TempDir() + "/no_such_dir_ever/snap.bin";
+  const std::string good_path = TempPath("writer_partial_fail.bin");
+
+  SnapshotWriter writer({{&broken, bad_path}, {&healthy, good_path}}, {});
+  ASSERT_TRUE(writer.Start().ok());
+  Status s = writer.WriteAll();
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(writer.stats().writes_failed, 1u);
+  EXPECT_EQ(writer.stats().writes_ok, 1u);
+
+  CacheInstance* restored = nullptr;
+  ASSERT_TRUE(LoadsCleanly(2, good_path, &restored));
+  EXPECT_TRUE(restored->ContainsRaw("keep"));
+}
+
+TEST_F(SnapshotWriterTest, PublishedSnapshotLeavesNoTempFilesBehind) {
+  // The durable-publish sequence is write-temp, fsync, rename, fsync-dir:
+  // after any number of sweeps the directory must hold exactly the final
+  // snapshot name — a lingering ".tmp." file means a rename (and therefore
+  // the dir-fsync that makes it durable) never happened for that write.
+  const std::string dir = ::testing::TempDir() + "/writer_tmpscan";
+  RemoveAllIn(dir);
+  ASSERT_EQ(::mkdir(dir.c_str(), 0755), 0);
+  const std::string path = dir + "/snap.bin";
+
+  CacheInstance instance(4, &clock_);
+  SnapshotWriter writer({{&instance, path}}, {});
+  ASSERT_TRUE(writer.Start().ok());
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_TRUE(instance.Set(kCtx, "k" + std::to_string(i),
+                             CacheValue::OfData("v")).ok());
+    ASSERT_TRUE(writer.WriteAll().ok());
+  }
+
+  std::vector<std::string> names;
+  DIR* dp = ::opendir(dir.c_str());
+  ASSERT_NE(dp, nullptr);
+  while (struct dirent* e = ::readdir(dp)) {
+    const std::string name = e->d_name;
+    if (name != "." && name != "..") names.push_back(name);
+  }
+  ::closedir(dp);
+  ASSERT_EQ(names.size(), 1u) << "leftover temp files in " << dir;
+  EXPECT_EQ(names[0], "snap.bin");
+  RemoveAllIn(dir);
 }
 
 TEST_F(SnapshotWriterTest, ConcurrentWritersNeverPublishATornSnapshot) {

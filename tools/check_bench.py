@@ -17,9 +17,21 @@ that has no cores to scale across — its curve legitimately flattens to ~1.0,
 and with extra threads time-slicing one core it may even dip slightly below.
 Only anti-scaling beyond the tolerance itself fails.
 
+The shape gate is speedup-only: a point whose baseline is *slower* than its
+group's anchor (normalized < 1.0) can never fail it. For curves whose whole
+story is a bounded slowdown — e.g. persist_set, where wal=1 must stay within
+a fraction of wal=0 — pass --min-point to pin a floor on a specific fresh
+point's normalized value:
+
+  --min-point persist_set:wal=1:0.55
+
+reads "in the fresh run, persist_set at wal=1 must reach at least 0.55x of
+the group's anchor (wal=0)". Self-relative, so absolute machine speed
+cancels out exactly like the shape gate. Repeatable.
+
 Usage:
   check_bench.py --baseline BENCH_transport.json --fresh fresh.json \
-                 [--tolerance 0.4]
+                 [--tolerance 0.4] [--min-point GROUP:PARAM=VALUE:FLOOR ...]
 
 Exit codes: 0 ok, 1 regression, 2 usage/schema error.
 """
@@ -80,12 +92,28 @@ def group_by_name(doc):
     return groups
 
 
+def parse_min_point(spec):
+    """GROUP:PARAM=VALUE:FLOOR -> (group, param, value, floor)."""
+    try:
+        group, rest = spec.split(":", 1)
+        pv, floor = rest.rsplit(":", 1)
+        param, value = pv.split("=", 1)
+        return group, param, float(value), float(floor)
+    except ValueError:
+        sys.exit(f"check_bench: bad --min-point {spec!r} "
+                 "(want GROUP:PARAM=VALUE:FLOOR)")
+
+
 def main():
     ap = argparse.ArgumentParser()
     ap.add_argument("--baseline", required=True)
     ap.add_argument("--fresh", required=True)
     ap.add_argument("--tolerance", type=float, default=0.4,
                     help="allowed fractional drop in normalized speedup")
+    ap.add_argument("--min-point", action="append", default=[],
+                    metavar="GROUP:PARAM=VALUE:FLOOR",
+                    help="require a fresh point's normalized ops_per_sec "
+                         "(vs its group anchor) to reach FLOOR")
     args = ap.parse_args()
     if not 0 <= args.tolerance < 1:
         sys.exit("check_bench: --tolerance must be in [0, 1)")
@@ -130,6 +158,32 @@ def main():
                 failures.append(
                     f"{name} {param}={scale:g}: normalized {fresh_norm:.2f}x "
                     f"< floor {floor:.2f}x (baseline {base_norm:.2f}x)")
+
+    for spec in args.min_point:
+        group_name, param, value, floor = parse_min_point(spec)
+        if group_name not in fresh_groups:
+            failures.append(f"{group_name}: missing from fresh run "
+                            f"(--min-point {spec})")
+            continue
+        group = fresh_groups[group_name]
+        if any(param not in r["params"] for r in group):
+            failures.append(f"{group_name}: fresh run lacks param {param!r} "
+                            f"(--min-point {spec})")
+            continue
+        curve = normalized(group, param)
+        if value not in curve:
+            failures.append(f"{group_name}: fresh run missing "
+                            f"{param}={value:g} (--min-point {spec})")
+            continue
+        checked += 1
+        ok = curve[value] >= floor
+        marker = "ok " if ok else "REGRESSION"
+        print(f"  {group_name} {param}={value:g}: fresh {curve[value]:.2f}x "
+              f"(min-point floor {floor:.2f}x) {marker}")
+        if not ok:
+            failures.append(
+                f"{group_name} {param}={value:g}: normalized "
+                f"{curve[value]:.2f}x < min-point floor {floor:.2f}x")
 
     if failures:
         print(f"check_bench: {len(failures)} regression(s):", file=sys.stderr)

@@ -15,12 +15,23 @@
 //   geminid [--port N] [--bind ADDR] [--threads N] [--stripes S]
 //           [--instance ID[:SNAPSHOT_FILE]]...   (repeatable)
 //           [--capacity-mb N] [--snapshot-interval-s N] [--poll] [--verbose]
+//           [--data-dir DIR]
 //
 // Single-instance sugar (mutually exclusive with --instance):
 //   geminid [--id N] [--snapshot FILE]
 //
+// Durability is one of two modes. Snapshot files (--snapshot / --instance
+// ID:FILE) persist periodically and on graceful shutdown only — a kill -9
+// loses everything since the last sweep. --data-dir DIR turns on the WAL +
+// checkpoint engine instead: each instance logs every durable mutation to
+// DIR/instance_<id>/, and a killed geminid restarted on the same directory
+// replays itself back to the exact pre-crash state (entries, quarantine
+// drops, config ids). The two modes configure conflicting sources of truth
+// for the same state, so combining them exits 2.
+//
 // SIGINT/SIGTERM shut down gracefully: stop accepting, drain connections,
-// write a final snapshot for every instance that has one configured.
+// write a final snapshot for every instance that has one configured, and
+// checkpoint every --data-dir instance so restart skips log replay.
 #include <algorithm>
 #include <cerrno>
 #include <csignal>
@@ -37,6 +48,7 @@
 #include "src/cache/snapshot_writer.h"
 #include "src/common/clock.h"
 #include "src/common/logging.h"
+#include "src/persist/persistent_store.h"
 #include "src/transport/instance_registry.h"
 #include "src/transport/server.h"
 
@@ -66,6 +78,11 @@ void Usage(const char* argv0) {
          "                         the --id instance\n"
       << "  --snapshot-interval-s N  write every snapshot file every N "
          "seconds\n"
+      << "  --data-dir DIR         durable WAL + checkpoint engine: each\n"
+         "                         instance persists to DIR/instance_<id>/\n"
+         "                         and replays it on startup; survives\n"
+         "                         kill -9 (mutually exclusive with\n"
+         "                         snapshot files)\n"
       << "  --drain-timeout-ms N   how long a graceful shutdown waits for\n"
          "                         pending responses to drain (default "
       << gemini::TransportServer::Options().drain_timeout_ms << ")\n"
@@ -130,6 +147,7 @@ int main(int argc, char** argv) {
   int64_t drain_timeout_ms = -1;  // -1 = server default
   int64_t idle_timeout_ms = -1;   // -1 = server default
   bool use_poll = false;
+  std::string data_dir;
   std::vector<InstanceSpec> specs;
   // Single-instance sugar, folded into `specs` after parsing.
   bool saw_single_flags = false;
@@ -163,6 +181,12 @@ int main(int argc, char** argv) {
     } else if (arg == "--snapshot") {
       single.snapshot_path = next();
       saw_single_flags = true;
+    } else if (arg == "--data-dir") {
+      data_dir = next();
+      if (data_dir.empty()) {
+        std::cerr << "geminid: --data-dir requires a non-empty directory\n";
+        return 2;
+      }
     } else if (arg == "--snapshot-interval-s") {
       snapshot_interval_s = ParseUint(arg, next(), uint64_t{1} << 31);
     } else if (arg == "--drain-timeout-ms") {
@@ -192,6 +216,22 @@ int main(int argc, char** argv) {
   }
   if (specs.empty()) specs.push_back(single);  // Defaults to instance 0.
 
+  if (!data_dir.empty()) {
+    for (const InstanceSpec& spec : specs) {
+      if (!spec.snapshot_path.empty()) {
+        std::cerr << "geminid: --data-dir and snapshot files (--snapshot / "
+                     "--instance ID:FILE) are conflicting durability modes; "
+                     "pick one\n";
+        return 2;
+      }
+    }
+    if (snapshot_interval_s != 0) {
+      std::cerr << "geminid: --snapshot-interval-s has no effect with "
+                   "--data-dir (the WAL engine persists continuously)\n";
+      return 2;
+    }
+  }
+
   // Resolve --threads 0 here (not in the server) because the stripe default
   // derives from it: roughly 4 stripes per event loop keeps concurrent
   // shards off each other's locks, while one loop keeps the historical
@@ -209,12 +249,36 @@ int main(int argc, char** argv) {
   cache_options.capacity_bytes = capacity_mb << 20;
   cache_options.num_stripes = effective_stripes;
   std::vector<std::unique_ptr<gemini::CacheInstance>> instances;
+  std::vector<std::unique_ptr<gemini::PersistentStore>> stores;
   gemini::InstanceRegistry registry;
   std::vector<gemini::SnapshotWriter::Target> snapshot_targets;
   for (const InstanceSpec& spec : specs) {
+    gemini::CacheInstance::Options instance_options = cache_options;
+    gemini::PersistentStore* store = nullptr;
+    if (!data_dir.empty()) {
+      stores.push_back(std::make_unique<gemini::PersistentStore>(
+          data_dir + "/instance_" + std::to_string(spec.id)));
+      store = stores.back().get();
+      instance_options.persistence = store;
+    }
     instances.push_back(std::make_unique<gemini::CacheInstance>(
-        spec.id, &gemini::SystemClock::Global(), cache_options));
+        spec.id, &gemini::SystemClock::Global(), instance_options));
     gemini::CacheInstance& instance = *instances.back();
+
+    if (store != nullptr) {
+      // Replays checkpoint + WAL tail into the cold instance before the
+      // server accepts a single request. Fails closed on damaged history.
+      if (gemini::Status s = store->Open(instance); !s.ok()) {
+        std::cerr << "geminid: refusing damaged data dir " << store->dir()
+                  << ": " << s.ToString() << "\n";
+        return 1;
+      }
+      std::cout << "geminid: instance " << spec.id << " restored "
+                << store->stats().restored_entries << " entries ("
+                << store->stats().replayed_records << " wal records, "
+                << store->stats().quarantine_drops
+                << " quarantine drops) from " << store->dir() << "\n";
+    }
 
     if (!spec.snapshot_path.empty()) {
       gemini::Status s =
@@ -304,6 +368,26 @@ int main(int argc, char** argv) {
       std::cout << "geminid: wrote " << target.instance->stats().entry_count
                 << " entries to " << target.path << "\n";
     }
+  }
+  // A shutdown checkpoint is an optimization, not a durability requirement
+  // (the WAL already holds everything): it makes the next boot replay one
+  // snapshot instead of the whole log. Still fail loudly if it breaks.
+  for (size_t i = 0; i < stores.size(); ++i) {
+    gemini::PersistentStore& store = *stores[i];
+    if (gemini::Status s = store.error(); !s.ok()) {
+      std::cerr << "geminid: instance " << instances[i]->id()
+                << " wal error during serving: " << s.ToString() << "\n";
+      return 1;
+    }
+    if (gemini::Status s = store.Checkpoint(); !s.ok()) {
+      std::cerr << "geminid: final checkpoint failed: " << s.ToString()
+                << "\n";
+      return 1;
+    }
+    std::cout << "geminid: checkpointed "
+              << instances[i]->stats().entry_count << " entries to "
+              << store.dir() << "\n";
+    store.Close();
   }
   return 0;
 }
