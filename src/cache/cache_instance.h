@@ -98,6 +98,10 @@ class CacheInstance : public CacheBackend {
 
   [[nodiscard]] InstanceId id() const override { return id_; }
 
+  /// The clock this instance was constructed with (lease expiries are
+  /// timestamps in this clock's domain — wire-side TTLs convert against it).
+  [[nodiscard]] const Clock& clock() const { return *clock_; }
+
   // ---- Availability & persistence emulation -------------------------------
 
   /// Marks the instance failed: all operations return kUnavailable.

@@ -121,7 +121,11 @@ void GeminiClient::DropStaleDirtyLists(const Configuration& config) {
 ConfigurationPtr GeminiClient::EnsureConfig(Session& session) {
   {
     std::lock_guard<std::mutex> lock(mu_);
-    if (config_ != nullptr) return config_;
+    if (config_ != nullptr &&
+        (!options_.follow_config_pushes ||
+         coordinator_->latest_id() <= config_->id())) {
+      return config_;
+    }
   }
   RefreshConfig(session);
   return config();

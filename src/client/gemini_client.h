@@ -92,6 +92,15 @@ class GeminiClient {
     /// overwriting recovery workers — so it defaults to on. Disable only to
     /// reproduce the narrower pseudo-code (exercised by tests).
     bool delete_secondary_on_recovery_write = true;
+    /// Adopt coordinator configuration advances eagerly: before each
+    /// operation, compare the coordinator's latest_id() against the cached
+    /// configuration and refresh when it moved. Against a RemoteCoordinator
+    /// the compare is a local atomic load that kPushConfig frames keep
+    /// fresh, so a Rejig reaches the very next operation instead of waiting
+    /// for a kStaleConfig bounce off an instance. Off by default: the
+    /// historical (poll-on-error) behavior, which the DES harness bills
+    /// explicitly and the in-process builds rely on.
+    bool follow_config_pushes = false;
   };
 
   GeminiClient(const Clock* clock, CoordinatorService* coordinator,

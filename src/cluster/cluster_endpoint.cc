@@ -1,0 +1,119 @@
+#include "src/cluster/cluster_endpoint.h"
+
+#include <utility>
+
+#include "src/common/logging.h"
+
+namespace gemini {
+
+namespace {
+
+OpContext InternalContext() {
+  return OpContext{kInternalConfigId, kInvalidFragment};
+}
+
+}  // namespace
+
+void ClusterEndpoint::Attach(const std::string& host, uint16_t port) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (conn_ && host == host_ && port == port_) return;  // same address: keep
+  host_ = host;
+  port_ = port;
+  TcpConnection::Options opts;
+  opts.io_timeout = options_.io_timeout;
+  opts.connect_timeout = options_.connect_timeout;
+  conn_ = TcpConnection::Acquire(host_, port_, id_, opts);
+}
+
+void ClusterEndpoint::SetUp(bool up) {
+  std::lock_guard<std::mutex> lock(mu_);
+  up_ = up;
+}
+
+bool ClusterEndpoint::available() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return up_ && conn_ != nullptr;
+}
+
+std::shared_ptr<TcpConnection> ClusterEndpoint::Conn() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!up_) return nullptr;
+  return conn_;
+}
+
+Status ClusterEndpoint::Transact(wire::Op op, std::string_view body,
+                                 std::string* resp) {
+  auto conn = Conn();
+  if (!conn) return Status(Code::kUnavailable, "instance endpoint down");
+  return conn->Transact(op, body, resp);
+}
+
+void ClusterEndpoint::GrantLease(FragmentId fragment, ConfigId min_valid_config,
+                                 Duration ttl, ConfigId latest_config) {
+  std::string body;
+  wire::PutU32(body, fragment);
+  wire::PutU64(body, min_valid_config);
+  wire::PutU64(body, static_cast<uint64_t>(ttl));
+  wire::PutU64(body, latest_config);
+  std::string resp;
+  const Status s = Transact(wire::Op::kLeaseGrant, body, &resp);
+  if (!s.ok()) {
+    LOG_WARN << "instance " << id_ << ": lease grant for fragment " << fragment
+             << " failed: " << s.ToString();
+  }
+}
+
+void ClusterEndpoint::RevokeLease(FragmentId fragment, ConfigId latest_config) {
+  std::string body;
+  wire::PutU32(body, fragment);
+  wire::PutU64(body, latest_config);
+  std::string resp;
+  const Status s = Transact(wire::Op::kLeaseRevoke, body, &resp);
+  if (!s.ok()) {
+    LOG_WARN << "instance " << id_ << ": lease revoke for fragment "
+             << fragment << " failed: " << s.ToString();
+  }
+}
+
+Result<CacheValue> ClusterEndpoint::Get(std::string_view key) {
+  if (key.size() > wire::kMaxKeyLen) {
+    return Status(Code::kInvalidArgument, "key too long");
+  }
+  std::string body;
+  wire::PutContext(body, InternalContext());
+  wire::PutKey(body, key);
+  std::string resp;
+  const Status s = Transact(wire::Op::kGet, body, &resp);
+  if (!s.ok()) return s;
+  wire::Reader r(resp);
+  CacheValue value;
+  if (!r.GetValue(&value) || !r.Done()) {
+    return Status(Code::kInternal, "malformed kGet response");
+  }
+  return value;
+}
+
+Status ClusterEndpoint::Set(std::string_view key, CacheValue value) {
+  if (key.size() > wire::kMaxKeyLen) {
+    return Status(Code::kInvalidArgument, "key too long");
+  }
+  std::string body;
+  wire::PutContext(body, InternalContext());
+  wire::PutKey(body, key);
+  wire::PutValue(body, value);
+  std::string resp;
+  return Transact(wire::Op::kSet, body, &resp);
+}
+
+Status ClusterEndpoint::Delete(std::string_view key) {
+  if (key.size() > wire::kMaxKeyLen) {
+    return Status(Code::kInvalidArgument, "key too long");
+  }
+  std::string body;
+  wire::PutContext(body, InternalContext());
+  wire::PutKey(body, key);
+  std::string resp;
+  return Transact(wire::Op::kDelete, body, &resp);
+}
+
+}  // namespace gemini

@@ -1,0 +1,258 @@
+#include "src/cluster/coordinator_control.h"
+
+#include <chrono>
+#include <utility>
+
+#include "src/common/logging.h"
+
+namespace gemini {
+
+CoordinatorControl::CoordinatorControl(const Clock* clock, Options options)
+    : clock_(clock),
+      options_(std::move(options)),
+      monitor_(clock, options_.num_instances, options_.heartbeat) {
+  if (options_.tick_interval == 0) {
+    options_.tick_interval = options_.heartbeat.interval;
+  }
+  endpoints_.reserve(options_.num_instances);
+  std::vector<InstanceEndpoint*> eps;
+  eps.reserve(options_.num_instances);
+  for (InstanceId i = 0; i < options_.num_instances; ++i) {
+    endpoints_.push_back(std::make_unique<ClusterEndpoint>(i, options_.endpoint));
+    eps.push_back(endpoints_.back().get());
+  }
+  coordinator_ = std::make_unique<Coordinator>(
+      clock_, std::move(eps), options_.num_fragments, options_.coordinator);
+  // Called with the coordinator's lock held on whichever thread published
+  // (ticker or a shard handling kCoordReport). PushConfigToSubscribers only
+  // takes shard inbox locks and writes a wake byte — cheap, no re-entry.
+  coordinator_->SetConfigListener([this](const ConfigurationPtr& config) {
+    TransportServer* server = server_.load(std::memory_order_acquire);
+    if (server != nullptr && config != nullptr) {
+      server->PushConfigToSubscribers(config->Serialize());
+    }
+  });
+}
+
+CoordinatorControl::~CoordinatorControl() { Stop(); }
+
+void CoordinatorControl::Start(TransportServer* server) {
+  server_.store(server, std::memory_order_release);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = false;
+  }
+  ticker_ = std::thread([this] { TickerLoop(); });
+}
+
+void CoordinatorControl::Stop() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stop_ && !ticker_.joinable()) return;
+    stop_ = true;
+  }
+  ticker_cv_.notify_all();
+  if (ticker_.joinable()) ticker_.join();
+  server_.store(nullptr, std::memory_order_release);
+}
+
+void CoordinatorControl::ImportState(const CoordinatorState& state) {
+  coordinator_->ImportState(state);
+  // Instances the previous master believed up get a grace window to check
+  // in before the monitor fails them: a coordinator restart must not look
+  // like a cluster-wide outage. A surviving geminid's link re-registers as
+  // soon as its connection to the new master comes up (registration is how
+  // the endpoint learns the instance's address again); a mere heartbeat
+  // within grace also suffices to keep the instance alive.
+  std::lock_guard<std::mutex> lock(mu_);
+  for (InstanceId i = 0; i < state.believed_up.size(); ++i) {
+    if (i < options_.num_instances && state.believed_up[i]) {
+      monitor_.ExpectRegistration(i);
+    }
+  }
+}
+
+void CoordinatorControl::TickerLoop() {
+  const Duration renew_period =
+      std::max<Duration>(options_.coordinator.fragment_lease_lifetime / 3,
+                         options_.tick_interval);
+  Timestamp last_renew = clock_->Now();
+  for (;;) {
+    HeartbeatMonitor::Transitions t;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      ticker_cv_.wait_for(lock,
+                          std::chrono::microseconds(options_.tick_interval),
+                          [&] { return stop_; });
+      if (stop_) return;
+      t = monitor_.Tick(clock_->Now());
+    }
+    // Recovery edges first, failures second: when a tick carries both for
+    // one instance (it re-registered and immediately went silent again),
+    // this order leaves the coordinator agreeing with the monitor's final
+    // verdict (failed). Gate order within each: the endpoint comes up
+    // before the recovery cycle needs it, and goes down before the failure
+    // cycle would otherwise publish into a dead instance.
+    for (InstanceId id : t.recovered) {
+      endpoints_[id]->SetUp(true);
+      LOG_INFO << "coordinator: instance " << id << " registered; recovering";
+      coordinator_->OnInstanceRecovered(id);
+    }
+    if (!t.failed.empty()) {
+      for (InstanceId id : t.failed) {
+        endpoints_[id]->SetUp(false);
+        LOG_WARN << "coordinator: instance " << id
+                 << " missed its heartbeat deadline; failing over";
+      }
+      coordinator_->OnInstancesFailed(t.failed);
+    }
+    const Timestamp now = clock_->Now();
+    if (now - last_renew >= renew_period) {
+      coordinator_->RenewLeases();
+      last_renew = now;
+    }
+  }
+}
+
+ControlPlane::Reply CoordinatorControl::HandleControl(wire::Op op,
+                                                      std::string_view body) {
+  switch (op) {
+    case wire::Op::kCoordRegister:
+      return HandleRegister(body);
+    case wire::Op::kCoordHeartbeat:
+      return HandleHeartbeat(body);
+    case wire::Op::kCoordConfigGet:
+      return HandleConfig(body, /*subscribe=*/false);
+    case wire::Op::kCoordConfigWatch:
+      return HandleConfig(body, /*subscribe=*/true);
+    case wire::Op::kCoordReport:
+      return HandleReport(body);
+    case wire::Op::kCoordDirtyQuery:
+      return HandleDirtyQuery(body);
+    default:
+      return {Status(Code::kInvalidArgument, "not a coordinator op"), {}, false};
+  }
+}
+
+ControlPlane::Reply CoordinatorControl::HandleRegister(std::string_view body) {
+  wire::Reader r(body);
+  uint32_t instance = 0;
+  std::string_view host;
+  uint16_t port = 0;
+  if (!r.GetU32(&instance) || !r.GetBlob(&host) || !r.GetU16(&port) ||
+      !r.Done()) {
+    return {Status(Code::kInvalidArgument, "malformed kCoordRegister"), {},
+            false};
+  }
+  if (instance >= options_.num_instances) {
+    return {Status(Code::kInvalidArgument, "instance id out of range"), {},
+            false};
+  }
+  endpoints_[instance]->Attach(std::string(host), port);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    monitor_.Register(instance);
+  }
+  // The recovery cycle itself runs on the ticker (next tick drains the
+  // registration edge); the shard thread only records the beat and replies.
+  Reply reply;
+  wire::PutU64(reply.body, coordinator_->latest_id());
+  return reply;
+}
+
+ControlPlane::Reply CoordinatorControl::HandleHeartbeat(std::string_view body) {
+  wire::Reader r(body);
+  uint32_t count = 0;
+  if (!r.GetU32(&count) || count > options_.num_instances) {
+    return {Status(Code::kInvalidArgument, "malformed kCoordHeartbeat"), {},
+            false};
+  }
+  std::vector<uint32_t> ids(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    if (!r.GetU32(&ids[i])) {
+      return {Status(Code::kInvalidArgument, "malformed kCoordHeartbeat"), {},
+              false};
+    }
+  }
+  if (!r.Done()) {
+    return {Status(Code::kInvalidArgument, "malformed kCoordHeartbeat"), {},
+            false};
+  }
+  bool all_registered = true;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (uint32_t id : ids) {
+      monitor_.OnHeartbeat(id);
+      // A beat does not revive a failed instance (the process may have
+      // restarted and lost its leases) — the reply tells the sender to
+      // re-register, which is the explicit recovery edge.
+      all_registered &= monitor_.alive(id);
+    }
+  }
+  Reply reply;
+  wire::PutU64(reply.body, coordinator_->latest_id());
+  wire::PutU8(reply.body, all_registered ? 1 : 0);
+  return reply;
+}
+
+ControlPlane::Reply CoordinatorControl::HandleConfig(std::string_view body,
+                                                     bool subscribe) {
+  if (subscribe) {
+    wire::Reader r(body);
+    uint64_t known = 0;
+    if (!r.GetU64(&known) || !r.Done()) {
+      return {Status(Code::kInvalidArgument, "malformed kCoordConfigWatch"),
+              {}, false};
+    }
+  } else if (!body.empty()) {
+    return {Status(Code::kInvalidArgument, "malformed kCoordConfigGet"), {},
+            false};
+  }
+  ConfigurationPtr config = coordinator_->GetConfiguration();
+  if (!config) {
+    return {Status(Code::kUnavailable, "no configuration published"), {},
+            false};
+  }
+  Reply reply;
+  wire::PutBlob(reply.body, config->Serialize());
+  reply.subscribe = subscribe;
+  return reply;
+}
+
+ControlPlane::Reply CoordinatorControl::HandleReport(std::string_view body) {
+  wire::Reader r(body);
+  uint8_t event = 0;
+  uint32_t fragment = 0;
+  if (!r.GetU8(&event) || !r.GetU32(&fragment) || !r.Done() ||
+      !wire::IsKnownCoordEvent(event)) {
+    return {Status(Code::kInvalidArgument, "malformed kCoordReport"), {},
+            false};
+  }
+  switch (static_cast<wire::CoordEvent>(event)) {
+    case wire::CoordEvent::kDirtyListProcessed:
+      coordinator_->OnDirtyListProcessed(fragment);
+      break;
+    case wire::CoordEvent::kWorkingSetTransferTerminated:
+      coordinator_->OnWorkingSetTransferTerminated(fragment);
+      break;
+    case wire::CoordEvent::kDirtyListUnavailable:
+      coordinator_->OnDirtyListUnavailable(fragment);
+      break;
+  }
+  return {};
+}
+
+ControlPlane::Reply CoordinatorControl::HandleDirtyQuery(
+    std::string_view body) {
+  wire::Reader r(body);
+  uint32_t fragment = 0;
+  if (!r.GetU32(&fragment) || !r.Done()) {
+    return {Status(Code::kInvalidArgument, "malformed kCoordDirtyQuery"), {},
+            false};
+  }
+  Reply reply;
+  wire::PutU8(reply.body, coordinator_->DirtyProcessed(fragment) ? 1 : 0);
+  return reply;
+}
+
+}  // namespace gemini

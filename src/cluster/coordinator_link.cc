@@ -1,0 +1,99 @@
+#include "src/cluster/coordinator_link.h"
+
+#include <chrono>
+#include <utility>
+
+#include "src/common/logging.h"
+#include "src/transport/wire.h"
+
+namespace gemini {
+
+CoordinatorLink::CoordinatorLink(Options options)
+    : options_(std::move(options)) {
+  TcpConnection::Options conn_opts;
+  conn_opts.io_timeout = options_.io_timeout;
+  conn_opts.connect_timeout = options_.connect_timeout;
+  conn_ = TcpConnection::Acquire(options_.coordinator_host,
+                                 options_.coordinator_port, wire::kAnyInstance,
+                                 conn_opts);
+}
+
+CoordinatorLink::~CoordinatorLink() { Stop(); }
+
+void CoordinatorLink::Start() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (thread_.joinable()) return;
+    stop_ = false;
+  }
+  thread_ = std::thread([this] { Loop(); });
+}
+
+void CoordinatorLink::Stop() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  if (thread_.joinable()) thread_.join();
+}
+
+bool CoordinatorLink::TryRegister() {
+  std::string body;
+  wire::PutU32(body, options_.instance);
+  wire::PutBlob(body, options_.advertise_host);
+  wire::PutU16(body, options_.advertise_port);
+  std::string resp;
+  const Status s = conn_->Transact(wire::Op::kCoordRegister, body, &resp);
+  if (!s.ok()) return false;
+  wire::Reader r(resp);
+  uint64_t latest = 0;
+  if (!r.GetU64(&latest) || !r.Done()) return false;
+  if (options_.on_config_id) options_.on_config_id(latest);
+  LOG_INFO << "instance " << options_.instance
+           << ": registered with coordinator (config id " << latest << ")";
+  return true;
+}
+
+bool CoordinatorLink::TryHeartbeat() {
+  std::string body;
+  wire::PutU32(body, 1);
+  wire::PutU32(body, options_.instance);
+  std::string resp;
+  const Status s = conn_->Transact(wire::Op::kCoordHeartbeat, body, &resp);
+  if (!s.ok()) return false;
+  wire::Reader r(resp);
+  uint64_t latest = 0;
+  uint8_t still_registered = 0;
+  if (!r.GetU64(&latest) || !r.GetU8(&still_registered) || !r.Done()) {
+    return false;
+  }
+  if (options_.on_config_id) options_.on_config_id(latest);
+  // registered=0 means the coordinator failed this instance (missed beats,
+  // or a restarted coordinator that never saw it): fall back to
+  // registration, the explicit recovery edge.
+  return still_registered != 0;
+}
+
+void CoordinatorLink::Loop() {
+  for (;;) {
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait_for(lock,
+                   std::chrono::microseconds(options_.heartbeat_interval),
+                   [&] { return stop_; });
+      if (stop_) return;
+    }
+    if (!registered_.load(std::memory_order_acquire)) {
+      registered_.store(TryRegister(), std::memory_order_release);
+      continue;
+    }
+    if (!TryHeartbeat()) {
+      // The coordinator may have restarted (and forgotten this instance's
+      // address) — fall back to registration next round.
+      registered_.store(false, std::memory_order_release);
+    }
+  }
+}
+
+}  // namespace gemini

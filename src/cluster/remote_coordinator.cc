@@ -1,0 +1,136 @@
+#include "src/cluster/remote_coordinator.h"
+
+#include <chrono>
+#include <utility>
+
+#include "src/common/logging.h"
+
+namespace gemini {
+
+namespace {
+
+TcpConnection::Options ConnOptions(const RemoteCoordinator::Options& o) {
+  TcpConnection::Options c;
+  c.io_timeout = o.io_timeout;
+  c.connect_timeout = o.connect_timeout;
+  return c;
+}
+
+/// Decodes `blob serialized_configuration` into a Configuration.
+ConfigurationPtr ParseConfigBody(std::string_view body) {
+  wire::Reader r(body);
+  std::string_view blob;
+  if (!r.GetBlob(&blob) || !r.Done()) return nullptr;
+  auto config = Configuration::Deserialize(blob);
+  if (!config.has_value()) return nullptr;
+  return std::make_shared<const Configuration>(std::move(*config));
+}
+
+}  // namespace
+
+void RemoteCoordinator::State::Adopt(ConfigurationPtr fresh) {
+  if (!fresh) return;
+  std::lock_guard<std::mutex> lock(mu);
+  if (config && config->id() >= fresh->id()) return;  // ids only move forward
+  latest.store(fresh->id(), std::memory_order_release);
+  config = std::move(fresh);
+}
+
+RemoteCoordinator::RemoteCoordinator(std::string host, uint16_t port,
+                                     Options options)
+    : state_(std::make_shared<State>()),
+      conn_(TcpConnection::Acquire(host, port, wire::kAnyInstance,
+                                   ConnOptions(options))),
+      options_(options) {
+  std::weak_ptr<State> weak = state_;
+  conn_->AddPushHandler([weak](uint8_t tag, const std::string& body) {
+    if (tag != wire::kPushConfigTag) return;
+    if (auto state = weak.lock()) state->Adopt(ParseConfigBody(body));
+  });
+  if (options_.rewatch_interval > 0) {
+    rewatcher_ = std::thread([this] { RewatchLoop(); });
+  }
+}
+
+RemoteCoordinator::~RemoteCoordinator() {
+  {
+    std::lock_guard<std::mutex> lock(stop_mu_);
+    stop_ = true;
+  }
+  stop_cv_.notify_all();
+  if (rewatcher_.joinable()) rewatcher_.join();
+}
+
+Status RemoteCoordinator::Refresh() {
+  std::string body;
+  wire::PutU64(body, state_->latest.load(std::memory_order_acquire));
+  std::string resp;
+  const Status s = conn_->Transact(wire::Op::kCoordConfigWatch, body, &resp);
+  if (!s.ok()) return s;
+  ConfigurationPtr config = ParseConfigBody(resp);
+  if (!config) return Status(Code::kInternal, "malformed configuration body");
+  state_->Adopt(std::move(config));
+  return Status::Ok();
+}
+
+void RemoteCoordinator::RewatchLoop() {
+  for (;;) {
+    {
+      std::unique_lock<std::mutex> lock(stop_mu_);
+      stop_cv_.wait_for(lock,
+                        std::chrono::microseconds(options_.rewatch_interval),
+                        [&] { return stop_; });
+      if (stop_) return;
+    }
+    (void)Refresh();  // unreachable coordinator: keep the cached snapshot
+  }
+}
+
+ConfigurationPtr RemoteCoordinator::GetConfiguration() const {
+  std::lock_guard<std::mutex> lock(state_->mu);
+  return state_->config;
+}
+
+ConfigId RemoteCoordinator::latest_id() const {
+  return state_->latest.load(std::memory_order_acquire);
+}
+
+void RemoteCoordinator::Report(wire::CoordEvent event, FragmentId fragment) {
+  std::string body;
+  wire::PutU8(body, static_cast<uint8_t>(event));
+  wire::PutU32(body, fragment);
+  std::string resp;
+  const Status s = conn_->Transact(wire::Op::kCoordReport, body, &resp);
+  if (!s.ok()) {
+    // Fail-fast by design: the reporter's next pass re-derives the fact.
+    LOG_WARN << "coordinator report (event " << static_cast<int>(event)
+             << ", fragment " << fragment << ") lost: " << s.ToString();
+  }
+}
+
+void RemoteCoordinator::OnDirtyListProcessed(FragmentId fragment) {
+  Report(wire::CoordEvent::kDirtyListProcessed, fragment);
+}
+
+void RemoteCoordinator::OnWorkingSetTransferTerminated(FragmentId fragment) {
+  Report(wire::CoordEvent::kWorkingSetTransferTerminated, fragment);
+}
+
+void RemoteCoordinator::OnDirtyListUnavailable(FragmentId fragment) {
+  Report(wire::CoordEvent::kDirtyListUnavailable, fragment);
+}
+
+bool RemoteCoordinator::DirtyProcessed(FragmentId fragment) const {
+  std::string body;
+  wire::PutU32(body, fragment);
+  std::string resp;
+  const Status s =
+      conn_->Transact(wire::Op::kCoordDirtyQuery, body, &resp);
+  if (!s.ok()) return false;
+  wire::Reader r(resp);
+  uint8_t processed = 0;
+  if (!r.GetU8(&processed) || !r.Done()) return false;
+  return processed != 0;
+}
+
+}  // namespace gemini

@@ -1,0 +1,93 @@
+// RemoteCoordinator: a CoordinatorService backed by a geminicoordd over TCP.
+//
+// Clients and recovery workers keep programming against CoordinatorService;
+// this implementation caches the latest configuration locally and keeps it
+// fresh two ways:
+//   - push: the connection subscribes via kCoordConfigWatch, and every
+//     coordinator publish arrives as an unsolicited kPushConfig frame on the
+//     reader thread — a Rejig reaches clients without polling;
+//   - re-watch: the watch is re-issued periodically, because a redial (the
+//     coordinator restarted, the connection dropped) silently sheds the
+//     server-side subscription. The re-watch both refreshes the snapshot and
+//     re-subscribes, bounding how long a client can miss pushes.
+// Configuration ids only move forward: a stale push or response never
+// regresses the cache.
+//
+// Recovery notifications map to kCoordReport (fail-fast, never retried:
+// docs/PROTOCOL.md §11) and DirtyProcessed to kCoordDirtyQuery. A report
+// lost to a connection drop is safe — recovery-side callers re-derive and
+// re-report on their next pass.
+//
+// Thread-safe.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+
+#include "src/common/clock.h"
+#include "src/common/status.h"
+#include "src/coordinator/coordinator_service.h"
+#include "src/transport/tcp_connection.h"
+
+namespace gemini {
+
+class RemoteCoordinator final : public CoordinatorService {
+ public:
+  struct Options {
+    Duration io_timeout = Seconds(2);
+    Duration connect_timeout = Seconds(1);
+    /// Period of the background re-watch; 0 disables the thread (callers
+    /// drive Refresh() themselves — tests, single-shot tools).
+    Duration rewatch_interval = Millis(500);
+  };
+
+  RemoteCoordinator(std::string host, uint16_t port, Options options);
+  ~RemoteCoordinator() override;
+
+  RemoteCoordinator(const RemoteCoordinator&) = delete;
+  RemoteCoordinator& operator=(const RemoteCoordinator&) = delete;
+
+  /// One watch round trip now: fetches the coordinator's configuration,
+  /// adopts it if newer, (re-)subscribes to pushes. kUnavailable when the
+  /// coordinator cannot be reached — the cached snapshot stays.
+  Status Refresh();
+
+  // CoordinatorService.
+  [[nodiscard]] ConfigurationPtr GetConfiguration() const override;
+  [[nodiscard]] ConfigId latest_id() const override;
+  void OnDirtyListProcessed(FragmentId fragment) override;
+  void OnWorkingSetTransferTerminated(FragmentId fragment) override;
+  void OnDirtyListUnavailable(FragmentId fragment) override;
+  [[nodiscard]] bool DirtyProcessed(FragmentId fragment) const override;
+
+ private:
+  /// The push handler outlives `this` only via this shared state: the
+  /// connection may be shared (Acquire) and keeps handlers for its own
+  /// lifetime, so the handler captures a weak_ptr.
+  struct State {
+    mutable std::mutex mu;
+    ConfigurationPtr config;
+    std::atomic<ConfigId> latest{0};
+
+    void Adopt(ConfigurationPtr fresh);
+  };
+
+  void Report(wire::CoordEvent event, FragmentId fragment);
+  void RewatchLoop();
+
+  const std::shared_ptr<State> state_;
+  const std::shared_ptr<TcpConnection> conn_;
+  const Options options_;
+
+  std::mutex stop_mu_;
+  bool stop_ = false;
+  std::condition_variable stop_cv_;
+  std::thread rewatcher_;
+};
+
+}  // namespace gemini

@@ -11,7 +11,25 @@ namespace gemini {
 Coordinator::Coordinator(const Clock* clock,
                          std::vector<CacheInstance*> instances,
                          size_t num_fragments, Options options)
-    : clock_(clock), instances_(std::move(instances)), options_(options) {
+    : clock_(clock), options_(options) {
+  owned_endpoints_.reserve(instances.size());
+  instances_.reserve(instances.size());
+  for (CacheInstance* instance : instances) {
+    owned_endpoints_.push_back(
+        std::make_unique<LocalInstanceEndpoint>(instance));
+    instances_.push_back(owned_endpoints_.back().get());
+  }
+  Init(num_fragments);
+}
+
+Coordinator::Coordinator(const Clock* clock,
+                         std::vector<InstanceEndpoint*> endpoints,
+                         size_t num_fragments, Options options)
+    : clock_(clock), instances_(std::move(endpoints)), options_(options) {
+  Init(num_fragments);
+}
+
+void Coordinator::Init(size_t num_fragments) {
   assert(!instances_.empty());
   assert(num_fragments > 0);
   believed_up_.assign(instances_.size(), true);
@@ -26,6 +44,12 @@ Coordinator::Coordinator(const Clock* clock,
     st.assignment.mode = FragmentMode::kNormal;
   }
   PublishLocked({});
+}
+
+void Coordinator::SetConfigListener(
+    std::function<void(const ConfigurationPtr&)> listener) {
+  std::lock_guard<std::mutex> lock(mu_);
+  config_listener_ = std::move(listener);
 }
 
 ConfigurationPtr Coordinator::GetConfiguration() const {
@@ -59,13 +83,15 @@ InstanceId Coordinator::NextAvailableLocked(InstanceId exclude) {
 void Coordinator::GrantLeasesLocked(FragmentId f) {
   const auto& st = fragments_[f];
   const auto& a = st.assignment;
-  const Timestamp expiry = clock_->Now() + options_.fragment_lease_lifetime;
+  // Lease lifetimes are TTLs: each endpoint converts into its own clock
+  // domain (an absolute expiry would be meaningless on a remote machine).
+  const Duration ttl = options_.fragment_lease_lifetime;
   const ConfigId latest = next_config_id_ - 1;
   // The serving replicas per mode (Figure 4): normal -> primary; transient ->
   // secondary; recovery -> both.
   if (a.mode != FragmentMode::kTransient && a.primary != kInvalidInstance &&
       InstanceAvailableLocked(a.primary)) {
-    instances_[a.primary]->GrantFragmentLease(f, a.config_id, expiry, latest);
+    instances_[a.primary]->GrantLease(f, a.config_id, ttl, latest);
   }
   if (a.mode != FragmentMode::kNormal && a.secondary != kInvalidInstance &&
       InstanceAvailableLocked(a.secondary)) {
@@ -75,7 +101,7 @@ void Coordinator::GrantLeasesLocked(FragmentId f) {
     // same fragment.
     const ConfigId min_valid =
         std::max(a.config_id, st.secondary_created_id);
-    instances_[a.secondary]->GrantFragmentLease(f, min_valid, expiry, latest);
+    instances_[a.secondary]->GrantLease(f, min_valid, ttl, latest);
   }
 }
 
@@ -93,11 +119,9 @@ void Coordinator::PublishLocked(const std::vector<InstanceId>& impacted) {
   // Insert the configuration as a cache entry in the impacted instances so
   // recovering clients can bootstrap from the cache layer (Section 2.1).
   const std::string serialized = config->Serialize();
-  OpContext internal{kInternalConfigId, kInvalidFragment};
   auto insert_into = [&](InstanceId i) {
     if (i < instances_.size() && instances_[i]->available()) {
-      (void)instances_[i]->Set(internal, ConfigKey(),
-                               CacheValue::OfData(serialized));
+      (void)instances_[i]->Set(ConfigKey(), CacheValue::OfData(serialized));
     }
   };
   if (impacted.empty()) {
@@ -106,6 +130,7 @@ void Coordinator::PublishLocked(const std::vector<InstanceId>& impacted) {
     for (InstanceId i : impacted) insert_into(i);
   }
   published_ = std::move(config);
+  if (config_listener_) config_listener_(published_);
 }
 
 void Coordinator::OnInstanceFailed(InstanceId failed) {
@@ -132,7 +157,7 @@ void Coordinator::OnInstancesFailed(const std::vector<InstanceId>& failed) {
   // failures this way) must stop serving its fragments immediately.
   auto revoke_if_reachable = [&](InstanceId i, FragmentId f) {
     if (i < instances_.size() && instances_[i]->available()) {
-      instances_[i]->RevokeFragmentLease(f, new_id);
+      instances_[i]->RevokeLease(f, new_id);
     }
   };
 
@@ -167,10 +192,8 @@ void Coordinator::OnInstancesFailed(const std::vector<InstanceId>& failed) {
       impacted.push_back(secondary);
       if (options_.policy.maintain_dirty_lists) {
         // Initialize the marker-bearing dirty list (Section 3.1).
-        OpContext internal{kInternalConfigId, kInvalidFragment};
         (void)instances_[secondary]->Set(
-            internal, DirtyListKey(f),
-            CacheValue::OfData(DirtyList::InitialPayload()));
+            DirtyListKey(f), CacheValue::OfData(DirtyList::InitialPayload()));
       }
     } else if (primary_failed && a.mode == FragmentMode::kRecovery) {
       revoke_if_reachable(a.primary, f);
@@ -233,7 +256,6 @@ void Coordinator::OnInstanceRecovered(InstanceId recovered) {
   believed_up_[recovered] = true;
   const ConfigId new_id = next_config_id_++;
   const auto& policy = options_.policy;
-  OpContext internal{kInternalConfigId, kInvalidFragment};
   std::vector<InstanceId> impacted{recovered};
 
   for (FragmentId f = 0; f < static_cast<FragmentId>(fragments_.size());
@@ -261,7 +283,7 @@ void Coordinator::OnInstanceRecovered(InstanceId recovered) {
     bool dirty_ok = false;
     if (a.secondary != kInvalidInstance &&
         InstanceAvailableLocked(a.secondary)) {
-      auto payload = instances_[a.secondary]->Get(internal, DirtyListKey(f));
+      auto payload = instances_[a.secondary]->Get(DirtyListKey(f));
       if (payload.ok() &&
           DirtyList::Parse(payload->data).has_value()) {
         dirty_ok = true;
@@ -312,8 +334,7 @@ void Coordinator::OnDirtyListUnavailable(FragmentId fragment) {
   DiscardPrimaryLocked(fragment, /*reassign_new_host=*/false);
   if (old_secondary != kInvalidInstance &&
       InstanceAvailableLocked(old_secondary)) {
-    instances_[old_secondary]->RevokeFragmentLease(fragment,
-                                                   next_config_id_ - 1);
+    instances_[old_secondary]->RevokeLease(fragment, next_config_id_ - 1);
   }
   std::vector<InstanceId> impacted{a.primary};
   if (old_secondary != kInvalidInstance) impacted.push_back(old_secondary);
@@ -342,9 +363,8 @@ void Coordinator::MaybeCompleteRecoveryLocked(FragmentId f) {
   const InstanceId old_secondary = a.secondary;
   if (old_secondary != kInvalidInstance &&
       InstanceAvailableLocked(old_secondary)) {
-    OpContext internal{kInternalConfigId, kInvalidFragment};
-    (void)instances_[old_secondary]->Delete(internal, DirtyListKey(f));
-    instances_[old_secondary]->RevokeFragmentLease(f, new_id);
+    (void)instances_[old_secondary]->Delete(DirtyListKey(f));
+    instances_[old_secondary]->RevokeLease(f, new_id);
   }
   a.secondary = kInvalidInstance;
   a.mode = FragmentMode::kNormal;
@@ -367,8 +387,7 @@ bool Coordinator::EnforceDirtyListBudget(FragmentId fragment) {
       !InstanceAvailableLocked(a.secondary)) {
     return false;
   }
-  OpContext internal{kInternalConfigId, kInvalidFragment};
-  auto payload = instances_[a.secondary]->Get(internal, DirtyListKey(fragment));
+  auto payload = instances_[a.secondary]->Get(DirtyListKey(fragment));
   if (payload.ok() &&
       payload->data.size() <= options_.dirty_list_byte_budget) {
     return false;
@@ -386,7 +405,7 @@ bool Coordinator::EnforceDirtyListBudget(FragmentId fragment) {
   ++a.epoch;
   st.dirty_processed = false;
   st.wst_terminated = false;
-  (void)instances_[secondary]->Delete(internal, DirtyListKey(fragment));
+  (void)instances_[secondary]->Delete(DirtyListKey(fragment));
   PublishLocked({secondary});
   return true;
 }

@@ -31,6 +31,7 @@
 // Thread-safe.
 #pragma once
 
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -42,6 +43,7 @@
 #include "src/common/types.h"
 #include "src/coordinator/configuration.h"
 #include "src/coordinator/coordinator_service.h"
+#include "src/coordinator/instance_endpoint.h"
 #include "src/coordinator/policy.h"
 
 namespace gemini {
@@ -77,15 +79,30 @@ class Coordinator : public CoordinatorService {
     uint64_t dirty_list_byte_budget = 0;
   };
 
-  /// `instances` is the cluster; fragment i starts on instance i % M.
+  /// `instances` is the cluster; fragment i starts on instance i % M. This
+  /// in-process form wraps each CacheInstance in a LocalInstanceEndpoint —
+  /// the historical behavior, unchanged.
   Coordinator(const Clock* clock, std::vector<CacheInstance*> instances,
               size_t num_fragments)
       : Coordinator(clock, std::move(instances), num_fragments, Options()) {}
   Coordinator(const Clock* clock, std::vector<CacheInstance*> instances,
               size_t num_fragments, Options options);
 
+  /// Endpoint form: the cluster as InstanceEndpoints (in-process, remote
+  /// over TCP, or a mix). InstanceId i is endpoints[i]; endpoints must
+  /// outlive the coordinator.
+  Coordinator(const Clock* clock, std::vector<InstanceEndpoint*> endpoints,
+              size_t num_fragments, Options options);
+
   Coordinator(const Coordinator&) = delete;
   Coordinator& operator=(const Coordinator&) = delete;
+
+  /// Installs a hook invoked after every publish with the fresh
+  /// configuration — how a networked control plane pushes config advances
+  /// to connected clients. Called with the coordinator's lock held: the
+  /// hook must be cheap and must never call back into this coordinator.
+  /// Set before the coordinator starts taking events.
+  void SetConfigListener(std::function<void(const ConfigurationPtr&)> listener);
 
   // ---- Client-facing ---------------------------------------------------------
 
@@ -189,11 +206,19 @@ class Coordinator : public CoordinatorService {
   void MaybeCompleteRecoveryLocked(FragmentId f);
   bool InstanceAvailableLocked(InstanceId id) const;
 
+  /// Shared ctor tail: seeds the fragment table and publishes config 1.
+  void Init(size_t num_fragments);
+
   const Clock* clock_;
-  std::vector<CacheInstance*> instances_;
+  /// Endpoints owned by the CacheInstance* ctor (LocalInstanceEndpoints);
+  /// empty when the caller supplied its own endpoints.
+  std::vector<std::unique_ptr<InstanceEndpoint>> owned_endpoints_;
+  /// The cluster, indexed by InstanceId.
+  std::vector<InstanceEndpoint*> instances_;
   Options options_;
 
   mutable std::mutex mu_;
+  std::function<void(const ConfigurationPtr&)> config_listener_;
   ConfigId next_config_id_ = 1;
   std::vector<FragmentState> fragments_;
   ConfigurationPtr published_;

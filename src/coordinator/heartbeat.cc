@@ -1,0 +1,83 @@
+#include "src/coordinator/heartbeat.h"
+
+namespace gemini {
+
+HeartbeatMonitor::HeartbeatMonitor(const Clock* clock, size_t num_instances,
+                                   Options options)
+    : clock_(clock), options_(options) {
+  if (options_.restart_grace == 0) {
+    options_.restart_grace = failure_deadline();
+  }
+  entries_.resize(num_instances);
+}
+
+bool HeartbeatMonitor::Register(InstanceId id) {
+  if (id >= entries_.size()) return false;
+  auto& e = entries_[id];
+  const bool recovery_edge = e.state != State::kAlive;
+  e.state = State::kAlive;
+  e.last_beat = clock_->Now();
+  if (recovery_edge) {
+    bool queued = false;
+    for (InstanceId p : pending_recovered_) queued |= (p == id);
+    if (!queued) pending_recovered_.push_back(id);
+  }
+  return recovery_edge;
+}
+
+void HeartbeatMonitor::OnHeartbeat(InstanceId id) {
+  if (id >= entries_.size()) return;
+  auto& e = entries_[id];
+  // A beat refreshes an alive instance and also satisfies an kExpected
+  // grace window (the instance never died; the *coordinator* restarted, so
+  // no re-registration — and no recovery cycle — is needed).
+  if (e.state == State::kAlive || e.state == State::kExpected) {
+    e.state = State::kAlive;
+    e.last_beat = clock_->Now();
+  }
+}
+
+void HeartbeatMonitor::ExpectRegistration(InstanceId id) {
+  if (id >= entries_.size()) return;
+  auto& e = entries_[id];
+  e.state = State::kExpected;
+  e.deadline = clock_->Now() + options_.restart_grace;
+}
+
+HeartbeatMonitor::Transitions HeartbeatMonitor::Tick(Timestamp now) {
+  Transitions out;
+  // Drain registration edges first: an instance that re-registered and is
+  // still beating must not also be reported failed below (its last_beat is
+  // fresh, so the deadline check cannot trip unless the clock jumped).
+  out.recovered.swap(pending_recovered_);
+  const Duration deadline = failure_deadline();
+  for (InstanceId id = 0; id < entries_.size(); ++id) {
+    auto& e = entries_[id];
+    switch (e.state) {
+      case State::kAlive:
+        if (now - e.last_beat >= deadline) {
+          e.state = State::kFailed;
+          out.failed.push_back(id);
+        }
+        break;
+      case State::kExpected:
+        if (now >= e.deadline) {
+          e.state = State::kFailed;
+          out.failed.push_back(id);
+        }
+        break;
+      case State::kUnseen:
+      case State::kFailed:
+        break;
+    }
+  }
+  return out;
+}
+
+bool HeartbeatMonitor::alive(InstanceId id) const {
+  if (id >= entries_.size()) return false;
+  const State s = entries_[id].state;
+  return s == State::kAlive || s == State::kExpected;
+}
+
+}  // namespace gemini

@@ -1,0 +1,101 @@
+// HeartbeatMonitor: clock-driven failure detection for the networked
+// control plane.
+//
+// Each registered instance is expected to beat every `interval`; an
+// instance whose last beat is older than `interval * miss_threshold` is
+// declared failed. Detection is *edge-triggered*: Tick() reports each
+// failed/recovered transition exactly once, so the caller (CoordinatorControl)
+// can forward them 1:1 to Coordinator::OnInstancesFailed /
+// OnInstanceRecovered without deduplication.
+//
+// The monitor is a pure state machine under the Clock abstraction — no
+// threads, no sockets — so the missed-beat arithmetic is testable to the
+// microsecond with a VirtualClock (tests/coordinator_heartbeat_test.cc).
+// CoordinatorControl owns the ticker thread and the wire plumbing.
+//
+// Thread-compatible, not thread-safe: the owner serializes calls (the
+// control plane funnels beats and ticks through one mutex anyway).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "src/common/clock.h"
+#include "src/common/types.h"
+
+namespace gemini {
+
+class HeartbeatMonitor {
+ public:
+  struct Options {
+    /// Expected beat period. geminid sends at this rate; the monitor only
+    /// uses it to derive the failure deadline.
+    Duration interval = Millis(100);
+    /// Consecutive missed beats before an instance is declared failed.
+    size_t miss_threshold = 3;
+    /// Grace granted to instances seeded via ExpectRegistration (coordinator
+    /// restart): how long they have to re-register before being failed.
+    /// 0 means `interval * miss_threshold`.
+    Duration restart_grace = 0;
+  };
+
+  /// Edge-triggered transitions observed by a Tick().
+  struct Transitions {
+    std::vector<InstanceId> failed;
+    std::vector<InstanceId> recovered;
+  };
+
+  HeartbeatMonitor(const Clock* clock, size_t num_instances, Options options);
+
+  /// An instance registered (initial attach or re-register after a restart).
+  /// Counts as a beat. Returns true when this registration is a recovery
+  /// edge — the instance was previously declared failed (or was never seen).
+  /// The edge is also queued and reported by the next Tick() in
+  /// `Transitions::recovered`, so the control plane can run the (expensive)
+  /// recovery cycle on its ticker thread instead of the server's event loop.
+  bool Register(InstanceId id);
+
+  /// A heartbeat arrived for `id`. Beats from instances the monitor
+  /// considers failed do NOT revive them: the instance must re-register
+  /// (its process may have restarted and lost its leases; registration is
+  /// the explicit "I am whole again" signal).
+  void OnHeartbeat(InstanceId id);
+
+  /// Seeds expectation for an instance believed up by imported coordinator
+  /// state: it is treated as alive with `restart_grace` to re-register
+  /// before the monitor fails it. Prevents a restarted coordinator from
+  /// spuriously failing a healthy cluster (tested under a fake clock).
+  void ExpectRegistration(InstanceId id);
+
+  /// Advances detection to `now`; returns transitions that happened since
+  /// the previous Tick, each reported exactly once.
+  Transitions Tick(Timestamp now);
+
+  /// True once the instance has registered and is not currently failed.
+  [[nodiscard]] bool alive(InstanceId id) const;
+
+  [[nodiscard]] Duration failure_deadline() const {
+    return options_.interval * static_cast<Duration>(options_.miss_threshold);
+  }
+
+ private:
+  enum class State {
+    kUnseen,    // never registered; not monitored, not failed
+    kAlive,     // beating
+    kExpected,  // imported as up; grace period to re-register
+    kFailed,    // declared failed; waiting for re-registration
+  };
+  struct Entry {
+    State state = State::kUnseen;
+    Timestamp last_beat = 0;
+    Timestamp deadline = 0;  // for kExpected: when grace expires
+  };
+
+  const Clock* clock_;
+  Options options_;
+  std::vector<Entry> entries_;
+  /// Recovery edges from Register() awaiting the next Tick().
+  std::vector<InstanceId> pending_recovered_;
+};
+
+}  // namespace gemini

@@ -1,0 +1,96 @@
+// InstanceEndpoint: how the Coordinator talks to a cache instance.
+//
+// The coordinator's protocol needs five things from an instance: liveness
+// (available), fragment-lease grant/revoke, and internal-context
+// Get/Set/Delete (configuration entries and dirty lists are ordinary cache
+// entries at well-known keys, Section 2.1/3.1). Abstracting those behind an
+// interface lets the same Coordinator drive in-process CacheInstances (the
+// simulator, unit tests) and remote geminids over TCP (src/cluster) without
+// knowing which it has.
+//
+// Lease lifetimes are durations (TTLs), not absolute expiries: processes do
+// not share a clock, so the endpoint converts the TTL into an expiry in the
+// *instance's* clock domain — locally via CacheInstance::clock(), remotely
+// by shipping the TTL across the wire (kLeaseGrant, docs/PROTOCOL.md §12.3).
+#pragma once
+
+#include <string_view>
+
+#include "src/cache/cache_backend.h"
+#include "src/cache/cache_instance.h"
+#include "src/common/status.h"
+#include "src/common/types.h"
+
+namespace gemini {
+
+class InstanceEndpoint {
+ public:
+  virtual ~InstanceEndpoint() = default;
+
+  /// Whether the instance can currently serve coordinator traffic. The
+  /// coordinator skips unavailable endpoints when placing replicas,
+  /// granting leases, and inserting config entries.
+  [[nodiscard]] virtual bool available() const = 0;
+
+  /// Grants/renews the instance's lease on `fragment` for `ttl` from now
+  /// (the instance's now), with the given minimum-valid configuration id;
+  /// also advances the instance's memoized latest configuration id.
+  virtual void GrantLease(FragmentId fragment, ConfigId min_valid_config,
+                          Duration ttl, ConfigId latest_config) = 0;
+
+  /// Revokes the lease (fragment reassigned elsewhere).
+  virtual void RevokeLease(FragmentId fragment, ConfigId latest_config) = 0;
+
+  // Internal-context data ops (kInternalConfigId bypasses staleness checks;
+  // the coordinator reads/writes config entries and dirty lists with them).
+  virtual Result<CacheValue> Get(std::string_view key) = 0;
+  virtual Status Set(std::string_view key, CacheValue value) = 0;
+  virtual Status Delete(std::string_view key) = 0;
+};
+
+/// In-process endpoint over a CacheInstance — the historical coordinator
+/// behavior, byte-identical: lease expiries land on the instance's own
+/// clock, data ops run under kInternalConfigId.
+class LocalInstanceEndpoint final : public InstanceEndpoint {
+ public:
+  explicit LocalInstanceEndpoint(CacheInstance* instance)
+      : instance_(instance) {}
+
+  [[nodiscard]] bool available() const override {
+    return instance_->available();
+  }
+
+  void GrantLease(FragmentId fragment, ConfigId min_valid_config, Duration ttl,
+                  ConfigId latest_config) override {
+    instance_->GrantFragmentLease(fragment, min_valid_config,
+                                  instance_->clock().Now() + ttl,
+                                  latest_config);
+  }
+
+  void RevokeLease(FragmentId fragment, ConfigId latest_config) override {
+    instance_->RevokeFragmentLease(fragment, latest_config);
+  }
+
+  Result<CacheValue> Get(std::string_view key) override {
+    return instance_->Get(InternalContext(), key);
+  }
+
+  Status Set(std::string_view key, CacheValue value) override {
+    return instance_->Set(InternalContext(), key, std::move(value));
+  }
+
+  Status Delete(std::string_view key) override {
+    return instance_->Delete(InternalContext(), key);
+  }
+
+  [[nodiscard]] CacheInstance* instance() const { return instance_; }
+
+ private:
+  static OpContext InternalContext() {
+    return OpContext{kInternalConfigId, kInvalidFragment};
+  }
+
+  CacheInstance* const instance_;
+};
+
+}  // namespace gemini

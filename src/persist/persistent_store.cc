@@ -43,7 +43,9 @@ Status PersistentStore::Open(CacheInstance& instance) {
   if (Status s = EnsureDir(dir_); !s.ok()) return s;
 
   uint64_t next_seq = 0;
+  const Timestamp replay_start = SystemClock::Global().Now();
   if (Status s = Replay(instance, next_seq); !s.ok()) return s;
+  replay_micros_ = SystemClock::Global().Now() - replay_start;
 
   {
     std::lock_guard<std::mutex> lock(mu_);
@@ -303,12 +305,18 @@ Status PersistentStore::error() const {
 PersistentStore::Stats PersistentStore::stats() const {
   Stats s;
   s.appended_records = appended_records_.load(std::memory_order_relaxed);
+  s.appended_bytes = appended_bytes_.load(std::memory_order_relaxed);
   {
     std::lock_guard<std::mutex> lock(mu_);
     s.fsyncs = wal_.fsync_count();
+    // Bytes in the live segment = log the next boot would replay; a
+    // checkpoint rotates to a fresh segment, resetting this to (nearly)
+    // zero, so it doubles as distance-to-next-size-triggered-checkpoint.
+    if (wal_.is_open()) s.checkpoint_lag_bytes = wal_.segment_bytes();
   }
   s.checkpoints = checkpoints_.checkpoints_written();
   s.replayed_segments = replayed_segments_;
+  s.replay_micros = replay_micros_;
   s.replayed_records = replayed_records_;
   s.restored_entries = restored_entries_;
   s.quarantine_drops = quarantine_drops_;
@@ -346,11 +354,14 @@ void PersistentStore::AppendImpl(const Record& record, bool sync_now) {
     // so the wakeup cannot be lost — and the common case (writer already
     // draining) skips the futex wake entirely.
     wake = pending_.empty() || sync_now;
+    const size_t before = pending_.size();
     Wal::EncodeFrame(pending_, record);
     ++pending_records_;
     pending_eager_ |= sync_now;
     my_seq = ++enqueued_;
     appended_records_.fetch_add(1, std::memory_order_relaxed);
+    appended_bytes_.fetch_add(pending_.size() - before,
+                              std::memory_order_relaxed);
   }
   if (wake) q_cv_.notify_one();
   if (sync_now) {

@@ -108,13 +108,19 @@ class PersistentStore final : public PersistenceSink {
 
   struct Stats {
     uint64_t appended_records = 0;
-    uint64_t fsyncs = 0;
+    uint64_t appended_bytes = 0;  // framed WAL bytes accepted since Open
+    uint64_t fsyncs = 0;          // journal commits (group fsyncs)
     uint64_t checkpoints = 0;
     uint64_t replayed_segments = 0;
     uint64_t replayed_records = 0;
+    uint64_t replay_micros = 0;  // wall time Open spent replaying history
     uint64_t restored_entries = 0;
     uint64_t quarantine_drops = 0;  // keys dropped by the crash-spanning Q rule
     uint64_t torn_tail_bytes = 0;   // bytes discarded from a torn final segment
+    /// Live-segment bytes not yet covered by a checkpoint: the truncation
+    /// lag — how much log the next boot would replay if the process died
+    /// right now (and roughly how far the next checkpoint is).
+    uint64_t checkpoint_lag_bytes = 0;
   };
   [[nodiscard]] Stats stats() const;
   [[nodiscard]] const std::string& dir() const { return dir_; }
@@ -174,6 +180,8 @@ class PersistentStore final : public PersistenceSink {
   std::atomic<uint64_t> max_config_{0};
 
   std::atomic<uint64_t> appended_records_{0};
+  std::atomic<uint64_t> appended_bytes_{0};
+  uint64_t replay_micros_ = 0;
   uint64_t replayed_segments_ = 0;
   uint64_t replayed_records_ = 0;
   uint64_t restored_entries_ = 0;

@@ -11,8 +11,11 @@
 // immutable afterwards: the event loop reads it without locking.
 #pragma once
 
+#include <cstdint>
+#include <functional>
 #include <map>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "src/cache/cache_instance.h"
@@ -20,11 +23,16 @@
 
 namespace gemini {
 
-/// Per-instance transport policy (today: snapshot persistence).
+/// Per-instance transport policy (snapshot persistence, extra counters).
 struct InstanceOptions {
   /// Target file of the wire kSnapshot op for this instance; empty rejects
   /// remote snapshot triggers.
   std::string snapshot_path;
+  /// Extra (name, value) counters appended to this instance's kStats
+  /// response — how geminid surfaces PersistentStore counters without the
+  /// transport depending on src/persist. Called on an event-loop thread, so
+  /// it must be cheap and thread-safe; null = no extra counters.
+  std::function<std::vector<std::pair<std::string, uint64_t>>()> extra_stats;
 };
 
 class InstanceRegistry {

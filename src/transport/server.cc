@@ -48,7 +48,11 @@ struct TransportServer::Connection {
   std::string out;  // unflushed response bytes
   size_t out_offset = 0;
   bool hello_done = false;
+  // Subscribed to configuration pushes via kCoordConfigWatch.
+  bool config_subscriber = false;
   // Bound by HELLO; every data op on this connection hits this instance.
+  // Stays null on a coordinator-only server (empty registry): data ops then
+  // answer kUnavailable while control ops keep working.
   CacheInstance* instance = nullptr;
   InstanceId bound_id = kInvalidInstance;
   size_t instance_slot = InstanceRegistry::npos;
@@ -196,6 +200,9 @@ struct TransportServer::Shard {
   // shard's loop on its next wake-up.
   std::mutex inbox_mu;
   std::vector<int> inbox;
+  // Config-push frames queued by PushConfigToSubscribers (same lock + wake
+  // pipe as the inbox), delivered to subscribed connections on wake-up.
+  std::vector<std::string> pushes;
 
   std::atomic<uint64_t> frames_handled{0};
   std::atomic<uint64_t> protocol_errors{0};
@@ -229,13 +236,14 @@ Status TransportServer::Start() {
   if (running_.load(std::memory_order_acquire)) {
     return Status(Code::kInvalidArgument, "server already running");
   }
-  if (registry_.empty()) {
+  if (registry_.empty() && options_.control == nullptr) {
     return Status(Code::kInvalidArgument, "no instances registered");
   }
   stop_requested_.store(false, std::memory_order_release);
-  // Drop any joined shards from a previous run; a restarted server reports
-  // stats for its current run only (the per-shard counters die with the
-  // shards, so the server-level counter must reset in step).
+  // Fold the previous run's counters into the cumulative baseline before
+  // dropping the shards that own them: stats() stays monotonic across
+  // Stop()/Start() cycles instead of resetting with each restart.
+  baseline_ = stats();
   shards_.clear();
   connections_accepted_.store(0, std::memory_order_relaxed);
   slot_ids_ = registry_.ids();
@@ -327,6 +335,7 @@ Status TransportServer::Start() {
     if (!id_list.empty()) id_list += ",";
     id_list += std::to_string(id);
   }
+  if (id_list.empty()) id_list = "none: coordinator-only";
   LOG_INFO << "geminid transport listening on " << options_.bind_address
            << ":" << port_ << " (instances " << id_list << ", "
            << shards_.size() << " event loop"
@@ -363,8 +372,8 @@ void TransportServer::Stop() {
 }
 
 TransportServer::Stats TransportServer::stats() const {
-  Stats s;
-  s.connections_accepted =
+  Stats s = baseline_;
+  s.connections_accepted +=
       connections_accepted_.load(std::memory_order_relaxed);
   for (const auto& shard : shards_) {
     s.frames_handled += shard->frames_handled.load(std::memory_order_relaxed);
@@ -384,10 +393,29 @@ TransportServer::Stats TransportServer::stats() const {
           shard->per_instance_errors[slot].load(std::memory_order_relaxed);
     }
     if (frames != 0 || errors != 0) {
-      s.per_instance[slot_ids_[slot]] = Stats::PerInstance{frames, errors};
+      Stats::PerInstance& pi = s.per_instance[slot_ids_[slot]];
+      pi.frames_handled += frames;
+      pi.protocol_errors += errors;
     }
   }
   return s;
+}
+
+void TransportServer::PushConfigToSubscribers(
+    std::string_view serialized_config) {
+  if (!running_.load(std::memory_order_acquire)) return;
+  std::string body;
+  wire::PutBlob(body, serialized_config);
+  std::string frame;
+  wire::AppendFrame(frame, wire::kPushConfigTag, body);
+  for (auto& shard : shards_) {
+    {
+      std::lock_guard<std::mutex> lock(shard->inbox_mu);
+      shard->pushes.push_back(frame);
+    }
+    const char byte = 'p';
+    [[maybe_unused]] ssize_t n = ::write(shard->wake_fds[1], &byte, 1);
+  }
 }
 
 // ---- Event loop -------------------------------------------------------------
@@ -541,9 +569,11 @@ void TransportServer::AcceptReady(Shard& shard) {
 
 void TransportServer::AdoptInbox(Shard& shard, bool draining) {
   std::vector<int> handoff;
+  std::vector<std::string> pushes;
   {
     std::lock_guard<std::mutex> lock(shard.inbox_mu);
     handoff.swap(shard.inbox);
+    pushes.swap(shard.pushes);
   }
   for (int fd : handoff) {
     if (draining) {
@@ -553,6 +583,21 @@ void TransportServer::AdoptInbox(Shard& shard, bool draining) {
     shard.poller->Add(fd);
     shard.connections.emplace(fd, std::make_unique<Connection>(fd));
   }
+  if (!draining && !pushes.empty()) DeliverPushes(shard, std::move(pushes));
+}
+
+void TransportServer::DeliverPushes(Shard& shard,
+                                    std::vector<std::string> frames) {
+  // Pushes land between request frames, never inside one: responses are
+  // appended synchronously in HandleFrame, so at this point every buffered
+  // response is complete and the FIFO matching rule is preserved.
+  std::vector<int> dead;
+  for (auto& [fd, conn] : shard.connections) {
+    if (!conn->config_subscriber) continue;
+    for (const std::string& frame : frames) conn->out.append(frame);
+    if (!FlushWrites(shard, *conn)) dead.push_back(fd);
+  }
+  for (int fd : dead) CloseConnection(shard, fd);
 }
 
 bool TransportServer::ReadReady(Shard& shard, Connection& conn) {
@@ -682,6 +727,17 @@ bool TransportServer::HandleHello(Shard& shard, Connection& conn,
   CacheInstance* instance = requested == wire::kAnyInstance
                                 ? registry_.default_instance()
                                 : registry_.Find(requested);
+  if (instance == nullptr && requested == wire::kAnyInstance &&
+      registry_.empty() && options_.control != nullptr) {
+    // Coordinator-only server: the handshake succeeds unbound. Control ops
+    // work; data ops answer kUnavailable.
+    conn.hello_done = true;
+    std::string resp;
+    wire::PutU32(resp, version);
+    wire::PutU32(resp, wire::kAnyInstance);
+    wire::AppendResponse(conn.out, Code::kOk, resp);
+    return true;
+  }
   if (instance == nullptr) {
     // Fail the handshake cleanly: tell the client which id was refused,
     // then close — a client configured for a fragment group this server
@@ -729,6 +785,22 @@ bool TransportServer::HandleFrame(Shard& shard, Connection& conn,
                   Status(Code::kInvalidArgument, "malformed request body"));
     return true;
   };
+
+  // A coordinator-only server (empty registry) binds no instance: session,
+  // stats, and control-plane ops still work; everything else is answered
+  // kUnavailable rather than dereferencing a null instance.
+  if (instance == nullptr) {
+    const bool instanceless =
+        op == wire::Op::kPing || op == wire::Op::kInstanceList ||
+        op == wire::Op::kStats ||
+        (op >= wire::Op::kCoordRegister && op <= wire::Op::kCoordDirtyQuery);
+    if (!instanceless) {
+      RespondStatus(conn.out,
+                    Status(Code::kUnavailable,
+                           "no instance bound (coordinator-only server)"));
+      return true;
+    }
+  }
 
   switch (op) {
     case wire::Op::kHello:
@@ -1027,8 +1099,108 @@ bool TransportServer::HandleFrame(Shard& shard, Connection& conn,
       RespondStatus(conn.out, Snapshot::WriteToFile(*instance, path));
       return true;
     }
+
+    case wire::Op::kStats: {
+      if (!r.Done()) return malformed();
+      HandleStats(conn);
+      return true;
+    }
+
+    case wire::Op::kLeaseGrant: {
+      uint32_t fragment = 0;
+      uint64_t min_valid = 0;
+      uint64_t ttl_us = 0;
+      uint64_t latest = 0;
+      if (!r.GetU32(&fragment) || !r.GetU64(&min_valid) ||
+          !r.GetU64(&ttl_us) || !r.GetU64(&latest) || !r.Done()) {
+        return malformed();
+      }
+      // Lifetimes cross the wire as TTLs; the expiry is computed in this
+      // instance's own clock domain (docs/PROTOCOL.md §12.3).
+      instance->GrantFragmentLease(
+          fragment, min_valid,
+          instance->clock().Now() + static_cast<Duration>(ttl_us), latest);
+      wire::AppendResponse(conn.out, Code::kOk, {});
+      return true;
+    }
+
+    case wire::Op::kLeaseRevoke: {
+      uint32_t fragment = 0;
+      uint64_t latest = 0;
+      if (!r.GetU32(&fragment) || !r.GetU64(&latest) || !r.Done()) {
+        return malformed();
+      }
+      instance->RevokeFragmentLease(fragment, latest);
+      wire::AppendResponse(conn.out, Code::kOk, {});
+      return true;
+    }
+
+    case wire::Op::kCoordRegister:
+    case wire::Op::kCoordHeartbeat:
+    case wire::Op::kCoordConfigGet:
+    case wire::Op::kCoordConfigWatch:
+    case wire::Op::kCoordReport:
+    case wire::Op::kCoordDirtyQuery:
+      return HandleControlOp(conn, op, body);
   }
   return false;
+}
+
+bool TransportServer::HandleControlOp(Connection& conn, wire::Op op,
+                                      std::string_view body) {
+  if (options_.control == nullptr) {
+    RespondStatus(conn.out,
+                  Status(Code::kInvalidArgument,
+                         "this server is not a coordinator"));
+    return true;
+  }
+  ControlPlane::Reply reply = options_.control->HandleControl(op, body);
+  if (reply.subscribe) conn.config_subscriber = true;
+  if (reply.status.ok()) {
+    wire::AppendResponse(conn.out, Code::kOk, reply.body);
+  } else {
+    RespondStatus(conn.out, reply.status);
+  }
+  return true;
+}
+
+void TransportServer::HandleStats(Connection& conn) {
+  std::vector<std::pair<std::string, uint64_t>> kv;
+  const Stats server = stats();
+  kv.emplace_back("server.connections_accepted", server.connections_accepted);
+  kv.emplace_back("server.frames_handled", server.frames_handled);
+  kv.emplace_back("server.protocol_errors", server.protocol_errors);
+  kv.emplace_back("server.connections_reaped", server.connections_reaped);
+  kv.emplace_back("server.accept_errors", server.accept_errors);
+  if (conn.instance != nullptr) {
+    const auto it = server.per_instance.find(conn.bound_id);
+    if (it != server.per_instance.end()) {
+      kv.emplace_back("instance.frames_handled", it->second.frames_handled);
+      kv.emplace_back("instance.protocol_errors", it->second.protocol_errors);
+    }
+    const CacheInstance::Stats cache = conn.instance->stats();
+    kv.emplace_back("cache.hits", cache.hits);
+    kv.emplace_back("cache.misses", cache.misses);
+    kv.emplace_back("cache.inserts", cache.inserts);
+    kv.emplace_back("cache.deletes", cache.deletes);
+    kv.emplace_back("cache.evictions", cache.evictions);
+    kv.emplace_back("cache.config_discards", cache.config_discards);
+    kv.emplace_back("cache.used_bytes", cache.used_bytes);
+    kv.emplace_back("cache.entry_count", cache.entry_count);
+    if (conn.instance_options != nullptr &&
+        conn.instance_options->extra_stats != nullptr) {
+      for (auto& [name, value] : conn.instance_options->extra_stats()) {
+        kv.emplace_back(name, value);
+      }
+    }
+  }
+  std::string resp;
+  wire::PutU32(resp, static_cast<uint32_t>(kv.size()));
+  for (const auto& [name, value] : kv) {
+    wire::PutBlob(resp, name);
+    wire::PutU64(resp, value);
+  }
+  wire::AppendResponse(conn.out, Code::kOk, resp);
 }
 
 }  // namespace gemini

@@ -53,6 +53,30 @@
 
 namespace gemini {
 
+/// Server-side hook for the coordinator control plane (wire ops
+/// kCoordRegister..kCoordDirtyQuery, docs/PROTOCOL.md §12). TransportServer
+/// stays ignorant of coordinator semantics: it routes every control-plane
+/// frame to the attached ControlPlane and appends whatever reply comes back.
+/// HandleControl runs on an event-loop shard thread — it may block briefly
+/// (the coordinator's publish path issues RPCs to instances), but anything
+/// long-running belongs on the implementation's own threads. A server
+/// without a control plane answers these ops with kInvalidArgument.
+class ControlPlane {
+ public:
+  virtual ~ControlPlane() = default;
+
+  struct Reply {
+    Status status = Status::Ok();
+    /// Response body for an Ok status (error messages travel in `status`).
+    std::string body;
+    /// Subscribe this connection to configuration pushes: from now on every
+    /// PushConfigToSubscribers() broadcast lands on it as a kPushConfigTag
+    /// frame.
+    bool subscribe = false;
+  };
+  virtual Reply HandleControl(wire::Op op, std::string_view body) = 0;
+};
+
 class TransportServer {
  public:
   struct Options {
@@ -92,6 +116,12 @@ class TransportServer {
     /// counts in Stats::accept_errors.
     int accept_error_burst = 64;
     int accept_pause_ms = 100;
+    /// Coordinator control plane served by this server (null = plain data
+    /// server; control ops answer kInvalidArgument). Must outlive the
+    /// server. With a control plane attached the registry may be empty — a
+    /// coordinator-only server accepts HELLOs that target kAnyInstance,
+    /// binds no instance, and answers data ops with kUnavailable.
+    ControlPlane* control = nullptr;
   };
 
   /// Multi-instance server. The registry must stay unchanged (and its
@@ -106,9 +136,16 @@ class TransportServer {
   TransportServer& operator=(const TransportServer&) = delete;
 
   /// Binds, listens, and starts the loop threads. kInvalidArgument on an
-  /// empty registry, kInternal on socket errors (bind failure, exhausted
-  /// fds).
+  /// empty registry without a control plane, kInternal on socket errors
+  /// (bind failure, exhausted fds).
   Status Start();
+
+  /// Broadcasts a kPushConfigTag frame carrying `serialized_config`
+  /// (Configuration::Serialize bytes) to every connection subscribed via
+  /// kCoordConfigWatch. Safe from any thread while the server runs, but
+  /// must not race Stop(): callers (the coordinator control plane) stop
+  /// pushing before stopping the server. No-op when not running.
+  void PushConfigToSubscribers(std::string_view serialized_config);
 
   /// Graceful shutdown; idempotent. Safe to call from any thread.
   void Stop();
@@ -144,6 +181,11 @@ class TransportServer {
     std::map<InstanceId, PerInstance> per_instance;
   };
   /// Aggregates the per-shard atomic counters; never blocks the data path.
+  /// Counters are *cumulative across Stop()/Start() cycles*: Start() folds
+  /// the previous run's totals into a baseline before dropping its shards,
+  /// so a restarted server keeps counting where it left off (the wire
+  /// kStats op and monitoring both see monotonic values). Do not call
+  /// concurrently with Start()/Stop().
   [[nodiscard]] Stats stats() const;
 
  private:
@@ -173,6 +215,12 @@ class TransportServer {
   /// Handles the mandatory first frame; binds the connection's instance.
   bool HandleHello(Shard& shard, Connection& conn, wire::Reader& r);
   void CountProtocolError(Shard& shard, const Connection& conn);
+  /// Routes one control-plane op to options_.control and appends the reply.
+  bool HandleControlOp(Connection& conn, wire::Op op, std::string_view body);
+  /// Appends the kStats response for `conn`'s server + bound instance.
+  void HandleStats(Connection& conn);
+  /// Delivers queued config-push frames to this shard's subscribers.
+  void DeliverPushes(Shard& shard, std::vector<std::string> frames);
 
   InstanceRegistry registry_;
   Options options_;
@@ -190,6 +238,9 @@ class TransportServer {
   /// Round-robin cursor for connection assignment (acceptor thread only).
   size_t next_shard_ = 0;
   std::atomic<uint64_t> connections_accepted_{0};
+  /// Totals of completed runs; stats() adds the live shard counters on top
+  /// (see stats() — counters survive Stop()/Start()).
+  Stats baseline_;
 };
 
 }  // namespace gemini

@@ -327,6 +327,9 @@ Status TcpConnection::DialLocked() {
     writer_ = std::thread(&TcpConnection::WriterLoop, this);
     reader_ = std::thread(&TcpConnection::ReaderLoop, this);
   }
+  // A push-interested reader starts pumping the fresh epoch immediately,
+  // without waiting for the next request.
+  if (push_interest_) reader_cv_.notify_one();
   return Status::Ok();
 }
 
@@ -365,6 +368,17 @@ void TcpConnection::SubmitAsync(wire::Op op, std::string_view body,
   reader_cv_.notify_one();
 }
 
+void TcpConnection::AddPushHandler(PushHandler handler) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto next = push_handlers_ != nullptr
+                  ? std::make_shared<std::vector<PushHandler>>(*push_handlers_)
+                  : std::make_shared<std::vector<PushHandler>>();
+  next->push_back(std::move(handler));
+  push_handlers_ = std::move(next);
+  push_interest_ = true;
+  reader_cv_.notify_one();
+}
+
 void TcpConnection::WriterLoop() {
   std::unique_lock<std::mutex> lock(mu_);
   for (;;) {
@@ -394,14 +408,17 @@ void TcpConnection::ReaderLoop() {
   std::unique_lock<std::mutex> lock(mu_);
   for (;;) {
     reader_cv_.wait(lock, [&] {
-      return shutdown_ || (sock_ != nullptr && !inflight_.empty());
+      return shutdown_ ||
+             (sock_ != nullptr && (!inflight_.empty() || push_interest_));
     });
     if (shutdown_) return;
     const std::shared_ptr<Socket> sock = sock_;
     // Drain responses while this epoch stays current and requests are in
     // flight. Responses match requests by position (FIFO per connection,
-    // docs/PROTOCOL.md §10.6).
-    while (!shutdown_ && sock_ == sock && !inflight_.empty()) {
+    // docs/PROTOCOL.md §10.6). Under push interest the reader keeps pumping
+    // even with an empty window, so unsolicited frames arrive promptly.
+    while (!shutdown_ && sock_ == sock &&
+           (!inflight_.empty() || push_interest_)) {
       size_t consumed = 0;
       uint8_t tag = 0;
       std::string_view view;
@@ -410,6 +427,27 @@ void TcpConnection::ReaderLoop() {
       if (r == wire::DecodeResult::kFrame) {
         std::string body(view);
         sock->recv_buf.erase(0, consumed);
+        if (wire::IsPushTag(tag)) {
+          // Unsolicited server push: route out of band; the response FIFO
+          // is untouched.
+          const auto handlers = push_handlers_;
+          lock.unlock();
+          if (handlers != nullptr) {
+            for (const PushHandler& h : *handlers) h(tag, body);
+          }
+          lock.lock();
+          continue;
+        }
+        if (inflight_.empty()) {
+          // A response-tagged frame with nothing in flight (only reachable
+          // in push-interest mode): the server desynced; drop the
+          // connection rather than mis-match a future request.
+          auto victims = TearLocked();
+          lock.unlock();
+          FailAll(victims, "unsolicited response frame");
+          lock.lock();
+          break;
+        }
         Completion done = std::move(inflight_.front());
         inflight_.pop_front();
         window_cv_.notify_one();
@@ -445,6 +483,12 @@ void TcpConnection::ReaderLoop() {
         continue;
       }
       if (n < 0 && recv_errno == EINTR) continue;
+      if (n < 0 && (recv_errno == EAGAIN || recv_errno == EWOULDBLOCK) &&
+          inflight_.empty()) {
+        // Idle push-interest poll: SO_RCVTIMEO expired with no response
+        // owed and no partial frame at risk — keep listening.
+        continue;
+      }
       errno = recv_errno;
       Status err;
       if (n == 0) {

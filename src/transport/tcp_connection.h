@@ -100,6 +100,21 @@ class TcpConnection {
   /// keep it cheap and never call back into this connection from inside.
   using Completion = std::function<void(Status, std::string)>;
 
+  /// Handler for unsolicited server pushes (frames whose tag satisfies
+  /// wire::IsPushTag — e.g. configuration pushes after a kCoordConfigWatch
+  /// subscription). Runs on the reader thread; keep it cheap and never call
+  /// back into this connection from inside. Push frames are not responses:
+  /// they bypass the FIFO response matching entirely (§10.6 unaffected).
+  using PushHandler = std::function<void(uint8_t tag, const std::string& body)>;
+
+  /// Registers `handler` for every push frame this connection receives, for
+  /// the connection's lifetime (there is no removal — holders of a shared
+  /// connection each add their own handler and must outlive it, or capture
+  /// weak state). Registering also switches the reader into push-interest
+  /// mode: it keeps draining the socket even with no request in flight, so
+  /// pushes arrive promptly on an otherwise idle connection.
+  void AddPushHandler(PushHandler handler);
+
   /// One request of a pipelined batch.
   struct BatchRequest {
     wire::Op op;
@@ -247,6 +262,13 @@ class TcpConnection {
   /// Completions of submitted requests, oldest first — the FIFO the reader
   /// matches response frames against.
   std::deque<Completion> inflight_;
+  /// Copy-on-write push handler list (guarded by mu_; the reader snapshots
+  /// it and dispatches with mu_ released).
+  std::shared_ptr<const std::vector<PushHandler>> push_handlers_;
+  /// True once any push handler exists: the reader then pumps the socket
+  /// even when inflight_ is empty, and an idle recv timeout is benign
+  /// instead of connection-fatal.
+  bool push_interest_ = false;
   bool shutdown_ = false;
   bool threads_started_ = false;
 

@@ -31,6 +31,15 @@ bool IsKnownOp(uint8_t op) {
     case Op::kConfigIdGet:
     case Op::kConfigIdBump:
     case Op::kSnapshot:
+    case Op::kStats:
+    case Op::kLeaseGrant:
+    case Op::kLeaseRevoke:
+    case Op::kCoordRegister:
+    case Op::kCoordHeartbeat:
+    case Op::kCoordConfigGet:
+    case Op::kCoordConfigWatch:
+    case Op::kCoordReport:
+    case Op::kCoordDirtyQuery:
       return true;
   }
   return false;
@@ -44,6 +53,14 @@ bool IsIdempotentOp(Op op) {
     case Op::kDirtyListGet:
     case Op::kConfigIdGet:
     case Op::kConfigIdBump:  // ObserveConfigId is a max-merge
+    case Op::kStats:
+    case Op::kLeaseGrant:   // coordinator serializes publishes; re-grant is
+    case Op::kLeaseRevoke:  // a no-op re-apply, latest ids max-merge
+    case Op::kCoordRegister:
+    case Op::kCoordHeartbeat:
+    case Op::kCoordConfigGet:
+    case Op::kCoordConfigWatch:
+    case Op::kCoordDirtyQuery:
       return true;
     default:
       return false;

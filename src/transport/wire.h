@@ -102,7 +102,64 @@ enum class Op : uint8_t {
 
   // Persistence.
   kSnapshot = 0x60,  // blob path (empty = server default) -> empty
+
+  // Introspection.
+  kStats = 0x61,  // empty -> u32 count | count * (blob name | u64 value)
+
+  // Fragment leases (coordinator -> instance control ops; docs/PROTOCOL.md
+  // §12.3). Lease lifetimes cross the wire as TTLs relative to the
+  // receiver's clock — processes do not share a clock, so an absolute
+  // expiry would be meaningless on arrival.
+  kLeaseGrant = 0x62,   // u32 fragment | u64 min_valid_config | u64 ttl_us
+                        //                | u64 latest_config -> empty
+  kLeaseRevoke = 0x63,  // u32 fragment | u64 latest_config -> empty
+
+  // Coordinator control plane (docs/PROTOCOL.md §12). Served only by a
+  // server with a coordinator attached; a plain geminid answers
+  // kInvalidArgument.
+  kCoordRegister = 0x70,   // u32 instance | blob host | u16 port
+                           //                         -> u64 latest_config_id
+  kCoordHeartbeat = 0x71,  // u32 count | count * u32 instance
+                           //         -> u64 latest_config_id | u8 registered
+                           // registered=0: some beaten instance is unknown
+                           // or failed — the sender must re-register (a beat
+                           // never revives a failed instance by itself).
+  kCoordConfigGet = 0x72,  // empty -> blob serialized_configuration
+  kCoordConfigWatch = 0x73,  // u64 known_config_id
+                             //       -> blob serialized_configuration;
+                             // also subscribes this connection to
+                             // kPushConfig frames.
+  kCoordReport = 0x74,      // u8 event (CoordEvent) | u32 fragment -> empty
+  kCoordDirtyQuery = 0x75,  // u32 fragment -> u8 processed
 };
+
+/// Events a recovery-side client reports to the coordinator (kCoordReport).
+enum class CoordEvent : uint8_t {
+  kDirtyListProcessed = 0,
+  kWorkingSetTransferTerminated = 1,
+  kDirtyListUnavailable = 2,
+};
+
+/// True iff `v` names a defined CoordEvent.
+inline bool IsKnownCoordEvent(uint8_t v) { return v <= 2; }
+
+// ---- Server pushes ---------------------------------------------------------
+//
+// Tags >= kMinPushTag are reserved for unsolicited server->client frames.
+// They are disjoint from the status-code space (Code values are small), so a
+// client reader can route them out of band without disturbing the
+// FIFO-per-connection response matching rule (§10.6): a push frame is not a
+// response and does not consume a pending request slot.
+
+inline constexpr uint8_t kMinPushTag = 0xF0;
+
+/// Configuration push: body = blob serialized_configuration
+/// (Configuration::Serialize). Sent to connections subscribed via
+/// kCoordConfigWatch whenever the coordinator publishes.
+inline constexpr uint8_t kPushConfigTag = 0xF0;
+
+/// True iff `tag` is an unsolicited push frame, not a response.
+inline bool IsPushTag(uint8_t tag) { return tag >= kMinPushTag; }
 
 /// True iff `op` is a defined opcode (decode-side validation).
 bool IsKnownOp(uint8_t op);
@@ -111,9 +168,18 @@ bool IsKnownOp(uint8_t op);
 /// with the response unread — the server may or may not have executed it)
 /// cannot change the outcome. These are the only ops a client-side retry
 /// layer may resend automatically (docs/PROTOCOL.md §11): pure reads (kGet,
-/// kDirtyListGet, kConfigIdGet, kPing, kInstanceList) and kConfigIdBump,
-/// which is a max-merge into the instance's observed configuration id.
-/// Everything that touches leases, versions, or dirty lists stays
+/// kDirtyListGet, kConfigIdGet, kPing, kInstanceList, kStats,
+/// kCoordConfigGet, kCoordConfigWatch, kCoordDirtyQuery), kConfigIdBump
+/// (a max-merge into the instance's observed configuration id), and the
+/// coordinator control ops whose state is level- rather than edge-triggered:
+/// kCoordRegister (re-registering re-installs the same endpoint),
+/// kCoordHeartbeat (a duplicate beat only refreshes a deadline), and the
+/// lease ops kLeaseGrant/kLeaseRevoke (the coordinator serializes publishes,
+/// so a duplicate re-applies the same lease state; latest-config ids are
+/// max-merged). kCoordReport stays fail-fast: the coordinator's recovery
+/// transitions are mode-guarded, but a duplicated report after the mode
+/// advanced would be indistinguishable from a stale straggler.
+/// Everything that touches data-plane leases, versions, or dirty lists stays
 /// fail-fast — a duplicated kIqSet/kDar/kAppend could double-apply or
 /// resurrect a lease the protocol already voided.
 bool IsIdempotentOp(Op op);

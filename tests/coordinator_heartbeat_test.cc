@@ -1,0 +1,211 @@
+// HeartbeatMonitor: missed-beat failure detection under a fake clock.
+//
+// Covers the threshold edges (fail at exactly interval*miss_threshold, not
+// one microsecond earlier), flapping instances (each edge reported exactly
+// once), and the coordinator-restart path: ExpectRegistration seeds grace
+// for instances imported as up so a restarted coordinator does not
+// spuriously fail a healthy cluster.
+#include "src/coordinator/heartbeat.h"
+
+#include <gtest/gtest.h>
+
+#include "src/common/clock.h"
+
+namespace gemini {
+namespace {
+
+HeartbeatMonitor::Options TestOptions() {
+  HeartbeatMonitor::Options o;
+  o.interval = Millis(100);
+  o.miss_threshold = 3;
+  return o;
+}
+
+TEST(HeartbeatMonitorTest, UnregisteredInstancesAreNeverFailed) {
+  VirtualClock clock;
+  HeartbeatMonitor mon(&clock, 4, TestOptions());
+  clock.Advance(Seconds(10));
+  auto t = mon.Tick(clock.Now());
+  EXPECT_TRUE(t.failed.empty());
+  EXPECT_TRUE(t.recovered.empty());
+  EXPECT_FALSE(mon.alive(0));
+}
+
+TEST(HeartbeatMonitorTest, RegistrationIsARecoveryEdgeReportedByTick) {
+  VirtualClock clock;
+  HeartbeatMonitor mon(&clock, 2, TestOptions());
+  EXPECT_TRUE(mon.Register(1));
+  EXPECT_TRUE(mon.alive(1));
+  auto t = mon.Tick(clock.Now());
+  ASSERT_EQ(t.recovered.size(), 1u);
+  EXPECT_EQ(t.recovered[0], 1u);
+  EXPECT_TRUE(t.failed.empty());
+  // The edge is consumed: the next tick is quiet.
+  t = mon.Tick(clock.Now());
+  EXPECT_TRUE(t.recovered.empty());
+}
+
+TEST(HeartbeatMonitorTest, FailsAtExactlyTheMissedBeatDeadline) {
+  VirtualClock clock;
+  HeartbeatMonitor mon(&clock, 1, TestOptions());
+  mon.Register(0);
+  (void)mon.Tick(clock.Now());
+
+  // One microsecond before interval * miss_threshold: still alive.
+  clock.Advance(Millis(300) - Micros(1));
+  auto t = mon.Tick(clock.Now());
+  EXPECT_TRUE(t.failed.empty());
+  EXPECT_TRUE(mon.alive(0));
+
+  // At the deadline: failed, exactly once.
+  clock.Advance(Micros(1));
+  t = mon.Tick(clock.Now());
+  ASSERT_EQ(t.failed.size(), 1u);
+  EXPECT_EQ(t.failed[0], 0u);
+  EXPECT_FALSE(mon.alive(0));
+
+  // Stays failed silently.
+  clock.Advance(Seconds(5));
+  t = mon.Tick(clock.Now());
+  EXPECT_TRUE(t.failed.empty());
+}
+
+TEST(HeartbeatMonitorTest, BeatsKeepAnInstanceAliveIndefinitely) {
+  VirtualClock clock;
+  HeartbeatMonitor mon(&clock, 1, TestOptions());
+  mon.Register(0);
+  (void)mon.Tick(clock.Now());
+  for (int i = 0; i < 50; ++i) {
+    clock.Advance(Millis(100));
+    mon.OnHeartbeat(0);
+    EXPECT_TRUE(mon.Tick(clock.Now()).failed.empty());
+  }
+  EXPECT_TRUE(mon.alive(0));
+}
+
+TEST(HeartbeatMonitorTest, BeatsFromAFailedInstanceDoNotReviveIt) {
+  VirtualClock clock;
+  HeartbeatMonitor mon(&clock, 1, TestOptions());
+  mon.Register(0);
+  (void)mon.Tick(clock.Now());
+  clock.Advance(Millis(300));
+  ASSERT_EQ(mon.Tick(clock.Now()).failed.size(), 1u);
+
+  // A stray beat (e.g. a delayed frame) must not mark the instance whole —
+  // only re-registration does: the process may have restarted and lost its
+  // leases, so recovery must run.
+  mon.OnHeartbeat(0);
+  EXPECT_FALSE(mon.alive(0));
+  EXPECT_TRUE(mon.Tick(clock.Now()).recovered.empty());
+
+  EXPECT_TRUE(mon.Register(0));
+  auto t = mon.Tick(clock.Now());
+  ASSERT_EQ(t.recovered.size(), 1u);
+  EXPECT_EQ(t.recovered[0], 0u);
+  EXPECT_TRUE(mon.alive(0));
+}
+
+TEST(HeartbeatMonitorTest, FlappingInstanceReportsEachEdgeExactlyOnce) {
+  VirtualClock clock;
+  HeartbeatMonitor mon(&clock, 1, TestOptions());
+  mon.Register(0);
+  (void)mon.Tick(clock.Now());
+
+  size_t failures = 0;
+  size_t recoveries = 0;
+  for (int cycle = 0; cycle < 10; ++cycle) {
+    // Silence past the deadline; several ticks in the failed window must
+    // yield exactly one failure edge.
+    for (int i = 0; i < 8; ++i) {
+      clock.Advance(Millis(100));
+      auto t = mon.Tick(clock.Now());
+      failures += t.failed.size();
+      recoveries += t.recovered.size();
+    }
+    // Restart: re-register, then several quiet-but-beating ticks must yield
+    // exactly one recovery edge.
+    mon.Register(0);
+    for (int i = 0; i < 4; ++i) {
+      auto t = mon.Tick(clock.Now());
+      failures += t.failed.size();
+      recoveries += t.recovered.size();
+      clock.Advance(Millis(100));
+      mon.OnHeartbeat(0);
+    }
+  }
+  EXPECT_EQ(failures, 10u);
+  EXPECT_EQ(recoveries, 10u);
+}
+
+TEST(HeartbeatMonitorTest, DoubleRegistrationBetweenTicksQueuesOneEdge) {
+  VirtualClock clock;
+  HeartbeatMonitor mon(&clock, 1, TestOptions());
+  EXPECT_TRUE(mon.Register(0));
+  EXPECT_FALSE(mon.Register(0));  // already alive: not an edge
+  auto t = mon.Tick(clock.Now());
+  EXPECT_EQ(t.recovered.size(), 1u);
+}
+
+TEST(HeartbeatMonitorTest, ExpectedInstanceGetsGraceThenFails) {
+  VirtualClock clock;
+  auto opts = TestOptions();
+  opts.restart_grace = Millis(500);
+  HeartbeatMonitor mon(&clock, 2, opts);
+  mon.ExpectRegistration(0);
+  mon.ExpectRegistration(1);
+  EXPECT_TRUE(mon.alive(0));
+
+  // Within grace: no spurious failures even with zero beats.
+  clock.Advance(Millis(499));
+  auto t = mon.Tick(clock.Now());
+  EXPECT_TRUE(t.failed.empty());
+  EXPECT_TRUE(t.recovered.empty());
+
+  // Instance 0 checks in with a plain heartbeat (it never died — the
+  // coordinator restarted): satisfied, no recovery cycle.
+  mon.OnHeartbeat(0);
+  clock.Advance(Millis(1));
+  t = mon.Tick(clock.Now());
+  ASSERT_EQ(t.failed.size(), 1u);  // instance 1 never appeared
+  EXPECT_EQ(t.failed[0], 1u);
+  EXPECT_TRUE(t.recovered.empty());
+  EXPECT_TRUE(mon.alive(0));
+  EXPECT_FALSE(mon.alive(1));
+}
+
+TEST(HeartbeatMonitorTest, ExpectedInstanceReRegisteringIsARecoveryEdge) {
+  VirtualClock clock;
+  HeartbeatMonitor mon(&clock, 1, TestOptions());
+  mon.ExpectRegistration(0);
+  // A *registration* during grace means the geminid process restarted (it
+  // re-registers on reconnect): that is a recovery edge — leases were lost.
+  EXPECT_TRUE(mon.Register(0));
+  auto t = mon.Tick(clock.Now());
+  ASSERT_EQ(t.recovered.size(), 1u);
+}
+
+TEST(HeartbeatMonitorTest, RestartGraceDefaultsToFailureDeadline) {
+  VirtualClock clock;
+  HeartbeatMonitor mon(&clock, 1, TestOptions());
+  EXPECT_EQ(mon.failure_deadline(), Millis(300));
+  mon.ExpectRegistration(0);
+  clock.Advance(Millis(300) - Micros(1));
+  EXPECT_TRUE(mon.Tick(clock.Now()).failed.empty());
+  clock.Advance(Micros(1));
+  EXPECT_EQ(mon.Tick(clock.Now()).failed.size(), 1u);
+}
+
+TEST(HeartbeatMonitorTest, OutOfRangeIdsAreIgnored) {
+  VirtualClock clock;
+  HeartbeatMonitor mon(&clock, 2, TestOptions());
+  EXPECT_FALSE(mon.Register(7));
+  mon.OnHeartbeat(7);
+  mon.ExpectRegistration(7);
+  EXPECT_FALSE(mon.alive(7));
+  auto t = mon.Tick(clock.Now());
+  EXPECT_TRUE(t.failed.empty());
+  EXPECT_TRUE(t.recovered.empty());
+}
+
+}  // namespace
+}  // namespace gemini

@@ -197,9 +197,40 @@ TEST(WireOpTest, KnownAndUnknownOpcodes) {
   EXPECT_TRUE(IsKnownOp(static_cast<uint8_t>(Op::kHello)));
   EXPECT_TRUE(IsKnownOp(static_cast<uint8_t>(Op::kSnapshot)));
   EXPECT_TRUE(IsKnownOp(static_cast<uint8_t>(Op::kWriteBackInstall)));
+  EXPECT_TRUE(IsKnownOp(static_cast<uint8_t>(Op::kStats)));
+  EXPECT_TRUE(IsKnownOp(static_cast<uint8_t>(Op::kLeaseGrant)));
+  EXPECT_TRUE(IsKnownOp(static_cast<uint8_t>(Op::kCoordRegister)));
+  EXPECT_TRUE(IsKnownOp(static_cast<uint8_t>(Op::kCoordDirtyQuery)));
   EXPECT_FALSE(IsKnownOp(0x00));
   EXPECT_FALSE(IsKnownOp(0xFF));
   EXPECT_FALSE(IsKnownOp(0x3F));
+  EXPECT_FALSE(IsKnownOp(0x76));          // one past the coordinator range
+  EXPECT_FALSE(IsKnownOp(kPushConfigTag));  // pushes are not requests
+}
+
+TEST(WireOpTest, RetrySafetyClassification) {
+  // Reads and level-triggered control ops retry; edge-triggered mutations
+  // must not (docs/PROTOCOL.md §11, §12).
+  EXPECT_TRUE(IsIdempotentOp(Op::kStats));
+  EXPECT_TRUE(IsIdempotentOp(Op::kLeaseGrant));
+  EXPECT_TRUE(IsIdempotentOp(Op::kLeaseRevoke));
+  EXPECT_TRUE(IsIdempotentOp(Op::kCoordRegister));
+  EXPECT_TRUE(IsIdempotentOp(Op::kCoordHeartbeat));
+  EXPECT_TRUE(IsIdempotentOp(Op::kCoordConfigGet));
+  EXPECT_TRUE(IsIdempotentOp(Op::kCoordConfigWatch));
+  EXPECT_TRUE(IsIdempotentOp(Op::kCoordDirtyQuery));
+  EXPECT_FALSE(IsIdempotentOp(Op::kCoordReport));
+  EXPECT_FALSE(IsIdempotentOp(Op::kSet));
+  EXPECT_FALSE(IsIdempotentOp(Op::kIqSet));
+}
+
+TEST(WireOpTest, PushTagsAreDisjointFromStatusCodes) {
+  EXPECT_TRUE(IsPushTag(kPushConfigTag));
+  EXPECT_TRUE(IsPushTag(0xFF));
+  EXPECT_FALSE(IsPushTag(static_cast<uint8_t>(Code::kInternal)));
+  EXPECT_FALSE(IsPushTag(static_cast<uint8_t>(Code::kOk)));
+  // Every frozen status code sits below the push range.
+  EXPECT_LT(static_cast<uint8_t>(Code::kInternal), kMinPushTag);
 }
 
 TEST(WireOpTest, StatusCodeMapping) {
@@ -295,6 +326,52 @@ TEST(WireGrammarTest, EveryOpcodeBodyRoundTrips) {
     std::string b;
     PutBlob(b, "/tmp/snap");
     cases.push_back({Op::kSnapshot, b});
+  }
+  cases.push_back({Op::kStats, {}});
+  {
+    std::string b;
+    PutU32(b, 2);    // fragment
+    PutU64(b, 7);    // min_valid_config
+    PutU64(b, 500);  // ttl_us
+    PutU64(b, 9);    // latest_config
+    cases.push_back({Op::kLeaseGrant, b});
+  }
+  {
+    std::string b;
+    PutU32(b, 2);  // fragment
+    PutU64(b, 9);  // latest_config
+    cases.push_back({Op::kLeaseRevoke, b});
+  }
+  {
+    std::string b;
+    PutU32(b, 1);  // instance
+    PutBlob(b, "127.0.0.1");
+    PutU16(b, 7411);
+    cases.push_back({Op::kCoordRegister, b});
+  }
+  {
+    std::string b;
+    PutU32(b, 2);  // count
+    PutU32(b, 0);
+    PutU32(b, 1);
+    cases.push_back({Op::kCoordHeartbeat, b});
+  }
+  cases.push_back({Op::kCoordConfigGet, {}});
+  {
+    std::string b;
+    PutU64(b, 4);  // known config id
+    cases.push_back({Op::kCoordConfigWatch, b});
+  }
+  {
+    std::string b;
+    PutU8(b, static_cast<uint8_t>(CoordEvent::kDirtyListProcessed));
+    PutU32(b, 3);  // fragment
+    cases.push_back({Op::kCoordReport, b});
+  }
+  {
+    std::string b;
+    PutU32(b, 3);  // fragment
+    cases.push_back({Op::kCoordDirtyQuery, b});
   }
 
   for (const Case& c : cases) {

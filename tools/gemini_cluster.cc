@@ -1,0 +1,522 @@
+// gemini_cluster: a process-level crash/recovery harness for the networked
+// control plane.
+//
+// Spawns one geminicoordd and N geminids (each durably backed by a WAL data
+// dir and heartbeating to the coordinator), fronts every geminid's data port
+// with a seeded in-process FaultProxy, and drives foreground load through an
+// unmodified GeminiClient + RemoteCoordinator — configurations arrive as
+// kPushConfig frames, recovery notifications travel as kCoordReport. Each
+// cycle it kill -9s a seeded victim mid-burst and asserts the paper's
+// failover story end to end over real sockets:
+//
+//   missed heartbeats -> coordinator fails the instance over (config id
+//   advances, pushed live to clients) -> transient writes append dirty
+//   lists in the secondary -> the victim restarts on the same data dir,
+//   replays its WAL, re-registers -> recovery workers drain dirty lists
+//   over TCP -> fragments return to normal.
+//
+// A StaleReadChecker audits every foreground read against the data store;
+// any read-after-write violation fails the run (exit 1). Each client thread
+// owns a disjoint key range so the audit is exact under concurrency. All
+// scheduling randomness derives from --seed: the same seed replays the same
+// fault schedule, victim choices, and op mix.
+//
+// Usage:
+//   gemini_cluster [--seed S] [--instances N] [--fragments M] [--cycles C]
+//                  [--keys K] [--ops N] [--verbose]
+//
+// Exit codes: 0 clean sweep, 1 stale reads or a dead daemon, 2 bad flags,
+// 3 recovery never converged.
+#include <atomic>
+#include <cerrno>
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <memory>
+#include <random>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include "src/client/gemini_client.h"
+#include "src/cluster/remote_coordinator.h"
+#include "src/common/clock.h"
+#include "src/common/logging.h"
+#include "src/consistency/stale_read_checker.h"
+#include "src/coordinator/configuration.h"
+#include "src/recovery/recovery_worker.h"
+#include "src/store/data_store.h"
+#include "src/transport/fault_proxy.h"
+#include "src/transport/tcp_backend.h"
+
+#ifndef GEMINID_PATH
+#error "GEMINID_PATH must point at the geminid binary"
+#endif
+#ifndef GEMINICOORDD_PATH
+#error "GEMINICOORDD_PATH must point at the geminicoordd binary"
+#endif
+
+namespace gemini {
+namespace {
+
+uint64_t ParseUint(const std::string& flag, const char* value, uint64_t max) {
+  errno = 0;
+  char* end = nullptr;
+  const unsigned long long parsed = std::strtoull(value, &end, 10);
+  if (end == value || *end != '\0' || errno == ERANGE || parsed > max ||
+      value[0] == '-') {
+    std::cerr << "gemini_cluster: invalid value '" << value << "' for "
+              << flag << " (expected an integer in [0, " << max << "])\n";
+    std::exit(2);
+  }
+  return static_cast<uint64_t>(parsed);
+}
+
+void Usage(const char* argv0) {
+  std::cerr << "usage: " << argv0 << " [options]\n"
+            << "  --seed S       fault/victim/op schedule seed (default 1)\n"
+            << "  --instances N  geminid processes (default 3)\n"
+            << "  --fragments M  fragment count (default 2*N)\n"
+            << "  --cycles C     kill -9 / restart cycles (default 2)\n"
+            << "  --keys K       keys per client thread (default 64)\n"
+            << "  --ops N        foreground ops per thread per burst "
+               "(default 400)\n"
+            << "  --verbose      info-level logging\n";
+}
+
+struct Child {
+  pid_t pid = -1;
+  int stdout_fd = -1;
+};
+
+/// fork/execs `path` with `args`; the child's stdout arrives on stdout_fd.
+Child Spawn(const char* path, const std::vector<std::string>& args) {
+  int pipefd[2];
+  if (::pipe(pipefd) != 0) {
+    std::perror("pipe");
+    std::exit(1);
+  }
+  const pid_t pid = ::fork();
+  if (pid == 0) {
+    ::dup2(pipefd[1], STDOUT_FILENO);
+    ::close(pipefd[0]);
+    ::close(pipefd[1]);
+    std::vector<char*> argv;
+    std::string bin = path;
+    argv.push_back(bin.data());
+    std::vector<std::string> owned = args;
+    for (auto& a : owned) argv.push_back(a.data());
+    argv.push_back(nullptr);
+    ::execv(path, argv.data());
+    std::perror("execv");
+    ::_exit(127);
+  }
+  ::close(pipefd[1]);
+  return {pid, pipefd[0]};
+}
+
+/// Reads the child's stdout until `needle` shows up (or ~15 s pass).
+std::string ReadUntil(int fd, const std::string& needle) {
+  std::string out;
+  char buf[512];
+  const Timestamp start = SystemClock::Global().Now();
+  while (out.find(needle) == std::string::npos) {
+    if (SystemClock::Global().Now() - start > Seconds(15)) break;
+    const ssize_t n = ::read(fd, buf, sizeof(buf));
+    if (n <= 0) break;
+    out.append(buf, static_cast<size_t>(n));
+  }
+  return out;
+}
+
+/// Parses "... on 127.0.0.1:PORT" out of a daemon's startup banner.
+uint16_t PortFromBanner(const std::string& banner) {
+  const std::string marker = "on 127.0.0.1:";
+  const size_t at = banner.find(marker);
+  if (at == std::string::npos) return 0;
+  return static_cast<uint16_t>(std::atoi(banner.c_str() + at + marker.size()));
+}
+
+int WaitForExit(pid_t pid) {
+  int wstatus = 0;
+  if (::waitpid(pid, &wstatus, 0) != pid) return -1;
+  return WIFEXITED(wstatus) ? WEXITSTATUS(wstatus) : -WTERMSIG(wstatus);
+}
+
+struct Flags {
+  uint64_t seed = 1;
+  size_t instances = 3;
+  size_t fragments = 0;  // 0 = 2 * instances
+  size_t cycles = 2;
+  size_t keys = 64;
+  size_t ops = 400;
+};
+
+constexpr size_t kClientThreads = 2;
+constexpr size_t kRecoveryWorkers = 2;
+constexpr uint64_t kHeartbeatMs = 50;
+
+/// One geminid process plus the seeded chaos proxy in front of its data
+/// port. The proxy targets the *fixed* server port, so a restarted victim
+/// (same --port) is reachable through the same proxy; the coordinator link
+/// advertises the real port — control traffic bypasses the chaos.
+struct Node {
+  InstanceId id = 0;
+  std::string data_dir;
+  uint16_t port = 0;  // 0 = first spawn picks one; fixed afterwards
+  Child child;
+  std::unique_ptr<FaultProxy> proxy;
+};
+
+bool SpawnNode(Node& node, uint16_t coord_port) {
+  std::vector<std::string> args = {
+      "--port",        std::to_string(node.port),
+      "--instance",    std::to_string(node.id),
+      "--data-dir",    node.data_dir,
+      "--coordinator", "127.0.0.1:" + std::to_string(coord_port),
+      "--heartbeat-interval-ms", std::to_string(kHeartbeatMs),
+      "--threads",     "2"};
+  node.child = Spawn(GEMINID_PATH, args);
+  if (node.child.pid <= 0) return false;
+  const std::string banner = ReadUntil(node.child.stdout_fd, "serving on");
+  const uint16_t port = PortFromBanner(banner);
+  if (port == 0) {
+    std::cerr << "gemini_cluster: geminid " << node.id
+              << " printed no banner:\n"
+              << banner;
+    return false;
+  }
+  node.port = port;
+  return true;
+}
+
+bool AllFragmentsNormal(const ConfigurationPtr& config, size_t fragments) {
+  if (config == nullptr) return false;
+  for (FragmentId f = 0; f < fragments; ++f) {
+    const FragmentAssignment& a = config->fragment(f);
+    if (a.mode != FragmentMode::kNormal || a.primary == kInvalidInstance) {
+      return false;
+    }
+  }
+  return true;
+}
+
+/// Polls until `pred` holds; false on timeout.
+template <typename Pred>
+bool WaitFor(Pred pred, Duration timeout) {
+  const Timestamp start = SystemClock::Global().Now();
+  while (!pred()) {
+    if (SystemClock::Global().Now() - start > timeout) return false;
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  return true;
+}
+
+int Run(const Flags& flags) {
+  const size_t fragments =
+      flags.fragments != 0 ? flags.fragments : 2 * flags.instances;
+
+  char ws_template[] = "/tmp/gemini_cluster.XXXXXX";
+  const char* workspace = ::mkdtemp(ws_template);
+  if (workspace == nullptr) {
+    std::perror("mkdtemp");
+    return 1;
+  }
+  std::cout << "gemini_cluster: seed " << flags.seed << ", " << flags.instances
+            << " instances, " << fragments << " fragments, workspace "
+            << workspace << std::endl;
+
+  // ---- Control plane --------------------------------------------------------
+  Child coord = Spawn(
+      GEMINICOORDD_PATH,
+      {"--port", "0", "--cluster-size", std::to_string(flags.instances),
+       "--fragments", std::to_string(fragments), "--heartbeat-interval-ms",
+       std::to_string(kHeartbeatMs), "--miss-threshold", "3",
+       "--lease-ttl-ms", "3000"});
+  const uint16_t coord_port =
+      PortFromBanner(ReadUntil(coord.stdout_fd, "coordinating"));
+  if (coord_port == 0) {
+    std::cerr << "gemini_cluster: geminicoordd printed no banner\n";
+    return 1;
+  }
+
+  // ---- Data plane: geminids behind seeded chaos proxies ---------------------
+  std::vector<Node> nodes(flags.instances);
+  for (size_t i = 0; i < flags.instances; ++i) {
+    nodes[i].id = static_cast<InstanceId>(i);
+    nodes[i].data_dir = std::string(workspace) + "/node_" + std::to_string(i);
+    if (!SpawnNode(nodes[i], coord_port)) return 1;
+
+    // Frame chaos on the client data path only: delays, mid-frame stalls,
+    // held bursts, and occasional RST-on-accept. No cuts/truncations — the
+    // kill -9s below provide the hard failures, and a cut mid-write would
+    // make the audit ambiguous (an unacknowledged store update is not a
+    // read-after-write violation).
+    FaultProxy::Options popts;
+    popts.seed = flags.seed * 1000 + i;
+    popts.reset_on_accept_prob = 0.02;
+    FaultProxy::DirectionProfile profile;
+    profile.skip_frames = 1;
+    profile.delay_prob = 0.05;
+    profile.delay_min = 0;
+    profile.delay_max = Millis(2);
+    profile.stall_prob = 0.01;
+    profile.stall = Millis(10);
+    profile.hold_every = 64;
+    profile.hold_count = 4;
+    popts.client_to_server = profile;
+    popts.server_to_client = profile;
+    nodes[i].proxy =
+        std::make_unique<FaultProxy>("127.0.0.1", nodes[i].port, popts);
+    if (Status s = nodes[i].proxy->Start(); !s.ok()) {
+      std::cerr << "gemini_cluster: proxy " << i << ": " << s.ToString()
+                << "\n";
+      return 1;
+    }
+  }
+
+  // ---- Clients --------------------------------------------------------------
+  DataStore store;
+  RemoteCoordinator coordinator("127.0.0.1", coord_port,
+                                RemoteCoordinator::Options());
+  std::vector<std::unique_ptr<TcpCacheBackend>> backends;
+  std::vector<CacheBackend*> backend_ptrs;
+  for (const Node& node : nodes) {
+    backends.push_back(std::make_unique<TcpCacheBackend>(
+        "127.0.0.1", node.proxy->port(), node.id,
+        TcpCacheBackend::Options()));
+    backend_ptrs.push_back(backends.back().get());
+  }
+
+  // Wait for every instance to register: the bootstrap publishes converge
+  // to an all-normal configuration that the watch connection then tracks.
+  if (!WaitFor(
+          [&] {
+            (void)coordinator.Refresh();
+            return AllFragmentsNormal(coordinator.GetConfiguration(),
+                                      fragments);
+          },
+          Seconds(20))) {
+    std::cerr << "gemini_cluster: cluster never converged at bootstrap\n";
+    return 3;
+  }
+  const ConfigId boot_id = coordinator.latest_id();
+  std::cout << "gemini_cluster: bootstrap complete, config id " << boot_id
+            << std::endl;
+
+  GeminiClient::Options copts;
+  copts.follow_config_pushes = true;  // adopt kPushConfig frames eagerly
+  GeminiClient client(&SystemClock::Global(), &coordinator, backend_ptrs,
+                      &store, copts);
+
+  // Seed the store: thread t owns keys "t<t>/k<j>" — disjoint ranges keep
+  // the read-after-write audit exact under concurrency.
+  auto key_of = [](size_t thread, size_t j) {
+    return "t" + std::to_string(thread) + "/k" + std::to_string(j);
+  };
+  for (size_t t = 0; t < kClientThreads; ++t) {
+    for (size_t j = 0; j < flags.keys; ++j) store.Put(key_of(t, j), "seed");
+  }
+
+  // ---- Recovery workers (drain dirty lists over TCP) ------------------------
+  std::atomic<bool> workers_stop{false};
+  std::vector<std::thread> workers;
+  for (size_t w = 0; w < kRecoveryWorkers; ++w) {
+    workers.emplace_back([&] {
+      RecoveryWorker worker(&SystemClock::Global(), &coordinator,
+                            backend_ptrs);
+      Session session;
+      while (!workers_stop.load(std::memory_order_acquire)) {
+        if (worker.TryAdoptFragment(session).has_value()) {
+          while (!worker.Step(session)) {
+          }
+        } else {
+          std::this_thread::sleep_for(std::chrono::milliseconds(20));
+        }
+      }
+    });
+  }
+
+  // ---- Seeded kill/restart cycles under foreground load ---------------------
+  std::mt19937_64 rng(flags.seed);
+  std::vector<StaleReadChecker> checkers;
+  checkers.reserve(kClientThreads);
+  for (size_t t = 0; t < kClientThreads; ++t) checkers.emplace_back(&store);
+  std::atomic<uint64_t> suspended_writes{0};
+
+  auto burst = [&](size_t thread, uint64_t burst_seed) {
+    std::mt19937_64 trng(burst_seed);
+    Session session;
+    uint64_t counter = 0;
+    for (size_t i = 0; i < flags.ops; ++i) {
+      const std::string key = key_of(thread, trng() % flags.keys);
+      if (trng() % 4 == 0) {
+        Status s =
+            client.Write(session, key, "v" + std::to_string(++counter));
+        if (s.code() == Code::kSuspended) {
+          // Failover window: no reachable replica and no fresh
+          // configuration yet. The write did not happen; back off.
+          suspended_writes.fetch_add(1, std::memory_order_relaxed);
+          std::this_thread::sleep_for(std::chrono::milliseconds(5));
+        }
+      } else {
+        auto r = client.Read(session, key);
+        if (r.ok()) {
+          checkers[thread].OnRead(SystemClock::Global().Now(), key,
+                                  r->value.version);
+        } else {
+          std::this_thread::sleep_for(std::chrono::milliseconds(2));
+        }
+      }
+    }
+  };
+
+  auto run_bursts = [&](uint64_t tag) {
+    std::vector<std::thread> threads;
+    for (size_t t = 0; t < kClientThreads; ++t) {
+      threads.emplace_back(burst, t, flags.seed * 7919 + tag * 104729 + t);
+    }
+    return threads;
+  };
+
+  int exit_code = 0;
+  for (size_t cycle = 0; cycle < flags.cycles && exit_code == 0; ++cycle) {
+    const size_t victim = rng() % flags.instances;
+    const ConfigId before = coordinator.latest_id();
+
+    // Phase A: load, then kill -9 mid-burst — no snapshot, no checkpoint,
+    // no goodbye heartbeat. Detection must come from the missed-beat
+    // deadline alone.
+    std::vector<std::thread> threads = run_bursts(cycle * 2);
+    std::this_thread::sleep_for(std::chrono::milliseconds(150));
+    const pid_t victim_pid = nodes[victim].child.pid;
+    ::kill(victim_pid, SIGKILL);
+    (void)WaitForExit(victim_pid);
+    ::close(nodes[victim].child.stdout_fd);
+    std::cout << "gemini_cluster: cycle " << cycle << ": killed instance "
+              << victim << " (pid " << victim_pid << ")" << std::endl;
+    for (auto& th : threads) th.join();
+
+    // The coordinator must notice via heartbeats and advance the config;
+    // the watch connection receives the push.
+    if (!WaitFor([&] { return coordinator.latest_id() > before; },
+                 Seconds(10))) {
+      std::cerr << "gemini_cluster: coordinator never failed over instance "
+                << victim << "\n";
+      exit_code = 3;
+      break;
+    }
+    std::cout << "gemini_cluster: failover push received, config id "
+              << coordinator.latest_id() << std::endl;
+
+    // Restart on the same data dir and (fixed) port: WAL replay restores
+    // pre-crash state, the link re-registers, the coordinator runs its
+    // recovery cycle, and the workers drain the dirty lists.
+    if (!SpawnNode(nodes[victim], coord_port)) {
+      exit_code = 1;
+      break;
+    }
+    if (!WaitFor(
+            [&] {
+              return AllFragmentsNormal(coordinator.GetConfiguration(),
+                                        fragments);
+            },
+            Seconds(30))) {
+      std::cerr << "gemini_cluster: recovery never converged after "
+                   "restarting instance "
+                << victim << "\n";
+      exit_code = 3;
+      break;
+    }
+    std::cout << "gemini_cluster: cycle " << cycle
+              << ": recovered to normal, config id "
+              << coordinator.latest_id() << std::endl;
+
+    // Phase B: audited load against the recovered cluster.
+    threads = run_bursts(cycle * 2 + 1);
+    for (auto& th : threads) th.join();
+  }
+
+  workers_stop.store(true, std::memory_order_release);
+  for (auto& th : workers) th.join();
+
+  uint64_t reads = 0, stale = 0;
+  for (const StaleReadChecker& c : checkers) {
+    reads += c.total_reads();
+    stale += c.total_stale();
+  }
+  const GeminiClient::Stats cs = client.stats();
+  std::cout << "gemini_cluster: " << reads << " audited reads, " << stale
+            << " stale; client " << cs.reads << " reads / " << cs.writes
+            << " writes (" << cs.cache_hits << " hits, " << cs.store_reads
+            << " store fallthroughs, " << suspended_writes.load()
+            << " suspended)" << std::endl;
+  if (stale != 0 && exit_code == 0) exit_code = 1;
+
+  // Coordinator first: once its ticker halts, the geminids going away does
+  // not read as a cluster-wide failover (spurious missed-heartbeat warnings).
+  ::kill(coord.pid, SIGTERM);
+  if (WaitForExit(coord.pid) != 0 && exit_code == 0) exit_code = 1;
+  ::close(coord.stdout_fd);
+  for (Node& node : nodes) {
+    node.proxy->Stop();
+    ::kill(node.child.pid, SIGTERM);
+    if (WaitForExit(node.child.pid) != 0 && exit_code == 0) exit_code = 1;
+    ::close(node.child.stdout_fd);
+  }
+
+  std::cout << (exit_code == 0 ? "gemini_cluster: PASS"
+                               : "gemini_cluster: FAIL")
+            << " (seed " << flags.seed << ")" << std::endl;
+  return exit_code;
+}
+
+}  // namespace
+}  // namespace gemini
+
+int main(int argc, char** argv) {
+  gemini::Flags flags;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::cerr << "gemini_cluster: " << arg << " requires a value\n";
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--seed") {
+      flags.seed = gemini::ParseUint(arg, next(), ~uint64_t{0} - 1);
+    } else if (arg == "--instances") {
+      flags.instances = gemini::ParseUint(arg, next(), 64);
+    } else if (arg == "--fragments") {
+      flags.fragments = gemini::ParseUint(arg, next(), 1 << 16);
+    } else if (arg == "--cycles") {
+      flags.cycles = gemini::ParseUint(arg, next(), 1 << 10);
+    } else if (arg == "--keys") {
+      flags.keys = gemini::ParseUint(arg, next(), 1 << 20);
+    } else if (arg == "--ops") {
+      flags.ops = gemini::ParseUint(arg, next(), 1 << 24);
+    } else if (arg == "--verbose") {
+      gemini::LogState::SetLevel(gemini::LogLevel::kInfo);
+    } else if (arg == "--help" || arg == "-h") {
+      gemini::Usage(argv[0]);
+      return 0;
+    } else {
+      std::cerr << "gemini_cluster: unknown option " << arg << "\n";
+      gemini::Usage(argv[0]);
+      return 2;
+    }
+  }
+  if (flags.instances < 2) {
+    std::cerr << "gemini_cluster: --instances must be >= 2 (failover needs "
+                 "a secondary)\n";
+    return 2;
+  }
+  return gemini::Run(flags);
+}

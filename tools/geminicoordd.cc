@@ -1,0 +1,212 @@
+// geminicoordd: the Gemini coordinator as a standalone server.
+//
+// Hosts CoordinatorControl — the Coordinator, its heartbeat failure
+// detector, and one ClusterEndpoint per instance slot — behind a
+// coordinator-only TransportServer (empty registry: data ops answer
+// kUnavailable, kCoord* ops run the control plane; docs/PROTOCOL.md §12).
+// geminids started with --coordinator HOST:PORT register here and stream
+// heartbeats; clients watch configurations with kCoordConfigWatch and
+// receive kPushConfig frames on every Rejig.
+//
+// The cluster is sized up front (--cluster-size): instance ids [0, N) are
+// the valid slots, fragment i starts on instance i % N. A slot that never
+// registers simply stays down — the coordinator publishes nothing into it —
+// so starting geminicoordd before any geminid is the normal boot order.
+//
+// Networked fragment leases default to seconds, not the in-process hour: a
+// partitioned coordinator must fail safe, with instances refusing IQ traffic
+// once their grants lapse (--lease-ttl-ms).
+//
+// Usage:
+//   geminicoordd --cluster-size N [--fragments M] [--port P] [--bind ADDR]
+//                [--heartbeat-interval-ms N] [--miss-threshold K]
+//                [--lease-ttl-ms N] [--policy NAME] [--threads N] [--poll]
+//                [--verbose]
+//
+// --policy defaults to gemini-o, not the library's Gemini-O+W: completing a
+// +W recovery requires clients that run the working set transfer and report
+// its termination (kCoordReport). A networked cluster whose clients do not
+// would leave recovered fragments waiting forever.
+//
+// SIGINT/SIGTERM shut down gracefully: the ticker halts (no more failure
+// verdicts or pushes), then the server drains.
+#include <algorithm>
+#include <cerrno>
+#include <csignal>
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <string>
+#include <thread>
+
+#include "src/cluster/coordinator_control.h"
+#include "src/common/clock.h"
+#include "src/coordinator/policy.h"
+#include "src/common/logging.h"
+#include "src/transport/instance_registry.h"
+#include "src/transport/server.h"
+
+namespace {
+
+volatile std::sig_atomic_t g_shutdown = 0;
+
+void HandleSignal(int) { g_shutdown = 1; }
+
+void Usage(const char* argv0) {
+  std::cerr
+      << "usage: " << argv0 << " --cluster-size N [options]\n"
+      << "  --cluster-size N       instance slots [0, N); required\n"
+      << "  --fragments M          fragment count (default: cluster size)\n"
+      << "  --port P               TCP port (default 7411; 0 = ephemeral)\n"
+      << "  --bind ADDR            bind address (default 127.0.0.1)\n"
+      << "  --heartbeat-interval-ms N  expected beat cadence (default 100)\n"
+      << "  --miss-threshold K     consecutive missed beats before an\n"
+         "                         instance is failed over (default 3)\n"
+      << "  --lease-ttl-ms N       fragment lease lifetime granted to\n"
+         "                         instances (default 5000; renewed at ~1/3)\n"
+      << "  --policy NAME          recovery policy: gemini-o (default),\n"
+         "                         gemini-i, gemini-ow, gemini-iw, stale,\n"
+         "                         volatile; +W variants need clients that\n"
+         "                         run the working set transfer\n"
+      << "  --threads N            event-loop shards (default 1; the control\n"
+         "                         plane is not the data path)\n"
+      << "  --poll                 use the portable poll(2) loop, not epoll\n"
+      << "  --verbose              info-level logging\n";
+}
+
+/// Parses a non-negative integer flag value in [0, max]; exits 2 on anything
+/// else (same fail-closed contract as geminid's flag parsing).
+uint64_t ParseUint(const std::string& flag, const char* value, uint64_t max) {
+  errno = 0;
+  char* end = nullptr;
+  const unsigned long long parsed = std::strtoull(value, &end, 10);
+  if (end == value || *end != '\0' || errno == ERANGE || parsed > max ||
+      value[0] == '-') {
+    std::cerr << "geminicoordd: invalid value '" << value << "' for " << flag
+              << " (expected an integer in [0, " << max << "])\n";
+    std::exit(2);
+  }
+  return static_cast<uint64_t>(parsed);
+}
+
+gemini::RecoveryPolicy ParsePolicy(const std::string& name) {
+  if (name == "gemini-o") return gemini::RecoveryPolicy::GeminiO();
+  if (name == "gemini-i") return gemini::RecoveryPolicy::GeminiI();
+  if (name == "gemini-ow") return gemini::RecoveryPolicy::GeminiOW();
+  if (name == "gemini-iw") return gemini::RecoveryPolicy::GeminiIW();
+  if (name == "stale") return gemini::RecoveryPolicy::StaleCache();
+  if (name == "volatile") return gemini::RecoveryPolicy::VolatileCache();
+  std::cerr << "geminicoordd: unknown --policy '" << name
+            << "' (expected gemini-o, gemini-i, gemini-ow, gemini-iw, "
+               "stale or volatile)\n";
+  std::exit(2);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  uint16_t port = 7411;
+  std::string bind_address = "127.0.0.1";
+  uint64_t cluster_size = 0;
+  uint64_t fragments = 0;
+  uint64_t heartbeat_interval_ms = 100;
+  uint64_t miss_threshold = 3;
+  uint64_t lease_ttl_ms = 5000;
+  uint64_t threads = 1;
+  bool use_poll = false;
+  gemini::RecoveryPolicy policy = gemini::RecoveryPolicy::GeminiO();
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::cerr << "geminicoordd: " << arg << " requires a value\n";
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--port") {
+      port = static_cast<uint16_t>(ParseUint(arg, next(), 65535));
+    } else if (arg == "--bind") {
+      bind_address = next();
+    } else if (arg == "--cluster-size") {
+      cluster_size = ParseUint(arg, next(), 1u << 20);
+    } else if (arg == "--fragments") {
+      fragments = ParseUint(arg, next(), 1u << 24);
+    } else if (arg == "--heartbeat-interval-ms") {
+      heartbeat_interval_ms = ParseUint(arg, next(), 60 * 1000);
+    } else if (arg == "--miss-threshold") {
+      miss_threshold = ParseUint(arg, next(), 1000);
+    } else if (arg == "--lease-ttl-ms") {
+      lease_ttl_ms = ParseUint(arg, next(), 24ull * 3600 * 1000);
+    } else if (arg == "--policy") {
+      policy = ParsePolicy(next());
+    } else if (arg == "--threads") {
+      threads = ParseUint(arg, next(), 64);
+    } else if (arg == "--poll") {
+      use_poll = true;
+    } else if (arg == "--verbose") {
+      gemini::LogState::SetLevel(gemini::LogLevel::kInfo);
+    } else if (arg == "--help" || arg == "-h") {
+      Usage(argv[0]);
+      return 0;
+    } else {
+      std::cerr << "geminicoordd: unknown option " << arg << "\n";
+      Usage(argv[0]);
+      return 2;
+    }
+  }
+
+  if (cluster_size == 0) {
+    std::cerr << "geminicoordd: --cluster-size is required (and positive)\n";
+    Usage(argv[0]);
+    return 2;
+  }
+  if (fragments == 0) fragments = cluster_size;
+  if (heartbeat_interval_ms == 0 || miss_threshold == 0 || lease_ttl_ms == 0) {
+    std::cerr << "geminicoordd: --heartbeat-interval-ms, --miss-threshold and "
+                 "--lease-ttl-ms must be positive\n";
+    return 2;
+  }
+
+  gemini::CoordinatorControl::Options copts;
+  copts.num_instances = cluster_size;
+  copts.num_fragments = fragments;
+  copts.coordinator.policy = policy;
+  copts.coordinator.fragment_lease_lifetime =
+      gemini::Millis(static_cast<double>(lease_ttl_ms));
+  copts.heartbeat.interval =
+      gemini::Millis(static_cast<double>(heartbeat_interval_ms));
+  copts.heartbeat.miss_threshold = static_cast<uint32_t>(miss_threshold);
+  gemini::CoordinatorControl control(&gemini::SystemClock::Global(), copts);
+
+  gemini::TransportServer::Options options;
+  options.bind_address = bind_address;
+  options.port = port;
+  options.num_loops = std::max<uint32_t>(1, static_cast<uint32_t>(threads));
+  options.use_poll_fallback = use_poll;
+  options.control = &control;
+  gemini::TransportServer server(gemini::InstanceRegistry(), options);
+  if (gemini::Status s = server.Start(); !s.ok()) {
+    std::cerr << "geminicoordd: " << s.ToString() << "\n";
+    return 1;
+  }
+  std::signal(SIGINT, HandleSignal);
+  std::signal(SIGTERM, HandleSignal);
+  control.Start(&server);
+
+  std::cout << "geminicoordd: coordinating " << cluster_size << " instances, "
+            << fragments << " fragments (" << policy.Name() << ") on "
+            << bind_address << ":" << server.port() << std::endl;
+
+  while (g_shutdown == 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  }
+
+  std::cout << "geminicoordd: shutting down\n";
+  // Control first (halts the ticker, no further pushes), then the server —
+  // the order PushConfigToSubscribers's contract requires.
+  control.Stop();
+  server.Stop();
+  return 0;
+}

@@ -46,6 +46,7 @@
 #include "src/cache/cache_instance.h"
 #include "src/cache/snapshot.h"
 #include "src/cache/snapshot_writer.h"
+#include "src/cluster/coordinator_link.h"
 #include "src/common/clock.h"
 #include "src/common/logging.h"
 #include "src/persist/persistent_store.h"
@@ -90,6 +91,16 @@ void Usage(const char* argv0) {
          "                         mid-frame after N ms; 0 disables "
          "(default "
       << gemini::TransportServer::Options().idle_timeout_ms << ")\n"
+      << "  --coordinator HOST:PORT  register with a geminicoordd control\n"
+         "                         plane and stream heartbeats; one link per\n"
+         "                         hosted instance\n"
+      << "  --advertise HOST:PORT  data-plane address the coordinator should\n"
+         "                         dial back (default: the bound address;\n"
+         "                         set this when clients reach the server\n"
+         "                         through a proxy but the coordinator must\n"
+         "                         not)\n"
+      << "  --heartbeat-interval-ms N  coordinator heartbeat cadence\n"
+         "                         (default 100)\n"
       << "  --poll                 use the portable poll(2) loop, not epoll\n"
       << "  --verbose              info-level logging\n";
 }
@@ -115,6 +126,21 @@ struct InstanceSpec {
   gemini::InstanceId id = 0;
   std::string snapshot_path;
 };
+
+/// Parses "HOST:PORT" (the last ':' splits, so bare IPv4/hostnames only).
+void ParseHostPort(const std::string& flag, const char* value,
+                   std::string* host, uint16_t* port) {
+  const std::string spec = value;
+  const size_t colon = spec.rfind(':');
+  if (colon == std::string::npos || colon == 0 || colon + 1 == spec.size()) {
+    std::cerr << "geminid: invalid value '" << value << "' for " << flag
+              << " (expected HOST:PORT)\n";
+    std::exit(2);
+  }
+  *host = spec.substr(0, colon);
+  *port = static_cast<uint16_t>(
+      ParseUint(flag, spec.substr(colon + 1).c_str(), 65535));
+}
 
 /// Parses "ID" or "ID:SNAPSHOT_FILE".
 InstanceSpec ParseInstanceSpec(const std::string& flag, const char* value) {
@@ -148,6 +174,11 @@ int main(int argc, char** argv) {
   int64_t idle_timeout_ms = -1;   // -1 = server default
   bool use_poll = false;
   std::string data_dir;
+  std::string coordinator_host;
+  uint16_t coordinator_port = 0;
+  std::string advertise_host;
+  uint16_t advertise_port = 0;
+  uint64_t heartbeat_interval_ms = 100;
   std::vector<InstanceSpec> specs;
   // Single-instance sugar, folded into `specs` after parsing.
   bool saw_single_flags = false;
@@ -187,6 +218,16 @@ int main(int argc, char** argv) {
         std::cerr << "geminid: --data-dir requires a non-empty directory\n";
         return 2;
       }
+    } else if (arg == "--coordinator") {
+      ParseHostPort(arg, next(), &coordinator_host, &coordinator_port);
+    } else if (arg == "--advertise") {
+      ParseHostPort(arg, next(), &advertise_host, &advertise_port);
+    } else if (arg == "--heartbeat-interval-ms") {
+      heartbeat_interval_ms = ParseUint(arg, next(), 60 * 1000);
+      if (heartbeat_interval_ms == 0) {
+        std::cerr << "geminid: --heartbeat-interval-ms must be positive\n";
+        return 2;
+      }
     } else if (arg == "--snapshot-interval-s") {
       snapshot_interval_s = ParseUint(arg, next(), uint64_t{1} << 31);
     } else if (arg == "--drain-timeout-ms") {
@@ -215,6 +256,11 @@ int main(int argc, char** argv) {
     return 2;
   }
   if (specs.empty()) specs.push_back(single);  // Defaults to instance 0.
+
+  if (coordinator_host.empty() && !advertise_host.empty()) {
+    std::cerr << "geminid: --advertise only makes sense with --coordinator\n";
+    return 2;
+  }
 
   if (!data_dir.empty()) {
     for (const InstanceSpec& spec : specs) {
@@ -301,6 +347,27 @@ int main(int argc, char** argv) {
 
     gemini::InstanceOptions iopts;
     iopts.snapshot_path = spec.snapshot_path;
+    if (store != nullptr) {
+      // Surface the durability engine's counters through kStats alongside
+      // the server/cache gauges (all named persist.* to keep the namespace
+      // flat). The lambda outlives the loop; `stores` outlives the server.
+      iopts.extra_stats = [store] {
+        const gemini::PersistentStore::Stats ps = store->stats();
+        return std::vector<std::pair<std::string, uint64_t>>{
+            {"persist.appended_records", ps.appended_records},
+            {"persist.appended_bytes", ps.appended_bytes},
+            {"persist.journal_commits", ps.fsyncs},
+            {"persist.checkpoints", ps.checkpoints},
+            {"persist.replayed_segments", ps.replayed_segments},
+            {"persist.replayed_records", ps.replayed_records},
+            {"persist.replay_micros", ps.replay_micros},
+            {"persist.restored_entries", ps.restored_entries},
+            {"persist.quarantine_drops", ps.quarantine_drops},
+            {"persist.torn_tail_bytes", ps.torn_tail_bytes},
+            {"persist.checkpoint_lag_bytes", ps.checkpoint_lag_bytes},
+        };
+      };
+    }
     if (gemini::Status s = registry.Add(&instance, iopts); !s.ok()) {
       std::cerr << "geminid: " << s.ToString() << "\n";
       return 2;
@@ -339,6 +406,35 @@ int main(int argc, char** argv) {
               << ":" << server.port() << std::endl;
   }
 
+  // One coordinator link per hosted instance: the control plane tracks
+  // instances, not processes, so a geminid standing in for several replicas
+  // registers (and heartbeats) each of them independently. Created after
+  // Start() because an ephemeral --port 0 advertise address needs the real
+  // bound port.
+  std::vector<std::unique_ptr<gemini::CoordinatorLink>> links;
+  if (!coordinator_host.empty()) {
+    for (const auto& instance : instances) {
+      gemini::CacheInstance* cache = instance.get();
+      gemini::CoordinatorLink::Options lopts;
+      lopts.coordinator_host = coordinator_host;
+      lopts.coordinator_port = coordinator_port;
+      lopts.instance = cache->id();
+      lopts.advertise_host =
+          advertise_host.empty() ? bind_address : advertise_host;
+      lopts.advertise_port =
+          advertise_port != 0 ? advertise_port : server.port();
+      lopts.heartbeat_interval =
+          gemini::Millis(static_cast<double>(heartbeat_interval_ms));
+      lopts.on_config_id = [cache](gemini::ConfigId latest) {
+        cache->ObserveConfigId(latest);
+      };
+      links.push_back(std::make_unique<gemini::CoordinatorLink>(lopts));
+      links.back()->Start();
+    }
+    std::cout << "geminid: heartbeating to coordinator " << coordinator_host
+              << ":" << coordinator_port << std::endl;
+  }
+
   gemini::SnapshotWriter::Options writer_options;
   writer_options.interval =
       gemini::Seconds(static_cast<double>(snapshot_interval_s));
@@ -354,9 +450,11 @@ int main(int argc, char** argv) {
   }
 
   std::cout << "geminid: shutting down\n";
-  // Order matters: stop accepting work, stop the periodic writer (an
-  // in-flight sweep completes, never tears), then write the final
-  // authoritative snapshots with everything quiesced.
+  // Order matters: silence the coordinator links (so the control plane sees
+  // missed beats, not RSTs from a half-dead process), stop accepting work,
+  // stop the periodic writer (an in-flight sweep completes, never tears),
+  // then write the final authoritative snapshots with everything quiesced.
+  for (auto& link : links) link->Stop();
   server.Stop();
   writer.Stop();
   if (!snapshot_targets.empty()) {
