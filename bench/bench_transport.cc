@@ -29,8 +29,23 @@
 //  (compare BENCH_transport.json before/after: the default sweep runs with
 //  retry enabled but never exercised).
 //
+//  --bulk — pipelined bulk-write comparison. Writes the same keys two ways:
+//  32 individual kSet frames pipelined through a window-32 connection
+//  (bulk=0, the anchor) versus one 32-key kMultiSet frame per burst
+//  (bulk=1). One frame per burst beats 32 frames even when both ride one
+//  sendmsg: the server decodes, executes, and answers once. Writes
+//  BENCH_transport_bulk.json; tools/check_bench.py --min-point pins the
+//  bulk=1 speedup floor in CI.
+//
+// Every mode's params record the io backend (0=poll, 1=epoll, 2=uring) and
+// kernel (major*1000+minor) that produced the numbers — backend choice moves
+// transport throughput, so baselines must be compared like-for-like.
+//
 // Flags: --quick (CI smoke), --full, --scaling, --chaos, --chaos-seed=N,
-//        --ops=N (per connection), --value-bytes=B, --keys=K, --json=PATH.
+//        --bulk, --ops=N (per connection), --value-bytes=B, --keys=K,
+//        --json=PATH.
+#include <sys/utsname.h>
+
 #include <chrono>
 #include <condition_variable>
 #include <cstdint>
@@ -57,6 +72,23 @@ namespace {
 using SteadyClock = std::chrono::steady_clock;
 
 std::string KeyName(size_t k) { return "key" + std::to_string(k); }
+
+/// Kernel version as major*1000+minor (e.g. 6.18 -> 6018), 0 if unknown.
+double KernelCode() {
+  struct utsname u {};
+  if (::uname(&u) != 0) return 0;
+  int major = 0, minor = 0;
+  if (std::sscanf(u.release, "%d.%d", &major, &minor) < 1) return 0;
+  return static_cast<double>(major * 1000 + minor);
+}
+
+/// The server's active io backend as a param code: 0=poll, 1=epoll, 2=uring.
+double BackendCode(const TransportServer& server) {
+  const std::string name = server.io_backend_name();
+  if (name == "uring") return 2;
+  if (name == "epoll") return 1;
+  return 0;
+}
 
 /// Issues `n` pipelined GETs closed-loop on `conn`, recording latencies and
 /// errors when `record` is set. Returns when every response arrived.
@@ -132,6 +164,7 @@ struct ScalingRun {
   double p50_us = 0;
   double p99_us = 0;
   uint64_t errors = 0;
+  double backend = 0;  // io backend code of the server that produced the row
 };
 
 /// Starts a fresh `loops`-shard server over a striped instance, preloads the
@@ -209,6 +242,7 @@ ScalingRun RunScalingPoint(size_t loops, size_t window, size_t ops,
   for (auto& t : clients) t.join();
   const double secs =
       std::chrono::duration<double>(SteadyClock::now() - t0).count();
+  out.backend = BackendCode(server);
   server.Stop();
 
   Histogram merged;
@@ -275,7 +309,9 @@ int RunScaling(size_t ops, size_t value_bytes, size_t num_keys,
                  {"value_bytes", static_cast<double>(value_bytes)},
                  {"keys", static_cast<double>(num_keys)},
                  {"stripes", static_cast<double>(kStripes)},
-                 {"cpus", static_cast<double>(cpus)}};
+                 {"cpus", static_cast<double>(cpus)},
+                 {"backend", r.backend},
+                 {"kernel", KernelCode()}};
     br.ops_per_sec = r.ops_per_sec;
     br.p50_us = r.p50_us;
     br.p99_us = r.p99_us;
@@ -291,6 +327,200 @@ int RunScaling(size_t ops, size_t value_bytes, size_t num_keys,
   return 0;
 }
 
+// ---- Bulk write mode --------------------------------------------------------
+
+struct BulkRun {
+  bool bulk = false;
+  double ops_per_sec = 0;  // keys written per second
+  double p50_us = 0;       // per-burst latency
+  double p99_us = 0;
+  uint64_t errors = 0;
+};
+
+/// One client thread's share of a bulk-mode side: `bursts` bursts of `burst`
+/// keys each against the server on `port`, submitted continuously through a
+/// window-`window` connection (max_inflight counts frames, exactly as a real
+/// client's). bulk=false ships each key as its own pipelined kSet frame —
+/// the best a client without the bulk opcodes can do; bulk=true ships each
+/// burst as one pipelined kMultiSet frame. Latency is per frame, so the
+/// bulk=1 histogram reads per-burst.
+void RunBulkClient(uint16_t port, bool bulk, size_t bursts, size_t burst,
+                   size_t window, size_t value_bytes, size_t num_keys,
+                   Histogram& hist, uint64_t& errors) {
+  const OpContext ctx{kInternalConfigId, kInvalidFragment};
+  const std::string payload(value_bytes, 'x');
+
+  // Both sides pre-encode their request bodies so the timed loop measures
+  // the transport, not the codec — mirroring the GET sweep.
+  wire::Op op;
+  std::vector<std::string> bodies;
+  size_t frames = 0;
+  if (bulk) {
+    op = wire::Op::kMultiSet;
+    frames = bursts;
+    const size_t groups = std::max<size_t>(1, num_keys / burst);
+    bodies.resize(groups);
+    for (size_t g = 0; g < groups; ++g) {
+      wire::PutU32(bodies[g], static_cast<uint32_t>(burst));
+      for (size_t i = 0; i < burst; ++i) {
+        wire::PutContext(bodies[g], ctx);
+        wire::PutKey(bodies[g], KeyName((g * burst + i) % num_keys));
+        wire::PutValue(bodies[g], CacheValue::OfData(payload));
+      }
+    }
+  } else {
+    op = wire::Op::kSet;
+    frames = bursts * burst;
+    bodies.resize(num_keys);
+    for (size_t k = 0; k < num_keys; ++k) {
+      wire::PutContext(bodies[k], ctx);
+      wire::PutKey(bodies[k], KeyName(k));
+      wire::PutValue(bodies[k], CacheValue::OfData(payload));
+    }
+  }
+
+  TcpConnection::Options copts;
+  copts.max_inflight = window;
+  TcpConnection conn("127.0.0.1", port, wire::kAnyInstance, copts);
+  std::mutex mu;
+  std::condition_variable cv;
+  const auto submit = [&](size_t n, bool record) {
+    size_t completed = 0;
+    for (size_t i = 0; i < n; ++i) {
+      const auto start = SteadyClock::now();
+      conn.SubmitAsync(op, bodies[i % bodies.size()],
+                       [&, start, record, n](Status s, std::string) {
+                         const int64_t us =
+                             std::chrono::duration_cast<
+                                 std::chrono::microseconds>(
+                                 SteadyClock::now() - start)
+                                 .count();
+                         std::lock_guard<std::mutex> lock(mu);
+                         if (record) {
+                           hist.Record(us > 0 ? us : 1);
+                           if (!s.ok()) ++errors;
+                         }
+                         if (++completed == n) cv.notify_one();
+                       });
+    }
+    std::unique_lock<std::mutex> lock(mu);
+    cv.wait(lock, [&] { return completed == n; });
+  };
+  submit(frames / 10 + 1, /*record=*/false);
+  submit(frames, /*record=*/true);
+}
+
+/// Drives one side of the bulk comparison with `clients` concurrent
+/// connections so the single server loop — not loopback round-trip
+/// latency — is the bottleneck; that is where the per-frame overhead the
+/// bulk opcodes remove actually lives.
+BulkRun RunBulkSide(uint16_t port, bool bulk, size_t clients, size_t bursts,
+                    size_t burst, size_t window, size_t value_bytes,
+                    size_t num_keys) {
+  BulkRun out;
+  out.bulk = bulk;
+  std::vector<Histogram> hists(clients);
+  std::vector<uint64_t> errors(clients, 0);
+  std::vector<std::thread> threads;
+  threads.reserve(clients);
+  const auto t0 = SteadyClock::now();
+  for (size_t c = 0; c < clients; ++c) {
+    threads.emplace_back([&, c] {
+      RunBulkClient(port, bulk, bursts, burst, window, value_bytes, num_keys,
+                    hists[c], errors[c]);
+    });
+  }
+  for (auto& t : threads) t.join();
+  const double secs =
+      std::chrono::duration<double>(SteadyClock::now() - t0).count();
+
+  Histogram merged;
+  for (size_t c = 0; c < clients; ++c) {
+    merged.Merge(hists[c]);
+    out.errors += errors[c];
+  }
+  out.ops_per_sec =
+      secs > 0 ? static_cast<double>(clients * bursts * burst) / secs : 0;
+  out.p50_us = merged.Percentile(0.50);
+  out.p99_us = merged.Percentile(0.99);
+  return out;
+}
+
+int RunBulk(size_t ops, size_t value_bytes, size_t num_keys,
+            const std::string& json_path) {
+  constexpr size_t kBurst = 32;
+  constexpr size_t kWindow = 32;
+  constexpr size_t kClients = 1;
+  const size_t bursts = ops / kBurst / kClients + 1;
+  bench::PrintHeader(
+      "bench_transport --bulk",
+      "bulk writes: 32-key kMultiSet frames vs individual kSet frames, "
+      "both pipelined through a window-32 connection (loopback geminid)");
+
+  SystemClock& clock = SystemClock::Global();
+  CacheInstance instance(0, &clock);
+  TransportServer::Options sopts;
+  sopts.num_loops = 1;
+  TransportServer server(&instance, sopts);
+  if (Status s = server.Start(); !s.ok()) {
+    std::fprintf(stderr, "server start failed: %s\n", s.ToString().c_str());
+    return 1;
+  }
+  std::printf("  clients=%zu  bursts/client=%zu  burst=32  value=%zuB  "
+              "keys=%zu  io=%s\n\n",
+              kClients, bursts, value_bytes, num_keys,
+              server.io_backend_name());
+
+  std::vector<BulkRun> runs;
+  std::printf("  %8s %14s %10s %10s\n", "bulk", "keys/sec", "p50 us",
+              "p99 us");
+  uint64_t total_errors = 0;
+  for (const bool bulk : {false, true}) {
+    runs.push_back(RunBulkSide(server.port(), bulk, kClients, bursts, kBurst,
+                               kWindow, value_bytes, num_keys));
+    const BulkRun& r = runs.back();
+    std::printf("  %8d %14.0f %10.1f %10.1f\n", r.bulk ? 1 : 0, r.ops_per_sec,
+                r.p50_us, r.p99_us);
+    total_errors += r.errors;
+  }
+  const double backend_code = BackendCode(server);
+  server.Stop();
+  if (total_errors > 0) {
+    std::fprintf(stderr, "bench_transport: %llu ops failed\n",
+                 static_cast<unsigned long long>(total_errors));
+    return 1;
+  }
+
+  std::vector<bench::BenchResult> results;
+  for (const BulkRun& r : runs) {
+    bench::BenchResult br;
+    br.name = "transport_bulk_set";
+    br.params = {{"bulk", r.bulk ? 1.0 : 0.0},
+                 {"burst", static_cast<double>(kBurst)},
+                 {"window", static_cast<double>(kWindow)},
+                 {"connections", static_cast<double>(kClients)},
+                 {"ops", static_cast<double>(kClients * bursts * kBurst)},
+                 {"value_bytes", static_cast<double>(value_bytes)},
+                 {"keys", static_cast<double>(num_keys)},
+                 {"backend", backend_code},
+                 {"kernel", KernelCode()}};
+    br.ops_per_sec = r.ops_per_sec;
+    br.p50_us = r.p50_us;
+    br.p99_us = r.p99_us;
+    results.push_back(std::move(br));
+  }
+  std::printf("\n  MultiSet vs pipelined Sets speedup: %.2fx\n",
+              runs[0].ops_per_sec > 0
+                  ? runs[1].ops_per_sec / runs[0].ops_per_sec
+                  : 0.0);
+  if (!bench::WriteResultsJson(json_path, "transport_bulk", results)) {
+    std::fprintf(stderr, "cannot write %s\n", json_path.c_str());
+    return 1;
+  }
+  std::printf("  results written to %s\n", json_path.c_str());
+  return 0;
+}
+
 int Run(int argc, char** argv) {
   const bench::BenchFlags flags = bench::ParseFlags(argc, argv);
   size_t ops = flags.full ? 200'000 : 50'000;
@@ -299,6 +529,7 @@ int Run(int argc, char** argv) {
   size_t num_keys = 1'000;
   bool scaling = false;
   bool chaos = false;
+  bool bulk = false;
   uint64_t chaos_seed = 1;
   std::string json_path;
   for (int i = 1; i < argc; ++i) {
@@ -316,6 +547,8 @@ int Run(int argc, char** argv) {
       scaling = true;
     } else if (std::strcmp(argv[i], "--chaos") == 0) {
       chaos = true;
+    } else if (std::strcmp(argv[i], "--bulk") == 0) {
+      bulk = true;
     }
   }
   if (ops == 0 || num_keys == 0) {
@@ -325,10 +558,14 @@ int Run(int argc, char** argv) {
   if (json_path.empty()) {
     json_path = scaling ? "BENCH_server_scaling.json"
                 : chaos ? "BENCH_transport_chaos.json"
+                : bulk  ? "BENCH_transport_bulk.json"
                         : "BENCH_transport.json";
   }
   if (scaling) {
     return RunScaling(ops, value_bytes, num_keys, json_path);
+  }
+  if (bulk) {
+    return RunBulk(ops, value_bytes, num_keys, json_path);
   }
 
   bench::PrintHeader(chaos ? "bench_transport --chaos" : "bench_transport",
@@ -425,7 +662,9 @@ int Run(int argc, char** argv) {
     br.params = {{"window", static_cast<double>(r.window)},
                  {"ops", static_cast<double>(ops)},
                  {"value_bytes", static_cast<double>(value_bytes)},
-                 {"keys", static_cast<double>(num_keys)}};
+                 {"keys", static_cast<double>(num_keys)},
+                 {"backend", BackendCode(server)},
+                 {"kernel", KernelCode()}};
     if (chaos) br.params.push_back({"seed", static_cast<double>(chaos_seed)});
     br.ops_per_sec = r.ops_per_sec;
     br.p50_us = r.p50_us;

@@ -74,6 +74,20 @@ struct GetRequest {
   std::string key;
 };
 
+/// One write of a MultiSet batch (same per-key context rationale as
+/// GetRequest).
+struct SetRequest {
+  OpContext ctx;
+  std::string key;
+  CacheValue value;
+};
+
+/// One delete of a MultiDelete batch.
+struct DeleteRequest {
+  OpContext ctx;
+  std::string key;
+};
+
 /// Result of iqget: either a hit (value set) or a miss. On a miss the
 /// instance attempted to grant an I lease; `i_token` is kNoLease if another
 /// session holds an incompatible lease (caller backs off — surfaced as
@@ -143,6 +157,31 @@ class CacheBackend {
   /// Unconditional insert with no leases.
   virtual Status Set(const OpContext& ctx, std::string_view key,
                      CacheValue value) = 0;
+
+  /// Batched unconditional insert; statuses align with `reqs` by index, each
+  /// the exact outcome Set() would have produced. The base implementation
+  /// loops; TcpCacheBackend overrides it to ship the whole batch as ONE
+  /// kMultiSet frame with per-key status slots (PROTOCOL.md §10.3). Unlike
+  /// MultiGet the batch is NOT retry-safe: on transport loss every slot
+  /// fails kUnavailable and the caller decides what to re-run.
+  virtual std::vector<Status> MultiSet(std::vector<SetRequest> reqs) {
+    std::vector<Status> out;
+    out.reserve(reqs.size());
+    for (auto& req : reqs) {
+      out.push_back(Set(req.ctx, req.key, std::move(req.value)));
+    }
+    return out;
+  }
+
+  /// Batched unconditional delete, mirroring MultiSet (one kMultiDelete
+  /// frame over TCP; fail-fast, never retried).
+  virtual std::vector<Status> MultiDelete(
+      const std::vector<DeleteRequest>& reqs) {
+    std::vector<Status> out;
+    out.reserve(reqs.size());
+    for (const auto& req : reqs) out.push_back(Delete(req.ctx, req.key));
+    return out;
+  }
 
   /// Compare-and-swap: replace the entry iff its current version equals
   /// `expected`. kNotFound when absent, kLeaseInvalid on version mismatch.

@@ -198,6 +198,50 @@ size_t GeminiClient::WarmUp(Session& session,
   return already_cached;
 }
 
+size_t GeminiClient::InvalidateKeys(Session& session,
+                                    const std::vector<std::string>& keys) {
+  ConfigurationPtr cfg = EnsureConfig(session);
+  if (cfg == nullptr) return 0;
+
+  // Group by the replica the configuration routes each key to; every group
+  // becomes one pipelined MultiDelete frame. Recovery-mode fragments are
+  // skipped — their invalidations must arm the dirty list via the leased
+  // Write() path, which a token-less bulk delete cannot do.
+  std::unordered_map<InstanceId, std::vector<size_t>> by_target;
+  for (size_t i = 0; i < keys.size(); ++i) {
+    const FragmentAssignment& a = cfg->fragment(cfg->FragmentOf(keys[i]));
+    InstanceId target = kInvalidInstance;
+    switch (a.mode) {
+      case FragmentMode::kNormal:
+        target = a.primary;
+        break;
+      case FragmentMode::kTransient:
+        target = a.secondary;
+        break;
+      case FragmentMode::kRecovery:
+        break;
+    }
+    if (target == kInvalidInstance || target >= instances_.size()) continue;
+    by_target[target].push_back(i);
+  }
+
+  size_t dropped = 0;
+  for (auto& [target, idxs] : by_target) {
+    std::vector<DeleteRequest> reqs;
+    reqs.reserve(idxs.size());
+    for (const size_t i : idxs) {
+      session.BillCacheOp(target);
+      reqs.push_back({OpContext{cfg->id(), cfg->FragmentOf(keys[i])},
+                      keys[i]});
+    }
+    auto results = instances_[target]->MultiDelete(reqs);
+    for (const Status& s : results) {
+      if (s.ok()) ++dropped;
+    }
+  }
+  return dropped;
+}
+
 Result<GeminiClient::ReadResult> GeminiClient::Read(Session& session,
                                                     std::string_view key) {
   {

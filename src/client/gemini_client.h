@@ -162,6 +162,15 @@ class GeminiClient {
   /// not count toward stats(); the fill-in Reads bill and count as usual.
   size_t WarmUp(Session& session, const std::vector<std::string>& keys);
 
+  /// Drops the cache entries for `keys` (e.g. after a bulk store-side
+  /// mutation that bypassed Write()). Groups keys per routed replica and
+  /// ships one pipelined MultiDelete frame per replica — no lease, no store
+  /// write, kNotFound is a success. Keys on recovery-mode fragments are
+  /// skipped (their invalidation must go through Write(), which maintains
+  /// the dirty list); the skip count is keys.size() minus the return value
+  /// minus the not-found entries. Returns how many entries were dropped.
+  size_t InvalidateKeys(Session& session, const std::vector<std::string>& keys);
+
   /// Application write, write-around policy: updates the data store and
   /// invalidates the impacted cache entry under a Q lease. `data` optionally
   /// replaces the record payload (synthetic workloads pass nullopt; only the

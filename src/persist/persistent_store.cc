@@ -56,6 +56,7 @@ Status PersistentStore::Open(CacheInstance& instance) {
     wal_options.sync_batch_bytes = options_.sync_interval > 0
                                        ? SIZE_MAX
                                        : options_.sync_batch_bytes;
+    wal_options.preallocate_bytes = options_.wal_preallocate_bytes;
     if (Status s = wal_.Open(dir_, next_seq, wal_options); !s.ok()) return s;
     // Head every segment with the latest observed config id: checkpoints
     // (Snapshot format) do not store it, and the segments that did are about
@@ -119,18 +120,26 @@ Status PersistentStore::Replay(CacheInstance& instance, uint64_t& next_seq) {
   std::unordered_map<std::string, int64_t> qcount;
   ConfigId max_config = 0;
 
+  uint64_t torn_seq = 0;
+  bool saw_torn = false;
   for (size_t i = 0; i < replay.size(); ++i) {
     const uint64_t seq = replay[i];
     WalScanResult scan = Wal::ScanFile(Wal::SegmentPath(dir_, seq));
     if (!scan.error.ok()) return scan.error;
+    if (saw_torn && scan.file_bytes > 0) {
+      // A crash tears only the segment being appended to — the newest one
+      // with any content. Data after a torn segment means lost history:
+      // fail closed. (Empty segments past the torn one are fine: segment
+      // preallocation creates the next file ahead of rotation, so a torn
+      // live segment followed by an empty reserved one is a normal crash
+      // shape.)
+      return Status(Code::kInternal,
+                    "torn tail in non-final wal segment " +
+                        Wal::SegmentPath(dir_, torn_seq));
+    }
     if (scan.torn_tail) {
-      if (i + 1 != replay.size()) {
-        // A crash tears only the segment being appended to — the newest.
-        // A torn middle segment means lost history: fail closed.
-        return Status(Code::kInternal,
-                      "torn tail in non-final wal segment " +
-                          Wal::SegmentPath(dir_, seq));
-      }
+      saw_torn = true;
+      torn_seq = seq;
       torn_tail_bytes_ += scan.file_bytes - scan.valid_bytes;
     }
     ++replayed_segments_;

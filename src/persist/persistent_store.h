@@ -74,6 +74,11 @@ class PersistentStore final : public PersistenceSink {
     /// bytes (checked by the background thread). 0 disables size-triggered
     /// checkpoints.
     uint64_t checkpoint_wal_bytes = 8ull << 20;
+    /// Reserve this many bytes for the next WAL segment ahead of rotation
+    /// (fallocate, best effort — see Wal::Options::preallocate_bytes). The
+    /// default matches the rotation threshold, so a rotated-into segment is
+    /// fully reserved up front. 0 disables.
+    size_t wal_preallocate_bytes = 8ull << 20;
   };
 
   explicit PersistentStore(std::string dir) : PersistentStore(dir, Options()) {}

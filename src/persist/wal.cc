@@ -236,7 +236,21 @@ Status Wal::Open(const std::string& dir, uint64_t seq,
   unsynced_bytes_ = 0;
   segment_bytes_ = static_cast<uint64_t>(st.st_size);
   options_ = options;
+  if (options_.preallocate_bytes > 0) PreallocateNext();
   return Status::Ok();
+}
+
+void Wal::PreallocateNext() {
+  const std::string next = SegmentPath(dir_, seq_ + 1);
+  const int fd = ::open(next.c_str(), O_WRONLY | O_CREAT, 0644);
+  if (fd < 0) return;
+  // KEEP_SIZE: reserve extents without growing st_size, so the file scans
+  // as an empty segment if a crash lands before rotation reaches it. A
+  // filesystem that cannot reserve (EOPNOTSUPP) just skips — this is an
+  // optimization, never a correctness requirement.
+  (void)::fallocate(fd, FALLOC_FL_KEEP_SIZE, 0,
+                    static_cast<off_t>(options_.preallocate_bytes));
+  ::close(fd);
 }
 
 namespace {

@@ -112,6 +112,13 @@ class Wal {
     /// appended with sync_now bypass the batch. SIZE_MAX disables the
     /// inline trigger (the owner syncs on its own schedule).
     size_t sync_batch_bytes = 256 * 1024;
+    /// Reserve this many bytes for the *next* segment whenever a segment
+    /// opens (fallocate with KEEP_SIZE), so rotation's first appends land on
+    /// already-reserved extents instead of paying block allocation inline.
+    /// The pre-created file stays zero-length, which replay already accepts
+    /// as the crash-after-rotation shape. 0 disables; filesystems without
+    /// fallocate support silently skip the reservation.
+    size_t preallocate_bytes = 0;
   };
 
   /// Snapshot of the sync work outstanding at PrepareSync time. fsyncing
@@ -178,6 +185,8 @@ class Wal {
 
  private:
   Status SyncLocked();
+  /// Best-effort fallocate of segment seq_ + 1 (see Options::preallocate_bytes).
+  void PreallocateNext();
 
   std::string dir_;
   uint64_t seq_ = 0;

@@ -203,18 +203,27 @@ bool RecoveryWorker::Step(Session& session) {
       return true;
     }
   } else {
-    while (t.next_key < keys.size() && processed < options_.keys_per_step) {
-      const std::string& key = keys[t.next_key];
-      // Algorithm 3 line 20 (Gemini-I): just delete the dirty key.
+    // Algorithm 3 line 20 (Gemini-I): just delete the dirty keys. Deletes
+    // carry no lease token, so the whole step rides one pipelined
+    // kMultiDelete frame instead of keys_per_step round-trips.
+    std::vector<DeleteRequest> deletes;
+    deletes.reserve(options_.keys_per_step);
+    while (t.next_key + deletes.size() < keys.size() &&
+           deletes.size() < options_.keys_per_step) {
       session.BillCacheOp(t.primary);
-      Status s = pr.Delete(ctx, key);
-      if (!s.ok() && s.code() != Code::kNotFound) {
-        AbandonTask(session, /*release_red=*/true);
-        return true;
+      deletes.push_back({ctx, keys[t.next_key + deletes.size()]});
+    }
+    if (!deletes.empty()) {
+      auto results = pr.MultiDelete(deletes);
+      for (const Status& s : results) {
+        if (!s.ok() && s.code() != Code::kNotFound) {
+          AbandonTask(session, /*release_red=*/true);
+          return true;
+        }
+        ++stats_.keys_deleted;
+        ++t.next_key;
+        ++processed;
       }
-      ++stats_.keys_deleted;
-      ++t.next_key;
-      ++processed;
     }
   }
 

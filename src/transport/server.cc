@@ -10,11 +10,18 @@
 #include <unistd.h>
 
 #if defined(__linux__)
+#include <linux/io_uring.h>
 #include <sys/epoll.h>
+#include <sys/mman.h>
+#include <sys/syscall.h>
 #endif
 
 #include <algorithm>
+#include <array>
+#include <atomic>
+#include <cstdlib>
 #include <cstring>
+#include <deque>
 #include <mutex>
 #include <unordered_map>
 #include <vector>
@@ -35,6 +42,105 @@ bool SetNonBlocking(int fd) {
 
 }  // namespace
 
+// ---- OutQueue ---------------------------------------------------------------
+
+/// One queued response frame, kept as up to three pieces so a bulk payload
+/// (a GET's value bytes) is *moved* into place exactly once and gathered
+/// straight from there by sendmsg — never re-copied into a contiguous write
+/// buffer. Small frames use only `pre`.
+struct OutFrame {
+  std::string pre;      // u32 len | u8 tag | fields before the payload
+  std::string payload;  // bulk bytes, moved from the cache result
+  std::string post;     // fields after the payload
+  [[nodiscard]] size_t size() const {
+    return pre.size() + payload.size() + post.size();
+  }
+};
+
+/// Per-connection write queue: whole response frames in FIFO order plus a
+/// byte offset into the front frame. FlushWrites gathers the unsent pieces
+/// into one iovec chain per sendmsg call, so N pipelined responses cost one
+/// syscall and zero coalescing copies.
+class TransportServer::OutQueue {
+ public:
+  [[nodiscard]] bool empty() const { return frames_.empty(); }
+  [[nodiscard]] size_t bytes() const { return bytes_; }
+
+  /// Single-piece frame: status-only and small structured responses.
+  void PushFrame(uint8_t tag, std::string_view body) {
+    OutFrame f;
+    wire::AppendFrame(f.pre, tag, body);
+    bytes_ += f.pre.size();
+    frames_.push_back(std::move(f));
+  }
+
+  /// Three-piece frame. `head` holds the response fields before the bulk
+  /// payload's u32 length prefix, `post` the fields after the payload
+  /// bytes; the frame header and the payload length prefix are built here.
+  void PushPayloadFrame(uint8_t tag, std::string_view head,
+                        std::string payload, std::string post) {
+    OutFrame f;
+    wire::PutU32(f.pre, static_cast<uint32_t>(1 + head.size() + 4 +
+                                              payload.size() + post.size()));
+    wire::PutU8(f.pre, tag);
+    f.pre.append(head);
+    wire::PutU32(f.pre, static_cast<uint32_t>(payload.size()));
+    f.payload = std::move(payload);
+    f.post = std::move(post);
+    bytes_ += f.size();
+    frames_.push_back(std::move(f));
+  }
+
+  /// Already-encoded frame bytes (config pushes arrive fully framed).
+  void PushRaw(std::string frame) {
+    OutFrame f;
+    f.pre = std::move(frame);
+    bytes_ += f.pre.size();
+    frames_.push_back(std::move(f));
+  }
+
+  /// Fills up to `max` iovecs with the unsent bytes; returns the count.
+  size_t Gather(struct iovec* iov, size_t max) const {
+    size_t n = 0;
+    size_t skip = offset_;
+    for (const OutFrame& f : frames_) {
+      for (const std::string* piece : {&f.pre, &f.payload, &f.post}) {
+        if (piece->empty()) continue;
+        if (skip >= piece->size()) {
+          skip -= piece->size();
+          continue;
+        }
+        if (n == max) return n;
+        iov[n].iov_base = const_cast<char*>(piece->data()) + skip;
+        iov[n].iov_len = piece->size() - skip;
+        skip = 0;
+        ++n;
+      }
+      if (n == max) return n;
+    }
+    return n;
+  }
+
+  /// Advances past `sent` bytes, dropping completed frames; returns how
+  /// many whole frames finished.
+  size_t Consume(size_t sent) {
+    bytes_ -= sent;
+    offset_ += sent;
+    size_t done = 0;
+    while (!frames_.empty() && offset_ >= frames_.front().size()) {
+      offset_ -= frames_.front().size();
+      frames_.pop_front();
+      ++done;
+    }
+    return done;
+  }
+
+ private:
+  std::deque<OutFrame> frames_;
+  size_t offset_ = 0;  // bytes of the front frame already sent
+  size_t bytes_ = 0;   // total unsent bytes
+};
+
 // ---- Connection -------------------------------------------------------------
 
 struct TransportServer::Connection {
@@ -44,9 +150,8 @@ struct TransportServer::Connection {
   /// Last time bytes arrived (monotonic us); the reaper compares it against
   /// idle_timeout_ms for connections stuck pre-HELLO or mid-frame.
   Timestamp last_activity;
-  std::string in;   // unparsed request bytes
-  std::string out;  // unflushed response bytes
-  size_t out_offset = 0;
+  std::string in;  // unparsed request bytes
+  OutQueue out;    // unflushed response frames
   bool hello_done = false;
   // Subscribed to configuration pushes via kCoordConfigWatch.
   bool config_subscriber = false;
@@ -58,9 +163,7 @@ struct TransportServer::Connection {
   size_t instance_slot = InstanceRegistry::npos;
   const InstanceOptions* instance_options = nullptr;
 
-  [[nodiscard]] bool has_pending_writes() const {
-    return out_offset < out.size();
-  }
+  [[nodiscard]] bool has_pending_writes() const { return !out.empty(); }
 };
 
 // ---- Pollers ----------------------------------------------------------------
@@ -70,6 +173,13 @@ struct PollerEvent {
   bool readable = false;
   bool writable = false;
   bool error = false;
+  // Completion-mode extras (IoUringPoller): a poller that completes I/O
+  // instead of reporting readiness delivers the result with the event.
+  bool accepted = false;  // `fd` is a freshly accepted socket; fd < 0 means
+                          // one accept attempt failed (-fd is the errno)
+  bool closed = false;    // peer EOF (a recv completed with 0 bytes)
+  size_t sent = 0;        // bytes a staged send completed with
+  std::string data;       // bytes a multishot recv delivered
 };
 
 class TransportServer::Poller {
@@ -81,6 +191,24 @@ class TransportServer::Poller {
   virtual void Remove(int fd) = 0;
   /// Blocks up to timeout_ms; fills `out` with ready fds.
   virtual bool Wait(int timeout_ms, std::vector<PollerEvent>& out) = 0;
+
+  // ---- Completion-mode hooks (overridden by IoUringPoller) ----------------
+  /// True when this poller completes I/O itself: events carry accepted fds,
+  /// received bytes, and sent-byte counts, and FlushWrites stages sends
+  /// through StageSend instead of calling sendmsg directly.
+  [[nodiscard]] virtual bool completion_mode() const { return false; }
+  /// Registers the listen socket (completion mode arms a multishot accept).
+  virtual bool AddAcceptor(int fd) { return Add(fd); }
+  /// Registers a connection socket (completion mode arms a multishot recv).
+  virtual bool AddConnection(int fd) { return Add(fd); }
+  /// Queues one gathered send of `out`'s unsent bytes; the SQE is submitted
+  /// by the next Wait()'s single io_uring_enter, so a whole event-loop
+  /// pass's responses flush with one syscall. `out` must stay alive until
+  /// the matching `sent` (or error) event is delivered.
+  virtual void StageSend(int fd, OutQueue* out) {
+    (void)fd;
+    (void)out;
+  }
 };
 
 /// Portable fallback: poll(2) over a flat pollfd vector. O(n) per wait, which
@@ -177,6 +305,626 @@ class TransportServer::EpollPoller final : public TransportServer::Poller {
  private:
   int epfd_;
 };
+
+// ---- IoUringPoller ----------------------------------------------------------
+
+namespace {
+
+// Raw syscall wrappers: the protocol library carries no liburing dependency.
+int IoUringSetup(unsigned entries, struct io_uring_params* p) {
+  return static_cast<int>(::syscall(__NR_io_uring_setup, entries, p));
+}
+
+int IoUringEnter(int fd, unsigned to_submit, unsigned min_complete,
+                 unsigned flags, const void* arg, size_t argsz) {
+  return static_cast<int>(::syscall(__NR_io_uring_enter, fd, to_submit,
+                                    min_complete, flags, arg, argsz));
+}
+
+int IoUringRegister(int fd, unsigned opcode, const void* arg,
+                    unsigned nr_args) {
+  return static_cast<int>(
+      ::syscall(__NR_io_uring_register, fd, opcode, arg, nr_args));
+}
+
+}  // namespace
+
+/// Completion-mode io_uring event loop (raw syscalls + mmap'd rings):
+///  - multishot accept on the listen socket (one SQE accepts until error),
+///  - buffered multishot recv per connection, reading into a provided
+///    buffer pool registered with IORING_OP_PROVIDE_BUFFERS,
+///  - staged response writes: FlushWrites queues a gathered IORING_OP_SENDMSG
+///    per connection, and the next Wait()'s single io_uring_enter submits
+///    the whole pass's SQE batch AND waits for completions — one syscall
+///    flushes a shard's entire ready set.
+/// Sends carry MSG_DONTWAIT so they complete inline during that enter
+/// (-EAGAIN arms a oneshot POLLOUT instead of going async), which keeps
+/// every kernel-side reference to connection memory scoped to the Wait call.
+/// Multishot accept/recv downgrade themselves on -EINVAL (older kernels),
+/// and user_data carries a per-fd generation so completions that race a
+/// close/reuse of the same fd number are discarded, never misattributed.
+class TransportServer::IoUringPoller final : public TransportServer::Poller {
+ public:
+  IoUringPoller(std::atomic<uint64_t>* sendmsg_calls,
+                std::atomic<uint64_t>* sqe_batched)
+      : sendmsg_calls_(sendmsg_calls), sqe_batched_(sqe_batched) {
+    Init();
+  }
+
+  ~IoUringPoller() override {
+    if (buf_base_ != nullptr) ::munmap(buf_base_, kBufCount * kBufSize);
+    if (sqes_ != nullptr) ::munmap(sqes_, sqes_sz_);
+    if (cq_ring_ != nullptr && cq_ring_sz_ != 0) ::munmap(cq_ring_, cq_ring_sz_);
+    if (sq_ring_ != nullptr) ::munmap(sq_ring_, sq_ring_sz_);
+    if (ring_fd_ >= 0) ::close(ring_fd_);
+  }
+
+  [[nodiscard]] bool valid() const { return valid_; }
+
+  /// One throwaway ring answers whether this kernel has everything the
+  /// backend needs (the setup syscall, EXT_ARG timed waits, and the probed
+  /// opcodes); multishot support is degraded at runtime, not probed.
+  static bool Supported() {
+    IoUringPoller probe(nullptr, nullptr);
+    return probe.valid();
+  }
+
+  [[nodiscard]] bool completion_mode() const override { return true; }
+
+  bool Add(int fd) override {
+    // Non-connection fds (the shard's wake pipe): oneshot POLLIN, rearmed
+    // by every Wait after it fires.
+    pipes_[fd] = false;
+    return true;
+  }
+
+  bool AddAcceptor(int fd) override {
+    acceptor_fd_ = fd;
+    accept_registered_ = true;
+    accept_armed_ = false;  // armed by the next Wait
+    return true;
+  }
+
+  bool AddConnection(int fd) override {
+    FdState& st = conns_[fd];
+    st = FdState{};
+    st.gen = ++gen_counter_;
+    return true;
+  }
+
+  void Update(int fd, bool want_write) override {
+    // Readiness toggling has no meaning here: reads are always armed and
+    // writes are staged explicitly through StageSend.
+    (void)fd;
+    (void)want_write;
+  }
+
+  void Remove(int fd) override {
+    if (fd == acceptor_fd_ && accept_registered_) {
+      accept_registered_ = false;
+      if (accept_armed_) {
+        CancelUd(MakeUd(kUdAccept, static_cast<uint32_t>(fd), 0));
+        accept_armed_ = false;
+      }
+      return;
+    }
+    if (auto pit = pipes_.find(fd); pit != pipes_.end()) {
+      if (pit->second) CancelUd(MakeUd(kUdPollIn, static_cast<uint32_t>(fd), 0));
+      pipes_.erase(pit);
+      return;
+    }
+    auto it = conns_.find(fd);
+    if (it == conns_.end()) return;
+    FdState& st = it->second;
+    if (st.recv_armed) {
+      CancelUd(MakeUd(kUdRecv, static_cast<uint32_t>(fd), st.gen));
+    }
+    if (st.pollout_armed) {
+      CancelUd(MakeUd(kUdPollOut, static_cast<uint32_t>(fd), st.gen));
+    }
+    // Sends complete inline during Wait's enter and staged ones are skipped
+    // once the fd is gone, so nothing kernel-side still references the
+    // connection's OutQueue after this returns.
+    conns_.erase(it);
+  }
+
+  void StageSend(int fd, OutQueue* out) override {
+    auto it = conns_.find(fd);
+    if (it == conns_.end()) return;
+    FdState& st = it->second;
+    st.out = out;
+    if (!st.send_staged && !st.send_inflight && !st.pollout_armed) {
+      st.send_staged = true;
+      staged_.push_back(fd);
+    }
+  }
+
+  bool Wait(int timeout_ms, std::vector<PollerEvent>& out) override {
+    // Rearm everything that fell out of multishot, recycle consumed recv
+    // buffers, and queue this pass's staged sends — all as SQEs flushed by
+    // the single enter below.
+    ArmAccept();
+    for (auto& [fd, armed] : pipes_) {
+      if (!armed) {
+        ArmPipe(fd);
+        armed = true;
+      }
+    }
+    for (auto& [fd, st] : conns_) ArmRecv(fd, st);
+    std::vector<uint32_t> bufs;
+    bufs.swap(free_bufs_);
+    for (uint32_t bid : bufs) ProvideBuf(bid);
+    std::vector<int> staged;
+    staged.swap(staged_);
+    for (int fd : staged) SubmitSendFor(fd);
+
+    const unsigned to_submit = to_submit_;
+    if (to_submit > 0 && sqe_batched_ != nullptr) {
+      sqe_batched_->fetch_add(to_submit, std::memory_order_relaxed);
+    }
+    struct __kernel_timespec ts;
+    ts.tv_sec = timeout_ms / 1000;
+    ts.tv_nsec = static_cast<long long>(timeout_ms % 1000) * 1000000;
+    struct io_uring_getevents_arg arg;
+    std::memset(&arg, 0, sizeof(arg));
+    arg.ts = reinterpret_cast<uint64_t>(&ts);
+    const int ret = IoUringEnter(ring_fd_, to_submit, 1,
+                                 IORING_ENTER_GETEVENTS | IORING_ENTER_EXT_ARG,
+                                 &arg, sizeof(arg));
+    if (ret >= 0) {
+      to_submit_ -= static_cast<unsigned>(ret);
+    } else if (errno != ETIME && errno != EINTR && errno != EBUSY &&
+               errno != EAGAIN) {
+      return false;
+    }
+    DrainCqes(out);
+    return true;
+  }
+
+ private:
+  static constexpr unsigned kEntries = 256;  // SQ slots (CQ gets 2x)
+  static constexpr uint16_t kBufGroup = 0;
+  static constexpr uint32_t kBufCount = 64;
+  static constexpr size_t kBufSize = 32 * 1024;
+  static constexpr size_t kSendIov = 32;
+
+  enum UdKind : uint64_t {
+    kUdPollIn = 1,   // wake-pipe readability
+    kUdAccept = 2,
+    kUdRecv = 3,
+    kUdSend = 4,
+    kUdPollOut = 5,  // write-readiness after a send hit EAGAIN
+    kUdProvide = 6,
+    kUdCancel = 7,
+  };
+
+  /// user_data = kind | 24-bit per-fd generation | fd. The generation makes
+  /// completions from a closed fd's previous life detectably stale.
+  static uint64_t MakeUd(UdKind kind, uint32_t fd, uint32_t gen) {
+    return (static_cast<uint64_t>(kind) << 56) |
+           (static_cast<uint64_t>(gen & 0xFFFFFFu) << 32) | fd;
+  }
+  static UdKind UdKindOf(uint64_t ud) {
+    return static_cast<UdKind>(ud >> 56);
+  }
+  static uint32_t UdGen(uint64_t ud) {
+    return static_cast<uint32_t>(ud >> 32) & 0xFFFFFFu;
+  }
+  static int UdFd(uint64_t ud) {
+    return static_cast<int>(ud & 0xFFFFFFFFu);
+  }
+
+  struct FdState {
+    uint32_t gen = 0;
+    bool recv_armed = false;
+    bool send_staged = false;    // queued for the next Wait's submit
+    bool send_inflight = false;  // SENDMSG SQE submitted, CQE pending
+    bool pollout_armed = false;
+    OutQueue* out = nullptr;
+    std::array<struct iovec, kSendIov> iov;
+    struct msghdr msg;
+  };
+
+  void Init() {
+    struct io_uring_params p;
+    std::memset(&p, 0, sizeof(p));
+    ring_fd_ = IoUringSetup(kEntries, &p);
+    if (ring_fd_ < 0) return;
+    // EXT_ARG gives the timed wait; NODROP makes the CQ lossless under
+    // bursts. Both predate every kernel with the multishot ops.
+    if ((p.features & IORING_FEAT_EXT_ARG) == 0 ||
+        (p.features & IORING_FEAT_NODROP) == 0) {
+      return;
+    }
+
+    alignas(struct io_uring_probe) char probe_buf[
+        sizeof(struct io_uring_probe) + 256 * sizeof(struct io_uring_probe_op)];
+    std::memset(probe_buf, 0, sizeof(probe_buf));
+    auto* probe = reinterpret_cast<struct io_uring_probe*>(probe_buf);
+    if (IoUringRegister(ring_fd_, IORING_REGISTER_PROBE, probe, 256) != 0) {
+      return;
+    }
+    const auto supported = [probe](unsigned op) {
+      return op <= probe->last_op &&
+             (probe->ops[op].flags & IO_URING_OP_SUPPORTED) != 0;
+    };
+    for (unsigned op :
+         {static_cast<unsigned>(IORING_OP_POLL_ADD),
+          static_cast<unsigned>(IORING_OP_SENDMSG),
+          static_cast<unsigned>(IORING_OP_ACCEPT),
+          static_cast<unsigned>(IORING_OP_ASYNC_CANCEL),
+          static_cast<unsigned>(IORING_OP_RECV),
+          static_cast<unsigned>(IORING_OP_PROVIDE_BUFFERS)}) {
+      if (!supported(op)) return;
+    }
+
+    sq_entries_ = p.sq_entries;
+    size_t sq_sz = p.sq_off.array + p.sq_entries * sizeof(uint32_t);
+    size_t cq_sz = p.cq_off.cqes + p.cq_entries * sizeof(struct io_uring_cqe);
+    if ((p.features & IORING_FEAT_SINGLE_MMAP) != 0) {
+      sq_sz = cq_sz = std::max(sq_sz, cq_sz);
+    }
+    void* sq = ::mmap(nullptr, sq_sz, PROT_READ | PROT_WRITE,
+                      MAP_SHARED | MAP_POPULATE, ring_fd_, IORING_OFF_SQ_RING);
+    if (sq == MAP_FAILED) return;
+    sq_ring_ = static_cast<uint8_t*>(sq);
+    sq_ring_sz_ = sq_sz;
+    if ((p.features & IORING_FEAT_SINGLE_MMAP) != 0) {
+      cq_ring_ = sq_ring_;
+      cq_ring_sz_ = 0;  // shared mapping; unmapped via sq_ring_
+    } else {
+      void* cq = ::mmap(nullptr, cq_sz, PROT_READ | PROT_WRITE,
+                        MAP_SHARED | MAP_POPULATE, ring_fd_,
+                        IORING_OFF_CQ_RING);
+      if (cq == MAP_FAILED) return;
+      cq_ring_ = static_cast<uint8_t*>(cq);
+      cq_ring_sz_ = cq_sz;
+    }
+    sqes_sz_ = p.sq_entries * sizeof(struct io_uring_sqe);
+    void* sqes = ::mmap(nullptr, sqes_sz_, PROT_READ | PROT_WRITE,
+                        MAP_SHARED | MAP_POPULATE, ring_fd_, IORING_OFF_SQES);
+    if (sqes == MAP_FAILED) {
+      sqes_sz_ = 0;
+      return;
+    }
+    sqes_ = static_cast<struct io_uring_sqe*>(sqes);
+
+    sq_head_ = reinterpret_cast<unsigned*>(sq_ring_ + p.sq_off.head);
+    sq_tail_ = reinterpret_cast<unsigned*>(sq_ring_ + p.sq_off.tail);
+    sq_mask_ = *reinterpret_cast<unsigned*>(sq_ring_ + p.sq_off.ring_mask);
+    auto* sq_array = reinterpret_cast<unsigned*>(sq_ring_ + p.sq_off.array);
+    cq_head_ = reinterpret_cast<unsigned*>(cq_ring_ + p.cq_off.head);
+    cq_tail_ = reinterpret_cast<unsigned*>(cq_ring_ + p.cq_off.tail);
+    cq_mask_ = *reinterpret_cast<unsigned*>(cq_ring_ + p.cq_off.ring_mask);
+    cqes_ = reinterpret_cast<struct io_uring_cqe*>(cq_ring_ + p.cq_off.cqes);
+    // Identity index mapping: a submit is just a tail bump.
+    for (unsigned i = 0; i <= sq_mask_; ++i) sq_array[i] = i;
+    sq_tail_local_ = __atomic_load_n(sq_tail_, __ATOMIC_RELAXED);
+
+    void* bufs = ::mmap(nullptr, kBufCount * kBufSize, PROT_READ | PROT_WRITE,
+                        MAP_PRIVATE | MAP_ANONYMOUS, -1, 0);
+    if (bufs == MAP_FAILED) return;
+    buf_base_ = static_cast<char*>(bufs);
+    // Hand the whole recv pool to the kernel in one SQE, synchronously, so
+    // a rejection (res < 0) fails construction instead of every recv.
+    struct io_uring_sqe* sqe = GetSqe();
+    if (sqe == nullptr) return;
+    sqe->opcode = IORING_OP_PROVIDE_BUFFERS;
+    sqe->fd = static_cast<int>(kBufCount);
+    sqe->addr = reinterpret_cast<uint64_t>(buf_base_);
+    sqe->len = kBufSize;
+    sqe->off = 0;
+    sqe->buf_group = kBufGroup;
+    sqe->user_data = MakeUd(kUdProvide, 0, 0);
+    if (IoUringEnter(ring_fd_, to_submit_, 1, IORING_ENTER_GETEVENTS, nullptr,
+                     0) < 0) {
+      return;
+    }
+    to_submit_ = 0;
+    bool provided = false;
+    unsigned head = __atomic_load_n(cq_head_, __ATOMIC_ACQUIRE);
+    const unsigned tail = __atomic_load_n(cq_tail_, __ATOMIC_ACQUIRE);
+    while (head != tail) {
+      const struct io_uring_cqe& cqe = cqes_[head & cq_mask_];
+      if (UdKindOf(cqe.user_data) == kUdProvide && cqe.res >= 0) {
+        provided = true;
+      }
+      ++head;
+    }
+    __atomic_store_n(cq_head_, head, __ATOMIC_RELEASE);
+    valid_ = provided;
+  }
+
+  struct io_uring_sqe* GetSqe() {
+    if (sq_tail_local_ - __atomic_load_n(sq_head_, __ATOMIC_ACQUIRE) >=
+        sq_entries_) {
+      // SQ full mid-pass: flush without waiting (the kernel consumes SQEs
+      // synchronously during enter, so this frees the whole ring).
+      if (to_submit_ > 0) {
+        const int ret = IoUringEnter(ring_fd_, to_submit_, 0, 0, nullptr, 0);
+        if (ret > 0) to_submit_ -= static_cast<unsigned>(ret);
+      }
+      if (sq_tail_local_ - __atomic_load_n(sq_head_, __ATOMIC_ACQUIRE) >=
+          sq_entries_) {
+        return nullptr;
+      }
+    }
+    struct io_uring_sqe* sqe = &sqes_[sq_tail_local_ & sq_mask_];
+    std::memset(sqe, 0, sizeof(*sqe));
+    ++sq_tail_local_;
+    // The kernel only reads the SQ during enter (no SQPOLL), so publishing
+    // the tail before the caller fills the SQE is safe single-threaded.
+    __atomic_store_n(sq_tail_, sq_tail_local_, __ATOMIC_RELEASE);
+    ++to_submit_;
+    return sqe;
+  }
+
+  void CancelUd(uint64_t target) {
+    struct io_uring_sqe* sqe = GetSqe();
+    if (sqe == nullptr) return;
+    sqe->opcode = IORING_OP_ASYNC_CANCEL;
+    sqe->fd = -1;
+    sqe->addr = target;
+    sqe->user_data = MakeUd(kUdCancel, 0, 0);
+  }
+
+  void ArmAccept() {
+    if (!accept_registered_ || accept_armed_) return;
+    struct io_uring_sqe* sqe = GetSqe();
+    if (sqe == nullptr) return;
+    sqe->opcode = IORING_OP_ACCEPT;
+    sqe->fd = acceptor_fd_;
+    if (accept_multishot_) sqe->ioprio = IORING_ACCEPT_MULTISHOT;
+    sqe->user_data = MakeUd(kUdAccept, static_cast<uint32_t>(acceptor_fd_), 0);
+    accept_armed_ = true;
+  }
+
+  void ArmPipe(int fd) {
+    struct io_uring_sqe* sqe = GetSqe();
+    if (sqe == nullptr) return;
+    sqe->opcode = IORING_OP_POLL_ADD;
+    sqe->fd = fd;
+    sqe->poll32_events = POLLIN;
+    sqe->user_data = MakeUd(kUdPollIn, static_cast<uint32_t>(fd), 0);
+  }
+
+  void ArmRecv(int fd, FdState& st) {
+    if (st.recv_armed) return;
+    struct io_uring_sqe* sqe = GetSqe();
+    if (sqe == nullptr) return;
+    sqe->opcode = IORING_OP_RECV;
+    sqe->fd = fd;
+    sqe->flags = IOSQE_BUFFER_SELECT;
+    sqe->buf_group = kBufGroup;
+    if (recv_multishot_) sqe->ioprio = IORING_RECV_MULTISHOT;
+    sqe->user_data = MakeUd(kUdRecv, static_cast<uint32_t>(fd), st.gen);
+    st.recv_armed = true;
+  }
+
+  void ArmPollOut(int fd, FdState& st) {
+    if (st.pollout_armed) return;
+    struct io_uring_sqe* sqe = GetSqe();
+    if (sqe == nullptr) return;
+    sqe->opcode = IORING_OP_POLL_ADD;
+    sqe->fd = fd;
+    sqe->poll32_events = POLLOUT;
+    sqe->user_data = MakeUd(kUdPollOut, static_cast<uint32_t>(fd), st.gen);
+    st.pollout_armed = true;
+  }
+
+  void ProvideBuf(uint32_t bid) {
+    struct io_uring_sqe* sqe = GetSqe();
+    if (sqe == nullptr) {
+      free_bufs_.push_back(bid);  // retry next Wait
+      return;
+    }
+    sqe->opcode = IORING_OP_PROVIDE_BUFFERS;
+    sqe->fd = 1;  // one buffer
+    sqe->addr = reinterpret_cast<uint64_t>(buf_base_ + bid * kBufSize);
+    sqe->len = kBufSize;
+    sqe->off = bid;
+    sqe->buf_group = kBufGroup;
+    sqe->user_data = MakeUd(kUdProvide, bid, 0);
+  }
+
+  void SubmitSendFor(int fd) {
+    auto it = conns_.find(fd);
+    if (it == conns_.end()) return;  // closed since staging
+    FdState& st = it->second;
+    st.send_staged = false;
+    if (st.out == nullptr || st.out->bytes() == 0 || st.send_inflight) return;
+    struct io_uring_sqe* sqe = GetSqe();
+    if (sqe == nullptr) {
+      st.send_staged = true;
+      staged_.push_back(fd);
+      return;
+    }
+    std::memset(&st.msg, 0, sizeof(st.msg));
+    st.msg.msg_iov = st.iov.data();
+    st.msg.msg_iovlen = st.out->Gather(st.iov.data(), st.iov.size());
+    sqe->opcode = IORING_OP_SENDMSG;
+    sqe->fd = fd;
+    sqe->addr = reinterpret_cast<uint64_t>(&st.msg);
+    sqe->msg_flags = MSG_DONTWAIT | MSG_NOSIGNAL;
+    sqe->user_data = MakeUd(kUdSend, static_cast<uint32_t>(fd), st.gen);
+    st.send_inflight = true;
+    if (sendmsg_calls_ != nullptr) {
+      sendmsg_calls_->fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+
+  void DrainCqes(std::vector<PollerEvent>& out) {
+    unsigned head = __atomic_load_n(cq_head_, __ATOMIC_ACQUIRE);
+    for (;;) {
+      const unsigned tail = __atomic_load_n(cq_tail_, __ATOMIC_ACQUIRE);
+      if (head == tail) break;
+      while (head != tail) {
+        HandleCqe(cqes_[head & cq_mask_], out);
+        ++head;
+      }
+      // Publish per batch so a NODROP overflow flush can make progress.
+      __atomic_store_n(cq_head_, head, __ATOMIC_RELEASE);
+    }
+  }
+
+  void HandleCqe(const struct io_uring_cqe& cqe,
+                 std::vector<PollerEvent>& out) {
+    const UdKind kind = UdKindOf(cqe.user_data);
+    const int fd = UdFd(cqe.user_data);
+    switch (kind) {
+      case kUdProvide:
+      case kUdCancel:
+        return;
+
+      case kUdPollIn: {
+        if (auto it = pipes_.find(fd); it != pipes_.end()) {
+          it->second = false;  // oneshot; rearmed next Wait
+        }
+        if (cqe.res == -ECANCELED) return;
+        PollerEvent ev;
+        ev.fd = fd;
+        ev.readable = cqe.res >= 0;
+        ev.error = cqe.res < 0;
+        out.push_back(std::move(ev));
+        return;
+      }
+
+      case kUdAccept: {
+        if ((cqe.flags & IORING_CQE_F_MORE) == 0) accept_armed_ = false;
+        if (cqe.res == -ECANCELED) return;
+        if (cqe.res == -EINVAL && accept_multishot_) {
+          // Kernel predates multishot accept: downgrade; the next Wait
+          // rearms a oneshot accept.
+          accept_multishot_ = false;
+          return;
+        }
+        PollerEvent ev;
+        ev.accepted = true;
+        ev.fd = cqe.res;  // negative: -errno, for burst-guard accounting
+        out.push_back(std::move(ev));
+        return;
+      }
+
+      case kUdRecv: {
+        auto it = conns_.find(fd);
+        const bool live =
+            it != conns_.end() && it->second.gen == UdGen(cqe.user_data);
+        if (live && (cqe.flags & IORING_CQE_F_MORE) == 0) {
+          it->second.recv_armed = false;  // rearmed next Wait
+        }
+        if ((cqe.flags & IORING_CQE_F_BUFFER) != 0) {
+          const uint32_t bid = cqe.flags >> IORING_CQE_BUFFER_SHIFT;
+          if (live && cqe.res > 0) {
+            PollerEvent ev;
+            ev.fd = fd;
+            ev.data.assign(buf_base_ + bid * kBufSize,
+                           static_cast<size_t>(cqe.res));
+            out.push_back(std::move(ev));
+          }
+          free_bufs_.push_back(bid);  // recycle even for dead connections
+        }
+        if (!live || cqe.res > 0) return;
+        if (cqe.res == 0) {
+          PollerEvent ev;
+          ev.fd = fd;
+          ev.closed = true;
+          out.push_back(std::move(ev));
+          return;
+        }
+        if (cqe.res == -EINVAL && recv_multishot_) {
+          // Kernel predates multishot recv: downgrade to oneshot rearm.
+          recv_multishot_ = false;
+          it->second.recv_armed = false;
+          return;
+        }
+        // -ENOBUFS: the pool ran dry this pass; buffers recycle and the
+        // recv rearms on the next Wait.
+        if (cqe.res == -ENOBUFS || cqe.res == -ECANCELED) return;
+        PollerEvent ev;
+        ev.fd = fd;
+        ev.error = true;
+        out.push_back(std::move(ev));
+        return;
+      }
+
+      case kUdSend: {
+        auto it = conns_.find(fd);
+        if (it == conns_.end() || it->second.gen != UdGen(cqe.user_data)) {
+          return;
+        }
+        FdState& st = it->second;
+        st.send_inflight = false;
+        if (cqe.res > 0) {
+          PollerEvent ev;
+          ev.fd = fd;
+          ev.sent = static_cast<size_t>(cqe.res);
+          out.push_back(std::move(ev));
+          return;
+        }
+        if (cqe.res == -EAGAIN) {
+          ArmPollOut(fd, st);  // socket buffer full: wait for writability
+          return;
+        }
+        if (cqe.res == -EINTR || cqe.res == 0) {
+          StageSend(fd, st.out);
+          return;
+        }
+        PollerEvent ev;
+        ev.fd = fd;
+        ev.error = true;
+        out.push_back(std::move(ev));
+        return;
+      }
+
+      case kUdPollOut: {
+        auto it = conns_.find(fd);
+        if (it == conns_.end() || it->second.gen != UdGen(cqe.user_data)) {
+          return;
+        }
+        it->second.pollout_armed = false;
+        if (cqe.res == -ECANCELED) return;
+        PollerEvent ev;
+        ev.fd = fd;
+        ev.writable = true;
+        ev.error = cqe.res < 0;
+        out.push_back(std::move(ev));
+        return;
+      }
+    }
+  }
+
+  std::atomic<uint64_t>* sendmsg_calls_;
+  std::atomic<uint64_t>* sqe_batched_;
+  bool valid_ = false;
+  int ring_fd_ = -1;
+  unsigned sq_entries_ = 0;
+  uint8_t* sq_ring_ = nullptr;
+  size_t sq_ring_sz_ = 0;
+  uint8_t* cq_ring_ = nullptr;
+  size_t cq_ring_sz_ = 0;  // 0 when shared with the SQ mapping
+  struct io_uring_sqe* sqes_ = nullptr;
+  size_t sqes_sz_ = 0;
+  unsigned* sq_head_ = nullptr;
+  unsigned* sq_tail_ = nullptr;
+  unsigned sq_mask_ = 0;
+  unsigned* cq_head_ = nullptr;
+  unsigned* cq_tail_ = nullptr;
+  unsigned cq_mask_ = 0;
+  struct io_uring_cqe* cqes_ = nullptr;
+  unsigned sq_tail_local_ = 0;
+  unsigned to_submit_ = 0;
+  char* buf_base_ = nullptr;
+  bool accept_multishot_ = true;
+  bool recv_multishot_ = true;
+  int acceptor_fd_ = -1;
+  bool accept_registered_ = false;
+  bool accept_armed_ = false;
+  uint32_t gen_counter_ = 0;
+  std::unordered_map<int, FdState> conns_;
+  std::unordered_map<int, bool> pipes_;  // fd -> poll currently armed
+  std::vector<int> staged_;
+  std::vector<uint32_t> free_bufs_;
+};
 #endif  // __linux__
 
 // ---- Shard ------------------------------------------------------------------
@@ -208,6 +956,12 @@ struct TransportServer::Shard {
   std::atomic<uint64_t> protocol_errors{0};
   std::atomic<uint64_t> connections_reaped{0};
   std::atomic<uint64_t> accept_errors{0};
+  // Write-path batching: syscalls issued (sendmsg or SENDMSG SQEs), flush
+  // rounds, response frames fully flushed, SQEs submitted per enter batch.
+  std::atomic<uint64_t> sendmsg_calls{0};
+  std::atomic<uint64_t> flush_calls{0};
+  std::atomic<uint64_t> frames_flushed{0};
+  std::atomic<uint64_t> uring_sqe_batched{0};
   // Acceptor-only state (shard 0's loop thread): the accept-error burst
   // guard's consecutive-failure count and suspension window.
   int consecutive_accept_errors = 0;
@@ -300,6 +1054,51 @@ Status TransportServer::Start() {
     listen_fd_ = -1;
   };
 
+  // Resolve the io backend once per Start(): the legacy poll flag wins,
+  // then an explicit option, then GEMINI_IO_BACKEND, then best-supported.
+  IoBackend backend = options_.io_backend;
+  bool backend_explicit = backend != IoBackend::kAuto;
+  if (options_.use_poll_fallback) {
+    backend = IoBackend::kPoll;
+    backend_explicit = true;
+  }
+  if (backend == IoBackend::kAuto) {
+    if (const char* env = std::getenv("GEMINI_IO_BACKEND");
+        env != nullptr && *env != '\0') {
+      const std::string_view name(env);
+      if (name == "uring") {
+        backend = IoBackend::kUring;
+      } else if (name == "epoll") {
+        backend = IoBackend::kEpoll;
+      } else if (name == "poll") {
+        backend = IoBackend::kPoll;
+      } else if (name != "auto") {
+        LOG_WARN << "GEMINI_IO_BACKEND=" << name
+                 << " is not one of {auto,uring,epoll,poll}; ignoring";
+      }
+    }
+  }
+#if defined(__linux__)
+  if (backend == IoBackend::kAuto) {
+    backend = IoUringSupported() ? IoBackend::kUring : IoBackend::kEpoll;
+  } else if (backend == IoBackend::kUring && !IoUringSupported()) {
+    if (backend_explicit) {
+      ::close(listen_fd_);
+      listen_fd_ = -1;
+      return Status(Code::kInvalidArgument,
+                    "io_backend=uring requested but this kernel lacks "
+                    "io_uring support");
+    }
+    // Env-requested: fall back loudly, never silently.
+    LOG_WARN << "GEMINI_IO_BACKEND=uring requested but this kernel lacks "
+                "io_uring support; falling back to epoll";
+    backend = IoBackend::kEpoll;
+  }
+#else
+  if (backend != IoBackend::kPoll) backend = IoBackend::kPoll;
+#endif
+  active_backend_ = IoBackend::kPoll;
+
   shards_.reserve(nloops);
   for (uint32_t i = 0; i < nloops; ++i) {
     auto shard = std::make_unique<Shard>(i, slot_ids_.size());
@@ -311,9 +1110,26 @@ Status TransportServer::Start() {
       return Status(Code::kInternal, "self-pipe failed");
     }
 #if defined(__linux__)
-    if (!options_.use_poll_fallback) {
+    if (backend == IoBackend::kUring) {
+      auto uring = std::make_unique<IoUringPoller>(&shard->sendmsg_calls,
+                                                   &shard->uring_sqe_batched);
+      if (uring->valid()) {
+        shard->poller = std::move(uring);
+        active_backend_ = IoBackend::kUring;
+      } else {
+        // Supported() passed but this shard's ring failed (e.g. memlock
+        // pressure): degrade this run to epoll rather than dying.
+        LOG_WARN << "io_uring ring setup failed for shard " << i
+                 << "; falling back to epoll";
+        backend = IoBackend::kEpoll;
+      }
+    }
+    if (shard->poller == nullptr && backend != IoBackend::kPoll) {
       auto epoll = std::make_unique<EpollPoller>();
-      if (epoll->valid()) shard->poller = std::move(epoll);
+      if (epoll->valid()) {
+        shard->poller = std::move(epoll);
+        active_backend_ = IoBackend::kEpoll;
+      }
     }
 #endif
     if (shard->poller == nullptr) {
@@ -322,7 +1138,7 @@ Status TransportServer::Start() {
     shard->poller->Add(shard->wake_fds[0]);
     shards_.push_back(std::move(shard));
   }
-  shards_[0]->poller->Add(listen_fd_);
+  shards_[0]->poller->AddAcceptor(listen_fd_);
   next_shard_ = 0;
 
   running_.store(true, std::memory_order_release);
@@ -339,8 +1155,37 @@ Status TransportServer::Start() {
   LOG_INFO << "geminid transport listening on " << options_.bind_address
            << ":" << port_ << " (instances " << id_list << ", "
            << shards_.size() << " event loop"
-           << (shards_.size() == 1 ? "" : "s") << ")";
+           << (shards_.size() == 1 ? "" : "s") << ", io="
+           << io_backend_name() << ")";
   return Status::Ok();
+}
+
+bool TransportServer::IoUringSupported() {
+#if defined(__linux__)
+  // The probe runs on a scratch thread: an io_uring's deferred teardown can
+  // kick its creator's task context out of blocking syscalls (EINTR) a few
+  // ms after close, so the throwaway ring must not bind to a long-lived
+  // thread (like the caller of Start()).
+  static const bool supported = [] {
+    bool ok = false;
+    std::thread([&ok] { ok = IoUringPoller::Supported(); }).join();
+    return ok;
+  }();
+  return supported;
+#else
+  return false;
+#endif
+}
+
+const char* TransportServer::io_backend_name() const {
+  switch (active_backend_) {
+    case IoBackend::kUring:
+      return "uring";
+    case IoBackend::kEpoll:
+      return "epoll";
+    default:
+      return "poll";
+  }
 }
 
 void TransportServer::Stop() {
@@ -382,6 +1227,11 @@ TransportServer::Stats TransportServer::stats() const {
     s.connections_reaped +=
         shard->connections_reaped.load(std::memory_order_relaxed);
     s.accept_errors += shard->accept_errors.load(std::memory_order_relaxed);
+    s.sendmsg_calls += shard->sendmsg_calls.load(std::memory_order_relaxed);
+    s.flush_calls += shard->flush_calls.load(std::memory_order_relaxed);
+    s.frames_flushed += shard->frames_flushed.load(std::memory_order_relaxed);
+    s.uring_sqe_batched +=
+        shard->uring_sqe_batched.load(std::memory_order_relaxed);
   }
   for (size_t slot = 0; slot < slot_ids_.size(); ++slot) {
     uint64_t frames = 0;
@@ -443,11 +1293,11 @@ void TransportServer::Loop(Shard& shard) {
     }
 
     // Resume accepting after an accept-error burst pause (the guard in
-    // AcceptReady unsubscribed the listen fd so a level-triggered poller
-    // does not spin on it).
+    // AcceptFailure unsubscribed the listen fd so a level-triggered poller
+    // does not spin on it, and a completion-mode one stops rearming accept).
     if (shard.index == 0 && shard.accept_suspended && !draining &&
         SystemClock::Global().Now() >= shard.accept_suspended_until) {
-      shard.poller->Add(listen_fd_);
+      shard.poller->AddAcceptor(listen_fd_);
       shard.accept_suspended = false;
     }
 
@@ -486,6 +1336,17 @@ void TransportServer::Loop(Shard& shard) {
     }
 
     for (const PollerEvent& ev : events) {
+      // Completion-mode accept results carry the new fd with the event.
+      if (ev.accepted) {
+        if (draining) {
+          if (ev.fd >= 0) ::close(ev.fd);
+        } else if (ev.fd < 0) {
+          AcceptFailure(shard);
+        } else {
+          DispatchAccepted(shard, ev.fd);
+        }
+        continue;
+      }
       if (ev.fd == shard.wake_fds[0]) {
         char buf[64];
         while (::read(shard.wake_fds[0], buf, sizeof(buf)) > 0) {
@@ -501,8 +1362,23 @@ void TransportServer::Loop(Shard& shard) {
       if (it == shard.connections.end()) continue;
       Connection& conn = *it->second;
       bool alive = !ev.error;
+      if (alive && ev.sent > 0) {
+        // A staged gathered send completed: retire finished frames, and
+        // restage if a short write (or newly queued frames) left bytes.
+        shard.flush_calls.fetch_add(1, std::memory_order_relaxed);
+        shard.frames_flushed.fetch_add(conn.out.Consume(ev.sent),
+                                       std::memory_order_relaxed);
+        if (conn.out.bytes() > 0) alive = FlushWrites(shard, conn);
+      }
       if (alive && ev.writable) alive = FlushWrites(shard, conn);
+      if (alive && !ev.data.empty()) {
+        // Completion-mode recv delivered bytes with the event.
+        conn.in.append(ev.data);
+        conn.last_activity = SystemClock::Global().Now();
+        if (!draining) alive = ProcessInput(shard, conn);
+      }
       if (alive && ev.readable && !draining) alive = ReadReady(shard, conn);
+      if (alive && ev.closed) alive = false;
       if (alive && draining && !conn.has_pending_writes()) alive = false;
       if (!alive) CloseConnection(shard, ev.fd);
     }
@@ -525,46 +1401,55 @@ void TransportServer::AcceptReady(Shard& shard) {
     if (fd < 0) {
       if (errno == EAGAIN || errno == EWOULDBLOCK) return;  // drained
       if (errno == EINTR) continue;
-      // A real accept failure (EMFILE/ENFILE fd exhaustion, aborted
-      // connections under SYN pressure). Count it; after a burst of
-      // consecutive failures, unsubscribe from the listen fd for
-      // accept_pause_ms — a level-triggered poller would otherwise report
-      // it ready forever and turn the error into a busy spin.
-      shard.accept_errors.fetch_add(1, std::memory_order_relaxed);
-      if (options_.accept_error_burst > 0 &&
-          ++shard.consecutive_accept_errors >= options_.accept_error_burst) {
-        shard.poller->Remove(listen_fd_);
-        shard.accept_suspended = true;
-        shard.accept_suspended_until =
-            SystemClock::Global().Now() + Millis(options_.accept_pause_ms);
-        shard.consecutive_accept_errors = 0;
-        return;
-      }
+      AcceptFailure(shard);
+      if (shard.accept_suspended) return;
       continue;
     }
-    shard.consecutive_accept_errors = 0;
-    if (!SetNonBlocking(fd)) {
-      ::close(fd);
-      continue;
-    }
-    int one = 1;
-    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
-    connections_accepted_.fetch_add(1, std::memory_order_relaxed);
-
-    Shard& target = *shards_[next_shard_ % shards_.size()];
-    ++next_shard_;
-    if (&target == &shard) {
-      shard.poller->Add(fd);
-      shard.connections.emplace(fd, std::make_unique<Connection>(fd));
-      continue;
-    }
-    {
-      std::lock_guard<std::mutex> lock(target.inbox_mu);
-      target.inbox.push_back(fd);
-    }
-    const char byte = 'c';
-    [[maybe_unused]] ssize_t n = ::write(target.wake_fds[1], &byte, 1);
+    DispatchAccepted(shard, fd);
   }
+}
+
+void TransportServer::AcceptFailure(Shard& shard) {
+  // A real accept failure (EMFILE/ENFILE fd exhaustion, aborted connections
+  // under SYN pressure). Count it; after a burst of consecutive failures,
+  // unsubscribe from the listen fd for accept_pause_ms — a level-triggered
+  // poller would otherwise report it ready forever and turn the error into
+  // a busy spin (and a completion-mode poller would rearm accept just as
+  // hot).
+  shard.accept_errors.fetch_add(1, std::memory_order_relaxed);
+  if (options_.accept_error_burst > 0 &&
+      ++shard.consecutive_accept_errors >= options_.accept_error_burst) {
+    shard.poller->Remove(listen_fd_);
+    shard.accept_suspended = true;
+    shard.accept_suspended_until =
+        SystemClock::Global().Now() + Millis(options_.accept_pause_ms);
+    shard.consecutive_accept_errors = 0;
+  }
+}
+
+void TransportServer::DispatchAccepted(Shard& shard, int fd) {
+  shard.consecutive_accept_errors = 0;
+  if (!SetNonBlocking(fd)) {
+    ::close(fd);
+    return;
+  }
+  int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  connections_accepted_.fetch_add(1, std::memory_order_relaxed);
+
+  Shard& target = *shards_[next_shard_ % shards_.size()];
+  ++next_shard_;
+  if (&target == &shard) {
+    shard.poller->AddConnection(fd);
+    shard.connections.emplace(fd, std::make_unique<Connection>(fd));
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(target.inbox_mu);
+    target.inbox.push_back(fd);
+  }
+  const char byte = 'c';
+  [[maybe_unused]] ssize_t n = ::write(target.wake_fds[1], &byte, 1);
 }
 
 void TransportServer::AdoptInbox(Shard& shard, bool draining) {
@@ -580,7 +1465,7 @@ void TransportServer::AdoptInbox(Shard& shard, bool draining) {
       ::close(fd);
       continue;
     }
-    shard.poller->Add(fd);
+    shard.poller->AddConnection(fd);
     shard.connections.emplace(fd, std::make_unique<Connection>(fd));
   }
   if (!draining && !pushes.empty()) DeliverPushes(shard, std::move(pushes));
@@ -594,7 +1479,7 @@ void TransportServer::DeliverPushes(Shard& shard,
   std::vector<int> dead;
   for (auto& [fd, conn] : shard.connections) {
     if (!conn->config_subscriber) continue;
-    for (const std::string& frame : frames) conn->out.append(frame);
+    for (const std::string& frame : frames) conn->out.PushRaw(frame);
     if (!FlushWrites(shard, *conn)) dead.push_back(fd);
   }
   for (int fd : dead) CloseConnection(shard, fd);
@@ -615,7 +1500,10 @@ bool TransportServer::ReadReady(Shard& shard, Connection& conn) {
     if (errno == EINTR) continue;
     return false;
   }
+  return ProcessInput(shard, conn);
+}
 
+bool TransportServer::ProcessInput(Shard& shard, Connection& conn) {
   size_t cursor = 0;
   for (;;) {
     size_t consumed = 0;
@@ -640,25 +1528,44 @@ bool TransportServer::ReadReady(Shard& shard, Connection& conn) {
   return FlushWrites(shard, conn);
 }
 
-bool TransportServer::FlushWrites(Shard& shard, Connection& conn) {
+bool TransportServer::FlushWrites(Shard& shard, Connection& conn,
+                                  bool final_flush) {
+  // Completion mode: hand the queue to the poller; one IORING_OP_SENDMSG
+  // per connection rides the next Wait()'s single io_uring_enter. A final
+  // flush (answer-then-close, e.g. a refused handshake) cannot wait for the
+  // next Wait() — the fd dies before it — so it falls through to the direct
+  // sendmsg path below.
+  if (shard.poller->completion_mode() && !final_flush) {
+    if (conn.has_pending_writes()) shard.poller->StageSend(conn.fd, &conn.out);
+    return true;
+  }
+  if (!conn.has_pending_writes()) {
+    if (!final_flush) shard.poller->Update(conn.fd, /*want_write=*/false);
+    return true;
+  }
+  shard.flush_calls.fetch_add(1, std::memory_order_relaxed);
   while (conn.has_pending_writes()) {
-    const ssize_t n =
-        ::send(conn.fd, conn.out.data() + conn.out_offset,
-               conn.out.size() - conn.out_offset, MSG_NOSIGNAL);
+    struct iovec iov[32];
+    struct msghdr msg = {};
+    msg.msg_iov = iov;
+    msg.msg_iovlen = conn.out.Gather(iov, 32);
+    const ssize_t n = ::sendmsg(conn.fd, &msg, MSG_NOSIGNAL);
     if (n > 0) {
-      conn.out_offset += static_cast<size_t>(n);
+      shard.sendmsg_calls.fetch_add(1, std::memory_order_relaxed);
+      shard.frames_flushed.fetch_add(
+          conn.out.Consume(static_cast<size_t>(n)),
+          std::memory_order_relaxed);
       continue;
     }
     if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
-      shard.poller->Update(conn.fd, /*want_write=*/true);
+      // Best effort on a final flush: the connection closes regardless.
+      if (!final_flush) shard.poller->Update(conn.fd, /*want_write=*/true);
       return true;
     }
     if (n < 0 && errno == EINTR) continue;
     return false;
   }
-  conn.out.clear();
-  conn.out_offset = 0;
-  shard.poller->Update(conn.fd, /*want_write=*/false);
+  if (!final_flush) shard.poller->Update(conn.fd, /*want_write=*/false);
   return true;
 }
 
@@ -670,23 +1577,24 @@ void TransportServer::CloseConnection(Shard& shard, int fd) {
 
 // ---- Request dispatch -------------------------------------------------------
 
-namespace {
-
 /// Appends a response frame for a plain Status outcome.
-void RespondStatus(std::string& out, const Status& s) {
+void TransportServer::RespondStatus(OutQueue& out, const Status& s) {
   std::string body;
   if (!s.ok() && !s.message().empty()) wire::PutBlob(body, s.message());
-  wire::AppendResponse(out, s.code(), body);
+  out.PushFrame(static_cast<uint8_t>(s.code()), body);
 }
 
 /// Appends a kOk response with a lease-token body.
-void RespondToken(std::string& out, LeaseToken token) {
+void TransportServer::RespondToken(OutQueue& out, LeaseToken token) {
   std::string body;
   wire::PutU64(body, token);
-  wire::AppendResponse(out, Code::kOk, body);
+  out.PushFrame(static_cast<uint8_t>(Code::kOk), body);
 }
 
-}  // namespace
+/// Appends a kOk response with a pre-built body.
+void TransportServer::RespondOk(OutQueue& out, std::string_view body) {
+  out.PushFrame(static_cast<uint8_t>(Code::kOk), body);
+}
 
 void TransportServer::CountProtocolError(Shard& shard,
                                          const Connection& conn) {
@@ -710,8 +1618,9 @@ bool TransportServer::HandleHello(Shard& shard, Connection& conn,
                              ".." +
                              std::to_string(wire::kProtocolVersion)));
     // Answer, then drop: FlushWrites runs before the close in ReadReady's
-    // caller only on true returns, so flush here explicitly.
-    FlushWrites(shard, conn);
+    // caller only on true returns, so flush here explicitly (final: the fd
+    // dies before a completion-mode poller would submit a staged send).
+    FlushWrites(shard, conn, /*final_flush=*/true);
     return false;
   }
 
@@ -735,7 +1644,7 @@ bool TransportServer::HandleHello(Shard& shard, Connection& conn,
     std::string resp;
     wire::PutU32(resp, version);
     wire::PutU32(resp, wire::kAnyInstance);
-    wire::AppendResponse(conn.out, Code::kOk, resp);
+    RespondOk(conn.out, resp);
     return true;
   }
   if (instance == nullptr) {
@@ -746,7 +1655,7 @@ bool TransportServer::HandleHello(Shard& shard, Connection& conn,
                   Status(Code::kWrongInstance,
                          "instance " + std::to_string(requested) +
                              " is not hosted by this server"));
-    FlushWrites(shard, conn);
+    FlushWrites(shard, conn, /*final_flush=*/true);
     return false;
   }
   conn.hello_done = true;
@@ -757,7 +1666,7 @@ bool TransportServer::HandleHello(Shard& shard, Connection& conn,
   std::string resp;
   wire::PutU32(resp, version);
   wire::PutU32(resp, conn.bound_id);
-  wire::AppendResponse(conn.out, Code::kOk, resp);
+  RespondOk(conn.out, resp);
   return true;
 }
 
@@ -808,7 +1717,7 @@ bool TransportServer::HandleFrame(Shard& shard, Connection& conn,
 
     case wire::Op::kPing: {
       if (!r.Done()) return malformed();
-      wire::AppendResponse(conn.out, Code::kOk, {});
+      RespondOk(conn.out, {});
       return true;
     }
 
@@ -818,7 +1727,7 @@ bool TransportServer::HandleFrame(Shard& shard, Connection& conn,
       std::string resp;
       wire::PutU32(resp, static_cast<uint32_t>(ids.size()));
       for (InstanceId id : ids) wire::PutU32(resp, id);
-      wire::AppendResponse(conn.out, Code::kOk, resp);
+      RespondOk(conn.out, resp);
       return true;
     }
 
@@ -833,9 +1742,14 @@ bool TransportServer::HandleFrame(Shard& shard, Connection& conn,
         RespondStatus(conn.out, v.status());
         return true;
       }
-      std::string resp;
-      wire::PutValue(resp, *v);
-      wire::AppendResponse(conn.out, Code::kOk, resp);
+      // Zero-copy: the value payload rides the frame as its own iovec piece
+      // (wire layout matches PutValue: blob | charged | version), so large
+      // values are never memcpy'd into a contiguous response buffer.
+      std::string post;
+      wire::PutU32(post, v->charged_bytes);
+      wire::PutU64(post, v->version);
+      conn.out.PushPayloadFrame(static_cast<uint8_t>(Code::kOk), {},
+                                std::move(v->data), std::move(post));
       return true;
     }
 
@@ -886,6 +1800,68 @@ bool TransportServer::HandleFrame(Shard& shard, Connection& conn,
       return true;
     }
 
+    case wire::Op::kMultiSet: {
+      // Bulk ops parse the whole batch before touching the cache: a frame
+      // that fails validation anywhere applies NOTHING and answers a single
+      // kInvalidArgument, so a client never has to wonder how far a
+      // malformed batch got.
+      uint32_t count = 0;
+      if (!r.GetU32(&count)) return malformed();
+      // Each entry is >= 30 wire bytes (ctx 12 | key len 2 | value 16), so a
+      // count the remaining body cannot hold is rejected before allocating.
+      if (static_cast<uint64_t>(count) * 30 > r.remaining()) {
+        return malformed();
+      }
+      struct Entry {
+        OpContext ctx;
+        std::string_view key;
+        CacheValue value;
+      };
+      std::vector<Entry> entries(count);
+      for (auto& e : entries) {
+        if (!r.GetContext(&e.ctx) || !r.GetKey(&e.key) ||
+            !r.GetValue(&e.value)) {
+          return malformed();
+        }
+      }
+      if (!r.Done()) return malformed();
+      std::string resp;
+      wire::PutU32(resp, count);
+      for (auto& e : entries) {
+        wire::PutU8(resp, static_cast<uint8_t>(
+                              instance->Set(e.ctx, e.key, std::move(e.value))
+                                  .code()));
+      }
+      RespondOk(conn.out, resp);
+      return true;
+    }
+
+    case wire::Op::kMultiDelete: {
+      uint32_t count = 0;
+      if (!r.GetU32(&count)) return malformed();
+      // Each entry is >= 14 wire bytes (ctx 12 | key len 2).
+      if (static_cast<uint64_t>(count) * 14 > r.remaining()) {
+        return malformed();
+      }
+      struct Entry {
+        OpContext ctx;
+        std::string_view key;
+      };
+      std::vector<Entry> entries(count);
+      for (auto& e : entries) {
+        if (!r.GetContext(&e.ctx) || !r.GetKey(&e.key)) return malformed();
+      }
+      if (!r.Done()) return malformed();
+      std::string resp;
+      wire::PutU32(resp, count);
+      for (auto& e : entries) {
+        wire::PutU8(resp,
+                    static_cast<uint8_t>(instance->Delete(e.ctx, e.key).code()));
+      }
+      RespondOk(conn.out, resp);
+      return true;
+    }
+
     case wire::Op::kIqGet: {
       OpContext ctx;
       std::string_view key;
@@ -897,11 +1873,24 @@ bool TransportServer::HandleFrame(Shard& shard, Connection& conn,
         RespondStatus(conn.out, res.status());
         return true;
       }
+      if (res->value.has_value()) {
+        // Hit: zero-copy the value payload (head = hit marker, post = the
+        // fields after the payload bytes — charged | version | i_token).
+        std::string head;
+        wire::PutU8(head, 1);
+        std::string post;
+        wire::PutU32(post, res->value->charged_bytes);
+        wire::PutU64(post, res->value->version);
+        wire::PutU64(post, res->i_token);
+        conn.out.PushPayloadFrame(static_cast<uint8_t>(Code::kOk), head,
+                                  std::move(res->value->data),
+                                  std::move(post));
+        return true;
+      }
       std::string resp;
-      wire::PutU8(resp, res->value.has_value() ? 1 : 0);
-      if (res->value.has_value()) wire::PutValue(resp, *res->value);
+      wire::PutU8(resp, 0);
       wire::PutU64(resp, res->i_token);
-      wire::AppendResponse(conn.out, Code::kOk, resp);
+      RespondOk(conn.out, resp);
       return true;
     }
 
@@ -1046,9 +2035,14 @@ bool TransportServer::HandleFrame(Shard& shard, Connection& conn,
         RespondStatus(conn.out, v.status());
         return true;
       }
-      std::string resp;
-      wire::PutValue(resp, *v);
-      wire::AppendResponse(conn.out, Code::kOk, resp);
+      // Zero-copy: the value payload rides the frame as its own iovec piece
+      // (wire layout matches PutValue: blob | charged | version), so large
+      // values are never memcpy'd into a contiguous response buffer.
+      std::string post;
+      wire::PutU32(post, v->charged_bytes);
+      wire::PutU64(post, v->version);
+      conn.out.PushPayloadFrame(static_cast<uint8_t>(Code::kOk), {},
+                                std::move(v->data), std::move(post));
       return true;
     }
 
@@ -1070,7 +2064,7 @@ bool TransportServer::HandleFrame(Shard& shard, Connection& conn,
       if (!r.Done()) return malformed();
       std::string resp;
       wire::PutU64(resp, instance->latest_config_id());
-      wire::AppendResponse(conn.out, Code::kOk, resp);
+      RespondOk(conn.out, resp);
       return true;
     }
 
@@ -1078,7 +2072,7 @@ bool TransportServer::HandleFrame(Shard& shard, Connection& conn,
       uint64_t latest = 0;
       if (!r.GetU64(&latest) || !r.Done()) return malformed();
       instance->ObserveConfigId(latest);
-      wire::AppendResponse(conn.out, Code::kOk, {});
+      RespondOk(conn.out, {});
       return true;
     }
 
@@ -1120,7 +2114,7 @@ bool TransportServer::HandleFrame(Shard& shard, Connection& conn,
       instance->GrantFragmentLease(
           fragment, min_valid,
           instance->clock().Now() + static_cast<Duration>(ttl_us), latest);
-      wire::AppendResponse(conn.out, Code::kOk, {});
+      RespondOk(conn.out, {});
       return true;
     }
 
@@ -1131,7 +2125,7 @@ bool TransportServer::HandleFrame(Shard& shard, Connection& conn,
         return malformed();
       }
       instance->RevokeFragmentLease(fragment, latest);
-      wire::AppendResponse(conn.out, Code::kOk, {});
+      RespondOk(conn.out, {});
       return true;
     }
 
@@ -1157,7 +2151,7 @@ bool TransportServer::HandleControlOp(Connection& conn, wire::Op op,
   ControlPlane::Reply reply = options_.control->HandleControl(op, body);
   if (reply.subscribe) conn.config_subscriber = true;
   if (reply.status.ok()) {
-    wire::AppendResponse(conn.out, Code::kOk, reply.body);
+    RespondOk(conn.out, reply.body);
   } else {
     RespondStatus(conn.out, reply.status);
   }
@@ -1172,6 +2166,18 @@ void TransportServer::HandleStats(Connection& conn) {
   kv.emplace_back("server.protocol_errors", server.protocol_errors);
   kv.emplace_back("server.connections_reaped", server.connections_reaped);
   kv.emplace_back("server.accept_errors", server.accept_errors);
+  // Data-plane flush efficiency: sendmsg_calls counts actual syscalls (or
+  // uring SENDMSG completions), frames_per_flush shows how much coalescing
+  // the gathered writes achieve, uring_sqe_batched how many SQEs rode a
+  // shared io_uring_enter.
+  kv.emplace_back("transport.sendmsg_calls", server.sendmsg_calls);
+  kv.emplace_back("transport.flush_calls", server.flush_calls);
+  kv.emplace_back("transport.frames_flushed", server.frames_flushed);
+  kv.emplace_back("transport.frames_per_flush",
+                  server.flush_calls > 0
+                      ? server.frames_flushed / server.flush_calls
+                      : 0);
+  kv.emplace_back("transport.uring_sqe_batched", server.uring_sqe_batched);
   if (conn.instance != nullptr) {
     const auto it = server.per_instance.find(conn.bound_id);
     if (it != server.per_instance.end()) {
@@ -1200,7 +2206,7 @@ void TransportServer::HandleStats(Connection& conn) {
     wire::PutBlob(resp, name);
     wire::PutU64(resp, value);
   }
-  wire::AppendResponse(conn.out, Code::kOk, resp);
+  RespondOk(conn.out, resp);
 }
 
 }  // namespace gemini

@@ -79,6 +79,13 @@ class ControlPlane {
 
 class TransportServer {
  public:
+  /// Event-loop I/O backend. kUring is a completion-mode io_uring loop
+  /// (multishot accept, buffered multishot recv, one io_uring_enter
+  /// submitting a whole pass's staged response writes); kEpoll/kPoll are the
+  /// readiness loops. kAuto consults the GEMINI_IO_BACKEND environment
+  /// variable, then picks the best supported backend (uring > epoll > poll).
+  enum class IoBackend { kAuto, kUring, kEpoll, kPoll };
+
   struct Options {
     /// Address to bind. Loopback by default: the protocol is unauthenticated
     /// (trusted-cluster), so exposing it wider is an explicit choice.
@@ -90,7 +97,14 @@ class TransportServer {
     /// the single-threaded behavior of earlier versions.
     uint32_t num_loops = 0;
     /// Force the portable poll(2) loop even where epoll is available.
+    /// Legacy switch; equivalent to io_backend = IoBackend::kPoll, which it
+    /// overrides when set.
     bool use_poll_fallback = false;
+    /// Which event-loop backend the shards run. An *explicitly* requested
+    /// kUring fails Start() when the kernel lacks io_uring support; kAuto
+    /// (optionally steered by GEMINI_IO_BACKEND={uring,epoll,poll}) falls
+    /// back with a logged warning instead.
+    IoBackend io_backend = IoBackend::kAuto;
     /// Target file of the kSnapshot op for the single-instance constructor;
     /// the registry constructor takes per-instance paths via
     /// InstanceOptions instead. Empty rejects snapshot triggers.
@@ -171,6 +185,15 @@ class TransportServer {
     uint64_t connections_reaped = 0;
     /// accept(2) failures other than EAGAIN/EINTR.
     uint64_t accept_errors = 0;
+    /// Response-path batching efficiency: every flush gathers a connection's
+    /// queued frames into one sendmsg/IORING_OP_SENDMSG iovec chain, so
+    /// frames_flushed / flush_calls is the average pipeline depth the
+    /// write path actually exploited.
+    uint64_t sendmsg_calls = 0;
+    uint64_t flush_calls = 0;
+    uint64_t frames_flushed = 0;
+    /// SQEs submitted in io_uring_enter batches (0 on readiness backends).
+    uint64_t uring_sqe_batched = 0;
     struct PerInstance {
       uint64_t frames_handled = 0;
       uint64_t protocol_errors = 0;
@@ -188,25 +211,43 @@ class TransportServer {
   /// concurrently with Start()/Stop().
   [[nodiscard]] Stats stats() const;
 
+  /// Whether this kernel supports the io_uring features the kUring backend
+  /// needs (always false off Linux). Cheap enough to call per Start().
+  static bool IoUringSupported();
+
+  /// Name of the backend the shards actually run ("uring"/"epoll"/"poll");
+  /// valid after Start() returned Ok.
+  [[nodiscard]] const char* io_backend_name() const;
+
  private:
   struct Connection;
   struct Shard;
+  class OutQueue;
   class Poller;
   class PollPoller;
 #if defined(__linux__)
   class EpollPoller;
+  class IoUringPoller;
 #endif
 
   void Loop(Shard& shard);
   /// Shard 0 only: accepts and assigns connections round-robin.
   void AcceptReady(Shard& shard);
+  /// Configures one freshly accepted socket and assigns it to a shard.
+  void DispatchAccepted(Shard& shard, int fd);
+  /// Accept-error accounting + burst guard (shared by both accept paths).
+  void AcceptFailure(Shard& shard);
   /// Moves fds handed over by the acceptor onto this shard's poller.
   void AdoptInbox(Shard& shard, bool draining);
   /// Reads, decodes, and handles frames; returns false when the connection
   /// must be closed.
   bool ReadReady(Shard& shard, Connection& conn);
-  /// Flushes the write buffer; returns false on a dead socket.
-  bool FlushWrites(Shard& shard, Connection& conn);
+  /// Decodes and handles every complete frame in conn.in, then flushes.
+  bool ProcessInput(Shard& shard, Connection& conn);
+  /// Flushes the write queue; returns false on a dead socket. `final_flush`
+  /// forces a direct synchronous write even under a completion-mode poller
+  /// (answer-then-close paths where the fd dies before the next Wait()).
+  bool FlushWrites(Shard& shard, Connection& conn, bool final_flush = false);
   void CloseConnection(Shard& shard, int fd);
   /// Dispatches one request frame, appending the response frame to the
   /// connection's write buffer. Returns false to drop the connection.
@@ -219,6 +260,10 @@ class TransportServer {
   bool HandleControlOp(Connection& conn, wire::Op op, std::string_view body);
   /// Appends the kStats response for `conn`'s server + bound instance.
   void HandleStats(Connection& conn);
+  /// Response-builder helpers (members because OutQueue is private).
+  static void RespondStatus(OutQueue& out, const Status& s);
+  static void RespondToken(OutQueue& out, LeaseToken token);
+  static void RespondOk(OutQueue& out, std::string_view body);
   /// Delivers queued config-push frames to this shard's subscribers.
   void DeliverPushes(Shard& shard, std::vector<std::string> frames);
 
@@ -229,6 +274,8 @@ class TransportServer {
   uint16_t port_ = 0;
   std::atomic<bool> running_{false};
   std::atomic<bool> stop_requested_{false};
+  /// Backend the current run's shards use (resolved by Start()).
+  IoBackend active_backend_ = IoBackend::kPoll;
 
   /// Ascending instance ids; position = registry slot (per-shard counter
   /// arrays are indexed by it).

@@ -261,6 +261,105 @@ Status TcpCacheBackend::Set(const OpContext& ctx, std::string_view key,
   return Transact(wire::Op::kSet, body, &resp);
 }
 
+namespace {
+
+/// Decodes a bulk response (`u32 count | count * u8 code`) into the `out`
+/// slots named by `slot_of`. Any shape mismatch fails every shipped slot
+/// kInternal — a server that answered kOk but miscounted is a protocol bug,
+/// not a partial success.
+void FillBulkSlots(std::string_view resp, const std::vector<size_t>& slot_of,
+                   std::vector<Status>& out) {
+  wire::Reader r(resp);
+  uint32_t got = 0;
+  const bool shape_ok =
+      r.GetU32(&got) && got == slot_of.size() && r.remaining() == got;
+  if (!shape_ok) {
+    for (size_t i : slot_of) {
+      out[i] = Status(Code::kInternal, "malformed bulk response");
+    }
+    return;
+  }
+  for (size_t i : slot_of) {
+    uint8_t code = 0;
+    r.GetU8(&code);
+    const Code c = wire::CodeFromWire(code);
+    out[i] = c == Code::kOk ? Status::Ok() : Status(c, "bulk slot failed");
+  }
+}
+
+}  // namespace
+
+std::vector<Status> TcpCacheBackend::MultiSet(std::vector<SetRequest> reqs) {
+  std::vector<Status> out(reqs.size(), Status::Ok());
+  std::string body;
+  std::vector<size_t> slot_of;  // out index of each shipped entry
+  std::string entries;
+  for (size_t i = 0; i < reqs.size(); ++i) {
+    if (Status s = CheckKey(reqs[i].key); !s.ok()) {
+      // Oversized keys never leave the client; their slots fail locally and
+      // the rest of the batch still ships (mirrors MultiGet).
+      out[i] = std::move(s);
+      continue;
+    }
+    slot_of.push_back(i);
+    wire::PutContext(entries, reqs[i].ctx);
+    wire::PutKey(entries, reqs[i].key);
+    wire::PutValue(entries, reqs[i].value);
+  }
+  if (slot_of.empty()) return out;
+  wire::PutU32(body, static_cast<uint32_t>(slot_of.size()));
+  body += entries;
+  if (1 + body.size() > wire::kMaxFrameLen) {
+    for (size_t i : slot_of) {
+      out[i] = Status(Code::kInvalidArgument, "batch exceeds frame limit");
+    }
+    return out;
+  }
+  // ONE frame, one response. The batch is non-idempotent (a replay would
+  // re-apply N writes), so Transact's retry loop — gated on IsIdempotentOp —
+  // never re-sends it: transport loss fails every shipped slot fast.
+  std::string resp;
+  if (Status s = Transact(wire::Op::kMultiSet, body, &resp); !s.ok()) {
+    for (size_t i : slot_of) out[i] = s;
+    return out;
+  }
+  FillBulkSlots(resp, slot_of, out);
+  return out;
+}
+
+std::vector<Status> TcpCacheBackend::MultiDelete(
+    const std::vector<DeleteRequest>& reqs) {
+  std::vector<Status> out(reqs.size(), Status::Ok());
+  std::string body;
+  std::vector<size_t> slot_of;
+  std::string entries;
+  for (size_t i = 0; i < reqs.size(); ++i) {
+    if (Status s = CheckKey(reqs[i].key); !s.ok()) {
+      out[i] = std::move(s);
+      continue;
+    }
+    slot_of.push_back(i);
+    wire::PutContext(entries, reqs[i].ctx);
+    wire::PutKey(entries, reqs[i].key);
+  }
+  if (slot_of.empty()) return out;
+  wire::PutU32(body, static_cast<uint32_t>(slot_of.size()));
+  body += entries;
+  if (1 + body.size() > wire::kMaxFrameLen) {
+    for (size_t i : slot_of) {
+      out[i] = Status(Code::kInvalidArgument, "batch exceeds frame limit");
+    }
+    return out;
+  }
+  std::string resp;
+  if (Status s = Transact(wire::Op::kMultiDelete, body, &resp); !s.ok()) {
+    for (size_t i : slot_of) out[i] = s;
+    return out;
+  }
+  FillBulkSlots(resp, slot_of, out);
+  return out;
+}
+
 Status TcpCacheBackend::Cas(const OpContext& ctx, std::string_view key,
                             Version expected, CacheValue value) {
   if (Status s = CheckKey(key); !s.ok()) return s;

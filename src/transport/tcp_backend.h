@@ -97,6 +97,14 @@ class TcpCacheBackend : public CacheBackend {
   Status Delete(const OpContext& ctx, std::string_view key) override;
   Status Set(const OpContext& ctx, std::string_view key,
              CacheValue value) override;
+  /// Ships the whole batch as ONE kMultiSet frame (one round trip total,
+  /// not one per window slot). Unlike MultiGet there is no retry loop:
+  /// bulk writes are non-idempotent, so on transport loss every shipped
+  /// slot fails kUnavailable and the caller decides what to re-run.
+  std::vector<Status> MultiSet(std::vector<SetRequest> reqs) override;
+  /// One kMultiDelete frame; same fail-fast contract as MultiSet.
+  std::vector<Status> MultiDelete(
+      const std::vector<DeleteRequest>& reqs) override;
   Status Cas(const OpContext& ctx, std::string_view key, Version expected,
              CacheValue value) override;
   Status WriteBackInstall(const OpContext& ctx, std::string_view key,

@@ -8,6 +8,7 @@
 #include <netinet/tcp.h>
 #include <poll.h>
 #include <sys/socket.h>
+#include <sys/uio.h>
 #include <unistd.h>
 
 #include <algorithm>
@@ -46,6 +47,47 @@ Status SendAllFd(int fd, std::string_view bytes) {
     }
     if (n < 0 && errno == EINTR) continue;
     return SocketError("send");
+  }
+  return Status::Ok();
+}
+
+/// Sends every queued frame in gathered bursts: an iovec per frame feeds
+/// sendmsg(2), so write coalescing costs no memcpy into a contiguous
+/// buffer. Partial writes advance an offset into the chain and resend the
+/// remainder.
+Status SendFramesFd(int fd, const std::deque<std::string>& frames) {
+  constexpr size_t kMaxIov = 64;
+  size_t idx = 0;     // first frame not yet fully sent
+  size_t offset = 0;  // bytes of frames[idx] already sent
+  while (idx < frames.size()) {
+    struct iovec iov[kMaxIov];
+    size_t n = 0;
+    for (size_t i = idx; i < frames.size() && n < kMaxIov; ++i) {
+      const std::string& f = frames[i];
+      const size_t skip = i == idx ? offset : 0;
+      iov[n].iov_base = const_cast<char*>(f.data()) + skip;
+      iov[n].iov_len = f.size() - skip;
+      ++n;
+    }
+    struct msghdr msg = {};
+    msg.msg_iov = iov;
+    msg.msg_iovlen = n;
+    const ssize_t sent = ::sendmsg(fd, &msg, MSG_NOSIGNAL);
+    if (sent < 0) {
+      if (errno == EINTR) continue;
+      return SocketError("sendmsg");
+    }
+    size_t remaining = static_cast<size_t>(sent);
+    while (idx < frames.size()) {
+      const size_t left = frames[idx].size() - offset;
+      if (remaining < left) {
+        offset += remaining;
+        break;
+      }
+      remaining -= left;
+      offset = 0;
+      ++idx;
+    }
   }
   return Status::Ok();
 }
@@ -362,7 +404,9 @@ void TcpConnection::SubmitAsync(wire::Op op, std::string_view body,
     done(Status(Code::kUnavailable, "connection dropped"), {});
     return;
   }
-  wire::AppendRequest(send_queue_, op, body);
+  std::string frame;
+  wire::AppendRequest(frame, op, body);
+  send_queue_.push_back(std::move(frame));
   inflight_.push_back(std::move(done));
   writer_cv_.notify_one();
   reader_cv_.notify_one();
@@ -387,13 +431,14 @@ void TcpConnection::WriterLoop() {
     });
     if (shutdown_) return;
     const std::shared_ptr<Socket> sock = sock_;
-    // Write coalescing: take everything queued since the last wakeup and
-    // push it through one send(2) — under load, many small frames ride one
-    // syscall (and one TCP segment, with TCP_NODELAY).
-    std::string out;
+    // Write coalescing, zero-copy: take every frame queued since the last
+    // wakeup and push the whole set through one gathered sendmsg(2) — under
+    // load, many small frames ride one syscall (and one TCP segment, with
+    // TCP_NODELAY) without ever being memcpy'd into a contiguous buffer.
+    std::deque<std::string> out;
     out.swap(send_queue_);
     lock.unlock();
-    const Status s = SendAllFd(sock->fd, out);
+    const Status s = SendFramesFd(sock->fd, out);
     lock.lock();
     if (!s.ok() && sock_ == sock) {
       auto victims = TearLocked();

@@ -255,10 +255,11 @@ class TcpConnection {
   /// lasts until.
   int consecutive_dial_failures_ = 0;
   Timestamp breaker_open_until_ = 0;
-  /// Encoded request frames accepted but not yet handed to send(2). The
-  /// writer swaps the whole string out, so every frame pending at wakeup
-  /// leaves in one syscall (write coalescing).
-  std::string send_queue_;
+  /// Encoded request frames accepted but not yet handed to the socket, one
+  /// string per frame. The writer swaps the whole deque out and sends it as
+  /// an iovec chain through one sendmsg(2), so every frame pending at wakeup
+  /// leaves in one syscall (write coalescing) with no coalescing memcpy.
+  std::deque<std::string> send_queue_;
   /// Completions of submitted requests, oldest first — the FIFO the reader
   /// matches response frames against.
   std::deque<Completion> inflight_;

@@ -15,6 +15,8 @@ bool IsKnownOp(uint8_t op) {
     case Op::kDelete:
     case Op::kCas:
     case Op::kAppend:
+    case Op::kMultiSet:
+    case Op::kMultiDelete:
     case Op::kIqGet:
     case Op::kIqSet:
     case Op::kQareg:

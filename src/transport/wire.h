@@ -76,6 +76,21 @@ enum class Op : uint8_t {
   kCas = 0x13,     // ctx | key | u64 expected | value -> empty
   kAppend = 0x14,  // ctx | key | blob       -> empty
 
+  // Pipelined bulk writes: one frame carries N independent single-key ops,
+  // executed sequentially under the §10.6 FIFO contract, answered by ONE
+  // kOk frame carrying a per-key status slot for each op:
+  //   u32 count | count * u8 code
+  // The frame-level tag reports only whether the batch parsed and ran; the
+  // per-key outcome (kOk/kNotFound/kStaleConfig/...) lives in the slots.
+  // Each entry carries its own ctx because a batch may span fragments,
+  // exactly like MultiGet. Both ops are non-idempotent (a replayed batch
+  // re-applies N writes), so clients fail the whole batch fast with
+  // kUnavailable on transport loss — never retry, never split.
+  kMultiSet = 0x15,     // u32 count | count * (ctx | key | value)
+                        //                       -> u32 count | count * u8 code
+  kMultiDelete = 0x16,  // u32 count | count * (ctx | key)
+                        //                       -> u32 count | count * u8 code
+
   // IQ lease ops (Section 2.3) and recovery primitives (Algorithms 1-3).
   kIqGet = 0x20,    // ctx | key                    -> u8 hit | [value] | u64 token
   kIqSet = 0x21,    // ctx | key | u64 token | value -> empty
@@ -181,7 +196,10 @@ bool IsKnownOp(uint8_t op);
 /// advanced would be indistinguishable from a stale straggler.
 /// Everything that touches data-plane leases, versions, or dirty lists stays
 /// fail-fast — a duplicated kIqSet/kDar/kAppend could double-apply or
-/// resurrect a lease the protocol already voided.
+/// resurrect a lease the protocol already voided. The bulk write ops
+/// (kMultiSet/kMultiDelete) inherit the strictest member of their batch:
+/// a replayed batch re-executes N writes, any one of which can resurrect a
+/// concurrently deleted value, so the whole frame fails fast.
 bool IsIdempotentOp(Op op);
 
 // ---- Primitive writers (append to `out`) ----------------------------------

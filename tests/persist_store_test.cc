@@ -119,12 +119,13 @@ TEST_F(PersistentStoreTest, EmptyDirBootsEmptyAndCheckpointed) {
   EXPECT_EQ(p.instance->stats().entry_count, 0u);
   EXPECT_EQ(p.store->stats().restored_entries, 0u);
   EXPECT_TRUE(p.store->error().ok());
-  // Open leaves a checkpoint + a live segment behind.
+  // Open leaves a checkpoint + a live segment + the preallocated (empty)
+  // next segment behind.
   DirListing listing;
   CheckpointManager manager(dir);
   ASSERT_TRUE(manager.List(listing).ok());
   EXPECT_EQ(listing.checkpoint_seqs.size(), 1u);
-  EXPECT_EQ(listing.wal_seqs.size(), 1u);
+  EXPECT_EQ(listing.wal_seqs.size(), 2u);
 }
 
 TEST_F(PersistentStoreTest, OpenIsOneShot) {

@@ -354,6 +354,36 @@ TEST_F(WalTest, RotateAdvancesSegmentsAndNamesParse) {
   EXPECT_TRUE(listing.checkpoint_seqs.empty());
 }
 
+TEST_F(WalTest, PreallocateCreatesEmptyNextSegmentWithReservedBlocks) {
+  const std::string dir = TempDir("prealloc");
+  Wal wal;
+  Wal::Options options;
+  options.preallocate_bytes = 1 << 20;
+  ASSERT_TRUE(wal.Open(dir, 0, options).ok());
+
+  // The next segment exists, is zero-length (KEEP_SIZE), and scans as an
+  // empty segment — the crash-after-rotation shape replay accepts.
+  const std::string next = Wal::SegmentPath(dir, 1);
+  struct stat st {};
+  ASSERT_EQ(::stat(next.c_str(), &st), 0);
+  EXPECT_EQ(st.st_size, 0);
+  WalScanResult scan = Wal::ScanFile(next);
+  EXPECT_TRUE(scan.error.ok());
+  EXPECT_FALSE(scan.torn_tail);
+  EXPECT_TRUE(scan.records.empty());
+
+  // Rotation lands on the reserved file, appends normally, and reserves the
+  // one after — the preallocation keeps running ahead of the writer.
+  ASSERT_TRUE(wal.Append(FullUpsert(), true).ok());
+  ASSERT_TRUE(wal.Rotate().ok());
+  EXPECT_EQ(wal.seq(), 1u);
+  ASSERT_TRUE(wal.Append(FullUpsert(), true).ok());
+  wal.Close();
+  ASSERT_EQ(::stat(Wal::SegmentPath(dir, 2).c_str(), &st), 0);
+  EXPECT_EQ(st.st_size, 0);
+  EXPECT_EQ(Wal::ScanFile(Wal::SegmentPath(dir, 1)).records.size(), 1u);
+}
+
 TEST_F(WalTest, GarbageCollectDropsCoveredFilesOnly) {
   const std::string dir = TempDir("gc");
   Wal wal;

@@ -111,6 +111,7 @@ bool ReadFrame(int fd, uint8_t* tag, std::string* body) {
         break;
     }
     const ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
+    if (n < 0 && errno == EINTR) continue;  // in-process io_uring kicks
     if (n <= 0) return false;
     buf.append(chunk, static_cast<size_t>(n));
   }
@@ -371,6 +372,88 @@ TEST_F(FaultProxyTest, NonIdempotentOpsFailFastEvenWithRetryEnabled) {
   ASSERT_TRUE(WaitFor([&] { return proxy_->stats().cuts >= 4; }));
   EXPECT_EQ(proxy_->stats().cuts, 4u);  // 3 Get attempts + the Set
   EXPECT_EQ(proxy_->stats().connections_accepted, 4u);
+}
+
+TEST_F(FaultProxyTest, MidBulkRequestCutFailsEverySlotWithNothingApplied) {
+  // A kMultiSet request frame severed mid-flight: the server never sees a
+  // complete frame, so it applies NOTHING, and the client fails every slot
+  // kUnavailable. Bulk writes are non-idempotent (PROTOCOL.md §11) and never
+  // retried, so the batch costs exactly one connection and one cut.
+  FaultProxy::Options popts;
+  popts.seed = 21;
+  popts.client_to_server.skip_frames = 1;  // HELLO passes untouched
+  popts.client_to_server.cut_prob = 1.0;
+  Start(popts);
+
+  TcpCacheBackend::Options copts;
+  copts.retry.max_attempts = 3;  // enabled — must not apply to bulk writes
+  copts.retry.initial_backoff = Millis(1);
+  copts.retry.max_backoff = Millis(5);
+  auto backend = Backend(copts);
+  ASSERT_TRUE(backend->Connect().ok());
+
+  std::vector<SetRequest> reqs;
+  for (int i = 0; i < 8; ++i) {
+    reqs.push_back({kInternalCtx, "bulk" + std::to_string(i),
+                    CacheValue::OfData("v" + std::to_string(i))});
+  }
+  auto out = backend->MultiSet(std::move(reqs));
+  ASSERT_EQ(out.size(), 8u);
+  for (size_t i = 0; i < out.size(); ++i) {
+    EXPECT_EQ(out[i].code(), Code::kUnavailable) << "slot " << i;
+  }
+  // Zero partial application: the cut frame was discarded whole.
+  for (int i = 0; i < 8; ++i) {
+    EXPECT_FALSE(instance_->ContainsRaw("bulk" + std::to_string(i)));
+  }
+  EXPECT_TRUE(WaitFor([&] { return proxy_->stats().cuts >= 1; }));
+  EXPECT_EQ(proxy_->stats().cuts, 1u);
+  EXPECT_EQ(proxy_->stats().connections_accepted, 1u);
+}
+
+TEST_F(FaultProxyTest, MidBulkResponseCutFailsEverySlotWithoutRetry) {
+  // The batch reaches the server — the deletes apply — but the single bulk
+  // response dies mid-frame. Every slot reports kUnavailable (never a mix
+  // of ok and failed statuses), and with the writes possibly applied the
+  // client must NOT retry: a fail-fast kUnavailable on all N slots is the
+  // whole §10.3 contract.
+  FaultProxy::Options popts;
+  popts.seed = 23;
+  popts.server_to_client.skip_frames = 1;  // HELLO response passes
+  popts.server_to_client.cut_prob = 1.0;
+  Start(popts);
+
+  for (int i = 0; i < 6; ++i) {
+    ASSERT_TRUE(instance_
+                    ->Set(kInternalCtx, "drop" + std::to_string(i),
+                          CacheValue::OfData("x"))
+                    .ok());
+  }
+
+  TcpCacheBackend::Options copts;
+  copts.retry.max_attempts = 3;
+  copts.retry.initial_backoff = Millis(1);
+  copts.retry.max_backoff = Millis(5);
+  auto backend = Backend(copts);
+  ASSERT_TRUE(backend->Connect().ok());
+
+  std::vector<DeleteRequest> reqs;
+  for (int i = 0; i < 6; ++i) {
+    reqs.push_back({kInternalCtx, "drop" + std::to_string(i)});
+  }
+  auto out = backend->MultiDelete(std::move(reqs));
+  ASSERT_EQ(out.size(), 6u);
+  for (size_t i = 0; i < out.size(); ++i) {
+    EXPECT_EQ(out[i].code(), Code::kUnavailable) << "slot " << i;
+  }
+  // The server-side state DID change — which is exactly why the client must
+  // fail fast instead of re-applying the batch on a fresh connection.
+  for (int i = 0; i < 6; ++i) {
+    EXPECT_FALSE(instance_->ContainsRaw("drop" + std::to_string(i)));
+  }
+  EXPECT_TRUE(WaitFor([&] { return proxy_->stats().cuts >= 1; }));
+  EXPECT_EQ(proxy_->stats().cuts, 1u);
+  EXPECT_EQ(proxy_->stats().connections_accepted, 1u);
 }
 
 // ---- SO_RCVTIMEO mid-frame (the reader's slow-peer path) --------------------
@@ -661,10 +744,15 @@ TEST(ServerHardening, SlowlorisConnectionsAreReapedEstablishedOnesAreNot) {
   ASSERT_TRUE(SendAll(fd, std::string("\x10\x00\x00", 3)));
 
   // The server reaps it (EOF on our side) well inside a few timeouts...
+  // EINTR is retried: an in-process io_uring backend's deferred ring
+  // teardown can kick unrelated threads out of blocking syscalls.
   const Timestamp start = Mono();
   char byte;
-  const ssize_t n = ::recv(fd, &byte, 1, 0);  // 5 s SO_RCVTIMEO cap
-  EXPECT_EQ(n, 0) << "expected EOF, got n=" << n;
+  ssize_t n;
+  do {
+    n = ::recv(fd, &byte, 1, 0);  // 5 s SO_RCVTIMEO cap
+  } while (n < 0 && errno == EINTR);
+  EXPECT_EQ(n, 0) << "expected EOF, got n=" << n << " errno=" << errno;
   EXPECT_LT(Mono() - start, Seconds(3));
   ::close(fd);
   EXPECT_TRUE(WaitFor([&] { return server.stats().connections_reaped >= 1; }));

@@ -201,6 +201,8 @@ TEST(WireOpTest, KnownAndUnknownOpcodes) {
   EXPECT_TRUE(IsKnownOp(static_cast<uint8_t>(Op::kLeaseGrant)));
   EXPECT_TRUE(IsKnownOp(static_cast<uint8_t>(Op::kCoordRegister)));
   EXPECT_TRUE(IsKnownOp(static_cast<uint8_t>(Op::kCoordDirtyQuery)));
+  EXPECT_TRUE(IsKnownOp(static_cast<uint8_t>(Op::kMultiSet)));
+  EXPECT_TRUE(IsKnownOp(static_cast<uint8_t>(Op::kMultiDelete)));
   EXPECT_FALSE(IsKnownOp(0x00));
   EXPECT_FALSE(IsKnownOp(0xFF));
   EXPECT_FALSE(IsKnownOp(0x3F));
@@ -222,6 +224,10 @@ TEST(WireOpTest, RetrySafetyClassification) {
   EXPECT_FALSE(IsIdempotentOp(Op::kCoordReport));
   EXPECT_FALSE(IsIdempotentOp(Op::kSet));
   EXPECT_FALSE(IsIdempotentOp(Op::kIqSet));
+  // Bulk writes are edge-triggered N times over: a retry could re-apply a
+  // whole batch. They fail fast instead (docs/PROTOCOL.md §11).
+  EXPECT_FALSE(IsIdempotentOp(Op::kMultiSet));
+  EXPECT_FALSE(IsIdempotentOp(Op::kMultiDelete));
 }
 
 TEST(WireOpTest, PushTagsAreDisjointFromStatusCodes) {
@@ -244,6 +250,101 @@ TEST(WireOpTest, StatusCodeMapping) {
 
 // Encode/decode every opcode's request-body shape, as the normative grammar
 // test: if this breaks, docs/PROTOCOL.md §10 must be revised too.
+// ---- Bulk op bodies (PROTOCOL.md §10.3: kMultiSet / kMultiDelete) ----------
+
+TEST(WireBulkTest, MultiSetBodyRoundTrips) {
+  const OpContext ctx{42, 7};
+  std::string body;
+  PutU32(body, 3);
+  for (size_t i = 0; i < 3; ++i) {
+    PutContext(body, ctx);
+    PutKey(body, "key" + std::to_string(i));
+    CacheValue v = CacheValue::OfData("value" + std::to_string(i), 10 + i);
+    v.charged_bytes = static_cast<uint32_t>(100 + i);
+    PutValue(body, v);
+  }
+
+  // Decode exactly as the server parses the frame: count first, then
+  // count x (ctx | key | value), with nothing left over.
+  Reader r(body);
+  uint32_t count = 0;
+  ASSERT_TRUE(r.GetU32(&count));
+  ASSERT_EQ(count, 3u);
+  for (size_t i = 0; i < 3; ++i) {
+    OpContext got_ctx;
+    std::string_view key;
+    CacheValue v;
+    ASSERT_TRUE(r.GetContext(&got_ctx));
+    ASSERT_TRUE(r.GetKey(&key));
+    ASSERT_TRUE(r.GetValue(&v));
+    EXPECT_EQ(got_ctx.config_id, ctx.config_id);
+    EXPECT_EQ(got_ctx.fragment, ctx.fragment);
+    EXPECT_EQ(key, "key" + std::to_string(i));
+    EXPECT_EQ(v.data, "value" + std::to_string(i));
+    EXPECT_EQ(v.charged_bytes, 100 + i);
+    EXPECT_EQ(v.version, 10 + i);
+  }
+  EXPECT_TRUE(r.Done());
+}
+
+TEST(WireBulkTest, MultiDeleteBodyRoundTrips) {
+  const OpContext ctx{9, 1};
+  std::string body;
+  PutU32(body, 2);
+  for (const char* key : {"gone-1", "gone-2"}) {
+    PutContext(body, ctx);
+    PutKey(body, key);
+  }
+  Reader r(body);
+  uint32_t count = 0;
+  ASSERT_TRUE(r.GetU32(&count));
+  ASSERT_EQ(count, 2u);
+  for (const char* want : {"gone-1", "gone-2"}) {
+    OpContext got_ctx;
+    std::string_view key;
+    ASSERT_TRUE(r.GetContext(&got_ctx));
+    ASSERT_TRUE(r.GetKey(&key));
+    EXPECT_EQ(key, want);
+  }
+  EXPECT_TRUE(r.Done());
+}
+
+TEST(WireBulkTest, TruncatedBulkEntriesFailParsingWithoutOverreading) {
+  const OpContext ctx{1, 0};
+  std::string body;
+  PutU32(body, 2);
+  PutContext(body, ctx);
+  PutKey(body, "only-one");
+  PutValue(body, CacheValue::OfData("v", 1));
+  // Count claims two entries but only one is present: the second entry's
+  // parse must fail cleanly rather than read past the buffer.
+  Reader r(body);
+  uint32_t count = 0;
+  ASSERT_TRUE(r.GetU32(&count));
+  ASSERT_EQ(count, 2u);
+  OpContext got_ctx;
+  std::string_view key;
+  CacheValue v;
+  ASSERT_TRUE(r.GetContext(&got_ctx));
+  ASSERT_TRUE(r.GetKey(&key));
+  ASSERT_TRUE(r.GetValue(&v));
+  EXPECT_FALSE(r.GetContext(&got_ctx));
+  EXPECT_TRUE(r.Done());
+}
+
+TEST(WireBulkTest, OverclaimedCountIsCheaplyDetectable) {
+  // The server's bounds guard: count entries need >= count * min-entry-size
+  // wire bytes (30 for a set entry, 14 for a delete entry), so a hostile
+  // count is rejected before any allocation sized by it.
+  std::string body;
+  PutU32(body, 0x40000000u);  // ~1 billion entries in a tiny frame
+  Reader r(body);
+  uint32_t count = 0;
+  ASSERT_TRUE(r.GetU32(&count));
+  EXPECT_GT(static_cast<uint64_t>(count) * 30, r.remaining());
+  EXPECT_GT(static_cast<uint64_t>(count) * 14, r.remaining());
+}
+
 TEST(WireGrammarTest, EveryOpcodeBodyRoundTrips) {
   const OpContext ctx{7, 2};
   const CacheValue value = CacheValue::OfData("v", 3);
@@ -289,6 +390,25 @@ TEST(WireGrammarTest, EveryOpcodeBodyRoundTrips) {
     PutKey(b, "key");
     PutBlob(b, "record");
     cases.push_back({Op::kAppend, b});
+  }
+  {
+    std::string b;
+    PutU32(b, 2);  // count
+    for (const char* key : {"bulk-a", "bulk-b"}) {
+      PutContext(b, ctx);
+      PutKey(b, key);
+      PutValue(b, value);
+    }
+    cases.push_back({Op::kMultiSet, b});
+  }
+  {
+    std::string b;
+    PutU32(b, 2);  // count
+    for (const char* key : {"bulk-a", "bulk-b"}) {
+      PutContext(b, ctx);
+      PutKey(b, key);
+    }
+    cases.push_back({Op::kMultiDelete, b});
   }
   for (Op op : {Op::kDar, Op::kIDelete}) {
     std::string b;

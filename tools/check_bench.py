@@ -43,7 +43,8 @@ import sys
 # Parameters that identify a point on the scale axis, in preference order.
 SCALE_PARAM_CANDIDATES = ("window", "loops", "connections", "threads")
 # Parameters that describe the machine or run size, never the scale axis.
-IGNORED_PARAMS = ("cpus", "ops", "value_bytes", "keys", "stripes")
+IGNORED_PARAMS = ("cpus", "ops", "value_bytes", "keys", "stripes", "backend",
+                  "kernel")
 
 
 def load(path):

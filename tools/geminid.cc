@@ -101,7 +101,10 @@ void Usage(const char* argv0) {
          "                         not)\n"
       << "  --heartbeat-interval-ms N  coordinator heartbeat cadence\n"
          "                         (default 100)\n"
-      << "  --poll                 use the portable poll(2) loop, not epoll\n"
+      << "  --io-backend NAME      event backend: auto (default), uring,\n"
+         "                         epoll, or poll; auto picks io_uring when\n"
+         "                         the kernel supports it, else epoll\n"
+      << "  --poll                 legacy alias for --io-backend poll\n"
       << "  --verbose              info-level logging\n";
 }
 
@@ -173,6 +176,8 @@ int main(int argc, char** argv) {
   int64_t drain_timeout_ms = -1;  // -1 = server default
   int64_t idle_timeout_ms = -1;   // -1 = server default
   bool use_poll = false;
+  gemini::TransportServer::IoBackend io_backend =
+      gemini::TransportServer::IoBackend::kAuto;
   std::string data_dir;
   std::string coordinator_host;
   uint16_t coordinator_port = 0;
@@ -236,6 +241,22 @@ int main(int argc, char** argv) {
     } else if (arg == "--idle-timeout-ms") {
       idle_timeout_ms =
           static_cast<int64_t>(ParseUint(arg, next(), 24LL * 3600 * 1000));
+    } else if (arg == "--io-backend") {
+      const std::string name = next();
+      if (name == "auto") {
+        io_backend = gemini::TransportServer::IoBackend::kAuto;
+      } else if (name == "uring") {
+        io_backend = gemini::TransportServer::IoBackend::kUring;
+      } else if (name == "epoll") {
+        io_backend = gemini::TransportServer::IoBackend::kEpoll;
+      } else if (name == "poll") {
+        io_backend = gemini::TransportServer::IoBackend::kPoll;
+      } else {
+        std::cerr << "geminid: invalid value '" << name
+                  << "' for --io-backend (expected auto, uring, epoll, or "
+                     "poll)\n";
+        return 2;
+      }
     } else if (arg == "--poll") {
       use_poll = true;
     } else if (arg == "--verbose") {
@@ -379,6 +400,7 @@ int main(int argc, char** argv) {
   options.port = port;
   options.num_loops = effective_loops;
   options.use_poll_fallback = use_poll;
+  options.io_backend = io_backend;
   if (drain_timeout_ms >= 0) {
     options.drain_timeout_ms = static_cast<int>(drain_timeout_ms);
   }
@@ -403,7 +425,8 @@ int main(int argc, char** argv) {
       ids += std::to_string(spec.id);
     }
     std::cout << "geminid: instances " << ids << " serving on " << bind_address
-              << ":" << server.port() << std::endl;
+              << ":" << server.port() << " (io backend: "
+              << server.io_backend_name() << ")" << std::endl;
   }
 
   // One coordinator link per hosted instance: the control plane tracks
