@@ -1,0 +1,627 @@
+// bench_recovery: what ±W buys on the real stack — time-to-restore-hit-ratio
+// after a primary loses its disk, measured against live geminid processes.
+//
+// The experiment (run twice, once per coordinator policy):
+//
+//   1. Spawn geminicoordd (+W: gemini-ow, baseline: gemini-o) and two
+//      geminids, each durably backed by a WAL data dir, plus two in-process
+//      recovery workers (working-set streaming enabled only under +W).
+//   2. Seed the data store, warm every key into the cluster through the
+//      client, and measure the steady-state windowed hit ratio under a
+//      scrambled-Zipfian read load.
+//   3. kill -9 instance 0 mid-serve. The coordinator fails it over; Zipfian
+//      load continues against the transient-mode secondary, which re-fills
+//      the hot working set one miss at a time — exactly the state the paper
+//      says a recovering primary should inherit instead of rebuilding.
+//   4. WIPE instance 0's data dir (disk loss: WAL replay cannot help) and
+//      restart it. From the moment the restarted daemon answers, drive the
+//      same Zipfian read load and clock how long the windowed hit ratio
+//      takes to climb back to 90% of steady state.
+//
+// Under gemini-o the restarted primary returns to normal mode empty and
+// every hot key is re-fetched from the store a second time. Under gemini-ow
+// the fragments stay in recovery mode while the workers stream the
+// secondary's working set back hottest-first (kWorkingSetScan pages, rate-
+// throttled), and clients are served from the warm secondary the whole
+// time — reads never stop. The wst=1/wst=0 ratio of 1/time_to_90 is the
+// headline; tools/check_bench.py pins a floor on it in CI via
+// --min-point recovery_time_to_90:wst=1:FLOOR. p50/p99 are read latencies
+// observed during the recovery window, bounding what the throttled
+// transfer does to foreground traffic.
+//
+// Flags: --quick (CI smoke: smaller key space, shorter phases), --full,
+//        --keys=K, --value-bytes=B, --wst-mbps=M (throttle, +W only),
+//        --store-us=L (backing-store round trip), --seed=S, --json=PATH.
+#include <atomic>
+#include <cerrno>
+#include <chrono>
+#include <csignal>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <ftw.h>
+#include <sys/stat.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include "bench/bench_common.h"
+#include "src/client/gemini_client.h"
+#include "src/cluster/remote_coordinator.h"
+#include "src/common/clock.h"
+#include "src/common/histogram.h"
+#include "src/common/rng.h"
+#include "src/coordinator/configuration.h"
+#include "src/recovery/recovery_worker.h"
+#include "src/store/data_store.h"
+#include "src/transport/tcp_backend.h"
+
+#ifndef GEMINID_PATH
+#error "GEMINID_PATH must point at the geminid binary"
+#endif
+#ifndef GEMINICOORDD_PATH
+#error "GEMINICOORDD_PATH must point at the geminicoordd binary"
+#endif
+
+namespace gemini {
+namespace {
+
+using SteadyClock = std::chrono::steady_clock;
+
+constexpr size_t kInstances = 2;
+constexpr size_t kFragments = 16;
+constexpr size_t kRecoveryWorkers = 8;
+constexpr uint64_t kHeartbeatMs = 50;
+constexpr double kTargetFraction = 0.90;  // "recovered" = 90% of steady
+
+int RemoveVisit(const char* path, const struct stat*, int, struct FTW*) {
+  return ::remove(path);
+}
+
+void RemoveTree(const std::string& dir) {
+  ::nftw(dir.c_str(), RemoveVisit, 16, FTW_DEPTH | FTW_PHYS);
+}
+
+// ---- Child processes (same shape as tools/gemini_cluster.cc) ----------------
+
+struct Child {
+  pid_t pid = -1;
+  int stdout_fd = -1;
+};
+
+Child Spawn(const char* path, const std::vector<std::string>& args) {
+  int pipefd[2];
+  if (::pipe(pipefd) != 0) {
+    std::perror("pipe");
+    std::exit(1);
+  }
+  const pid_t pid = ::fork();
+  if (pid == 0) {
+    ::dup2(pipefd[1], STDOUT_FILENO);
+    ::close(pipefd[0]);
+    ::close(pipefd[1]);
+    std::vector<char*> argv;
+    std::string bin = path;
+    argv.push_back(bin.data());
+    std::vector<std::string> owned = args;
+    for (auto& a : owned) argv.push_back(a.data());
+    argv.push_back(nullptr);
+    ::execv(path, argv.data());
+    std::perror("execv");
+    ::_exit(127);
+  }
+  ::close(pipefd[1]);
+  return {pid, pipefd[0]};
+}
+
+std::string ReadUntil(int fd, const std::string& needle) {
+  std::string out;
+  char buf[512];
+  const Timestamp start = SystemClock::Global().Now();
+  while (out.find(needle) == std::string::npos) {
+    if (SystemClock::Global().Now() - start > Seconds(15)) break;
+    const ssize_t n = ::read(fd, buf, sizeof(buf));
+    if (n <= 0) break;
+    out.append(buf, static_cast<size_t>(n));
+  }
+  return out;
+}
+
+uint16_t PortFromBanner(const std::string& banner) {
+  const std::string marker = "on 127.0.0.1:";
+  const size_t at = banner.find(marker);
+  if (at == std::string::npos) return 0;
+  return static_cast<uint16_t>(std::atoi(banner.c_str() + at + marker.size()));
+}
+
+int WaitForExit(pid_t pid) {
+  int wstatus = 0;
+  if (::waitpid(pid, &wstatus, 0) != pid) return -1;
+  return WIFEXITED(wstatus) ? WEXITSTATUS(wstatus) : -WTERMSIG(wstatus);
+}
+
+struct Node {
+  InstanceId id = 0;
+  std::string data_dir;
+  uint16_t port = 0;  // 0 = first spawn picks one; fixed afterwards
+  Child child;
+};
+
+bool SpawnNode(Node& node, uint16_t coord_port) {
+  std::vector<std::string> args = {
+      "--port",        std::to_string(node.port),
+      "--instance",    std::to_string(node.id),
+      "--data-dir",    node.data_dir,
+      "--coordinator", "127.0.0.1:" + std::to_string(coord_port),
+      "--heartbeat-interval-ms", std::to_string(kHeartbeatMs),
+      "--threads",     "2"};
+  node.child = Spawn(GEMINID_PATH, args);
+  if (node.child.pid <= 0) return false;
+  const uint16_t port =
+      PortFromBanner(ReadUntil(node.child.stdout_fd, "serving on"));
+  if (port == 0) {
+    std::fprintf(stderr, "bench_recovery: geminid %u printed no banner\n",
+                 node.id);
+    return false;
+  }
+  node.port = port;
+  return true;
+}
+
+bool AllFragmentsNormal(const ConfigurationPtr& config) {
+  if (config == nullptr) return false;
+  for (FragmentId f = 0; f < kFragments; ++f) {
+    const FragmentAssignment& a = config->fragment(f);
+    if (a.mode != FragmentMode::kNormal || a.primary == kInvalidInstance) {
+      return false;
+    }
+  }
+  return true;
+}
+
+template <typename Pred>
+bool WaitFor(Pred pred, Duration timeout) {
+  const Timestamp start = SystemClock::Global().Now();
+  while (!pred()) {
+    if (SystemClock::Global().Now() - start > timeout) return false;
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  return true;
+}
+
+// ---- One measured run -------------------------------------------------------
+
+struct RunParams {
+  size_t keys = 150'000;
+  size_t value_bytes = 64;
+  size_t window_ops = 2'000;    // hit-ratio sample window
+  /// Zipfian ops against the failed-over cluster. Sized so the windowed hit
+  /// ratio is back above the recovery target before the restart: the
+  /// transient-mode secondary must actually hold the working set, or there
+  /// is nothing for ±W to preserve and both policies just climb the Zipf
+  /// tail from the store.
+  size_t outage_ops = 200'000;
+  size_t warm_threads = 4;
+  size_t wst_mbps = 32;         // working-set streaming throttle (+W only)
+  /// Per-operation round trip of the backing store (a database across a
+  /// network hop — the paper's MongoDB). This is the asymmetry the bench
+  /// measures: +W restores warmth from the secondary's cache in bulk pages,
+  /// the cold baseline re-fetches every hot key from the store at this
+  /// price. Applied after the bulk warm-up so seeding stays fast.
+  Duration store_latency = Micros(500);
+  /// Milder than YCSB's 0.99: the working set worth restoring is thousands
+  /// of keys, not a few hundred, so a cold refill pays a real bill instead
+  /// of re-reading a handful of ultra-hot keys in one window.
+  double zipf_theta = 0.90;
+  uint64_t seed = 42;
+  double recovery_timeout_s = 240;
+};
+
+struct RunResult {
+  double steady_ratio = 0;      // windowed hit ratio before the kill
+  double outage_ratio = 0;      // windowed ratio at the end of the outage
+  double first_window_ratio = 0;  // hit ratio of the first post-restart window
+  double time_to_90_us = 0;     // restart banner -> windowed ratio >= target
+  double time_to_normal_us = 0;  // restart banner -> every fragment normal
+  double read_p50_us = 0;       // read latency during the recovery window
+  double read_p99_us = 0;
+  uint64_t recovery_reads = 0;
+  uint64_t read_errors = 0;     // failed reads during recovery (must be 0)
+  uint64_t errors = 0;
+  RecoveryWorker::Stats workers;
+};
+
+std::string KeyName(uint64_t k) { return "k" + std::to_string(k); }
+
+/// Runs the full kill -> wipe -> restart -> re-warm experiment against a
+/// fresh daemon set under the given coordinator policy.
+RunResult RunMode(bool wst, const RunParams& p, const std::string& workspace) {
+  RunResult out;
+  auto fail = [&](const char* what) {
+    std::fprintf(stderr, "bench_recovery[%s]: %s\n", wst ? "+W" : "-W", what);
+    ++out.errors;
+    return out;
+  };
+
+  // ---- Cluster up -----------------------------------------------------------
+  Child coord = Spawn(
+      GEMINICOORDD_PATH,
+      {"--port", "0", "--cluster-size", std::to_string(kInstances),
+       "--fragments", std::to_string(kFragments), "--heartbeat-interval-ms",
+       std::to_string(kHeartbeatMs), "--miss-threshold", "3",
+       "--lease-ttl-ms", "3000", "--policy", wst ? "gemini-ow" : "gemini-o"});
+  const uint16_t coord_port =
+      PortFromBanner(ReadUntil(coord.stdout_fd, "coordinating"));
+  if (coord_port == 0) return fail("geminicoordd printed no banner");
+
+  std::vector<Node> nodes(kInstances);
+  for (size_t i = 0; i < kInstances; ++i) {
+    nodes[i].id = static_cast<InstanceId>(i);
+    nodes[i].data_dir = workspace + "/" + (wst ? "w" : "o") + "_node_" +
+                        std::to_string(i);
+    if (!SpawnNode(nodes[i], coord_port)) return fail("geminid spawn failed");
+  }
+
+  DataStore store;
+  RemoteCoordinator coordinator("127.0.0.1", coord_port,
+                                RemoteCoordinator::Options());
+  std::vector<std::unique_ptr<TcpCacheBackend>> backends;
+  std::vector<CacheBackend*> backend_ptrs;
+  for (const Node& node : nodes) {
+    backends.push_back(std::make_unique<TcpCacheBackend>(
+        "127.0.0.1", node.port, node.id, TcpCacheBackend::Options()));
+    backend_ptrs.push_back(backends.back().get());
+  }
+  if (!WaitFor(
+          [&] {
+            (void)coordinator.Refresh();
+            return AllFragmentsNormal(coordinator.GetConfiguration());
+          },
+          Seconds(20))) {
+    return fail("cluster never converged at bootstrap");
+  }
+
+  GeminiClient::Options copts;
+  copts.follow_config_pushes = true;
+  GeminiClient client(&SystemClock::Global(), &coordinator, backend_ptrs,
+                      &store, copts);
+
+  for (size_t k = 0; k < p.keys; ++k) {
+    store.Put(KeyName(k), std::string(p.value_bytes, 'v'));
+  }
+
+  // Recovery workers run for the whole experiment; they idle until the
+  // coordinator hands them recovery-mode fragments. Working-set streaming is
+  // the +W policy's worker half — mandatory under gemini-ow (recovery mode
+  // does not end until a worker reports the transfer terminated).
+  std::atomic<bool> workers_stop{false};
+  std::vector<std::thread> workers;
+  std::vector<RecoveryWorker::Stats> worker_stats(kRecoveryWorkers);
+  for (size_t w = 0; w < kRecoveryWorkers; ++w) {
+    workers.emplace_back([&, w] {
+      // Each worker owns its connections, as a real worker process would —
+      // streaming must not queue behind foreground reads on a shared socket.
+      std::vector<std::unique_ptr<TcpCacheBackend>> own;
+      std::vector<CacheBackend*> own_ptrs;
+      for (const Node& node : nodes) {
+        own.push_back(std::make_unique<TcpCacheBackend>(
+            "127.0.0.1", node.port, node.id, TcpCacheBackend::Options()));
+        own_ptrs.push_back(own.back().get());
+      }
+      RecoveryWorker::Options wopts;
+      wopts.working_set_transfer = wst;
+      // The scan walks the secondary's whole table filtering by fragment, so
+      // a page visits max_keys entries but returns ~1/fragments of them:
+      // bulk pages keep the round-trip count proportional to the data, not
+      // to the table.
+      wopts.wst_page_keys = 2048;
+      wopts.wst_bytes_per_sec = wst ? p.wst_mbps * (1 << 20) : 0;
+      RecoveryWorker worker(&SystemClock::Global(), &coordinator,
+                            own_ptrs, wopts);
+      Session session;
+      while (!workers_stop.load(std::memory_order_acquire)) {
+        if (worker.TryAdoptFragment(session).has_value()) {
+          while (!worker.Step(session)) {
+          }
+        } else {
+          std::this_thread::sleep_for(std::chrono::milliseconds(5));
+        }
+      }
+      worker_stats[w] = worker.stats();
+    });
+  }
+  auto stop_workers = [&] {
+    workers_stop.store(true, std::memory_order_release);
+    for (auto& th : workers) th.join();
+    for (const RecoveryWorker::Stats& s : worker_stats) {
+      out.workers.fragments_recovered += s.fragments_recovered;
+      out.workers.fragments_abandoned += s.fragments_abandoned;
+      out.workers.keys_overwritten += s.keys_overwritten;
+      out.workers.wst_keys_copied += s.wst_keys_copied;
+      out.workers.wst_keys_skipped += s.wst_keys_skipped;
+      out.workers.wst_bytes_copied += s.wst_bytes_copied;
+      out.workers.wst_pages += s.wst_pages;
+      out.workers.wst_completed += s.wst_completed;
+      out.workers.wst_aborts += s.wst_aborts;
+    }
+  };
+  auto teardown = [&] {
+    stop_workers();
+    ::kill(coord.pid, SIGTERM);
+    (void)WaitForExit(coord.pid);
+    ::close(coord.stdout_fd);
+    for (Node& node : nodes) {
+      if (node.child.pid > 0) {
+        ::kill(node.child.pid, SIGTERM);
+        (void)WaitForExit(node.child.pid);
+        ::close(node.child.stdout_fd);
+      }
+    }
+  };
+
+  // ---- Warm every key, then measure the steady windowed hit ratio -----------
+  {
+    std::vector<std::thread> warmers;
+    std::atomic<uint64_t> warm_errors{0};
+    for (size_t t = 0; t < p.warm_threads; ++t) {
+      warmers.emplace_back([&, t] {
+        Session session;
+        for (size_t k = t; k < p.keys; k += p.warm_threads) {
+          if (!client.Read(session, KeyName(k)).ok()) {
+            warm_errors.fetch_add(1, std::memory_order_relaxed);
+          }
+        }
+      });
+    }
+    for (auto& th : warmers) th.join();
+    if (warm_errors.load() != 0) {
+      teardown();
+      return fail("warm phase saw read errors");
+    }
+  }
+  store.set_synthetic_latency(p.store_latency);
+
+  ScrambledZipfian zipf(p.keys, p.zipf_theta);
+  Rng rng(p.seed * 31 + (wst ? 1 : 0));
+  Session session;
+  auto window_ratio = [&](Histogram* hist, uint64_t* failed) {
+    size_t hits = 0;
+    for (size_t i = 0; i < p.window_ops; ++i) {
+      const auto t0 = SteadyClock::now();
+      auto r = client.Read(session, KeyName(zipf.Next(rng)));
+      if (hist != nullptr) {
+        const int64_t us = std::chrono::duration_cast<std::chrono::microseconds>(
+                               SteadyClock::now() - t0)
+                               .count();
+        hist->Record(us > 0 ? us : 1);
+      }
+      if (!r.ok()) {
+        if (failed != nullptr) ++*failed;
+      } else if (r->cache_hit) {
+        ++hits;
+      }
+    }
+    return static_cast<double>(hits) / static_cast<double>(p.window_ops);
+  };
+
+  {
+    double sum = 0;
+    constexpr int kSteadyWindows = 3;
+    for (int i = 0; i < kSteadyWindows; ++i) sum += window_ratio(nullptr, nullptr);
+    out.steady_ratio = sum / kSteadyWindows;
+  }
+
+  // ---- Kill, serve through the outage, wipe the disk ------------------------
+  ::kill(nodes[0].child.pid, SIGKILL);
+  (void)WaitForExit(nodes[0].child.pid);
+  ::close(nodes[0].child.stdout_fd);
+  nodes[0].child.pid = -1;
+  const ConfigId before = coordinator.latest_id();
+  if (!WaitFor([&] { return coordinator.latest_id() > before; }, Seconds(10))) {
+    teardown();
+    return fail("coordinator never failed over the killed instance");
+  }
+
+  // The outage load is what charges the secondary with the working set:
+  // every transient-mode miss re-fetches the key and installs it there.
+  // Writes ride along so recovery also has dirty lists to drain. The outage
+  // runs long enough that the windowed ratio is back above target *before*
+  // the restart — so a sub-target window afterwards means the recovery
+  // policy lost warmth, not that the outage left the cluster cold.
+  {
+    std::vector<std::thread> loaders;
+    for (size_t t = 0; t < p.warm_threads; ++t) {
+      loaders.emplace_back([&, t] {
+        Rng trng(p.seed * 131 + t * 17 + (wst ? 1 : 0));
+        Session tsession;
+        for (size_t i = 0; i < p.outage_ops / p.warm_threads; ++i) {
+          const std::string key = KeyName(zipf.Next(trng));
+          if (i % 100 == 99) {
+            if (client.Write(tsession, key, "w" + std::to_string(i)).code() ==
+                Code::kSuspended) {
+              std::this_thread::sleep_for(std::chrono::milliseconds(2));
+            }
+          } else {
+            (void)client.Read(tsession, key);
+          }
+        }
+      });
+    }
+    for (auto& th : loaders) th.join();
+  }
+  out.outage_ratio = window_ratio(nullptr, nullptr);
+
+  // Disk loss: the restarted instance must not be able to re-warm itself
+  // from its own WAL — what comes back is exactly what ±W streams over.
+  RemoveTree(nodes[0].data_dir);
+
+  // ---- Restart and clock the climb back to 90% of steady --------------------
+  const auto restart_t0 = SteadyClock::now();
+  if (!SpawnNode(nodes[0], coord_port)) {
+    teardown();
+    return fail("victim restart failed");
+  }
+
+  // Drive load until the hit ratio is back at target AND every fragment has
+  // returned to normal, tracking the *last* window that fell below target.
+  // Immediately after the restart the fragments are still transient — the
+  // warm secondary is serving, so the ratio starts high in both modes; the
+  // cold run's dip only arrives when gemini-o hands the (empty) primary back.
+  // "Restored" therefore means restored-and-stayed-restored: the clock stops
+  // at the end of the last sub-target window. Under +W the ratio never
+  // drops — recovery-mode reads are served from the warm secondary while the
+  // workers stream — so the cost is one sample window, the measurement floor.
+  Histogram recovery_hist;
+  const double target = kTargetFraction * out.steady_ratio;
+  bool first = true;
+  double last_below_end_us = 0;
+  double first_window_end_us = 0;
+  while (true) {
+    const double ratio = window_ratio(&recovery_hist, &out.read_errors);
+    const double elapsed_us =
+        std::chrono::duration<double>(SteadyClock::now() - restart_t0).count() *
+        1e6;
+    if (first) {
+      out.first_window_ratio = ratio;
+      first_window_end_us = elapsed_us;
+      first = false;
+    }
+    if (ratio < target) last_below_end_us = elapsed_us;
+    const bool normal = AllFragmentsNormal(coordinator.GetConfiguration());
+    if (normal && out.time_to_normal_us == 0) out.time_to_normal_us = elapsed_us;
+    if (ratio >= target && normal) break;
+    if (elapsed_us > p.recovery_timeout_s * 1e6) {
+      teardown();
+      return fail("hit ratio never recovered to 90% of steady");
+    }
+  }
+  out.time_to_90_us =
+      last_below_end_us > 0 ? last_below_end_us : first_window_end_us;
+  out.recovery_reads = recovery_hist.count();
+  out.read_p50_us = recovery_hist.Percentile(0.50);
+  out.read_p99_us = recovery_hist.Percentile(0.99);
+  teardown();
+  return out;
+}
+
+int Run(int argc, char** argv) {
+  const bench::BenchFlags flags = bench::ParseFlags(argc, argv);
+  RunParams p;
+  p.seed = flags.seed;
+  if (flags.quick) {
+    p.keys = 60'000;
+    p.outage_ops = 90'000;
+  } else if (flags.full) {
+    p.keys = 400'000;
+    p.outage_ops = 500'000;
+  }
+  std::string json_path = "BENCH_recovery.json";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--keys=", 7) == 0) {
+      p.keys = std::strtoull(argv[i] + 7, nullptr, 10);
+    } else if (std::strncmp(argv[i], "--value-bytes=", 14) == 0) {
+      p.value_bytes = std::strtoull(argv[i] + 14, nullptr, 10);
+    } else if (std::strncmp(argv[i], "--wst-mbps=", 11) == 0) {
+      p.wst_mbps = std::strtoull(argv[i] + 11, nullptr, 10);
+    } else if (std::strncmp(argv[i], "--store-us=", 11) == 0) {
+      p.store_latency = Micros(std::strtoll(argv[i] + 11, nullptr, 10));
+    } else if (std::strncmp(argv[i], "--json=", 7) == 0) {
+      json_path = argv[i] + 7;
+    }
+  }
+  if (p.keys == 0 || p.value_bytes == 0) {
+    std::fprintf(stderr, "bench_recovery: --keys and --value-bytes must be > 0\n");
+    return 2;
+  }
+
+  char ws_template[] = "/tmp/bench_recovery_XXXXXX";
+  const char* workspace = ::mkdtemp(ws_template);
+  if (workspace == nullptr) {
+    std::fprintf(stderr, "bench_recovery: mkdtemp failed\n");
+    return 1;
+  }
+
+  bench::PrintHeader(
+      "bench_recovery",
+      "time-to-restore-hit-ratio after disk loss: gemini-ow working-set "
+      "streaming vs gemini-o cold refill, on live geminid processes");
+  std::printf("  keys=%zu  value=%zuB  window=%zu  outage_ops=%zu  "
+              "store=%lldus  theta=%.2f  wst_throttle=%zuMiB/s  seed=%llu\n\n",
+              p.keys, p.value_bytes, p.window_ops, p.outage_ops,
+              static_cast<long long>(p.store_latency), p.zipf_theta,
+              p.wst_mbps, static_cast<unsigned long long>(p.seed));
+
+  std::vector<bench::BenchResult> results;
+  uint64_t total_errors = 0;
+  double t_cold_us = 0, t_warm_us = 0;
+
+  std::printf("  %4s %8s %8s %8s %12s %10s %10s %10s %10s\n", "wst", "steady",
+              "outage", "dip", "t90 ms", "normal ms", "p50 us", "p99 us",
+              "copied");
+  for (const bool wst : {false, true}) {
+    const RunResult r = RunMode(wst, p, workspace);
+    total_errors += r.errors + r.read_errors;
+    if (r.errors != 0) break;
+    std::printf("  %4d %7.1f%% %7.1f%% %7.1f%% %12.1f %10.1f %10.1f %10.1f "
+                "%10llu\n",
+                wst ? 1 : 0, 100.0 * r.steady_ratio, 100.0 * r.outage_ratio,
+                100.0 * r.first_window_ratio, r.time_to_90_us / 1e3,
+                r.time_to_normal_us / 1e3, r.read_p50_us, r.read_p99_us,
+                static_cast<unsigned long long>(r.workers.wst_keys_copied));
+    std::printf("       workers: %llu drained, %llu abandoned, %llu wst done, "
+                "%llu wst aborts, %llu pages, %llu skipped\n",
+                static_cast<unsigned long long>(r.workers.fragments_recovered),
+                static_cast<unsigned long long>(r.workers.fragments_abandoned),
+                static_cast<unsigned long long>(r.workers.wst_completed),
+                static_cast<unsigned long long>(r.workers.wst_aborts),
+                static_cast<unsigned long long>(r.workers.wst_pages),
+                static_cast<unsigned long long>(r.workers.wst_keys_skipped));
+    (wst ? t_warm_us : t_cold_us) = r.time_to_90_us;
+    bench::BenchResult br;
+    br.name = "recovery_time_to_90";
+    br.params = {{"wst", wst ? 1.0 : 0.0},
+                 {"keys", static_cast<double>(p.keys)},
+                 {"value_bytes", static_cast<double>(p.value_bytes)}};
+    // 1 / time-to-recover, in per-second units: check_bench's higher-is-
+    // better convention, so normalized(wst=1) is the cold/warm speedup the
+    // CI floor pins.
+    br.ops_per_sec = r.time_to_90_us > 0 ? 1e6 / r.time_to_90_us : 0;
+    br.p50_us = r.read_p50_us;
+    br.p99_us = r.read_p99_us;
+    results.push_back(std::move(br));
+  }
+
+  RemoveTree(workspace);
+  if (total_errors > 0) {
+    std::fprintf(stderr, "bench_recovery: %llu check(s) failed\n",
+                 static_cast<unsigned long long>(total_errors));
+    return 1;
+  }
+  if (t_warm_us > 0 && t_cold_us > 0) {
+    std::printf("\n");
+    bench::PrintClaim(
+        "working-set transfer restores the hit ratio several times faster "
+        "than cold refill after an instance loses its cache (Fig. 10)",
+        ("time to 90% of steady hit ratio: " +
+         std::to_string(t_cold_us / 1e3) + " ms cold vs " +
+         std::to_string(t_warm_us / 1e3) + " ms with +W streaming (" +
+         std::to_string(t_cold_us / t_warm_us) + "x)")
+            .c_str());
+  }
+  if (!bench::WriteResultsJson(json_path, "recovery", results)) {
+    std::fprintf(stderr, "cannot write %s\n", json_path.c_str());
+    return 1;
+  }
+  std::printf("\n  results written to %s\n", json_path.c_str());
+  return 0;
+}
+
+}  // namespace
+}  // namespace gemini
+
+int main(int argc, char** argv) { return gemini::Run(argc, argv); }

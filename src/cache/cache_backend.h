@@ -88,6 +88,24 @@ struct DeleteRequest {
   std::string key;
 };
 
+/// One hot key surfaced by a working-set scan page (Section 3.2.2). Only
+/// metadata travels: the recovery worker fetches the value separately with
+/// MultiGet, so a scan page stays small no matter how large the values are.
+struct WorkingSetItem {
+  std::string key;
+  /// The entry's accounting size on the scanned instance — lets the worker
+  /// throttle the transfer by bytes before fetching a single value.
+  uint32_t charged_bytes = 0;
+};
+
+/// One page of a working-set scan. Items within a page — and pages within a
+/// scan — come hottest-first (approximate: priority bands over per-stripe
+/// LRU order). `next_cursor` resumes the scan; 0 means the scan is done.
+struct WorkingSetPage {
+  std::vector<WorkingSetItem> items;
+  uint64_t next_cursor = 0;
+};
+
 /// Result of iqget: either a hit (value set) or a miss. On a miss the
 /// instance attempted to grant an I lease; `i_token` is kNoLease if another
 /// session holds an incompatible lease (caller backs off — surfaced as
@@ -196,6 +214,28 @@ class CacheBackend {
   /// (dirty-list append semantics).
   virtual Status Append(const OpContext& ctx, std::string_view key,
                         std::string_view data) = 0;
+
+  // ---- Working-set enumeration (recovery workers, Section 3.2.2) ----------
+
+  /// Enumerates the hot keys this backend holds for fragment `ctx.fragment`,
+  /// hottest first, one bounded page per call. `num_fragments` is the
+  /// cluster's fragment count (the backend routes keys by
+  /// Fnv1a64(key) % num_fragments); `cursor` is 0 to start or the previous
+  /// page's next_cursor to resume. Gemini-internal keys (dirty lists, the
+  /// configuration entry) are never surfaced. The default refuses: only
+  /// CacheInstance (native stripe walk) and TcpCacheBackend (kWorkingSetScan
+  /// wire op) enumerate working sets.
+  virtual Result<WorkingSetPage> WorkingSetScan(const OpContext& ctx,
+                                                uint32_t num_fragments,
+                                                uint64_t cursor,
+                                                uint32_t max_keys) {
+    (void)ctx;
+    (void)num_fragments;
+    (void)cursor;
+    (void)max_keys;
+    return Status(Code::kInvalidArgument,
+                  "backend does not support working-set scans");
+  }
 
   // ---- Redlease (recovery workers, Section 2.3) ---------------------------
 

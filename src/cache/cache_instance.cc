@@ -656,6 +656,83 @@ Status CacheInstance::RenewRed(std::string_view key, LeaseToken token) {
                                       : Status(Code::kLeaseInvalid);
 }
 
+// ---- Working-set enumeration -------------------------------------------------
+
+Result<WorkingSetPage> CacheInstance::WorkingSetScan(const OpContext& ctx,
+                                                     uint32_t num_fragments,
+                                                     uint64_t cursor,
+                                                     uint32_t max_keys) {
+  std::shared_lock<std::shared_mutex> meta(meta_mu_);
+  if (Status s = CheckRequestMeta(ctx); !s.ok()) return s;
+  if (num_fragments == 0 || max_keys == 0) {
+    return Status(Code::kInvalidArgument, "bad working-set scan bounds");
+  }
+  const ConfigId min_valid = MinValidMeta(ctx);
+  const size_t nstripes = stripes_.size();
+  const uint32_t depth =
+      std::max<uint32_t>(1, max_keys / static_cast<uint32_t>(nstripes));
+
+  // Cursor = (band << 32) | next stripe index. The page always breaks at a
+  // stripe boundary so a resumed scan never re-emits a half-visited stripe.
+  uint64_t band = cursor >> 32;
+  size_t stripe = static_cast<uint32_t>(cursor);
+  if (stripe >= nstripes) stripe = 0;  // defensive against a garbage cursor
+  // Whether any stripe yielded an item in the current band. A resumed
+  // mid-band cursor assumes the skipped stripes did (worst case: one extra
+  // empty band before the scan reports done).
+  bool band_yielded = stripe != 0;
+
+  WorkingSetPage page;
+  const auto matches = [&](const Entry& e) {
+    if (e.config_id < min_valid) return false;  // obsolete under Rejig
+    const std::string_view key = e.key;
+    if (key.size() >= sizeof(kInternalKeyPrefix) - 1 &&
+        key.compare(0, sizeof(kInternalKeyPrefix) - 1, kInternalKeyPrefix) ==
+            0) {
+      return false;  // dirty lists / config entry are not working set
+    }
+    return Fnv1a64(key) % num_fragments == ctx.fragment;
+  };
+
+  for (;;) {
+    if (stripe == nstripes) {
+      if (!band_yielded) return page;  // a whole band came up dry: done
+      ++band;
+      stripe = 0;
+      band_yielded = false;
+      continue;
+    }
+    // Break only between stripes, and only once something was emitted, so
+    // every call makes progress and the cursor stays stripe-aligned. A page
+    // may overshoot max_keys by up to depth-1 items.
+    if (!page.items.empty() && page.items.size() + depth > max_keys) {
+      page.next_cursor = (band << 32) | static_cast<uint64_t>(stripe);
+      return page;
+    }
+    Stripe& st = *stripes_[stripe];
+    {
+      std::lock_guard<std::mutex> lock(st.mu);
+      // Band b wants this stripe's matches at LRU positions
+      // [b*depth, (b+1)*depth): walk MRU->LRU, skip b*depth matches, emit
+      // up to depth.
+      uint64_t skip = band * depth;
+      uint32_t emitted = 0;
+      for (const Entry& e : st.lru) {
+        if (!matches(e)) continue;
+        if (skip > 0) {
+          --skip;
+          continue;
+        }
+        page.items.push_back(
+            WorkingSetItem{e.key, e.value.charged_bytes});
+        if (++emitted == depth) break;
+      }
+      if (emitted > 0) band_yielded = true;
+    }
+    ++stripe;
+  }
+}
+
 // ---- Introspection -----------------------------------------------------------------
 
 CacheInstance::Stats CacheInstance::stats() const {

@@ -242,6 +242,25 @@ class CacheInstance : public CacheBackend {
   /// Extends a held Redlease; kLeaseInvalid if it lapsed.
   Status RenewRed(std::string_view key, LeaseToken token) override;
 
+  // ---- Working-set enumeration (Section 3.2.2) -----------------------------
+
+  /// Paginated, hottest-first enumeration of the keys this instance holds
+  /// for fragment `ctx.fragment` (routing = Fnv1a64(key) % num_fragments).
+  /// Priority is approximate: the cursor walks *bands* of per-stripe LRU
+  /// depth — band b visits every stripe's matches at LRU positions
+  /// [b*depth, (b+1)*depth) with depth = max(1, max_keys / stripe_count) —
+  /// so earlier pages are globally hotter without any cross-stripe lock or
+  /// new hot-path state; each call takes one stripe mutex at a time.
+  /// Gemini-internal keys and entries below the fragment's minimum-valid
+  /// config id are never surfaced; the scan itself mutates nothing (no LRU
+  /// touch, no lazy discard). Under concurrent writes a key may appear
+  /// twice or not at all — callers (the recovery worker) install
+  /// idempotently, so this only perturbs priority, never correctness.
+  Result<WorkingSetPage> WorkingSetScan(const OpContext& ctx,
+                                        uint32_t num_fragments,
+                                        uint64_t cursor,
+                                        uint32_t max_keys) override;
+
   // ---- Introspection -------------------------------------------------------
 
   struct Stats {

@@ -226,11 +226,16 @@ Status PersistentStore::Checkpoint() {
     std::lock_guard<std::mutex> sync_lock(sync_mu_);
     std::lock_guard<std::mutex> lock(mu_);
     if (!error_.ok()) return error_;
+    const uint64_t closing_bytes = wal_.segment_bytes();
     if (Status s = wal_.Rotate(); !s.ok()) {
       error_ = s;
       recording_.store(false, std::memory_order_release);
       return s;
     }
+    // The closed segment stays replay debt until the snapshot below lands;
+    // if it fails, these bytes keep counting toward the next lag-triggered
+    // attempt instead of vanishing with the rotation.
+    uncovered_bytes_ += closing_bytes;
     new_seq = wal_.seq();
     WalRecord head;
     head.type = WalRecordType::kConfigId;
@@ -247,7 +252,30 @@ Status PersistentStore::Checkpoint() {
   // racing into segment new_seq before the cut are replayed on top of the
   // checkpoint — idempotent, they carry exact values in original order.
   if (Status s = checkpoints_.Write(*instance_, new_seq); !s.ok()) return s;
-  return checkpoints_.GarbageCollect(new_seq);
+  if (Status s = checkpoints_.GarbageCollect(new_seq); !s.ok()) return s;
+  {
+    // The checkpoint covers every segment below new_seq; only the live
+    // segment's bytes (records that raced in since the cut) remain as lag.
+    std::lock_guard<std::mutex> lock(mu_);
+    uncovered_bytes_ = 0;
+  }
+  return Status::Ok();
+}
+
+Result<bool> PersistentStore::MaybeCheckpoint() {
+  if (instance_ == nullptr) {
+    return Status(Code::kInvalidArgument, "persistent store not open");
+  }
+  bool want = false;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    want = options_.checkpoint_lag_bytes > 0 && wal_.is_open() &&
+           uncovered_bytes_ + wal_.segment_bytes() >
+               options_.checkpoint_lag_bytes;
+  }
+  if (!want) return false;
+  if (Status s = Checkpoint(); !s.ok()) return s;
+  return true;
 }
 
 Status PersistentStore::Sync() {
@@ -318,10 +346,11 @@ PersistentStore::Stats PersistentStore::stats() const {
   {
     std::lock_guard<std::mutex> lock(mu_);
     s.fsyncs = wal_.fsync_count();
-    // Bytes in the live segment = log the next boot would replay; a
-    // checkpoint rotates to a fresh segment, resetting this to (nearly)
+    // Live-segment bytes plus closed-but-uncovered segments = log the next
+    // boot would replay; a successful checkpoint resets this to (nearly)
     // zero, so it doubles as distance-to-next-size-triggered-checkpoint.
-    if (wal_.is_open()) s.checkpoint_lag_bytes = wal_.segment_bytes();
+    s.checkpoint_lag_bytes = uncovered_bytes_;
+    if (wal_.is_open()) s.checkpoint_lag_bytes += wal_.segment_bytes();
   }
   s.checkpoints = checkpoints_.checkpoints_written();
   s.replayed_segments = replayed_segments_;
@@ -477,13 +506,7 @@ void PersistentStore::BackgroundLoop() {
     sync_requested_.store(false, std::memory_order_relaxed);
     lock.unlock();
     (void)SyncOffThread();
-    bool want_checkpoint = false;
-    {
-      std::lock_guard<std::mutex> wal_lock(mu_);
-      want_checkpoint = options_.checkpoint_wal_bytes > 0 && wal_.is_open() &&
-                        wal_.segment_bytes() > options_.checkpoint_wal_bytes;
-    }
-    if (want_checkpoint) (void)Checkpoint();
+    (void)MaybeCheckpoint();
     lock.lock();
   }
 }

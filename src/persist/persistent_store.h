@@ -70,10 +70,15 @@ class PersistentStore final : public PersistenceSink {
     /// Background fsync cadence. 0 disables the background thread (tests
     /// drive Sync()/Checkpoint() by hand).
     Duration sync_interval = Millis(50);
-    /// Rotate + checkpoint once the current segment exceeds this many
-    /// bytes (checked by the background thread). 0 disables size-triggered
-    /// checkpoints.
-    uint64_t checkpoint_wal_bytes = 8ull << 20;
+    /// Rotate + checkpoint once the checkpoint lag — WAL bytes not yet
+    /// covered by a checkpoint, summed across segments — exceeds this many
+    /// bytes. Checked by the background thread after every sync; stores
+    /// running without one call MaybeCheckpoint() to apply the same
+    /// byte-growth-driven schedule by hand. Lag, not live-segment size, is
+    /// the trigger so a failed checkpoint's uncovered rotated segments keep
+    /// counting toward the next attempt (the replay debt a crash would pay
+    /// never silently resets). 0 disables size-triggered checkpoints.
+    uint64_t checkpoint_lag_bytes = 8ull << 20;
     /// Reserve this many bytes for the next WAL segment ahead of rotation
     /// (fallocate, best effort — see Wal::Options::preallocate_bytes). The
     /// default matches the rotation threshold, so a rotated-into segment is
@@ -97,6 +102,12 @@ class PersistentStore final : public PersistenceSink {
   /// Rotates the log, snapshots the instance, and garbage-collects covered
   /// segments and older checkpoints.
   Status Checkpoint();
+
+  /// Checkpoints iff the checkpoint lag exceeds Options::checkpoint_lag_bytes
+  /// (see the option for the schedule's rationale). Returns whether a
+  /// checkpoint ran. The background thread calls this after every sync;
+  /// deterministic deployments (sync_interval == 0) call it by hand.
+  Result<bool> MaybeCheckpoint();
 
   /// fsyncs any unsynced log tail.
   Status Sync();
@@ -122,9 +133,10 @@ class PersistentStore final : public PersistenceSink {
     uint64_t restored_entries = 0;
     uint64_t quarantine_drops = 0;  // keys dropped by the crash-spanning Q rule
     uint64_t torn_tail_bytes = 0;   // bytes discarded from a torn final segment
-    /// Live-segment bytes not yet covered by a checkpoint: the truncation
-    /// lag — how much log the next boot would replay if the process died
-    /// right now (and roughly how far the next checkpoint is).
+    /// WAL bytes not yet covered by a checkpoint, across segments: the
+    /// truncation lag — how much log the next boot would replay if the
+    /// process died right now, and the driver of size-triggered checkpoint
+    /// scheduling (Options::checkpoint_lag_bytes).
     uint64_t checkpoint_lag_bytes = 0;
   };
   [[nodiscard]] Stats stats() const;
@@ -174,9 +186,13 @@ class PersistentStore final : public PersistenceSink {
   /// Serializes fsync against Rotate/Close (fd lifetime). Lock order:
   /// sync_mu_ before mu_, never the reverse.
   mutable std::mutex sync_mu_;
-  mutable std::mutex mu_;  // guards wal_ and error_
+  mutable std::mutex mu_;  // guards wal_, error_ and uncovered_bytes_
   Wal wal_;
   Status error_;
+  /// Bytes in closed (rotated-away) segments no checkpoint covers yet —
+  /// nonzero only while a checkpoint is in flight or after one failed. The
+  /// total checkpoint lag is this plus the live segment's bytes.
+  uint64_t uncovered_bytes_ = 0;
 
   CacheInstance* instance_ = nullptr;
   std::atomic<bool> recording_{false};

@@ -1,6 +1,9 @@
 #include "src/recovery/recovery_worker.h"
 
+#include <algorithm>
 #include <cassert>
+#include <chrono>
+#include <thread>
 
 #include "src/common/logging.h"
 
@@ -32,8 +35,11 @@ std::optional<FragmentId> RecoveryWorker::TryAdoptFragment(Session& session) {
     if (a.secondary == kInvalidInstance || a.primary == kInvalidInstance) {
       continue;  // Nothing to fetch the dirty list from.
     }
-    if (coordinator_->DirtyProcessed(f)) {
-      continue;  // Drained already; waiting on the working set transfer.
+    const bool drained = coordinator_->DirtyProcessed(f);
+    if (drained && !options_.working_set_transfer) {
+      // Drained already, and this worker does not run transfers: the
+      // client-driven working set transfer (simulator) owns the rest.
+      continue;
     }
     CacheBackend& sr = *instances_.at(a.secondary);
     const std::string list_key = DirtyListKey(f);
@@ -43,6 +49,23 @@ std::optional<FragmentId> RecoveryWorker::TryAdoptFragment(Session& session) {
     if (!red.ok()) {
       if (red.code() == Code::kBackoff) ++stats_.redlease_conflicts;
       continue;  // Another worker owns this fragment (Section 2.3).
+    }
+
+    if (drained) {
+      // The previous owner drained the list but died (or lost its lease)
+      // mid-transfer. Adopt straight into the working-set phase, restarting
+      // the scan from the hottest band — keys it already copied are
+      // idempotent skips (the primary IqGet hits).
+      Task task;
+      task.fragment = f;
+      task.primary = a.primary;
+      task.secondary = a.secondary;
+      task.red_token = *red;
+      task.phase = Phase::kWorkingSet;
+      task.num_fragments = static_cast<uint32_t>(n);
+      task_ = std::move(task);
+      scan_cursor_ = f + 1;
+      return f;
     }
 
     // Workers are trusted infrastructure (like the coordinator): they are
@@ -74,6 +97,7 @@ std::optional<FragmentId> RecoveryWorker::TryAdoptFragment(Session& session) {
     task.config_id = kInternalConfigId;
     task.red_token = *red;
     task.list = std::move(*parsed);
+    task.num_fragments = static_cast<uint32_t>(n);
     task_ = std::move(task);
     scan_cursor_ = f + 1;
     return f;
@@ -81,7 +105,7 @@ std::optional<FragmentId> RecoveryWorker::TryAdoptFragment(Session& session) {
   return std::nullopt;
 }
 
-void RecoveryWorker::FinishTask(Session& session) {
+void RecoveryWorker::FinishDrain(Session& session) {
   Task& t = *task_;
   const std::string list_key = DirtyListKey(t.fragment);
   CacheBackend& sr = *instances_.at(t.secondary);
@@ -95,6 +119,18 @@ void RecoveryWorker::FinishTask(Session& session) {
   session.BillCacheOp(t.secondary);
   const OpContext ctx{t.config_id, kInvalidFragment};
   (void)sr.Set(ctx, list_key, CacheValue::OfData(DirtyList::InitialPayload()));
+  if (options_.working_set_transfer) {
+    // Keep the Redlease and roll into the working-set phase before telling
+    // the coordinator: under a -W policy OnDirtyListProcessed completes
+    // recovery immediately, and the next StepWorkingSet notices the
+    // fragment left recovery mode and stops quietly.
+    t.phase = Phase::kWorkingSet;
+    t.wst_cursor = 0;
+    session.BillCoordinatorOp();
+    coordinator_->OnDirtyListProcessed(t.fragment);
+    ++stats_.fragments_recovered;
+    return;
+  }
   (void)sr.ReleaseRed(list_key, t.red_token);
   session.BillCoordinatorOp();
   coordinator_->OnDirtyListProcessed(t.fragment);
@@ -102,9 +138,24 @@ void RecoveryWorker::FinishTask(Session& session) {
   task_.reset();
 }
 
+void RecoveryWorker::FinishWorkingSet(Session& session) {
+  Task& t = *task_;
+  session.BillCacheOp(t.secondary);
+  (void)instances_.at(t.secondary)
+      ->ReleaseRed(DirtyListKey(t.fragment), t.red_token);
+  session.BillCoordinatorOp();
+  coordinator_->OnWorkingSetTransferTerminated(t.fragment);
+  ++stats_.wst_completed;
+  task_.reset();
+}
+
 void RecoveryWorker::AbandonTask(Session& session, bool release_red) {
   Task& t = *task_;
+  if (t.phase == Phase::kWorkingSet) ++stats_.wst_aborts;
   if (release_red && t.secondary < instances_.size()) {
+    // Best effort: with the secondary dead this fails and the Redlease
+    // simply expires — either way no fragment stays stuck behind a lease
+    // held by an abandoned task.
     (void)instances_[t.secondary]->ReleaseRed(DirtyListKey(t.fragment),
                                               t.red_token);
     session.BillCacheOp(t.secondary);
@@ -113,8 +164,172 @@ void RecoveryWorker::AbandonTask(Session& session, bool release_red) {
   task_.reset();
 }
 
+bool RecoveryWorker::StepWorkingSet(Session& session) {
+  Task& t = *task_;
+  const std::string list_key = DirtyListKey(t.fragment);
+  CacheBackend& sr = *instances_.at(t.secondary);
+  CacheBackend& pr = *instances_.at(t.primary);
+
+  // Same exclusive-ownership discipline as the drain phase.
+  session.BillCacheOp(t.secondary);
+  if (!sr.RenewRed(list_key, t.red_token).ok()) {
+    AbandonTask(session, /*release_red=*/false);
+    return true;
+  }
+
+  // The transfer is moot the moment the fragment leaves recovery mode or
+  // changes peers: the coordinator completed it (a -W policy, or a client
+  // reported termination) or tore it down (another failure). Stop without
+  // reporting — the coordinator's own transitions settled the fragment.
+  session.BillCoordinatorOp();
+  ConfigurationPtr cfg = coordinator_->GetConfiguration();
+  const FragmentAssignment* a =
+      (cfg != nullptr && t.fragment < cfg->num_fragments())
+          ? &cfg->fragment(t.fragment)
+          : nullptr;
+  if (a == nullptr || a->mode != FragmentMode::kRecovery ||
+      a->primary != t.primary || a->secondary != t.secondary) {
+    session.BillCacheOp(t.secondary);
+    (void)sr.ReleaseRed(list_key, t.red_token);
+    task_.reset();
+    return true;
+  }
+
+  // Pull the next priority page of hot keys off the secondary. The scan is
+  // fragment-scoped, so this also verifies the secondary still serves the
+  // fragment (it holds its lease for the duration of recovery mode).
+  const OpContext ctx{t.config_id, t.fragment};
+  session.BillCacheOp(t.secondary);
+  auto page = sr.WorkingSetScan(ctx, t.num_fragments, t.wst_cursor,
+                                options_.wst_page_keys);
+  if (!page.ok()) {
+    // Secondary died (or dropped the fragment) mid-stream: abort cleanly.
+    // The coordinator's failure handling terminates the transfer; if the
+    // fragment survives in recovery mode, Redlease expiry lets another
+    // worker restart from the hottest band.
+    AbandonTask(session, /*release_red=*/true);
+    return true;
+  }
+  ++stats_.wst_pages;
+  t.wst_cursor = page->next_cursor;
+
+  // Install the page hottest-first, in arm -> fetch -> fill chunks of
+  // keys_per_step. The chunk bounds how long an armed I token sits idle:
+  // arming rides one round trip per key, so arming a whole page up front
+  // would let the tokens armed first expire (i_lease_lifetime) before their
+  // IqSet lands, silently dropping the tail of every large page. Within a
+  // chunk, IqGet-before-copy keeps every entry that survived the failure in
+  // place (a hit means the restored primary already has it — never clobber)
+  // and arms an I token on each miss; a client write racing the copy Qaregs
+  // the key, voiding the token, so the stale secondary value can never
+  // overwrite a fresher one (Lemma 4).
+  struct Pending {
+    const WorkingSetItem* item;
+    LeaseToken token;
+  };
+  std::vector<Pending> pending;
+  std::vector<GetRequest> gets;
+  for (size_t base = 0; base < page->items.size();
+       base += options_.keys_per_step) {
+    const size_t end =
+        std::min(page->items.size(), base + options_.keys_per_step);
+    if (base > 0) {
+      // A throttled multi-chunk page can outlast the Redlease; keep it live
+      // so the next Step (and the next chunk) still own the fragment.
+      session.BillCacheOp(t.secondary);
+      if (!sr.RenewRed(list_key, t.red_token).ok()) {
+        AbandonTask(session, /*release_red=*/false);
+        return true;
+      }
+    }
+
+    pending.clear();
+    pending.reserve(end - base);
+    for (size_t j = base; j < end; ++j) {
+      const WorkingSetItem& item = page->items[j];
+      session.BillCacheOp(t.primary);
+      auto got = pr.IqGet(ctx, item.key);
+      if (!got.ok()) {
+        if (got.code() == Code::kBackoff) {
+          // A client session holds a lease on this key — it is being
+          // handled.
+          ++stats_.wst_keys_skipped;
+          continue;
+        }
+        // Primary failed again or the config moved under us. Armed I tokens
+        // expire on their own; abandon the task.
+        AbandonTask(session, /*release_red=*/true);
+        return true;
+      }
+      if (got->value.has_value() || got->i_token == kNoLease) {
+        ++stats_.wst_keys_skipped;  // already warm in the primary
+        continue;
+      }
+      pending.push_back({&item, got->i_token});
+    }
+
+    // One pipelined MultiGet for the chunk's misses.
+    gets.clear();
+    gets.reserve(pending.size());
+    for (const Pending& p : pending) {
+      session.BillCacheOp(t.secondary);
+      gets.push_back({ctx, p.item->key});
+    }
+    auto values = sr.MultiGet(gets);
+
+    uint64_t installed_bytes = 0;
+    bool secondary_lost = false;
+    for (size_t i = 0; i < pending.size(); ++i) {
+      session.BillCacheOp(t.primary);
+      if (values[i].ok()) {
+        const uint64_t charged = values[i]->charged_bytes;
+        if (pr.IqSet(ctx, pending[i].item->key, std::move(*values[i]),
+                     pending[i].token)
+                .ok()) {
+          ++stats_.wst_keys_copied;
+          stats_.wst_bytes_copied += charged;
+          installed_bytes += charged;
+        } else {
+          ++stats_.wst_keys_skipped;  // token voided by a racing client write
+        }
+      } else if (values[i].code() == Code::kNotFound) {
+        // Evicted or deleted from the secondary since the scan; release the
+        // token (IDelete on a missing entry is a no-op delete).
+        (void)pr.IDelete(ctx, pending[i].item->key, pending[i].token);
+        ++stats_.wst_keys_skipped;
+      } else {
+        ++stats_.wst_keys_skipped;
+        secondary_lost = true;
+      }
+    }
+    if (secondary_lost) {
+      AbandonTask(session, /*release_red=*/true);
+      return true;
+    }
+
+    // Byte-rate throttle: pace the copy so its pull on the primary (and the
+    // network) stays bounded while foreground reads are being served.
+    // Applied per chunk, so the pacing stays smooth even when the scan
+    // returns page-per-fragment sized pages. Real wall-clock pacing, so DES
+    // deployments leave wst_bytes_per_sec at 0.
+    if (options_.wst_bytes_per_sec > 0 && installed_bytes > 0) {
+      const double secs = static_cast<double>(installed_bytes) /
+                          static_cast<double>(options_.wst_bytes_per_sec);
+      session.BillBackoff(Seconds(secs));
+      std::this_thread::sleep_for(std::chrono::duration<double>(secs));
+    }
+  }
+
+  if (t.wst_cursor == 0) {
+    FinishWorkingSet(session);
+    return true;
+  }
+  return false;
+}
+
 bool RecoveryWorker::Step(Session& session) {
   if (!task_.has_value()) return true;
+  if (task_->phase == Phase::kWorkingSet) return StepWorkingSet(session);
   Task& t = *task_;
   CacheBackend& pr = *instances_.at(t.primary);
   const OpContext ctx{t.config_id, t.fragment};
@@ -228,8 +443,9 @@ bool RecoveryWorker::Step(Session& session) {
   }
 
   if (t.next_key >= keys.size()) {
-    FinishTask(session);
-    return true;
+    FinishDrain(session);
+    // Under ±W the task rolls into the working-set phase instead of ending.
+    return !task_.has_value();
   }
   return false;
 }

@@ -1,5 +1,6 @@
 // RecoveryWorker: stateless workers that drain dirty lists (Section 3.2.3,
-// Algorithm 3).
+// Algorithm 3) and, under a ±W policy, stream the secondary's working set
+// back into the recovered primary (Section 3.2.2).
 //
 // A worker adopts one fragment in recovery mode at a time by acquiring the
 // Redlease on its dirty list in the secondary replica — this is the mutual
@@ -14,6 +15,23 @@
 //
 // Both are idempotent, so a worker crash mid-fragment is harmless: when its
 // Redlease expires, another worker redoes the fragment (Section 3.3).
+//
+// With Options::working_set_transfer on, a drained fragment does not end the
+// task: the worker keeps the Redlease and enters the working-set phase,
+// pulling priority-ordered hot-key pages off the secondary
+// (CacheBackend::WorkingSetScan) and installing them into the primary
+// hottest-first — the online warm-up that restores the hit ratio orders of
+// magnitude faster than cold refill (Figure 10, here on the real TCP stack).
+// The install path is race-safe without any new coordination: per key the
+// worker IqGets the primary (a hit means the pre-failure entry survived —
+// never clobbered), holds the miss's I token, MultiGets the values from the
+// secondary in one pipelined frame, and IqSets under the token. A client
+// write racing the copy Qaregs the key, which voids the I token (the IqSet
+// becomes a no-op) and deletes the secondary's copy — exactly the Lemma 4
+// argument Algorithm 1's client-driven copy relies on. The whole phase is
+// abortable and resumable: the scan cursor is server-side-stable, and a
+// worker that dies mid-stream is replaced via Redlease expiry, restarting
+// the scan from the hottest band (re-installs are idempotent skips).
 //
 // Processing is incremental (Step() handles a bounded batch of keys) so the
 // discrete-event harness can interleave worker progress with foreground
@@ -40,9 +58,26 @@ class RecoveryWorker {
     /// Overwrite dirty keys from the secondary (Gemini-O) instead of
     /// deleting them (Gemini-I).
     bool overwrite_dirty = true;
-    /// Keys processed per Step() call (harness interleaving granularity).
+    /// Keys processed per Step() call during the drain (harness
+    /// interleaving granularity), and the arm -> fetch -> fill chunk size of
+    /// the working-set install path — the chunk bounds how long an armed I
+    /// token waits before its IqSet, so large scan pages never outlive the
+    /// token lifetime.
     size_t keys_per_step = 64;
     Duration backoff = Millis(1);
+    /// Run the working-set phase after the drain (Gemini±W, Section 3.2.2).
+    /// Off by default: the simulator keeps its client-driven transfer with
+    /// hit-ratio termination; the real cluster (tools/gemini_cluster,
+    /// bench/bench_recovery) turns this on so workers stream the transfer
+    /// and report OnWorkingSetTransferTerminated themselves.
+    bool working_set_transfer = false;
+    /// Hot keys requested per working-set scan page.
+    uint32_t wst_page_keys = 256;
+    /// Byte-rate throttle on the working-set copy (charged bytes installed
+    /// per second); bounds the transfer's interference with foreground
+    /// reads. 0 = unthrottled. Real wall-clock pacing — leave 0 under a
+    /// virtual clock.
+    uint64_t wst_bytes_per_sec = 0;
   };
 
   /// Workers program against CacheBackend, so `instances` may be the
@@ -87,10 +122,25 @@ class RecoveryWorker {
     uint64_t keys_overwritten = 0;
     uint64_t keys_deleted = 0;
     uint64_t redlease_conflicts = 0;
+    // Working-set phase (Gemini±W): hot keys copied into the primary, keys
+    // skipped (already warm there, client-owned, or vanished from the
+    // secondary), charged bytes installed, scan pages pulled, transfers run
+    // to termination, and transfers aborted mid-stream (peer death /
+    // Redlease loss — another worker resumes via lease expiry).
+    uint64_t wst_keys_copied = 0;
+    uint64_t wst_keys_skipped = 0;
+    uint64_t wst_bytes_copied = 0;
+    uint64_t wst_pages = 0;
+    uint64_t wst_completed = 0;
+    uint64_t wst_aborts = 0;
   };
   [[nodiscard]] const Stats& stats() const { return stats_; }
 
  private:
+  /// kDrain replays the dirty list (Algorithm 3); kWorkingSet streams hot
+  /// pages off the secondary (Section 3.2.2) once the drain is done.
+  enum class Phase : uint8_t { kDrain, kWorkingSet };
+
   struct Task {
     FragmentId fragment = kInvalidFragment;
     InstanceId primary = kInvalidInstance;
@@ -101,11 +151,23 @@ class RecoveryWorker {
     LeaseToken red_token = kNoLease;
     DirtyList list;
     size_t next_key = 0;
+    Phase phase = Phase::kDrain;
+    /// Working-set phase state: the cluster's fragment count (scan routing)
+    /// and the resumable scan cursor (0 = hottest band).
+    uint32_t num_fragments = 0;
+    uint64_t wst_cursor = 0;
   };
 
-  // Finishes the fragment: delete the dirty list, release the Redlease,
-  // notify the coordinator (Algorithm 3 line 22).
-  void FinishTask(Session& session);
+  // Finishes the drain: reset the dirty list to its marker, notify the
+  // coordinator (Algorithm 3 line 22), then either release the fragment or
+  // roll into the working-set phase.
+  void FinishDrain(Session& session);
+  // One working-set page: scan the secondary, install misses into the
+  // primary under I tokens, throttle. Returns true when the task ended
+  // (transfer terminated or abandoned).
+  bool StepWorkingSet(Session& session);
+  // Ends a completed transfer: release the Redlease, report termination.
+  void FinishWorkingSet(Session& session);
   void AbandonTask(Session& session, bool release_red);
 
   const Clock* clock_;

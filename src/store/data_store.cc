@@ -1,8 +1,15 @@
 #include "src/store/data_store.h"
 
 #include <algorithm>
+#include <chrono>
+#include <thread>
 
 namespace gemini {
+
+void DataStore::SimulateLatency() const {
+  const Duration us = synthetic_latency_us_.load(std::memory_order_relaxed);
+  if (us > 0) std::this_thread::sleep_for(std::chrono::microseconds(us));
+}
 
 void DataStore::Put(std::string_view key, std::string data) {
   std::lock_guard<std::mutex> lock(mu_);
@@ -13,6 +20,7 @@ void DataStore::Put(std::string_view key, std::string data) {
 }
 
 Result<StoreRecord> DataStore::Query(std::string_view key) const {
+  SimulateLatency();
   std::lock_guard<std::mutex> lock(mu_);
   ++counters_.queries;
   auto it = records_.find(std::string(key));
@@ -24,6 +32,7 @@ Result<StoreRecord> DataStore::Query(std::string_view key) const {
 
 Version DataStore::Update(std::string_view key,
                           std::optional<std::string> data) {
+  SimulateLatency();
   std::lock_guard<std::mutex> lock(mu_);
   ++counters_.updates;
   auto& rec = records_[std::string(key)];
@@ -37,6 +46,7 @@ Version DataStore::Update(std::string_view key,
 }
 
 Version DataStore::ReserveVersion(std::string_view key) {
+  SimulateLatency();
   std::lock_guard<std::mutex> lock(mu_);
   auto& rec = records_[std::string(key)];
   rec.reserved = std::max(rec.reserved, rec.version) + 1;
@@ -45,6 +55,7 @@ Version DataStore::ReserveVersion(std::string_view key) {
 
 void DataStore::CommitReserved(std::string_view key, Version version,
                                std::optional<std::string> data) {
+  SimulateLatency();
   std::lock_guard<std::mutex> lock(mu_);
   ++counters_.updates;
   auto& rec = records_[std::string(key)];
@@ -65,6 +76,7 @@ Version DataStore::CommittedVersionOf(std::string_view key) const {
 
 StoreRecord DataStore::UpdateAndGet(std::string_view key,
                                     std::optional<std::string> data) {
+  SimulateLatency();
   std::lock_guard<std::mutex> lock(mu_);
   ++counters_.updates;
   auto& rec = records_[std::string(key)];

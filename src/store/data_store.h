@@ -66,6 +66,18 @@ class DataStore {
     }
   }
 
+  /// Models the store's per-operation round trip: the system of record is a
+  /// database across a network hop, not an in-process map, and the cost
+  /// asymmetry between a cache hit and a store fetch is what makes cache
+  /// warmth worth preserving. When nonzero, Query/Update/ReserveVersion/
+  /// CommitReserved each sleep this long (outside the lock — concurrent
+  /// callers overlap, as requests to a real store would) before touching
+  /// the records. Off by default; process-level harnesses and benches
+  /// opt in. Bulk loads (Put, LoadSynthetic*) are never delayed.
+  void set_synthetic_latency(Duration latency) {
+    synthetic_latency_us_.store(latency, std::memory_order_relaxed);
+  }
+
   /// Inserts or replaces a record with real bytes (examples / tests).
   void Put(std::string_view key, std::string data);
 
@@ -110,9 +122,14 @@ class DataStore {
   void ResetCounters();
 
  private:
+  /// Sleeps for the configured synthetic round trip; called by every
+  /// store operation before it takes mu_.
+  void SimulateLatency() const;
+
   mutable std::mutex mu_;
   std::unordered_map<std::string, StoreRecord> records_;
   mutable Stats counters_;
+  std::atomic<Duration> synthetic_latency_us_{0};
 };
 
 }  // namespace gemini

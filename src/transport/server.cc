@@ -962,6 +962,11 @@ struct TransportServer::Shard {
   std::atomic<uint64_t> flush_calls{0};
   std::atomic<uint64_t> frames_flushed{0};
   std::atomic<uint64_t> uring_sqe_batched{0};
+  // Working-set scan service (recovery workers pulling hot pages off this
+  // server's instances): pages served, keys and charged bytes enumerated.
+  std::atomic<uint64_t> ws_scan_pages{0};
+  std::atomic<uint64_t> ws_scan_keys{0};
+  std::atomic<uint64_t> ws_scan_bytes{0};
   // Acceptor-only state (shard 0's loop thread): the accept-error burst
   // guard's consecutive-failure count and suspension window.
   int consecutive_accept_errors = 0;
@@ -1232,6 +1237,9 @@ TransportServer::Stats TransportServer::stats() const {
     s.frames_flushed += shard->frames_flushed.load(std::memory_order_relaxed);
     s.uring_sqe_batched +=
         shard->uring_sqe_batched.load(std::memory_order_relaxed);
+    s.ws_scan_pages += shard->ws_scan_pages.load(std::memory_order_relaxed);
+    s.ws_scan_keys += shard->ws_scan_keys.load(std::memory_order_relaxed);
+    s.ws_scan_bytes += shard->ws_scan_bytes.load(std::memory_order_relaxed);
   }
   for (size_t slot = 0; slot < slot_ids_.size(); ++slot) {
     uint64_t frames = 0;
@@ -2060,6 +2068,42 @@ bool TransportServer::HandleFrame(Shard& shard, Connection& conn,
       return true;
     }
 
+    case wire::Op::kWorkingSetScan: {
+      OpContext ctx;
+      uint32_t num_fragments = 0;
+      uint64_t cursor = 0;
+      uint32_t max_keys = 0;
+      if (!r.GetContext(&ctx) || !r.GetU32(&num_fragments) ||
+          !r.GetU64(&cursor) || !r.GetU32(&max_keys) || !r.Done()) {
+        return malformed();
+      }
+      // Bound the page so a hostile max_keys cannot make the response
+      // outgrow kMaxFrameLen (worst case ~64KiB keys each): the scanner
+      // clamps, the client just sees a smaller page and more cursors.
+      constexpr uint32_t kMaxScanPage = 64 * 1024;
+      auto page = instance->WorkingSetScan(ctx, num_fragments, cursor,
+                                           std::min(max_keys, kMaxScanPage));
+      if (!page.ok()) {
+        RespondStatus(conn.out, page.status());
+        return true;
+      }
+      std::string resp;
+      wire::PutU64(resp, page->next_cursor);
+      wire::PutU32(resp, static_cast<uint32_t>(page->items.size()));
+      uint64_t page_bytes = 0;
+      for (const WorkingSetItem& item : page->items) {
+        wire::PutKey(resp, item.key);
+        wire::PutU32(resp, item.charged_bytes);
+        page_bytes += item.charged_bytes;
+      }
+      shard.ws_scan_pages.fetch_add(1, std::memory_order_relaxed);
+      shard.ws_scan_keys.fetch_add(page->items.size(),
+                                   std::memory_order_relaxed);
+      shard.ws_scan_bytes.fetch_add(page_bytes, std::memory_order_relaxed);
+      RespondOk(conn.out, resp);
+      return true;
+    }
+
     case wire::Op::kConfigIdGet: {
       if (!r.Done()) return malformed();
       std::string resp;
@@ -2178,6 +2222,11 @@ void TransportServer::HandleStats(Connection& conn) {
                       ? server.frames_flushed / server.flush_calls
                       : 0);
   kv.emplace_back("transport.uring_sqe_batched", server.uring_sqe_batched);
+  // Working-set transfer progress as seen from this server (the scan side;
+  // the pulling worker keeps its own install-side counters).
+  kv.emplace_back("recovery.scan_pages", server.ws_scan_pages);
+  kv.emplace_back("recovery.scan_keys", server.ws_scan_keys);
+  kv.emplace_back("recovery.scan_bytes", server.ws_scan_bytes);
   if (conn.instance != nullptr) {
     const auto it = server.per_instance.find(conn.bound_id);
     if (it != server.per_instance.end()) {

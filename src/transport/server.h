@@ -194,6 +194,13 @@ class TransportServer {
     uint64_t frames_flushed = 0;
     /// SQEs submitted in io_uring_enter batches (0 on readiness backends).
     uint64_t uring_sqe_batched = 0;
+    /// Working-set scan service (kWorkingSetScan, docs/PROTOCOL.md §13):
+    /// pages served, keys enumerated, and their summed charged bytes.
+    /// Recovery workers drive these while streaming a fragment's hot set
+    /// off this server; surfaced over kStats as recovery.scan_*.
+    uint64_t ws_scan_pages = 0;
+    uint64_t ws_scan_keys = 0;
+    uint64_t ws_scan_bytes = 0;
     struct PerInstance {
       uint64_t frames_handled = 0;
       uint64_t protocol_errors = 0;

@@ -430,6 +430,42 @@ Status TcpCacheBackend::RenewRed(std::string_view key, LeaseToken token) {
   return Transact(wire::Op::kRedRenew, body, &resp);
 }
 
+Result<WorkingSetPage> TcpCacheBackend::WorkingSetScan(const OpContext& ctx,
+                                                       uint32_t num_fragments,
+                                                       uint64_t cursor,
+                                                       uint32_t max_keys) {
+  std::string body;
+  wire::PutContext(body, ctx);
+  wire::PutU32(body, num_fragments);
+  wire::PutU64(body, cursor);
+  wire::PutU32(body, max_keys);
+  std::string resp;
+  if (Status s = Transact(wire::Op::kWorkingSetScan, body, &resp); !s.ok()) {
+    return s;
+  }
+  wire::Reader r(resp);
+  WorkingSetPage page;
+  uint32_t count = 0;
+  if (!r.GetU64(&page.next_cursor) || !r.GetU32(&count) ||
+      static_cast<uint64_t>(count) * 6 > r.remaining()) {
+    // Each item is >= 6 wire bytes (key len 2 | charged 4).
+    return Status(Code::kInternal, "malformed WORKING_SET_SCAN response");
+  }
+  page.items.reserve(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    std::string_view key;
+    uint32_t charged = 0;
+    if (!r.GetKey(&key) || !r.GetU32(&charged)) {
+      return Status(Code::kInternal, "malformed WORKING_SET_SCAN response");
+    }
+    page.items.push_back(WorkingSetItem{std::string(key), charged});
+  }
+  if (!r.Done()) {
+    return Status(Code::kInternal, "malformed WORKING_SET_SCAN response");
+  }
+  return page;
+}
+
 Status TcpCacheBackend::Ping() {
   std::string resp;
   return Transact(wire::Op::kPing, {}, &resp);

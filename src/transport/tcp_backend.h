@@ -114,6 +114,13 @@ class TcpCacheBackend : public CacheBackend {
   Result<LeaseToken> AcquireRed(std::string_view key) override;
   Status ReleaseRed(std::string_view key, LeaseToken token) override;
   Status RenewRed(std::string_view key, LeaseToken token) override;
+  /// One kWorkingSetScan frame per page (docs/PROTOCOL.md §13). Idempotent:
+  /// the retry layer may resend a dropped page, and any returned cursor
+  /// resumes the scan after a reconnect.
+  Result<WorkingSetPage> WorkingSetScan(const OpContext& ctx,
+                                        uint32_t num_fragments,
+                                        uint64_t cursor,
+                                        uint32_t max_keys) override;
 
   // ---- Wire-only extras -----------------------------------------------------
 

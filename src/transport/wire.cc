@@ -30,6 +30,7 @@ bool IsKnownOp(uint8_t op) {
     case Op::kRedRenew:
     case Op::kDirtyListGet:
     case Op::kDirtyListAppend:
+    case Op::kWorkingSetScan:
     case Op::kConfigIdGet:
     case Op::kConfigIdBump:
     case Op::kSnapshot:
@@ -53,6 +54,7 @@ bool IsIdempotentOp(Op op) {
     case Op::kInstanceList:
     case Op::kGet:
     case Op::kDirtyListGet:
+    case Op::kWorkingSetScan:  // pure read over a stable cursor
     case Op::kConfigIdGet:
     case Op::kConfigIdBump:  // ObserveConfigId is a max-merge
     case Op::kStats:

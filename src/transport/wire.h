@@ -111,6 +111,18 @@ enum class Op : uint8_t {
   kDirtyListGet = 0x40,     // u64 config_id | u32 fragment        -> value
   kDirtyListAppend = 0x41,  // u64 config_id | u32 fragment | blob -> empty
 
+  // Working-set scan (Section 3.2.2, docs/PROTOCOL.md §13): paginated,
+  // priority-ordered enumeration of a fragment's hot keys on this instance.
+  // The request carries the cluster's fragment count because the instance
+  // does not know the fragment table — the server filters keys by
+  // Fnv1a64(key) % num_fragments == ctx.fragment. Earlier pages are hotter
+  // (approximate LRU priority bands); cursor 0 starts a scan, next_cursor 0
+  // means done. Pure read — idempotent, resumable from any returned cursor.
+  kWorkingSetScan = 0x42,  // ctx | u32 num_fragments | u64 cursor
+                           //     | u32 max_keys
+                           //     -> u64 next_cursor | u32 count
+                           //        | count * (key | u32 charged_bytes)
+
   // Configuration ids (Rejig, Section 3.2.4).
   kConfigIdGet = 0x50,   // empty     -> u64 latest_config_id
   kConfigIdBump = 0x51,  // u64 latest -> empty
@@ -183,7 +195,7 @@ bool IsKnownOp(uint8_t op);
 /// with the response unread — the server may or may not have executed it)
 /// cannot change the outcome. These are the only ops a client-side retry
 /// layer may resend automatically (docs/PROTOCOL.md §11): pure reads (kGet,
-/// kDirtyListGet, kConfigIdGet, kPing, kInstanceList, kStats,
+/// kDirtyListGet, kWorkingSetScan, kConfigIdGet, kPing, kInstanceList, kStats,
 /// kCoordConfigGet, kCoordConfigWatch, kCoordDirtyQuery), kConfigIdBump
 /// (a max-merge into the instance's observed configuration id), and the
 /// coordinator control ops whose state is level- rather than edge-triggered:

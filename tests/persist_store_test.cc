@@ -307,6 +307,47 @@ TEST_F(PersistentStoreTest, ConfigIdSurvivesThroughCheckpointHeadRecord) {
   EXPECT_EQ(q.instance->latest_config_id(), 42u);
 }
 
+TEST_F(PersistentStoreTest, CheckpointSchedulingIsDrivenByWalByteGrowth) {
+  const std::string dir = TempDir("lag_schedule");
+  PersistentStore::Options o = StoreOptions();
+  o.checkpoint_lag_bytes = 4096;
+  PersistentStore store(dir, o);
+  CacheInstance::Options opts;
+  opts.persistence = &store;
+  CacheInstance instance(1, &clock_, opts);
+  ASSERT_TRUE(store.Open(instance).ok());
+  const uint64_t boot_checkpoints = store.stats().checkpoints;
+
+  // Below the threshold, MaybeCheckpoint declines.
+  auto ran = store.MaybeCheckpoint();
+  ASSERT_TRUE(ran.ok());
+  EXPECT_FALSE(*ran);
+  EXPECT_EQ(store.stats().checkpoints, boot_checkpoints);
+
+  // ~8 KiB of upserts crosses the 4 KiB lag threshold. Sync() first so the
+  // writer thread has drained and the lag the scheduler sees is the lag the
+  // appends produced.
+  for (int i = 0; i < 16; ++i) {
+    ASSERT_TRUE(instance.Set(kCtx, "k" + std::to_string(i),
+                             CacheValue::OfData(std::string(512, 'v')))
+                    .ok());
+  }
+  ASSERT_TRUE(store.Sync().ok());
+  EXPECT_GT(store.stats().checkpoint_lag_bytes, o.checkpoint_lag_bytes);
+
+  ran = store.MaybeCheckpoint();
+  ASSERT_TRUE(ran.ok());
+  EXPECT_TRUE(*ran);
+  EXPECT_EQ(store.stats().checkpoints, boot_checkpoints + 1);
+  // The checkpoint collapsed the lag to the fresh segment's head record,
+  // so the scheduler is quiescent again until the log regrows.
+  EXPECT_LT(store.stats().checkpoint_lag_bytes, o.checkpoint_lag_bytes);
+  ran = store.MaybeCheckpoint();
+  ASSERT_TRUE(ran.ok());
+  EXPECT_FALSE(*ran);
+  EXPECT_EQ(store.stats().checkpoints, boot_checkpoints + 1);
+}
+
 TEST_F(PersistentStoreTest, CorruptLogFailsClosed) {
   const std::string dir = TempDir("corrupt");
   Process p = Boot(dir);

@@ -1,5 +1,8 @@
 // RecoveryWorker tests (Algorithm 3): Redlease mutual exclusion, overwrite
-// vs invalidate, completion notification, idempotent replay, abandonment.
+// vs invalidate, completion notification, idempotent replay, abandonment,
+// and the ±W working-set phase (Section 3.2.2): hottest-first restore
+// order, termination reporting, and clean abort when the secondary dies
+// mid-stream.
 #include "src/recovery/recovery_worker.h"
 
 #include "src/coordinator/coordinator.h"
@@ -268,6 +271,187 @@ TEST_F(RecoveryWorkerTest, MissingDirtyListReportsUnavailable) {
   // The fragment was discarded rather than recovered.
   EXPECT_EQ(coordinator_->ModeOf(f), FragmentMode::kNormal);
   EXPECT_GE(coordinator_->discarded_fragment_count(), 1u);
+}
+
+TEST_F(RecoveryWorkerTest, WorkingSetScanEnumeratesHottestFirstAndResumes) {
+  // The enumeration the ±W phase rides on, tested directly: a single-stripe
+  // instance yields exact global LRU order, two keys per page, and any
+  // returned cursor resumes without re-emitting or skipping.
+  CacheInstance instance(0, &clock_);
+  instance.GrantFragmentLease(0, 1, clock_.Now() + Seconds(60), 1);
+  const OpContext ctx{kInternalConfigId, 0};
+  std::vector<std::string> keys;
+  for (int i = 0; i < 6; ++i) {
+    keys.push_back("wsk" + std::to_string(i));
+    ASSERT_TRUE(
+        instance.Set(ctx, keys.back(), CacheValue::OfData("v", 1)).ok());
+  }
+  // Recency order is the Set order: wsk5 is the hottest. Internal keys
+  // (e.g. a dirty list riding in the same instance) must never surface.
+  ASSERT_TRUE(
+      instance.Set(ctx, DirtyListKey(0), CacheValue::OfData("m")).ok());
+
+  std::vector<std::string> seen;
+  uint64_t cursor = 0;
+  size_t pages = 0;
+  for (;; ++pages) {
+    ASSERT_LT(pages, 10u) << "scan did not terminate";
+    auto page = instance.WorkingSetScan(ctx, /*num_fragments=*/1, cursor,
+                                        /*max_keys=*/2);
+    ASSERT_TRUE(page.ok());
+    for (const auto& item : page->items) seen.push_back(item.key);
+    cursor = page->next_cursor;
+    if (cursor == 0) break;
+  }
+  EXPECT_EQ(seen, (std::vector<std::string>{"wsk5", "wsk4", "wsk3", "wsk2",
+                                            "wsk1", "wsk0"}));
+
+  // The scan is a pure read: re-running it yields the identical sequence
+  // (no LRU perturbation), and a mid-scan cursor replays its own tail.
+  auto first = instance.WorkingSetScan(ctx, 1, 0, 2);
+  ASSERT_TRUE(first.ok());
+  ASSERT_EQ(first->items.size(), 2u);
+  EXPECT_EQ(first->items[0].key, "wsk5");
+  auto resumed = instance.WorkingSetScan(ctx, 1, first->next_cursor, 2);
+  ASSERT_TRUE(resumed.ok());
+  ASSERT_EQ(resumed->items.size(), 2u);
+  EXPECT_EQ(resumed->items[0].key, "wsk3");
+  EXPECT_EQ(resumed->items[1].key, "wsk2");
+}
+
+TEST_F(RecoveryWorkerTest, WorkingSetPhaseRestoresHottestFirstAndTerminates) {
+  RecoveryWorker::Options wopts;
+  wopts.working_set_transfer = true;
+  wopts.wst_page_keys = 2;
+  Build(RecoveryPolicy::GeminiOW(), wopts);
+
+  // Six keys of one instance-0 fragment. They are read only *during* the
+  // outage, so the secondary accumulates them (the outage working set) and
+  // the restarted primary holds none of them.
+  auto cfg = coordinator_->GetConfiguration();
+  const FragmentId f = cfg->FragmentOf(DirtyInstance0Keys(1)[0]);
+  std::vector<std::string> keys;
+  for (int i = 0; i < 400 && keys.size() < 6; ++i) {
+    std::string key = "user" + std::to_string(i);
+    if (cfg->FragmentOf(key) == f) keys.push_back(std::move(key));
+  }
+  ASSERT_EQ(keys.size(), 6u);
+
+  coordinator_->OnInstanceFailed(0);
+  // Reads in order k0..k5 warm the (single-stripe) secondary: k5 hottest.
+  for (const auto& k : keys) ASSERT_TRUE(client_->Read(session_, k).ok());
+  coordinator_->OnInstanceRecovered(0);
+  ASSERT_EQ(coordinator_->ModeOf(f), FragmentMode::kRecovery);
+
+  // Recover the other instance-0 fragments first so fragment f's phase can
+  // be stepped page by page in isolation.
+  Session s;
+  for (int guard = 0;; ++guard) {
+    ASSERT_LT(guard, 10000) << "never adopted fragment " << f;
+    if (!worker_->has_work()) {
+      auto adopted = worker_->TryAdoptFragment(s);
+      ASSERT_TRUE(adopted.has_value());
+      if (*adopted == f) break;
+    }
+    (void)worker_->Step(s);
+  }
+
+  // Step 1 drains the (marker-only) dirty list and rolls into the
+  // working-set phase instead of finishing the task.
+  EXPECT_FALSE(worker_->Step(s));
+  EXPECT_TRUE(worker_->has_work());
+
+  // Each further step installs one priority page: hottest pair first.
+  ASSERT_FALSE(worker_->Step(s));
+  EXPECT_TRUE(raw_[0]->ContainsRaw(keys[5]));
+  EXPECT_TRUE(raw_[0]->ContainsRaw(keys[4]));
+  EXPECT_FALSE(raw_[0]->ContainsRaw(keys[3]));
+  EXPECT_FALSE(raw_[0]->ContainsRaw(keys[0]));
+  ASSERT_FALSE(worker_->Step(s));
+  EXPECT_TRUE(raw_[0]->ContainsRaw(keys[3]));
+  EXPECT_TRUE(raw_[0]->ContainsRaw(keys[2]));
+  EXPECT_FALSE(worker_->Step(s));
+  EXPECT_TRUE(raw_[0]->ContainsRaw(keys[1]));
+  EXPECT_TRUE(raw_[0]->ContainsRaw(keys[0]));
+
+  // The next (empty) page terminates the transfer: Redlease released,
+  // coordinator notified, fragment back to normal.
+  EXPECT_TRUE(worker_->Step(s));
+  EXPECT_FALSE(worker_->has_work());
+  EXPECT_EQ(worker_->stats().wst_keys_copied, 6u);
+  EXPECT_GE(worker_->stats().wst_completed, 1u);
+  EXPECT_EQ(worker_->stats().wst_aborts, 0u);
+  EXPECT_EQ(coordinator_->ModeOf(f), FragmentMode::kNormal);
+
+  // The restored primary serves the working set as cache hits, byte-exact.
+  const auto queries_before = store_.stats().queries;
+  for (const auto& k : keys) {
+    auto r = client_->Read(session_, k);
+    ASSERT_TRUE(r.ok());
+    EXPECT_TRUE(r->cache_hit) << k;
+    EXPECT_EQ(r->value.version, store_.VersionOf(k)) << k;
+  }
+  EXPECT_EQ(store_.stats().queries, queries_before);
+}
+
+TEST_F(RecoveryWorkerTest, WorkingSetAbortsCleanlyWhenSecondaryDiesMidStream) {
+  RecoveryWorker::Options wopts;
+  wopts.working_set_transfer = true;
+  wopts.wst_page_keys = 2;
+  Build(RecoveryPolicy::GeminiOW(), wopts);
+
+  auto cfg = coordinator_->GetConfiguration();
+  const FragmentId f = cfg->FragmentOf(DirtyInstance0Keys(1)[0]);
+  std::vector<std::string> keys;
+  for (int i = 0; i < 400 && keys.size() < 6; ++i) {
+    std::string key = "user" + std::to_string(i);
+    if (cfg->FragmentOf(key) == f) keys.push_back(std::move(key));
+  }
+  ASSERT_EQ(keys.size(), 6u);
+
+  coordinator_->OnInstanceFailed(0);
+  for (const auto& k : keys) ASSERT_TRUE(client_->Read(session_, k).ok());
+  coordinator_->OnInstanceRecovered(0);
+  // The replica serving fragment f through the outage, per the *current*
+  // (recovery-mode) configuration.
+  const InstanceId sec =
+      coordinator_->GetConfiguration()->fragment(f).secondary;
+  ASSERT_LT(sec, kInstances);
+
+  Session s;
+  for (int guard = 0;; ++guard) {
+    ASSERT_LT(guard, 10000) << "never adopted fragment " << f;
+    if (!worker_->has_work()) {
+      auto adopted = worker_->TryAdoptFragment(s);
+      ASSERT_TRUE(adopted.has_value());
+      if (*adopted == f) break;
+    }
+    (void)worker_->Step(s);
+  }
+  EXPECT_FALSE(worker_->Step(s));  // drain -> working-set phase
+  EXPECT_FALSE(worker_->Step(s));  // first page lands
+
+  // The secondary dies mid-stream. The worker's next step must abort the
+  // task cleanly — no retry loop against a corpse, no lease left behind.
+  raw_[sec]->Fail();
+  coordinator_->OnInstanceFailed(sec);
+  EXPECT_TRUE(worker_->Step(s));
+  EXPECT_FALSE(worker_->has_work());
+  EXPECT_GE(worker_->stats().wst_aborts, 1u);
+
+  // The coordinator's failure handling terminated the transfer; the worker
+  // pool finds nothing stuck behind the dead secondary's Redlease and the
+  // cluster converges out of recovery mode.
+  DrainWorker();
+  EXPECT_TRUE(coordinator_->FragmentsInMode(FragmentMode::kRecovery).empty());
+
+  // Zero stale reads afterwards: every surviving or refilled value matches
+  // the data store exactly.
+  for (const auto& k : keys) {
+    auto r = client_->Read(session_, k);
+    ASSERT_TRUE(r.ok());
+    EXPECT_EQ(r->value.version, store_.VersionOf(k)) << k;
+  }
 }
 
 TEST_F(RecoveryWorkerTest, StepsAreBoundedByKeysPerStep) {

@@ -162,6 +162,48 @@ TEST(WireFrameTest, EveryTruncationPrefixNeedsMore) {
   }
 }
 
+TEST(WireFrameTest, TruncatedWorkingSetScanFramesNeedMore) {
+  // The §13 request and response shapes, cut at every byte boundary: a
+  // half-received scan page must never decode as a (shorter) valid frame.
+  std::string req_body;
+  PutContext(req_body, OpContext{42, 3});
+  PutU32(req_body, 8);                 // num_fragments
+  PutU64(req_body, (2ull << 32) | 1);  // cursor
+  PutU32(req_body, 128);               // max_keys
+  std::string resp_body;
+  PutU64(resp_body, (2ull << 32) | 4);  // next_cursor
+  PutU32(resp_body, 2);                 // count
+  for (const char* key : {"hot-a", "hot-b"}) {
+    PutKey(resp_body, key);
+    PutU32(resp_body, 64);  // charged_bytes
+  }
+  for (const auto& [tag_byte, body_bytes] :
+       {std::pair<uint8_t, std::string*>(
+            static_cast<uint8_t>(Op::kWorkingSetScan), &req_body),
+        std::pair<uint8_t, std::string*>(static_cast<uint8_t>(Code::kOk),
+                                         &resp_body)}) {
+    std::string full;
+    AppendFrame(full, tag_byte, *body_bytes);
+    for (size_t cut = 0; cut < full.size(); ++cut) {
+      size_t consumed = 0;
+      uint8_t tag = 0;
+      std::string_view decoded;
+      EXPECT_EQ(DecodeFrame(std::string_view(full).substr(0, cut), &consumed,
+                            &tag, &decoded),
+                DecodeResult::kNeedMore)
+          << "tag 0x" << std::hex << static_cast<int>(tag_byte) << " cut at "
+          << std::dec << cut;
+    }
+    size_t consumed = 0;
+    uint8_t tag = 0;
+    std::string_view decoded;
+    ASSERT_EQ(DecodeFrame(full, &consumed, &tag, &decoded),
+              DecodeResult::kFrame);
+    EXPECT_EQ(tag, tag_byte);
+    EXPECT_EQ(decoded, *body_bytes);
+  }
+}
+
 TEST(WireFrameTest, BackToBackFramesDecodeIndividually) {
   std::string out;
   AppendRequest(out, Op::kPing, {});
@@ -203,6 +245,7 @@ TEST(WireOpTest, KnownAndUnknownOpcodes) {
   EXPECT_TRUE(IsKnownOp(static_cast<uint8_t>(Op::kCoordDirtyQuery)));
   EXPECT_TRUE(IsKnownOp(static_cast<uint8_t>(Op::kMultiSet)));
   EXPECT_TRUE(IsKnownOp(static_cast<uint8_t>(Op::kMultiDelete)));
+  EXPECT_TRUE(IsKnownOp(static_cast<uint8_t>(Op::kWorkingSetScan)));
   EXPECT_FALSE(IsKnownOp(0x00));
   EXPECT_FALSE(IsKnownOp(0xFF));
   EXPECT_FALSE(IsKnownOp(0x3F));
@@ -221,6 +264,9 @@ TEST(WireOpTest, RetrySafetyClassification) {
   EXPECT_TRUE(IsIdempotentOp(Op::kCoordConfigGet));
   EXPECT_TRUE(IsIdempotentOp(Op::kCoordConfigWatch));
   EXPECT_TRUE(IsIdempotentOp(Op::kCoordDirtyQuery));
+  // The scan mutates nothing and any returned cursor is replay-safe
+  // (docs/PROTOCOL.md §13): the client may auto-retry a lost page.
+  EXPECT_TRUE(IsIdempotentOp(Op::kWorkingSetScan));
   EXPECT_FALSE(IsIdempotentOp(Op::kCoordReport));
   EXPECT_FALSE(IsIdempotentOp(Op::kSet));
   EXPECT_FALSE(IsIdempotentOp(Op::kIqSet));
@@ -435,6 +481,14 @@ TEST(WireGrammarTest, EveryOpcodeBodyRoundTrips) {
     cases.push_back({Op::kDirtyListGet, b});
     PutBlob(b, "rec");
     cases.push_back({Op::kDirtyListAppend, b});
+  }
+  {
+    std::string b;
+    PutContext(b, ctx);
+    PutU32(b, 8);                   // num_fragments
+    PutU64(b, (3ull << 32) | 5);    // cursor: band 3, stripe 5
+    PutU32(b, 256);                 // max_keys
+    cases.push_back({Op::kWorkingSetScan, b});
   }
   cases.push_back({Op::kConfigIdGet, {}});
   {

@@ -86,6 +86,9 @@ void Usage(const char* argv0) {
             << "  --keys K       keys per client thread (default 64)\n"
             << "  --ops N        foreground ops per thread per burst "
                "(default 400)\n"
+            << "  --heartbeat-ms N  heartbeat cadence for coordinator and\n"
+               "                 nodes; failover after 3 missed beats\n"
+               "                 (default 50)\n"
             << "  --verbose      info-level logging\n";
 }
 
@@ -155,11 +158,16 @@ struct Flags {
   size_t cycles = 2;
   size_t keys = 64;
   size_t ops = 400;
+  uint64_t heartbeat_ms = 50;
 };
 
 constexpr size_t kClientThreads = 2;
 constexpr size_t kRecoveryWorkers = 2;
-constexpr uint64_t kHeartbeatMs = 50;
+/// Heartbeat cadence handed to geminicoordd and every geminid (failover
+/// fires after 3 missed beats). Set once from --heartbeat-ms before any
+/// process spawns; deep CI rounds raise it so a sanitizer-slowed scheduler
+/// stall does not read as an instance death.
+uint64_t g_heartbeat_ms = 50;
 
 /// One geminid process plus the seeded chaos proxy in front of its data
 /// port. The proxy targets the *fixed* server port, so a restarted victim
@@ -179,7 +187,7 @@ bool SpawnNode(Node& node, uint16_t coord_port) {
       "--instance",    std::to_string(node.id),
       "--data-dir",    node.data_dir,
       "--coordinator", "127.0.0.1:" + std::to_string(coord_port),
-      "--heartbeat-interval-ms", std::to_string(kHeartbeatMs),
+      "--heartbeat-interval-ms", std::to_string(g_heartbeat_ms),
       "--threads",     "2"};
   node.child = Spawn(GEMINID_PATH, args);
   if (node.child.pid <= 0) return false;
@@ -218,6 +226,7 @@ bool WaitFor(Pred pred, Duration timeout) {
 }
 
 int Run(const Flags& flags) {
+  g_heartbeat_ms = flags.heartbeat_ms;
   const size_t fragments =
       flags.fragments != 0 ? flags.fragments : 2 * flags.instances;
 
@@ -236,7 +245,7 @@ int Run(const Flags& flags) {
       GEMINICOORDD_PATH,
       {"--port", "0", "--cluster-size", std::to_string(flags.instances),
        "--fragments", std::to_string(fragments), "--heartbeat-interval-ms",
-       std::to_string(kHeartbeatMs), "--miss-threshold", "3",
+       std::to_string(g_heartbeat_ms), "--miss-threshold", "3",
        "--lease-ttl-ms", "3000"});
   const uint16_t coord_port =
       PortFromBanner(ReadUntil(coord.stdout_fd, "coordinating"));
@@ -323,13 +332,22 @@ int Run(const Flags& flags) {
     for (size_t j = 0; j < flags.keys; ++j) store.Put(key_of(t, j), "seed");
   }
 
-  // ---- Recovery workers (drain dirty lists over TCP) ------------------------
+  // ---- Recovery workers (drain dirty lists, then stream the working set) ----
   std::atomic<bool> workers_stop{false};
   std::vector<std::thread> workers;
+  std::vector<RecoveryWorker::Stats> worker_stats(kRecoveryWorkers);
   for (size_t w = 0; w < kRecoveryWorkers; ++w) {
-    workers.emplace_back([&] {
+    workers.emplace_back([&, w] {
+      // The coordinator runs its default gemini-o+W policy: after draining a
+      // dirty list the worker keeps the fragment and streams the secondary's
+      // hot keys back into the restarted primary (kWorkingSetScan pages),
+      // reporting the transfer's termination itself — recovery mode does not
+      // end until it does.
+      RecoveryWorker::Options wopts;
+      wopts.working_set_transfer = true;
+      wopts.wst_page_keys = 128;
       RecoveryWorker worker(&SystemClock::Global(), &coordinator,
-                            backend_ptrs);
+                            backend_ptrs, wopts);
       Session session;
       while (!workers_stop.load(std::memory_order_acquire)) {
         if (worker.TryAdoptFragment(session).has_value()) {
@@ -339,6 +357,7 @@ int Run(const Flags& flags) {
           std::this_thread::sleep_for(std::chrono::milliseconds(20));
         }
       }
+      worker_stats[w] = worker.stats();
     });
   }
 
@@ -456,6 +475,26 @@ int Run(const Flags& flags) {
             << " writes (" << cs.cache_hits << " hits, " << cs.store_reads
             << " store fallthroughs, " << suspended_writes.load()
             << " suspended)" << std::endl;
+  RecoveryWorker::Stats ws;
+  for (const RecoveryWorker::Stats& s : worker_stats) {
+    ws.fragments_recovered += s.fragments_recovered;
+    ws.fragments_abandoned += s.fragments_abandoned;
+    ws.keys_overwritten += s.keys_overwritten;
+    ws.wst_keys_copied += s.wst_keys_copied;
+    ws.wst_keys_skipped += s.wst_keys_skipped;
+    ws.wst_bytes_copied += s.wst_bytes_copied;
+    ws.wst_pages += s.wst_pages;
+    ws.wst_completed += s.wst_completed;
+    ws.wst_aborts += s.wst_aborts;
+  }
+  std::cout << "gemini_cluster: recovery " << ws.fragments_recovered
+            << " fragments drained (" << ws.keys_overwritten
+            << " dirty keys overwritten, " << ws.fragments_abandoned
+            << " abandoned); working set " << ws.wst_completed
+            << " transfers completed / " << ws.wst_aborts << " aborted, "
+            << ws.wst_keys_copied << " keys copied ("
+            << ws.wst_bytes_copied << " bytes, " << ws.wst_pages
+            << " pages), " << ws.wst_keys_skipped << " skipped" << std::endl;
   if (stale != 0 && exit_code == 0) exit_code = 1;
 
   // Coordinator first: once its ticker halts, the geminids going away does
@@ -502,6 +541,12 @@ int main(int argc, char** argv) {
       flags.keys = gemini::ParseUint(arg, next(), 1 << 20);
     } else if (arg == "--ops") {
       flags.ops = gemini::ParseUint(arg, next(), 1 << 24);
+    } else if (arg == "--heartbeat-ms") {
+      flags.heartbeat_ms = gemini::ParseUint(arg, next(), 60000);
+      if (flags.heartbeat_ms == 0) {
+        std::cerr << "gemini_cluster: --heartbeat-ms must be > 0\n";
+        return 2;
+      }
     } else if (arg == "--verbose") {
       gemini::LogState::SetLevel(gemini::LogLevel::kInfo);
     } else if (arg == "--help" || arg == "-h") {

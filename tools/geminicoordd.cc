@@ -23,10 +23,11 @@
 //                [--lease-ttl-ms N] [--policy NAME] [--threads N] [--poll]
 //                [--verbose]
 //
-// --policy defaults to gemini-o, not the library's Gemini-O+W: completing a
-// +W recovery requires clients that run the working set transfer and report
-// its termination (kCoordReport). A networked cluster whose clients do not
-// would leave recovered fragments waiting forever.
+// --policy defaults to gemini-ow (the library's default): recovery workers
+// run the working set transfer themselves — streaming the secondary's hot
+// keys back into the recovered primary via kWorkingSetScan — and report its
+// termination, so a networked cluster needs no cooperating clients for +W to
+// complete. Pass --policy gemini-o to fall back to dirty-list-only recovery.
 //
 // SIGINT/SIGTERM shut down gracefully: the ticker halts (no more failure
 // verdicts or pushes), then the server drains.
@@ -64,10 +65,10 @@ void Usage(const char* argv0) {
          "                         instance is failed over (default 3)\n"
       << "  --lease-ttl-ms N       fragment lease lifetime granted to\n"
          "                         instances (default 5000; renewed at ~1/3)\n"
-      << "  --policy NAME          recovery policy: gemini-o (default),\n"
-         "                         gemini-i, gemini-ow, gemini-iw, stale,\n"
-         "                         volatile; +W variants need clients that\n"
-         "                         run the working set transfer\n"
+      << "  --policy NAME          recovery policy: gemini-ow (default),\n"
+         "                         gemini-o, gemini-i, gemini-iw, stale,\n"
+         "                         volatile; +W transfers are streamed by\n"
+         "                         the recovery workers (gemini_cluster)\n"
       << "  --threads N            event-loop shards (default 1; the control\n"
          "                         plane is not the data path)\n"
       << "  --poll                 use the portable poll(2) loop, not epoll\n"
@@ -114,7 +115,7 @@ int main(int argc, char** argv) {
   uint64_t lease_ttl_ms = 5000;
   uint64_t threads = 1;
   bool use_poll = false;
-  gemini::RecoveryPolicy policy = gemini::RecoveryPolicy::GeminiO();
+  gemini::RecoveryPolicy policy = gemini::RecoveryPolicy::GeminiOW();
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
