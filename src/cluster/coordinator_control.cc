@@ -98,6 +98,8 @@ void CoordinatorControl::TickerLoop() {
       LOG_INFO << "coordinator: instance " << id << " registered; recovering";
       coordinator_->OnInstanceRecovered(id);
     }
+    recoveries_detected_.fetch_add(t.recovered.size(),
+                                   std::memory_order_relaxed);
     if (!t.failed.empty()) {
       for (InstanceId id : t.failed) {
         endpoints_[id]->SetUp(false);
@@ -105,6 +107,11 @@ void CoordinatorControl::TickerLoop() {
                  << " missed its heartbeat deadline; failing over";
       }
       coordinator_->OnInstancesFailed(t.failed);
+      failures_detected_.fetch_add(t.failed.size(), std::memory_order_relaxed);
+    }
+    if ((!t.recovered.empty() || !t.failed.empty()) &&
+        options_.on_state_mutation) {
+      options_.on_state_mutation();
     }
     const Timestamp now = clock_->Now();
     if (now - last_renew >= renew_period) {
@@ -153,6 +160,8 @@ ControlPlane::Reply CoordinatorControl::HandleRegister(std::string_view body) {
     std::lock_guard<std::mutex> lock(mu_);
     monitor_.Register(instance);
   }
+  registrations_.fetch_add(1, std::memory_order_relaxed);
+  if (options_.on_state_mutation) options_.on_state_mutation();
   // The recovery cycle itself runs on the ticker (next tick drains the
   // registration edge); the shard thread only records the beat and replies.
   Reply reply;
@@ -189,6 +198,7 @@ ControlPlane::Reply CoordinatorControl::HandleHeartbeat(std::string_view body) {
       all_registered &= monitor_.alive(id);
     }
   }
+  heartbeats_received_.fetch_add(1, std::memory_order_relaxed);
   Reply reply;
   wire::PutU64(reply.body, coordinator_->latest_id());
   wire::PutU8(reply.body, all_registered ? 1 : 0);
@@ -239,6 +249,7 @@ ControlPlane::Reply CoordinatorControl::HandleReport(std::string_view body) {
       coordinator_->OnDirtyListUnavailable(fragment);
       break;
   }
+  if (options_.on_state_mutation) options_.on_state_mutation();
   return {};
 }
 
@@ -253,6 +264,22 @@ ControlPlane::Reply CoordinatorControl::HandleDirtyQuery(
   Reply reply;
   wire::PutU8(reply.body, coordinator_->DirtyProcessed(fragment) ? 1 : 0);
   return reply;
+}
+
+std::vector<std::pair<std::string, uint64_t>> CoordinatorControl::ExtraStats() {
+  return {
+      {"cluster.registrations",
+       registrations_.load(std::memory_order_relaxed)},
+      {"cluster.heartbeats_received",
+       heartbeats_received_.load(std::memory_order_relaxed)},
+      {"cluster.failures_detected",
+       failures_detected_.load(std::memory_order_relaxed)},
+      {"cluster.recoveries_detected",
+       recoveries_detected_.load(std::memory_order_relaxed)},
+      {"cluster.config_id", coordinator_->latest_id()},
+      {"cluster.discarded_fragments",
+       coordinator_->discarded_fragment_count()},
+  };
 }
 
 }  // namespace gemini

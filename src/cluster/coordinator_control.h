@@ -37,8 +37,10 @@
 #include <atomic>
 #include <condition_variable>
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <mutex>
+#include <utility>
 #include <string>
 #include <string_view>
 #include <thread>
@@ -62,6 +64,13 @@ class CoordinatorControl final : public ControlPlane {
     ClusterEndpoint::Options endpoint;
     /// Ticker period; 0 = the heartbeat interval.
     Duration tick_interval = 0;
+    /// Invoked after every event that mutated the replicable
+    /// CoordinatorState: a registration, a failure/recovery edge (and the
+    /// Rejig it published), or a dirty-list/WST report. This is the
+    /// replication trigger — CoordinatorReplica uses it to schedule a
+    /// kCoordShadowSync to every shadow. Runs on shard threads and the
+    /// ticker; must be thread-safe and cheap (a cv notify, not an RPC).
+    std::function<void()> on_state_mutation;
   };
 
   CoordinatorControl(const Clock* clock, Options options);
@@ -80,6 +89,10 @@ class CoordinatorControl final : public ControlPlane {
 
   // ControlPlane (runs on server shard threads).
   Reply HandleControl(wire::Op op, std::string_view body) override;
+
+  /// `cluster.*` counters for this coordinator's kStats response
+  /// (docs/PROTOCOL.md §12.6), mirroring the persist.* pattern.
+  std::vector<std::pair<std::string, uint64_t>> ExtraStats() override;
 
   /// Seeds heartbeat expectation from previously exported coordinator state
   /// (a restarted/promoted coordinator): every instance believed up gets a
@@ -114,6 +127,12 @@ class CoordinatorControl final : public ControlPlane {
   bool stop_ = false;
   std::condition_variable ticker_cv_;
   std::thread ticker_;
+
+  // cluster.* counters (kStats; shard threads + ticker, hence atomics).
+  std::atomic<uint64_t> registrations_{0};
+  std::atomic<uint64_t> heartbeats_received_{0};
+  std::atomic<uint64_t> failures_detected_{0};
+  std::atomic<uint64_t> recoveries_detected_{0};
 };
 
 }  // namespace gemini

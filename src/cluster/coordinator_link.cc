@@ -13,9 +13,16 @@ CoordinatorLink::CoordinatorLink(Options options)
   TcpConnection::Options conn_opts;
   conn_opts.io_timeout = options_.io_timeout;
   conn_opts.connect_timeout = options_.connect_timeout;
-  conn_ = TcpConnection::Acquire(options_.coordinator_host,
-                                 options_.coordinator_port, wire::kAnyInstance,
-                                 conn_opts);
+  std::vector<Endpoint> endpoints = options_.coordinators;
+  if (endpoints.empty()) {
+    endpoints.push_back({options_.coordinator_host, options_.coordinator_port});
+  }
+  conns_.reserve(endpoints.size());
+  for (const auto& ep : endpoints) {
+    conns_.push_back(
+        TcpConnection::Acquire(ep.host, ep.port, wire::kAnyInstance,
+                               conn_opts));
+  }
 }
 
 CoordinatorLink::~CoordinatorLink() { Stop(); }
@@ -38,14 +45,28 @@ void CoordinatorLink::Stop() {
   if (thread_.joinable()) thread_.join();
 }
 
+void CoordinatorLink::Rotate() {
+  if (conns_.size() < 2) return;
+  active_ = (active_ + 1) % conns_.size();
+  endpoint_switches_.fetch_add(1, std::memory_order_relaxed);
+  LOG_INFO << "instance " << options_.instance
+           << ": rotating to coordinator endpoint " << active_;
+}
+
 bool CoordinatorLink::TryRegister() {
   std::string body;
   wire::PutU32(body, options_.instance);
   wire::PutBlob(body, options_.advertise_host);
   wire::PutU16(body, options_.advertise_port);
   std::string resp;
-  const Status s = conn_->Transact(wire::Op::kCoordRegister, body, &resp);
-  if (!s.ok()) return false;
+  const Status s = conn().Transact(wire::Op::kCoordRegister, body, &resp);
+  if (!s.ok()) {
+    // Dead (kUnavailable) or shadow (kNotMaster) coordinator: try the next
+    // endpoint on the following round. Registration is idempotent, so
+    // landing on the real master twice is harmless.
+    Rotate();
+    return false;
+  }
   wire::Reader r(resp);
   uint64_t latest = 0;
   if (!r.GetU64(&latest) || !r.Done()) return false;
@@ -60,8 +81,13 @@ bool CoordinatorLink::TryHeartbeat() {
   wire::PutU32(body, 1);
   wire::PutU32(body, options_.instance);
   std::string resp;
-  const Status s = conn_->Transact(wire::Op::kCoordHeartbeat, body, &resp);
-  if (!s.ok()) return false;
+  const Status s = conn().Transact(wire::Op::kCoordHeartbeat, body, &resp);
+  if (!s.ok()) {
+    // The master died or was demoted under us; re-register with the next
+    // endpoint (the promoted master's grace window expects exactly that).
+    Rotate();
+    return false;
+  }
   wire::Reader r(resp);
   uint64_t latest = 0;
   uint8_t still_registered = 0;

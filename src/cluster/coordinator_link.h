@@ -16,6 +16,12 @@
 // it (re)learns the instance's address and how HeartbeatMonitor
 // distinguishes a restarted process (recovery edge) from a delayed beat.
 //
+// With a replicated coordinator group (docs/PROTOCOL.md §12.7), the link
+// holds the full endpoint list and rotates to the next endpoint whenever a
+// round fails — the coordinator died (kUnavailable) or answered kNotMaster
+// (a shadow). Rotation re-registers, which is exactly the promoted master's
+// grace-window expectation.
+//
 // Start() never blocks on the coordinator being reachable: the first
 // registration attempt happens on the link thread.
 //
@@ -30,6 +36,7 @@
 #include <mutex>
 #include <string>
 #include <thread>
+#include <vector>
 
 #include "src/common/clock.h"
 #include "src/common/types.h"
@@ -39,9 +46,18 @@ namespace gemini {
 
 class CoordinatorLink {
  public:
+  struct Endpoint {
+    std::string host;
+    uint16_t port = 0;
+  };
+
   struct Options {
+    /// The single-coordinator form; ignored when `coordinators` is set.
     std::string coordinator_host;
     uint16_t coordinator_port = 0;
+    /// The replicated form: the deployment's ordered coordinator endpoint
+    /// list (master and shadows). Empty = use coordinator_host/port.
+    std::vector<Endpoint> coordinators;
     /// The instance this link speaks for.
     InstanceId instance = 0;
     /// The data-plane address the coordinator should dial back (the
@@ -72,13 +88,24 @@ class CoordinatorLink {
     return registered_.load(std::memory_order_acquire);
   }
 
+  /// Times the link rotated to another coordinator endpoint.
+  [[nodiscard]] uint64_t endpoint_switches() const {
+    return endpoint_switches_.load(std::memory_order_relaxed);
+  }
+
  private:
   void Loop();
   bool TryRegister();
   bool TryHeartbeat();
+  TcpConnection& conn() { return *conns_[active_]; }
+  /// Next endpoint; called after a failed round (link thread only).
+  void Rotate();
 
   const Options options_;
-  std::shared_ptr<TcpConnection> conn_;
+  std::vector<std::shared_ptr<TcpConnection>> conns_;
+  /// Index into conns_; touched only by the link thread.
+  size_t active_ = 0;
+  std::atomic<uint64_t> endpoint_switches_{0};
 
   std::atomic<bool> registered_{false};
   std::mutex mu_;

@@ -1,0 +1,393 @@
+#include "src/cluster/coordinator_replica.h"
+
+#include <algorithm>
+#include <chrono>
+#include <utility>
+
+#include "src/common/logging.h"
+#include "src/transport/wire.h"
+
+namespace gemini {
+
+namespace {
+
+constexpr uint32_t kStateCodecVersion = 1;
+
+}  // namespace
+
+void EncodeCoordinatorState(std::string& out, const CoordinatorState& state) {
+  wire::PutU32(out, kStateCodecVersion);
+  wire::PutU64(out, state.master_epoch);
+  wire::PutU64(out, state.next_config_id);
+  wire::PutU64(out, state.discarded_fragments);
+  wire::PutU64(out, static_cast<uint64_t>(state.round_robin_cursor));
+  wire::PutU32(out, static_cast<uint32_t>(state.believed_up.size()));
+  for (const bool up : state.believed_up) wire::PutU8(out, up ? 1 : 0);
+  wire::PutU32(out, static_cast<uint32_t>(state.fragments.size()));
+  for (const auto& fe : state.fragments) {
+    wire::PutU32(out, fe.assignment.primary);
+    wire::PutU32(out, fe.assignment.secondary);
+    wire::PutU64(out, fe.assignment.config_id);
+    wire::PutU8(out, static_cast<uint8_t>(fe.assignment.mode));
+    wire::PutU32(out, fe.assignment.epoch);
+    wire::PutU64(out, fe.prefailure_config_id);
+    wire::PutU64(out, fe.secondary_created_id);
+    wire::PutU8(out, fe.dirty_processed ? 1 : 0);
+    wire::PutU8(out, fe.wst_terminated ? 1 : 0);
+  }
+}
+
+bool DecodeCoordinatorState(std::string_view in, CoordinatorState* state) {
+  wire::Reader r(in);
+  uint32_t version = 0;
+  if (!r.GetU32(&version) || version != kStateCodecVersion) return false;
+  uint64_t cursor = 0;
+  if (!r.GetU64(&state->master_epoch) || !r.GetU64(&state->next_config_id) ||
+      !r.GetU64(&state->discarded_fragments) || !r.GetU64(&cursor)) {
+    return false;
+  }
+  state->round_robin_cursor = static_cast<size_t>(cursor);
+  uint32_t n = 0;
+  if (!r.GetU32(&n)) return false;
+  state->believed_up.clear();
+  state->believed_up.reserve(n);
+  for (uint32_t i = 0; i < n; ++i) {
+    uint8_t up = 0;
+    if (!r.GetU8(&up)) return false;
+    state->believed_up.push_back(up != 0);
+  }
+  if (!r.GetU32(&n)) return false;
+  state->fragments.clear();
+  state->fragments.reserve(n);
+  for (uint32_t i = 0; i < n; ++i) {
+    CoordinatorState::FragmentEntry fe;
+    uint8_t mode = 0;
+    uint8_t dirty = 0;
+    uint8_t wst = 0;
+    if (!r.GetU32(&fe.assignment.primary) ||
+        !r.GetU32(&fe.assignment.secondary) ||
+        !r.GetU64(&fe.assignment.config_id) || !r.GetU8(&mode) ||
+        !r.GetU32(&fe.assignment.epoch) || !r.GetU64(&fe.prefailure_config_id) ||
+        !r.GetU64(&fe.secondary_created_id) || !r.GetU8(&dirty) ||
+        !r.GetU8(&wst) ||
+        mode > static_cast<uint8_t>(FragmentMode::kRecovery)) {
+      return false;
+    }
+    fe.assignment.mode = static_cast<FragmentMode>(mode);
+    fe.dirty_processed = dirty != 0;
+    fe.wst_terminated = wst != 0;
+    state->fragments.push_back(fe);
+  }
+  return r.Done();
+}
+
+CoordinatorReplica::CoordinatorReplica(const Clock* clock, Options options)
+    : clock_(clock), options_(std::move(options)) {
+  if (options_.sync_interval == 0) {
+    options_.sync_interval = options_.control.heartbeat.interval;
+  }
+  if (options_.sync_interval == 0) options_.sync_interval = Millis(100);
+  if (options_.election_timeout == 0) {
+    options_.election_timeout = 6 * options_.sync_interval;
+  }
+  // Chain the mutation hook: the control nudges replication, and any hook
+  // the deployment supplied still fires.
+  auto user_hook = options_.control.on_state_mutation;
+  options_.control.on_state_mutation = [this, user_hook] {
+    if (user_hook) user_hook();
+    Nudge();
+  };
+  peer_conns_.reserve(options_.peers.size());
+  for (const auto& peer : options_.peers) {
+    TcpConnection::Options c;
+    c.connect_timeout = options_.peer_connect_timeout;
+    c.io_timeout = options_.peer_io_timeout;
+    // A dead shadow must cost the sync round as little as possible: trip
+    // the breaker quickly, probe again within a few beats.
+    c.breaker_failure_threshold = 3;
+    c.breaker_cooldown = std::max<Duration>(Millis(250), options_.sync_interval);
+    peer_conns_.push_back(
+        TcpConnection::Acquire(peer.host, peer.port, wire::kAnyInstance, c));
+  }
+}
+
+CoordinatorReplica::~CoordinatorReplica() { Stop(); }
+
+void CoordinatorReplica::Start(TransportServer* server) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    server_ = server;
+    last_master_contact_ = clock_->Now();
+    // Single-coordinator deployment: no one to elect against, become the
+    // master right away (pre-HA geminicoordd behavior).
+    if (options_.peers.empty()) PromoteLocked();
+  }
+  {
+    std::lock_guard<std::mutex> lock(wake_mu_);
+    stop_ = false;
+    wake_ = false;
+  }
+  loop_ = std::thread([this] { ReplicaLoop(); });
+}
+
+void CoordinatorReplica::Stop() {
+  {
+    std::lock_guard<std::mutex> lock(wake_mu_);
+    if (stop_ && !loop_.joinable()) return;
+    stop_ = true;
+  }
+  wake_cv_.notify_all();
+  if (loop_.joinable()) loop_.join();
+  std::shared_ptr<CoordinatorControl> control;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    control = std::move(control_);
+    role_ = Role::kShadow;
+    server_ = nullptr;
+  }
+  if (control) control->Stop();
+}
+
+void CoordinatorReplica::Nudge() {
+  {
+    std::lock_guard<std::mutex> lock(wake_mu_);
+    wake_ = true;
+  }
+  wake_cv_.notify_all();
+}
+
+void CoordinatorReplica::ReplicaLoop() {
+  for (;;) {
+    std::vector<std::shared_ptr<CoordinatorControl>> retired;
+    {
+      std::unique_lock<std::mutex> lock(wake_mu_);
+      wake_cv_.wait_for(lock,
+                        std::chrono::microseconds(options_.sync_interval),
+                        [&] { return stop_ || wake_; });
+      if (stop_) return;
+      wake_ = false;
+    }
+    bool master = false;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      retired.swap(retired_);
+      if (role_ == Role::kMaster) {
+        master = true;
+      } else {
+        // Rank-staggered election: the lowest live rank's deadline fires
+        // first, and its first sync resets every later rank's timer.
+        const Duration deadline =
+            options_.election_timeout *
+            (static_cast<Duration>(options_.rank) + 1);
+        if (clock_->Now() - last_master_contact_ >= deadline) {
+          PromoteLocked();
+          master = true;
+        }
+      }
+    }
+    // Joining a demoted control's ticker happens here, never on a shard
+    // thread and never under mu_.
+    for (auto& c : retired) c->Stop();
+    retired.clear();
+    if (master) ReplicateOnce();
+  }
+}
+
+void CoordinatorReplica::PromoteLocked() {
+  epoch_ += 1;
+  auto control = std::make_shared<CoordinatorControl>(clock_, options_.control);
+  // Promotion = ImportState + registration grace window: adopt the dead
+  // master's replicated state (or this control's own fresh table on a cold
+  // boot), stamped with the new epoch so the config-id floor fences any
+  // still-live ex-master, then let believed-up instances re-register
+  // without reading as a cluster-wide outage.
+  CoordinatorState state = replicated_state_.has_value()
+                               ? *replicated_state_
+                               : control->coordinator().ExportState();
+  state.master_epoch = epoch_;
+  control->ImportState(state);
+  control->Start(server_);
+  control_ = std::move(control);
+  role_ = Role::kMaster;
+  master_rank_ = options_.rank;
+  promotions_.fetch_add(1, std::memory_order_relaxed);
+  LOG_INFO << "coordinator replica rank " << options_.rank
+           << ": promoted to master (epoch " << epoch_ << ")";
+}
+
+void CoordinatorReplica::StepDownLocked() {
+  if (control_) retired_.push_back(std::move(control_));
+  control_.reset();
+  role_ = Role::kShadow;
+  master_rank_ = UINT32_MAX;
+  // Full election delay before this replica may claim mastership again; by
+  // then the real master's syncs will have reset the timer.
+  last_master_contact_ = clock_->Now();
+  demotions_.fetch_add(1, std::memory_order_relaxed);
+  LOG_WARN << "coordinator replica rank " << options_.rank
+           << ": demoted to shadow (saw epoch " << epoch_ << ")";
+}
+
+void CoordinatorReplica::ReplicateOnce() {
+  uint64_t epoch = 0;
+  std::shared_ptr<CoordinatorControl> control;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (role_ != Role::kMaster) return;
+    epoch = epoch_;
+    control = control_;
+  }
+  CoordinatorState state = control->coordinator().ExportState();
+  state.master_epoch = epoch;
+  std::string blob;
+  EncodeCoordinatorState(blob, state);
+  std::string body;
+  wire::PutU64(body, epoch);
+  wire::PutU32(body, options_.rank);
+  wire::PutBlob(body, blob);
+  bool all_acked = true;
+  for (auto& conn : peer_conns_) {
+    std::string resp;
+    const Status s = conn->Transact(wire::Op::kCoordShadowSync, body, &resp);
+    if (s.ok()) {
+      syncs_sent_.fetch_add(1, std::memory_order_relaxed);
+      replication_bytes_.fetch_add(body.size(), std::memory_order_relaxed);
+      continue;
+    }
+    if (s.code() == Code::kNotMaster) {
+      // A peer has seen a strictly newer mastership claim: fence ourselves.
+      sync_rejections_rx_.fetch_add(1, std::memory_order_relaxed);
+      std::lock_guard<std::mutex> lock(mu_);
+      if (role_ == Role::kMaster && epoch_ == epoch) StepDownLocked();
+      return;
+    }
+    // Unreachable shadow: it will be caught up by a later beat (full-state
+    // sync is self-healing); the breaker keeps a dead peer cheap.
+    sync_send_failures_.fetch_add(1, std::memory_order_relaxed);
+    all_acked = false;
+  }
+  if (all_acked) {
+    last_full_ack_.store(clock_->Now(), std::memory_order_relaxed);
+  }
+}
+
+ControlPlane::Reply CoordinatorReplica::HandleShadowSync(
+    std::string_view body) {
+  wire::Reader r(body);
+  uint64_t epoch = 0;
+  uint32_t rank = 0;
+  std::string_view blob;
+  if (!r.GetU64(&epoch) || !r.GetU32(&rank) || !r.GetBlob(&blob) ||
+      !r.Done()) {
+    return {Status(Code::kInvalidArgument, "malformed kCoordShadowSync"), {},
+            false};
+  }
+  CoordinatorState state;
+  if (!DecodeCoordinatorState(blob, &state)) {
+    return {Status(Code::kInvalidArgument, "malformed coordinator state"), {},
+            false};
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  // A claim carrying our own rank is our own sync echoed back: ranks are
+  // unique within a group, so this only happens when the operator listed
+  // this replica in its own --peers. Ack without applying — treating the
+  // echo as a foreign claim would make a boot master demote itself.
+  if (rank == options_.rank) {
+    Reply reply;
+    wire::PutU64(reply.body, epoch_);
+    return reply;
+  }
+  // Mastership claims are ordered by (epoch, rank): higher epoch wins, and
+  // within one epoch the lower rank wins (two shadows that promoted off the
+  // same dead master both bumped to the same epoch).
+  const bool current =
+      epoch > epoch_ || (epoch == epoch_ && rank <= master_rank_);
+  if (!current) {
+    syncs_rejected_.fetch_add(1, std::memory_order_relaxed);
+    return {Status(Code::kNotMaster, "stale mastership claim"), {}, false};
+  }
+  epoch_ = epoch;  // raise first so a step-down logs the epoch that won
+  if (role_ == Role::kMaster) StepDownLocked();
+  master_rank_ = rank;
+  last_master_contact_ = clock_->Now();
+  replicated_state_ = std::move(state);
+  syncs_received_.fetch_add(1, std::memory_order_relaxed);
+  Reply reply;
+  wire::PutU64(reply.body, epoch_);
+  // A step-down queued a retired control; make sure the loop drains it.
+  if (!retired_.empty()) Nudge();
+  return reply;
+}
+
+ControlPlane::Reply CoordinatorReplica::HandleControl(wire::Op op,
+                                                      std::string_view body) {
+  if (op == wire::Op::kCoordShadowSync) return HandleShadowSync(body);
+  std::shared_ptr<CoordinatorControl> control;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    control = control_;
+  }
+  if (!control) {
+    return {Status(Code::kNotMaster, "shadow coordinator; redial the master"),
+            {},
+            false};
+  }
+  return control->HandleControl(op, body);
+}
+
+std::vector<std::pair<std::string, uint64_t>> CoordinatorReplica::ExtraStats() {
+  std::shared_ptr<CoordinatorControl> control;
+  uint64_t epoch = 0;
+  bool master = false;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    control = control_;
+    epoch = epoch_;
+    master = role_ == Role::kMaster;
+  }
+  std::vector<std::pair<std::string, uint64_t>> kv;
+  if (control) kv = control->ExtraStats();
+  kv.emplace_back("cluster.is_master", master ? 1 : 0);
+  kv.emplace_back("cluster.epoch", epoch);
+  kv.emplace_back("cluster.rank", options_.rank);
+  kv.emplace_back("cluster.promotions",
+                  promotions_.load(std::memory_order_relaxed));
+  kv.emplace_back("cluster.demotions",
+                  demotions_.load(std::memory_order_relaxed));
+  kv.emplace_back("cluster.syncs_sent",
+                  syncs_sent_.load(std::memory_order_relaxed));
+  kv.emplace_back("cluster.syncs_received",
+                  syncs_received_.load(std::memory_order_relaxed));
+  kv.emplace_back("cluster.sync_send_failures",
+                  sync_send_failures_.load(std::memory_order_relaxed));
+  kv.emplace_back("cluster.sync_rejections",
+                  sync_rejections_rx_.load(std::memory_order_relaxed));
+  kv.emplace_back("cluster.syncs_rejected",
+                  syncs_rejected_.load(std::memory_order_relaxed));
+  kv.emplace_back("cluster.replication_bytes",
+                  replication_bytes_.load(std::memory_order_relaxed));
+  const Timestamp last = last_full_ack_.load(std::memory_order_relaxed);
+  kv.emplace_back("cluster.replication_lag_us",
+                  master && last != 0 && !peer_conns_.empty()
+                      ? static_cast<uint64_t>(
+                            std::max<Timestamp>(0, clock_->Now() - last))
+                      : 0);
+  return kv;
+}
+
+bool CoordinatorReplica::is_master() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return role_ == Role::kMaster;
+}
+
+uint64_t CoordinatorReplica::epoch() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return epoch_;
+}
+
+CoordinatorControl* CoordinatorReplica::control() {
+  std::lock_guard<std::mutex> lock(mu_);
+  return control_.get();
+}
+
+}  // namespace gemini

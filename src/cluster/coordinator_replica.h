@@ -1,0 +1,208 @@
+// CoordinatorReplica: one member of a replicated geminicoordd group —
+// master + shadow coordinator processes with election and epoch fencing
+// (Section 2.1; docs/PROTOCOL.md §12.7).
+//
+// The paper backs the coordinator with one master and shadow coordinators
+// behind ZooKeeper. CoordinatorGroup models that in-process; this class is
+// the multi-process form: every geminicoordd hosts a CoordinatorReplica,
+// which owns at most one CoordinatorControl (the actual coordinator) and
+// decides, via a small replication protocol, whether this process is the
+// master running it or a shadow holding a replica of its state.
+//
+// Replication: after every state-mutating event (a registration, a
+// failure/recovery edge and its Rejig, a dirty-list/WST report — the
+// CoordinatorControl on_state_mutation hook) and on a periodic beat, the
+// master pushes its full serialized CoordinatorState to every peer as a
+// kCoordShadowSync frame carrying (master epoch, rank). The state is small —
+// one entry per fragment — so full-state replication beats a delta protocol
+// on simplicity and is self-healing: one received sync makes any shadow
+// current.
+//
+// Election: deterministic and rank-staggered, no quorum. All replicas boot
+// as shadows; a shadow that has heard no master sync for
+// election_timeout * (rank + 1) promotes itself. Staggering means the
+// lowest-ranked live shadow claims mastership first and its syncs reset
+// everyone else's timers before their own deadlines fire. Promotion bumps
+// the master epoch past every epoch this replica has seen, imports the
+// replicated state into a fresh CoordinatorControl (Coordinator::ImportState
+// re-publishes and re-grants fragment leases; the heartbeat monitor opens
+// the registration grace window so surviving geminids re-attach without
+// reading as a cluster outage), and starts serving kCoord* ops.
+//
+// Fencing: two replicas can transiently both believe they are master (the
+// old one was partitioned, not dead). Syncs resolve it: a receiver that has
+// seen a strictly newer claim — higher epoch, or same epoch and lower rank —
+// answers kNotMaster, and a master whose sync is rejected demotes itself
+// back to shadow. Clients are protected even before the loser hears a
+// rejection: a promoted master at epoch E >= 2 mints configuration ids
+// above (E << 32) (see CoordinatorState::master_epoch), so everything the
+// stale ex-master publishes is older by id and clients — which adopt
+// configurations only forward — ignore it.
+//
+// Threading: kCoord* handlers run on server shard threads and only copy the
+// active control pointer under mu_; the replication loop runs on its own
+// thread and is the only sender of syncs. The loop's wakeup cv uses a
+// separate mutex from mu_ so the control's threads can nudge it while a
+// shard thread holds mu_.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "src/cluster/coordinator_control.h"
+#include "src/common/clock.h"
+#include "src/coordinator/coordinator.h"
+#include "src/transport/server.h"
+#include "src/transport/tcp_connection.h"
+
+namespace gemini {
+
+/// CoordinatorState <-> bytes, the payload of kCoordShadowSync. Versioned
+/// and length-checked; Decode returns false on any malformed input.
+void EncodeCoordinatorState(std::string& out, const CoordinatorState& state);
+bool DecodeCoordinatorState(std::string_view in, CoordinatorState* state);
+
+class CoordinatorReplica final : public ControlPlane {
+ public:
+  struct PeerEndpoint {
+    std::string host;
+    uint16_t port = 0;
+  };
+
+  struct Options {
+    /// Options for the CoordinatorControl this replica runs while master.
+    /// Its on_state_mutation hook is chained: the replica installs its own
+    /// replication nudge and still calls any hook supplied here.
+    CoordinatorControl::Options control;
+    /// The other members of the coordinator group. Listing this process
+    /// itself is harmless (its own echoed claim is acked and ignored — ranks
+    /// are unique), so every member may be handed the identical full list.
+    /// Empty = single-coordinator deployment: the replica promotes itself
+    /// immediately on Start(), preserving the pre-HA geminicoordd behavior.
+    std::vector<PeerEndpoint> peers;
+    /// This replica's election rank (its index in the deployment's ordered
+    /// coordinator list). Must be unique across the group: ties in epoch
+    /// are broken lowest-rank-wins, and the election delay is staggered by
+    /// rank so the lowest live rank claims mastership first.
+    uint32_t rank = 0;
+    /// Master -> shadow sync beat; a sync is also sent immediately after
+    /// every state mutation. 0 = the control heartbeat interval.
+    Duration sync_interval = 0;
+    /// Base election delay: a shadow promotes after hearing no master sync
+    /// for election_timeout * (rank + 1). Must comfortably exceed
+    /// sync_interval plus the worst-case stall of one sync round (a dead
+    /// peer costs up to peer_connect_timeout until its breaker opens).
+    /// 0 = 6 * sync_interval.
+    Duration election_timeout = 0;
+    /// Dial/IO budget per peer sync. Short on purpose: a dead shadow must
+    /// not stall the master's beat to the live ones past their deadlines.
+    Duration peer_connect_timeout = Millis(200);
+    Duration peer_io_timeout = Millis(400);
+  };
+
+  CoordinatorReplica(const Clock* clock, Options options);
+  ~CoordinatorReplica() override;
+
+  CoordinatorReplica(const CoordinatorReplica&) = delete;
+  CoordinatorReplica& operator=(const CoordinatorReplica&) = delete;
+
+  /// Attaches the server (config-push target for the control while master)
+  /// and starts the replication/election loop. Call after server->Start().
+  void Start(TransportServer* server);
+
+  /// Halts the loop and the active control, if any. Call BEFORE
+  /// server->Stop().
+  void Stop();
+
+  // ControlPlane (server shard threads). kCoordShadowSync is handled here
+  // in both roles; every other kCoord* op is delegated to the active
+  // control while master and answered kNotMaster while shadow.
+  Reply HandleControl(wire::Op op, std::string_view body) override;
+
+  /// cluster.* counters: the active control's (while master) plus the
+  /// replica's own role/election/replication counters.
+  std::vector<std::pair<std::string, uint64_t>> ExtraStats() override;
+
+  [[nodiscard]] bool is_master() const;
+  /// Highest master epoch this replica has seen (its own while master).
+  [[nodiscard]] uint64_t epoch() const;
+  [[nodiscard]] uint32_t rank() const { return options_.rank; }
+  [[nodiscard]] uint64_t promotions() const {
+    return promotions_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] uint64_t demotions() const {
+    return demotions_.load(std::memory_order_relaxed);
+  }
+  /// The active control (nullptr while shadow). The pointer stays valid
+  /// while the caller can exclude a concurrent demotion (tests).
+  [[nodiscard]] CoordinatorControl* control();
+
+ private:
+  enum class Role : uint8_t { kShadow, kMaster };
+
+  void ReplicaLoop();
+  /// Wakes the loop now (state mutated -> replicate promptly).
+  void Nudge();
+  /// Builds + starts a CoordinatorControl from the replicated state (or
+  /// fresh when none was ever received), under mu_.
+  void PromoteLocked();
+  /// Stops and drops the active control; epoch_ has already been raised to
+  /// the newer claim. Requires mu_.
+  void StepDownLocked();
+  /// Sends one full-state sync to every peer; demotes on a kNotMaster
+  /// rejection. Runs on the loop thread, without mu_ held across RPCs.
+  void ReplicateOnce();
+  Reply HandleShadowSync(std::string_view body);
+
+  const Clock* clock_;
+  Options options_;
+  std::vector<std::shared_ptr<TcpConnection>> peer_conns_;
+
+  mutable std::mutex mu_;  // role state; never held across peer RPCs
+  Role role_ = Role::kShadow;
+  /// Highest master epoch seen; our own epoch while master.
+  uint64_t epoch_ = 0;
+  /// Rank of the replica whose mastership claim we currently accept
+  /// (UINT32_MAX until the first sync or promotion).
+  uint32_t master_rank_ = UINT32_MAX;
+  Timestamp last_master_contact_ = 0;
+  std::optional<CoordinatorState> replicated_state_;
+  /// shared_ptr so a shard thread mid-delegation keeps the control alive
+  /// across a concurrent step-down.
+  std::shared_ptr<CoordinatorControl> control_;
+  /// Demoted controls parked for the loop thread to Stop(): joining a
+  /// control's ticker must never happen on a server shard thread.
+  std::vector<std::shared_ptr<CoordinatorControl>> retired_;
+  TransportServer* server_ = nullptr;
+
+  /// Loop wakeup; separate mutex from mu_ (see header comment).
+  std::mutex wake_mu_;
+  std::condition_variable wake_cv_;
+  bool wake_ = false;
+  bool stop_ = false;
+  std::thread loop_;
+
+  // cluster.* counters.
+  std::atomic<uint64_t> promotions_{0};
+  std::atomic<uint64_t> demotions_{0};
+  std::atomic<uint64_t> syncs_sent_{0};
+  std::atomic<uint64_t> syncs_received_{0};
+  std::atomic<uint64_t> sync_send_failures_{0};
+  std::atomic<uint64_t> sync_rejections_rx_{0};  // peers rejected our sync
+  std::atomic<uint64_t> syncs_rejected_{0};      // we rejected a stale sync
+  std::atomic<uint64_t> replication_bytes_{0};
+  /// Timestamp of the last sync round in which every peer acked (replication
+  /// lag = now - this while master; 0 before the first complete round).
+  std::atomic<Timestamp> last_full_ack_{0};
+};
+
+}  // namespace gemini

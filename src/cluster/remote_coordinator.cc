@@ -36,17 +36,23 @@ void RemoteCoordinator::State::Adopt(ConfigurationPtr fresh) {
   config = std::move(fresh);
 }
 
-RemoteCoordinator::RemoteCoordinator(std::string host, uint16_t port,
+RemoteCoordinator::RemoteCoordinator(std::vector<Endpoint> endpoints,
                                      Options options)
-    : state_(std::make_shared<State>()),
-      conn_(TcpConnection::Acquire(host, port, wire::kAnyInstance,
-                                   ConnOptions(options))),
-      options_(options) {
+    : state_(std::make_shared<State>()), options_(options) {
+  conns_.reserve(endpoints.size());
   std::weak_ptr<State> weak = state_;
-  conn_->AddPushHandler([weak](uint8_t tag, const std::string& body) {
-    if (tag != wire::kPushConfigTag) return;
-    if (auto state = weak.lock()) state->Adopt(ParseConfigBody(body));
-  });
+  for (const auto& ep : endpoints) {
+    auto conn = TcpConnection::Acquire(ep.host, ep.port, wire::kAnyInstance,
+                                       ConnOptions(options));
+    // Every endpoint keeps a push handler: after a failover the new master
+    // pushes on whichever connection re-subscribed, and a straggler push
+    // from a fenced ex-master is inert (ids adopt only forward).
+    conn->AddPushHandler([weak](uint8_t tag, const std::string& body) {
+      if (tag != wire::kPushConfigTag) return;
+      if (auto state = weak.lock()) state->Adopt(ParseConfigBody(body));
+    });
+    conns_.push_back(std::move(conn));
+  }
   if (options_.rewatch_interval > 0) {
     rewatcher_ = std::thread([this] { RewatchLoop(); });
   }
@@ -61,11 +67,41 @@ RemoteCoordinator::~RemoteCoordinator() {
   if (rewatcher_.joinable()) rewatcher_.join();
 }
 
+Status RemoteCoordinator::TransactFailover(wire::Op op, std::string_view body,
+                                           std::string* resp,
+                                           bool rotate_on_unavailable) const {
+  const size_t n = conns_.size();
+  const size_t start = active_.load(std::memory_order_acquire);
+  Status last = Status(Code::kUnavailable, "no coordinator endpoints");
+  for (size_t i = 0; i < n; ++i) {
+    const size_t idx = (start + i) % n;
+    resp->clear();
+    last = conns_[idx]->Transact(op, body, resp);
+    if (last.ok()) {
+      if (idx != start) {
+        active_.store(idx, std::memory_order_release);
+        endpoint_switches_.fetch_add(1, std::memory_order_relaxed);
+      }
+      return last;
+    }
+    if (last.code() == Code::kNotMaster) {
+      // A shadow (or a fenced ex-master) definitively did not serve this;
+      // the master is elsewhere in the list.
+      not_master_bounces_.fetch_add(1, std::memory_order_relaxed);
+      continue;
+    }
+    if (last.code() == Code::kUnavailable && rotate_on_unavailable) continue;
+    return last;  // a definitive answer (or an ambiguous loss, fail-fast op)
+  }
+  return last;
+}
+
 Status RemoteCoordinator::Refresh() {
   std::string body;
   wire::PutU64(body, state_->latest.load(std::memory_order_acquire));
   std::string resp;
-  const Status s = conn_->Transact(wire::Op::kCoordConfigWatch, body, &resp);
+  const Status s = TransactFailover(wire::Op::kCoordConfigWatch, body, &resp,
+                                    /*rotate_on_unavailable=*/true);
   if (!s.ok()) return s;
   ConfigurationPtr config = ParseConfigBody(resp);
   if (!config) return Status(Code::kInternal, "malformed configuration body");
@@ -95,12 +131,23 @@ ConfigId RemoteCoordinator::latest_id() const {
   return state_->latest.load(std::memory_order_acquire);
 }
 
+RemoteCoordinator::Stats RemoteCoordinator::stats() const {
+  Stats out;
+  out.endpoint_switches = endpoint_switches_.load(std::memory_order_relaxed);
+  out.not_master_bounces = not_master_bounces_.load(std::memory_order_relaxed);
+  return out;
+}
+
 void RemoteCoordinator::Report(wire::CoordEvent event, FragmentId fragment) {
   std::string body;
   wire::PutU8(body, static_cast<uint8_t>(event));
   wire::PutU32(body, fragment);
   std::string resp;
-  const Status s = conn_->Transact(wire::Op::kCoordReport, body, &resp);
+  // Rotate past shadows (a kNotMaster answer means the report was not
+  // applied), but stay fail-fast on kUnavailable: a replayed report after
+  // an ambiguous loss could land twice across a mode transition.
+  const Status s = TransactFailover(wire::Op::kCoordReport, body, &resp,
+                                    /*rotate_on_unavailable=*/false);
   if (!s.ok()) {
     // Fail-fast by design: the reporter's next pass re-derives the fact.
     LOG_WARN << "coordinator report (event " << static_cast<int>(event)
@@ -124,8 +171,8 @@ bool RemoteCoordinator::DirtyProcessed(FragmentId fragment) const {
   std::string body;
   wire::PutU32(body, fragment);
   std::string resp;
-  const Status s =
-      conn_->Transact(wire::Op::kCoordDirtyQuery, body, &resp);
+  const Status s = TransactFailover(wire::Op::kCoordDirtyQuery, body, &resp,
+                                    /*rotate_on_unavailable=*/true);
   if (!s.ok()) return false;
   wire::Reader r(resp);
   uint8_t processed = 0;

@@ -1,4 +1,5 @@
-// RemoteCoordinator: a CoordinatorService backed by a geminicoordd over TCP.
+// RemoteCoordinator: a CoordinatorService backed by a replicated group of
+// geminicoordds over TCP.
 //
 // Clients and recovery workers keep programming against CoordinatorService;
 // this implementation caches the latest configuration locally and keeps it
@@ -18,6 +19,15 @@
 // lost to a connection drop is safe — recovery-side callers re-derive and
 // re-report on their next pass.
 //
+// Failover (docs/PROTOCOL.md §12.7): constructed with the deployment's full
+// coordinator endpoint list, the client talks to one endpoint at a time and
+// rotates to the next on kUnavailable (endpoint dead — its breaker makes
+// repeat failures cheap) or kNotMaster (endpoint is a shadow or a fenced
+// ex-master). Reports rotate only on kNotMaster: a shadow definitively did
+// not apply the report, while kUnavailable is ambiguous and stays
+// fail-fast. All endpoints' push handlers stay attached; configuration ids
+// adopt only forward, so a straggler push from an ex-master is inert.
+//
 // Thread-safe.
 #pragma once
 
@@ -28,6 +38,7 @@
 #include <mutex>
 #include <string>
 #include <thread>
+#include <vector>
 
 #include "src/common/clock.h"
 #include "src/common/status.h"
@@ -46,16 +57,44 @@ class RemoteCoordinator final : public CoordinatorService {
     Duration rewatch_interval = Millis(500);
   };
 
-  RemoteCoordinator(std::string host, uint16_t port, Options options);
+  /// One member of the coordinator group.
+  struct Endpoint {
+    std::string host;
+    uint16_t port = 0;
+  };
+
+  /// Failover counters (cumulative).
+  struct Stats {
+    /// Times the active endpoint changed (a successful call landed on a
+    /// different endpoint than the previous one) — "client redials".
+    uint64_t endpoint_switches = 0;
+    /// kNotMaster answers that bounced a call to the next endpoint.
+    uint64_t not_master_bounces = 0;
+  };
+
+  /// `endpoints` is the deployment's ordered coordinator list (masters and
+  /// shadows alike); must be non-empty.
+  RemoteCoordinator(std::vector<Endpoint> endpoints, Options options);
+  RemoteCoordinator(std::string host, uint16_t port, Options options)
+      : RemoteCoordinator(std::vector<Endpoint>{{std::move(host), port}},
+                          options) {}
   ~RemoteCoordinator() override;
 
   RemoteCoordinator(const RemoteCoordinator&) = delete;
   RemoteCoordinator& operator=(const RemoteCoordinator&) = delete;
 
   /// One watch round trip now: fetches the coordinator's configuration,
-  /// adopts it if newer, (re-)subscribes to pushes. kUnavailable when the
-  /// coordinator cannot be reached — the cached snapshot stays.
+  /// adopts it if newer, (re-)subscribes to pushes, failing over across the
+  /// endpoint list. kUnavailable/kNotMaster when no endpoint answered as
+  /// master — the cached snapshot stays.
   Status Refresh();
+
+  [[nodiscard]] Stats stats() const;
+  /// Index (into the constructor's endpoint list) of the endpoint the last
+  /// successful call landed on.
+  [[nodiscard]] size_t active_endpoint() const {
+    return active_.load(std::memory_order_acquire);
+  }
 
   // CoordinatorService.
   [[nodiscard]] ConfigurationPtr GetConfiguration() const override;
@@ -79,10 +118,19 @@ class RemoteCoordinator final : public CoordinatorService {
 
   void Report(wire::CoordEvent event, FragmentId fragment);
   void RewatchLoop();
+  /// Transacts against the active endpoint, rotating through the list on
+  /// kNotMaster (always) and kUnavailable (unless the op is ambiguous when
+  /// replayed — kCoordReport). Returns the first success or the last error.
+  Status TransactFailover(wire::Op op, std::string_view body,
+                          std::string* resp,
+                          bool rotate_on_unavailable) const;
 
   const std::shared_ptr<State> state_;
-  const std::shared_ptr<TcpConnection> conn_;
+  std::vector<std::shared_ptr<TcpConnection>> conns_;
   const Options options_;
+  mutable std::atomic<size_t> active_{0};
+  mutable std::atomic<uint64_t> endpoint_switches_{0};
+  mutable std::atomic<uint64_t> not_master_bounces_{0};
 
   std::mutex stop_mu_;
   bool stop_ = false;

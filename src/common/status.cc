@@ -24,6 +24,8 @@ std::string_view CodeName(Code code) {
       return "INVALID_ARGUMENT";
     case Code::kInternal:
       return "INTERNAL";
+    case Code::kNotMaster:
+      return "NOT_MASTER";
   }
   return "UNKNOWN";
 }

@@ -43,6 +43,11 @@ enum class Code : uint8_t {
   kInvalidArgument,
   /// Internal invariant violation.
   kInternal,
+  /// The addressed coordinator process is a shadow (or a fenced ex-master)
+  /// and refuses to serve or mutate coordinator state. The caller should
+  /// redial the next coordinator endpoint; the state it asked about was not
+  /// touched (docs/PROTOCOL.md §12.7).
+  kNotMaster,
 };
 
 std::string_view CodeName(Code code);

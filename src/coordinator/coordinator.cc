@@ -447,12 +447,25 @@ CoordinatorState Coordinator::ExportState() const {
   out.believed_up = believed_up_;
   out.round_robin_cursor = round_robin_cursor_;
   out.discarded_fragments = discarded_fragments_;
+  out.master_epoch = master_epoch_;
   return out;
 }
 
 void Coordinator::ImportState(const CoordinatorState& state) {
   std::lock_guard<std::mutex> lock(mu_);
+  master_epoch_ = state.master_epoch;
   next_config_id_ = state.next_config_id;
+  if (state.master_epoch >= 2) {
+    // A promoted shadow may hold a replica that is strictly older than what
+    // the dead master last published (it was killed mid-replication). Fence
+    // by epoch: ids minted under epoch E start above (E << 32), so they
+    // exceed every id of every earlier epoch and clients — which only adopt
+    // configurations forward by id — can never regress onto the stale
+    // master's output. (Assumes < 2^32 publishes per epoch; each publish is
+    // a failure/recovery edge, so that bound is beyond generous.)
+    const ConfigId floor = (state.master_epoch << 32) + 1;
+    if (next_config_id_ < floor) next_config_id_ = floor;
+  }
   fragments_.clear();
   fragments_.reserve(state.fragments.size());
   for (const auto& fe : state.fragments) {
@@ -481,6 +494,11 @@ bool Coordinator::DirtyProcessed(FragmentId fragment) const {
 uint64_t Coordinator::discarded_fragment_count() const {
   std::lock_guard<std::mutex> lock(mu_);
   return discarded_fragments_;
+}
+
+uint64_t Coordinator::master_epoch() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return master_epoch_;
 }
 
 }  // namespace gemini

@@ -24,9 +24,12 @@
 //   (5) primary fails again before recovery completes: recovery -> transient.
 //
 // The paper's prototype backs the coordinator with one master and shadow
-// coordinators via ZooKeeper; like that prototype's evaluation build, this
-// implementation is a single master (its state is trivially rebuildable from
-// instance-resident configuration entries).
+// coordinators via ZooKeeper. This class is a single master; replication is
+// layered on top of it: CoordinatorGroup replicates CoordinatorState to
+// in-process shadows, and CoordinatorReplica (src/cluster) replicates it to
+// shadow geminicoordd processes over the wire with rank-based election and
+// epoch fencing (docs/PROTOCOL.md §12.7). Both promote a shadow by calling
+// ImportState on a fresh Coordinator.
 //
 // Thread-safe.
 #pragma once
@@ -64,6 +67,13 @@ struct CoordinatorState {
   std::vector<bool> believed_up;
   size_t round_robin_cursor = 0;
   uint64_t discarded_fragments = 0;
+  /// Mastership generation. 0/1 = the first master; each promotion adopts
+  /// the state with a strictly larger epoch. For epoch >= 2, ImportState
+  /// floors next_config_id at (master_epoch << 32) + 1 so configuration ids
+  /// minted by the new master always exceed every id a stale ex-master
+  /// could have published — clients adopt configurations only forward by
+  /// id, which fences the ex-master's output (docs/PROTOCOL.md §12.7).
+  uint64_t master_epoch = 0;
 };
 
 class Coordinator : public CoordinatorService {
@@ -177,7 +187,14 @@ class Coordinator : public CoordinatorService {
 
   /// Adopts `state` wholesale and re-publishes: a promoted shadow calls
   /// this to take over, re-granting fragment leases so instances accept it.
+  /// When state.master_epoch >= 2 the configuration-id floor documented on
+  /// CoordinatorState::master_epoch is applied, fencing any ids a stale
+  /// ex-master might still publish.
   void ImportState(const CoordinatorState& state);
+
+  /// Mastership generation this coordinator publishes under (imported with
+  /// its state; 0 until a replicated deployment sets one).
+  [[nodiscard]] uint64_t master_epoch() const;
 
  private:
   struct FragmentState {
@@ -224,6 +241,7 @@ class Coordinator : public CoordinatorService {
   ConfigurationPtr published_;
   size_t round_robin_cursor_ = 0;
   uint64_t discarded_fragments_ = 0;
+  uint64_t master_epoch_ = 0;
   /// Instances the coordinator currently believes are up.
   std::vector<bool> believed_up_;
 };

@@ -3,7 +3,12 @@
 // The paper's design places one master coordinator and one or more shadows
 // behind ZooKeeper; when the master fails, a shadow is promoted "similarly
 // to RAMCloud". The paper's own prototype omitted this; we implement the
-// in-process equivalent:
+// in-process equivalent here. (The *multi-process* equivalent — shadow
+// geminicoordd processes fed CoordinatorState over kCoordShadowSync, with
+// rank-based election, epoch fencing, and client endpoint failover — is
+// CoordinatorReplica in src/cluster; this class stays the single-process
+// form used by simulations and unit tests, where "failure" is an explicit
+// FailMaster() call rather than a missed master beat.)
 //
 //  - every mutating call on the master is followed by synchronous state
 //    replication to all shadows (the ZooKeeper write);
@@ -69,7 +74,11 @@ class CoordinatorGroup : public CoordinatorService {
   void FailMaster();
 
   /// Promotes a shadow using the replicated state; no-op if a master is up
-  /// or no shadow remains. Returns true if a promotion happened.
+  /// or no shadow remains. Returns true if a promotion happened. Unlike the
+  /// networked CoordinatorReplica, no master-epoch bump is needed here:
+  /// replication is synchronous under the group lock, so a promoted shadow
+  /// can never hold stale state and the dead master is a freed object, not
+  /// a process that might still be publishing.
   bool PromoteShadow();
 
   [[nodiscard]] bool master_available() const;

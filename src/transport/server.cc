@@ -1710,7 +1710,7 @@ bool TransportServer::HandleFrame(Shard& shard, Connection& conn,
     const bool instanceless =
         op == wire::Op::kPing || op == wire::Op::kInstanceList ||
         op == wire::Op::kStats ||
-        (op >= wire::Op::kCoordRegister && op <= wire::Op::kCoordDirtyQuery);
+        (op >= wire::Op::kCoordRegister && op <= wire::Op::kCoordShadowSync);
     if (!instanceless) {
       RespondStatus(conn.out,
                     Status(Code::kUnavailable,
@@ -2179,6 +2179,7 @@ bool TransportServer::HandleFrame(Shard& shard, Connection& conn,
     case wire::Op::kCoordConfigWatch:
     case wire::Op::kCoordReport:
     case wire::Op::kCoordDirtyQuery:
+    case wire::Op::kCoordShadowSync:
       return HandleControlOp(conn, op, body);
   }
   return false;
@@ -2227,6 +2228,12 @@ void TransportServer::HandleStats(Connection& conn) {
   kv.emplace_back("recovery.scan_pages", server.ws_scan_pages);
   kv.emplace_back("recovery.scan_keys", server.ws_scan_keys);
   kv.emplace_back("recovery.scan_bytes", server.ws_scan_bytes);
+  // Control-plane counters (cluster.*) when a coordinator is attached.
+  if (options_.control != nullptr) {
+    for (auto& [name, value] : options_.control->ExtraStats()) {
+      kv.emplace_back(name, value);
+    }
+  }
   if (conn.instance != nullptr) {
     const auto it = server.per_instance.find(conn.bound_id);
     if (it != server.per_instance.end()) {

@@ -44,6 +44,7 @@
 #include <memory>
 #include <string>
 #include <thread>
+#include <utility>
 #include <vector>
 
 #include "src/cache/cache_instance.h"
@@ -75,6 +76,15 @@ class ControlPlane {
     bool subscribe = false;
   };
   virtual Reply HandleControl(wire::Op op, std::string_view body) = 0;
+
+  /// Extra name/value pairs appended to this server's kStats response —
+  /// the control plane's `cluster.*` counters (registrations, heartbeats,
+  /// promotions, replication lag/bytes, ...), mirroring how an instance's
+  /// extra_stats hook surfaces `persist.*`. Called from shard threads; must
+  /// be thread-safe. Default: nothing.
+  virtual std::vector<std::pair<std::string, uint64_t>> ExtraStats() {
+    return {};
+  }
 };
 
 class TransportServer {

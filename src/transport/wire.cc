@@ -43,6 +43,7 @@ bool IsKnownOp(uint8_t op) {
     case Op::kCoordConfigWatch:
     case Op::kCoordReport:
     case Op::kCoordDirtyQuery:
+    case Op::kCoordShadowSync:
       return true;
   }
   return false;
@@ -65,6 +66,8 @@ bool IsIdempotentOp(Op op) {
     case Op::kCoordConfigGet:
     case Op::kCoordConfigWatch:
     case Op::kCoordDirtyQuery:
+    case Op::kCoordShadowSync:  // replaces the receiver's replica of the
+                                // state wholesale; re-applying is a no-op
       return true;
     default:
       return false;
@@ -204,7 +207,7 @@ DecodeResult DecodeFrame(std::string_view buf, size_t* consumed, uint8_t* tag,
 }
 
 Code CodeFromWire(uint8_t tag) {
-  if (tag > static_cast<uint8_t>(Code::kInternal)) return Code::kInternal;
+  if (tag > static_cast<uint8_t>(Code::kNotMaster)) return Code::kInternal;
   return static_cast<Code>(tag);
 }
 

@@ -158,6 +158,17 @@ enum class Op : uint8_t {
                              // kPushConfig frames.
   kCoordReport = 0x74,      // u8 event (CoordEvent) | u32 fragment -> empty
   kCoordDirtyQuery = 0x75,  // u32 fragment -> u8 processed
+
+  // Coordinator replication (docs/PROTOCOL.md §12.7): the master pushes its
+  // full CoordinatorState to each shadow after every state-mutating event
+  // and on a periodic beat. The frame carries the sender's master epoch and
+  // election rank so the receiver can fence stale ex-masters: a receiver
+  // that has seen a strictly newer claim answers kNotMaster, and the sender
+  // must demote itself to shadow. A sync doubles as the master's liveness
+  // beat for the shadows' election timers. Idempotent: re-applying the same
+  // state is a no-op.
+  kCoordShadowSync = 0x76,  // u64 epoch | u32 rank | blob state
+                            //                       -> u64 acked_epoch
 };
 
 /// Events a recovery-side client reports to the coordinator (kCoordReport).
@@ -200,7 +211,8 @@ bool IsKnownOp(uint8_t op);
 /// (a max-merge into the instance's observed configuration id), and the
 /// coordinator control ops whose state is level- rather than edge-triggered:
 /// kCoordRegister (re-registering re-installs the same endpoint),
-/// kCoordHeartbeat (a duplicate beat only refreshes a deadline), and the
+/// kCoordHeartbeat (a duplicate beat only refreshes a deadline),
+/// kCoordShadowSync (re-applying a full-state sync is a no-op), and the
 /// lease ops kLeaseGrant/kLeaseRevoke (the coordinator serializes publishes,
 /// so a duplicate re-applies the same lease state; latest-config ids are
 /// max-merged). kCoordReport stays fail-fast: the coordinator's recovery

@@ -243,13 +243,14 @@ TEST(WireOpTest, KnownAndUnknownOpcodes) {
   EXPECT_TRUE(IsKnownOp(static_cast<uint8_t>(Op::kLeaseGrant)));
   EXPECT_TRUE(IsKnownOp(static_cast<uint8_t>(Op::kCoordRegister)));
   EXPECT_TRUE(IsKnownOp(static_cast<uint8_t>(Op::kCoordDirtyQuery)));
+  EXPECT_TRUE(IsKnownOp(static_cast<uint8_t>(Op::kCoordShadowSync)));
   EXPECT_TRUE(IsKnownOp(static_cast<uint8_t>(Op::kMultiSet)));
   EXPECT_TRUE(IsKnownOp(static_cast<uint8_t>(Op::kMultiDelete)));
   EXPECT_TRUE(IsKnownOp(static_cast<uint8_t>(Op::kWorkingSetScan)));
   EXPECT_FALSE(IsKnownOp(0x00));
   EXPECT_FALSE(IsKnownOp(0xFF));
   EXPECT_FALSE(IsKnownOp(0x3F));
-  EXPECT_FALSE(IsKnownOp(0x76));          // one past the coordinator range
+  EXPECT_FALSE(IsKnownOp(0x77));          // one past the coordinator range
   EXPECT_FALSE(IsKnownOp(kPushConfigTag));  // pushes are not requests
 }
 
@@ -267,6 +268,8 @@ TEST(WireOpTest, RetrySafetyClassification) {
   // The scan mutates nothing and any returned cursor is replay-safe
   // (docs/PROTOCOL.md §13): the client may auto-retry a lost page.
   EXPECT_TRUE(IsIdempotentOp(Op::kWorkingSetScan));
+  // Re-applying a full-state shadow sync is a no-op (docs/PROTOCOL.md §12.7).
+  EXPECT_TRUE(IsIdempotentOp(Op::kCoordShadowSync));
   EXPECT_FALSE(IsIdempotentOp(Op::kCoordReport));
   EXPECT_FALSE(IsIdempotentOp(Op::kSet));
   EXPECT_FALSE(IsIdempotentOp(Op::kIqSet));

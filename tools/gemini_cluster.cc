@@ -1,7 +1,8 @@
 // gemini_cluster: a process-level crash/recovery harness for the networked
 // control plane.
 //
-// Spawns one geminicoordd and N geminids (each durably backed by a WAL data
+// Spawns a geminicoordd group (--coordinators: one master plus shadows,
+// docs/PROTOCOL.md §12.7) and N geminids (each durably backed by a WAL data
 // dir and heartbeating to the coordinator), fronts every geminid's data port
 // with a seeded in-process FaultProxy, and drives foreground load through an
 // unmodified GeminiClient + RemoteCoordinator — configurations arrive as
@@ -15,6 +16,15 @@
 //   replays its WAL, re-registers -> recovery workers drain dirty lists
 //   over TCP -> fragments return to normal.
 //
+// With --coordinators > 1 every cycle also kill -9s the *master*
+// geminicoordd mid-burst, before the geminid victim dies — so the shadow
+// that promotes itself (from replicated state alone) is the coordinator
+// that must detect the dead instance, run the recovery cycle, and publish
+// fenced config ids, while geminids and clients redial through their
+// endpoint lists. The run measures time-to-new-master per kill and fails
+// unless every master kill produced an observed promotion and at least one
+// client redial.
+//
 // A StaleReadChecker audits every foreground read against the data store;
 // any read-after-write violation fails the run (exit 1). Each client thread
 // owns a disjoint key range so the audit is exact under concurrency. All
@@ -22,11 +32,12 @@
 // fault schedule, victim choices, and op mix.
 //
 // Usage:
-//   gemini_cluster [--seed S] [--instances N] [--fragments M] [--cycles C]
-//                  [--keys K] [--ops N] [--verbose]
+//   gemini_cluster [--seed S] [--instances N] [--coordinators R]
+//                  [--fragments M] [--cycles C] [--keys K] [--ops N]
+//                  [--verbose]
 //
-// Exit codes: 0 clean sweep, 1 stale reads or a dead daemon, 2 bad flags,
-// 3 recovery never converged.
+// Exit codes: 0 clean sweep, 1 stale reads, a dead daemon, or missing
+// failover evidence, 2 bad flags, 3 recovery never converged.
 #include <atomic>
 #include <cerrno>
 #include <csignal>
@@ -40,6 +51,8 @@
 #include <thread>
 #include <vector>
 
+#include <netinet/in.h>
+#include <sys/socket.h>
 #include <sys/wait.h>
 #include <unistd.h>
 
@@ -53,6 +66,8 @@
 #include "src/store/data_store.h"
 #include "src/transport/fault_proxy.h"
 #include "src/transport/tcp_backend.h"
+#include "src/transport/tcp_connection.h"
+#include "src/transport/wire.h"
 
 #ifndef GEMINID_PATH
 #error "GEMINID_PATH must point at the geminid binary"
@@ -81,6 +96,9 @@ void Usage(const char* argv0) {
   std::cerr << "usage: " << argv0 << " [options]\n"
             << "  --seed S       fault/victim/op schedule seed (default 1)\n"
             << "  --instances N  geminid processes (default 3)\n"
+            << "  --coordinators R  geminicoordd replicas (default 1); with\n"
+               "                 R > 1 every cycle also kill -9s the master\n"
+               "                 coordinator and asserts a shadow promotes\n"
             << "  --fragments M  fragment count (default 2*N)\n"
             << "  --cycles C     kill -9 / restart cycles (default 2)\n"
             << "  --keys K       keys per client thread (default 64)\n"
@@ -154,12 +172,35 @@ int WaitForExit(pid_t pid) {
 struct Flags {
   uint64_t seed = 1;
   size_t instances = 3;
+  size_t coordinators = 1;
   size_t fragments = 0;  // 0 = 2 * instances
   size_t cycles = 2;
   size_t keys = 64;
   size_t ops = 400;
   uint64_t heartbeat_ms = 50;
 };
+
+/// Binds an ephemeral 127.0.0.1 port and releases it. A replicated
+/// coordinator group needs its ports picked *before* any member spawns
+/// (each member's --peers list names the others), so banner parsing is too
+/// late. The small close-to-bind race is acceptable in a test harness.
+uint16_t PickFreePort() {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return 0;
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = 0;
+  uint16_t port = 0;
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) == 0) {
+    socklen_t len = sizeof(addr);
+    if (::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len) == 0) {
+      port = ntohs(addr.sin_port);
+    }
+  }
+  ::close(fd);
+  return port;
+}
 
 constexpr size_t kClientThreads = 2;
 constexpr size_t kRecoveryWorkers = 2;
@@ -181,12 +222,12 @@ struct Node {
   std::unique_ptr<FaultProxy> proxy;
 };
 
-bool SpawnNode(Node& node, uint16_t coord_port) {
+bool SpawnNode(Node& node, const std::string& coord_list) {
   std::vector<std::string> args = {
       "--port",        std::to_string(node.port),
       "--instance",    std::to_string(node.id),
       "--data-dir",    node.data_dir,
-      "--coordinator", "127.0.0.1:" + std::to_string(coord_port),
+      "--coordinator", coord_list,
       "--heartbeat-interval-ms", std::to_string(g_heartbeat_ms),
       "--threads",     "2"};
   node.child = Spawn(GEMINID_PATH, args);
@@ -201,6 +242,88 @@ bool SpawnNode(Node& node, uint16_t coord_port) {
   }
   node.port = port;
   return true;
+}
+
+/// One member of the geminicoordd group. Ports are fixed up front
+/// (PickFreePort) because every member's --peers list names the others, and
+/// a killed member restarts on the same port so the survivors' peer
+/// connections find it again.
+struct Coord {
+  uint32_t rank = 0;
+  uint16_t port = 0;
+  Child child;
+  bool alive = false;
+};
+
+bool SpawnCoord(std::vector<Coord>& coords, size_t idx, size_t instances,
+                size_t fragments) {
+  Coord& c = coords[idx];
+  std::vector<std::string> args = {
+      "--port", std::to_string(c.port),
+      "--cluster-size", std::to_string(instances),
+      "--fragments", std::to_string(fragments),
+      "--heartbeat-interval-ms", std::to_string(g_heartbeat_ms),
+      "--miss-threshold", "3",
+      "--lease-ttl-ms", "3000"};
+  if (coords.size() > 1) {
+    std::string peers;
+    for (size_t i = 0; i < coords.size(); ++i) {
+      if (i == idx) continue;
+      if (!peers.empty()) peers += ",";
+      peers += "127.0.0.1:" + std::to_string(coords[i].port);
+    }
+    args.insert(args.end(), {"--peers", peers, "--rank",
+                             std::to_string(c.rank)});
+  }
+  c.child = Spawn(GEMINICOORDD_PATH, args);
+  if (c.child.pid <= 0) return false;
+  if (PortFromBanner(ReadUntil(c.child.stdout_fd, "coordinating")) == 0) {
+    std::cerr << "gemini_cluster: geminicoordd rank " << c.rank
+              << " printed no banner\n";
+    return false;
+  }
+  c.alive = true;
+  return true;
+}
+
+/// Fetches one counter from a daemon's kStats reply; false if the daemon is
+/// unreachable or does not export `name`. Stats are instanceless, so this
+/// works against coordinator-only servers — shadows included (only kCoord*
+/// control ops answer kNotMaster on a shadow).
+bool QueryStat(uint16_t port, const std::string& name, uint64_t* value) {
+  TcpConnection::Options copts;
+  copts.connect_timeout = Millis(250);
+  copts.io_timeout = Millis(500);
+  auto conn =
+      TcpConnection::Acquire("127.0.0.1", port, wire::kAnyInstance, copts);
+  std::string resp;
+  if (!conn->Transact(wire::Op::kStats, "", &resp).ok()) return false;
+  wire::Reader r(resp);
+  uint32_t count = 0;
+  if (!r.GetU32(&count)) return false;
+  for (uint32_t i = 0; i < count; ++i) {
+    std::string_view key;
+    uint64_t v = 0;
+    if (!r.GetBlob(&key) || !r.GetU64(&v)) return false;
+    if (key == name) {
+      *value = v;
+      return true;
+    }
+  }
+  return false;
+}
+
+/// Index of the group member currently answering as master; -1 if none.
+int FindMaster(const std::vector<Coord>& coords) {
+  for (size_t i = 0; i < coords.size(); ++i) {
+    if (!coords[i].alive) continue;
+    uint64_t is_master = 0;
+    if (QueryStat(coords[i].port, "cluster.is_master", &is_master) &&
+        is_master != 0) {
+      return static_cast<int>(i);
+    }
+  }
+  return -1;
 }
 
 bool AllFragmentsNormal(const ConfigurationPtr& config, size_t fragments) {
@@ -240,18 +363,27 @@ int Run(const Flags& flags) {
             << " instances, " << fragments << " fragments, workspace "
             << workspace << std::endl;
 
-  // ---- Control plane --------------------------------------------------------
-  Child coord = Spawn(
-      GEMINICOORDD_PATH,
-      {"--port", "0", "--cluster-size", std::to_string(flags.instances),
-       "--fragments", std::to_string(fragments), "--heartbeat-interval-ms",
-       std::to_string(g_heartbeat_ms), "--miss-threshold", "3",
-       "--lease-ttl-ms", "3000"});
-  const uint16_t coord_port =
-      PortFromBanner(ReadUntil(coord.stdout_fd, "coordinating"));
-  if (coord_port == 0) {
-    std::cerr << "gemini_cluster: geminicoordd printed no banner\n";
-    return 1;
+  // ---- Control plane: a geminicoordd group on pre-picked ports --------------
+  // Rank i gets its own fixed port; with --coordinators > 1 each member is
+  // spawned with the others as --peers and boots as a shadow — rank 0 wins
+  // the initial election (lowest rank, shortest staggered delay).
+  std::vector<Coord> coords(flags.coordinators);
+  for (size_t i = 0; i < coords.size(); ++i) {
+    coords[i].rank = static_cast<uint32_t>(i);
+    coords[i].port = PickFreePort();
+    if (coords[i].port == 0) {
+      std::cerr << "gemini_cluster: no free port for coordinator " << i
+                << "\n";
+      return 1;
+    }
+  }
+  std::string coord_list;
+  for (const Coord& c : coords) {
+    if (!coord_list.empty()) coord_list += ",";
+    coord_list += "127.0.0.1:" + std::to_string(c.port);
+  }
+  for (size_t i = 0; i < coords.size(); ++i) {
+    if (!SpawnCoord(coords, i, flags.instances, fragments)) return 1;
   }
 
   // ---- Data plane: geminids behind seeded chaos proxies ---------------------
@@ -259,7 +391,7 @@ int Run(const Flags& flags) {
   for (size_t i = 0; i < flags.instances; ++i) {
     nodes[i].id = static_cast<InstanceId>(i);
     nodes[i].data_dir = std::string(workspace) + "/node_" + std::to_string(i);
-    if (!SpawnNode(nodes[i], coord_port)) return 1;
+    if (!SpawnNode(nodes[i], coord_list)) return 1;
 
     // Frame chaos on the client data path only: delays, mid-frame stalls,
     // held bursts, and occasional RST-on-accept. No cuts/truncations — the
@@ -291,8 +423,11 @@ int Run(const Flags& flags) {
 
   // ---- Clients --------------------------------------------------------------
   DataStore store;
-  RemoteCoordinator coordinator("127.0.0.1", coord_port,
-                                RemoteCoordinator::Options());
+  std::vector<RemoteCoordinator::Endpoint> coord_endpoints;
+  for (const Coord& c : coords) {
+    coord_endpoints.push_back({"127.0.0.1", c.port});
+  }
+  RemoteCoordinator coordinator(coord_endpoints, RemoteCoordinator::Options());
   std::vector<std::unique_ptr<TcpCacheBackend>> backends;
   std::vector<CacheBackend*> backend_ptrs;
   for (const Node& node : nodes) {
@@ -404,15 +539,62 @@ int Run(const Flags& flags) {
   };
 
   int exit_code = 0;
+  size_t master_kills = 0;
+  size_t promotions_observed = 0;
+  Duration ttnm_total = 0;
+  Duration ttnm_max = 0;
   for (size_t cycle = 0; cycle < flags.cycles && exit_code == 0; ++cycle) {
     const size_t victim = rng() % flags.instances;
     const ConfigId before = coordinator.latest_id();
+    int old_master = -1;
+    if (flags.coordinators > 1 && (old_master = FindMaster(coords)) < 0) {
+      std::cerr << "gemini_cluster: no coordinator answers as master\n";
+      exit_code = 3;
+      break;
+    }
 
     // Phase A: load, then kill -9 mid-burst — no snapshot, no checkpoint,
     // no goodbye heartbeat. Detection must come from the missed-beat
-    // deadline alone.
+    // deadline alone. With a coordinator group, the *master* geminicoordd
+    // dies first: the shadow that promotes itself must detect the dead
+    // instance from replicated registration state alone, while clients and
+    // geminids redial through their endpoint lists mid-burst.
     std::vector<std::thread> threads = run_bursts(cycle * 2);
-    std::this_thread::sleep_for(std::chrono::milliseconds(150));
+    std::thread promotion_watch;
+    std::atomic<int> promoted_idx{-1};
+    std::atomic<int64_t> ttnm_us{0};
+    if (flags.coordinators > 1) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(75));
+      const pid_t master_pid = coords[old_master].child.pid;
+      ::kill(master_pid, SIGKILL);
+      (void)WaitForExit(master_pid);
+      ::close(coords[old_master].child.stdout_fd);
+      coords[old_master].alive = false;
+      ++master_kills;
+      const Timestamp killed_at = SystemClock::Global().Now();
+      std::cout << "gemini_cluster: cycle " << cycle
+                << ": killed master coordinator rank "
+                << coords[old_master].rank << " (pid " << master_pid << ")"
+                << std::endl;
+      // Poll for the promotion concurrently with the burst so the measured
+      // time-to-new-master is the election delay, not the burst length.
+      promotion_watch = std::thread([&coords, &promoted_idx, &ttnm_us,
+                                     killed_at] {
+        while (SystemClock::Global().Now() - killed_at < Seconds(10)) {
+          const int m = FindMaster(coords);
+          if (m >= 0) {
+            ttnm_us.store(SystemClock::Global().Now() - killed_at,
+                          std::memory_order_relaxed);
+            promoted_idx.store(m, std::memory_order_release);
+            return;
+          }
+          std::this_thread::sleep_for(std::chrono::milliseconds(10));
+        }
+      });
+      std::this_thread::sleep_for(std::chrono::milliseconds(75));
+    } else {
+      std::this_thread::sleep_for(std::chrono::milliseconds(150));
+    }
     const pid_t victim_pid = nodes[victim].child.pid;
     ::kill(victim_pid, SIGKILL);
     (void)WaitForExit(victim_pid);
@@ -420,6 +602,31 @@ int Run(const Flags& flags) {
     std::cout << "gemini_cluster: cycle " << cycle << ": killed instance "
               << victim << " (pid " << victim_pid << ")" << std::endl;
     for (auto& th : threads) th.join();
+
+    if (flags.coordinators > 1) {
+      promotion_watch.join();
+      const int promoted = promoted_idx.load(std::memory_order_acquire);
+      if (promoted < 0) {
+        std::cerr << "gemini_cluster: no shadow promoted itself within 10 s "
+                     "of the master kill\n";
+        exit_code = 3;
+        break;
+      }
+      ++promotions_observed;
+      const Duration ttnm = ttnm_us.load(std::memory_order_relaxed);
+      ttnm_total += ttnm;
+      ttnm_max = std::max(ttnm_max, ttnm);
+      std::cout << "gemini_cluster: coordinator rank "
+                << coords[promoted].rank << " promoted to master in "
+                << ttnm / 1000 << " ms" << std::endl;
+      // Restart the dead member on its old port: it boots as a shadow and
+      // the new master's sync beat folds it back into the group.
+      if (!SpawnCoord(coords, static_cast<size_t>(old_master),
+                      flags.instances, fragments)) {
+        exit_code = 1;
+        break;
+      }
+    }
 
     // The coordinator must notice via heartbeats and advance the config;
     // the watch connection receives the push.
@@ -436,7 +643,7 @@ int Run(const Flags& flags) {
     // Restart on the same data dir and (fixed) port: WAL replay restores
     // pre-crash state, the link re-registers, the coordinator runs its
     // recovery cycle, and the workers drain the dirty lists.
-    if (!SpawnNode(nodes[victim], coord_port)) {
+    if (!SpawnNode(nodes[victim], coord_list)) {
       exit_code = 1;
       break;
     }
@@ -495,13 +702,43 @@ int Run(const Flags& flags) {
             << ws.wst_keys_copied << " keys copied ("
             << ws.wst_bytes_copied << " bytes, " << ws.wst_pages
             << " pages), " << ws.wst_keys_skipped << " skipped" << std::endl;
+  // Every burst thread was joined above, so reaching this line is the
+  // no-hung-calls proof; say so explicitly for log scrapers.
+  std::cout << "gemini_cluster: all client bursts joined (0 hung client "
+               "calls)" << std::endl;
   if (stale != 0 && exit_code == 0) exit_code = 1;
 
-  // Coordinator first: once its ticker halts, the geminids going away does
-  // not read as a cluster-wide failover (spurious missed-heartbeat warnings).
-  ::kill(coord.pid, SIGTERM);
-  if (WaitForExit(coord.pid) != 0 && exit_code == 0) exit_code = 1;
-  ::close(coord.stdout_fd);
+  // Coordinator failover evidence: every master kill must have produced an
+  // observed promotion, and the clients must actually have redialed (their
+  // first endpoint died at least once).
+  const RemoteCoordinator::Stats coord_stats = coordinator.stats();
+  if (flags.coordinators > 1) {
+    std::cout << "gemini_cluster: coordinator failover: " << master_kills
+              << " master kills, " << promotions_observed
+              << " promotions observed, " << coord_stats.endpoint_switches
+              << " client redials (" << coord_stats.not_master_bounces
+              << " not-master bounces), time-to-new-master avg "
+              << (master_kills != 0 ? ttnm_total / (1000 * master_kills) : 0)
+              << " ms / max " << ttnm_max / 1000 << " ms" << std::endl;
+    if (exit_code == 0 && promotions_observed < master_kills) exit_code = 1;
+    if (exit_code == 0 && master_kills > 0 &&
+        coord_stats.endpoint_switches == 0) {
+      std::cerr << "gemini_cluster: master kills without a single client "
+                   "redial — failover never exercised the endpoint list\n";
+      exit_code = 1;
+    }
+  }
+
+  // Coordinators first: once their tickers halt, the geminids going away
+  // does not read as a cluster-wide failover (spurious missed-heartbeat
+  // warnings).
+  for (Coord& c : coords) {
+    if (!c.alive) continue;
+    ::kill(c.child.pid, SIGTERM);
+    if (WaitForExit(c.child.pid) != 0 && exit_code == 0) exit_code = 1;
+    ::close(c.child.stdout_fd);
+    c.alive = false;
+  }
   for (Node& node : nodes) {
     node.proxy->Stop();
     ::kill(node.child.pid, SIGTERM);
@@ -533,6 +770,12 @@ int main(int argc, char** argv) {
       flags.seed = gemini::ParseUint(arg, next(), ~uint64_t{0} - 1);
     } else if (arg == "--instances") {
       flags.instances = gemini::ParseUint(arg, next(), 64);
+    } else if (arg == "--coordinators") {
+      flags.coordinators = gemini::ParseUint(arg, next(), 9);
+      if (flags.coordinators == 0) {
+        std::cerr << "gemini_cluster: --coordinators must be >= 1\n";
+        return 2;
+      }
     } else if (arg == "--fragments") {
       flags.fragments = gemini::ParseUint(arg, next(), 1 << 16);
     } else if (arg == "--cycles") {

@@ -1,12 +1,22 @@
 // geminicoordd: the Gemini coordinator as a standalone server.
 //
-// Hosts CoordinatorControl — the Coordinator, its heartbeat failure
-// detector, and one ClusterEndpoint per instance slot — behind a
+// Hosts a CoordinatorReplica — one member of a replicated coordinator group
+// (master + shadows, Section 2.1; docs/PROTOCOL.md §12.7) — behind a
 // coordinator-only TransportServer (empty registry: data ops answer
 // kUnavailable, kCoord* ops run the control plane; docs/PROTOCOL.md §12).
-// geminids started with --coordinator HOST:PORT register here and stream
-// heartbeats; clients watch configurations with kCoordConfigWatch and
-// receive kPushConfig frames on every Rejig.
+// geminids started with --coordinator HOST:PORT[,HOST:PORT...] register
+// here and stream heartbeats; clients watch configurations with
+// kCoordConfigWatch and receive kPushConfig frames on every Rejig.
+//
+// Run alone (no --peers) the process promotes itself immediately — the
+// classic single-coordinator deployment. Run with --peers (the group's
+// member list — including this process is harmless, its own echoed claim
+// is ignored) and a unique --rank, it boots as a shadow: the master
+// replicates its full CoordinatorState here after every mutation, and if
+// the master's sync beat goes silent for the rank-staggered election delay,
+// this replica promotes itself (ImportState + registration grace window)
+// and answers kCoord* ops from then on; shadows answer kNotMaster, which
+// tells geminids and clients to redial the next endpoint in their list.
 //
 // The cluster is sized up front (--cluster-size): instance ids [0, N) are
 // the valid slots, fragment i starts on instance i % N. A slot that never
@@ -19,6 +29,8 @@
 //
 // Usage:
 //   geminicoordd --cluster-size N [--fragments M] [--port P] [--bind ADDR]
+//                [--peers HOST:PORT[,HOST:PORT...]] [--rank R]
+//                [--sync-interval-ms N] [--election-timeout-ms N]
 //                [--heartbeat-interval-ms N] [--miss-threshold K]
 //                [--lease-ttl-ms N] [--policy NAME] [--threads N] [--poll]
 //                [--verbose]
@@ -39,8 +51,9 @@
 #include <iostream>
 #include <string>
 #include <thread>
+#include <vector>
 
-#include "src/cluster/coordinator_control.h"
+#include "src/cluster/coordinator_replica.h"
 #include "src/common/clock.h"
 #include "src/coordinator/policy.h"
 #include "src/common/logging.h"
@@ -65,6 +78,17 @@ void Usage(const char* argv0) {
          "                         instance is failed over (default 3)\n"
       << "  --lease-ttl-ms N       fragment lease lifetime granted to\n"
          "                         instances (default 5000; renewed at ~1/3)\n"
+      << "  --peers LIST           comma-separated HOST:PORT of the\n"
+         "                         coordinator group members (may include\n"
+         "                         this process; self entries are ignored);\n"
+         "                         boots this process as a shadow replica\n"
+      << "  --rank R               election rank, unique per group member\n"
+         "                         (default 0; lowest live rank wins)\n"
+      << "  --sync-interval-ms N   master->shadow state sync beat\n"
+         "                         (default: heartbeat interval)\n"
+      << "  --election-timeout-ms N  base election delay; a shadow promotes\n"
+         "                         after (rank+1) times this with no master\n"
+         "                         sync (default: 6x sync interval)\n"
       << "  --policy NAME          recovery policy: gemini-ow (default),\n"
          "                         gemini-o, gemini-i, gemini-iw, stale,\n"
          "                         volatile; +W transfers are streamed by\n"
@@ -88,6 +112,32 @@ uint64_t ParseUint(const std::string& flag, const char* value, uint64_t max) {
     std::exit(2);
   }
   return static_cast<uint64_t>(parsed);
+}
+
+/// Parses "HOST:PORT[,HOST:PORT...]" into peer endpoints; exits 2 on
+/// malformed input (same fail-closed contract as the other flags).
+std::vector<gemini::CoordinatorReplica::PeerEndpoint> ParsePeers(
+    const std::string& list) {
+  std::vector<gemini::CoordinatorReplica::PeerEndpoint> out;
+  size_t start = 0;
+  while (start <= list.size()) {
+    size_t comma = list.find(',', start);
+    if (comma == std::string::npos) comma = list.size();
+    const std::string item = list.substr(start, comma - start);
+    const size_t colon = item.rfind(':');
+    if (item.empty() || colon == std::string::npos || colon == 0 ||
+        colon + 1 >= item.size()) {
+      std::cerr << "geminicoordd: malformed --peers entry '" << item
+                << "' (expected HOST:PORT)\n";
+      std::exit(2);
+    }
+    out.push_back(
+        {item.substr(0, colon),
+         static_cast<uint16_t>(
+             ParseUint("--peers", item.c_str() + colon + 1, 65535))});
+    start = comma + 1;
+  }
+  return out;
 }
 
 gemini::RecoveryPolicy ParsePolicy(const std::string& name) {
@@ -114,6 +164,10 @@ int main(int argc, char** argv) {
   uint64_t miss_threshold = 3;
   uint64_t lease_ttl_ms = 5000;
   uint64_t threads = 1;
+  uint64_t rank = 0;
+  uint64_t sync_interval_ms = 0;
+  uint64_t election_timeout_ms = 0;
+  std::vector<gemini::CoordinatorReplica::PeerEndpoint> peers;
   bool use_poll = false;
   gemini::RecoveryPolicy policy = gemini::RecoveryPolicy::GeminiOW();
 
@@ -140,6 +194,14 @@ int main(int argc, char** argv) {
       miss_threshold = ParseUint(arg, next(), 1000);
     } else if (arg == "--lease-ttl-ms") {
       lease_ttl_ms = ParseUint(arg, next(), 24ull * 3600 * 1000);
+    } else if (arg == "--peers") {
+      peers = ParsePeers(next());
+    } else if (arg == "--rank") {
+      rank = ParseUint(arg, next(), 1u << 20);
+    } else if (arg == "--sync-interval-ms") {
+      sync_interval_ms = ParseUint(arg, next(), 60 * 1000);
+    } else if (arg == "--election-timeout-ms") {
+      election_timeout_ms = ParseUint(arg, next(), 600 * 1000);
     } else if (arg == "--policy") {
       policy = ParsePolicy(next());
     } else if (arg == "--threads") {
@@ -170,23 +232,32 @@ int main(int argc, char** argv) {
     return 2;
   }
 
-  gemini::CoordinatorControl::Options copts;
-  copts.num_instances = cluster_size;
-  copts.num_fragments = fragments;
-  copts.coordinator.policy = policy;
-  copts.coordinator.fragment_lease_lifetime =
+  gemini::CoordinatorReplica::Options ropts;
+  ropts.control.num_instances = cluster_size;
+  ropts.control.num_fragments = fragments;
+  ropts.control.coordinator.policy = policy;
+  ropts.control.coordinator.fragment_lease_lifetime =
       gemini::Millis(static_cast<double>(lease_ttl_ms));
-  copts.heartbeat.interval =
+  ropts.control.heartbeat.interval =
       gemini::Millis(static_cast<double>(heartbeat_interval_ms));
-  copts.heartbeat.miss_threshold = static_cast<uint32_t>(miss_threshold);
-  gemini::CoordinatorControl control(&gemini::SystemClock::Global(), copts);
+  ropts.control.heartbeat.miss_threshold =
+      static_cast<uint32_t>(miss_threshold);
+  ropts.peers = peers;
+  ropts.rank = static_cast<uint32_t>(rank);
+  if (sync_interval_ms > 0) {
+    ropts.sync_interval = gemini::Millis(sync_interval_ms);
+  }
+  if (election_timeout_ms > 0) {
+    ropts.election_timeout = gemini::Millis(election_timeout_ms);
+  }
+  gemini::CoordinatorReplica replica(&gemini::SystemClock::Global(), ropts);
 
   gemini::TransportServer::Options options;
   options.bind_address = bind_address;
   options.port = port;
   options.num_loops = std::max<uint32_t>(1, static_cast<uint32_t>(threads));
   options.use_poll_fallback = use_poll;
-  options.control = &control;
+  options.control = &replica;
   gemini::TransportServer server(gemini::InstanceRegistry(), options);
   if (gemini::Status s = server.Start(); !s.ok()) {
     std::cerr << "geminicoordd: " << s.ToString() << "\n";
@@ -194,20 +265,25 @@ int main(int argc, char** argv) {
   }
   std::signal(SIGINT, HandleSignal);
   std::signal(SIGTERM, HandleSignal);
-  control.Start(&server);
+  replica.Start(&server);
 
   std::cout << "geminicoordd: coordinating " << cluster_size << " instances, "
             << fragments << " fragments (" << policy.Name() << ") on "
             << bind_address << ":" << server.port() << std::endl;
+  if (!peers.empty()) {
+    std::cout << "geminicoordd: replica rank " << rank << ", "
+              << peers.size() << " peer(s); booting as shadow" << std::endl;
+  }
 
   while (g_shutdown == 0) {
     std::this_thread::sleep_for(std::chrono::milliseconds(100));
   }
 
   std::cout << "geminicoordd: shutting down\n";
-  // Control first (halts the ticker, no further pushes), then the server —
-  // the order PushConfigToSubscribers's contract requires.
-  control.Stop();
+  // Replica first (halts the sync/election loop and the active control's
+  // ticker — no further pushes), then the server: the order
+  // PushConfigToSubscribers's contract requires.
+  replica.Stop();
   server.Stop();
   return 0;
 }

@@ -91,9 +91,12 @@ void Usage(const char* argv0) {
          "                         mid-frame after N ms; 0 disables "
          "(default "
       << gemini::TransportServer::Options().idle_timeout_ms << ")\n"
-      << "  --coordinator HOST:PORT  register with a geminicoordd control\n"
-         "                         plane and stream heartbeats; one link per\n"
-         "                         hosted instance\n"
+      << "  --coordinator HOST:PORT[,HOST:PORT...]\n"
+         "                         register with a geminicoordd control plane\n"
+         "                         and stream heartbeats; one link per hosted\n"
+         "                         instance. With a replicated coordinator\n"
+         "                         group, list every endpoint (master and\n"
+         "                         shadows) — the link rotates on failure\n"
       << "  --advertise HOST:PORT  data-plane address the coordinator should\n"
          "                         dial back (default: the bound address;\n"
          "                         set this when clients reach the server\n"
@@ -145,6 +148,25 @@ void ParseHostPort(const std::string& flag, const char* value,
       ParseUint(flag, spec.substr(colon + 1).c_str(), 65535));
 }
 
+/// Parses "HOST:PORT[,HOST:PORT...]" — a replicated coordinator group is
+/// named by its full ordered endpoint list (docs/PROTOCOL.md §12.7).
+std::vector<gemini::CoordinatorLink::Endpoint> ParseEndpointList(
+    const std::string& flag, const char* value) {
+  std::vector<gemini::CoordinatorLink::Endpoint> out;
+  const std::string spec = value;
+  size_t begin = 0;
+  while (begin <= spec.size()) {
+    size_t end = spec.find(',', begin);
+    if (end == std::string::npos) end = spec.size();
+    gemini::CoordinatorLink::Endpoint ep;
+    ParseHostPort(flag, spec.substr(begin, end - begin).c_str(), &ep.host,
+                  &ep.port);
+    out.push_back(std::move(ep));
+    begin = end + 1;
+  }
+  return out;
+}
+
 /// Parses "ID" or "ID:SNAPSHOT_FILE".
 InstanceSpec ParseInstanceSpec(const std::string& flag, const char* value) {
   const std::string spec = value;
@@ -179,8 +201,7 @@ int main(int argc, char** argv) {
   gemini::TransportServer::IoBackend io_backend =
       gemini::TransportServer::IoBackend::kAuto;
   std::string data_dir;
-  std::string coordinator_host;
-  uint16_t coordinator_port = 0;
+  std::vector<gemini::CoordinatorLink::Endpoint> coordinators;
   std::string advertise_host;
   uint16_t advertise_port = 0;
   uint64_t heartbeat_interval_ms = 100;
@@ -224,7 +245,7 @@ int main(int argc, char** argv) {
         return 2;
       }
     } else if (arg == "--coordinator") {
-      ParseHostPort(arg, next(), &coordinator_host, &coordinator_port);
+      coordinators = ParseEndpointList(arg, next());
     } else if (arg == "--advertise") {
       ParseHostPort(arg, next(), &advertise_host, &advertise_port);
     } else if (arg == "--heartbeat-interval-ms") {
@@ -278,7 +299,7 @@ int main(int argc, char** argv) {
   }
   if (specs.empty()) specs.push_back(single);  // Defaults to instance 0.
 
-  if (coordinator_host.empty() && !advertise_host.empty()) {
+  if (coordinators.empty() && !advertise_host.empty()) {
     std::cerr << "geminid: --advertise only makes sense with --coordinator\n";
     return 2;
   }
@@ -435,12 +456,11 @@ int main(int argc, char** argv) {
   // Start() because an ephemeral --port 0 advertise address needs the real
   // bound port.
   std::vector<std::unique_ptr<gemini::CoordinatorLink>> links;
-  if (!coordinator_host.empty()) {
+  if (!coordinators.empty()) {
     for (const auto& instance : instances) {
       gemini::CacheInstance* cache = instance.get();
       gemini::CoordinatorLink::Options lopts;
-      lopts.coordinator_host = coordinator_host;
-      lopts.coordinator_port = coordinator_port;
+      lopts.coordinators = coordinators;
       lopts.instance = cache->id();
       lopts.advertise_host =
           advertise_host.empty() ? bind_address : advertise_host;
@@ -454,8 +474,13 @@ int main(int argc, char** argv) {
       links.push_back(std::make_unique<gemini::CoordinatorLink>(lopts));
       links.back()->Start();
     }
-    std::cout << "geminid: heartbeating to coordinator " << coordinator_host
-              << ":" << coordinator_port << std::endl;
+    std::string group;
+    for (const auto& ep : coordinators) {
+      if (!group.empty()) group += ",";
+      group += ep.host + ":" + std::to_string(ep.port);
+    }
+    std::cout << "geminid: heartbeating to coordinator " << group
+              << std::endl;
   }
 
   gemini::SnapshotWriter::Options writer_options;
